@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks of the hot paths: SIP wire codec, SLP
+//! records, routing-table operations and whole-world event throughput.
+//! These measure implementation performance (not paper figures — those
+//! live in the `exp_*` binaries).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use siphoc_bench::topology::{ideal_world, siphoc_chain};
+use siphoc_core::nodesetup::RoutingProtocol;
+use siphoc_simnet::net::Addr;
+use siphoc_simnet::prelude::*;
+use siphoc_simnet::route::{Route, RoutingTable};
+use siphoc_sip::msg::SipMessage;
+use siphoc_slp::service::ServiceEntry;
+
+fn sample_invite_text() -> String {
+    let mut m = SipMessage::request(
+        siphoc_sip::msg::Method::Invite,
+        "sip:bob@voicehoc.ch".parse().unwrap(),
+    );
+    m.headers_mut().push("Via", "SIP/2.0/UDP 10.0.0.1:5070;branch=z9hG4bK776asdhds");
+    m.headers_mut().push("Max-Forwards", 70);
+    m.headers_mut().push("From", "\"Alice\" <sip:alice@voicehoc.ch>;tag=1928301774");
+    m.headers_mut().push("To", "<sip:bob@voicehoc.ch>");
+    m.headers_mut().push("Call-ID", "a84b4c76e66710@10.0.0.1");
+    m.headers_mut().push("CSeq", "314159 INVITE");
+    m.headers_mut().push("Contact", "<sip:alice@10.0.0.1:5070>");
+    m.set_body(
+        "v=0\r\no=alice 2890844526 2890844526 IN IP4 10.0.0.1\r\ns=-\r\nc=IN IP4 10.0.0.1\r\nt=0 0\r\nm=audio 8000 RTP/AVP 0\r\n",
+        Some("application/sdp"),
+    );
+    m.to_wire()
+}
+
+fn bench_sip_codec(c: &mut Criterion) {
+    let wire = sample_invite_text();
+    c.bench_function("sip_parse_invite", |b| {
+        b.iter(|| SipMessage::parse(black_box(&wire)).unwrap())
+    });
+    let msg = SipMessage::parse(&wire).unwrap();
+    c.bench_function("sip_serialize_invite", |b| b.iter(|| black_box(&msg).to_wire()));
+}
+
+fn bench_slp_codec(c: &mut Criterion) {
+    let entry = ServiceEntry::sip_binding(
+        "alice@voicehoc.ch",
+        "10.0.0.1:5060".parse().unwrap(),
+        Addr::manet(0),
+        42,
+        120,
+    );
+    let wire = entry.to_wire();
+    c.bench_function("slp_entry_parse", |b| {
+        b.iter(|| {
+            let text = std::str::from_utf8(black_box(&wire)).unwrap();
+            text.parse::<ServiceEntry>().unwrap()
+        })
+    });
+}
+
+fn bench_routing_table(c: &mut Criterion) {
+    let mut table = RoutingTable::new();
+    for i in 0..200u32 {
+        table.insert(
+            Addr::manet(i),
+            Route { next_hop: Addr::manet(i % 10), hops: (i % 8) as u8 + 1, expires: SimTime::MAX, seq: i },
+        );
+    }
+    c.bench_function("route_lookup_200", |b| {
+        b.iter(|| table.lookup(black_box(Addr::manet(137)), SimTime::ZERO))
+    });
+}
+
+fn bench_world_throughput(c: &mut Criterion) {
+    c.bench_function("simulate_10_node_chain_10s", |b| {
+        b.iter(|| {
+            let mut w = ideal_world(77);
+            let _ = siphoc_chain(&mut w, 10, &RoutingProtocol::aodv(), &[]);
+            w.run_for(SimDuration::from_secs(10));
+            black_box(w.now())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sip_codec,
+    bench_slp_codec,
+    bench_routing_table,
+    bench_world_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! F6 — Deployment footprint (paper §4).
+//!
+//! The paper reports static sizes for the iPAQ port: a 1.2 MB system
+//! (proxy, Gateway Provider, Connection Provider, MANET SLP plus ~20
+//! shared libraries) against the handheld's 32 MB flash, of which the OS
+//! takes 25 MB, plus a 1 MB VoIP application. Binary sizes do not
+//! translate across languages and decades, so this harness accounts the
+//! footprint dimension the middleware *scales* with: per-node runtime
+//! state as the network and user population grow — the number that
+//! decides whether the 7 MB of free flash/RAM headroom survives a large
+//! MANET. `EXPERIMENTS.md` restates the paper's static numbers alongside.
+//!
+//! Run with `--release`.
+
+use siphoc_bench::topology::{bench_ua, SPACING};
+use siphoc_core::metrics::{node_footprint, ROUTE_ENTRY_BYTES, SLP_ENTRY_BYTES};
+use siphoc_core::nodesetup::{deploy, NodeSpec, RoutingProtocol};
+use siphoc_simnet::prelude::*;
+
+fn run(side: usize, users: usize, routing: RoutingProtocol, label: &str) {
+    let mut w = World::new(WorldConfig::new(9901).with_radio(RadioConfig::ideal()));
+    let mut nodes = Vec::new();
+    for i in 0..side * side {
+        let x = (i % side) as f64 * SPACING;
+        let y = (i / side) as f64 * SPACING;
+        let mut spec = NodeSpec::relay(x, y)
+            .with_routing(match &routing {
+                RoutingProtocol::Aodv(c) => RoutingProtocol::Aodv(c.clone()),
+                RoutingProtocol::Olsr(c) => RoutingProtocol::Olsr(c.clone()),
+                RoutingProtocol::Dsdv(c) => RoutingProtocol::Dsdv(c.clone()),
+            })
+            .without_connection_provider();
+        if i < users {
+            spec = spec.with_user(bench_ua(&format!("user{i}")));
+        }
+        nodes.push(deploy(&mut w, spec));
+    }
+    // Let the network converge; OLSR replicates everything.
+    w.run_for(SimDuration::from_secs(60));
+    let now = w.now();
+    let mut max_routes = 0usize;
+    let mut max_slp = 0usize;
+    let mut sum_bytes = 0usize;
+    for n in &nodes {
+        let fp = node_footprint(&w, n.id, Some(&n.registry), now);
+        max_routes = max_routes.max(fp.routing_entries);
+        max_slp = max_slp.max(fp.slp_entries);
+        sum_bytes += fp.routing_bytes + fp.slp_bytes;
+    }
+    let mean_bytes = sum_bytes / nodes.len();
+    println!(
+        "{label:<12} {:>6} {:>6} {:>12} {:>10} {:>12}",
+        side * side,
+        users,
+        max_routes,
+        max_slp,
+        mean_bytes
+    );
+}
+
+fn main() {
+    println!("F6: per-node middleware state vs scale");
+    println!(
+        "(route entry = {ROUTE_ENTRY_BYTES} B, SLP entry = {SLP_ENTRY_BYTES} B accounting units)\n"
+    );
+    println!(
+        "{:<12} {:>6} {:>6} {:>12} {:>10} {:>12}",
+        "stack", "nodes", "users", "max routes", "max SLP", "mean bytes"
+    );
+    for (side, users) in [(3usize, 4usize), (4, 8), (5, 12)] {
+        run(side, users, RoutingProtocol::aodv(), "siphoc/aodv");
+    }
+    for (side, users) in [(3usize, 4usize), (4, 8), (5, 12)] {
+        run(side, users, RoutingProtocol::olsr(), "siphoc/olsr");
+    }
+    println!("\npaper's static footprint for context: middleware 1.2 MB,");
+    println!("VoIP app 1.0 MB, OS 25 MB of the iPAQ's 32 MB flash.");
+    println!("Runtime state above stays in kilobytes even at 25 nodes —");
+    println!("the middleware's scaling footprint is negligible next to code size.");
+}

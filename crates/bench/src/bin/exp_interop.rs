@@ -1,0 +1,102 @@
+//! T1 — Provider interoperability matrix (paper §3.2).
+//!
+//! "We have tested this feature with three different SIP providers,
+//! siphoc.ch, netvoip.ch and polyphone.ethz.ch. Typically, SIP providers
+//! have their SIP proxy running on the domain they assign the SIP
+//! addresses from. If that is the case (as for siphoc.ch and netvoip.ch),
+//! one can make phone calls to and from the Internet without a problem.
+//! However, a problem occurs if the SIP provider requires a special
+//! outbound proxy to be set in the VoIP configuration (as for
+//! polyphone.ethz.ch)."
+//!
+//! For each provider, a MANET user two hops from the gateway attempts an
+//! outbound call to an Internet user of that provider and receives an
+//! inbound call back. Run with `--release`.
+
+use siphoc_bench::measure::call_measurement;
+use siphoc_core::config::VoipAppConfig;
+use siphoc_core::nodesetup::{deploy, NodeSpec};
+use siphoc_internet::dns::DnsDirectory;
+use siphoc_internet::provider::{ProviderConfig, SipProviderProcess};
+use siphoc_media::session::{MediaConfig, MediaProcess};
+use siphoc_simnet::net::ports;
+use siphoc_simnet::node::NodeConfig;
+use siphoc_simnet::prelude::*;
+use siphoc_sip::ua::{CallEvent, UaConfig, UserAgent};
+use siphoc_sip::uri::Aor;
+
+struct Provider {
+    domain: &'static str,
+    addr: Addr,
+    /// Whether the provider's proxy is reachable via its domain (false =
+    /// the polyphone case: needs a provider-specific outbound proxy).
+    reachable_via_domain: bool,
+}
+
+fn run_provider(p: &Provider) -> (bool, bool) {
+    let mut w = World::new(WorldConfig::new(9301).with_radio(RadioConfig::ideal()));
+    let mut dns = DnsDirectory::new();
+    if p.reachable_via_domain {
+        dns.insert(p.domain, p.addr);
+    }
+    let pn = w.add_node(NodeConfig::wired(p.addr));
+    w.spawn(pn, Box::new(SipProviderProcess::new(ProviderConfig::new(p.domain, dns.clone()))));
+
+    // Internet-side user of this provider; calls the MANET user at t=60.
+    let iris_node = w.add_node(NodeConfig::wired(Addr::new(82, 9, 9, 9)));
+    let iris_cfg = UaConfig::new(
+        Aor::new("iris", p.domain),
+        SocketAddr::new(p.addr, ports::SIP),
+    )
+    .call_at(SimTime::from_secs(60), Aor::new("alice", p.domain), SimDuration::from_secs(5));
+    let (iris, iris_log) = UserAgent::new(iris_cfg);
+    w.spawn(iris_node, Box::new(iris));
+    let (im, _) = MediaProcess::new(MediaConfig::pcmu(8000));
+    w.spawn(iris_node, Box::new(im));
+
+    // MANET: gateway, relay, alice (provider account: this domain).
+    deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0)
+            .with_gateway(Addr::new(82, 130, 64, 1))
+            .with_dns(dns.clone()),
+    );
+    deploy(&mut w, NodeSpec::relay(60.0, 0.0).with_dns(dns.clone()));
+    let alice_ua = VoipAppConfig::fig2("alice", p.domain)
+        .to_ua_config()
+        .expect("config resolves")
+        .call_at(SimTime::from_secs(25), Aor::new("iris", p.domain), SimDuration::from_secs(5));
+    let alice = deploy(&mut w, NodeSpec::relay(120.0, 0.0).with_dns(dns).with_user(alice_ua));
+
+    w.run_for(SimDuration::from_secs(90));
+    let outbound_ok = call_measurement(&alice, 0).setup.is_some();
+    let inbound_ok = iris_log.borrow().any(|e| matches!(e, CallEvent::Established { .. }));
+    (outbound_ok, inbound_ok)
+}
+
+fn main() {
+    let providers = [
+        Provider { domain: "siphoc.ch", addr: Addr(0x52010101), reachable_via_domain: true },
+        Provider { domain: "netvoip.ch", addr: Addr(0x52020202), reachable_via_domain: true },
+        Provider { domain: "polyphone.ethz.ch", addr: Addr(0x52030303), reachable_via_domain: false },
+    ];
+    println!("T1: provider interoperability (MANET user, 2 hops from gateway)\n");
+    println!("{:<20} {:>10} {:>10}", "provider", "outbound", "inbound");
+    let mut rows = Vec::new();
+    for p in &providers {
+        let (out_ok, in_ok) = run_provider(p);
+        println!(
+            "{:<20} {:>10} {:>10}",
+            p.domain,
+            if out_ok { "OK" } else { "FAIL" },
+            if in_ok { "OK" } else { "FAIL" }
+        );
+        rows.push((p.domain, out_ok, in_ok));
+    }
+    println!("\npaper's result: siphoc.ch OK, netvoip.ch OK, polyphone.ethz.ch");
+    println!("fails (special outbound proxy overwritten by SIPHoc — open issue).");
+    assert_eq!(rows[0], ("siphoc.ch", true, true));
+    assert_eq!(rows[1], ("netvoip.ch", true, true));
+    assert_eq!(rows[2], ("polyphone.ethz.ch", false, false));
+    println!("matrix matches the paper.");
+}

@@ -1,0 +1,81 @@
+//! E2 — Lookup delay of the location-service alternatives vs network size.
+//!
+//! A user registered on one corner of a grid is looked up from the
+//! opposite corner, for every location service behind the common
+//! `127.0.0.1:427` API:
+//!
+//! * MANET SLP over AODV — on-demand query piggybacked on a service RREQ;
+//! * MANET SLP over OLSR — proactive replication, local lookup;
+//! * standard SLP — multicast convergence flood + unicast reply (which
+//!   itself needs an AODV route discovery);
+//! * broadcast-REGISTER and proactive-HELLO baselines — replicated, local.
+//!
+//! Expected shape: replicated services answer in microseconds (if the
+//! replica converged); MANET SLP/AODV pays one flood round trip growing
+//! with diameter; standard SLP pays the flood *plus* a reverse route
+//! discovery and its convergence timers — the paper's "very inefficient
+//! in MANETs" claim, measured. Run with `--release`.
+
+use siphoc_bench::location::{add_location_node, LocationKind, LookupProbe};
+use siphoc_bench::topology::SPACING;
+use siphoc_simnet::prelude::*;
+
+const SEEDS: [u64; 5] = [2201, 2202, 2203, 2204, 2205];
+const SIDES: [usize; 4] = [2, 3, 4, 5]; // 4..25 nodes
+
+fn run_one(seed: u64, side: usize, kind: LocationKind) -> Option<(f64, bool)> {
+    let mut w = World::new(WorldConfig::new(seed).with_radio(RadioConfig::ideal()));
+    let mut ids = Vec::new();
+    for i in 0..side * side {
+        let x = (i % side) as f64 * SPACING;
+        let y = (i / side) as f64 * SPACING;
+        ids.push(add_location_node(&mut w, kind, x, y));
+    }
+    // Register bob on the far corner at t≈0.
+    let (reg, _) = LookupProbe::new(
+        Some(("bob@v.ch".into(), SocketAddr::new(w.node(*ids.last().expect("nodes")).addr(), 5060))),
+        Vec::new(),
+    );
+    w.spawn(*ids.last().expect("nodes"), Box::new(reg));
+    // Look up from the near corner after the replicated services have had
+    // time to converge (30 s covers OLSR TC and baseline refresh periods).
+    let (probe, results) = LookupProbe::new(None, vec![(SimTime::from_secs(30), "bob@v.ch".into())]);
+    w.spawn(ids[0], Box::new(probe));
+    w.run_for(SimDuration::from_secs(45));
+    let r = results.borrow();
+    let first = r.first()?;
+    Some((first.latency().as_millis_f64(), first.found))
+}
+
+fn main() {
+    println!("E2: lookup delay vs network size ({} seeds per point)\n", SEEDS.len());
+    print!("{:>7}", "nodes");
+    for kind in LocationKind::all() {
+        print!(" {:>16}", kind.label());
+    }
+    println!("\n{:>7} (mean ms; '!' marks runs with misses)", "");
+    for side in SIDES {
+        print!("{:>7}", side * side);
+        for kind in LocationKind::all() {
+            let mut samples = Vec::new();
+            let mut misses = 0;
+            for seed in SEEDS {
+                match run_one(seed, side, kind) {
+                    Some((ms, true)) => samples.push(ms),
+                    Some((_, false)) => misses += 1,
+                    None => misses += 1,
+                }
+            }
+            match siphoc_bench::mean(&samples) {
+                Some(m) => {
+                    let mark = if misses > 0 { "!" } else { "" };
+                    print!(" {:>15.2}{}", m, if mark.is_empty() { " " } else { mark });
+                }
+                None => print!(" {:>16}", "miss"),
+            }
+        }
+        println!();
+    }
+    println!("\nshape check: manet-slp/aodv grows mildly with diameter;");
+    println!("replicated services are near-instant; standard-slp is slowest.");
+}

@@ -1,0 +1,69 @@
+//! E3 — Control overhead vs network size and number of users.
+//!
+//! Measures on-air control bytes per node per second over a quiet 120 s
+//! window (registrations present, no calls) for each location service.
+//! SIPHoc's claim: piggybacking adds *bytes to existing packets* instead
+//! of new packets, so its overhead tracks the routing protocol's own
+//! baseline; the alternatives add packet floods or periodic dedicated
+//! messages on top.
+//!
+//! Run with `--release`.
+
+use siphoc_bench::location::{add_location_node, LocationKind, LookupProbe};
+use siphoc_bench::measure::control_bytes_per_node_second;
+use siphoc_bench::topology::SPACING;
+use siphoc_simnet::prelude::*;
+
+const SEED: u64 = 3301;
+const MEASURE_SECS: u64 = 120;
+
+fn run_one(side: usize, users: usize, kind: LocationKind) -> f64 {
+    let mut w = World::new(WorldConfig::new(SEED).with_radio(RadioConfig::ideal()));
+    let mut ids = Vec::new();
+    for i in 0..side * side {
+        let x = (i % side) as f64 * SPACING;
+        let y = (i / side) as f64 * SPACING;
+        ids.push(add_location_node(&mut w, kind, x, y));
+    }
+    for (u, id) in ids.iter().enumerate().take(users) {
+        let contact = SocketAddr::new(w.node(*id).addr(), 5060);
+        let (reg, _) = LookupProbe::new(Some((format!("user{u}@v.ch"), contact)), Vec::new());
+        w.spawn(*id, Box::new(reg));
+    }
+    w.run_for(SimDuration::from_secs(MEASURE_SECS));
+    control_bytes_per_node_second(&w, SimDuration::from_secs(MEASURE_SECS))
+}
+
+fn main() {
+    println!("E3: control overhead (bytes/node/s), {MEASURE_SECS} s quiet network\n");
+
+    println!("-- vs network size (4 users registered) --");
+    print!("{:>7}", "nodes");
+    for kind in LocationKind::all() {
+        print!(" {:>16}", kind.label());
+    }
+    println!();
+    for side in [2usize, 3, 4, 5] {
+        print!("{:>7}", side * side);
+        for kind in LocationKind::all() {
+            print!(" {:>16.1}", run_one(side, 4, kind));
+        }
+        println!();
+    }
+
+    println!("\n-- vs registered users (16 nodes) --");
+    print!("{:>7}", "users");
+    for kind in LocationKind::all() {
+        print!(" {:>16}", kind.label());
+    }
+    println!();
+    for users in [0usize, 2, 4, 8, 16] {
+        print!("{:>7}", users);
+        for kind in LocationKind::all() {
+            print!(" {:>16.1}", run_one(4, users, kind));
+        }
+        println!();
+    }
+    println!("\nshape check: manet-slp tracks its routing baseline (row users=0);");
+    println!("bcast/phello/standard add dedicated traffic growing with users.");
+}

@@ -1,0 +1,125 @@
+//! E6 — Voice quality vs hop count and background load.
+//!
+//! One 30 s PCMU call over a chain of increasing length, on the typical
+//! lossy radio; then the same 4-hop call with 0–4 competing ~2.8 Mb/s CBR
+//! streams
+//! crossing the chain. Reported: effective loss, mean one-way delay and
+//! E-model MOS at the callee.
+//!
+//! Expected shape: MOS stays in the "satisfied" band (>4) for short
+//! paths and slides with hops (compounded per-hop loss, queueing);
+//! background load pushes queueing delay and loss up and MOS down.
+//! Run with `--release`.
+
+use siphoc_bench::topology::{bench_ua, siphoc_chain, typical_world};
+use siphoc_core::nodesetup::RoutingProtocol;
+use siphoc_simnet::net::SocketAddr;
+use siphoc_simnet::prelude::*;
+use siphoc_simnet::process::{Ctx, Process};
+use siphoc_sip::uri::Aor;
+
+const SEEDS: [u64; 4] = [6601, 6602, 6603, 6604];
+
+/// A constant-bit-rate cross-traffic source: 250 pps × 1400 B ≈ 2.8 Mb/s,
+/// a meaningful fraction of the 11 Mb/s link rate, so a handful of
+/// streams saturates the shared relays.
+struct CbrSource {
+    dst: SocketAddr,
+    port: u16,
+}
+impl Process for CbrSource {
+    fn name(&self) -> &'static str {
+        "cbr"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(self.port);
+        ctx.set_timer(SimDuration::from_millis(4), 1);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        ctx.send_to(self.dst, self.port, vec![0u8; 1400]);
+        ctx.set_timer(SimDuration::from_millis(4), 1);
+    }
+}
+
+fn run_call(seed: u64, hops: usize, cbr_streams: usize) -> Option<(f64, f64, f64)> {
+    let mut w = typical_world(seed);
+    let nodes = siphoc_chain(&mut w, hops + 1, &RoutingProtocol::aodv(), &[(0, "alice"), (hops, "bob")]);
+    // Replace alice's scripted UA: siphoc_chain deploys plain users, so
+    // run the call from a separate caller spec instead.
+    let _ = &nodes;
+    let ua = bench_ua("carol").call_at(
+        SimTime::from_secs(10),
+        Aor::new("bob", "voicehoc.ch"),
+        SimDuration::from_secs(30),
+    );
+    let caller = siphoc_core::nodesetup::deploy(
+        &mut w,
+        siphoc_core::nodesetup::NodeSpec::relay(0.0, 50.0)
+            .without_connection_provider()
+            .with_user(ua),
+    );
+    // Background CBR along the chain (node k → node k+2), port 9600+k.
+    for k in 0..cbr_streams {
+        let src = nodes[k % nodes.len()].id;
+        let dst_node = &nodes[(k + 2) % nodes.len()];
+        let dst = SocketAddr::new(dst_node.addr, 9700);
+        w.spawn(src, Box::new(CbrSource { dst, port: 9600 + k as u16 }));
+    }
+    w.run_for(SimDuration::from_secs(50));
+    let reports = caller.media_reports.as_ref().expect("media").borrow();
+    let r = reports.first()?;
+    if r.received == 0 {
+        return None;
+    }
+    Some((r.loss_fraction * 100.0, r.mean_delay.as_millis_f64(), r.quality.mos))
+}
+
+fn main() {
+    println!("E6: voice quality, typical lossy radio ({} seeds per point)\n", SEEDS.len());
+
+    println!("-- vs hop count (no background load) --");
+    println!("{:>5} {:>9} {:>10} {:>7}", "hops", "loss(%)", "delay(ms)", "MOS");
+    for hops in 1..=6usize {
+        let mut loss = Vec::new();
+        let mut delay = Vec::new();
+        let mut mos = Vec::new();
+        for seed in SEEDS {
+            if let Some((l, d, m)) = run_call(seed, hops, 0) {
+                loss.push(l);
+                delay.push(d);
+                mos.push(m);
+            }
+        }
+        println!(
+            "{hops:>5} {:>9.2} {:>10.2} {:>7.2}",
+            siphoc_bench::mean(&loss).unwrap_or(f64::NAN),
+            siphoc_bench::mean(&delay).unwrap_or(f64::NAN),
+            siphoc_bench::mean(&mos).unwrap_or(f64::NAN)
+        );
+    }
+
+    println!("\n-- 4-hop call vs background CBR streams (250 pps x 1400 B (~2.8 Mb/s) each) --");
+    println!("{:>8} {:>9} {:>10} {:>7}", "streams", "loss(%)", "delay(ms)", "MOS");
+    for streams in [0usize, 1, 2, 3, 4] {
+        let mut loss = Vec::new();
+        let mut delay = Vec::new();
+        let mut mos = Vec::new();
+        for seed in SEEDS {
+            if let Some((l, d, m)) = run_call(seed, 4, streams) {
+                loss.push(l);
+                delay.push(d);
+                mos.push(m);
+            }
+        }
+        match siphoc_bench::mean(&mos) {
+            Some(m) => println!(
+                "{streams:>8} {:>9.2} {:>10.2} {m:>7.2}",
+                siphoc_bench::mean(&loss).unwrap_or(f64::NAN),
+                siphoc_bench::mean(&delay).unwrap_or(f64::NAN),
+            ),
+            None => println!("{streams:>8} {:>30}", "call setup failed (saturated)"),
+        }
+    }
+    println!("\nshape check: MOS decreases with hops and with load, until");
+    println!("saturation prevents call setup entirely.");
+}

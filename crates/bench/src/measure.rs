@@ -1,0 +1,118 @@
+//! Measurement helpers: call setup latency, registration propagation,
+//! control-overhead accounting.
+
+use siphoc_core::nodesetup::SiphocNode;
+use siphoc_simnet::prelude::*;
+use siphoc_sip::ua::CallEvent;
+
+/// Outcome of one measured call attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallMeasurement {
+    /// INVITE sent → Established at the caller; `None` if never
+    /// established.
+    pub setup: Option<SimDuration>,
+    /// Whether the call failed with a final error or timeout.
+    pub failed: bool,
+}
+
+/// Extracts the `k`-th call attempt measurement from a caller's log.
+pub fn call_measurement(node: &SiphocNode, k: usize) -> CallMeasurement {
+    let log = node.ua_logs[0].borrow();
+    let placed: Vec<SimTime> = log
+        .events()
+        .iter()
+        .filter(|(_, e)| matches!(e, CallEvent::OutgoingCall { .. }))
+        .map(|(t, _)| *t)
+        .collect();
+    let Some(&placed_at) = placed.get(k) else {
+        return CallMeasurement { setup: None, failed: true };
+    };
+    let window_end = placed.get(k + 1).copied().unwrap_or(SimTime::MAX);
+    let established = log
+        .events()
+        .iter()
+        .find(|(t, e)| {
+            *t >= placed_at && *t < window_end && matches!(e, CallEvent::Established { .. })
+        })
+        .map(|(t, _)| *t);
+    let failed = log
+        .events()
+        .iter()
+        .any(|(t, e)| *t >= placed_at && *t < window_end && matches!(e, CallEvent::Failed { .. }));
+    CallMeasurement {
+        setup: established.map(|t| t - placed_at),
+        failed,
+    }
+}
+
+/// Sums the on-air control bytes of a world: routing control traffic plus
+/// any dedicated location-service traffic (standard SLP floods, broadcast
+/// registrations, proactive hellos).
+pub fn control_bytes(world: &World) -> u64 {
+    let mut total = 0u64;
+    for prefix in ["aodv.", "olsr.", "slp_std.", "bcast_reg.", "phello."] {
+        let c = siphoc_core::metrics::total_prefix(world, prefix);
+        total += c.bytes;
+    }
+    // Piggyback bytes are already inside aodv./olsr. message counters;
+    // subtract the lookup-accounting counters that are not on-air.
+    for non_air in ["slp.lookup_hit", "slp.lookup_miss", "slp.lookup_failed", "slp.query_flood"] {
+        total = total.saturating_sub(siphoc_core::metrics::total_counter(world, non_air).bytes);
+    }
+    total
+}
+
+/// Control bytes per node per second over a run of `duration`.
+pub fn control_bytes_per_node_second(world: &World, duration: SimDuration) -> f64 {
+    let n = world
+        .node_ids()
+        .iter()
+        .filter(|id| world.node(**id).has_radio())
+        .count()
+        .max(1);
+    control_bytes(world) as f64 / n as f64 / duration.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{ideal_world, siphoc_chain};
+    use siphoc_core::nodesetup::RoutingProtocol;
+    use siphoc_sip::uri::Aor;
+
+    #[test]
+    fn call_measurement_extracts_setup_time() {
+        let mut w = ideal_world(9);
+        let mut nodes = siphoc_chain(&mut w, 2, &RoutingProtocol::aodv(), &[(0, "a"), (1, "b")]);
+        // Schedule a's call by rebuilding its UA config is awkward here;
+        // instead use the log-based extraction on a scripted deployment.
+        let _ = &mut nodes;
+        // Deploy a dedicated caller with a script.
+        let ua = siphoc_core::config::VoipAppConfig::fig2("x", "voicehoc.ch")
+            .to_ua_config()
+            .unwrap()
+            .call_at(SimTime::from_secs(3), Aor::new("b", "voicehoc.ch"), SimDuration::from_secs(2));
+        let caller = siphoc_core::nodesetup::deploy(
+            &mut w,
+            siphoc_core::nodesetup::NodeSpec::relay(0.0, 60.0).with_user(ua),
+        );
+        w.run_for(SimDuration::from_secs(12));
+        let m = call_measurement(&caller, 0);
+        assert!(m.setup.is_some(), "call should establish");
+        assert!(!m.failed);
+        let s = m.setup.unwrap();
+        assert!(s < SimDuration::from_secs(3), "setup {s}");
+        // A second attempt that never happened reports failure.
+        let m2 = call_measurement(&caller, 1);
+        assert!(m2.setup.is_none() && m2.failed);
+    }
+
+    #[test]
+    fn control_bytes_counts_routing_traffic() {
+        let mut w = ideal_world(10);
+        let _ = siphoc_chain(&mut w, 3, &RoutingProtocol::aodv(), &[]);
+        w.run_for(SimDuration::from_secs(10));
+        assert!(control_bytes(&w) > 0, "hellos must be counted");
+        assert!(control_bytes_per_node_second(&w, SimDuration::from_secs(10)) > 0.0);
+    }
+}

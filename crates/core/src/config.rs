@@ -1,0 +1,114 @@
+//! VoIP application configuration — paper Fig. 2 as data.
+//!
+//! "Typically, VoIP applications require a SIP configuration for your SIP
+//! user account. Imagine that your SIP provider is voicehoc.ch and your
+//! username is Alice... The only difference to the traditional
+//! configuration for use in the Internet is that an outbound proxy is
+//! specified. By specifying the outbound-proxy to be localhost, we make
+//! sure that all the SIP traffic is routed through the \[SIPHoc\] proxy
+//! running locally."
+
+use serde::{Deserialize, Serialize};
+
+use siphoc_simnet::net::{ports, Addr, SocketAddr};
+use siphoc_simnet::time::SimDuration;
+
+use siphoc_sip::ua::UaConfig;
+use siphoc_sip::uri::Aor;
+
+/// The account dialog of a SIP softphone (Kphone in the paper's Fig. 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoipAppConfig {
+    /// User name, e.g. `Alice`.
+    pub username: String,
+    /// SIP provider domain, e.g. `voicehoc.ch`.
+    pub domain: String,
+    /// Outbound proxy; `"localhost"` routes everything through SIPHoc.
+    pub outbound_proxy: String,
+    /// Local SIP port of the application.
+    pub sip_port: u16,
+    /// Local RTP port offered in SDP.
+    pub rtp_port: u16,
+    /// Registration lifetime in seconds.
+    pub register_expires_secs: u32,
+}
+
+impl VoipAppConfig {
+    /// The paper's example: `Alice` at `voicehoc.ch`, outbound proxy
+    /// `localhost` (Fig. 2 verbatim).
+    pub fn fig2(username: &str, domain: &str) -> VoipAppConfig {
+        VoipAppConfig {
+            username: username.to_owned(),
+            domain: domain.to_owned(),
+            outbound_proxy: "localhost".to_owned(),
+            sip_port: 5070,
+            rtp_port: 8000,
+            register_expires_secs: 3600,
+        }
+    }
+
+    /// The user's address-of-record.
+    pub fn aor(&self) -> Aor {
+        Aor::new(&self.username, &self.domain)
+    }
+
+    /// Resolves the outbound proxy field to a socket address.
+    /// `"localhost"` maps to the SIPHoc proxy on `127.0.0.1:5060`.
+    pub fn outbound_proxy_addr(&self) -> Option<SocketAddr> {
+        if self.outbound_proxy.eq_ignore_ascii_case("localhost") {
+            return Some(SocketAddr::new(Addr::LOOPBACK, ports::SIPHOC_PROXY));
+        }
+        if let Ok(sa) = self.outbound_proxy.parse::<SocketAddr>() {
+            return Some(sa);
+        }
+        self.outbound_proxy
+            .parse::<Addr>()
+            .ok()
+            .map(|a| SocketAddr::new(a, ports::SIP))
+    }
+
+    /// Builds the user-agent configuration this application dialog
+    /// describes.
+    pub fn to_ua_config(&self) -> Option<UaConfig> {
+        let proxy = self.outbound_proxy_addr()?;
+        let mut ua = UaConfig::new(self.aor(), proxy);
+        ua.local_port = self.sip_port;
+        ua.rtp_port = self.rtp_port;
+        ua.register_expires = SimDuration::from_secs(self.register_expires_secs as u64);
+        Some(ua)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_round_trips_through_json() {
+        let cfg = VoipAppConfig::fig2("Alice", "voicehoc.ch");
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        assert!(json.contains("\"outbound_proxy\": \"localhost\""));
+        let back: VoipAppConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn localhost_outbound_proxy_resolves_to_siphoc() {
+        let cfg = VoipAppConfig::fig2("Alice", "voicehoc.ch");
+        assert_eq!(cfg.outbound_proxy_addr().unwrap().to_string(), "127.0.0.1:5060");
+        let ua = cfg.to_ua_config().unwrap();
+        assert_eq!(ua.aor.to_string(), "alice@voicehoc.ch");
+        assert_eq!(ua.local_port, 5070);
+    }
+
+    #[test]
+    fn explicit_proxy_addresses_parse() {
+        let mut cfg = VoipAppConfig::fig2("Bob", "netvoip.ch");
+        cfg.outbound_proxy = "82.1.1.1:5060".to_owned();
+        assert_eq!(cfg.outbound_proxy_addr().unwrap().to_string(), "82.1.1.1:5060");
+        cfg.outbound_proxy = "82.1.1.1".to_owned();
+        assert_eq!(cfg.outbound_proxy_addr().unwrap().to_string(), "82.1.1.1:5060");
+        cfg.outbound_proxy = "not an address".to_owned();
+        assert!(cfg.outbound_proxy_addr().is_none());
+    }
+}

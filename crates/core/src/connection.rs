@@ -1,0 +1,324 @@
+//! The Connection Provider.
+//!
+//! Paper §2: "a Connection Provider that manages connections of the node
+//! to the Internet when there is a gateway in the MANET. It periodically
+//! checks whether it can find a gateway service (using MANET SLP) and
+//! open\[s\] a layer two tunnel connection to the node offering the tunnel
+//! server."
+//!
+//! Once a lease is held, the Connection Provider is the node's default
+//! handler: Internet-bound datagrams the stack cannot route are captured,
+//! source-NATed to the leased public address and encapsulated toward the
+//! gateway; tunneled traffic from the gateway is decapsulated and
+//! re-injected locally. It tells the rest of the node about connectivity
+//! changes through the [`INTERNET_UP_EVENT`] / [`INTERNET_DOWN_EVENT`]
+//! node-local events the SIPHoc proxy listens for.
+
+use siphoc_simnet::net::{ports, Addr, Datagram, SocketAddr};
+use siphoc_simnet::process::{Ctx, LocalEvent, Process};
+use siphoc_simnet::time::SimDuration;
+
+use siphoc_slp::msg::SlpMsg;
+use siphoc_slp::service::service_types;
+
+use crate::tunnel::TunnelMsg;
+
+/// Node-local event: the node is attached to the Internet. Payload:
+/// the public address, as text.
+pub const INTERNET_UP_EVENT: &str = "siphoc.internet_up";
+/// Node-local event: Internet attachment lost. No payload.
+pub const INTERNET_DOWN_EVENT: &str = "siphoc.internet_down";
+
+/// Port the Connection Provider uses for its SLP client exchanges.
+const CP_SLP_PORT: u16 = 4271;
+
+/// Connection Provider configuration.
+#[derive(Debug, Clone)]
+pub struct ConnectionProviderConfig {
+    /// Period of the gateway-service check (paper: "periodically checks").
+    pub check_interval: SimDuration,
+    /// How long to wait for a lease reply before retrying.
+    pub connect_timeout: SimDuration,
+    /// Consecutive refresh failures before declaring the tunnel down.
+    pub max_refresh_failures: u32,
+    /// The node's own wired public address, when it *is* a gateway — the
+    /// provider then reports connectivity immediately and never tunnels.
+    pub wired_public: Option<Addr>,
+}
+
+impl Default for ConnectionProviderConfig {
+    fn default() -> ConnectionProviderConfig {
+        ConnectionProviderConfig {
+            check_interval: SimDuration::from_secs(5),
+            connect_timeout: SimDuration::from_secs(2),
+            max_refresh_failures: 2,
+            wired_public: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum State {
+    /// No gateway known.
+    Idle,
+    /// SLP query outstanding.
+    Probing { xid: u32 },
+    /// TCONNECT sent, waiting for the lease.
+    Connecting { gateway: SocketAddr, attempts: u32 },
+    /// Tunnel established.
+    Connected {
+        gateway: SocketAddr,
+        public: Addr,
+        lease: SimDuration,
+        refresh_failures: u32,
+        refresh_outstanding: bool,
+    },
+}
+
+const TAG_CHECK: u64 = 1;
+const TAG_CONNECT_TIMEOUT: u64 = 2;
+const TAG_REFRESH: u64 = 3;
+
+/// The Connection Provider process.
+#[derive(Debug)]
+pub struct ConnectionProvider {
+    cfg: ConnectionProviderConfig,
+    state: State,
+    next_xid: u32,
+}
+
+impl ConnectionProvider {
+    /// Creates a Connection Provider.
+    pub fn new(cfg: ConnectionProviderConfig) -> ConnectionProvider {
+        ConnectionProvider {
+            cfg,
+            state: State::Idle,
+            next_xid: 0,
+        }
+    }
+
+    /// Whether the node currently holds a tunnel lease (or is a gateway).
+    pub fn is_connected(&self) -> bool {
+        self.cfg.wired_public.is_some() || matches!(self.state, State::Connected { .. })
+    }
+
+    fn probe(&mut self, ctx: &mut Ctx<'_>) {
+        self.next_xid += 1;
+        let xid = self.next_xid;
+        self.state = State::Probing { xid };
+        let m = SlpMsg::SrvRqst {
+            xid,
+            service_type: service_types::GATEWAY.to_owned(),
+            key: String::new(),
+        };
+        ctx.send_local(ports::SLP, CP_SLP_PORT, m.to_wire());
+    }
+
+    fn connect(&mut self, ctx: &mut Ctx<'_>, gateway: SocketAddr, attempts: u32) {
+        self.state = State::Connecting { gateway, attempts };
+        ctx.stats().count("cp.tconnect", 1);
+        ctx.send_to(gateway, ports::TUNNEL, TunnelMsg::Connect.to_wire());
+        ctx.set_timer(self.cfg.connect_timeout, TAG_CONNECT_TIMEOUT);
+    }
+
+    fn teardown(&mut self, ctx: &mut Ctx<'_>) {
+        if let State::Connected { public, .. } = self.state {
+            ctx.remove_local_addr(public);
+            ctx.set_default_handler(false);
+            ctx.emit(LocalEvent::Custom {
+                kind: INTERNET_DOWN_EVENT,
+                data: Vec::new(),
+            });
+            ctx.stats().count("cp.tunnel_down", 1);
+        }
+        self.state = State::Idle;
+    }
+
+    fn on_lease(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, public: Addr, lifetime_secs: u32) {
+        let lease = SimDuration::from_secs(lifetime_secs as u64);
+        match &mut self.state {
+            State::Connecting { gateway, .. } if gateway.addr == from.addr => {
+                let gateway = *gateway;
+                self.state = State::Connected {
+                    gateway,
+                    public,
+                    lease,
+                    refresh_failures: 0,
+                    refresh_outstanding: false,
+                };
+                ctx.add_local_addr(public);
+                ctx.set_default_handler(true);
+                ctx.stats().count("cp.tunnel_up", 1);
+                ctx.emit(LocalEvent::Custom {
+                    kind: INTERNET_UP_EVENT,
+                    data: public.to_string().into_bytes(),
+                });
+                ctx.set_timer(lease / 2, TAG_REFRESH);
+            }
+            State::Connected { gateway, refresh_outstanding, refresh_failures, .. }
+                if gateway.addr == from.addr =>
+            {
+                *refresh_outstanding = false;
+                *refresh_failures = 0;
+            }
+            _ => {}
+        }
+    }
+
+    /// Captured Internet-bound datagram: NAT the source and tunnel it.
+    fn tunnel_out(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram) {
+        let State::Connected { gateway, public, .. } = &self.state else {
+            ctx.stats().count("cp.no_tunnel_drop", dgram.wire_len());
+            return;
+        };
+        let mut inner = dgram.clone();
+        if !inner.src.addr.is_public() {
+            inner.src.addr = *public;
+        }
+        let gateway = *gateway;
+        let msg = TunnelMsg::Data { inner };
+        ctx.stats().count("cp.tunneled_out", dgram.wire_len());
+        ctx.send_to(gateway, ports::TUNNEL, msg.to_wire());
+    }
+}
+
+impl Process for ConnectionProvider {
+    fn name(&self) -> &'static str {
+        "connection-provider"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(CP_SLP_PORT);
+        if let Some(public) = self.cfg.wired_public {
+            // Gateways are attached by definition; the tunnel port belongs
+            // to their tunnel *server*.
+            ctx.emit(LocalEvent::Custom {
+                kind: INTERNET_UP_EVENT,
+                data: public.to_string().into_bytes(),
+            });
+            return;
+        }
+        ctx.bind(ports::TUNNEL);
+        let jitter = ctx.rng().range_u64(0, self.cfg.check_interval.as_micros().max(1));
+        ctx.set_timer(SimDuration::from_micros(jitter), TAG_CHECK);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram) {
+        // SLP replies to our gateway probes.
+        if dgram.dst.port == CP_SLP_PORT {
+            if let Ok(SlpMsg::SrvRply { xid, entries }) = SlpMsg::parse(&dgram.payload) {
+                if let State::Probing { xid: expect } = self.state {
+                    if xid == expect {
+                        match entries.first() {
+                            Some(gw) => self.connect(ctx, gw.contact, 0),
+                            None => {
+                                self.state = State::Idle;
+                                ctx.set_timer(self.cfg.check_interval, TAG_CHECK);
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        // Tunnel port traffic or default-handler captures.
+        if dgram.dst.port == ports::TUNNEL && dgram.dst.addr == ctx.addr() {
+            match TunnelMsg::parse(&dgram.payload) {
+                Some(TunnelMsg::Lease { public, lifetime_secs }) => {
+                    self.on_lease(ctx, dgram.src, public, lifetime_secs);
+                }
+                Some(TunnelMsg::Data { inner }) => {
+                    ctx.stats().count("cp.tunneled_in", inner.wire_len());
+                    ctx.reinject(inner);
+                }
+                Some(TunnelMsg::Connect) | None => {
+                    ctx.stats().count("cp.unexpected_msg", dgram.payload.len());
+                }
+            }
+            return;
+        }
+        // Anything else delivered to us is a default-handler capture of an
+        // Internet-bound datagram.
+        self.tunnel_out(ctx, dgram);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TAG_CHECK => match self.state {
+                State::Idle => self.probe(ctx),
+                State::Probing { .. } => {
+                    // SLP lookup never answered (should not happen — the
+                    // daemon always replies); retry.
+                    self.probe(ctx);
+                }
+                _ => {}
+            },
+            TAG_CONNECT_TIMEOUT => {
+                if let State::Connecting { gateway, attempts } = self.state {
+                    if attempts < 2 {
+                        self.connect(ctx, gateway, attempts + 1);
+                    } else {
+                        self.state = State::Idle;
+                        ctx.set_timer(self.cfg.check_interval, TAG_CHECK);
+                    }
+                }
+            }
+            TAG_REFRESH => {
+                let max_failures = self.cfg.max_refresh_failures;
+                if let State::Connected {
+                    gateway,
+                    lease,
+                    refresh_failures,
+                    refresh_outstanding,
+                    ..
+                } = &mut self.state
+                {
+                    if *refresh_outstanding {
+                        *refresh_failures += 1;
+                    }
+                    if *refresh_failures > max_failures {
+                        self.teardown(ctx);
+                        ctx.set_timer(self.cfg.check_interval, TAG_CHECK);
+                        return;
+                    }
+                    *refresh_outstanding = true;
+                    let gateway = *gateway;
+                    let lease = *lease;
+                    ctx.stats().count("cp.tconnect", 1);
+                    ctx.send_to(gateway, ports::TUNNEL, TunnelMsg::Connect.to_wire());
+                    ctx.set_timer(lease / 2, TAG_REFRESH);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_local_event(&mut self, ctx: &mut Ctx<'_>, ev: &LocalEvent) {
+        if matches!(ev, LocalEvent::NodeRestarted) {
+            self.state = State::Idle;
+            if self.cfg.wired_public.is_none() {
+                ctx.set_timer(SimDuration::from_millis(100), TAG_CHECK);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gateway_node_reports_connected_immediately() {
+        let cp = ConnectionProvider::new(ConnectionProviderConfig {
+            wired_public: Some(Addr::new(82, 130, 64, 1)),
+            ..ConnectionProviderConfig::default()
+        });
+        assert!(cp.is_connected());
+    }
+
+    #[test]
+    fn fresh_provider_is_disconnected() {
+        let cp = ConnectionProvider::new(ConnectionProviderConfig::default());
+        assert!(!cp.is_connected());
+    }
+}

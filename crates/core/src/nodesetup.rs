@@ -1,0 +1,290 @@
+//! Node assembly: deploying the full SIPHoc stack on a simulated node.
+//!
+//! This is the programmatic equivalent of installing the paper's 1.2 MB
+//! software bundle on a laptop or iPAQ: one call spawns the five
+//! components of Fig. 1 — VoIP application(s), SIPHoc proxy, MANET SLP,
+//! Gateway Provider and Connection Provider — wired together exactly as
+//! the architecture prescribes, plus the media plane.
+
+use siphoc_simnet::mobility::Mobility;
+use siphoc_simnet::net::Addr;
+use siphoc_simnet::node::NodeConfig as SimNodeConfig;
+use siphoc_simnet::node::NodeId;
+use siphoc_simnet::world::World;
+
+use siphoc_internet::dns::DnsDirectory;
+use siphoc_media::session::{MediaConfig, MediaProcess, ReportLog};
+use siphoc_routing::aodv::{AodvConfig, AodvProcess};
+use siphoc_routing::dsdv::{DsdvConfig, DsdvProcess};
+use siphoc_routing::olsr::{OlsrConfig, OlsrProcess};
+use siphoc_sip::ua::{UaConfig, UaLogHandle, UserAgent};
+use siphoc_slp::manet::{
+    shared_registry, Dissemination, ManetSlpConfig, ManetSlpHandler, ManetSlpProcess, SharedRegistry,
+};
+
+use crate::connection::{ConnectionProvider, ConnectionProviderConfig};
+use crate::gateway::{GatewayProvider, GatewayProviderConfig};
+use crate::proxy::{SiphocProxy, SiphocProxyConfig};
+use crate::tunnel::{TunnelServer, TunnelServerConfig};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which routing protocol (and thus SLP dissemination style) a node runs.
+#[derive(Debug, Clone)]
+pub enum RoutingProtocol {
+    /// AODV with on-demand MANET SLP.
+    Aodv(AodvConfig),
+    /// OLSR with proactive MANET SLP.
+    Olsr(OlsrConfig),
+    /// DSDV with proactive MANET SLP (extension beyond the paper's two
+    /// shipped handlers, exercising the plugin interface's generality).
+    Dsdv(DsdvConfig),
+}
+
+impl RoutingProtocol {
+    /// AODV with defaults.
+    pub fn aodv() -> RoutingProtocol {
+        RoutingProtocol::Aodv(AodvConfig::default())
+    }
+
+    /// OLSR with defaults.
+    pub fn olsr() -> RoutingProtocol {
+        RoutingProtocol::Olsr(OlsrConfig::default())
+    }
+
+    /// DSDV with defaults.
+    pub fn dsdv() -> RoutingProtocol {
+        RoutingProtocol::Dsdv(DsdvConfig::default())
+    }
+
+    fn dissemination(&self) -> Dissemination {
+        match self {
+            RoutingProtocol::Aodv(_) => Dissemination::OnDemand,
+            RoutingProtocol::Olsr(_) | RoutingProtocol::Dsdv(_) => Dissemination::Proactive,
+        }
+    }
+
+    fn slp_config(&self) -> ManetSlpConfig {
+        match self {
+            RoutingProtocol::Aodv(_) => ManetSlpConfig::on_demand(),
+            RoutingProtocol::Olsr(_) | RoutingProtocol::Dsdv(_) => ManetSlpConfig::proactive(),
+        }
+    }
+}
+
+/// Specification of one SIPHoc node.
+#[derive(Debug)]
+pub struct NodeSpec {
+    /// Initial position in meters.
+    pub position: (f64, f64),
+    /// Mobility model; `None` keeps the node static.
+    pub mobility: Option<Mobility>,
+    /// Routing protocol.
+    pub routing: RoutingProtocol,
+    /// VoIP applications to run (usually one; may be empty for pure
+    /// relays).
+    pub users: Vec<UaConfig>,
+    /// Public wired-side address; `Some` makes the node a gateway running
+    /// the Gateway Provider and tunnel server.
+    pub gateway_public: Option<Addr>,
+    /// Domain directory shared with the Internet substrate.
+    pub dns: DnsDirectory,
+    /// Whether to run the media plane.
+    pub media: bool,
+    /// Whether to run the Connection Provider. Disable only in
+    /// experiments that must keep its periodic gateway lookups (and the
+    /// binding gossip they carry) off the air.
+    pub connection_provider: bool,
+}
+
+impl NodeSpec {
+    /// A plain MANET node at `(x, y)` running AODV, no users.
+    pub fn relay(x: f64, y: f64) -> NodeSpec {
+        NodeSpec {
+            position: (x, y),
+            mobility: None,
+            routing: RoutingProtocol::aodv(),
+            users: Vec::new(),
+            gateway_public: None,
+            dns: DnsDirectory::new(),
+            media: false,
+            connection_provider: true,
+        }
+    }
+
+    /// Disables the Connection Provider (experiment isolation).
+    pub fn without_connection_provider(mut self) -> NodeSpec {
+        self.connection_provider = false;
+        self
+    }
+
+    /// Adds a VoIP user (builder style).
+    pub fn with_user(mut self, ua: UaConfig) -> NodeSpec {
+        self.users.push(ua);
+        self.media = true;
+        self
+    }
+
+    /// Makes the node a gateway with the given public address.
+    pub fn with_gateway(mut self, public: Addr) -> NodeSpec {
+        self.gateway_public = Some(public);
+        self
+    }
+
+    /// Sets the routing protocol.
+    pub fn with_routing(mut self, routing: RoutingProtocol) -> NodeSpec {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the DNS directory.
+    pub fn with_dns(mut self, dns: DnsDirectory) -> NodeSpec {
+        self.dns = dns;
+        self
+    }
+
+    /// Sets the mobility model.
+    pub fn with_mobility(mut self, mobility: Mobility) -> NodeSpec {
+        self.mobility = Some(mobility);
+        self
+    }
+}
+
+/// Handles to everything observable on a deployed SIPHoc node.
+#[derive(Debug)]
+pub struct SiphocNode {
+    /// Simulator node id.
+    pub id: NodeId,
+    /// MANET address.
+    pub addr: Addr,
+    /// The node's MANET SLP registry (Fig. 4 dumps, assertions).
+    pub registry: SharedRegistry,
+    /// One event log per deployed user agent, in `users` order.
+    pub ua_logs: Vec<UaLogHandle>,
+    /// Media session reports, when the media plane runs.
+    pub media_reports: Option<ReportLog>,
+}
+
+/// Deploys a SIPHoc node into the world (paper Fig. 1 composition).
+pub fn deploy(world: &mut World, spec: NodeSpec) -> SiphocNode {
+    let (x, y) = spec.position;
+    let mut cfg = match spec.gateway_public {
+        Some(public) => SimNodeConfig::gateway(x, y).with_public_alias(public),
+        None => SimNodeConfig::manet(x, y),
+    };
+    if let Some(m) = spec.mobility {
+        cfg = cfg.with_mobility(m);
+    }
+    let id = world.add_node(cfg);
+    let addr = world.node(id).addr();
+
+    // Routing + MANET SLP handler (the libipq capture analogue).
+    let registry = shared_registry();
+    let handler = Rc::new(RefCell::new(ManetSlpHandler::new(
+        registry.clone(),
+        spec.routing.dissemination(),
+    )));
+    match &spec.routing {
+        RoutingProtocol::Aodv(c) => {
+            world.spawn(id, Box::new(AodvProcess::new(c.clone()).with_handler(handler)));
+        }
+        RoutingProtocol::Olsr(c) => {
+            world.spawn(id, Box::new(OlsrProcess::new(c.clone()).with_handler(handler)));
+        }
+        RoutingProtocol::Dsdv(c) => {
+            world.spawn(id, Box::new(DsdvProcess::new(c.clone()).with_handler(handler)));
+        }
+    }
+
+    // MANET SLP daemon.
+    world.spawn(
+        id,
+        Box::new(ManetSlpProcess::new(spec.routing.slp_config(), registry.clone())),
+    );
+
+    // SIPHoc proxy.
+    let proxy_cfg = SiphocProxyConfig {
+        dns: spec.dns.clone(),
+        ..SiphocProxyConfig::default()
+    };
+    world.spawn(id, Box::new(SiphocProxy::new(proxy_cfg)));
+
+    // Connection Provider (every node), Gateway Provider + tunnel server
+    // (gateways only).
+    if spec.connection_provider {
+        let cp_cfg = ConnectionProviderConfig {
+            wired_public: spec.gateway_public,
+            ..ConnectionProviderConfig::default()
+        };
+        world.spawn(id, Box::new(ConnectionProvider::new(cp_cfg)));
+    }
+    if let Some(public) = spec.gateway_public {
+        // Each gateway leases from its own public block (base + 100), so
+        // multiple gateways never hand out colliding addresses.
+        let tunnel_cfg = TunnelServerConfig {
+            pool_base: Addr(public.0 + 100),
+            ..TunnelServerConfig::default()
+        };
+        world.spawn(id, Box::new(TunnelServer::new(tunnel_cfg)));
+        world.spawn(id, Box::new(GatewayProvider::new(GatewayProviderConfig::default())));
+    }
+
+    // Media plane.
+    let media_reports = if spec.media {
+        let rtp_port = spec.users.first().map(|u| u.rtp_port).unwrap_or(8000);
+        let (media, reports) = MediaProcess::new(MediaConfig::pcmu(rtp_port));
+        world.spawn(id, Box::new(media));
+        Some(reports)
+    } else {
+        None
+    };
+
+    // VoIP applications. Their "localhost" outbound proxy is this node's
+    // SIPHoc proxy.
+    let mut ua_logs = Vec::new();
+    for ua_cfg in spec.users {
+        let (ua, log) = UserAgent::new(ua_cfg);
+        world.spawn(id, Box::new(ua));
+        ua_logs.push(log);
+    }
+
+    SiphocNode {
+        id,
+        addr,
+        registry,
+        ua_logs,
+        media_reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siphoc_simnet::prelude::*;
+
+    #[test]
+    fn deploy_spawns_expected_processes() {
+        let mut w = World::new(WorldConfig::new(71).with_radio(RadioConfig::ideal()));
+        let spec = NodeSpec::relay(0.0, 0.0);
+        let n = deploy(&mut w, spec);
+        let names = w.node(n.id).process_names().to_vec();
+        assert!(names.contains(&"aodv"));
+        assert!(names.contains(&"manet-slp"));
+        assert!(names.contains(&"siphoc-proxy"));
+        assert!(names.contains(&"connection-provider"));
+        assert!(!names.contains(&"tunnel-server"));
+    }
+
+    #[test]
+    fn gateway_deploy_adds_tunnel_and_provider() {
+        let mut w = World::new(WorldConfig::new(72).with_radio(RadioConfig::ideal()));
+        let spec = NodeSpec::relay(0.0, 0.0).with_gateway(Addr::new(82, 130, 64, 1));
+        let n = deploy(&mut w, spec);
+        let names = w.node(n.id).process_names().to_vec();
+        assert!(names.contains(&"tunnel-server"));
+        assert!(names.contains(&"gateway-provider"));
+        assert!(w.node(n.id).has_wired());
+        assert!(w.node(n.id).local_addrs().contains(&Addr::new(82, 130, 64, 1)));
+    }
+}

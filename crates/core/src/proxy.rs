@@ -1,0 +1,511 @@
+//! The SIPHoc proxy.
+//!
+//! "A \[proxy\] with a standard SIP interface but implementing
+//! MANET-specific functionality. Each \[proxy\] serves as an outbound SIP
+//! proxy for the local VoIP application" (paper §2). Concretely, per the
+//! paper's Fig. 3 walkthrough:
+//!
+//! 1. the local VoIP application registers with this proxy (step 1);
+//! 2. the proxy advertises itself through MANET SLP as the responsible
+//!    contact for the user (step 2, Fig. 4);
+//! 3. call setup requests from the application are routed through the
+//!    proxy (step 5), which consults MANET SLP for the callee (step 6);
+//! 4. the resolved request is forwarded to the responsible remote proxy
+//!    (step 7), which hands it to its local application (step 8).
+//!
+//! For Internet transparency (§3.2) the proxy additionally: forwards
+//! registrations to the user's real provider whenever the Connection
+//! Provider reports connectivity — with the Contact rewritten to the
+//! leased public address — and falls back to the provider for callees
+//! MANET SLP cannot resolve. SDP bodies crossing into the Internet get
+//! their connection address rewritten to the public lease (the ALG step a
+//! real L2-tunnel deployment gets for free from DHCP-assigned interface
+//! addresses).
+//!
+//! Forwarding is stateless (RFC 3261 §16.11); reliability stays with the
+//! user agents' transaction layers.
+
+use std::collections::BTreeMap;
+
+use siphoc_simnet::net::{ports, Addr, Datagram, SocketAddr};
+use siphoc_simnet::process::{Ctx, LocalEvent, Process};
+use siphoc_simnet::time::SimDuration;
+
+use siphoc_internet::dns::DnsDirectory;
+use siphoc_sip::msg::{Method, SipMessage, StatusCode};
+use siphoc_sip::proxy::{
+    prepare_forward_request, prepare_forward_response, response_target, stateless_response,
+    ForwardDecision,
+};
+use siphoc_sip::registrar::BindingTable;
+use siphoc_sip::sdp::Sdp;
+use siphoc_sip::uri::SipUri;
+use siphoc_slp::msg::SlpMsg;
+use siphoc_slp::service::service_types;
+
+use crate::connection::{INTERNET_DOWN_EVENT, INTERNET_UP_EVENT};
+
+/// Port the proxy uses for its SLP client exchanges.
+const PROXY_SLP_PORT: u16 = 4270;
+
+/// SIPHoc proxy configuration.
+#[derive(Debug, Clone)]
+pub struct SiphocProxyConfig {
+    /// Domain directory for reaching Internet providers.
+    pub dns: DnsDirectory,
+    /// Default lifetime for local UA registrations.
+    pub default_expiry: SimDuration,
+    /// Lifetime of the proxy's MANET SLP advertisements.
+    pub slp_lifetime: SimDuration,
+}
+
+impl Default for SiphocProxyConfig {
+    fn default() -> SiphocProxyConfig {
+        SiphocProxyConfig {
+            dns: DnsDirectory::new(),
+            default_expiry: SimDuration::from_secs(3600),
+            slp_lifetime: SimDuration::from_secs(120),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Parked {
+    msg: SipMessage,
+}
+
+const TAG_READVERT: u64 = 1;
+
+/// The SIPHoc proxy process.
+pub struct SiphocProxy {
+    cfg: SiphocProxyConfig,
+    local: BindingTable,
+    /// Last REGISTER per AOR, replayed to the provider on connectivity.
+    register_cache: BTreeMap<String, SipMessage>,
+    pending: BTreeMap<u32, Parked>,
+    next_xid: u32,
+    internet: Option<Addr>,
+}
+
+impl std::fmt::Debug for SiphocProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiphocProxy")
+            .field("local_bindings", &self.local.len())
+            .field("pending_lookups", &self.pending.len())
+            .field("internet", &self.internet)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SiphocProxy {
+    /// Creates a proxy.
+    pub fn new(cfg: SiphocProxyConfig) -> SiphocProxy {
+        SiphocProxy {
+            cfg,
+            local: BindingTable::new(),
+            register_cache: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            next_xid: 0,
+            internet: None,
+        }
+    }
+
+    /// The local registrations (tests / Fig. 4 style dumps).
+    pub fn local_bindings(&self) -> &BindingTable {
+        &self.local
+    }
+
+    fn is_local_source(&self, ctx: &Ctx<'_>, src: SocketAddr) -> bool {
+        src.addr.is_loopback() || src.addr == ctx.addr() || Some(src.addr) == self.internet
+    }
+
+    /// Transmits a SIP message, choosing the correct source address: the
+    /// public lease for Internet-bound traffic, the MANET address
+    /// otherwise.
+    fn transmit(&self, ctx: &mut Ctx<'_>, msg: &SipMessage, dst: SocketAddr) {
+        let src_addr = if dst.addr.is_public() {
+            self.internet.unwrap_or_else(|| ctx.addr())
+        } else {
+            ctx.addr()
+        };
+        let wire = msg.to_bytes();
+        ctx.stats().count("proxy.tx", wire.len());
+        let src = SocketAddr::new(src_addr, ports::SIPHOC_PROXY);
+        ctx.send(Datagram::new(src, dst, wire));
+    }
+
+    /// The Via sent-by the proxy stamps when forwarding toward `dst`.
+    fn sent_by_for(&self, ctx: &Ctx<'_>, dst: SocketAddr) -> SocketAddr {
+        let addr = if dst.addr.is_public() {
+            self.internet.unwrap_or_else(|| ctx.addr())
+        } else {
+            ctx.addr()
+        };
+        SocketAddr::new(addr, ports::SIPHOC_PROXY)
+    }
+
+    /// The ALG step for messages leaving toward the Internet: rewrites
+    /// private SDP connection addresses *and* private Contact URIs to the
+    /// public lease. A real layer-2 tunnel deployment gets the former for
+    /// free from the DHCP-assigned tunnel interface address; the Contact
+    /// rewrite points in-dialog requests from the Internet back at this
+    /// proxy, which re-targets them to the local user.
+    fn apply_internet_alg(&self, ctx: &Ctx<'_>, msg: &mut SipMessage, dst: SocketAddr) {
+        if !dst.addr.is_public() {
+            return;
+        }
+        let Some(public) = self.internet else {
+            return;
+        };
+        if let Some(contact) = msg.contact() {
+            let private = contact
+                .uri
+                .socket_addr(ports::SIP)
+                .map(|sa| !sa.addr.is_public())
+                .unwrap_or(false);
+            if private {
+                let user = contact.uri.user.clone().unwrap_or_default();
+                let rewritten =
+                    SipUri::from_socket(Some(&user), SocketAddr::new(public, ports::SIPHOC_PROXY));
+                msg.headers_mut().set("Contact", format!("<{rewritten}>"));
+            }
+        }
+        let _ = ctx;
+        let is_sdp = msg
+            .headers()
+            .get("Content-Type")
+            .map(|ct| ct.eq_ignore_ascii_case("application/sdp"))
+            .unwrap_or(false);
+        if !is_sdp {
+            return;
+        }
+        if let Ok(mut sdp) = msg.body().parse::<Sdp>() {
+            if !sdp.addr.is_public() {
+                sdp.addr = public;
+                let text = sdp.to_string();
+                msg.set_body(&text, Some("application/sdp"));
+            }
+        }
+    }
+
+    fn forward(&self, ctx: &mut Ctx<'_>, msg: SipMessage, dst: SocketAddr) {
+        let sent_by = self.sent_by_for(ctx, dst);
+        match prepare_forward_request(msg, sent_by) {
+            ForwardDecision::Forward(mut fwd) => {
+                self.apply_internet_alg(ctx, &mut fwd, dst);
+                self.transmit(ctx, &fwd, dst);
+            }
+            ForwardDecision::Reject(_) => {
+                ctx.stats().count("proxy.max_forwards_exhausted", 1);
+            }
+        }
+    }
+
+    fn respond(&self, ctx: &mut Ctx<'_>, req: &SipMessage, code: StatusCode) {
+        if req.method() == Some(Method::Ack) {
+            return;
+        }
+        let resp = stateless_response(req, code, ctx);
+        if let Some(target) = response_target(req) {
+            self.transmit(ctx, &resp, target);
+        }
+    }
+
+    fn slp_request(&mut self, ctx: &mut Ctx<'_>, msg: SlpMsg) {
+        ctx.send_local(ports::SLP, PROXY_SLP_PORT, msg.to_wire());
+    }
+
+    // ------------------------------------------------------------------
+    // Registration (Fig. 3 steps 1–2)
+    // ------------------------------------------------------------------
+
+    fn on_local_register(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage) {
+        let now = ctx.now();
+        let resp = self.local.handle_register(&msg, now, self.cfg.default_expiry);
+        let accepted = resp.status() == Some(StatusCode::OK);
+        if let Some(target) = response_target(&msg) {
+            self.transmit(ctx, &resp, target);
+        }
+        if !accepted {
+            return;
+        }
+        ctx.stats().count("proxy.register_local", 1);
+        let Some(to) = msg.to_header() else { return };
+        let aor = to.uri.aor();
+        let expires = msg.contact().and_then(|c| c.expires_param()).or_else(|| msg.expires());
+
+        // Step 2: advertise (or withdraw) through MANET SLP — the proxy's
+        // own endpoint is the responsible contact for the user (Fig. 4).
+        self.next_xid += 1;
+        let slp_msg = if expires == Some(0) {
+            self.register_cache.remove(&aor.to_string());
+            SlpMsg::SrvDeReg {
+                xid: self.next_xid,
+                service_type: service_types::SIP.to_owned(),
+                key: aor.to_string(),
+            }
+        } else {
+            self.register_cache.insert(aor.to_string(), msg.clone());
+            SlpMsg::SrvReg {
+                xid: self.next_xid,
+                service_type: service_types::SIP.to_owned(),
+                key: aor.to_string(),
+                contact: SocketAddr::new(ctx.addr(), ports::SIPHOC_PROXY),
+                lifetime_secs: self.cfg.slp_lifetime.as_micros() as u32 / 1_000_000,
+            }
+        };
+        ctx.stats().count("proxy.slp_advertise", 1);
+        self.slp_request(ctx, slp_msg);
+
+        // §3.2: with Internet connectivity, also register at the real
+        // provider under the public lease.
+        if self.internet.is_some() && expires != Some(0) {
+            self.forward_register_to_provider(ctx, &msg);
+        }
+    }
+
+    fn forward_register_to_provider(&mut self, ctx: &mut Ctx<'_>, msg: &SipMessage) {
+        let Some(public) = self.internet else { return };
+        let Some(to) = msg.to_header() else { return };
+        let domain = to.uri.aor().domain;
+        let Some(provider) = self.cfg.dns.resolve(&domain) else {
+            // The polyphone.ethz.ch case: the provider needs an outbound
+            // proxy we have overwritten, so its domain is not a usable
+            // next hop (open issue acknowledged in the paper).
+            ctx.stats().count("proxy.provider_unresolvable", 1);
+            return;
+        };
+        let mut fwd = msg.clone();
+        let user = to.uri.aor().user;
+        let contact_uri = SipUri::from_socket(Some(&user), SocketAddr::new(public, ports::SIPHOC_PROXY));
+        fwd.headers_mut()
+            .set("Contact", format!("<{contact_uri}>"));
+        ctx.stats().count("proxy.register_provider", 1);
+        self.forward(ctx, fwd, SocketAddr::new(provider, ports::SIP));
+    }
+
+    // ------------------------------------------------------------------
+    // Request routing (Fig. 3 steps 5–8)
+    // ------------------------------------------------------------------
+
+    fn deliver_to_local_user(&mut self, ctx: &mut Ctx<'_>, mut msg: SipMessage, user: &str) -> bool {
+        let now = ctx.now();
+        let binding = self
+            .local
+            .iter()
+            .find(|(aor, _)| aor.user == user)
+            .and_then(|(aor, _)| self.local.lookup(&aor.clone(), now).cloned());
+        let Some(binding) = binding else {
+            return false;
+        };
+        let Some(dst) = binding.contact.socket_addr(ports::SIP) else {
+            return false;
+        };
+        if let SipMessage::Request { uri, .. } = &mut msg {
+            *uri = binding.contact.clone();
+        }
+        ctx.stats().count("proxy.deliver_local", 1);
+        self.forward(ctx, msg, dst);
+        true
+    }
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage, from: SocketAddr) {
+        let local_src = self.is_local_source(ctx, from);
+        let method = msg.method().expect("requests carry methods");
+
+        if method == Method::Register && local_src {
+            self.on_local_register(ctx, msg);
+            return;
+        }
+
+        let SipMessage::Request { uri, .. } = &msg else {
+            unreachable!("on_request called with a response");
+        };
+        let uri = uri.clone();
+
+        // Numeric Request-URIs: either one of our own advertised
+        // endpoints (deliver to the local user named in the URI) or a
+        // direct forward.
+        if let Some(dst) = uri.socket_addr(ports::SIP) {
+            let ours = dst.addr == ctx.addr() || Some(dst.addr) == self.internet;
+            if ours {
+                let user = uri.user.clone().unwrap_or_default();
+                if !self.deliver_to_local_user(ctx, msg.clone(), &user) {
+                    self.respond(ctx, &msg, StatusCode::NOT_FOUND);
+                }
+            } else {
+                self.forward(ctx, msg, dst);
+            }
+            return;
+        }
+
+        // Domain Request-URI.
+        let aor = uri.aor();
+        let now = ctx.now();
+        if self.local.lookup(&aor, now).is_some() {
+            let user = aor.user.clone();
+            if !self.deliver_to_local_user(ctx, msg.clone(), &user) {
+                self.respond(ctx, &msg, StatusCode::NOT_FOUND);
+            }
+            return;
+        }
+
+        // Step 6: consult MANET SLP for the responsible proxy.
+        self.next_xid += 1;
+        let xid = self.next_xid;
+        ctx.stats().count("proxy.slp_lookup", 1);
+        self.pending.insert(xid, Parked { msg });
+        self.slp_request(
+            ctx,
+            SlpMsg::SrvRqst {
+                xid,
+                service_type: service_types::SIP.to_owned(),
+                key: aor.to_string(),
+            },
+        );
+    }
+
+    fn on_slp_reply(&mut self, ctx: &mut Ctx<'_>, xid: u32, entries: Vec<siphoc_slp::service::ServiceEntry>) {
+        let Some(parked) = self.pending.remove(&xid) else {
+            return;
+        };
+        let msg = parked.msg;
+        // Ignore our own advertisement — local bindings were checked first.
+        let own = ctx.addr();
+        let target = entries.iter().find(|e| e.origin != own).map(|e| e.contact);
+        if let Some(dst) = target {
+            // Step 7: forward to the responsible remote proxy.
+            ctx.stats().count("proxy.fwd_to_remote_proxy", 1);
+            self.forward(ctx, msg, dst);
+            return;
+        }
+        // MANET miss: try the Internet (§3.2).
+        if self.internet.is_some() {
+            if let SipMessage::Request { uri, .. } = &msg {
+                if let Some(provider) = self.cfg.dns.resolve(&uri.host) {
+                    ctx.stats().count("proxy.fwd_to_provider", 1);
+                    self.forward(ctx, msg, SocketAddr::new(provider, ports::SIP));
+                    return;
+                }
+                ctx.stats().count("proxy.provider_unresolvable", 1);
+            }
+        }
+        ctx.stats().count("proxy.lookup_failed", 1);
+        self.respond(ctx, &msg, StatusCode::NOT_FOUND);
+    }
+
+    fn on_response(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage) {
+        let ours = msg
+            .top_via()
+            .map(|v| v.sent_by.addr == ctx.addr() || Some(v.sent_by.addr) == self.internet)
+            .unwrap_or(false);
+        if !ours {
+            ctx.stats().count("proxy.misrouted_response", 1);
+            return;
+        }
+        if let Some((mut fwd, target)) = prepare_forward_response(msg) {
+            self.apply_internet_alg(ctx, &mut fwd, target);
+            self.transmit(ctx, &fwd, target);
+        }
+    }
+
+    /// Refreshes the SLP advertisements for all live local bindings.
+    fn readvertise(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let adverts: Vec<String> = self
+            .local
+            .iter()
+            .filter(|(aor, _)| self.local.lookup(&(*aor).clone(), now).is_some())
+            .map(|(aor, _)| aor.to_string())
+            .collect();
+        for key in adverts {
+            self.next_xid += 1;
+            let m = SlpMsg::SrvReg {
+                xid: self.next_xid,
+                service_type: service_types::SIP.to_owned(),
+                key,
+                contact: SocketAddr::new(ctx.addr(), ports::SIPHOC_PROXY),
+                lifetime_secs: self.cfg.slp_lifetime.as_micros() as u32 / 1_000_000,
+            };
+            self.slp_request(ctx, m);
+        }
+    }
+}
+
+impl Process for SiphocProxy {
+    fn name(&self) -> &'static str {
+        "siphoc-proxy"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(ports::SIPHOC_PROXY);
+        ctx.bind(PROXY_SLP_PORT);
+        ctx.set_timer(self.cfg.slp_lifetime / 2, TAG_READVERT);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram) {
+        if dgram.dst.port == PROXY_SLP_PORT {
+            match SlpMsg::parse(&dgram.payload) {
+                Ok(SlpMsg::SrvRply { xid, entries }) => self.on_slp_reply(ctx, xid, entries),
+                Ok(SlpMsg::SrvAck { .. }) => {}
+                _ => ctx.stats().count("proxy.slp_unexpected", dgram.payload.len()),
+            }
+            return;
+        }
+        let Ok(msg) = SipMessage::parse(&String::from_utf8_lossy(&dgram.payload)) else {
+            ctx.stats().count("proxy.malformed", dgram.payload.len());
+            return;
+        };
+        if msg.is_request() {
+            self.on_request(ctx, msg, dgram.src);
+        } else {
+            self.on_response(ctx, msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TAG_READVERT {
+            let now = ctx.now();
+            self.local.purge(now);
+            self.readvertise(ctx);
+            ctx.set_timer(self.cfg.slp_lifetime / 2, TAG_READVERT);
+        }
+    }
+
+    fn on_local_event(&mut self, ctx: &mut Ctx<'_>, ev: &LocalEvent) {
+        match ev {
+            LocalEvent::Custom { kind, data } if *kind == INTERNET_UP_EVENT => {
+                if let Ok(addr) = String::from_utf8_lossy(data).parse::<Addr>() {
+                    self.internet = Some(addr);
+                    ctx.stats().count("proxy.internet_up", 1);
+                    // Register every cached local user at its provider.
+                    let cached: Vec<SipMessage> = self.register_cache.values().cloned().collect();
+                    for msg in cached {
+                        self.forward_register_to_provider(ctx, &msg);
+                    }
+                }
+            }
+            LocalEvent::Custom { kind, .. } if *kind == INTERNET_DOWN_EVENT => {
+                self.internet = None;
+                ctx.stats().count("proxy.internet_down", 1);
+            }
+            LocalEvent::NodeRestarted => {
+                self.pending.clear();
+                ctx.set_timer(self.cfg.slp_lifetime / 2, TAG_READVERT);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_proxy_has_no_bindings_or_internet() {
+        let p = SiphocProxy::new(SiphocProxyConfig::default());
+        assert!(p.local_bindings().is_empty());
+        assert!(p.internet.is_none());
+    }
+}

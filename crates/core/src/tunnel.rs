@@ -1,0 +1,310 @@
+//! The SIPHoc layer-2 tunnel.
+//!
+//! Paper §2: the Gateway Provider "starts a layer two tunnel server ready
+//! to accept connections", and "since the gateway node will directly
+//! forward all the traffic it receives on the tunnel interface to the
+//! Internet, any node with a tunnel connection is automatically attached
+//! to the Internet as well".
+//!
+//! The reproduction models the tunnel as datagram-in-datagram over the
+//! MANET:
+//!
+//! * a client sends `TCONNECT`; the server leases it a **public address**
+//!   from its pool (the DHCP-over-L2 step of the real system) and claims
+//!   that address on the backbone;
+//! * Internet-bound client traffic is encapsulated in `TDATA` toward the
+//!   gateway, which decapsulates and re-injects it onto its wired side —
+//!   the client's private source address is rewritten to its lease on the
+//!   way out, so replies route back;
+//! * backbone traffic for a leased address is captured at the gateway and
+//!   encapsulated back to the client, where it is re-injected and
+//!   delivered locally (the lease is a local alias there).
+//!
+//! Leases are soft state: clients refresh with periodic `TCONNECT`s and
+//! the server expires silent leases.
+
+use std::collections::BTreeMap;
+
+use siphoc_simnet::net::{ports, Addr, Datagram, SocketAddr};
+use siphoc_simnet::process::{Ctx, Process};
+use siphoc_simnet::time::{SimDuration, SimTime};
+
+/// Tunnel wire messages. Encapsulation is length-delimited text headers
+/// followed by the raw inner datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TunnelMsg {
+    /// Client → server: request (or refresh) a lease.
+    Connect,
+    /// Server → client: lease grant.
+    Lease {
+        /// The public address leased to the client.
+        public: Addr,
+        /// Lease lifetime in seconds.
+        lifetime_secs: u32,
+    },
+    /// Encapsulated datagram, either direction.
+    Data {
+        /// The tunneled datagram.
+        inner: Datagram,
+    },
+}
+
+impl TunnelMsg {
+    /// Serializes the message.
+    pub fn to_wire(&self) -> Vec<u8> {
+        match self {
+            TunnelMsg::Connect => b"TCONNECT".to_vec(),
+            TunnelMsg::Lease { public, lifetime_secs } => {
+                format!("TLEASE {public} {lifetime_secs}").into_bytes()
+            }
+            TunnelMsg::Data { inner } => {
+                let mut out = format!(
+                    "TDATA {} {} {}\n",
+                    inner.src, inner.dst, inner.ttl
+                )
+                .into_bytes();
+                out.extend_from_slice(&inner.payload);
+                out
+            }
+        }
+    }
+
+    /// Parses a message.
+    pub fn parse(bytes: &[u8]) -> Option<TunnelMsg> {
+        if bytes == b"TCONNECT" {
+            return Some(TunnelMsg::Connect);
+        }
+        let text_end = bytes.iter().position(|b| *b == b'\n').unwrap_or(bytes.len());
+        let head = std::str::from_utf8(&bytes[..text_end]).ok()?;
+        let mut it = head.split_ascii_whitespace();
+        match it.next()? {
+            "TLEASE" => Some(TunnelMsg::Lease {
+                public: it.next()?.parse().ok()?,
+                lifetime_secs: it.next()?.parse().ok()?,
+            }),
+            "TDATA" => {
+                let src: SocketAddr = it.next()?.parse().ok()?;
+                let dst: SocketAddr = it.next()?.parse().ok()?;
+                let ttl: u8 = it.next()?.parse().ok()?;
+                let payload = bytes.get(text_end + 1..).unwrap_or_default().to_vec();
+                let mut inner = Datagram::new(src, dst, payload);
+                inner.ttl = ttl;
+                Some(TunnelMsg::Data { inner })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Tunnel server configuration.
+#[derive(Debug, Clone)]
+pub struct TunnelServerConfig {
+    /// First address of the public lease pool; subsequent leases count up.
+    pub pool_base: Addr,
+    /// Maximum concurrent leases.
+    pub pool_size: u32,
+    /// Lease lifetime granted to clients.
+    pub lease_lifetime: SimDuration,
+}
+
+impl Default for TunnelServerConfig {
+    fn default() -> TunnelServerConfig {
+        TunnelServerConfig {
+            pool_base: Addr::new(82, 130, 64, 100),
+            pool_size: 64,
+            lease_lifetime: SimDuration::from_secs(60),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Lease {
+    public: Addr,
+    expires: SimTime,
+}
+
+const TAG_EXPIRE: u64 = 1;
+
+/// The tunnel server process (runs on the gateway next to the Gateway
+/// Provider).
+#[derive(Debug)]
+pub struct TunnelServer {
+    cfg: TunnelServerConfig,
+    /// client MANET address → lease.
+    leases: BTreeMap<Addr, Lease>,
+    next_offset: u32,
+}
+
+impl TunnelServer {
+    /// Creates a server.
+    pub fn new(cfg: TunnelServerConfig) -> TunnelServer {
+        TunnelServer {
+            cfg,
+            leases: BTreeMap::new(),
+            next_offset: 0,
+        }
+    }
+
+    /// Current number of active leases.
+    pub fn lease_count(&self) -> usize {
+        self.leases.len()
+    }
+
+    fn allocate(&mut self, client: Addr, now: SimTime) -> Option<Addr> {
+        if let Some(l) = self.leases.get_mut(&client) {
+            l.expires = now + self.cfg.lease_lifetime;
+            return Some(l.public);
+        }
+        if self.leases.len() as u32 >= self.cfg.pool_size {
+            return None;
+        }
+        // Linear scan for a free pool slot (pool is small).
+        let used: Vec<Addr> = self.leases.values().map(|l| l.public).collect();
+        for i in 0..self.cfg.pool_size {
+            let candidate = Addr(self.cfg.pool_base.0 + ((self.next_offset + i) % self.cfg.pool_size));
+            if !used.contains(&candidate) {
+                self.next_offset = (self.next_offset + i + 1) % self.cfg.pool_size;
+                self.leases.insert(
+                    client,
+                    Lease { public: candidate, expires: now + self.cfg.lease_lifetime },
+                );
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
+impl Process for TunnelServer {
+    fn name(&self) -> &'static str {
+        "tunnel-server"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(ports::TUNNEL);
+        ctx.set_timer(self.cfg.lease_lifetime, TAG_EXPIRE);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram) {
+        // Backbone traffic captured via a claimed lease address?
+        if dgram.dst.addr != ctx.addr() && dgram.dst.addr.is_public() {
+            let client = self
+                .leases
+                .iter()
+                .find(|(_, l)| l.public == dgram.dst.addr)
+                .map(|(c, _)| *c);
+            if let Some(client) = client {
+                let msg = TunnelMsg::Data { inner: dgram.clone() };
+                ctx.stats().count("tunnel.to_client", dgram.wire_len());
+                ctx.send_to(SocketAddr::new(client, ports::TUNNEL), ports::TUNNEL, msg.to_wire());
+            } else {
+                ctx.stats().count("tunnel.expired_lease_drop", dgram.wire_len());
+            }
+            return;
+        }
+        let Some(msg) = TunnelMsg::parse(&dgram.payload) else {
+            ctx.stats().count("tunnel.malformed", dgram.payload.len());
+            return;
+        };
+        match msg {
+            TunnelMsg::Connect => {
+                let now = ctx.now();
+                let client = dgram.src.addr;
+                match self.allocate(client, now) {
+                    Some(public) => {
+                        ctx.claim_public_addr(public);
+                        let lease = TunnelMsg::Lease {
+                            public,
+                            lifetime_secs: self.cfg.lease_lifetime.as_micros() as u32 / 1_000_000,
+                        };
+                        ctx.stats().count("tunnel.lease", 1);
+                        ctx.send_to(dgram.src, ports::TUNNEL, lease.to_wire());
+                    }
+                    None => {
+                        ctx.stats().count("tunnel.pool_exhausted", 1);
+                    }
+                }
+            }
+            TunnelMsg::Data { inner } => {
+                // Client → Internet: re-inject on the wired side.
+                ctx.stats().count("tunnel.to_internet", inner.wire_len());
+                ctx.reinject(inner);
+            }
+            TunnelMsg::Lease { .. } => {
+                ctx.stats().count("tunnel.unexpected_msg", 1);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TAG_EXPIRE {
+            return;
+        }
+        let now = ctx.now();
+        let expired: Vec<(Addr, Addr)> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.expires <= now)
+            .map(|(c, l)| (*c, l.public))
+            .collect();
+        for (client, public) in expired {
+            self.leases.remove(&client);
+            ctx.release_public_addr(public);
+            ctx.stats().count("tunnel.lease_expired", 1);
+        }
+        ctx.set_timer(self.cfg.lease_lifetime, TAG_EXPIRE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trips() {
+        let inner = Datagram::new(
+            "10.0.0.2:5060".parse().unwrap(),
+            "82.1.1.1:5060".parse().unwrap(),
+            b"REGISTER sip:voicehoc.ch SIP/2.0\r\n\r\n".to_vec(),
+        );
+        let msgs = vec![
+            TunnelMsg::Connect,
+            TunnelMsg::Lease { public: Addr::new(82, 130, 64, 100), lifetime_secs: 60 },
+            TunnelMsg::Data { inner },
+        ];
+        for m in msgs {
+            assert_eq!(TunnelMsg::parse(&m.to_wire()), Some(m));
+        }
+        assert_eq!(TunnelMsg::parse(b"garbage"), None);
+    }
+
+    #[test]
+    fn tdata_preserves_binary_payload() {
+        let inner = Datagram::new(
+            "10.0.0.2:8000".parse().unwrap(),
+            "82.1.1.9:8000".parse().unwrap(),
+            vec![0x80, 0x00, 0xff, b'\n', 0x01, b'\n'],
+        );
+        let m = TunnelMsg::Data { inner: inner.clone() };
+        match TunnelMsg::parse(&m.to_wire()) {
+            Some(TunnelMsg::Data { inner: got }) => assert_eq!(got, inner),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn allocation_is_stable_per_client_and_bounded() {
+        let mut s = TunnelServer::new(TunnelServerConfig {
+            pool_size: 2,
+            ..TunnelServerConfig::default()
+        });
+        let now = SimTime::ZERO;
+        let a = s.allocate(Addr::manet(1), now).unwrap();
+        let a2 = s.allocate(Addr::manet(1), now).unwrap();
+        assert_eq!(a, a2, "refresh keeps the lease");
+        let b = s.allocate(Addr::manet(2), now).unwrap();
+        assert_ne!(a, b);
+        assert!(s.allocate(Addr::manet(3), now).is_none(), "pool exhausted");
+        assert_eq!(s.lease_count(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! A static DNS directory.
+//!
+//! The simulator replaces DNS resolution with a directory compiled into
+//! each component at construction time. This is the documented
+//! substitution for "the SIP proxy running on the domain they assign the
+//! SIP addresses from" (paper §3.2): a domain resolves to the address of
+//! its provider's SIP proxy — or deliberately to nothing, which is how the
+//! polyphone.ethz.ch interoperability failure is reproduced (the provider
+//! requires a special outbound proxy that SIPHoc has overwritten, so the
+//! domain alone does not lead to a usable next hop).
+
+use std::collections::BTreeMap;
+
+use siphoc_simnet::net::Addr;
+
+/// Domain → SIP proxy address directory.
+#[derive(Debug, Clone, Default)]
+pub struct DnsDirectory {
+    records: BTreeMap<String, Addr>,
+}
+
+impl DnsDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> DnsDirectory {
+        DnsDirectory::default()
+    }
+
+    /// Adds a record (builder style).
+    pub fn with_record(mut self, domain: &str, addr: Addr) -> DnsDirectory {
+        self.records.insert(domain.to_lowercase(), addr);
+        self
+    }
+
+    /// Adds a record in place.
+    pub fn insert(&mut self, domain: &str, addr: Addr) {
+        self.records.insert(domain.to_lowercase(), addr);
+    }
+
+    /// Resolves a domain.
+    pub fn resolve(&self, domain: &str) -> Option<Addr> {
+        self.records.get(&domain.to_lowercase()).copied()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the directory has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_is_case_insensitive() {
+        let dns = DnsDirectory::new().with_record("VoiceHoc.CH", Addr::new(82, 1, 1, 1));
+        assert_eq!(dns.resolve("voicehoc.ch"), Some(Addr::new(82, 1, 1, 1)));
+        assert_eq!(dns.resolve("VOICEHOC.CH"), Some(Addr::new(82, 1, 1, 1)));
+        assert_eq!(dns.resolve("other.org"), None);
+    }
+}

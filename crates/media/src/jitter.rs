@@ -1,0 +1,285 @@
+//! Receiver-side jitter buffer and stream statistics.
+//!
+//! Tracks what a playout buffer needs to know: per-packet one-way delay,
+//! RFC 3550 interarrival jitter, reordering, duplicates, and whether each
+//! packet would have met its playout deadline given the configured buffer
+//! depth. The aggregate feeds the E-model in [`crate::quality`].
+
+use siphoc_simnet::time::{SimDuration, SimTime};
+
+use crate::rtp::RtpPacket;
+
+/// Receiver statistics for one RTP stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamStats {
+    /// Packets accepted in time for playout.
+    pub played: u64,
+    /// Packets that arrived after their playout deadline.
+    pub late: u64,
+    /// Duplicate packets discarded.
+    pub duplicates: u64,
+    /// Highest extended sequence number seen.
+    pub highest_seq: Option<u32>,
+    /// Packets expected so far (from sequence-number span).
+    pub expected: u64,
+    /// Sum of one-way delays (µs) over packets with a send-time probe.
+    pub delay_sum_us: u64,
+    /// Count of delay samples.
+    pub delay_samples: u64,
+    /// Maximum observed one-way delay.
+    pub max_delay: SimDuration,
+    /// RFC 3550 smoothed interarrival jitter, in µs.
+    pub jitter_us: f64,
+}
+
+impl StreamStats {
+    /// Network packets lost (expected − received, floor 0).
+    pub fn lost(&self) -> u64 {
+        self.expected.saturating_sub(self.played + self.late + self.duplicates)
+    }
+
+    /// Effective loss for voice quality: lost in the network *or* too late
+    /// to play out.
+    pub fn effective_loss_fraction(&self) -> f64 {
+        if self.expected == 0 {
+            return 0.0;
+        }
+        (self.lost() + self.late) as f64 / self.expected as f64
+    }
+
+    /// Mean one-way mouth-to-ear network delay (buffer depth excluded).
+    pub fn mean_delay(&self) -> SimDuration {
+        if self.delay_samples == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros(self.delay_sum_us / self.delay_samples)
+    }
+}
+
+/// A fixed-depth jitter buffer model.
+///
+/// Packets are "played" at `first_arrival_delay + playout_depth` after
+/// their send time; anything arriving later counts as late loss. A fixed
+/// buffer keeps the model analyzable; adaptive buffers shift the
+/// late-vs-delay trade-off but not the experiment shapes.
+#[derive(Debug)]
+pub struct JitterBuffer {
+    /// Playout depth added on top of network delay.
+    depth: SimDuration,
+    stats: StreamStats,
+    base_seq: Option<u16>,
+    cycles: u32,
+    last_seq: u16,
+    last_transit_us: Option<i64>,
+    seen_window: Vec<u32>,
+}
+
+impl JitterBuffer {
+    /// Creates a buffer with the given playout depth (60 ms is a common
+    /// default for MANET VoIP).
+    pub fn new(depth: SimDuration) -> JitterBuffer {
+        JitterBuffer {
+            depth,
+            stats: StreamStats::default(),
+            base_seq: None,
+            cycles: 0,
+            last_seq: 0,
+            last_transit_us: None,
+            seen_window: Vec::new(),
+        }
+    }
+
+    /// The configured playout depth.
+    pub fn depth(&self) -> SimDuration {
+        self.depth
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Extended (cycle-corrected) sequence number for `seq`.
+    fn extend_seq(&mut self, seq: u16) -> u32 {
+        match self.base_seq {
+            None => {
+                self.base_seq = Some(seq);
+                self.last_seq = seq;
+                seq as u32
+            }
+            Some(_) => {
+                if seq < self.last_seq && self.last_seq - seq > u16::MAX / 2 {
+                    // Wrapped forward into a new cycle.
+                    self.cycles += 1;
+                    self.last_seq = seq;
+                    (self.cycles << 16) | seq as u32
+                } else if seq > self.last_seq && seq - self.last_seq > u16::MAX / 2 {
+                    // Straggler from the previous cycle.
+                    (self.cycles.saturating_sub(1) << 16) | seq as u32
+                } else {
+                    if seq > self.last_seq {
+                        self.last_seq = seq;
+                    }
+                    (self.cycles << 16) | seq as u32
+                }
+            }
+        }
+    }
+
+    /// Feeds an arriving packet. Returns `true` if it would have played.
+    pub fn on_packet(&mut self, pkt: &RtpPacket, arrival: SimTime) -> bool {
+        let ext = self.extend_seq(pkt.seq);
+        // Duplicate detection over a sliding window.
+        if self.seen_window.contains(&ext) {
+            self.stats.duplicates += 1;
+            return false;
+        }
+        self.seen_window.push(ext);
+        if self.seen_window.len() > 512 {
+            self.seen_window.remove(0);
+        }
+
+        let base = self.base_seq.expect("base set by extend_seq") as u32;
+        self.stats.highest_seq = Some(self.stats.highest_seq.map_or(ext, |h| h.max(ext)));
+        self.stats.expected = (self.stats.highest_seq.unwrap() - base + 1) as u64;
+
+        let mut on_time = true;
+        if let Some(sent) = pkt.send_time() {
+            let delay = arrival.saturating_since(sent);
+            self.stats.delay_sum_us += delay.as_micros();
+            self.stats.delay_samples += 1;
+            if delay > self.stats.max_delay {
+                self.stats.max_delay = delay;
+            }
+            // RFC 3550 jitter on transit times.
+            let transit = delay.as_micros() as i64;
+            if let Some(prev) = self.last_transit_us {
+                let d = (transit - prev).abs() as f64;
+                self.stats.jitter_us += (d - self.stats.jitter_us) / 16.0;
+            }
+            self.last_transit_us = Some(transit);
+            // Playout deadline: min observed delay would be the buffer
+            // baseline; approximate with (delay > depth) ⇒ late relative
+            // to a buffer sized `depth` above the fastest path.
+            let baseline = SimDuration::from_micros(
+                self.stats.delay_sum_us / self.stats.delay_samples.max(1),
+            )
+            .saturating_sub(self.stats.jitter_buffer_headroom());
+            let deadline = baseline + self.depth;
+            on_time = delay <= deadline;
+        }
+        if on_time {
+            self.stats.played += 1;
+        } else {
+            self.stats.late += 1;
+        }
+        on_time
+    }
+}
+
+impl StreamStats {
+    /// Headroom heuristic used when estimating the playout baseline: half
+    /// the smoothed jitter.
+    fn jitter_buffer_headroom(&self) -> SimDuration {
+        SimDuration::from_micros((self.jitter_us / 2.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u16, sent: SimTime) -> RtpPacket {
+        let mut p = RtpPacket {
+            payload_type: 0,
+            seq,
+            timestamp: seq as u32 * 160,
+            ssrc: 1,
+            payload: vec![0u8; 160],
+        };
+        p.stamp_send_time(sent);
+        p
+    }
+
+    #[test]
+    fn in_order_stream_all_plays() {
+        let mut jb = JitterBuffer::new(SimDuration::from_millis(60));
+        for i in 0..100u16 {
+            let sent = SimTime::from_millis(20 * i as u64);
+            let arrival = sent + SimDuration::from_millis(10);
+            assert!(jb.on_packet(&pkt(i, sent), arrival));
+        }
+        let s = jb.stats();
+        assert_eq!(s.played, 100);
+        assert_eq!(s.lost(), 0);
+        assert_eq!(s.late, 0);
+        assert_eq!(s.mean_delay(), SimDuration::from_millis(10));
+        assert_eq!(s.effective_loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn gaps_count_as_loss() {
+        let mut jb = JitterBuffer::new(SimDuration::from_millis(60));
+        for i in [0u16, 1, 2, 5, 6, 7, 8, 9] {
+            let sent = SimTime::from_millis(20 * i as u64);
+            jb.on_packet(&pkt(i, sent), sent + SimDuration::from_millis(10));
+        }
+        let s = jb.stats();
+        assert_eq!(s.expected, 10);
+        assert_eq!(s.lost(), 2);
+        assert!((s.effective_loss_fraction() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicates_are_discarded() {
+        let mut jb = JitterBuffer::new(SimDuration::from_millis(60));
+        let sent = SimTime::from_millis(0);
+        let p = pkt(0, sent);
+        assert!(jb.on_packet(&p, sent + SimDuration::from_millis(5)));
+        assert!(!jb.on_packet(&p, sent + SimDuration::from_millis(6)));
+        assert_eq!(jb.stats().duplicates, 1);
+        assert_eq!(jb.stats().played, 1);
+    }
+
+    #[test]
+    fn very_late_packet_counts_late() {
+        let mut jb = JitterBuffer::new(SimDuration::from_millis(40));
+        // Establish a ~10 ms baseline.
+        for i in 0..20u16 {
+            let sent = SimTime::from_millis(20 * i as u64);
+            jb.on_packet(&pkt(i, sent), sent + SimDuration::from_millis(10));
+        }
+        // One packet 500 ms late.
+        let sent = SimTime::from_millis(400);
+        let played = jb.on_packet(&pkt(20, sent), sent + SimDuration::from_millis(500));
+        assert!(!played);
+        assert_eq!(jb.stats().late, 1);
+        assert!(jb.stats().effective_loss_fraction() > 0.0);
+    }
+
+    #[test]
+    fn sequence_wraparound_is_handled() {
+        let mut jb = JitterBuffer::new(SimDuration::from_millis(60));
+        for off in 0..10u32 {
+            let seq = (u16::MAX - 4).wrapping_add(off as u16);
+            let sent = SimTime::from_millis(20 * off as u64);
+            jb.on_packet(&pkt(seq, sent), sent + SimDuration::from_millis(10));
+        }
+        let s = jb.stats();
+        assert_eq!(s.expected, 10, "wrap must not inflate expected count");
+        assert_eq!(s.lost(), 0);
+    }
+
+    #[test]
+    fn jitter_grows_with_variable_delay() {
+        let mut steady = JitterBuffer::new(SimDuration::from_millis(60));
+        let mut vary = JitterBuffer::new(SimDuration::from_millis(60));
+        for i in 0..200u16 {
+            let sent = SimTime::from_millis(20 * i as u64);
+            steady.on_packet(&pkt(i, sent), sent + SimDuration::from_millis(10));
+            let d = if i % 2 == 0 { 5 } else { 45 };
+            vary.on_packet(&pkt(i, sent), sent + SimDuration::from_millis(d));
+        }
+        assert!(vary.stats().jitter_us > steady.stats().jitter_us * 10.0);
+    }
+}

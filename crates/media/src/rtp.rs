@@ -1,0 +1,205 @@
+//! RTP packets (RFC 3550 subset).
+//!
+//! The 12-byte fixed header is encoded faithfully; extensions, CSRC lists
+//! and padding are not modeled. The simulator additionally embeds the send
+//! instant in the first 8 payload bytes so receivers can measure true
+//! one-way delay — a luxury the deterministic simulator affords that a real
+//! deployment approximates with NTP.
+
+use std::fmt;
+
+use siphoc_simnet::time::SimTime;
+
+/// An RTP data packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtpPacket {
+    /// Payload type (0 = PCMU).
+    pub payload_type: u8,
+    /// Sequence number, wrapping.
+    pub seq: u16,
+    /// Media timestamp in codec sampling units.
+    pub timestamp: u32,
+    /// Synchronization source id.
+    pub ssrc: u32,
+    /// Codec payload.
+    pub payload: Vec<u8>,
+}
+
+/// Error parsing an RTP packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRtpError;
+
+impl fmt::Display for ParseRtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "truncated or non-RTP packet")
+    }
+}
+
+impl std::error::Error for ParseRtpError {}
+
+impl RtpPacket {
+    /// Fixed header length.
+    pub const HEADER_LEN: usize = 12;
+
+    /// Serializes header + payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(Self::HEADER_LEN + self.payload.len());
+        b.push(0x80); // V=2, no padding/extension/CSRC
+        b.push(self.payload_type & 0x7f);
+        b.extend_from_slice(&self.seq.to_be_bytes());
+        b.extend_from_slice(&self.timestamp.to_be_bytes());
+        b.extend_from_slice(&self.ssrc.to_be_bytes());
+        b.extend_from_slice(&self.payload);
+        b
+    }
+
+    /// Parses header + payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRtpError`] when the buffer is shorter than a header
+    /// or the version is not 2.
+    pub fn parse(bytes: &[u8]) -> Result<RtpPacket, ParseRtpError> {
+        if bytes.len() < Self::HEADER_LEN || bytes[0] >> 6 != 2 {
+            return Err(ParseRtpError);
+        }
+        Ok(RtpPacket {
+            payload_type: bytes[1] & 0x7f,
+            seq: u16::from_be_bytes([bytes[2], bytes[3]]),
+            timestamp: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            ssrc: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            payload: bytes[Self::HEADER_LEN..].to_vec(),
+        })
+    }
+
+    /// Embeds `sent` into the first 8 payload bytes (send-time probe).
+    pub fn stamp_send_time(&mut self, sent: SimTime) {
+        let stamp = sent.as_micros().to_be_bytes();
+        if self.payload.len() >= 8 {
+            self.payload[..8].copy_from_slice(&stamp);
+        }
+    }
+
+    /// Reads the embedded send instant, if the payload is large enough.
+    pub fn send_time(&self) -> Option<SimTime> {
+        if self.payload.len() < 8 {
+            return None;
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.payload[..8]);
+        Some(SimTime::from_micros(u64::from_be_bytes(b)))
+    }
+}
+
+/// A minimal RTCP receiver report carrying the stats the quality model
+/// needs (RFC 3550 §6.4.2 subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtcpReport {
+    /// Reporting receiver's SSRC.
+    pub ssrc: u32,
+    /// Cumulative packets lost.
+    pub lost: u32,
+    /// Highest sequence number received.
+    pub highest_seq: u32,
+    /// Interarrival jitter in timestamp units.
+    pub jitter: u32,
+}
+
+impl RtcpReport {
+    /// Serializes the report.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(18);
+        b.push(0x81); // V=2, one report block
+        b.push(201); // RR
+        b.extend_from_slice(&self.ssrc.to_be_bytes());
+        b.extend_from_slice(&self.lost.to_be_bytes());
+        b.extend_from_slice(&self.highest_seq.to_be_bytes());
+        b.extend_from_slice(&self.jitter.to_be_bytes());
+        b
+    }
+
+    /// Parses a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRtpError`] on malformed input.
+    pub fn parse(bytes: &[u8]) -> Result<RtcpReport, ParseRtpError> {
+        if bytes.len() < 18 || bytes[0] != 0x81 || bytes[1] != 201 {
+            return Err(ParseRtpError);
+        }
+        let u32at = |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+        Ok(RtcpReport {
+            ssrc: u32at(2),
+            lost: u32at(6),
+            highest_seq: u32at(10),
+            jitter: u32at(14),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtp_round_trip() {
+        let p = RtpPacket {
+            payload_type: 0,
+            seq: 4711,
+            timestamp: 160_000,
+            ssrc: 0xdead_beef,
+            payload: vec![7u8; 160],
+        };
+        let parsed = RtpPacket::parse(&p.to_bytes()).unwrap();
+        assert_eq!(parsed, p);
+        assert_eq!(p.to_bytes().len(), 172);
+    }
+
+    #[test]
+    fn rtp_rejects_garbage() {
+        assert!(RtpPacket::parse(&[0u8; 4]).is_err());
+        let mut bad = vec![0u8; 20];
+        bad[0] = 0x40; // version 1
+        assert!(RtpPacket::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn send_time_stamp_round_trips() {
+        let mut p = RtpPacket {
+            payload_type: 0,
+            seq: 1,
+            timestamp: 0,
+            ssrc: 1,
+            payload: vec![0u8; 160],
+        };
+        let t = SimTime::from_millis(12345);
+        p.stamp_send_time(t);
+        assert_eq!(p.send_time(), Some(t));
+        let parsed = RtpPacket::parse(&p.to_bytes()).unwrap();
+        assert_eq!(parsed.send_time(), Some(t));
+    }
+
+    #[test]
+    fn short_payload_has_no_send_time() {
+        let p = RtpPacket {
+            payload_type: 0,
+            seq: 1,
+            timestamp: 0,
+            ssrc: 1,
+            payload: vec![0u8; 4],
+        };
+        assert!(p.send_time().is_none());
+    }
+
+    #[test]
+    fn rtcp_round_trip() {
+        let r = RtcpReport {
+            ssrc: 9,
+            lost: 17,
+            highest_seq: 1200,
+            jitter: 42,
+        };
+        assert_eq!(RtcpReport::parse(&r.to_bytes()).unwrap(), r);
+        assert!(RtcpReport::parse(&[0u8; 5]).is_err());
+    }
+}

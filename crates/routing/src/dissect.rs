@@ -1,0 +1,127 @@
+//! Trace dissectors for routing control messages.
+//!
+//! These plug into [`siphoc_simnet::trace::PacketTrace::render`] to produce
+//! the Wireshark-style listing of paper Fig. 5 — an AODV route reply with
+//! encapsulated SIP contact information. Piggybacked entries are shown as a
+//! lossy text preview, which suffices because SLP entries carry readable
+//! `service:` URLs.
+
+use siphoc_simnet::net::ports;
+use siphoc_simnet::trace::Dissector;
+
+use crate::aodv::AodvMsg;
+use crate::olsr::OlsrMsg;
+
+fn preview(entries: &[Vec<u8>]) -> String {
+    if entries.is_empty() {
+        return String::new();
+    }
+    let total: usize = entries.iter().map(Vec::len).sum();
+    let texts: Vec<String> = entries
+        .iter()
+        .map(|e| String::from_utf8_lossy(e).chars().take(60).collect())
+        .collect();
+    format!(" +piggyback[{} entries, {} bytes: {}]", entries.len(), total, texts.join(" | "))
+}
+
+/// Dissects AODV control traffic (port 654).
+pub fn aodv_dissector(port: u16, payload: &[u8]) -> Option<(String, String)> {
+    if port != ports::AODV {
+        return None;
+    }
+    let info = match AodvMsg::parse(payload) {
+        Ok(AodvMsg::Rreq { dst, orig, rreq_id, ttl, hop_count, entries, .. }) => {
+            let what = if dst == siphoc_simnet::net::Addr::UNSPECIFIED {
+                "service query".to_owned()
+            } else {
+                format!("dst {dst}")
+            };
+            format!("RREQ id={rreq_id} {what} orig {orig} ttl={ttl} hops={hop_count}{}", preview(&entries))
+        }
+        Ok(AodvMsg::Rrep { dst, orig, hop_count, entries, .. }) => {
+            format!("RREP dst {dst} -> orig {orig} hops={hop_count}{}", preview(&entries))
+        }
+        Ok(AodvMsg::Rerr { dests }) => {
+            let list: Vec<String> = dests.iter().map(|(a, _)| a.to_string()).collect();
+            format!("RERR unreachable: {}", list.join(", "))
+        }
+        Ok(AodvMsg::Hello { seq, entries }) => format!("HELLO seq={seq}{}", preview(&entries)),
+        Err(_) => "malformed".to_owned(),
+    };
+    Some(("aodv".to_owned(), info))
+}
+
+/// Dissects OLSR control traffic (port 698).
+pub fn olsr_dissector(port: u16, payload: &[u8]) -> Option<(String, String)> {
+    if port != ports::OLSR {
+        return None;
+    }
+    let info = match OlsrMsg::parse(payload) {
+        Ok(OlsrMsg::Hello { neighbors, entries }) => {
+            format!("HELLO {} neighbors{}", neighbors.len(), preview(&entries))
+        }
+        Ok(OlsrMsg::Tc { orig, ansn, selectors, entries, .. }) => {
+            format!("TC orig {orig} ansn={ansn} {} selectors{}", selectors.len(), preview(&entries))
+        }
+        Err(_) => "malformed".to_owned(),
+    };
+    Some(("olsr".to_owned(), info))
+}
+
+/// The standard routing dissector set, in matching order.
+pub fn dissectors() -> Vec<Dissector> {
+    vec![aodv_dissector as Dissector, olsr_dissector as Dissector]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siphoc_simnet::net::Addr;
+    use siphoc_simnet::time::SimDuration;
+
+    #[test]
+    fn aodv_rrep_with_piggyback_shows_contact() {
+        let msg = AodvMsg::Rrep {
+            flags: 2,
+            hop_count: 1,
+            dst: Addr::manet(1),
+            dst_seq: 5,
+            orig: Addr::manet(0),
+            lifetime: SimDuration::from_secs(6),
+            entries: vec![b"service:sip://alice@voicehoc.ch!10.0.0.2:5060".to_vec()],
+        };
+        let (proto, info) = aodv_dissector(ports::AODV, &msg.to_bytes()).unwrap();
+        assert_eq!(proto, "aodv");
+        assert!(info.contains("RREP"));
+        assert!(info.contains("alice@voicehoc.ch"), "{info}");
+    }
+
+    #[test]
+    fn wrong_port_is_skipped() {
+        assert!(aodv_dissector(5060, b"x").is_none());
+        assert!(olsr_dissector(5060, b"x").is_none());
+    }
+
+    #[test]
+    fn malformed_payload_is_labelled() {
+        let (_, info) = aodv_dissector(ports::AODV, &[0xff]).unwrap();
+        assert_eq!(info, "malformed");
+        let (_, info) = olsr_dissector(ports::OLSR, &[0xff]).unwrap();
+        assert_eq!(info, "malformed");
+    }
+
+    #[test]
+    fn olsr_tc_summarized() {
+        let msg = OlsrMsg::Tc {
+            orig: Addr::manet(3),
+            msg_seq: 1,
+            ansn: 2,
+            ttl: 30,
+            selectors: vec![Addr::manet(1), Addr::manet(2)],
+            entries: vec![],
+        };
+        let (proto, info) = olsr_dissector(ports::OLSR, &msg.to_bytes()).unwrap();
+        assert_eq!(proto, "olsr");
+        assert!(info.contains("2 selectors"));
+    }
+}

@@ -1,0 +1,15 @@
+//! # siphoc-routing
+//!
+//! MANET routing protocols for the SIPHoc reproduction: AODV (RFC 3561
+//! subset) and OLSR (RFC 3626 subset), plus the **routing handler** plugin
+//! interface through which MANET SLP piggybacks service information onto
+//! routing control messages — the paper's core mechanism (see `DESIGN.md`).
+
+#![warn(missing_docs)]
+
+pub mod aodv;
+pub mod dissect;
+pub mod dsdv;
+pub mod handler;
+pub mod olsr;
+pub mod wire;

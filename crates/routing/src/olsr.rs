@@ -1,0 +1,765 @@
+//! Optimized Link State Routing (RFC 3626 subset).
+//!
+//! The proactive counterpart to AODV in SIPHoc's routing-plugin pair. The
+//! implementation covers:
+//!
+//! * periodic HELLO messages building link, neighbor and 2-hop neighbor
+//!   sets (symmetric-link check, no hysteresis),
+//! * multipoint relay (MPR) selection with the RFC's greedy heuristic,
+//! * TC (topology control) messages advertising MPR selectors, flooded via
+//!   the MPR forwarding rule with ANSN freshness,
+//! * shortest-path route computation over the learned topology,
+//! * **piggybacking**: an optional [`RoutingHandler`] attaches service
+//!   entries to HELLOs (one hop) and TCs (network-wide). Because OLSR
+//!   disseminates proactively, MANET SLP registrations replicate to every
+//!   node and lookups resolve locally — the trade-off experiment E7
+//!   measures against AODV's on-demand resolution.
+//!
+//! [`RoutingHandler`]: crate::handler::RoutingHandler
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use siphoc_simnet::net::{ports, Addr, Datagram, L2Dst, SocketAddr};
+use siphoc_simnet::process::{Ctx, LocalEvent, Process};
+use siphoc_simnet::route::Route;
+use siphoc_simnet::time::{SimDuration, SimTime};
+
+use crate::handler::{fit_budget, MsgKind, SharedHandler};
+use crate::wire::{read_entries, write_entries, Reader, WireError, Writer};
+
+/// OLSR protocol parameters.
+#[derive(Debug, Clone)]
+pub struct OlsrConfig {
+    /// HELLO emission period (RFC `HELLO_INTERVAL`).
+    pub hello_interval: SimDuration,
+    /// TC emission period (RFC `TC_INTERVAL`).
+    pub tc_interval: SimDuration,
+    /// Validity multiplier: state learned from a message lives for
+    /// `multiplier × interval` (RFC uses 3).
+    pub hold_multiplier: u32,
+    /// Byte budget for piggybacked service entries per control message.
+    pub piggyback_budget: usize,
+}
+
+impl Default for OlsrConfig {
+    fn default() -> OlsrConfig {
+        OlsrConfig {
+            hello_interval: SimDuration::from_secs(2),
+            tc_interval: SimDuration::from_secs(5),
+            hold_multiplier: 3,
+            piggyback_budget: 512,
+        }
+    }
+}
+
+const TYPE_HELLO: u8 = 1;
+const TYPE_TC: u8 = 2;
+
+/// Neighbor status advertised in a HELLO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkStatus {
+    /// We hear the neighbor but do not know the link is symmetric.
+    Heard,
+    /// The link is symmetric.
+    Sym,
+    /// Symmetric and selected as our MPR.
+    Mpr,
+}
+
+impl LinkStatus {
+    fn to_u8(self) -> u8 {
+        match self {
+            LinkStatus::Heard => 0,
+            LinkStatus::Sym => 1,
+            LinkStatus::Mpr => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<LinkStatus, WireError> {
+        match v {
+            0 => Ok(LinkStatus::Heard),
+            1 => Ok(LinkStatus::Sym),
+            2 => Ok(LinkStatus::Mpr),
+            _ => Err(WireError::new("link status")),
+        }
+    }
+}
+
+/// An OLSR control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OlsrMsg {
+    /// One-hop neighborhood advertisement.
+    Hello {
+        /// Advertised neighbors and their link status.
+        neighbors: Vec<(Addr, LinkStatus)>,
+        /// Piggybacked service entries.
+        entries: Vec<Vec<u8>>,
+    },
+    /// Topology control message, flooded via MPRs.
+    Tc {
+        /// Originating node.
+        orig: Addr,
+        /// Per-originator message sequence number (duplicate suppression).
+        msg_seq: u16,
+        /// Advertised neighbor sequence number (topology freshness).
+        ansn: u16,
+        /// Remaining flood radius.
+        ttl: u8,
+        /// The originator's MPR selectors.
+        selectors: Vec<Addr>,
+        /// Piggybacked service entries.
+        entries: Vec<Vec<u8>>,
+    },
+}
+
+impl OlsrMsg {
+    /// Serializes the message.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            OlsrMsg::Hello { neighbors, entries } => {
+                w.u8(TYPE_HELLO).u8(neighbors.len() as u8);
+                for (a, s) in neighbors {
+                    w.addr(*a).u8(s.to_u8());
+                }
+                write_entries(&mut w, entries);
+            }
+            OlsrMsg::Tc { orig, msg_seq, ansn, ttl, selectors, entries } => {
+                w.u8(TYPE_TC).addr(*orig).u16(*msg_seq).u16(*ansn).u8(*ttl);
+                w.u8(selectors.len() as u8);
+                for a in selectors {
+                    w.addr(*a);
+                }
+                write_entries(&mut w, entries);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or unknown input.
+    pub fn parse(bytes: &[u8]) -> Result<OlsrMsg, WireError> {
+        let mut r = Reader::new(bytes);
+        match r.u8("type")? {
+            TYPE_HELLO => {
+                let n = r.u8("neighbor count")? as usize;
+                let mut neighbors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    neighbors.push((r.addr("neighbor")?, LinkStatus::from_u8(r.u8("status")?)?));
+                }
+                Ok(OlsrMsg::Hello { neighbors, entries: read_entries(&mut r)? })
+            }
+            TYPE_TC => {
+                let orig = r.addr("orig")?;
+                let msg_seq = r.u16("msg_seq")?;
+                let ansn = r.u16("ansn")?;
+                let ttl = r.u8("ttl")?;
+                let n = r.u8("selector count")? as usize;
+                let mut selectors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    selectors.push(r.addr("selector")?);
+                }
+                Ok(OlsrMsg::Tc { orig, msg_seq, ansn, ttl, selectors, entries: read_entries(&mut r)? })
+            }
+            _ => Err(WireError::new("unknown OLSR message type")),
+        }
+    }
+}
+
+const TAG_HELLO: u64 = 1;
+const TAG_TC: u64 = 2;
+
+#[derive(Debug, Clone)]
+struct LinkState {
+    last_heard: SimTime,
+    symmetric: bool,
+}
+
+/// The OLSR routing process. Spawn exactly one per MANET node.
+pub struct OlsrProcess {
+    cfg: OlsrConfig,
+    handler: Option<SharedHandler>,
+    links: BTreeMap<Addr, LinkState>,
+    two_hop: BTreeMap<Addr, BTreeSet<Addr>>,
+    mpr_set: BTreeSet<Addr>,
+    mpr_selectors: BTreeMap<Addr, SimTime>,
+    /// `(last_hop, dest) → expiry`.
+    topology: BTreeMap<(Addr, Addr), SimTime>,
+    /// Latest accepted ANSN per originator.
+    ansn_seen: BTreeMap<Addr, u16>,
+    /// Duplicate set for TC flooding.
+    tc_seen: BTreeMap<(Addr, u16), SimTime>,
+    msg_seq: u16,
+    ansn: u16,
+}
+
+impl std::fmt::Debug for OlsrProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OlsrProcess")
+            .field("links", &self.links.len())
+            .field("mpr_set", &self.mpr_set.len())
+            .field("topology", &self.topology.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl OlsrProcess {
+    /// Creates a process with the given configuration and no handler.
+    pub fn new(cfg: OlsrConfig) -> OlsrProcess {
+        OlsrProcess {
+            cfg,
+            handler: None,
+            links: BTreeMap::new(),
+            two_hop: BTreeMap::new(),
+            mpr_set: BTreeSet::new(),
+            mpr_selectors: BTreeMap::new(),
+            topology: BTreeMap::new(),
+            ansn_seen: BTreeMap::new(),
+            tc_seen: BTreeMap::new(),
+            msg_seq: 0,
+            ansn: 0,
+        }
+    }
+
+    /// Attaches the piggyback handler.
+    pub fn with_handler(mut self, handler: SharedHandler) -> OlsrProcess {
+        self.handler = Some(handler);
+        self
+    }
+
+    /// The currently selected MPR set (diagnostics / tests).
+    pub fn mpr_set(&self) -> &BTreeSet<Addr> {
+        &self.mpr_set
+    }
+
+    /// Nodes that selected us as MPR (diagnostics / tests).
+    pub fn selector_count(&self) -> usize {
+        self.mpr_selectors.len()
+    }
+
+    fn hold(&self, interval: SimDuration) -> SimDuration {
+        interval * self.cfg.hold_multiplier as u64
+    }
+
+    fn collect_piggyback(&mut self, ctx: &mut Ctx<'_>, kind: MsgKind) -> Vec<Vec<u8>> {
+        let budget = self.cfg.piggyback_budget;
+        match &self.handler {
+            Some(h) => {
+                let entries = fit_budget(h.borrow_mut().collect_outgoing(ctx, kind, budget), budget);
+                let extra: usize = entries.iter().map(|e| e.len() + 2).sum();
+                if extra > 0 {
+                    ctx.stats().count("olsr.piggyback", extra);
+                }
+                entries
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn handler_incoming(&mut self, ctx: &mut Ctx<'_>, kind: MsgKind, from: Addr, origin: Addr, entries: &[Vec<u8>]) {
+        if let Some(h) = &self.handler {
+            if !entries.is_empty() {
+                let _ = h.borrow_mut().process_incoming(ctx, kind, from, origin, entries);
+            }
+        }
+    }
+
+    fn broadcast(&mut self, ctx: &mut Ctx<'_>, msg: &OlsrMsg, counter: &'static str) {
+        let payload = msg.to_bytes();
+        ctx.stats().count(counter, payload.len());
+        let src = SocketAddr::new(ctx.addr(), ports::OLSR);
+        let dst = SocketAddr::new(Addr::BROADCAST, ports::OLSR);
+        ctx.send_link(L2Dst::Broadcast, Datagram::new(src, dst, payload));
+    }
+
+    fn purge(&mut self, now: SimTime) {
+        let hello_hold = self.hold(self.cfg.hello_interval);
+        self.links.retain(|_, l| now.saturating_since(l.last_heard) <= hello_hold);
+        let live: BTreeSet<Addr> = self.links.keys().copied().collect();
+        self.two_hop.retain(|n, _| live.contains(n));
+        self.mpr_selectors.retain(|_, t| now.saturating_since(*t) <= hello_hold);
+        self.topology.retain(|_, exp| *exp > now);
+        self.tc_seen
+            .retain(|_, t| now.saturating_since(*t) <= SimDuration::from_secs(30));
+    }
+
+    /// Symmetric 1-hop neighbors.
+    fn sym_neighbors(&self) -> BTreeSet<Addr> {
+        self.links
+            .iter()
+            .filter(|(_, l)| l.symmetric)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// RFC 3626 §8.3.1 greedy MPR heuristic.
+    fn select_mprs(&mut self, own: Addr) {
+        let n1 = self.sym_neighbors();
+        // Strict 2-hop set: reachable via a symmetric neighbor, not self,
+        // not already a 1-hop neighbor.
+        let mut uncovered: BTreeSet<Addr> = BTreeSet::new();
+        for (n, twos) in &self.two_hop {
+            if !n1.contains(n) {
+                continue;
+            }
+            for t in twos {
+                if *t != own && !n1.contains(t) {
+                    uncovered.insert(*t);
+                }
+            }
+        }
+        let mut mprs = BTreeSet::new();
+        // First pass: neighbors that are the *only* path to some 2-hop node.
+        for target in uncovered.clone() {
+            let providers: Vec<Addr> = self
+                .two_hop
+                .iter()
+                .filter(|(n, twos)| n1.contains(*n) && twos.contains(&target))
+                .map(|(n, _)| *n)
+                .collect();
+            if providers.len() == 1 {
+                mprs.insert(providers[0]);
+            }
+        }
+        for m in mprs.clone() {
+            if let Some(twos) = self.two_hop.get(&m) {
+                for t in twos.clone() {
+                    uncovered.remove(&t);
+                }
+            }
+        }
+        // Greedy passes: max coverage first, ties broken by address order.
+        while !uncovered.is_empty() {
+            let best = n1
+                .iter()
+                .filter(|n| !mprs.contains(*n))
+                .map(|n| {
+                    let cover = self
+                        .two_hop
+                        .get(n)
+                        .map(|t| t.intersection(&uncovered).count())
+                        .unwrap_or(0);
+                    (cover, *n)
+                })
+                .max_by_key(|(c, a)| (*c, std::cmp::Reverse(*a)));
+            match best {
+                Some((0, _)) | None => break,
+                Some((_, n)) => {
+                    mprs.insert(n);
+                    if let Some(twos) = self.two_hop.get(&n) {
+                        for t in twos.clone() {
+                            uncovered.remove(&t);
+                        }
+                    }
+                }
+            }
+        }
+        self.mpr_set = mprs;
+    }
+
+    /// Shortest-path (hop count) routes over neighbors + topology tuples.
+    fn recompute_routes(&mut self, ctx: &mut Ctx<'_>) {
+        let own = ctx.addr();
+        let now = ctx.now();
+        let expires = now + self.hold(self.cfg.tc_interval);
+        // Edge map: node → directly reachable nodes.
+        let mut edges: BTreeMap<Addr, BTreeSet<Addr>> = BTreeMap::new();
+        let n1 = self.sym_neighbors();
+        edges.entry(own).or_default().extend(n1.iter().copied());
+        for ((last_hop, dest), _) in self.topology.iter() {
+            edges.entry(*last_hop).or_default().insert(*dest);
+        }
+        for (n, twos) in &self.two_hop {
+            if n1.contains(n) {
+                edges.entry(*n).or_default().extend(twos.iter().copied());
+            }
+        }
+        // BFS from self.
+        let mut first_hop: BTreeMap<Addr, (Addr, u8)> = BTreeMap::new();
+        let mut queue: VecDeque<(Addr, Addr, u8)> = VecDeque::new(); // (node, first_hop, dist)
+        for n in &n1 {
+            first_hop.insert(*n, (*n, 1));
+            queue.push_back((*n, *n, 1));
+        }
+        while let Some((node, fh, d)) = queue.pop_front() {
+            if let Some(nexts) = edges.get(&node) {
+                for nx in nexts {
+                    if *nx == own || first_hop.contains_key(nx) {
+                        continue;
+                    }
+                    first_hop.insert(*nx, (fh, d + 1));
+                    queue.push_back((*nx, fh, d + 1));
+                }
+            }
+        }
+        for (dest, (fh, hops)) in first_hop {
+            ctx.routes().insert(dest, Route { next_hop: fh, hops, expires, seq: 0 });
+        }
+        ctx.routes().purge_expired(now);
+    }
+
+    fn send_hello(&mut self, ctx: &mut Ctx<'_>) {
+        let mut neighbors = Vec::with_capacity(self.links.len());
+        for (a, l) in &self.links {
+            let status = if self.mpr_set.contains(a) {
+                LinkStatus::Mpr
+            } else if l.symmetric {
+                LinkStatus::Sym
+            } else {
+                LinkStatus::Heard
+            };
+            neighbors.push((*a, status));
+        }
+        let entries = self.collect_piggyback(ctx, MsgKind::OlsrHello);
+        let msg = OlsrMsg::Hello { neighbors, entries };
+        self.broadcast(ctx, &msg, "olsr.hello");
+    }
+
+    fn send_tc(&mut self, ctx: &mut Ctx<'_>) {
+        let entries = self.collect_piggyback(ctx, MsgKind::OlsrTc);
+        // RFC: emit TCs while we have MPR selectors. Also emit when the
+        // handler has entries to spread — the piggyback vehicle must run
+        // even in fully meshed topologies where nobody needs MPRs.
+        if self.mpr_selectors.is_empty() && entries.is_empty() {
+            return;
+        }
+        self.msg_seq = self.msg_seq.wrapping_add(1);
+        self.ansn = self.ansn.wrapping_add(1);
+        let msg = OlsrMsg::Tc {
+            orig: ctx.addr(),
+            msg_seq: self.msg_seq,
+            ansn: self.ansn,
+            ttl: 32,
+            selectors: self.mpr_selectors.keys().copied().collect(),
+            entries,
+        };
+        self.tc_seen.insert((ctx.addr(), self.msg_seq), ctx.now());
+        self.broadcast(ctx, &msg, "olsr.tc");
+    }
+
+    fn on_hello(&mut self, ctx: &mut Ctx<'_>, from: Addr, neighbors: Vec<(Addr, LinkStatus)>, entries: Vec<Vec<u8>>) {
+        let own = ctx.addr();
+        let now = ctx.now();
+        let hears_us = neighbors.iter().any(|(a, _)| *a == own);
+        let entry = self.links.entry(from).or_insert(LinkState { last_heard: now, symmetric: false });
+        entry.last_heard = now;
+        entry.symmetric = hears_us;
+        // 2-hop set: the sender's symmetric neighbors.
+        let twos: BTreeSet<Addr> = neighbors
+            .iter()
+            .filter(|(a, s)| *a != own && matches!(s, LinkStatus::Sym | LinkStatus::Mpr))
+            .map(|(a, _)| *a)
+            .collect();
+        self.two_hop.insert(from, twos);
+        // MPR selector tracking.
+        let selected_us = neighbors
+            .iter()
+            .any(|(a, s)| *a == own && *s == LinkStatus::Mpr);
+        if selected_us {
+            self.mpr_selectors.insert(from, now);
+        } else {
+            self.mpr_selectors.remove(&from);
+        }
+        self.handler_incoming(ctx, MsgKind::OlsrHello, from, from, &entries);
+        self.select_mprs(own);
+        self.recompute_routes(ctx);
+    }
+
+    fn on_tc(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: OlsrMsg) {
+        let OlsrMsg::Tc { orig, msg_seq, ansn, ttl, selectors, entries } = msg else {
+            return;
+        };
+        if orig == ctx.addr() {
+            return;
+        }
+        if self.tc_seen.contains_key(&(orig, msg_seq)) {
+            return;
+        }
+        self.tc_seen.insert((orig, msg_seq), ctx.now());
+
+        // ANSN freshness: ignore stale topology, accept newer.
+        let fresh = match self.ansn_seen.get(&orig) {
+            Some(prev) => (ansn.wrapping_sub(*prev) as i16) > 0,
+            None => true,
+        };
+        if fresh {
+            self.ansn_seen.insert(orig, ansn);
+            self.topology.retain(|(lh, _), _| *lh != orig);
+            let expires = ctx.now() + self.hold(self.cfg.tc_interval);
+            for sel in &selectors {
+                self.topology.insert((orig, *sel), expires);
+            }
+            self.recompute_routes(ctx);
+        }
+        self.handler_incoming(ctx, MsgKind::OlsrTc, from, orig, &entries);
+
+        // MPR forwarding rule: retransmit only if the sender selected us.
+        if ttl > 1 && self.mpr_selectors.contains_key(&from) {
+            let fwd = OlsrMsg::Tc {
+                orig,
+                msg_seq,
+                ansn,
+                ttl: ttl - 1,
+                selectors,
+                entries,
+            };
+            self.broadcast(ctx, &fwd, "olsr.tc_fwd");
+        }
+    }
+}
+
+impl Process for OlsrProcess {
+    fn name(&self) -> &'static str {
+        "olsr"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(ports::OLSR);
+        let hj = ctx.rng().range_u64(0, self.cfg.hello_interval.as_micros().max(1));
+        ctx.set_timer(SimDuration::from_micros(hj), TAG_HELLO);
+        let tj = ctx.rng().range_u64(0, self.cfg.tc_interval.as_micros().max(1));
+        ctx.set_timer(SimDuration::from_micros(tj), TAG_TC);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram) {
+        let from = dgram.src.addr;
+        if from == ctx.addr() {
+            return;
+        }
+        let Ok(msg) = OlsrMsg::parse(&dgram.payload) else {
+            ctx.stats().count("olsr.malformed", dgram.payload.len());
+            return;
+        };
+        match msg {
+            OlsrMsg::Hello { neighbors, entries } => self.on_hello(ctx, from, neighbors, entries),
+            OlsrMsg::Tc { .. } => self.on_tc(ctx, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TAG_HELLO => {
+                self.purge(ctx.now());
+                self.select_mprs(ctx.addr());
+                self.send_hello(ctx);
+                self.recompute_routes(ctx);
+                ctx.set_timer(self.cfg.hello_interval, TAG_HELLO);
+            }
+            TAG_TC => {
+                self.send_tc(ctx);
+                ctx.set_timer(self.cfg.tc_interval, TAG_TC);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_local_event(&mut self, ctx: &mut Ctx<'_>, ev: &LocalEvent) {
+        match ev {
+            LocalEvent::LinkTxFailed { neighbor } => {
+                self.links.remove(neighbor);
+                self.two_hop.remove(neighbor);
+                self.mpr_selectors.remove(neighbor);
+                let lost = ctx.routes().invalidate_via(*neighbor);
+                for dst in lost {
+                    ctx.emit(LocalEvent::RouteLost { dst });
+                }
+                self.select_mprs(ctx.addr());
+                self.recompute_routes(ctx);
+            }
+            LocalEvent::NodeRestarted => {
+                self.links.clear();
+                self.two_hop.clear();
+                self.mpr_set.clear();
+                self.mpr_selectors.clear();
+                self.topology.clear();
+                self.ansn_seen.clear();
+                self.tc_seen.clear();
+                ctx.set_timer(SimDuration::from_micros(1), TAG_HELLO);
+                ctx.set_timer(SimDuration::from_millis(10), TAG_TC);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siphoc_simnet::prelude::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn chain_world(n: usize, spacing: f64) -> (World, Vec<NodeId>) {
+        let mut w = World::new(WorldConfig::new(5).with_radio(RadioConfig::ideal()));
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| w.add_node(NodeConfig::manet(i as f64 * spacing, 0.0)))
+            .collect();
+        for &id in &ids {
+            w.spawn(id, Box::new(OlsrProcess::new(OlsrConfig::default())));
+        }
+        (w, ids)
+    }
+
+    struct Sink {
+        got: Rc<RefCell<Vec<Datagram>>>,
+    }
+    impl Process for Sink {
+        fn name(&self) -> &'static str {
+            "sink"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.bind(9000);
+        }
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, d: &Datagram) {
+            self.got.borrow_mut().push(d.clone());
+        }
+    }
+
+    #[test]
+    fn message_round_trips() {
+        let msgs = vec![
+            OlsrMsg::Hello {
+                neighbors: vec![(Addr::manet(1), LinkStatus::Sym), (Addr::manet(2), LinkStatus::Mpr)],
+                entries: vec![b"reg".to_vec()],
+            },
+            OlsrMsg::Tc {
+                orig: Addr::manet(0),
+                msg_seq: 9,
+                ansn: 3,
+                ttl: 32,
+                selectors: vec![Addr::manet(1)],
+                entries: vec![],
+            },
+        ];
+        for m in msgs {
+            assert_eq!(OlsrMsg::parse(&m.to_bytes()).unwrap(), m);
+        }
+        assert!(OlsrMsg::parse(&[99]).is_err());
+        assert!(OlsrMsg::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn link_status_rejects_unknown_value() {
+        assert!(LinkStatus::from_u8(3).is_err());
+    }
+
+    #[test]
+    fn proactive_routes_form_without_traffic() {
+        let (mut w, ids) = chain_world(5, 80.0);
+        w.run_for(SimDuration::from_secs(20));
+        for &a in &ids {
+            for &b in &ids {
+                if a == b {
+                    continue;
+                }
+                let dst = w.node(b).addr();
+                assert!(
+                    w.node(a).routes().lookup_specific(dst, w.now()).is_some(),
+                    "missing route {a}->{b}"
+                );
+            }
+        }
+        let far = w.node(ids[4]).addr();
+        assert_eq!(w.node(ids[0]).routes().lookup_specific(far, w.now()).unwrap().hops, 4);
+    }
+
+    #[test]
+    fn data_flows_immediately_once_converged() {
+        let (mut w, ids) = chain_world(4, 80.0);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(ids[3], Box::new(Sink { got: got.clone() }));
+        w.run_for(SimDuration::from_secs(20));
+        let src = w.node(ids[0]).addr();
+        let dst = w.node(ids[3]).addr();
+        w.inject(
+            ids[0],
+            Datagram::new(SocketAddr::new(src, 9000), SocketAddr::new(dst, 9000), b"now".to_vec()),
+        );
+        // Proactive: no discovery latency beyond per-hop transmission.
+        w.run_for(SimDuration::from_millis(100));
+        assert_eq!(got.borrow().len(), 1);
+    }
+
+    #[test]
+    fn chain_route_goes_through_middle_node() {
+        let (mut w, ids) = chain_world(3, 80.0);
+        w.run_for(SimDuration::from_secs(20));
+        let a2 = w.node(ids[2]).addr();
+        let r = w.node(ids[0]).routes().lookup_specific(a2, w.now()).unwrap();
+        assert_eq!(r.next_hop, w.node(ids[1]).addr());
+        assert_eq!(r.hops, 2);
+    }
+
+    #[test]
+    fn node_failure_heals_routes() {
+        // Diamond: 0 - {1,2} - 3; killing 1 must re-route via 2.
+        let mut w = World::new(WorldConfig::new(6).with_radio(RadioConfig::ideal()));
+        let n0 = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let n1 = w.add_node(NodeConfig::manet(80.0, 40.0));
+        let n2 = w.add_node(NodeConfig::manet(80.0, -40.0));
+        let n3 = w.add_node(NodeConfig::manet(160.0, 0.0));
+        for &id in &[n0, n1, n2, n3] {
+            w.spawn(id, Box::new(OlsrProcess::new(OlsrConfig::default())));
+        }
+        w.run_for(SimDuration::from_secs(20));
+        let d3 = w.node(n3).addr();
+        assert!(w.node(n0).routes().lookup_specific(d3, w.now()).is_some());
+        w.set_node_up(n1, false);
+        w.run_for(SimDuration::from_secs(15));
+        let r = w.node(n0).routes().lookup_specific(d3, w.now()).expect("healed route");
+        assert_eq!(r.next_hop, w.node(n2).addr(), "must detour via n2");
+    }
+
+    /// Handler that spreads one registration and records what it saw.
+    struct Gossip {
+        own: Option<Vec<u8>>,
+        seen: Rc<RefCell<std::collections::BTreeSet<Vec<u8>>>>,
+    }
+    impl crate::handler::RoutingHandler for Gossip {
+        fn name(&self) -> &'static str {
+            "gossip"
+        }
+        fn collect_outgoing(&mut self, _ctx: &mut Ctx<'_>, _kind: MsgKind, _b: usize) -> Vec<Vec<u8>> {
+            let mut out: Vec<Vec<u8>> = self.own.iter().cloned().collect();
+            out.extend(self.seen.borrow().iter().cloned());
+            out
+        }
+        fn process_incoming(
+            &mut self,
+            _ctx: &mut Ctx<'_>,
+            _kind: MsgKind,
+            _from: Addr,
+            _origin: Addr,
+            entries: &[Vec<u8>],
+        ) -> Vec<Vec<u8>> {
+            self.seen.borrow_mut().extend(entries.iter().cloned());
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn piggybacked_entries_replicate_network_wide() {
+        let mut w = World::new(WorldConfig::new(8).with_radio(RadioConfig::ideal()));
+        let ids: Vec<NodeId> = (0..5)
+            .map(|i| w.add_node(NodeConfig::manet(i as f64 * 80.0, 0.0)))
+            .collect();
+        let mut seens = Vec::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let seen = Rc::new(RefCell::new(std::collections::BTreeSet::new()));
+            let own = (i == 0).then(|| b"alice@10.0.0.1".to_vec());
+            let h = Rc::new(RefCell::new(Gossip { own, seen: seen.clone() }));
+            w.spawn(id, Box::new(OlsrProcess::new(OlsrConfig::default()).with_handler(h)));
+            seens.push(seen);
+        }
+        w.run_for(SimDuration::from_secs(40));
+        for (i, seen) in seens.iter().enumerate().skip(1) {
+            assert!(
+                seen.borrow().contains(&b"alice@10.0.0.1".to_vec()),
+                "node {i} did not learn the registration"
+            );
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Node mobility models.
+//!
+//! Radio nodes carry a [`Mobility`] descriptor from which the world computes
+//! positions lazily at transmission time, so mobility costs nothing while no
+//! packets flow. The random-waypoint model drives experiment E4 (call
+//! success under mobility).
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A point in the simulation plane, in meters.
+pub type Position = (f64, f64);
+
+/// Euclidean distance between two positions.
+pub fn distance(a: Position, b: Position) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// The rectangular area nodes move within.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Area {
+    /// Width in meters.
+    pub width: f64,
+    /// Height in meters.
+    pub height: f64,
+}
+
+impl Area {
+    /// Creates an area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not positive.
+    pub fn new(width: f64, height: f64) -> Area {
+        assert!(width > 0.0 && height > 0.0, "area dimensions must be positive");
+        Area { width, height }
+    }
+
+    /// Samples a uniform position inside the area.
+    pub fn sample(&self, rng: &mut SimRng) -> Position {
+        (rng.range_f64(0.0, self.width), rng.range_f64(0.0, self.height))
+    }
+}
+
+/// Parameters of the random-waypoint model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaypointParams {
+    /// Minimum node speed in m/s (must be > 0 to avoid the well-known
+    /// random-waypoint speed-decay artifact).
+    pub min_speed: f64,
+    /// Maximum node speed in m/s.
+    pub max_speed: f64,
+    /// Pause at each waypoint.
+    pub pause: SimDuration,
+}
+
+impl WaypointParams {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_speed <= max_speed`.
+    pub fn new(min_speed: f64, max_speed: f64, pause: SimDuration) -> WaypointParams {
+        assert!(
+            min_speed > 0.0 && min_speed <= max_speed,
+            "need 0 < min_speed <= max_speed"
+        );
+        WaypointParams {
+            min_speed,
+            max_speed,
+            pause,
+        }
+    }
+}
+
+/// How a node moves.
+#[derive(Debug, Clone)]
+pub enum Mobility {
+    /// The node never moves.
+    Static {
+        /// Fixed position.
+        pos: Position,
+    },
+    /// Random waypoint: pick a destination uniformly in the area, move to it
+    /// at a uniform speed, pause, repeat.
+    RandomWaypoint {
+        /// Model parameters.
+        params: WaypointParams,
+        /// Movement area.
+        area: Area,
+        /// Current leg of travel.
+        leg: Leg,
+    },
+}
+
+/// One segment of waypoint travel.
+#[derive(Debug, Clone)]
+pub struct Leg {
+    /// Position at `start`.
+    pub from: Position,
+    /// Waypoint being travelled to.
+    pub to: Position,
+    /// Instant the leg began.
+    pub start: SimTime,
+    /// Instant the node reaches `to` (pause excluded).
+    pub arrive: SimTime,
+    /// Instant movement resumes (`arrive + pause`).
+    pub resume: SimTime,
+}
+
+impl Mobility {
+    /// A stationary node at `pos`.
+    pub fn fixed(x: f64, y: f64) -> Mobility {
+        Mobility::Static { pos: (x, y) }
+    }
+
+    /// A random-waypoint node starting at `start`, with its first leg
+    /// sampled from `rng`.
+    pub fn random_waypoint(
+        start: Position,
+        params: WaypointParams,
+        area: Area,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Mobility {
+        let leg = sample_leg(start, params, area, now, rng);
+        Mobility::RandomWaypoint { params, area, leg }
+    }
+
+    /// Position at time `now`.
+    pub fn position(&self, now: SimTime) -> Position {
+        match self {
+            Mobility::Static { pos } => *pos,
+            Mobility::RandomWaypoint { leg, .. } => {
+                if now >= leg.arrive {
+                    leg.to
+                } else if now <= leg.start {
+                    leg.from
+                } else {
+                    let total = (leg.arrive - leg.start).as_secs_f64();
+                    let done = (now - leg.start).as_secs_f64();
+                    let f = if total > 0.0 { done / total } else { 1.0 };
+                    (
+                        leg.from.0 + (leg.to.0 - leg.from.0) * f,
+                        leg.from.1 + (leg.to.1 - leg.from.1) * f,
+                    )
+                }
+            }
+        }
+    }
+
+    /// The instant at which the world should call [`Mobility::replan`], or
+    /// `None` for immobile nodes.
+    pub fn next_replan(&self) -> Option<SimTime> {
+        match self {
+            Mobility::Static { .. } => None,
+            Mobility::RandomWaypoint { leg, .. } => Some(leg.resume),
+        }
+    }
+
+    /// Samples the next leg of travel. Call at or after the current leg's
+    /// resume time.
+    pub fn replan(&mut self, now: SimTime, rng: &mut SimRng) {
+        if let Mobility::RandomWaypoint { params, area, leg } = self {
+            let from = leg.to;
+            *leg = sample_leg(from, *params, *area, now, rng);
+        }
+    }
+}
+
+fn sample_leg(from: Position, params: WaypointParams, area: Area, now: SimTime, rng: &mut SimRng) -> Leg {
+    let to = area.sample(rng);
+    let speed = rng.range_f64(params.min_speed, params.max_speed.max(params.min_speed + f64::EPSILON));
+    let dist = distance(from, to);
+    let travel = SimDuration::from_secs_f64(dist / speed);
+    let arrive = now + travel;
+    Leg {
+        from,
+        to,
+        start: now,
+        arrive,
+        resume: arrive + params.pause,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_node_never_moves() {
+        let m = Mobility::fixed(3.0, 4.0);
+        assert_eq!(m.position(SimTime::ZERO), (3.0, 4.0));
+        assert_eq!(m.position(SimTime::from_secs(100)), (3.0, 4.0));
+        assert!(m.next_replan().is_none());
+    }
+
+    #[test]
+    fn waypoint_interpolates_linearly() {
+        let mut rng = SimRng::from_seed_and_stream(1, 1);
+        let params = WaypointParams::new(1.0, 1.0, SimDuration::ZERO);
+        let area = Area::new(100.0, 100.0);
+        let m = Mobility::random_waypoint((0.0, 0.0), params, area, SimTime::ZERO, &mut rng);
+        if let Mobility::RandomWaypoint { leg, .. } = &m {
+            let mid = SimTime::from_micros((leg.arrive.as_micros()) / 2);
+            let p = m.position(mid);
+            let expect = ((leg.to.0) / 2.0, (leg.to.1) / 2.0);
+            assert!((p.0 - expect.0).abs() < 1e-6);
+            assert!((p.1 - expect.1).abs() < 1e-6);
+            // After arrival the node stays at the waypoint until replanned.
+            assert_eq!(m.position(leg.arrive + SimDuration::from_secs(5)), leg.to);
+        } else {
+            panic!("expected waypoint mobility");
+        }
+    }
+
+    #[test]
+    fn replan_starts_from_previous_waypoint() {
+        let mut rng = SimRng::from_seed_and_stream(2, 2);
+        let params = WaypointParams::new(1.0, 5.0, SimDuration::from_secs(1));
+        let area = Area::new(50.0, 50.0);
+        let mut m = Mobility::random_waypoint((0.0, 0.0), params, area, SimTime::ZERO, &mut rng);
+        let first_to = match &m {
+            Mobility::RandomWaypoint { leg, .. } => leg.to,
+            _ => unreachable!(),
+        };
+        let resume = m.next_replan().unwrap();
+        m.replan(resume, &mut rng);
+        match &m {
+            Mobility::RandomWaypoint { leg, .. } => {
+                assert_eq!(leg.from, first_to);
+                assert_eq!(leg.start, resume);
+                assert!(leg.arrive >= leg.start);
+                assert_eq!(leg.resume, leg.arrive + params.pause);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn waypoints_stay_in_area() {
+        let mut rng = SimRng::from_seed_and_stream(3, 3);
+        let params = WaypointParams::new(0.5, 2.0, SimDuration::ZERO);
+        let area = Area::new(30.0, 20.0);
+        let mut m = Mobility::random_waypoint((10.0, 10.0), params, area, SimTime::ZERO, &mut rng);
+        for _ in 0..50 {
+            let t = m.next_replan().unwrap();
+            m.replan(t, &mut rng);
+            let (x, y) = m.position(t + SimDuration::from_secs(1000));
+            assert!((0.0..=30.0).contains(&x), "x out of area: {x}");
+            assert!((0.0..=20.0).contains(&y), "y out of area: {y}");
+        }
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        assert_eq!(distance((0.0, 0.0), (3.0, 4.0)), 5.0);
+    }
+}

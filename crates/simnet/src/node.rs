@@ -1,0 +1,269 @@
+//! Nodes: the hosts of the simulated network.
+//!
+//! A node bundles a network stack (addresses, port bindings, forwarding
+//! table, transmit queue) with the set of [`Process`]es running on it. Nodes
+//! come in three kinds, mirroring the paper's deployment:
+//!
+//! * **MANET** nodes — radio only (the laptops/iPAQs),
+//! * **wired** nodes — backbone only (Internet SIP providers, callers),
+//! * **gateway-capable** nodes — both (the MANET node with Internet access).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::mobility::Mobility;
+use crate::net::{Addr, Datagram};
+use crate::process::Process;
+use crate::radio::Frame;
+use crate::rng::SimRng;
+use crate::route::RoutingTable;
+use crate::stats::NodeStats;
+use crate::time::SimTime;
+
+/// Identifier of a node within a world; indexes are dense and start at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Configuration for a node added to a world.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    pub(crate) addr: Option<Addr>,
+    pub(crate) public_alias: Option<Addr>,
+    pub(crate) radio: bool,
+    pub(crate) wired: bool,
+    pub(crate) mobility: Mobility,
+}
+
+impl NodeConfig {
+    /// A radio-only MANET node at the given position.
+    pub fn manet(x: f64, y: f64) -> NodeConfig {
+        NodeConfig {
+            addr: None,
+            public_alias: None,
+            radio: true,
+            wired: false,
+            mobility: Mobility::fixed(x, y),
+        }
+    }
+
+    /// A wired-only Internet host with the given public address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a public address.
+    pub fn wired(addr: Addr) -> NodeConfig {
+        assert!(addr.is_public(), "wired nodes need a public address");
+        NodeConfig {
+            addr: Some(addr),
+            public_alias: None,
+            radio: false,
+            wired: true,
+            mobility: Mobility::fixed(0.0, 0.0),
+        }
+    }
+
+    /// A MANET node that additionally has a wired Internet uplink (a
+    /// gateway candidate in SIPHoc terms).
+    pub fn gateway(x: f64, y: f64) -> NodeConfig {
+        NodeConfig {
+            addr: None,
+            public_alias: None,
+            radio: true,
+            wired: true,
+            mobility: Mobility::fixed(x, y),
+        }
+    }
+
+    /// Gives the node a public alias address — the wired-side identity of
+    /// a gateway. Backbone traffic for the alias is delivered to this
+    /// node, and gateway-resident services use it as their public source.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at `add_node` time) if `addr` is not public.
+    pub fn with_public_alias(mut self, addr: Addr) -> NodeConfig {
+        self.public_alias = Some(addr);
+        self
+    }
+
+    /// Overrides the automatically assigned address.
+    pub fn with_addr(mut self, addr: Addr) -> NodeConfig {
+        self.addr = Some(addr);
+        self
+    }
+
+    /// Replaces the mobility model (radio nodes only).
+    pub fn with_mobility(mut self, mobility: Mobility) -> NodeConfig {
+        self.mobility = mobility;
+        self
+    }
+}
+
+/// A datagram parked while an on-demand route is being discovered.
+#[derive(Debug)]
+pub(crate) struct PendingPacket {
+    pub dgram: Datagram,
+    pub deadline: SimTime,
+}
+
+/// A host in the simulated network. Public accessors expose read-only state
+/// for tests and experiment harnesses; mutation happens through the world.
+pub struct Node {
+    pub(crate) id: NodeId,
+    pub(crate) addr: Addr,
+    pub(crate) local_addrs: Vec<Addr>,
+    pub(crate) has_radio: bool,
+    pub(crate) has_wired: bool,
+    pub(crate) up: bool,
+    pub(crate) mobility: Mobility,
+    pub(crate) procs: Vec<Option<Box<dyn Process>>>,
+    pub(crate) proc_names: Vec<&'static str>,
+    pub(crate) port_bindings: HashMap<u16, usize>,
+    pub(crate) addr_handlers: HashMap<Addr, usize>,
+    pub(crate) default_handler: Option<usize>,
+    pub(crate) routes: RoutingTable,
+    pub(crate) pending: HashMap<Addr, Vec<PendingPacket>>,
+    pub(crate) tx_queue: VecDeque<Frame>,
+    pub(crate) tx_busy: bool,
+    pub(crate) tx_until: SimTime,
+    pub(crate) rng: SimRng,
+    pub(crate) stats: NodeStats,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId, addr: Addr, cfg: NodeConfig, rng: SimRng) -> Node {
+        Node {
+            id,
+            addr,
+            local_addrs: vec![addr],
+            has_radio: cfg.radio,
+            has_wired: cfg.wired,
+            up: true,
+            mobility: cfg.mobility,
+            procs: Vec::new(),
+            proc_names: Vec::new(),
+            port_bindings: HashMap::new(),
+            addr_handlers: HashMap::new(),
+            default_handler: None,
+            routes: RoutingTable::new(),
+            pending: HashMap::new(),
+            tx_queue: VecDeque::new(),
+            tx_busy: false,
+            tx_until: SimTime::ZERO,
+            rng,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// The node identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's primary address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Every address the node currently answers to (primary plus aliases
+    /// such as a leased tunnel address).
+    pub fn local_addrs(&self) -> &[Addr] {
+        &self.local_addrs
+    }
+
+    /// Whether `addr` is delivered locally on this node.
+    pub fn is_local_addr(&self, addr: Addr) -> bool {
+        addr.is_loopback() || self.local_addrs.contains(&addr) || self.addr_handlers.contains_key(&addr)
+    }
+
+    /// Whether the node has a radio interface.
+    pub fn has_radio(&self) -> bool {
+        self.has_radio
+    }
+
+    /// Whether the node has a wired (Internet) interface.
+    pub fn has_wired(&self) -> bool {
+        self.has_wired
+    }
+
+    /// Whether the node is powered on.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// The node's forwarding table.
+    pub fn routes(&self) -> &RoutingTable {
+        &self.routes
+    }
+
+    /// The node's traffic counters.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Position at `now` (radio nodes; wired nodes report their fixed
+    /// placeholder position).
+    pub fn position(&self, now: SimTime) -> (f64, f64) {
+        self.mobility.position(now)
+    }
+
+    /// Names of the processes hosted on this node, in spawn order.
+    pub fn process_names(&self) -> &[&'static str] {
+        &self.proc_names
+    }
+
+    /// Number of datagrams parked awaiting route discovery.
+    pub fn pending_packets(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .field("radio", &self.has_radio)
+            .field("wired", &self.has_wired)
+            .field("up", &self.up)
+            .field("procs", &self.proc_names)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_kinds_set_interfaces() {
+        let m = NodeConfig::manet(1.0, 2.0);
+        assert!(m.radio && !m.wired);
+        let w = NodeConfig::wired(Addr::new(82, 1, 1, 1));
+        assert!(!w.radio && w.wired);
+        let g = NodeConfig::gateway(0.0, 0.0);
+        assert!(g.radio && g.wired);
+    }
+
+    #[test]
+    #[should_panic(expected = "public address")]
+    fn wired_config_rejects_manet_addr() {
+        let _ = NodeConfig::wired(Addr::manet(0));
+    }
+
+    #[test]
+    fn node_answers_to_aliases_and_loopback() {
+        let cfg = NodeConfig::manet(0.0, 0.0);
+        let mut n = Node::new(NodeId(0), Addr::manet(0), cfg, SimRng::from_seed_and_stream(0, 0));
+        assert!(n.is_local_addr(Addr::manet(0)));
+        assert!(n.is_local_addr(Addr::LOOPBACK));
+        assert!(!n.is_local_addr(Addr::manet(1)));
+        n.local_addrs.push(Addr::new(82, 1, 1, 9));
+        assert!(n.is_local_addr(Addr::new(82, 1, 1, 9)));
+    }
+}

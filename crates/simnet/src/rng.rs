@@ -1,0 +1,176 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic decision in the simulator (radio loss, MAC backoff,
+//! mobility waypoints, workload arrivals) draws from a [`SimRng`] derived
+//! from the world seed, so a simulation with a given seed is exactly
+//! reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic RNG stream.
+///
+/// Streams are created by [`SimRng::from_seed_and_stream`], which mixes a
+/// global seed with a stream label so that independent components receive
+/// decorrelated but reproducible streams.
+///
+/// # Examples
+///
+/// ```
+/// use siphoc_simnet::rng::SimRng;
+///
+/// let mut a = SimRng::from_seed_and_stream(42, 1);
+/// let mut b = SimRng::from_seed_and_stream(42, 1);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Derives a stream from a global seed and a stream label.
+    pub fn from_seed_and_stream(seed: u64, stream: u64) -> SimRng {
+        // SplitMix64 finalizer decorrelates adjacent (seed, stream) pairs.
+        let mut z = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        SimRng {
+            inner: SmallRng::seed_from_u64(z),
+        }
+    }
+
+    /// Derives a fresh child stream from this one.
+    pub fn fork(&mut self) -> SimRng {
+        let seed = self.inner.next_u64();
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Returns the next `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "empty range");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Returns a uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(p)
+        }
+    }
+
+    /// Samples an exponentially distributed span with the given mean, in
+    /// seconds. Used for Poisson arrival processes in workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_secs` is not positive.
+    pub fn exp_secs(&mut self, mean_secs: f64) -> f64 {
+        assert!(mean_secs > 0.0, "mean must be positive");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean_secs * u.ln()
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream_is_identical() {
+        let mut a = SimRng::from_seed_and_stream(7, 3);
+        let mut b = SimRng::from_seed_and_stream(7, 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = SimRng::from_seed_and_stream(7, 3);
+        let mut b = SimRng::from_seed_and_stream(7, 4);
+        let matches = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::from_seed_and_stream(1, 1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn exp_secs_has_roughly_correct_mean() {
+        let mut r = SimRng::from_seed_and_stream(9, 9);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exp_secs(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean} too far from 2.0");
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = SimRng::from_seed_and_stream(5, 5);
+        for _ in 0..1000 {
+            let v = r.range_f64(1.0, 2.0);
+            assert!((1.0..2.0).contains(&v));
+            let u = r.range_u64(10, 20);
+            assert!((10..20).contains(&u));
+        }
+    }
+}

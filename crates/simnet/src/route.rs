@@ -1,0 +1,232 @@
+//! Per-node IP-style forwarding table.
+//!
+//! The forwarding table is owned by the node's network stack and *managed* by
+//! whichever routing protocol process runs on the node (AODV installs routes
+//! on demand, OLSR keeps them proactively). This mirrors the split between
+//! the kernel FIB and the user-space routing daemon in the paper's Linux
+//! deployment.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::net::Addr;
+use crate::time::SimTime;
+
+/// A single route entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Next hop toward the destination (a direct radio neighbor).
+    pub next_hop: Addr,
+    /// Path length in hops, 1 for direct neighbors.
+    pub hops: u8,
+    /// Entry becomes invalid at this instant ([`SimTime::MAX`] = no expiry).
+    pub expires: SimTime,
+    /// Destination sequence number (AODV freshness; 0 when unused).
+    pub seq: u32,
+}
+
+/// The forwarding table of one node.
+///
+/// # Examples
+///
+/// ```
+/// use siphoc_simnet::route::{Route, RoutingTable};
+/// use siphoc_simnet::net::Addr;
+/// use siphoc_simnet::time::SimTime;
+///
+/// let mut table = RoutingTable::new();
+/// let dst = Addr::manet(5);
+/// table.insert(dst, Route { next_hop: Addr::manet(1), hops: 2, expires: SimTime::MAX, seq: 0 });
+/// assert_eq!(table.lookup(dst, SimTime::ZERO).unwrap().hops, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    entries: BTreeMap<Addr, Route>,
+    default_route: Option<Route>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table.
+    pub fn new() -> RoutingTable {
+        RoutingTable::default()
+    }
+
+    /// Installs or replaces the route for `dst`.
+    pub fn insert(&mut self, dst: Addr, route: Route) {
+        self.entries.insert(dst, route);
+    }
+
+    /// Removes the route for `dst`, returning it if present.
+    pub fn remove(&mut self, dst: Addr) -> Option<Route> {
+        self.entries.remove(&dst)
+    }
+
+    /// Looks up an unexpired route for `dst` at time `now`.
+    ///
+    /// Falls back to the default route when no specific entry exists.
+    pub fn lookup(&self, dst: Addr, now: SimTime) -> Option<Route> {
+        match self.entries.get(&dst) {
+            Some(r) if r.expires > now => Some(*r),
+            _ => match self.default_route {
+                Some(r) if r.expires > now => Some(r),
+                _ => None,
+            },
+        }
+    }
+
+    /// Looks up a specific (non-default) unexpired route for `dst`.
+    pub fn lookup_specific(&self, dst: Addr, now: SimTime) -> Option<Route> {
+        match self.entries.get(&dst) {
+            Some(r) if r.expires > now => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Returns a mutable reference to the entry for `dst`, if present
+    /// (expired entries included, so callers can refresh them).
+    pub fn get_mut(&mut self, dst: Addr) -> Option<&mut Route> {
+        self.entries.get_mut(&dst)
+    }
+
+    /// Sets or clears the default route (used by the Connection Provider to
+    /// point Internet-bound traffic at the SIPHoc tunnel).
+    pub fn set_default(&mut self, route: Option<Route>) {
+        self.default_route = route;
+    }
+
+    /// Returns the default route, if one is installed and unexpired.
+    pub fn default_route(&self, now: SimTime) -> Option<Route> {
+        match self.default_route {
+            Some(r) if r.expires > now => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Drops every entry whose next hop is `neighbor`, returning the
+    /// affected destinations. Routing protocols call this on link breaks.
+    pub fn invalidate_via(&mut self, neighbor: Addr) -> Vec<Addr> {
+        let dead: Vec<Addr> = self
+            .entries
+            .iter()
+            .filter(|(_, r)| r.next_hop == neighbor)
+            .map(|(d, _)| *d)
+            .collect();
+        for d in &dead {
+            self.entries.remove(d);
+        }
+        dead
+    }
+
+    /// Removes all expired entries.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        self.entries.retain(|_, r| r.expires > now);
+        if let Some(r) = self.default_route {
+            if r.expires <= now {
+                self.default_route = None;
+            }
+        }
+    }
+
+    /// Removes every entry including the default route.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.default_route = None;
+    }
+
+    /// Number of specific (non-default) entries, including expired ones.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no specific entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(destination, route)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Addr, &Route)> {
+        self.entries.iter()
+    }
+}
+
+impl fmt::Display for RoutingTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut rows: Vec<_> = self.entries.iter().collect();
+        rows.sort_by_key(|(d, _)| **d);
+        writeln!(f, "destination      next-hop         hops seq")?;
+        for (dst, r) in rows {
+            writeln!(f, "{:<16} {:<16} {:<4} {}", dst.to_string(), r.next_hop.to_string(), r.hops, r.seq)?;
+        }
+        if let Some(r) = self.default_route {
+            writeln!(f, "default          {:<16} {:<4} {}", r.next_hop.to_string(), r.hops, r.seq)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn route(next: u32, hops: u8, expires: SimTime) -> Route {
+        Route {
+            next_hop: Addr::manet(next),
+            hops,
+            expires,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn lookup_respects_expiry() {
+        let mut t = RoutingTable::new();
+        let dst = Addr::manet(9);
+        t.insert(dst, route(1, 2, SimTime::from_secs(10)));
+        assert!(t.lookup(dst, SimTime::from_secs(5)).is_some());
+        assert!(t.lookup(dst, SimTime::from_secs(10)).is_none());
+    }
+
+    #[test]
+    fn default_route_is_fallback_only() {
+        let mut t = RoutingTable::new();
+        let dst = Addr::manet(9);
+        t.set_default(Some(route(3, 1, SimTime::MAX)));
+        assert_eq!(t.lookup(dst, SimTime::ZERO).unwrap().next_hop, Addr::manet(3));
+        t.insert(dst, route(1, 2, SimTime::MAX));
+        assert_eq!(t.lookup(dst, SimTime::ZERO).unwrap().next_hop, Addr::manet(1));
+    }
+
+    #[test]
+    fn invalidate_via_removes_matching_entries() {
+        let mut t = RoutingTable::new();
+        t.insert(Addr::manet(5), route(1, 2, SimTime::MAX));
+        t.insert(Addr::manet(6), route(1, 3, SimTime::MAX));
+        t.insert(Addr::manet(7), route(2, 1, SimTime::MAX));
+        let mut dead = t.invalidate_via(Addr::manet(1));
+        dead.sort();
+        assert_eq!(dead, vec![Addr::manet(5), Addr::manet(6)]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn purge_expired_removes_stale_entries_and_default() {
+        let mut t = RoutingTable::new();
+        let now = SimTime::from_secs(100);
+        t.insert(Addr::manet(1), route(1, 1, SimTime::from_secs(50)));
+        t.insert(Addr::manet(2), route(2, 1, now + SimDuration::from_secs(1)));
+        t.set_default(Some(route(3, 1, SimTime::from_secs(50))));
+        t.purge_expired(now);
+        assert_eq!(t.len(), 1);
+        assert!(t.default_route(now).is_none());
+    }
+
+    #[test]
+    fn display_lists_routes() {
+        let mut t = RoutingTable::new();
+        t.insert(Addr::manet(5), route(1, 2, SimTime::MAX));
+        let s = t.to_string();
+        assert!(s.contains("10.0.0.6"));
+        assert!(s.contains("10.0.0.2"));
+    }
+}

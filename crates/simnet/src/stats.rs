@@ -1,0 +1,139 @@
+//! Traffic and event counters.
+//!
+//! Every node keeps a [`NodeStats`] with named counters; experiment
+//! harnesses aggregate them across the world to produce the overhead series
+//! (experiment E3 in `DESIGN.md`). Counter names are dotted paths such as
+//! `"aodv.rreq"` or `"drop.no_route"` so related counters group naturally.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single packet/byte counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Number of packets (or events) counted.
+    pub packets: u64,
+    /// Total bytes attributed to the counter.
+    pub bytes: u64,
+}
+
+impl Counter {
+    /// Adds one packet of `bytes` bytes.
+    pub fn add(&mut self, bytes: usize) {
+        self.packets += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: Counter) {
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Named counters for one node.
+///
+/// # Examples
+///
+/// ```
+/// use siphoc_simnet::stats::NodeStats;
+///
+/// let mut stats = NodeStats::default();
+/// stats.count("aodv.rreq", 48);
+/// stats.count("aodv.rreq", 48);
+/// assert_eq!(stats.get("aodv.rreq").packets, 2);
+/// assert_eq!(stats.get("aodv.rreq").bytes, 96);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    counters: BTreeMap<&'static str, Counter>,
+}
+
+impl NodeStats {
+    /// Adds one packet of `bytes` bytes to the named counter.
+    pub fn count(&mut self, name: &'static str, bytes: usize) {
+        self.counters.entry(name).or_default().add(bytes);
+    }
+
+    /// Returns the named counter (zero if never touched).
+    pub fn get(&self, name: &str) -> Counter {
+        self.counters.get(name).copied().unwrap_or_default()
+    }
+
+    /// Sums every counter whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> Counter {
+        let mut total = Counter::default();
+        for (name, c) in &self.counters {
+            if name.starts_with(prefix) {
+                total.merge(*c);
+            }
+        }
+        total
+    }
+
+    /// Iterates over `(name, counter)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Counter)> + '_ {
+        self.counters.iter().map(|(n, c)| (*n, *c))
+    }
+
+    /// Merges all counters of `other` into this instance.
+    pub fn merge(&mut self, other: &NodeStats) {
+        for (name, c) in other.iter() {
+            self.counters.entry(name).or_default().merge(c);
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+    }
+}
+
+impl fmt::Display for NodeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counters.is_empty() {
+            return writeln!(f, "(no traffic)");
+        }
+        writeln!(f, "{:<28} {:>10} {:>12}", "counter", "packets", "bytes")?;
+        for (name, c) in &self.counters {
+            writeln!(f, "{:<28} {:>10} {:>12}", name, c.packets, c.bytes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sum_groups_counters() {
+        let mut s = NodeStats::default();
+        s.count("aodv.rreq", 10);
+        s.count("aodv.rrep", 20);
+        s.count("olsr.hello", 30);
+        let aodv = s.sum_prefix("aodv.");
+        assert_eq!(aodv.packets, 2);
+        assert_eq!(aodv.bytes, 30);
+        assert_eq!(s.sum_prefix("").bytes, 60);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = NodeStats::default();
+        a.count("x", 1);
+        let mut b = NodeStats::default();
+        b.count("x", 2);
+        b.count("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x").bytes, 3);
+        assert_eq!(a.get("x").packets, 2);
+        assert_eq!(a.get("y").bytes, 3);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let s = NodeStats::default();
+        assert!(!s.to_string().is_empty());
+    }
+}

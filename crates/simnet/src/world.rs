@@ -1,0 +1,1309 @@
+//! The simulated world: event loop, forwarding engine, radio and backbone.
+//!
+//! A [`World`] owns all nodes, the pending-event queue and the packet
+//! trace. The event loop is strictly deterministic: equal-time events fire
+//! in scheduling order, every random draw comes from a seeded stream, and
+//! all internal collections iterate in stable order.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::net::{Addr, Datagram, L2Dst};
+use crate::node::{Node, NodeConfig, NodeId, PendingPacket};
+use crate::process::{Ctx, Effect, LocalEvent, Process};
+use crate::radio::{Frame, RadioConfig};
+use crate::rng::SimRng;
+use crate::stats::NodeStats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{PacketTrace, TraceEntry, TraceKind};
+
+/// Global world parameters.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Seed from which every random stream in the world is derived.
+    pub seed: u64,
+    /// Radio parameters shared by all radio nodes.
+    pub radio: RadioConfig,
+    /// One-way latency of the wired backbone.
+    pub wired_latency: SimDuration,
+    /// Uniform jitter added to each wired delivery.
+    pub wired_jitter: SimDuration,
+    /// Delay of node-local loopback deliveries.
+    pub loopback_delay: SimDuration,
+    /// How long a datagram may wait for on-demand route discovery before
+    /// being dropped.
+    pub pending_timeout: SimDuration,
+}
+
+impl WorldConfig {
+    /// Reasonable defaults with the given seed: 802.11b radio, 20 ms ± 5 ms
+    /// backbone, 50 µs loopback, 2 s route-discovery buffer.
+    pub fn new(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            radio: RadioConfig::default_80211b(),
+            wired_latency: SimDuration::from_millis(20),
+            wired_jitter: SimDuration::from_millis(5),
+            loopback_delay: SimDuration::from_micros(50),
+            pending_timeout: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Replaces the radio configuration.
+    pub fn with_radio(mut self, radio: RadioConfig) -> WorldConfig {
+        self.radio = radio;
+        self
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Start { node: NodeId, proc: usize },
+    TxStart { node: NodeId },
+    Deliver { node: NodeId, dgram: Datagram, via: Via },
+    TxDone { node: NodeId },
+    Timer { node: NodeId, proc: usize, token: u64 },
+    Local { node: NodeId, exclude: Option<usize>, ev: LocalEvent },
+    Replan { node: NodeId },
+    PendingSweep { node: NodeId },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Via {
+    Loopback,
+    Wired,
+    Radio,
+    Handler(usize),
+}
+
+struct Queued {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[allow(dead_code)] // variants carry data used only through dispatch
+enum CallKind {
+    Start,
+    Datagram(Datagram),
+    Timer(u64),
+    Local(LocalEvent),
+}
+
+/// The simulation world.
+///
+/// # Examples
+///
+/// ```
+/// use siphoc_simnet::prelude::*;
+///
+/// let mut world = World::new(WorldConfig::new(7));
+/// let a = world.add_node(NodeConfig::manet(0.0, 0.0));
+/// let _b = world.add_node(NodeConfig::manet(50.0, 0.0));
+/// world.run_for(SimDuration::from_secs(1));
+/// assert_eq!(world.node(a).addr(), Addr::manet(0));
+/// ```
+pub struct World {
+    cfg: WorldConfig,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Queued>>,
+    nodes: Vec<Node>,
+    addr_map: HashMap<Addr, NodeId>,
+    trace: PacketTrace,
+    next_manet_index: u32,
+    workload_rng: SimRng,
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new(cfg: WorldConfig) -> World {
+        let workload_rng = SimRng::from_seed_and_stream(cfg.seed, u64::MAX);
+        World {
+            cfg,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            addr_map: HashMap::new(),
+            trace: PacketTrace::new(),
+            next_manet_index: 0,
+            workload_rng,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The world configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.cfg
+    }
+
+    /// Adds a node, assigning it the next MANET address unless the
+    /// configuration fixes one. Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (explicit) address is already taken.
+    pub fn add_node(&mut self, cfg: NodeConfig) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let addr = cfg.addr.unwrap_or_else(|| {
+            let a = Addr::manet(self.next_manet_index);
+            self.next_manet_index += 1;
+            a
+        });
+        assert!(
+            !self.addr_map.contains_key(&addr),
+            "address {addr} already assigned"
+        );
+        let rng = SimRng::from_seed_and_stream(self.cfg.seed, 1000 + id.0 as u64);
+        let alias = cfg.public_alias;
+        let mut node = Node::new(id, addr, cfg, rng);
+        if let Some(alias) = alias {
+            assert!(alias.is_public(), "public alias {alias} must be public");
+            assert!(
+                !self.addr_map.contains_key(&alias),
+                "address {alias} already assigned"
+            );
+            node.local_addrs.push(alias);
+            self.addr_map.insert(alias, id);
+        }
+        if let Some(t) = node.mobility.next_replan() {
+            self.schedule_at(t, Event::Replan { node: id });
+        }
+        self.addr_map.insert(addr, id);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Starts a process on `node`; `on_start` runs at the current time.
+    /// Returns the process index on that node.
+    pub fn spawn(&mut self, node: NodeId, proc: Box<dyn Process>) -> usize {
+        let n = self.node_mut(node);
+        let idx = n.procs.len();
+        n.proc_names.push(proc.name());
+        n.procs.push(Some(proc));
+        self.schedule(SimDuration::ZERO, Event::Start { node, proc: idx });
+        idx
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// All node ids in creation order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId).collect()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Resolves an address to the owning node (primary or claimed).
+    pub fn node_by_addr(&self, addr: Addr) -> Option<NodeId> {
+        self.addr_map.get(&addr).copied()
+    }
+
+    /// The packet trace.
+    pub fn trace(&self) -> &PacketTrace {
+        &self.trace
+    }
+
+    /// Mutable access to the packet trace (enable/clear/configure).
+    pub fn trace_mut(&mut self) -> &mut PacketTrace {
+        &mut self.trace
+    }
+
+    /// A deterministic RNG stream for workload generators outside any node.
+    pub fn workload_rng(&mut self) -> &mut SimRng {
+        &mut self.workload_rng
+    }
+
+    /// Aggregated counters across every node.
+    pub fn total_stats(&self) -> NodeStats {
+        let mut total = NodeStats::default();
+        for n in &self.nodes {
+            total.merge(&n.stats);
+        }
+        total
+    }
+
+    /// Powers a node down (dropping its queued frames) or back up. On
+    /// power-up every process receives [`LocalEvent::NodeRestarted`] so it
+    /// can re-arm its timers.
+    pub fn set_node_up(&mut self, id: NodeId, up: bool) {
+        let now = self.now;
+        let n = self.node_mut(id);
+        if n.up == up {
+            return;
+        }
+        n.up = up;
+        if !up {
+            n.tx_queue.clear();
+            n.tx_busy = false;
+            n.pending.clear();
+            n.routes.clear();
+        } else {
+            let _ = now;
+            self.schedule(
+                SimDuration::ZERO,
+                Event::Local {
+                    node: id,
+                    exclude: None,
+                    ev: LocalEvent::NodeRestarted,
+                },
+            );
+        }
+    }
+
+    /// Teleports a (static) node to a new position.
+    pub fn move_node(&mut self, id: NodeId, x: f64, y: f64) {
+        self.node_mut(id).mobility = crate::mobility::Mobility::fixed(x, y);
+    }
+
+    /// Replaces a node's mobility model, scheduling its replan events.
+    pub fn set_mobility(&mut self, id: NodeId, mobility: crate::mobility::Mobility) {
+        let next = mobility.next_replan();
+        self.node_mut(id).mobility = mobility;
+        if let Some(t) = next {
+            self.schedule_at(t, Event::Replan { node: id });
+        }
+    }
+
+    /// Runs the event loop until (and including) time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(q)) = self.queue.peek() {
+            if q.time > t {
+                break;
+            }
+            let Reverse(q) = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(q.time >= self.now, "event queue went backwards");
+            self.now = q.time;
+            let node = event_node(&q.event);
+            self.dispatch(q.event);
+            self.flush_pending(node);
+        }
+        self.now = t;
+    }
+
+    /// Runs the event loop for `d` simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.run_until(self.now + d);
+    }
+
+    /// Injects a datagram as if a process on `node` had sent it.
+    /// Useful for tests and workload drivers.
+    pub fn inject(&mut self, node: NodeId, dgram: Datagram) {
+        self.route_and_send(node, dgram, false);
+    }
+
+    /// Installs a static route on a node. Intended for tests and
+    /// experiment setup that want fixed topologies without running a
+    /// routing protocol.
+    pub fn install_route(&mut self, node: NodeId, dst: Addr, route: crate::route::Route) {
+        self.node_mut(node).routes.insert(dst, route);
+    }
+
+    // ------------------------------------------------------------------
+    // Event machinery
+    // ------------------------------------------------------------------
+
+    fn schedule(&mut self, delay: SimDuration, event: Event) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    fn schedule_at(&mut self, time: SimTime, event: Event) {
+        let time = if time < self.now { self.now } else { time };
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { time, seq, event }));
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Start { node, proc } => self.call_proc(node, proc, CallKind::Start),
+            Event::TxStart { node } => self.start_tx(node),
+            Event::Timer { node, proc, token } => self.call_proc(node, proc, CallKind::Timer(token)),
+            Event::Deliver { node, dgram, via } => self.deliver(node, dgram, via),
+            Event::TxDone { node } => self.tx_done(node),
+            Event::Local { node, exclude, ev } => {
+                let count = self.node(node).procs.len();
+                for idx in 0..count {
+                    if Some(idx) != exclude {
+                        self.call_proc(node, idx, CallKind::Local(ev.clone()));
+                    }
+                }
+            }
+            Event::Replan { node } => {
+                let now = self.now;
+                let n = self.node_mut(node);
+                n.mobility.replan(now, &mut n.rng);
+                if let Some(t) = n.mobility.next_replan() {
+                    self.schedule_at(t, Event::Replan { node });
+                }
+            }
+            Event::PendingSweep { node } => {
+                let now = self.now;
+                let n = self.node_mut(node);
+                let mut dropped = 0usize;
+                let mut dropped_bytes = 0usize;
+                n.pending.retain(|_, pkts| {
+                    pkts.retain(|p| {
+                        let keep = p.deadline > now;
+                        if !keep {
+                            dropped += 1;
+                            dropped_bytes += p.dgram.wire_len();
+                        }
+                        keep
+                    });
+                    !pkts.is_empty()
+                });
+                for _ in 0..dropped {
+                    n.stats.count("drop.pending_timeout", dropped_bytes / dropped.max(1));
+                }
+            }
+        }
+    }
+
+    fn call_proc(&mut self, node: NodeId, idx: usize, kind: CallKind) {
+        let now = self.now;
+        let n = self.node_mut(node);
+        if !n.up || idx >= n.procs.len() {
+            return;
+        }
+        let Some(mut proc) = n.procs[idx].take() else {
+            return;
+        };
+        let mut effects = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now,
+                node: n.id,
+                addr: n.addr,
+                has_wired: n.has_wired,
+                proc_index: idx,
+                rng: &mut n.rng,
+                routes: &mut n.routes,
+                stats: &mut n.stats,
+                effects: &mut effects,
+            };
+            match kind {
+                CallKind::Start => proc.on_start(&mut ctx),
+                CallKind::Datagram(d) => proc.on_datagram(&mut ctx, &d),
+                CallKind::Timer(token) => proc.on_timer(&mut ctx, token),
+                CallKind::Local(ev) => proc.on_local_event(&mut ctx, &ev),
+            }
+        }
+        self.node_mut(node).procs[idx] = Some(proc);
+        self.apply_effects(node, idx, effects);
+    }
+
+    fn apply_effects(&mut self, node: NodeId, idx: usize, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Bind(port) => {
+                    let name = self.node(node).proc_names[idx];
+                    let n = self.node_mut(node);
+                    if let Some(prev) = n.port_bindings.insert(port, idx) {
+                        if prev != idx {
+                            panic!("port {port} on {node} already bound by another process (binder: {name})");
+                        }
+                    }
+                }
+                Effect::Send(dgram) => self.route_and_send(node, dgram, false),
+                Effect::SendLink { dst, dgram } => self.enqueue_frame(node, dst, dgram),
+                Effect::SetTimer { delay, token } => {
+                    self.schedule(delay, Event::Timer { node, proc: idx, token });
+                }
+                Effect::Emit(ev) => {
+                    self.schedule(
+                        SimDuration::from_micros(1),
+                        Event::Local { node, exclude: Some(idx), ev },
+                    );
+                }
+                Effect::AddLocalAddr(a) => {
+                    let n = self.node_mut(node);
+                    if !n.local_addrs.contains(&a) {
+                        n.local_addrs.push(a);
+                    }
+                }
+                Effect::RemoveLocalAddr(a) => {
+                    let n = self.node_mut(node);
+                    n.local_addrs.retain(|x| *x != a);
+                }
+                Effect::ClaimPublicAddr(a) => {
+                    self.addr_map.insert(a, node);
+                    self.node_mut(node).addr_handlers.insert(a, idx);
+                }
+                Effect::ReleasePublicAddr(a) => {
+                    if self.addr_map.get(&a) == Some(&node) {
+                        self.addr_map.remove(&a);
+                    }
+                    self.node_mut(node).addr_handlers.remove(&a);
+                }
+                Effect::SetDefaultHandler(enabled) => {
+                    let n = self.node_mut(node);
+                    if enabled {
+                        n.default_handler = Some(idx);
+                    } else if n.default_handler == Some(idx) {
+                        n.default_handler = None;
+                    }
+                }
+                Effect::Reinject(dgram) => self.route_and_send(node, dgram, false),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Forwarding
+    // ------------------------------------------------------------------
+
+    /// Routes a datagram out of `node`. `forwarded` marks transit traffic,
+    /// which has its TTL decremented.
+    fn route_and_send(&mut self, node: NodeId, dgram: Datagram, forwarded: bool) {
+        let loopback_delay = self.cfg.loopback_delay;
+        let n = self.node_mut(node);
+        if !n.up {
+            return;
+        }
+        let dst = dgram.dst;
+        if dst.addr.is_broadcast() {
+            n.stats.count("radio.bcast_tx", dgram.wire_len());
+            self.enqueue_frame(node, L2Dst::Broadcast, dgram);
+            return;
+        }
+        if n.is_local_addr(dst.addr) {
+            self.record(node, TraceKind::Loopback, None, &dgram);
+            self.schedule(loopback_delay, Event::Deliver { node, dgram, via: Via::Loopback });
+            return;
+        }
+
+        let mut dgram = dgram;
+        if forwarded {
+            if dgram.ttl <= 1 {
+                n.stats.count("drop.ttl", dgram.wire_len());
+                return;
+            }
+            dgram.ttl -= 1;
+            n.stats.count("fwd", dgram.wire_len());
+        }
+
+        let now = self.now;
+        let n = self.node_mut(node);
+        if let Some(route) = n.routes.lookup(dst.addr, now) {
+            self.enqueue_frame(node, L2Dst::Unicast(route.next_hop), dgram);
+            return;
+        }
+
+        if dst.addr.is_public() && n.has_wired {
+            self.wired_send(node, dgram);
+            return;
+        }
+        if dst.addr.is_public() {
+            if let Some(h) = n.default_handler {
+                self.schedule(
+                    SimDuration::from_micros(1),
+                    Event::Deliver { node, dgram, via: Via::Handler(h) },
+                );
+            } else {
+                n.stats.count("drop.no_uplink", dgram.wire_len());
+            }
+            return;
+        }
+        if dst.addr.is_manet() && n.has_radio {
+            let deadline = now + self.cfg.pending_timeout;
+            let wire = dgram.wire_len();
+            let n = self.node_mut(node);
+            n.pending
+                .entry(dst.addr)
+                .or_default()
+                .push(PendingPacket { dgram, deadline });
+            n.stats.count("pending.queued", wire);
+            self.schedule_at(deadline, Event::PendingSweep { node });
+            self.schedule(
+                SimDuration::from_micros(1),
+                Event::Local {
+                    node,
+                    exclude: None,
+                    ev: LocalEvent::RouteNeeded { dst: dst.addr },
+                },
+            );
+            return;
+        }
+        n.stats.count("drop.no_route", dgram.wire_len());
+    }
+
+    /// Re-sends parked datagrams for destinations that acquired a route.
+    fn flush_pending(&mut self, node: NodeId) {
+        let now = self.now;
+        let n = self.node_mut(node);
+        if n.pending.is_empty() {
+            return;
+        }
+        let ready: Vec<Addr> = n
+            .pending
+            .keys()
+            .filter(|d| n.routes.lookup(**d, now).is_some())
+            .copied()
+            .collect();
+        for dst in ready {
+            let pkts = self.node_mut(node).pending.remove(&dst).unwrap_or_default();
+            for p in pkts {
+                // TTL was already decremented (if transit) before parking.
+                self.route_and_send(node, p.dgram, false);
+            }
+        }
+    }
+
+    fn wired_send(&mut self, node: NodeId, dgram: Datagram) {
+        let Some(target) = self.addr_map.get(&dgram.dst.addr).copied() else {
+            self.node_mut(node)
+                .stats
+                .count("drop.wired_unroutable", dgram.wire_len());
+            return;
+        };
+        if !self.node(target).has_wired {
+            self.node_mut(node)
+                .stats
+                .count("drop.wired_unroutable", dgram.wire_len());
+            return;
+        }
+        let wire = dgram.wire_len();
+        let jitter_us = {
+            let max = self.cfg.wired_jitter.as_micros();
+            let n = self.node_mut(node);
+            if max == 0 { 0 } else { n.rng.range_u64(0, max) }
+        };
+        self.node_mut(node).stats.count("wired.tx", wire);
+        let delay = self.cfg.wired_latency + SimDuration::from_micros(jitter_us);
+        self.schedule(delay, Event::Deliver { node: target, dgram, via: Via::Wired });
+    }
+
+    // ------------------------------------------------------------------
+    // Radio
+    // ------------------------------------------------------------------
+
+    fn enqueue_frame(&mut self, node: NodeId, dst: L2Dst, dgram: Datagram) {
+        let retries = self.cfg.radio.unicast_retries;
+        let n = self.node_mut(node);
+        if !n.has_radio {
+            n.stats.count("drop.no_radio", dgram.wire_len());
+            return;
+        }
+        n.tx_queue.push_back(Frame {
+            dst,
+            dgram,
+            retries_left: retries,
+        });
+        if !n.tx_busy {
+            n.tx_busy = true;
+            self.start_tx(node);
+        }
+    }
+
+    fn start_tx(&mut self, node: NodeId) {
+        let radio = self.cfg.radio;
+        let now = self.now;
+        if self.node(node).tx_queue.front().is_none() {
+            self.node_mut(node).tx_busy = false;
+            return;
+        }
+        // Carrier sense: defer while any node in range is on the air.
+        if radio.carrier_sense {
+            let pos = self.node(node).mobility.position(now);
+            let busy_until = self
+                .nodes
+                .iter()
+                .filter(|o| {
+                    o.id != node
+                        && o.has_radio
+                        && o.up
+                        && o.tx_until > now
+                        && crate::mobility::distance(pos, o.mobility.position(now)) <= radio.range
+                })
+                .map(|o| o.tx_until)
+                .max();
+            if let Some(until) = busy_until {
+                let backoff = {
+                    let n = self.node_mut(node);
+                    let max = radio.backoff_max.as_micros().max(1);
+                    SimDuration::from_micros(n.rng.range_u64(0, max))
+                };
+                n_count_defer(self.node_mut(node));
+                self.schedule_at(until + backoff, Event::TxStart { node });
+                return;
+            }
+        }
+        let n = self.node_mut(node);
+        let front = n.tx_queue.front().expect("checked above");
+        let wire = front.dgram.wire_len();
+        let t = radio.tx_time(wire, &mut n.rng);
+        n.tx_until = now + t;
+        self.schedule(t, Event::TxDone { node });
+    }
+
+    fn tx_done(&mut self, node: NodeId) {
+        let radio = self.cfg.radio;
+        let prop = radio.prop_delay;
+        let now = self.now;
+        let n = self.node_mut(node);
+        if !n.up {
+            n.tx_queue.clear();
+            n.tx_busy = false;
+            return;
+        }
+        let Some(frame) = n.tx_queue.front().cloned() else {
+            n.tx_busy = false;
+            return;
+        };
+        let pos = n.mobility.position(now);
+        let wire = frame.dgram.wire_len();
+
+        match frame.dst {
+            L2Dst::Broadcast => {
+                self.node_mut(node).stats.count("radio.tx", wire);
+                self.record(node, TraceKind::RadioTx, None, &frame.dgram);
+                let receivers: Vec<NodeId> = self
+                    .nodes
+                    .iter()
+                    .filter(|r| {
+                        r.id != node
+                            && r.has_radio
+                            && r.up
+                            && crate::mobility::distance(pos, r.mobility.position(self.now)) <= radio.range
+                    })
+                    .map(|r| r.id)
+                    .collect();
+                for rx in receivers {
+                    let dist = crate::mobility::distance(pos, self.node(rx).position(self.now));
+                    let lost = {
+                        let n = self.node_mut(node);
+                        radio.loss.sample_loss(dist, radio.range, &mut n.rng)
+                    };
+                    if !lost {
+                        self.schedule(
+                            prop,
+                            Event::Deliver { node: rx, dgram: frame.dgram.clone(), via: Via::Radio },
+                        );
+                    }
+                }
+                self.finish_frame(node);
+            }
+            L2Dst::Unicast(neighbor) => {
+                let target = self.addr_map.get(&neighbor).copied();
+                let ok = match target {
+                    Some(target) => {
+                        let up_and_in_range = {
+                            let t = self.node(target);
+                            t.up && t.has_radio
+                                && crate::mobility::distance(pos, t.mobility.position(self.now)) <= radio.range
+                        };
+                        if up_and_in_range {
+                            let dist = crate::mobility::distance(pos, self.node(target).position(self.now));
+                            let n = self.node_mut(node);
+                            !radio.loss.sample_loss(dist, radio.range, &mut n.rng)
+                        } else {
+                            false
+                        }
+                    }
+                    None => false,
+                };
+                if ok {
+                    let target = target.expect("delivery succeeded without target");
+                    self.node_mut(node).stats.count("radio.tx", wire);
+                    self.record(node, TraceKind::RadioTx, None, &frame.dgram);
+                    self.schedule(
+                        prop,
+                        Event::Deliver { node: target, dgram: frame.dgram.clone(), via: Via::Radio },
+                    );
+                    self.finish_frame(node);
+                } else if frame.retries_left > 0 {
+                    let n = self.node_mut(node);
+                    n.stats.count("radio.retx", wire);
+                    if let Some(f) = n.tx_queue.front_mut() {
+                        f.retries_left -= 1;
+                    }
+                    // Stay busy: retransmit after another full TX time.
+                    let t = {
+                        let n = self.node_mut(node);
+                        radio.tx_time(wire, &mut n.rng)
+                    };
+                    self.node_mut(node).tx_until = now + t;
+                    self.schedule(t, Event::TxDone { node });
+                } else {
+                    self.node_mut(node).stats.count("drop.l2_fail", wire);
+                    self.record(node, TraceKind::Drop, Some("l2-retries-exhausted"), &frame.dgram);
+                    self.schedule(
+                        SimDuration::from_micros(1),
+                        Event::Local {
+                            node,
+                            exclude: None,
+                            ev: LocalEvent::LinkTxFailed { neighbor },
+                        },
+                    );
+                    self.finish_frame(node);
+                }
+            }
+        }
+    }
+
+    fn finish_frame(&mut self, node: NodeId) {
+        let n = self.node_mut(node);
+        n.tx_queue.pop_front();
+        if n.tx_queue.is_empty() {
+            n.tx_busy = false;
+        } else {
+            self.start_tx(node);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery
+    // ------------------------------------------------------------------
+
+    fn deliver(&mut self, node: NodeId, dgram: Datagram, via: Via) {
+        let n = self.node_mut(node);
+        if !n.up {
+            return;
+        }
+        match via {
+            Via::Radio => {
+                n.stats.count("radio.rx", dgram.wire_len());
+                self.record(node, TraceKind::RadioRx, None, &dgram);
+            }
+            Via::Wired => {
+                n.stats.count("wired.rx", dgram.wire_len());
+                self.record(node, TraceKind::WiredRx, None, &dgram);
+            }
+            Via::Handler(h) => {
+                self.call_proc(node, h, CallKind::Datagram(dgram));
+                return;
+            }
+            Via::Loopback => {}
+        }
+
+        let n = self.node(node);
+        let dst = dgram.dst;
+        if dst.addr.is_broadcast() {
+            if let Some(&idx) = n.port_bindings.get(&dst.port) {
+                self.call_proc(node, idx, CallKind::Datagram(dgram));
+            }
+            return;
+        }
+        if let Some(&idx) = n.addr_handlers.get(&dst.addr) {
+            self.call_proc(node, idx, CallKind::Datagram(dgram));
+            return;
+        }
+        if n.is_local_addr(dst.addr) {
+            if let Some(&idx) = n.port_bindings.get(&dst.port) {
+                self.call_proc(node, idx, CallKind::Datagram(dgram));
+            } else {
+                self.node_mut(node).stats.count("drop.no_listener", dgram.wire_len());
+            }
+            return;
+        }
+        // Transit traffic: forward.
+        self.route_and_send(node, dgram, true);
+    }
+
+    fn record(&mut self, node: NodeId, kind: TraceKind, reason: Option<&'static str>, dgram: &Datagram) {
+        if self.trace.is_enabled() {
+            self.trace.record(TraceEntry {
+                time: self.now,
+                node,
+                kind,
+                reason,
+                dgram: dgram.clone(),
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("queued_events", &self.queue.len())
+            .finish()
+    }
+}
+
+fn n_count_defer(n: &mut Node) {
+    n.stats.count("radio.cs_defer", 0);
+}
+
+fn event_node(ev: &Event) -> NodeId {
+    match ev {
+        Event::Start { node, .. }
+        | Event::TxStart { node }
+        | Event::Deliver { node, .. }
+        | Event::TxDone { node }
+        | Event::Timer { node, .. }
+        | Event::Local { node, .. }
+        | Event::Replan { node }
+        | Event::PendingSweep { node } => *node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{ports, SocketAddr};
+    use crate::process::LocalEvent;
+    use crate::route::Route;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Test process that records everything it receives and can send one
+    /// datagram at start.
+    struct Echo {
+        port: u16,
+        received: Rc<RefCell<Vec<Datagram>>>,
+        events: Rc<RefCell<Vec<LocalEvent>>>,
+        send_at_start: Option<Datagram>,
+    }
+
+    impl Echo {
+        #[allow(clippy::type_complexity)]
+        fn new(port: u16) -> (Echo, Rc<RefCell<Vec<Datagram>>>, Rc<RefCell<Vec<LocalEvent>>>) {
+            let received = Rc::new(RefCell::new(Vec::new()));
+            let events = Rc::new(RefCell::new(Vec::new()));
+            (
+                Echo {
+                    port,
+                    received: received.clone(),
+                    events: events.clone(),
+                    send_at_start: None,
+                },
+                received,
+                events,
+            )
+        }
+    }
+
+    impl Process for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.bind(self.port);
+            if let Some(d) = self.send_at_start.take() {
+                ctx.send(d);
+            }
+        }
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, dgram: &Datagram) {
+            self.received.borrow_mut().push(dgram.clone());
+        }
+        fn on_local_event(&mut self, _ctx: &mut Ctx<'_>, ev: &LocalEvent) {
+            self.events.borrow_mut().push(ev.clone());
+        }
+    }
+
+    fn dgram(src: Addr, dst: Addr, port: u16, payload: &[u8]) -> Datagram {
+        Datagram::new(
+            SocketAddr::new(src, port),
+            SocketAddr::new(dst, port),
+            payload.to_vec(),
+        )
+    }
+
+    fn ideal_world(seed: u64) -> World {
+        World::new(WorldConfig::new(seed).with_radio(RadioConfig::ideal()))
+    }
+
+    #[test]
+    fn loopback_delivery_between_processes_on_one_node() {
+        let mut w = ideal_world(1);
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let (echo, recv, _) = Echo::new(ports::SLP);
+        w.spawn(a, Box::new(echo));
+        w.run_for(SimDuration::from_millis(1));
+        w.inject(a, dgram(Addr::LOOPBACK, Addr::LOOPBACK, ports::SLP, b"ping"));
+        w.run_for(SimDuration::from_millis(1));
+        assert_eq!(recv.borrow().len(), 1);
+        assert_eq!(recv.borrow()[0].payload, b"ping");
+    }
+
+    #[test]
+    fn one_hop_radio_delivery_with_route() {
+        let mut w = ideal_world(2);
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let b = w.add_node(NodeConfig::manet(50.0, 0.0));
+        let (echo, recv, _) = Echo::new(9000);
+        w.spawn(b, Box::new(echo));
+        w.run_for(SimDuration::from_millis(1));
+        // Install a direct route a -> b.
+        let baddr = w.node(b).addr();
+        let n = w.node_mut(a);
+        n.routes.insert(
+            baddr,
+            Route { next_hop: baddr, hops: 1, expires: SimTime::MAX, seq: 0 },
+        );
+        let aaddr = w.node(a).addr();
+        w.inject(a, dgram(aaddr, baddr, 9000, b"hello"));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(recv.borrow().len(), 1);
+    }
+
+    #[test]
+    fn multihop_forwarding_follows_routes() {
+        let mut w = ideal_world(3);
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let r = w.add_node(NodeConfig::manet(80.0, 0.0));
+        let b = w.add_node(NodeConfig::manet(160.0, 0.0));
+        let (echo, recv, _) = Echo::new(9000);
+        w.spawn(b, Box::new(echo));
+        w.run_for(SimDuration::from_millis(1));
+        let (aa, ra, ba) = (w.node(a).addr(), w.node(r).addr(), w.node(b).addr());
+        w.node_mut(a).routes.insert(ba, Route { next_hop: ra, hops: 2, expires: SimTime::MAX, seq: 0 });
+        w.node_mut(r).routes.insert(ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.inject(a, dgram(aa, ba, 9000, b"via relay"));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(recv.borrow().len(), 1);
+        // The relay counted forwarded traffic.
+        assert_eq!(w.node(r).stats().get("fwd").packets, 1);
+    }
+
+    #[test]
+    fn no_route_parks_packet_and_signals_route_needed() {
+        let mut w = ideal_world(4);
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let b = w.add_node(NodeConfig::manet(50.0, 0.0));
+        let (echo_a, _, events_a) = Echo::new(9001);
+        w.spawn(a, Box::new(echo_a));
+        let (echo_b, recv_b, _) = Echo::new(9000);
+        w.spawn(b, Box::new(echo_b));
+        w.run_for(SimDuration::from_millis(1));
+        let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
+        w.inject(a, dgram(aa, ba, 9000, b"waiting"));
+        w.run_for(SimDuration::from_millis(5));
+        assert_eq!(w.node(a).pending_packets(), 1);
+        assert!(events_a
+            .borrow()
+            .iter()
+            .any(|e| matches!(e, LocalEvent::RouteNeeded { dst } if *dst == ba)));
+        // Installing a route flushes the parked packet.
+        w.node_mut(a).routes.insert(ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
+        // Any event on the node triggers the flush; use a local event.
+        w.inject(a, dgram(Addr::LOOPBACK, Addr::LOOPBACK, 9001, b"tick"));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(recv_b.borrow().len(), 1);
+        assert_eq!(w.node(a).pending_packets(), 0);
+    }
+
+    #[test]
+    fn pending_packets_dropped_after_timeout() {
+        let mut w = ideal_world(5);
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let _b = w.add_node(NodeConfig::manet(50.0, 0.0));
+        w.run_for(SimDuration::from_millis(1));
+        let (aa, ba) = (w.node(NodeId(0)).addr(), w.node(NodeId(1)).addr());
+        w.inject(a, dgram(aa, ba, 9000, b"doomed"));
+        w.run_for(SimDuration::from_secs(3));
+        assert_eq!(w.node(a).pending_packets(), 0);
+        assert_eq!(w.node(a).stats().get("drop.pending_timeout").packets, 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_only_nodes_in_range() {
+        let mut w = ideal_world(6);
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let b = w.add_node(NodeConfig::manet(60.0, 0.0));
+        let c = w.add_node(NodeConfig::manet(500.0, 0.0));
+        let (eb, rb, _) = Echo::new(9000);
+        let (ec, rc, _) = Echo::new(9000);
+        w.spawn(b, Box::new(eb));
+        w.spawn(c, Box::new(ec));
+        w.run_for(SimDuration::from_millis(1));
+        let aa = w.node(a).addr();
+        w.inject(a, dgram(aa, Addr::BROADCAST, 9000, b"anyone?"));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(rb.borrow().len(), 1);
+        assert_eq!(rc.borrow().len(), 0);
+    }
+
+    #[test]
+    fn unicast_to_unreachable_neighbor_reports_link_failure() {
+        let mut w = ideal_world(7);
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let b = w.add_node(NodeConfig::manet(50.0, 0.0));
+        let (ea, _, events) = Echo::new(9001);
+        w.spawn(a, Box::new(ea));
+        w.run_for(SimDuration::from_millis(1));
+        let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
+        w.node_mut(a).routes.insert(ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
+        // Move b out of range, then send.
+        w.move_node(b, 10_000.0, 0.0);
+        w.inject(a, dgram(aa, ba, 9000, b"lost"));
+        w.run_for(SimDuration::from_millis(100));
+        assert!(events
+            .borrow()
+            .iter()
+            .any(|e| matches!(e, LocalEvent::LinkTxFailed { neighbor } if *neighbor == ba)));
+        assert_eq!(w.node(a).stats().get("drop.l2_fail").packets, 1);
+        assert!(w.node(a).stats().get("radio.retx").packets >= 4);
+    }
+
+    #[test]
+    fn wired_nodes_exchange_datagrams_directly() {
+        let mut w = ideal_world(8);
+        let p1 = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 1)));
+        let p2 = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 2)));
+        let (echo, recv, _) = Echo::new(ports::SIP);
+        w.spawn(p2, Box::new(echo));
+        w.run_for(SimDuration::from_millis(1));
+        w.inject(
+            p1,
+            dgram(Addr::new(82, 1, 1, 1), Addr::new(82, 1, 1, 2), ports::SIP, b"REGISTER"),
+        );
+        w.run_for(SimDuration::from_millis(100));
+        assert_eq!(recv.borrow().len(), 1);
+        // Wired latency applied: delivery happened, but not instantly.
+        assert_eq!(w.node(p1).stats().get("wired.tx").packets, 1);
+    }
+
+    #[test]
+    fn manet_node_without_uplink_drops_public_traffic() {
+        let mut w = ideal_world(9);
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        w.run_for(SimDuration::from_millis(1));
+        let aa = w.node(a).addr();
+        w.inject(a, dgram(aa, Addr::new(82, 1, 1, 1), 5060, b"INVITE"));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(w.node(a).stats().get("drop.no_uplink").packets, 1);
+    }
+
+    #[test]
+    fn gateway_bridges_manet_to_wired() {
+        let mut w = ideal_world(10);
+        let gw = w.add_node(NodeConfig::gateway(0.0, 0.0));
+        let srv_addr = Addr::new(82, 1, 1, 1);
+        let srv = w.add_node(NodeConfig::wired(srv_addr));
+        let (echo, recv, _) = Echo::new(ports::SIP);
+        w.spawn(srv, Box::new(echo));
+        w.run_for(SimDuration::from_millis(1));
+        let ga = w.node(gw).addr();
+        w.inject(gw, dgram(ga, srv_addr, ports::SIP, b"hello internet"));
+        w.run_for(SimDuration::from_millis(100));
+        assert_eq!(recv.borrow().len(), 1);
+    }
+
+    #[test]
+    fn node_down_drops_everything_and_restart_signals() {
+        let mut w = ideal_world(11);
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let b = w.add_node(NodeConfig::manet(50.0, 0.0));
+        let (eb, rb, events_b) = Echo::new(9000);
+        w.spawn(b, Box::new(eb));
+        w.run_for(SimDuration::from_millis(1));
+        w.set_node_up(b, false);
+        let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
+        w.node_mut(a).routes.insert(ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.inject(a, dgram(aa, ba, 9000, b"to the void"));
+        w.run_for(SimDuration::from_millis(100));
+        assert_eq!(rb.borrow().len(), 0);
+        w.set_node_up(b, true);
+        w.run_for(SimDuration::from_millis(10));
+        assert!(events_b
+            .borrow()
+            .iter()
+            .any(|e| matches!(e, LocalEvent::NodeRestarted)));
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_traces() {
+        fn run(seed: u64) -> Vec<(u64, u32)> {
+            let mut w = World::new(WorldConfig::new(seed));
+            let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+            let b = w.add_node(NodeConfig::manet(70.0, 0.0));
+            w.trace_mut().set_enabled(true);
+            let (eb, _, _) = Echo::new(9000);
+            w.spawn(b, Box::new(eb));
+            w.run_for(SimDuration::from_millis(1));
+            let aa = w.node(a).addr();
+            for i in 0..20 {
+                w.inject(a, dgram(aa, Addr::BROADCAST, 9000, &[i as u8; 100]));
+            }
+            w.run_for(SimDuration::from_secs(1));
+            w.trace()
+                .entries()
+                .iter()
+                .map(|e| (e.time.as_micros(), e.node.0))
+                .collect()
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn default_handler_captures_public_traffic() {
+        struct Capture {
+            got: Rc<RefCell<Vec<Datagram>>>,
+        }
+        impl Process for Capture {
+            fn name(&self) -> &'static str {
+                "capture"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_default_handler(true);
+            }
+            fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, d: &Datagram) {
+                self.got.borrow_mut().push(d.clone());
+            }
+        }
+        let mut w = ideal_world(12);
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let got = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(a, Box::new(Capture { got: got.clone() }));
+        w.run_for(SimDuration::from_millis(1));
+        let aa = w.node(a).addr();
+        w.inject(a, dgram(aa, Addr::new(82, 9, 9, 9), 5060, b"tunnel me"));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(got.borrow().len(), 1);
+        assert_eq!(got.borrow()[0].dst.addr, Addr::new(82, 9, 9, 9));
+    }
+
+    #[test]
+    fn claimed_public_addr_routes_from_backbone_to_claimant() {
+        struct Claim {
+            addr: Addr,
+            got: Rc<RefCell<Vec<Datagram>>>,
+        }
+        impl Process for Claim {
+            fn name(&self) -> &'static str {
+                "claim"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.claim_public_addr(self.addr);
+            }
+            fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, d: &Datagram) {
+                self.got.borrow_mut().push(d.clone());
+            }
+        }
+        let mut w = ideal_world(13);
+        let gw = w.add_node(NodeConfig::gateway(0.0, 0.0));
+        let srv = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 1)));
+        let leased = Addr::new(82, 130, 0, 5);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(gw, Box::new(Claim { addr: leased, got: got.clone() }));
+        w.run_for(SimDuration::from_millis(1));
+        w.inject(srv, dgram(Addr::new(82, 1, 1, 1), leased, 5060, b"inbound call"));
+        w.run_for(SimDuration::from_millis(100));
+        assert_eq!(got.borrow().len(), 1);
+    }
+
+    #[test]
+    fn ttl_expires_in_forwarding_loops() {
+        let mut w = ideal_world(14);
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let b = w.add_node(NodeConfig::manet(50.0, 0.0));
+        w.run_for(SimDuration::from_millis(1));
+        let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
+        let target = Addr::manet(99);
+        // Deliberate two-node routing loop for `target`.
+        w.node_mut(a).routes.insert(target, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.node_mut(b).routes.insert(target, Route { next_hop: aa, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.inject(a, dgram(aa, target, 9000, b"looping"));
+        w.run_for(SimDuration::from_secs(2));
+        let drops = w.node(a).stats().get("drop.ttl").packets + w.node(b).stats().get("drop.ttl").packets;
+        assert_eq!(drops, 1, "loop must terminate via TTL");
+    }
+}
+
+#[cfg(test)]
+mod carrier_sense_tests {
+    use super::*;
+    use crate::net::SocketAddr;
+    use crate::radio::RadioConfig;
+
+    /// Two saturating senders in range of each other: with carrier sense
+    /// their transmissions serialize (deferrals counted); without, both
+    /// blast concurrently.
+    #[test]
+    fn carrier_sense_defers_concurrent_senders() {
+        fn run(carrier_sense: bool) -> (u64, u64) {
+            let radio = RadioConfig {
+                carrier_sense,
+                ..RadioConfig::ideal()
+            };
+            let mut w = World::new(WorldConfig::new(71).with_radio(radio));
+            let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+            let b = w.add_node(NodeConfig::manet(50.0, 0.0));
+            // Saturate both queues with broadcasts.
+            for i in 0..200 {
+                for n in [a, b] {
+                    let src = SocketAddr::new(w.node(n).addr(), 9000);
+                    let dst = SocketAddr::new(Addr::BROADCAST, 9000);
+                    w.inject(n, Datagram::new(src, dst, vec![i as u8; 1000]));
+                }
+            }
+            w.run_for(SimDuration::from_secs(5));
+            let defers = w.node(a).stats().get("radio.cs_defer").packets
+                + w.node(b).stats().get("radio.cs_defer").packets;
+            let sent = w.node(a).stats().get("radio.tx").packets
+                + w.node(b).stats().get("radio.tx").packets;
+            (defers, sent)
+        }
+        let (defers_on, sent_on) = run(true);
+        let (defers_off, sent_off) = run(false);
+        assert!(defers_on > 50, "carrier sense must defer: {defers_on}");
+        assert_eq!(defers_off, 0);
+        assert_eq!(sent_on, 400, "all frames eventually sent");
+        assert_eq!(sent_off, 400);
+    }
+
+    /// Out-of-range senders never defer for each other.
+    #[test]
+    fn carrier_sense_ignores_far_transmitters() {
+        let radio = RadioConfig {
+            carrier_sense: true,
+            ..RadioConfig::ideal()
+        };
+        let mut w = World::new(WorldConfig::new(72).with_radio(radio));
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let b = w.add_node(NodeConfig::manet(500.0, 0.0));
+        for n in [a, b] {
+            for i in 0..50 {
+                let src = SocketAddr::new(w.node(n).addr(), 9000);
+                let dst = SocketAddr::new(Addr::BROADCAST, 9000);
+                w.inject(n, Datagram::new(src, dst, vec![i as u8; 1000]));
+            }
+        }
+        w.run_for(SimDuration::from_secs(5));
+        let defers = w.node(a).stats().get("radio.cs_defer").packets
+            + w.node(b).stats().get("radio.cs_defer").packets;
+        assert_eq!(defers, 0);
+    }
+}

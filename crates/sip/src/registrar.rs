@@ -1,0 +1,255 @@
+//! Registration bindings (RFC 3261 §10).
+//!
+//! A [`BindingTable`] maps an address-of-record to its current contacts
+//! with expiry. Three components reuse it: the SIPHoc proxy (local user
+//! registrations it then advertises through MANET SLP), the simulated
+//! Internet SIP providers, and the broadcast-registration baseline.
+
+use std::collections::BTreeMap;
+
+use siphoc_simnet::time::{SimDuration, SimTime};
+
+use crate::msg::{Method, SipMessage, StatusCode};
+use crate::uri::{Aor, SipUri};
+
+/// One registered contact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// The contact URI the AOR resolves to.
+    pub contact: SipUri,
+    /// When the binding lapses.
+    pub expires: SimTime,
+}
+
+/// The registrar's binding store.
+///
+/// # Examples
+///
+/// ```
+/// use siphoc_sip::registrar::BindingTable;
+/// use siphoc_sip::uri::Aor;
+/// use siphoc_simnet::time::{SimDuration, SimTime};
+///
+/// let mut table = BindingTable::new();
+/// let aor = Aor::new("alice", "voicehoc.ch");
+/// table.bind(aor.clone(), "sip:alice@10.0.0.1:5070".parse().unwrap(),
+///            SimTime::ZERO + SimDuration::from_secs(3600));
+/// assert!(table.lookup(&aor, SimTime::ZERO).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BindingTable {
+    bindings: BTreeMap<Aor, Vec<Binding>>,
+}
+
+impl BindingTable {
+    /// Creates an empty table.
+    pub fn new() -> BindingTable {
+        BindingTable::default()
+    }
+
+    /// Adds or refreshes a binding.
+    pub fn bind(&mut self, aor: Aor, contact: SipUri, expires: SimTime) {
+        let list = self.bindings.entry(aor).or_default();
+        match list.iter_mut().find(|b| b.contact == contact) {
+            Some(b) => b.expires = expires,
+            None => list.push(Binding { contact, expires }),
+        }
+    }
+
+    /// Removes a specific contact binding.
+    pub fn unbind(&mut self, aor: &Aor, contact: &SipUri) {
+        if let Some(list) = self.bindings.get_mut(aor) {
+            list.retain(|b| &b.contact != contact);
+            if list.is_empty() {
+                self.bindings.remove(aor);
+            }
+        }
+    }
+
+    /// Removes every binding for an AOR.
+    pub fn unbind_all(&mut self, aor: &Aor) {
+        self.bindings.remove(aor);
+    }
+
+    /// The freshest unexpired contact for `aor`.
+    pub fn lookup(&self, aor: &Aor, now: SimTime) -> Option<&Binding> {
+        self.bindings
+            .get(aor)?
+            .iter()
+            .filter(|b| b.expires > now)
+            .max_by_key(|b| b.expires)
+    }
+
+    /// All unexpired contacts for `aor`.
+    pub fn lookup_all(&self, aor: &Aor, now: SimTime) -> Vec<&Binding> {
+        self.bindings
+            .get(aor)
+            .map(|list| list.iter().filter(|b| b.expires > now).collect())
+            .unwrap_or_default()
+    }
+
+    /// Drops expired bindings.
+    pub fn purge(&mut self, now: SimTime) {
+        self.bindings.retain(|_, list| {
+            list.retain(|b| b.expires > now);
+            !list.is_empty()
+        });
+    }
+
+    /// Number of AORs with at least one binding (expired included until
+    /// purged).
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// `true` when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Iterates over `(aor, bindings)` in AOR order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Aor, &[Binding])> {
+        self.bindings.iter().map(|(a, b)| (a, b.as_slice()))
+    }
+
+    /// Processes a REGISTER request against this table, returning the
+    /// response to send. `default_expiry` applies when the request does not
+    /// carry one.
+    ///
+    /// Handles refresh, de-registration (`Expires: 0`) and malformed
+    /// requests (missing To/Contact → 500, wrong method → 500).
+    pub fn handle_register(
+        &mut self,
+        req: &SipMessage,
+        now: SimTime,
+        default_expiry: SimDuration,
+    ) -> SipMessage {
+        if req.method() != Some(Method::Register) {
+            return SipMessage::response_to(req, StatusCode::SERVER_ERROR);
+        }
+        let Some(to) = req.to_header() else {
+            return SipMessage::response_to(req, StatusCode::SERVER_ERROR);
+        };
+        let Some(contact) = req.contact() else {
+            return SipMessage::response_to(req, StatusCode::SERVER_ERROR);
+        };
+        let aor = to.uri.aor();
+        let expires_secs = contact
+            .expires_param()
+            .or_else(|| req.expires())
+            .unwrap_or(default_expiry.as_micros() as u32 / 1_000_000);
+        if expires_secs == 0 {
+            self.unbind(&aor, &contact.uri);
+        } else {
+            self.bind(aor, contact.uri.clone(), now + SimDuration::from_secs(expires_secs as u64));
+        }
+        let mut resp = SipMessage::response_to(req, StatusCode::OK);
+        resp.headers_mut().push("Contact", &contact);
+        resp.headers_mut().push("Expires", expires_secs);
+        resp
+    }
+}
+
+impl std::fmt::Display for BindingTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.bindings.is_empty() {
+            return writeln!(f, "(no registrations)");
+        }
+        for (aor, list) in &self.bindings {
+            for b in list {
+                writeln!(f, "{aor} -> {} (expires {})", b.contact, b.expires)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Headers;
+
+    fn register_req(aor: &str, contact: &str, expires: Option<u32>) -> SipMessage {
+        let uri: SipUri = format!("sip:{}", aor.split('@').nth(1).unwrap()).parse().unwrap();
+        let mut m = SipMessage::request(Method::Register, uri);
+        let h: &mut Headers = m.headers_mut();
+        h.push("Via", "SIP/2.0/UDP 10.0.0.1:5070;branch=z9hG4bK1");
+        h.push("From", format!("<sip:{aor}>;tag=t1"));
+        h.push("To", format!("<sip:{aor}>"));
+        h.push("Call-ID", "reg-1");
+        h.push("CSeq", "1 REGISTER");
+        h.push("Contact", format!("<{contact}>"));
+        if let Some(e) = expires {
+            h.push("Expires", e);
+        }
+        m
+    }
+
+    #[test]
+    fn register_binds_and_expires() {
+        let mut t = BindingTable::new();
+        let req = register_req("alice@voicehoc.ch", "sip:alice@10.0.0.1:5070", Some(60));
+        let resp = t.handle_register(&req, SimTime::ZERO, SimDuration::from_secs(3600));
+        assert_eq!(resp.status(), Some(StatusCode::OK));
+        let aor = Aor::new("alice", "voicehoc.ch");
+        assert!(t.lookup(&aor, SimTime::from_secs(59)).is_some());
+        assert!(t.lookup(&aor, SimTime::from_secs(61)).is_none());
+    }
+
+    #[test]
+    fn reregistration_refreshes_not_duplicates() {
+        let mut t = BindingTable::new();
+        let req = register_req("alice@voicehoc.ch", "sip:alice@10.0.0.1:5070", Some(60));
+        t.handle_register(&req, SimTime::ZERO, SimDuration::from_secs(3600));
+        t.handle_register(&req, SimTime::from_secs(30), SimDuration::from_secs(3600));
+        let aor = Aor::new("alice", "voicehoc.ch");
+        assert_eq!(t.lookup_all(&aor, SimTime::from_secs(80)).len(), 1);
+        assert!(t.lookup(&aor, SimTime::from_secs(89)).is_some());
+    }
+
+    #[test]
+    fn expires_zero_unbinds() {
+        let mut t = BindingTable::new();
+        t.handle_register(
+            &register_req("alice@voicehoc.ch", "sip:alice@10.0.0.1:5070", Some(60)),
+            SimTime::ZERO,
+            SimDuration::from_secs(3600),
+        );
+        t.handle_register(
+            &register_req("alice@voicehoc.ch", "sip:alice@10.0.0.1:5070", Some(0)),
+            SimTime::from_secs(1),
+            SimDuration::from_secs(3600),
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn multiple_contacts_freshest_wins() {
+        let mut t = BindingTable::new();
+        let aor = Aor::new("bob", "voicehoc.ch");
+        t.bind(aor.clone(), "sip:bob@10.0.0.2:5070".parse().unwrap(), SimTime::from_secs(100));
+        t.bind(aor.clone(), "sip:bob@10.0.0.3:5070".parse().unwrap(), SimTime::from_secs(200));
+        let b = t.lookup(&aor, SimTime::ZERO).unwrap();
+        assert_eq!(b.contact.to_string(), "sip:bob@10.0.0.3:5070");
+        assert_eq!(t.lookup_all(&aor, SimTime::ZERO).len(), 2);
+    }
+
+    #[test]
+    fn purge_drops_expired() {
+        let mut t = BindingTable::new();
+        let aor = Aor::new("bob", "voicehoc.ch");
+        t.bind(aor.clone(), "sip:bob@10.0.0.2:5070".parse().unwrap(), SimTime::from_secs(10));
+        t.purge(SimTime::from_secs(11));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn malformed_register_rejected() {
+        let mut t = BindingTable::new();
+        let mut req = register_req("alice@voicehoc.ch", "sip:alice@10.0.0.1:5070", None);
+        req.headers_mut().remove("Contact");
+        let resp = t.handle_register(&req, SimTime::ZERO, SimDuration::from_secs(3600));
+        assert_eq!(resp.status(), Some(StatusCode::SERVER_ERROR));
+        assert!(t.is_empty());
+    }
+}

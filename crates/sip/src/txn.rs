@@ -1,0 +1,547 @@
+//! SIP transaction layer (RFC 3261 §17 subset, UDP only).
+//!
+//! User agents and registrars embed a [`TransactionLayer`] to get reliable
+//! request/response exchanges over the lossy MANET: client transactions
+//! retransmit with T1 exponential backoff until a response or timeout;
+//! server transactions absorb retransmitted requests by replaying their
+//! last response, and retransmit final INVITE responses until acknowledged.
+//!
+//! Deviations from the RFC, chosen for simplicity and documented here:
+//!
+//! * the ACK for a 2xx reuses the INVITE's branch, so it matches the
+//!   server transaction directly (stateless proxies on the path derive
+//!   their branch deterministically from the incoming branch, preserving
+//!   the match end-to-end);
+//! * 2xx responses to INVITE are retransmitted by the server *transaction*
+//!   rather than the TU;
+//! * client transactions linger in `Completed` until their overall timer
+//!   fires, re-surfacing retransmitted finals so the TU can re-ACK.
+
+use std::collections::BTreeMap;
+
+use siphoc_simnet::net::SocketAddr;
+use siphoc_simnet::process::Ctx;
+use siphoc_simnet::time::SimDuration;
+
+use crate::headers::{Via, BRANCH_COOKIE};
+use crate::msg::{Method, SipMessage};
+
+/// Transaction timing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TxnConfig {
+    /// RTT estimate; base retransmission interval (RFC `T1`, 500 ms).
+    pub t1: SimDuration,
+    /// Retransmission interval cap (RFC `T2`, 4 s).
+    pub t2: SimDuration,
+    /// Overall transaction lifetime in units of T1 (RFC uses 64).
+    pub timeout_t1_multiple: u64,
+}
+
+impl Default for TxnConfig {
+    fn default() -> TxnConfig {
+        TxnConfig {
+            t1: SimDuration::from_millis(500),
+            t2: SimDuration::from_secs(4),
+            timeout_t1_multiple: 64,
+        }
+    }
+}
+
+/// Events the transaction layer surfaces to its transaction user.
+#[derive(Debug)]
+pub enum TxnEvent {
+    /// A response matched a client transaction (provisional, final, or a
+    /// re-surfaced retransmitted final).
+    Response {
+        /// Branch of the matching client transaction.
+        branch: String,
+        /// The response.
+        msg: SipMessage,
+    },
+    /// A new request arrived; answer it with
+    /// [`TransactionLayer::respond`] using `key`.
+    Request {
+        /// Server-transaction key for responding.
+        key: String,
+        /// The request.
+        msg: SipMessage,
+        /// Transport-level source.
+        from: SocketAddr,
+    },
+    /// An ACK confirmed a final response (2xx ACKs are surfaced so the TU
+    /// can complete its dialog; non-2xx ACKs are absorbed internally).
+    Ack {
+        /// The ACK request.
+        msg: SipMessage,
+    },
+    /// A client transaction exhausted its retransmissions.
+    Timeout {
+        /// Branch of the timed-out transaction.
+        branch: String,
+        /// The original request.
+        msg: SipMessage,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientState {
+    Trying,
+    Completed,
+}
+
+struct ClientTxn {
+    id: u64,
+    branch: String,
+    msg: SipMessage,
+    dst: SocketAddr,
+    state: ClientState,
+    interval: SimDuration,
+    invite: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServerState {
+    Proceeding,
+    Completed,
+    Confirmed,
+}
+
+struct ServerTxn {
+    id: u64,
+    key: String,
+    last_response: Option<SipMessage>,
+    response_target: SocketAddr,
+    state: ServerState,
+    interval: SimDuration,
+    invite: bool,
+}
+
+const KIND_RETRANS: u64 = 0;
+const KIND_TIMEOUT: u64 = 1;
+const KIND_SRV_RETRANS: u64 = 2;
+const KIND_SRV_CLEANUP: u64 = 3;
+
+/// The transaction layer. Embed one per SIP element (UA, registrar).
+pub struct TransactionLayer {
+    cfg: TxnConfig,
+    local_port: u16,
+    token_base: u64,
+    next_id: u64,
+    clients: BTreeMap<String, ClientTxn>,
+    servers: BTreeMap<String, ServerTxn>,
+}
+
+impl std::fmt::Debug for TransactionLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransactionLayer")
+            .field("clients", &self.clients.len())
+            .field("servers", &self.servers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn server_key(branch: &str, method: Method) -> String {
+    // ACK matches its INVITE transaction.
+    let m = match method {
+        Method::Ack => Method::Invite,
+        other => other,
+    };
+    format!("{branch}|{m}")
+}
+
+impl TransactionLayer {
+    /// Creates a layer sending from `local_port`. Timer tokens the layer
+    /// arms all satisfy [`TransactionLayer::owns_token`] with respect to
+    /// `token_base`; the owning process must route those tokens to
+    /// [`TransactionLayer::on_timer`]. Pick a base whose low 32 bits are
+    /// zero and which does not collide with the owner's own tokens.
+    pub fn new(local_port: u16, token_base: u64, cfg: TxnConfig) -> TransactionLayer {
+        TransactionLayer {
+            cfg,
+            local_port,
+            token_base,
+            next_id: 0,
+            clients: BTreeMap::new(),
+            servers: BTreeMap::new(),
+        }
+    }
+
+    /// Whether `token` belongs to this layer.
+    pub fn owns_token(&self, token: u64) -> bool {
+        token & !0xffff_ffff == self.token_base
+    }
+
+    /// Number of live client transactions.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Generates a fresh RFC 3261 branch value.
+    pub fn new_branch(&mut self, ctx: &mut Ctx<'_>) -> String {
+        format!("{BRANCH_COOKIE}{:016x}", ctx.rng().next_u64())
+    }
+
+    fn token(&self, id: u64, kind: u64) -> u64 {
+        self.token_base | (id << 2) | kind
+    }
+
+    fn transmit(&self, ctx: &mut Ctx<'_>, msg: &SipMessage, dst: SocketAddr) {
+        ctx.stats().count("sip.txn_tx", msg.to_wire().len());
+        ctx.send_to(dst, self.local_port, msg.to_bytes());
+    }
+
+    /// Starts a client transaction: stamps a new Via (sent from this node
+    /// and port), transmits, and arms retransmission and timeout timers.
+    /// Returns the branch identifying the transaction.
+    pub fn send_request(&mut self, ctx: &mut Ctx<'_>, mut msg: SipMessage, dst: SocketAddr) -> String {
+        let branch = self.new_branch(ctx);
+        let via = Via::new(SocketAddr::new(ctx.addr(), self.local_port), &branch);
+        msg.headers_mut().push_front("Via", via);
+        self.send_request_with_branch(ctx, msg, dst, branch.clone());
+        branch
+    }
+
+    /// Starts a client transaction for a message that already carries its
+    /// top Via with `branch` (used when the caller controls Via contents,
+    /// e.g. to reuse the INVITE branch on a 2xx ACK).
+    pub fn send_request_with_branch(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage, dst: SocketAddr, branch: String) {
+        let invite = msg.method() == Some(Method::Invite);
+        let is_ack = msg.method() == Some(Method::Ack);
+        self.transmit(ctx, &msg, dst);
+        if is_ack {
+            return; // ACK is fire-and-forget at the transaction layer.
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let txn = ClientTxn {
+            id,
+            branch: branch.clone(),
+            msg,
+            dst,
+            state: ClientState::Trying,
+            interval: self.cfg.t1,
+            invite,
+        };
+        ctx.set_timer(self.cfg.t1, self.token(id, KIND_RETRANS));
+        ctx.set_timer(self.cfg.t1 * self.cfg.timeout_t1_multiple, self.token(id, KIND_TIMEOUT));
+        self.clients.insert(branch, txn);
+    }
+
+    /// Sends a response for the server transaction `key`; final responses
+    /// to INVITE are retransmitted until acknowledged.
+    pub fn respond(&mut self, ctx: &mut Ctx<'_>, key: &str, resp: SipMessage) {
+        let Some(txn) = self.servers.get_mut(key) else {
+            return;
+        };
+        let target = txn.response_target;
+        let is_final = resp.status().map(|s| s.is_final()).unwrap_or(false);
+        txn.last_response = Some(resp.clone());
+        let (id, invite) = (txn.id, txn.invite);
+        if is_final {
+            txn.state = ServerState::Completed;
+            if invite {
+                ctx.set_timer(self.cfg.t1, self.token(id, KIND_SRV_RETRANS));
+            }
+            ctx.set_timer(self.cfg.t1 * self.cfg.timeout_t1_multiple, self.token(id, KIND_SRV_CLEANUP));
+        }
+        self.transmit(ctx, &resp, target);
+    }
+
+    /// Handles a SIP message arriving on the layer's port. Returns the
+    /// event the TU must process, if any.
+    pub fn on_datagram(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage, from: SocketAddr) -> Option<TxnEvent> {
+        if msg.is_request() {
+            self.on_request(ctx, msg, from)
+        } else {
+            self.on_response(ctx, msg)
+        }
+    }
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage, from: SocketAddr) -> Option<TxnEvent> {
+        let method = msg.method()?;
+        let via = msg.top_via()?;
+        let key = server_key(&via.branch, method);
+
+        if method == Method::Ack {
+            match self.servers.get_mut(&key) {
+                Some(txn) => {
+                    let final_was_2xx = txn
+                        .last_response
+                        .as_ref()
+                        .and_then(SipMessage::status)
+                        .map(|s| s.is_success())
+                        .unwrap_or(false);
+                    let first_ack = txn.state != ServerState::Confirmed;
+                    txn.state = ServerState::Confirmed;
+                    if final_was_2xx && first_ack {
+                        return Some(TxnEvent::Ack { msg });
+                    }
+                    return None;
+                }
+                // ACK without a matching transaction: hand to the TU.
+                None => return Some(TxnEvent::Ack { msg }),
+            }
+        }
+
+        if let Some(txn) = self.servers.get(&key) {
+            // Retransmitted request: replay the last response.
+            if let Some(resp) = txn.last_response.clone() {
+                let target = txn.response_target;
+                ctx.stats().count("sip.txn_replay", resp.to_wire().len());
+                self.transmit(ctx, &resp, target);
+            }
+            return None;
+        }
+
+        let id = self.next_id;
+        self.next_id += 1;
+        let txn = ServerTxn {
+            id,
+            key: key.clone(),
+            last_response: None,
+            response_target: via.response_target(),
+            state: ServerState::Proceeding,
+            interval: self.cfg.t1,
+            invite: method == Method::Invite,
+        };
+        self.servers.insert(key.clone(), txn);
+        Some(TxnEvent::Request { key, msg, from })
+    }
+
+    fn on_response(&mut self, _ctx: &mut Ctx<'_>, msg: SipMessage) -> Option<TxnEvent> {
+        let via = msg.top_via()?;
+        let txn = self.clients.get_mut(&via.branch)?;
+        // CSeq method must match the request's.
+        if msg.cseq().map(|c| c.method) != txn.msg.cseq().map(|c| c.method) {
+            return None;
+        }
+        let final_resp = msg.status().map(|s| s.is_final()).unwrap_or(false);
+        if final_resp {
+            txn.state = ClientState::Completed;
+        }
+        let branch = txn.branch.clone();
+        Some(TxnEvent::Response { branch, msg })
+    }
+
+    /// Handles one of the layer's timer tokens.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) -> Option<TxnEvent> {
+        debug_assert!(self.owns_token(token));
+        let kind = token & 0b11;
+        let id = (token & 0xffff_ffff) >> 2;
+        match kind {
+            KIND_RETRANS => {
+                let txn = self.clients.values_mut().find(|t| t.id == id)?;
+                if txn.state != ClientState::Trying {
+                    return None;
+                }
+                let msg = txn.msg.clone();
+                let dst = txn.dst;
+                txn.interval = if txn.invite {
+                    txn.interval * 2
+                } else {
+                    (txn.interval * 2).min_dur(self.cfg.t2)
+                };
+                let next = txn.interval;
+                let tok = self.token(id, KIND_RETRANS);
+                ctx.stats().count("sip.txn_retx", msg.to_wire().len());
+                self.transmit(ctx, &msg, dst);
+                ctx.set_timer(next, tok);
+                None
+            }
+            KIND_TIMEOUT => {
+                let branch = self.clients.iter().find(|(_, t)| t.id == id)?.0.clone();
+                let txn = self.clients.remove(&branch)?;
+                if txn.state == ClientState::Trying {
+                    Some(TxnEvent::Timeout { branch, msg: txn.msg })
+                } else {
+                    None
+                }
+            }
+            KIND_SRV_RETRANS => {
+                let txn = self.servers.values_mut().find(|t| t.id == id)?;
+                if txn.state != ServerState::Completed {
+                    return None;
+                }
+                let resp = txn.last_response.clone()?;
+                let target = txn.response_target;
+                txn.interval = (txn.interval * 2).min_dur(self.cfg.t2);
+                let next = txn.interval;
+                let tok = self.token(id, KIND_SRV_RETRANS);
+                ctx.stats().count("sip.txn_retx", resp.to_wire().len());
+                self.transmit(ctx, &resp, target);
+                ctx.set_timer(next, tok);
+                None
+            }
+            KIND_SRV_CLEANUP => {
+                let key = self.servers.values().find(|t| t.id == id).map(|t| t.key.clone())?;
+                self.servers.remove(&key);
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+trait MinDur {
+    fn min_dur(self, other: SimDuration) -> SimDuration;
+}
+
+impl MinDur for SimDuration {
+    fn min_dur(self, other: SimDuration) -> SimDuration {
+        if self < other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::StatusCode;
+    use crate::uri::SipUri;
+    use siphoc_simnet::net::Datagram;
+    use siphoc_simnet::prelude::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Minimal transaction user: a client that fires one OPTIONS request,
+    /// and a server that answers after an optional delay.
+    struct TxnPeer {
+        layer: TransactionLayer,
+        port: u16,
+        send_to: Option<SocketAddr>,
+        answer: bool,
+        log: Rc<RefCell<Vec<String>>>,
+    }
+
+    impl TxnPeer {
+        fn new(port: u16, send_to: Option<SocketAddr>, answer: bool) -> (TxnPeer, Rc<RefCell<Vec<String>>>) {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            (
+                TxnPeer {
+                    layer: TransactionLayer::new(port, 0x1_0000_0000, TxnConfig::default()),
+                    port,
+                    send_to,
+                    answer,
+                    log: log.clone(),
+                },
+                log,
+            )
+        }
+
+        fn options(&self, ctx: &mut Ctx<'_>) -> SipMessage {
+            let uri: SipUri = "sip:peer@10.0.0.2".parse().unwrap();
+            let mut m = SipMessage::request(Method::Options, uri);
+            m.headers_mut().push("From", "<sip:me@10.0.0.1>;tag=a");
+            m.headers_mut().push("To", "<sip:peer@10.0.0.2>");
+            m.headers_mut().push("Call-ID", format!("cid-{}", ctx.rng().next_u64()));
+            m.headers_mut().push("CSeq", "1 OPTIONS");
+            m.headers_mut().push("Max-Forwards", 70);
+            m
+        }
+    }
+
+    impl Process for TxnPeer {
+        fn name(&self) -> &'static str {
+            "txn-peer"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.bind(self.port);
+            if let Some(dst) = self.send_to {
+                let msg = self.options(ctx);
+                self.layer.send_request(ctx, msg, dst);
+            }
+        }
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram) {
+            let Ok(msg) = SipMessage::parse(&String::from_utf8_lossy(&dgram.payload)) else {
+                return;
+            };
+            match self.layer.on_datagram(ctx, msg, dgram.src) {
+                Some(TxnEvent::Request { key, msg, .. }) => {
+                    self.log.borrow_mut().push("request".into());
+                    if self.answer {
+                        let resp = SipMessage::response_to(&msg, StatusCode::OK);
+                        self.layer.respond(ctx, &key, resp);
+                    }
+                }
+                Some(TxnEvent::Response { msg, .. }) => {
+                    self.log.borrow_mut().push(format!("response {}", msg.status().unwrap().0));
+                }
+                Some(TxnEvent::Timeout { .. }) => self.log.borrow_mut().push("timeout".into()),
+                Some(TxnEvent::Ack { .. }) => self.log.borrow_mut().push("ack".into()),
+                None => {}
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            if self.layer.owns_token(token) {
+                if let Some(TxnEvent::Timeout { .. }) = self.layer.on_timer(ctx, token) {
+                    self.log.borrow_mut().push("timeout".into());
+                }
+            }
+        }
+    }
+
+    fn two_nodes(loss: LossModel) -> (World, NodeId, NodeId) {
+        let radio = RadioConfig {
+            loss,
+            ..RadioConfig::ideal()
+        };
+        let mut w = World::new(WorldConfig::new(11).with_radio(radio));
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let b = w.add_node(NodeConfig::manet(50.0, 0.0));
+        // Static neighbor routes; the txn tests are not about routing.
+        let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
+        w.install_route(a, ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.install_route(b, aa, Route { next_hop: aa, hops: 1, expires: SimTime::MAX, seq: 0 });
+        (w, a, b)
+    }
+
+    #[test]
+    fn request_response_over_clean_link() {
+        let (mut w, a, b) = two_nodes(LossModel::IDEAL);
+        let dst = SocketAddr::new(w.node(b).addr(), 5080);
+        let (client, clog) = TxnPeer::new(5080, Some(dst), false);
+        let (server, slog) = TxnPeer::new(5080, None, true);
+        w.spawn(a, Box::new(client));
+        w.spawn(b, Box::new(server));
+        w.run_for(SimDuration::from_secs(2));
+        assert_eq!(slog.borrow().as_slice(), ["request"]);
+        assert_eq!(clog.borrow().as_slice(), ["response 200"]);
+    }
+
+    #[test]
+    fn retransmission_recovers_from_heavy_loss() {
+        // 60% loss per frame: the first attempts will almost surely fail,
+        // retransmission must push it through eventually.
+        let loss = LossModel { base: 0.6, clear_fraction: 1.0, edge_loss: 0.0 };
+        let (mut w, a, b) = two_nodes(loss);
+        let dst = SocketAddr::new(w.node(b).addr(), 5080);
+        let (client, clog) = TxnPeer::new(5080, Some(dst), false);
+        let (server, slog) = TxnPeer::new(5080, None, true);
+        w.spawn(a, Box::new(client));
+        w.spawn(b, Box::new(server));
+        w.run_for(SimDuration::from_secs(40));
+        assert!(slog.borrow().contains(&"request".to_string()), "request never arrived");
+        assert!(
+            clog.borrow().iter().any(|e| e == "response 200"),
+            "response never arrived: {:?}",
+            clog.borrow()
+        );
+        // Server saw exactly ONE logical request despite retransmissions.
+        assert_eq!(slog.borrow().iter().filter(|e| *e == "request").count(), 1);
+    }
+
+    #[test]
+    fn unanswered_request_times_out() {
+        let (mut w, a, b) = two_nodes(LossModel::IDEAL);
+        let dst = SocketAddr::new(w.node(b).addr(), 5080);
+        let (client, clog) = TxnPeer::new(5080, Some(dst), false);
+        let (server, _slog) = TxnPeer::new(5080, None, false); // never answers
+        w.spawn(a, Box::new(client));
+        w.spawn(b, Box::new(server));
+        w.run_for(SimDuration::from_secs(40));
+        assert!(clog.borrow().contains(&"timeout".to_string()));
+    }
+}

@@ -1,0 +1,976 @@
+//! A scriptable SIP user agent — the simulator's stand-in for the paper's
+//! out-of-the-box VoIP applications (Kphone, Twinkle, Minisip).
+//!
+//! The user agent speaks only standard SIP through its configured
+//! **outbound proxy** — paper Fig. 2: "the only difference to the
+//! traditional configuration for use in the Internet is that an outbound
+//! proxy is specified", pointing at the SIPHoc proxy on `localhost`.
+//! Everything MANET-specific happens behind that proxy; the UA is oblivious
+//! to the network type, which is precisely the paper's transparency claim.
+//!
+//! Behavior: registers at start (and refreshes), can place calls from a
+//! pre-programmed script, auto-answers incoming calls after a ring delay,
+//! exchanges SDP, signals the media layer via node-local events, and hangs
+//! up after the scripted call duration. All externally observable steps are
+//! appended to a shared [`UaLog`].
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use siphoc_simnet::net::{Datagram, SocketAddr};
+use siphoc_simnet::process::{Ctx, LocalEvent, Process};
+use siphoc_simnet::time::{SimDuration, SimTime};
+
+use crate::headers::{CSeq, NameAddr};
+use crate::msg::{Method, SipMessage, StatusCode};
+use crate::sdp::Sdp;
+use crate::txn::{TransactionLayer, TxnConfig, TxnEvent};
+use crate::uri::{Aor, SipUri};
+
+/// Node-local event kind emitted when media should start flowing. The
+/// payload is `call_id|local_rtp_port|remote_addr:port` in UTF-8.
+pub const MEDIA_START_EVENT: &str = "sip.media_start";
+/// Node-local event kind emitted when media should stop. Payload:
+/// `call_id`.
+pub const MEDIA_STOP_EVENT: &str = "sip.media_stop";
+
+/// User agent configuration (the paper Fig. 2 dialog, as data).
+#[derive(Debug, Clone)]
+pub struct UaConfig {
+    /// The user's address-of-record, e.g. `alice@voicehoc.ch`.
+    pub aor: Aor,
+    /// Where all requests are sent: the SIPHoc proxy on this node
+    /// (`127.0.0.1:5060`) in MANET deployments.
+    pub outbound_proxy: SocketAddr,
+    /// Local SIP port of this UA.
+    pub local_port: u16,
+    /// Local RTP port offered in SDP.
+    pub rtp_port: u16,
+    /// Registration lifetime requested.
+    pub register_expires: SimDuration,
+    /// Whether to register at startup (true for all paper scenarios).
+    pub register: bool,
+    /// Auto-answer incoming calls.
+    pub auto_answer: bool,
+    /// Ring time before auto-answering.
+    pub answer_delay: SimDuration,
+    /// Scripted actions.
+    pub script: Vec<ScriptedAction>,
+    /// Transaction timing.
+    pub txn: TxnConfig,
+}
+
+impl UaConfig {
+    /// A standard configuration for `user@domain` behind the local proxy.
+    pub fn new(aor: Aor, outbound_proxy: SocketAddr) -> UaConfig {
+        UaConfig {
+            aor,
+            outbound_proxy,
+            local_port: 5070,
+            rtp_port: 8000,
+            register_expires: SimDuration::from_secs(3600),
+            register: true,
+            auto_answer: true,
+            answer_delay: SimDuration::from_millis(200),
+            script: Vec::new(),
+            txn: TxnConfig::default(),
+        }
+    }
+
+    /// Adds a scripted call.
+    pub fn call_at(mut self, at: SimTime, to: Aor, duration: SimDuration) -> UaConfig {
+        self.script.push(ScriptedAction {
+            at,
+            kind: ActionKind::Call { to, duration },
+        });
+        self
+    }
+}
+
+/// A pre-programmed user action.
+#[derive(Debug, Clone)]
+pub struct ScriptedAction {
+    /// When to perform it.
+    pub at: SimTime,
+    /// What to do.
+    pub kind: ActionKind,
+}
+
+/// The kinds of scripted actions.
+#[derive(Debug, Clone)]
+pub enum ActionKind {
+    /// Place a call and hang up after `duration` of established media.
+    Call {
+        /// Callee.
+        to: Aor,
+        /// Established-call duration before the caller sends BYE.
+        duration: SimDuration,
+    },
+    /// Terminate every active call now.
+    HangupAll,
+    /// De-register (Expires: 0).
+    Unregister,
+}
+
+/// Externally observable UA milestones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallEvent {
+    /// REGISTER accepted by the registrar/proxy.
+    Registered,
+    /// REGISTER failed (final error or transaction timeout).
+    RegisterFailed,
+    /// INVITE sent.
+    OutgoingCall {
+        /// Call-ID of the new dialog.
+        call_id: String,
+        /// Callee AOR.
+        to: Aor,
+    },
+    /// 180 received (caller side).
+    Ringing {
+        /// Call-ID.
+        call_id: String,
+    },
+    /// Call established (caller: 200 received and ACKed; callee: 200 ACKed
+    /// by peer).
+    Established {
+        /// Call-ID.
+        call_id: String,
+        /// Where the peer receives RTP.
+        remote_rtp: SocketAddr,
+    },
+    /// INVITE received.
+    IncomingCall {
+        /// Call-ID.
+        call_id: String,
+        /// Caller AOR.
+        from: Aor,
+    },
+    /// Dialog ended.
+    Terminated {
+        /// Call-ID.
+        call_id: String,
+        /// Whether the peer initiated the BYE.
+        by_remote: bool,
+    },
+    /// Call setup failed.
+    Failed {
+        /// Call-ID.
+        call_id: String,
+        /// Final status code, if one arrived (None = timeout).
+        code: Option<u16>,
+    },
+}
+
+/// Shared, timestamped log of UA events.
+#[derive(Debug, Default)]
+pub struct UaLog {
+    events: Vec<(SimTime, CallEvent)>,
+}
+
+impl UaLog {
+    /// All events in order.
+    pub fn events(&self) -> &[(SimTime, CallEvent)] {
+        &self.events
+    }
+
+    /// Times of the first event matching the predicate.
+    pub fn first_time(&self, mut pred: impl FnMut(&CallEvent) -> bool) -> Option<SimTime> {
+        self.events.iter().find(|(_, e)| pred(e)).map(|(t, _)| *t)
+    }
+
+    /// Whether any event matches.
+    pub fn any(&self, mut pred: impl FnMut(&CallEvent) -> bool) -> bool {
+        self.events.iter().any(|(_, e)| pred(e))
+    }
+
+    /// Count of matching events.
+    pub fn count(&self, mut pred: impl FnMut(&CallEvent) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+}
+
+/// Shared handle to a UA's event log.
+pub type UaLogHandle = Rc<RefCell<UaLog>>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DialogState {
+    Early,
+    Confirmed,
+    Terminated,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Caller,
+    Callee,
+}
+
+struct Dialog {
+    idx: u64,
+    call_id: String,
+    local_tag: String,
+    remote_tag: Option<String>,
+    remote_aor: Aor,
+    remote_target: Option<SipUri>,
+    local_seq: u32,
+    state: DialogState,
+    role: Role,
+    remote_rtp: Option<SocketAddr>,
+    invite_branch: Option<String>,
+    invite_key: Option<String>,
+    pending_invite: Option<SipMessage>,
+    duration: Option<SimDuration>,
+    cancelled: bool,
+}
+
+const TAG_REGISTER: u64 = 1;
+const TAG_SCRIPT: u64 = 2;
+const TAG_ANSWER: u64 = 3;
+const TAG_BYE: u64 = 4;
+const TXN_TOKEN_BASE: u64 = 0x5150_0000_0000_0000;
+
+fn tok(tag: u64, idx: u64) -> u64 {
+    tag | (idx << 8)
+}
+
+/// The user agent process.
+pub struct UserAgent {
+    cfg: UaConfig,
+    txn: TransactionLayer,
+    log: UaLogHandle,
+    dialogs: BTreeMap<String, Dialog>,
+    next_dialog: u64,
+    register_branch: Option<String>,
+    register_cseq: u32,
+    registered: bool,
+}
+
+impl std::fmt::Debug for UserAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UserAgent")
+            .field("aor", &self.cfg.aor.to_string())
+            .field("dialogs", &self.dialogs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl UserAgent {
+    /// Creates a user agent and the log handle to observe it.
+    pub fn new(cfg: UaConfig) -> (UserAgent, UaLogHandle) {
+        let log: UaLogHandle = Rc::new(RefCell::new(UaLog::default()));
+        let txn = TransactionLayer::new(cfg.local_port, TXN_TOKEN_BASE, cfg.txn);
+        (
+            UserAgent {
+                cfg,
+                txn,
+                log: log.clone(),
+                dialogs: BTreeMap::new(),
+                next_dialog: 0,
+                register_branch: None,
+                register_cseq: 0,
+                registered: false,
+            },
+            log,
+        )
+    }
+
+    fn emit_log(&self, ctx: &Ctx<'_>, ev: CallEvent) {
+        self.log.borrow_mut().events.push((ctx.now(), ev));
+    }
+
+    fn local_contact(&self, ctx: &Ctx<'_>) -> SipUri {
+        SipUri::from_socket(
+            Some(&self.cfg.aor.user),
+            SocketAddr::new(ctx.addr(), self.cfg.local_port),
+        )
+    }
+
+    fn new_tag(&mut self, ctx: &mut Ctx<'_>) -> String {
+        format!("{:08x}", ctx.rng().next_u64() as u32)
+    }
+
+    fn base_request(&mut self, ctx: &mut Ctx<'_>, method: Method, uri: SipUri) -> SipMessage {
+        let mut m = SipMessage::request(method, uri);
+        m.headers_mut().push("Max-Forwards", 70);
+        m.headers_mut().push("User-Agent", "siphoc-ua/0.1");
+        let _ = ctx;
+        m
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    fn send_register(&mut self, ctx: &mut Ctx<'_>, expires: u32) {
+        let domain_uri = SipUri::host_only(&self.cfg.aor.domain, None);
+        let mut m = self.base_request(ctx, Method::Register, domain_uri);
+        self.register_cseq += 1;
+        let tag = self.new_tag(ctx);
+        let id = NameAddr::new(self.cfg.aor.to_uri());
+        m.headers_mut().push("From", id.clone().with_tag(&tag));
+        m.headers_mut().push("To", &id);
+        m.headers_mut().push("Call-ID", format!("reg-{}-{}", self.cfg.aor.user, self.cfg.local_port));
+        m.headers_mut().push("CSeq", CSeq::new(self.register_cseq, "REGISTER"));
+        m.headers_mut().push("Contact", NameAddr::new(self.local_contact(ctx)));
+        m.headers_mut().push("Expires", expires);
+        let branch = self.txn.send_request(ctx, m, self.cfg.outbound_proxy);
+        self.register_branch = Some(branch);
+    }
+
+    // ------------------------------------------------------------------
+    // Outgoing calls
+    // ------------------------------------------------------------------
+
+    fn place_call(&mut self, ctx: &mut Ctx<'_>, to: Aor, duration: SimDuration) {
+        let idx = self.next_dialog;
+        self.next_dialog += 1;
+        let call_id = format!("call-{}-{}-{:x}", self.cfg.aor.user, idx, ctx.rng().next_u64());
+        let local_tag = self.new_tag(ctx);
+
+        let mut m = self.base_request(ctx, Method::Invite, to.to_uri());
+        m.headers_mut()
+            .push("From", NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag));
+        m.headers_mut().push("To", NameAddr::new(to.to_uri()));
+        m.headers_mut().push("Call-ID", &call_id);
+        m.headers_mut().push("CSeq", CSeq::new(1, "INVITE"));
+        m.headers_mut().push("Contact", NameAddr::new(self.local_contact(ctx)));
+        let sdp = Sdp::audio(
+            &self.cfg.aor.user,
+            ctx.rng().next_u64() >> 1,
+            SocketAddr::new(ctx.addr(), self.cfg.rtp_port),
+        );
+        m.set_body(&sdp.to_string(), Some("application/sdp"));
+
+        let branch = self.txn.send_request(ctx, m, self.cfg.outbound_proxy);
+        let dialog = Dialog {
+            idx,
+            call_id: call_id.clone(),
+            local_tag,
+            remote_tag: None,
+            remote_aor: to.clone(),
+            remote_target: None,
+            local_seq: 1,
+            state: DialogState::Early,
+            role: Role::Caller,
+            remote_rtp: None,
+            invite_branch: Some(branch),
+            invite_key: None,
+            pending_invite: None,
+            duration: Some(duration),
+            cancelled: false,
+        };
+        self.dialogs.insert(call_id.clone(), dialog);
+        self.emit_log(ctx, CallEvent::OutgoingCall { call_id, to });
+    }
+
+    fn send_ack(&mut self, ctx: &mut Ctx<'_>, call_id: &str) {
+        let Some(d) = self.dialogs.get(call_id) else {
+            return;
+        };
+        let target = d
+            .remote_target
+            .clone()
+            .unwrap_or_else(|| d.remote_aor.to_uri());
+        let branch = d.invite_branch.clone().unwrap_or_default();
+        let (local_tag, remote_tag, remote_aor, local_seq) = (
+            d.local_tag.clone(),
+            d.remote_tag.clone(),
+            d.remote_aor.clone(),
+            d.local_seq,
+        );
+        let mut m = self.base_request(ctx, Method::Ack, target);
+        m.headers_mut().push(
+            "Via",
+            crate::headers::Via::new(SocketAddr::new(ctx.addr(), self.cfg.local_port), &branch),
+        );
+        m.headers_mut()
+            .push("From", NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag));
+        let mut to = NameAddr::new(remote_aor.to_uri());
+        if let Some(t) = &remote_tag {
+            to.set_tag(t);
+        }
+        m.headers_mut().push("To", to);
+        m.headers_mut().push("Call-ID", call_id);
+        m.headers_mut().push("CSeq", CSeq::new(local_seq, "ACK"));
+        self.txn
+            .send_request_with_branch(ctx, m, self.cfg.outbound_proxy, branch);
+    }
+
+    fn send_bye(&mut self, ctx: &mut Ctx<'_>, call_id: &str) {
+        let Some(d) = self.dialogs.get_mut(call_id) else {
+            return;
+        };
+        if d.state != DialogState::Confirmed {
+            return;
+        }
+        d.local_seq += 1;
+        let seq = d.local_seq;
+        let target = d
+            .remote_target
+            .clone()
+            .unwrap_or_else(|| d.remote_aor.to_uri());
+        let local_tag = d.local_tag.clone();
+        let remote_tag = d.remote_tag.clone();
+        let remote_aor = d.remote_aor.clone();
+        let mut m = self.base_request(ctx, Method::Bye, target);
+        m.headers_mut()
+            .push("From", NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag));
+        let mut to = NameAddr::new(remote_aor.to_uri());
+        if let Some(t) = &remote_tag {
+            to.set_tag(t);
+        }
+        m.headers_mut().push("To", to);
+        m.headers_mut().push("Call-ID", call_id);
+        m.headers_mut().push("CSeq", CSeq::new(seq, "BYE"));
+        self.txn.send_request(ctx, m, self.cfg.outbound_proxy);
+        self.end_media(ctx, call_id);
+        if let Some(d) = self.dialogs.get_mut(call_id) {
+            d.state = DialogState::Terminated;
+        }
+        self.emit_log(
+            ctx,
+            CallEvent::Terminated { call_id: call_id.to_owned(), by_remote: false },
+        );
+    }
+
+    /// Cancels a caller-side dialog that is still ringing (RFC 3261 §9):
+    /// CANCEL copies the INVITE's Request-URI, Call-ID, From and CSeq
+    /// number. The 487 that follows terminates the dialog.
+    fn send_cancel(&mut self, ctx: &mut Ctx<'_>, call_id: &str) {
+        let Some(d) = self.dialogs.get_mut(call_id) else {
+            return;
+        };
+        if d.state != DialogState::Early || d.role != Role::Caller || d.cancelled {
+            return;
+        }
+        d.cancelled = true;
+        let (remote_aor, local_tag) = (d.remote_aor.clone(), d.local_tag.clone());
+        let mut m = self.base_request(ctx, Method::Cancel, remote_aor.to_uri());
+        m.headers_mut()
+            .push("From", NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag));
+        m.headers_mut().push("To", NameAddr::new(remote_aor.to_uri()));
+        m.headers_mut().push("Call-ID", call_id);
+        m.headers_mut().push("CSeq", CSeq::new(1, "CANCEL"));
+        self.txn.send_request(ctx, m, self.cfg.outbound_proxy);
+    }
+
+    fn start_media(&self, ctx: &mut Ctx<'_>, call_id: &str, remote_rtp: SocketAddr) {
+        let payload = format!("{call_id}|{}|{}", self.cfg.rtp_port, remote_rtp);
+        ctx.emit(LocalEvent::Custom {
+            kind: MEDIA_START_EVENT,
+            data: payload.into_bytes(),
+        });
+    }
+
+    fn end_media(&self, ctx: &mut Ctx<'_>, call_id: &str) {
+        ctx.emit(LocalEvent::Custom {
+            kind: MEDIA_STOP_EVENT,
+            data: call_id.as_bytes().to_vec(),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Incoming requests
+    // ------------------------------------------------------------------
+
+    fn on_invite(&mut self, ctx: &mut Ctx<'_>, key: String, msg: SipMessage) {
+        let Some(call_id) = msg.call_id().map(str::to_owned) else {
+            return;
+        };
+        let Some(from) = msg.from_header() else {
+            return;
+        };
+        if self.dialogs.contains_key(&call_id) {
+            // Re-INVITE unsupported: busy-out.
+            let resp = SipMessage::response_to(&msg, StatusCode::BUSY);
+            self.txn.respond(ctx, &key, resp);
+            return;
+        }
+        let idx = self.next_dialog;
+        self.next_dialog += 1;
+        let local_tag = self.new_tag(ctx);
+        let remote_rtp = msg.body().parse::<Sdp>().ok().map(|s| s.rtp_endpoint());
+        let remote_target = msg.contact().map(|c| c.uri);
+        let dialog = Dialog {
+            idx,
+            call_id: call_id.clone(),
+            local_tag,
+            remote_tag: from.tag().map(str::to_owned),
+            remote_aor: from.uri.aor(),
+            remote_target,
+            local_seq: 0,
+            state: DialogState::Early,
+            role: Role::Callee,
+            remote_rtp,
+            invite_branch: None,
+            invite_key: Some(key.clone()),
+            pending_invite: Some(msg.clone()),
+            duration: None,
+            cancelled: false,
+        };
+        self.dialogs.insert(call_id.clone(), dialog);
+        self.emit_log(
+            ctx,
+            CallEvent::IncomingCall { call_id: call_id.clone(), from: from.uri.aor() },
+        );
+        // Ring.
+        let mut ringing = SipMessage::response_to(&msg, StatusCode::RINGING);
+        let d = &self.dialogs[&call_id];
+        if let Some(mut to) = ringing.to_header() {
+            to.set_tag(&d.local_tag);
+            ringing.headers_mut().set("To", to);
+        }
+        self.txn.respond(ctx, &key, ringing);
+        if self.cfg.auto_answer {
+            ctx.set_timer(self.cfg.answer_delay, tok(TAG_ANSWER, idx));
+        }
+    }
+
+    fn answer_call(&mut self, ctx: &mut Ctx<'_>, idx: u64) {
+        let Some(call_id) = self
+            .dialogs
+            .values()
+            .find(|d| d.idx == idx && d.state == DialogState::Early && d.role == Role::Callee)
+            .map(|d| d.call_id.clone())
+        else {
+            return;
+        };
+        let (key, invite, local_tag) = {
+            let d = &self.dialogs[&call_id];
+            let Some(key) = d.invite_key.clone() else {
+                return;
+            };
+            let Some(invite) = d.pending_invite.clone() else {
+                return;
+            };
+            (key, invite, d.local_tag.clone())
+        };
+        let mut ok = SipMessage::response_to(&invite, StatusCode::OK);
+        if let Some(mut to) = ok.to_header() {
+            to.set_tag(&local_tag);
+            ok.headers_mut().set("To", to);
+        }
+        ok.headers_mut().push("Contact", NameAddr::new(self.local_contact(ctx)));
+        if let Ok(offer) = invite.body().parse::<Sdp>() {
+            let answer = offer.answer(
+                &self.cfg.aor.user,
+                ctx.rng().next_u64() >> 1,
+                SocketAddr::new(ctx.addr(), self.cfg.rtp_port),
+            );
+            if let Some(a) = answer {
+                ok.set_body(&a.to_string(), Some("application/sdp"));
+            }
+        }
+        self.txn.respond(ctx, &key, ok);
+        // Established is logged when the ACK arrives.
+    }
+
+    fn on_bye(&mut self, ctx: &mut Ctx<'_>, key: String, msg: SipMessage) {
+        let resp = SipMessage::response_to(&msg, StatusCode::OK);
+        self.txn.respond(ctx, &key, resp);
+        if let Some(call_id) = msg.call_id().map(str::to_owned) {
+            if let Some(d) = self.dialogs.get_mut(&call_id) {
+                if d.state != DialogState::Terminated {
+                    d.state = DialogState::Terminated;
+                    self.end_media(ctx, &call_id);
+                    self.emit_log(ctx, CallEvent::Terminated { call_id, by_remote: true });
+                }
+            }
+        }
+    }
+
+    fn on_cancel(&mut self, ctx: &mut Ctx<'_>, key: String, msg: SipMessage) {
+        let resp = SipMessage::response_to(&msg, StatusCode::OK);
+        self.txn.respond(ctx, &key, resp);
+        if let Some(call_id) = msg.call_id().map(str::to_owned) {
+            let early_callee = self
+                .dialogs
+                .get(&call_id)
+                .map(|d| d.state == DialogState::Early && d.role == Role::Callee)
+                .unwrap_or(false);
+            if early_callee {
+                let (ikey, invite, tag) = {
+                    let d = &self.dialogs[&call_id];
+                    (d.invite_key.clone(), d.pending_invite.clone(), d.local_tag.clone())
+                };
+                if let (Some(ikey), Some(invite)) = (ikey, invite) {
+                    let mut resp = SipMessage::response_to(&invite, StatusCode::TERMINATED);
+                    if let Some(mut to) = resp.to_header() {
+                        to.set_tag(&tag);
+                        resp.headers_mut().set("To", to);
+                    }
+                    self.txn.respond(ctx, &ikey, resp);
+                }
+                if let Some(d) = self.dialogs.get_mut(&call_id) {
+                    d.state = DialogState::Terminated;
+                }
+                self.emit_log(ctx, CallEvent::Terminated { call_id, by_remote: true });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Responses
+    // ------------------------------------------------------------------
+
+    fn on_response(&mut self, ctx: &mut Ctx<'_>, branch: String, msg: SipMessage) {
+        if Some(&branch) == self.register_branch.as_ref() {
+            let Some(status) = msg.status() else { return };
+            if status.is_success() {
+                if !self.registered {
+                    self.registered = true;
+                    self.emit_log(ctx, CallEvent::Registered);
+                }
+            } else if status.is_final() {
+                self.emit_log(ctx, CallEvent::RegisterFailed);
+            }
+            return;
+        }
+        let Some(call_id) = msg.call_id().map(str::to_owned) else {
+            return;
+        };
+        let Some(status) = msg.status() else { return };
+        let method = msg.cseq().map(|c| c.method).unwrap_or_default();
+
+        if method == "INVITE" {
+            let Some(d) = self.dialogs.get_mut(&call_id) else {
+                return;
+            };
+            if status == StatusCode::RINGING && d.state == DialogState::Early {
+                self.emit_log(ctx, CallEvent::Ringing { call_id });
+                return;
+            }
+            if status.is_success() {
+                let was_early = d.state == DialogState::Early;
+                d.state = DialogState::Confirmed;
+                d.remote_tag = msg.to_header().and_then(|t| t.tag().map(str::to_owned));
+                if let Some(c) = msg.contact() {
+                    d.remote_target = Some(c.uri);
+                }
+                if let Ok(sdp) = msg.body().parse::<Sdp>() {
+                    d.remote_rtp = Some(sdp.rtp_endpoint());
+                }
+                let remote_rtp = d.remote_rtp;
+                let duration = d.duration;
+                let idx = d.idx;
+                // Always (re-)ACK, also for retransmitted 200s.
+                self.send_ack(ctx, &call_id);
+                if was_early {
+                    if let Some(rtp) = remote_rtp {
+                        self.start_media(ctx, &call_id, rtp);
+                        self.emit_log(
+                            ctx,
+                            CallEvent::Established { call_id: call_id.clone(), remote_rtp: rtp },
+                        );
+                    }
+                    if let Some(dur) = duration {
+                        ctx.set_timer(dur, tok(TAG_BYE, idx));
+                    }
+                }
+            } else if status.is_final() {
+                let (ended, cancelled) = {
+                    let d = self.dialogs.get_mut(&call_id).expect("dialog exists");
+                    let was_early = d.state == DialogState::Early;
+                    d.state = DialogState::Terminated;
+                    (was_early, d.cancelled)
+                };
+                if ended {
+                    if cancelled {
+                        self.emit_log(
+                            ctx,
+                            CallEvent::Terminated { call_id, by_remote: false },
+                        );
+                    } else {
+                        self.emit_log(
+                            ctx,
+                            CallEvent::Failed { call_id, code: Some(status.0) },
+                        );
+                    }
+                }
+            }
+        }
+        // BYE and other in-dialog responses need no further action.
+    }
+
+    fn on_txn_timeout(&mut self, ctx: &mut Ctx<'_>, branch: String, msg: SipMessage) {
+        if Some(&branch) == self.register_branch.as_ref() {
+            self.emit_log(ctx, CallEvent::RegisterFailed);
+            return;
+        }
+        if msg.method() == Some(Method::Invite) {
+            if let Some(call_id) = msg.call_id().map(str::to_owned) {
+                if let Some(d) = self.dialogs.get_mut(&call_id) {
+                    if d.state == DialogState::Early {
+                        d.state = DialogState::Terminated;
+                        self.emit_log(ctx, CallEvent::Failed { call_id, code: None });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Process for UserAgent {
+    fn name(&self) -> &'static str {
+        "voip-app"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(self.cfg.local_port);
+        if self.cfg.register {
+            self.send_register(ctx, self.cfg.register_expires.as_micros() as u32 / 1_000_000);
+            // Refresh at half-life.
+            ctx.set_timer(self.cfg.register_expires / 2, tok(TAG_REGISTER, 0));
+        }
+        for (i, action) in self.cfg.script.clone().into_iter().enumerate() {
+            let delay = action.at.saturating_since(ctx.now());
+            ctx.set_timer(delay, tok(TAG_SCRIPT, i as u64));
+        }
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram) {
+        let Ok(msg) = SipMessage::parse(&String::from_utf8_lossy(&dgram.payload)) else {
+            ctx.stats().count("ua.malformed", dgram.payload.len());
+            return;
+        };
+        match self.txn.on_datagram(ctx, msg, dgram.src) {
+            Some(TxnEvent::Request { key, msg, .. }) => match msg.method() {
+                Some(Method::Invite) => self.on_invite(ctx, key, msg),
+                Some(Method::Bye) => self.on_bye(ctx, key, msg),
+                Some(Method::Cancel) => self.on_cancel(ctx, key, msg),
+                Some(Method::Options) => {
+                    let resp = SipMessage::response_to(&msg, StatusCode::OK);
+                    self.txn.respond(ctx, &key, resp);
+                }
+                _ => {
+                    let resp = SipMessage::response_to(&msg, StatusCode::SERVER_ERROR);
+                    self.txn.respond(ctx, &key, resp);
+                }
+            },
+            Some(TxnEvent::Ack { msg }) => {
+                // Our 200 was acknowledged: the callee-side dialog is live.
+                if let Some(call_id) = msg.call_id().map(str::to_owned) {
+                    let info = self.dialogs.get_mut(&call_id).and_then(|d| {
+                        if d.state == DialogState::Early && d.role == Role::Callee {
+                            d.state = DialogState::Confirmed;
+                            d.remote_rtp
+                        } else {
+                            None
+                        }
+                    });
+                    if let Some(rtp) = info {
+                        self.start_media(ctx, &call_id, rtp);
+                        self.emit_log(ctx, CallEvent::Established { call_id, remote_rtp: rtp });
+                    }
+                }
+            }
+            Some(TxnEvent::Response { branch, msg }) => self.on_response(ctx, branch, msg),
+            Some(TxnEvent::Timeout { branch, msg }) => self.on_txn_timeout(ctx, branch, msg),
+            None => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.txn.owns_token(token) {
+            if let Some(TxnEvent::Timeout { branch, msg }) = self.txn.on_timer(ctx, token) {
+                self.on_txn_timeout(ctx, branch, msg);
+            }
+            return;
+        }
+        let tag = token & 0xff;
+        let idx = token >> 8;
+        match tag {
+            TAG_REGISTER => {
+                self.send_register(ctx, self.cfg.register_expires.as_micros() as u32 / 1_000_000);
+                ctx.set_timer(self.cfg.register_expires / 2, tok(TAG_REGISTER, 0));
+            }
+            TAG_SCRIPT => {
+                let Some(action) = self.cfg.script.get(idx as usize).cloned() else {
+                    return;
+                };
+                match action.kind {
+                    ActionKind::Call { to, duration } => self.place_call(ctx, to, duration),
+                    ActionKind::HangupAll => {
+                        let confirmed: Vec<String> = self
+                            .dialogs
+                            .values()
+                            .filter(|d| d.state == DialogState::Confirmed)
+                            .map(|d| d.call_id.clone())
+                            .collect();
+                        for id in confirmed {
+                            self.send_bye(ctx, &id);
+                        }
+                        let ringing: Vec<String> = self
+                            .dialogs
+                            .values()
+                            .filter(|d| d.state == DialogState::Early && d.role == Role::Caller)
+                            .map(|d| d.call_id.clone())
+                            .collect();
+                        for id in ringing {
+                            self.send_cancel(ctx, &id);
+                        }
+                    }
+                    ActionKind::Unregister => {
+                        self.send_register(ctx, 0);
+                        self.registered = false;
+                    }
+                }
+            }
+            TAG_ANSWER => self.answer_call(ctx, idx),
+            TAG_BYE => {
+                if let Some(call_id) = self
+                    .dialogs
+                    .values()
+                    .find(|d| d.idx == idx && d.state == DialogState::Confirmed)
+                    .map(|d| d.call_id.clone())
+                {
+                    self.send_bye(ctx, &call_id);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siphoc_simnet::prelude::*;
+
+    /// Back-to-back test without a proxy: two UAs pointing their
+    /// "outbound proxy" directly at each other's SIP port, with static
+    /// routes. Exercises INVITE/180/200/ACK/media/BYE end-to-end.
+    fn b2b_world() -> (World, UaLogHandle, UaLogHandle) {
+        let mut w = World::new(WorldConfig::new(21).with_radio(RadioConfig::ideal()));
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        let b = w.add_node(NodeConfig::manet(50.0, 0.0));
+        let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
+        w.install_route(a, ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.install_route(b, aa, Route { next_hop: aa, hops: 1, expires: SimTime::MAX, seq: 0 });
+
+        let alice = Aor::new("alice", "voicehoc.ch");
+        let bob = Aor::new("bob", "voicehoc.ch");
+        let mut cfg_a = UaConfig::new(alice, SocketAddr::new(ba, 5070));
+        cfg_a.register = false; // no registrar in this test
+        let cfg_a = cfg_a.call_at(
+            SimTime::from_secs(1),
+            bob.clone(),
+            SimDuration::from_secs(5),
+        );
+        let mut cfg_b = UaConfig::new(bob, SocketAddr::new(aa, 5070));
+        cfg_b.register = false;
+        let (ua_a, log_a) = UserAgent::new(cfg_a);
+        let (ua_b, log_b) = UserAgent::new(cfg_b);
+        w.spawn(a, Box::new(ua_a));
+        w.spawn(b, Box::new(ua_b));
+        (w, log_a, log_b)
+    }
+
+    #[test]
+    fn full_call_lifecycle_back_to_back() {
+        let (mut w, log_a, log_b) = b2b_world();
+        w.run_for(SimDuration::from_secs(10));
+        let a = log_a.borrow();
+        let b = log_b.borrow();
+        assert!(a.any(|e| matches!(e, CallEvent::OutgoingCall { .. })));
+        assert!(b.any(|e| matches!(e, CallEvent::IncomingCall { .. })));
+        assert!(a.any(|e| matches!(e, CallEvent::Ringing { .. })));
+        assert!(a.any(|e| matches!(e, CallEvent::Established { .. })), "{:?}", a.events());
+        assert!(b.any(|e| matches!(e, CallEvent::Established { .. })), "{:?}", b.events());
+        // Caller hangs up after 5 s of talk.
+        assert!(a.any(|e| matches!(e, CallEvent::Terminated { by_remote: false, .. })));
+        assert!(b.any(|e| matches!(e, CallEvent::Terminated { by_remote: true, .. })));
+        // Timing: established ~1.2 s (1 s script + 200 ms ring).
+        let est = a.first_time(|e| matches!(e, CallEvent::Established { .. })).unwrap();
+        assert!(est >= SimTime::from_millis(1150) && est < SimTime::from_millis(1600), "{est}");
+        let bye = a.first_time(|e| matches!(e, CallEvent::Terminated { .. })).unwrap();
+        assert!(bye.saturating_since(est) >= SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn sdp_endpoints_exchanged_correctly() {
+        let (mut w, log_a, log_b) = b2b_world();
+        w.run_for(SimDuration::from_secs(4));
+        let a = log_a.borrow();
+        let b = log_b.borrow();
+        let a_remote = a
+            .events()
+            .iter()
+            .find_map(|(_, e)| match e {
+                CallEvent::Established { remote_rtp, .. } => Some(*remote_rtp),
+                _ => None,
+            })
+            .unwrap();
+        let b_remote = b
+            .events()
+            .iter()
+            .find_map(|(_, e)| match e {
+                CallEvent::Established { remote_rtp, .. } => Some(*remote_rtp),
+                _ => None,
+            })
+            .unwrap();
+        // Each side points at the *other* node's RTP socket.
+        assert_eq!(a_remote.to_string(), "10.0.0.2:8000");
+        assert_eq!(b_remote.to_string(), "10.0.0.1:8000");
+    }
+
+    #[test]
+    fn call_to_nowhere_times_out() {
+        let mut w = World::new(WorldConfig::new(22).with_radio(RadioConfig::ideal()));
+        let a = w.add_node(NodeConfig::manet(0.0, 0.0));
+        // Outbound proxy points at a dead address with a static route into
+        // the void (packets fall into pending and get dropped).
+        let mut cfg = UaConfig::new(
+            Aor::new("alice", "voicehoc.ch"),
+            SocketAddr::new(Addr::manet(99), 5060),
+        );
+        cfg.register = false;
+        let cfg = cfg.call_at(SimTime::from_secs(1), Aor::new("ghost", "nowhere.org"), SimDuration::from_secs(5));
+        let (ua, log) = UserAgent::new(cfg);
+        w.spawn(a, Box::new(ua));
+        w.run_for(SimDuration::from_secs(60));
+        let log = log.borrow();
+        assert!(
+            log.any(|e| matches!(e, CallEvent::Failed { code: None, .. })),
+            "{:?}",
+            log.events()
+        );
+    }
+
+    #[test]
+    fn media_events_emitted_on_establish_and_teardown() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct MediaProbe {
+            events: Rc<RefCell<Vec<String>>>,
+        }
+        impl Process for MediaProbe {
+            fn name(&self) -> &'static str {
+                "media-probe"
+            }
+            fn on_local_event(&mut self, _ctx: &mut Ctx<'_>, ev: &LocalEvent) {
+                if let LocalEvent::Custom { kind, data } = ev {
+                    if *kind == MEDIA_START_EVENT || *kind == MEDIA_STOP_EVENT {
+                        self.events
+                            .borrow_mut()
+                            .push(format!("{kind}:{}", String::from_utf8_lossy(data)));
+                    }
+                }
+            }
+        }
+
+        let (mut w, _log_a, _log_b) = b2b_world();
+        let probe_events = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(NodeId(0), Box::new(MediaProbe { events: probe_events.clone() }));
+        w.run_for(SimDuration::from_secs(10));
+        let evs = probe_events.borrow();
+        assert!(evs.iter().any(|e| e.starts_with("sip.media_start:")), "{evs:?}");
+        assert!(evs.iter().any(|e| e.starts_with("sip.media_stop:")), "{evs:?}");
+        // Start payload carries local port and the peer RTP endpoint.
+        let start = evs.iter().find(|e| e.starts_with("sip.media_start:")).unwrap();
+        assert!(start.contains("|8000|10.0.0.2:8000"), "{start}");
+    }
+}

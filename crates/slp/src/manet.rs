@@ -1,0 +1,632 @@
+//! MANET SLP: the paper's distributed service location layer.
+//!
+//! Two cooperating pieces per node share one [`SlpRegistry`]:
+//!
+//! * [`ManetSlpHandler`] — the routing-handler plugin ("the routing
+//!   specific functionality is encapsulated within a routing handler"). It
+//!   piggybacks registrations onto routing control messages, absorbs the
+//!   ones it sees, and — on AODV service-query RREQs — produces answers
+//!   that ride back on the route reply (paper Fig. 5).
+//! * [`ManetSlpProcess`] — the SLP daemon offering the standard SLP
+//!   interface on `127.0.0.1:427` to the SIPHoc proxy and the Gateway /
+//!   Connection Providers. Lookups are answered from the shared registry;
+//!   misses (in on-demand mode) trigger a routing-layer query flood.
+//!
+//! Dissemination style follows the routing protocol: with **AODV** the
+//! handler attaches the node's *own* registrations to originated control
+//! traffic and resolves misses with query floods (on-demand); with
+//! **OLSR** every node gossips *everything it knows* on periodic
+//! HELLO/TC messages, so the registry fully replicates and lookups are
+//! local (proactive). Experiment E7 contrasts the two.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use siphoc_simnet::net::{ports, Addr, Datagram, SocketAddr};
+use siphoc_simnet::process::{Ctx, LocalEvent, Process};
+use siphoc_simnet::time::{SimDuration, SimTime};
+
+use siphoc_routing::handler::{MsgKind, RoutingHandler, FLOOD_QUERY_EVENT, HANDLER_UPDATED_EVENT};
+
+use crate::msg::SlpMsg;
+use crate::registry::SlpRegistry;
+use crate::service::{ServiceEntry, ServiceQuery, SlpRecord};
+
+/// How registrations spread through the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dissemination {
+    /// AODV style: advertise own entries on originated control messages;
+    /// resolve lookup misses by flooding a query on a service RREQ.
+    OnDemand,
+    /// OLSR style: gossip the full registry on periodic control messages;
+    /// lookups only consult the (eventually complete) local registry.
+    Proactive,
+}
+
+/// MANET SLP configuration.
+#[derive(Debug, Clone)]
+pub struct ManetSlpConfig {
+    /// Dissemination mode; match it to the routing protocol in use.
+    pub mode: Dissemination,
+    /// How long a lookup waits for a flood round before retrying.
+    pub query_timeout: SimDuration,
+    /// Additional flood rounds before a lookup reports "not found".
+    pub query_retries: u32,
+}
+
+impl ManetSlpConfig {
+    /// Defaults for AODV-style deployments.
+    pub fn on_demand() -> ManetSlpConfig {
+        ManetSlpConfig {
+            mode: Dissemination::OnDemand,
+            query_timeout: SimDuration::from_millis(800),
+            query_retries: 2,
+        }
+    }
+
+    /// Defaults for OLSR-style deployments: no floods, wait out gossip.
+    pub fn proactive() -> ManetSlpConfig {
+        ManetSlpConfig {
+            mode: Dissemination::Proactive,
+            query_timeout: SimDuration::from_secs(3),
+            query_retries: 2,
+        }
+    }
+}
+
+/// The registry shared between daemon and handler.
+pub type SharedRegistry = Rc<RefCell<SlpRegistry>>;
+
+/// Creates a fresh shared registry.
+pub fn shared_registry() -> SharedRegistry {
+    Rc::new(RefCell::new(SlpRegistry::new()))
+}
+
+/// The routing-handler side of MANET SLP.
+#[derive(Debug)]
+pub struct ManetSlpHandler {
+    registry: SharedRegistry,
+    mode: Dissemination,
+    /// Minimum interval between re-attaching an *unchanged* entry to
+    /// periodic control messages. Changed entries (new sequence number)
+    /// go out immediately; on-demand messages (AODV RREQ/RREP) always
+    /// carry current entries since they are rare and latency-critical.
+    min_readvertise: SimDuration,
+    /// `(type, key, origin)` → `(seq, last attached)`.
+    attach_log: std::collections::BTreeMap<(String, String, Addr), (u64, SimTime)>,
+}
+
+impl ManetSlpHandler {
+    /// Creates the handler over a shared registry with the default 8 s
+    /// re-advertisement throttle.
+    pub fn new(registry: SharedRegistry, mode: Dissemination) -> ManetSlpHandler {
+        ManetSlpHandler {
+            registry,
+            mode,
+            min_readvertise: SimDuration::from_secs(8),
+            attach_log: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the re-advertisement throttle ([`SimDuration::ZERO`]
+    /// attaches everything to every message — the A1 ablation's
+    /// unthrottled variant).
+    pub fn with_min_readvertise(mut self, min: SimDuration) -> ManetSlpHandler {
+        self.min_readvertise = min;
+        self
+    }
+
+    /// Filters `entries` down to those not recently attached unchanged,
+    /// updating the attach log for the survivors.
+    fn throttle(&mut self, entries: Vec<ServiceEntry>, now: SimTime) -> Vec<ServiceEntry> {
+        if self.min_readvertise.is_zero() {
+            return entries;
+        }
+        entries
+            .into_iter()
+            .filter(|e| {
+                let key = (e.service_type.clone(), e.key.clone(), e.origin);
+                match self.attach_log.get(&key) {
+                    Some((seq, last))
+                        if *seq >= e.seq && now.saturating_since(*last) < self.min_readvertise =>
+                    {
+                        false
+                    }
+                    _ => {
+                        self.attach_log.insert(key, (e.seq, now));
+                        true
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+impl RoutingHandler for ManetSlpHandler {
+    fn name(&self) -> &'static str {
+        "manet-slp"
+    }
+
+    fn collect_outgoing(&mut self, ctx: &mut Ctx<'_>, kind: MsgKind, _budget: usize) -> Vec<Vec<u8>> {
+        let now = ctx.now();
+        let entries = {
+            let reg = self.registry.borrow();
+            match self.mode {
+                Dissemination::OnDemand => {
+                    // Own registrations ride originated control messages;
+                    // learned ones are served on demand via query replies.
+                    reg.local_entries(now)
+                }
+                Dissemination::Proactive => match kind {
+                    // Full gossip on network-wide and one-hop messages
+                    // alike; hop-by-hop relay of learned entries is what
+                    // replicates the registry everywhere.
+                    MsgKind::OlsrHello | MsgKind::OlsrTc | MsgKind::AodvHello => reg.all_entries(now),
+                    _ => reg.local_entries(now),
+                },
+            }
+        };
+        // Periodic vehicles are throttled; on-demand ones carry current
+        // state (a service RREP must answer even if recently advertised).
+        let entries = match kind {
+            MsgKind::AodvHello | MsgKind::OlsrHello | MsgKind::OlsrTc => self.throttle(entries, now),
+            MsgKind::AodvRreq | MsgKind::AodvRrep => entries,
+        };
+        entries.iter().map(ServiceEntry::to_wire).collect()
+    }
+
+    fn process_incoming(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        kind: MsgKind,
+        _from: Addr,
+        _origin: Addr,
+        entries: &[Vec<u8>],
+    ) -> Vec<Vec<u8>> {
+        let now = ctx.now();
+        let mut answers = Vec::new();
+        let mut changed = false;
+        for raw in entries {
+            match SlpRecord::parse(raw) {
+                Ok(SlpRecord::Reg(e)) => {
+                    if self.registry.borrow_mut().absorb(e, now) {
+                        changed = true;
+                    }
+                }
+                Ok(SlpRecord::Query(q)) => {
+                    if kind == MsgKind::AodvRreq {
+                        for m in self.registry.borrow().matching(&q, now) {
+                            answers.push(m.to_wire());
+                        }
+                    }
+                }
+                Err(_) => {
+                    ctx.stats().count("slp.malformed_record", raw.len());
+                }
+            }
+        }
+        if changed {
+            ctx.emit(LocalEvent::Custom {
+                kind: HANDLER_UPDATED_EVENT,
+                data: Vec::new(),
+            });
+        }
+        answers
+    }
+}
+
+const TAG_QUERY: u64 = 1;
+const TAG_PURGE: u64 = 2;
+
+#[derive(Debug)]
+struct PendingQuery {
+    xid: u32,
+    requester: SocketAddr,
+    query: ServiceQuery,
+    deadline: SimTime,
+    retries_left: u32,
+}
+
+/// The MANET SLP daemon process.
+pub struct ManetSlpProcess {
+    cfg: ManetSlpConfig,
+    registry: SharedRegistry,
+    pending: Vec<PendingQuery>,
+    next_qid: u64,
+}
+
+impl std::fmt::Debug for ManetSlpProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManetSlpProcess")
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ManetSlpProcess {
+    /// Creates the daemon over a shared registry.
+    pub fn new(cfg: ManetSlpConfig, registry: SharedRegistry) -> ManetSlpProcess {
+        ManetSlpProcess {
+            cfg,
+            registry,
+            pending: Vec::new(),
+            next_qid: 0,
+        }
+    }
+
+    fn reply(&self, ctx: &mut Ctx<'_>, to: SocketAddr, xid: u32, entries: Vec<ServiceEntry>) {
+        let msg = SlpMsg::SrvRply { xid, entries };
+        let src = SocketAddr::new(Addr::LOOPBACK, ports::SLP);
+        ctx.send(Datagram::new(src, to, msg.to_wire()));
+    }
+
+    fn flood(&mut self, ctx: &mut Ctx<'_>, query: &ServiceQuery) {
+        ctx.stats().count("slp.query_flood", query.to_wire().len());
+        ctx.emit(LocalEvent::Custom {
+            kind: FLOOD_QUERY_EVENT,
+            data: query.to_wire(),
+        });
+    }
+
+    fn handle_lookup(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, xid: u32, service_type: String, key: String) {
+        let now = ctx.now();
+        let found: Vec<ServiceEntry> = self
+            .registry
+            .borrow()
+            .lookup(&service_type, &key, now)
+            .into_iter()
+            .cloned()
+            .collect();
+        if !found.is_empty() {
+            ctx.stats().count("slp.lookup_hit", 1);
+            self.reply(ctx, from, xid, found);
+            return;
+        }
+        ctx.stats().count("slp.lookup_miss", 1);
+        self.next_qid += 1;
+        let query = ServiceQuery {
+            service_type,
+            key,
+            origin: ctx.addr(),
+            qid: self.next_qid,
+        };
+        if self.cfg.mode == Dissemination::OnDemand {
+            self.flood(ctx, &query);
+        }
+        let deadline = now + self.cfg.query_timeout;
+        self.pending.push(PendingQuery {
+            xid,
+            requester: from,
+            query,
+            deadline,
+            retries_left: self.cfg.query_retries,
+        });
+        ctx.set_timer(self.cfg.query_timeout, TAG_QUERY);
+    }
+
+    /// Answers any pending query the registry can now satisfy.
+    fn drain_pending(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let mut resolved = Vec::new();
+        for (i, p) in self.pending.iter().enumerate() {
+            let found = self.registry.borrow().matching(&p.query, now);
+            if !found.is_empty() {
+                resolved.push((i, p.requester, p.xid, found));
+            }
+        }
+        for (i, requester, xid, found) in resolved.into_iter().rev() {
+            self.pending.remove(i);
+            self.reply(ctx, requester, xid, found);
+        }
+    }
+
+    fn sweep_deadlines(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let timeout = self.cfg.query_timeout;
+        let mut give_up = Vec::new();
+        let mut refloods = Vec::new();
+        for (i, p) in self.pending.iter_mut().enumerate() {
+            if p.deadline > now {
+                continue;
+            }
+            if p.retries_left > 0 {
+                p.retries_left -= 1;
+                p.deadline = now + timeout;
+                refloods.push(p.query.clone());
+            } else {
+                give_up.push(i);
+            }
+        }
+        if self.cfg.mode == Dissemination::OnDemand {
+            for q in refloods {
+                self.flood(ctx, &q);
+                ctx.set_timer(timeout, TAG_QUERY);
+            }
+        } else if !self.pending.is_empty() {
+            ctx.set_timer(timeout, TAG_QUERY);
+        }
+        for i in give_up.into_iter().rev() {
+            let p = self.pending.remove(i);
+            ctx.stats().count("slp.lookup_failed", 1);
+            self.reply(ctx, p.requester, p.xid, Vec::new());
+        }
+    }
+}
+
+impl Process for ManetSlpProcess {
+    fn name(&self) -> &'static str {
+        "manet-slp"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(ports::SLP);
+        ctx.set_timer(SimDuration::from_secs(10), TAG_PURGE);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram) {
+        let Ok(msg) = SlpMsg::parse(&dgram.payload) else {
+            ctx.stats().count("slp.malformed", dgram.payload.len());
+            return;
+        };
+        match msg {
+            SlpMsg::SrvReg { xid, service_type, key, contact, lifetime_secs } => {
+                let now = ctx.now();
+                let origin = ctx.addr();
+                let mut reg = self.registry.borrow_mut();
+                let seq = reg.next_seq();
+                let entry = ServiceEntry {
+                    service_type,
+                    key,
+                    contact,
+                    origin,
+                    seq,
+                    lifetime_secs,
+                };
+                reg.register_local(entry, now);
+                drop(reg);
+                let src = SocketAddr::new(Addr::LOOPBACK, ports::SLP);
+                ctx.send(Datagram::new(src, dgram.src, SlpMsg::SrvAck { xid }.to_wire()));
+                // New local state may answer someone's outstanding query on
+                // the next control message; nothing further to do here.
+            }
+            SlpMsg::SrvDeReg { xid, service_type, key } => {
+                let origin = ctx.addr();
+                self.registry.borrow_mut().deregister_local(&service_type, &key, origin);
+                let src = SocketAddr::new(Addr::LOOPBACK, ports::SLP);
+                ctx.send(Datagram::new(src, dgram.src, SlpMsg::SrvAck { xid }.to_wire()));
+            }
+            SlpMsg::SrvRqst { xid, service_type, key } => {
+                self.handle_lookup(ctx, dgram.src, xid, service_type, key);
+            }
+            _ => {
+                ctx.stats().count("slp.unexpected_msg", dgram.payload.len());
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TAG_QUERY => {
+                self.drain_pending(ctx);
+                self.sweep_deadlines(ctx);
+            }
+            TAG_PURGE => {
+                let now = ctx.now();
+                self.registry.borrow_mut().purge(now);
+                ctx.set_timer(SimDuration::from_secs(10), TAG_PURGE);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_local_event(&mut self, ctx: &mut Ctx<'_>, ev: &LocalEvent) {
+        match ev {
+            LocalEvent::Custom { kind, .. } if *kind == HANDLER_UPDATED_EVENT => {
+                self.drain_pending(ctx);
+            }
+            LocalEvent::NodeRestarted => {
+                self.pending.clear();
+                ctx.set_timer(SimDuration::from_secs(10), TAG_PURGE);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siphoc_routing::aodv::{AodvConfig, AodvProcess};
+    use siphoc_routing::olsr::{OlsrConfig, OlsrProcess};
+    use siphoc_simnet::prelude::*;
+
+    /// Test client that registers a service and/or performs one lookup.
+    #[allow(clippy::type_complexity)]
+    struct SlpClient {
+        register: Option<(String, String, SocketAddr)>,
+        lookup_at: Option<(SimTime, String, String)>,
+        replies: Rc<RefCell<Vec<(SimTime, Vec<ServiceEntry>)>>>,
+    }
+
+    impl SlpClient {
+        #[allow(clippy::type_complexity)]
+        fn new(
+            register: Option<(String, String, SocketAddr)>,
+            lookup_at: Option<(SimTime, String, String)>,
+        ) -> (SlpClient, Rc<RefCell<Vec<(SimTime, Vec<ServiceEntry>)>>>) {
+            let replies = Rc::new(RefCell::new(Vec::new()));
+            (
+                SlpClient { register, lookup_at, replies: replies.clone() },
+                replies,
+            )
+        }
+    }
+
+    impl Process for SlpClient {
+        fn name(&self) -> &'static str {
+            "slp-client"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.bind(9427);
+            if let Some((t, k, contact)) = self.register.take() {
+                let m = SlpMsg::SrvReg {
+                    xid: 1,
+                    service_type: t,
+                    key: k,
+                    contact,
+                    lifetime_secs: 600,
+                };
+                ctx.send_local(ports::SLP, 9427, m.to_wire());
+            }
+            if let Some((at, _, _)) = &self.lookup_at {
+                let delay = at.saturating_since(ctx.now());
+                ctx.set_timer(delay, 7);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            if token == 7 {
+                if let Some((_, t, k)) = self.lookup_at.take() {
+                    let m = SlpMsg::SrvRqst { xid: 2, service_type: t, key: k };
+                    ctx.send_local(ports::SLP, 9427, m.to_wire());
+                }
+            }
+        }
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram) {
+            if let Ok(SlpMsg::SrvRply { entries, .. }) = SlpMsg::parse(&dgram.payload) {
+                self.replies.borrow_mut().push((ctx.now(), entries));
+            }
+        }
+    }
+
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn add_slp_node(
+        w: &mut World,
+        pos: (f64, f64),
+        aodv: bool,
+        cfg: ManetSlpConfig,
+    ) -> (NodeId, SharedRegistry) {
+        let id = w.add_node(NodeConfig::manet(pos.0, pos.1));
+        let registry = shared_registry();
+        let handler: Rc<RefCell<ManetSlpHandler>> =
+            Rc::new(RefCell::new(ManetSlpHandler::new(registry.clone(), cfg.mode)));
+        if aodv {
+            w.spawn(id, Box::new(AodvProcess::new(AodvConfig::default()).with_handler(handler)));
+        } else {
+            w.spawn(id, Box::new(OlsrProcess::new(OlsrConfig::default()).with_handler(handler)));
+        }
+        w.spawn(id, Box::new(ManetSlpProcess::new(cfg, registry.clone())));
+        (id, registry)
+    }
+
+    #[test]
+    fn local_register_then_local_lookup() {
+        let mut w = World::new(WorldConfig::new(31).with_radio(RadioConfig::ideal()));
+        let cfg = ManetSlpConfig::on_demand();
+        let (id, _) = add_slp_node(&mut w, (0.0, 0.0), true, cfg);
+        let (client, replies) = SlpClient::new(
+            Some(("sip".into(), "alice@v.ch".into(), "10.0.0.1:5060".parse().unwrap())),
+            Some((SimTime::from_millis(100), "sip".into(), "alice@v.ch".into())),
+        );
+        w.spawn(id, Box::new(client));
+        w.run_for(SimDuration::from_secs(1));
+        let r = replies.borrow();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].1.len(), 1);
+        assert_eq!(r[0].1[0].key, "alice@v.ch");
+    }
+
+    #[test]
+    fn aodv_on_demand_lookup_across_three_hops() {
+        let mut w = World::new(WorldConfig::new(32).with_radio(RadioConfig::ideal()));
+        let cfg = ManetSlpConfig::on_demand;
+        let mut nodes = Vec::new();
+        for i in 0..4 {
+            nodes.push(add_slp_node(&mut w, (i as f64 * 80.0, 0.0), true, cfg()));
+        }
+        // Bob's proxy registers on the far node.
+        let (far, _) = nodes[3];
+        let (reg_client, _) = SlpClient::new(
+            Some(("sip".into(), "bob@v.ch".into(), "10.0.0.4:5060".parse().unwrap())),
+            None,
+        );
+        w.spawn(far, Box::new(reg_client));
+        w.run_for(SimDuration::from_secs(3));
+        // Alice looks Bob up from the near node.
+        let (near, near_reg) = (nodes[0].0, nodes[0].1.clone());
+        let (lookup_client, replies) = SlpClient::new(
+            None,
+            Some((SimTime::from_secs(3), "sip".into(), "bob@v.ch".into())),
+        );
+        w.spawn(near, Box::new(lookup_client));
+        w.run_for(SimDuration::from_secs(5));
+        let r = replies.borrow();
+        assert_eq!(r.len(), 1, "lookup must be answered");
+        assert_eq!(r[0].1.len(), 1, "binding found: {:?}", r[0].1);
+        assert_eq!(r[0].1[0].contact.to_string(), "10.0.0.4:5060");
+        // The querying node cached the learned binding.
+        assert!(!near_reg.borrow().lookup("sip", "bob@v.ch", w.now()).is_empty());
+        // And it learned a route to Bob's node from the service RREP.
+        assert!(w.node(near).routes().lookup_specific(Addr::manet(3), w.now()).is_some());
+    }
+
+    #[test]
+    fn olsr_proactive_lookup_is_local_after_gossip() {
+        let mut w = World::new(WorldConfig::new(33).with_radio(RadioConfig::ideal()));
+        let cfg = ManetSlpConfig::proactive;
+        let mut nodes = Vec::new();
+        for i in 0..4 {
+            nodes.push(add_slp_node(&mut w, (i as f64 * 80.0, 0.0), false, cfg()));
+        }
+        let (far, _) = nodes[3];
+        let (reg_client, _) = SlpClient::new(
+            Some(("sip".into(), "bob@v.ch".into(), "10.0.0.4:5060".parse().unwrap())),
+            None,
+        );
+        w.spawn(far, Box::new(reg_client));
+        // Let gossip replicate.
+        w.run_for(SimDuration::from_secs(30));
+        for (i, (_, reg)) in nodes.iter().enumerate() {
+            assert!(
+                !reg.borrow().lookup("sip", "bob@v.ch", w.now()).is_empty(),
+                "node {i} missing gossiped binding"
+            );
+        }
+        // Lookup resolves instantly from the local registry.
+        let (near, _) = nodes[0];
+        let (lookup_client, replies) = SlpClient::new(
+            None,
+            Some((SimTime::from_secs(30), "sip".into(), "bob@v.ch".into())),
+        );
+        w.spawn(near, Box::new(lookup_client));
+        w.run_for(SimDuration::from_secs(1));
+        let r = replies.borrow();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].1.len(), 1);
+        let latency = r[0].0.saturating_since(SimTime::from_secs(30));
+        assert!(latency < SimDuration::from_millis(10), "local lookup took {latency}");
+    }
+
+    #[test]
+    fn lookup_for_unknown_service_reports_empty_after_retries() {
+        let mut w = World::new(WorldConfig::new(34).with_radio(RadioConfig::ideal()));
+        let cfg = ManetSlpConfig::on_demand();
+        let timeout = cfg.query_timeout;
+        let retries = cfg.query_retries;
+        let (id, _) = add_slp_node(&mut w, (0.0, 0.0), true, cfg);
+        let (client, replies) = SlpClient::new(
+            None,
+            Some((SimTime::from_millis(100), "sip".into(), "ghost@v.ch".into())),
+        );
+        w.spawn(id, Box::new(client));
+        w.run_for(SimDuration::from_secs(20));
+        let r = replies.borrow();
+        assert_eq!(r.len(), 1);
+        assert!(r[0].1.is_empty());
+        // It waited out all retries first.
+        let min_wait = timeout * (retries as u64 + 1);
+        let waited = r[0].0.saturating_since(SimTime::from_millis(100));
+        assert!(waited >= min_wait, "gave up too early: {waited}");
+    }
+}

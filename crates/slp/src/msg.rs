@@ -1,0 +1,245 @@
+//! SLP message formats.
+//!
+//! Two families share one line-oriented text syntax:
+//!
+//! * the **local API** between SLP clients (the SIPHoc proxy, the Gateway
+//!   and Connection Providers) and the SLP daemon on `127.0.0.1:427` —
+//!   `SRVREG` / `SRVDEREG` / `SRVRQST` / `SRVRPLY` / `SRVACK`, and
+//! * the **multicast convergence** messages of the standard-SLP baseline —
+//!   `MRQST` floods and their unicast `SRVRPLY` answers.
+//!
+//! Using the same `SRVRQST`/`SRVRPLY` client API for both the MANET SLP
+//! daemon and the baseline makes them drop-in interchangeable, which the
+//! lookup experiments (E2) rely on.
+
+use std::fmt;
+
+use siphoc_simnet::net::{Addr, SocketAddr};
+
+use crate::service::{ParseEntryError, ServiceEntry};
+
+/// An SLP API or network message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlpMsg {
+    /// Register a service (client → daemon). The daemon assigns origin and
+    /// sequence number.
+    SrvReg {
+        /// Client-chosen exchange id.
+        xid: u32,
+        /// Service type.
+        service_type: String,
+        /// Lookup key (empty allowed).
+        key: String,
+        /// Advertised endpoint.
+        contact: SocketAddr,
+        /// Requested lifetime in seconds.
+        lifetime_secs: u32,
+    },
+    /// Remove a registration (client → daemon).
+    SrvDeReg {
+        /// Exchange id.
+        xid: u32,
+        /// Service type.
+        service_type: String,
+        /// Lookup key.
+        key: String,
+    },
+    /// Acknowledge a registration (daemon → client).
+    SrvAck {
+        /// Echoed exchange id.
+        xid: u32,
+    },
+    /// Look up services (client → daemon).
+    SrvRqst {
+        /// Exchange id.
+        xid: u32,
+        /// Service type.
+        service_type: String,
+        /// Lookup key (empty = any of the type).
+        key: String,
+    },
+    /// Lookup result (daemon → client). Empty means not found.
+    SrvRply {
+        /// Echoed exchange id.
+        xid: u32,
+        /// Matching entries.
+        entries: Vec<ServiceEntry>,
+    },
+    /// Standard-SLP multicast-convergence request, flooded hop by hop.
+    McastRqst {
+        /// Flood originator.
+        origin: Addr,
+        /// Flood id for duplicate suppression.
+        fid: u32,
+        /// Remaining flood radius.
+        ttl: u8,
+        /// Where matching service agents unicast their reply.
+        reply_to: SocketAddr,
+        /// Service type.
+        service_type: String,
+        /// Lookup key.
+        key: String,
+    },
+}
+
+fn key_out(key: &str) -> &str {
+    if key.is_empty() {
+        "-"
+    } else {
+        key
+    }
+}
+
+fn key_in(raw: &str) -> String {
+    if raw == "-" {
+        String::new()
+    } else {
+        raw.to_owned()
+    }
+}
+
+impl fmt::Display for SlpMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlpMsg::SrvReg { xid, service_type, key, contact, lifetime_secs } => {
+                write!(f, "SRVREG {xid} {service_type} {} {contact} {lifetime_secs}", key_out(key))
+            }
+            SlpMsg::SrvDeReg { xid, service_type, key } => {
+                write!(f, "SRVDEREG {xid} {service_type} {}", key_out(key))
+            }
+            SlpMsg::SrvAck { xid } => write!(f, "SRVACK {xid}"),
+            SlpMsg::SrvRqst { xid, service_type, key } => {
+                write!(f, "SRVRQST {xid} {service_type} {}", key_out(key))
+            }
+            SlpMsg::SrvRply { xid, entries } => {
+                write!(f, "SRVRPLY {xid} {}", entries.len())?;
+                for e in entries {
+                    write!(f, "\n{e}")?;
+                }
+                Ok(())
+            }
+            SlpMsg::McastRqst { origin, fid, ttl, reply_to, service_type, key } => {
+                write!(f, "MRQST {origin} {fid} {ttl} {reply_to} {service_type} {}", key_out(key))
+            }
+        }
+    }
+}
+
+impl SlpMsg {
+    /// Serializes the message.
+    pub fn to_wire(&self) -> Vec<u8> {
+        self.to_string().into_bytes()
+    }
+
+    /// Parses a message from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseEntryError`] on malformed input.
+    pub fn parse(bytes: &[u8]) -> Result<SlpMsg, ParseEntryError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| ParseEntryError::new("utf8"))?;
+        let mut lines = text.lines();
+        let head = lines.next().ok_or(ParseEntryError::new("empty"))?;
+        let mut it = head.split_ascii_whitespace();
+        let kind = it.next().ok_or(ParseEntryError::new("kind"))?;
+        let mut next = |what: &'static str| it.next().ok_or(ParseEntryError::new(what));
+        match kind {
+            "SRVREG" => Ok(SlpMsg::SrvReg {
+                xid: next("xid")?.parse().map_err(|_| ParseEntryError::new("xid"))?,
+                service_type: next("type")?.to_owned(),
+                key: key_in(next("key")?),
+                contact: next("contact")?.parse().map_err(|_| ParseEntryError::new("contact"))?,
+                lifetime_secs: next("lifetime")?.parse().map_err(|_| ParseEntryError::new("lifetime"))?,
+            }),
+            "SRVDEREG" => Ok(SlpMsg::SrvDeReg {
+                xid: next("xid")?.parse().map_err(|_| ParseEntryError::new("xid"))?,
+                service_type: next("type")?.to_owned(),
+                key: key_in(next("key")?),
+            }),
+            "SRVACK" => Ok(SlpMsg::SrvAck {
+                xid: next("xid")?.parse().map_err(|_| ParseEntryError::new("xid"))?,
+            }),
+            "SRVRQST" => Ok(SlpMsg::SrvRqst {
+                xid: next("xid")?.parse().map_err(|_| ParseEntryError::new("xid"))?,
+                service_type: next("type")?.to_owned(),
+                key: key_in(next("key")?),
+            }),
+            "SRVRPLY" => {
+                let xid = next("xid")?.parse().map_err(|_| ParseEntryError::new("xid"))?;
+                let n: usize = next("count")?.parse().map_err(|_| ParseEntryError::new("count"))?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let line = lines.next().ok_or(ParseEntryError::new("entry line"))?;
+                    entries.push(line.parse()?);
+                }
+                Ok(SlpMsg::SrvRply { xid, entries })
+            }
+            "MRQST" => Ok(SlpMsg::McastRqst {
+                origin: next("origin")?.parse().map_err(|_| ParseEntryError::new("origin"))?,
+                fid: next("fid")?.parse().map_err(|_| ParseEntryError::new("fid"))?,
+                ttl: next("ttl")?.parse().map_err(|_| ParseEntryError::new("ttl"))?,
+                reply_to: next("reply_to")?.parse().map_err(|_| ParseEntryError::new("reply_to"))?,
+                service_type: next("type")?.to_owned(),
+                key: key_in(next("key")?),
+            }),
+            _ => Err(ParseEntryError::new("unknown kind")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_round_trip() {
+        let entry = ServiceEntry::sip_binding(
+            "alice@v.ch",
+            "10.0.0.1:5060".parse().unwrap(),
+            Addr::manet(0),
+            1,
+            60,
+        );
+        let msgs = vec![
+            SlpMsg::SrvReg {
+                xid: 1,
+                service_type: "sip".into(),
+                key: "alice@v.ch".into(),
+                contact: "10.0.0.1:5060".parse().unwrap(),
+                lifetime_secs: 120,
+            },
+            SlpMsg::SrvDeReg { xid: 2, service_type: "sip".into(), key: "alice@v.ch".into() },
+            SlpMsg::SrvAck { xid: 3 },
+            SlpMsg::SrvRqst { xid: 4, service_type: "gateway".into(), key: String::new() },
+            SlpMsg::SrvRply { xid: 5, entries: vec![entry.clone(), entry] },
+            SlpMsg::SrvRply { xid: 6, entries: vec![] },
+            SlpMsg::McastRqst {
+                origin: Addr::manet(3),
+                fid: 9,
+                ttl: 8,
+                reply_to: "10.0.0.4:427".parse().unwrap(),
+                service_type: "sip".into(),
+                key: "bob@v.ch".into(),
+            },
+        ];
+        for m in msgs {
+            let parsed = SlpMsg::parse(&m.to_wire()).unwrap_or_else(|e| panic!("{m:?}: {e}"));
+            assert_eq!(parsed, m);
+        }
+    }
+
+    #[test]
+    fn empty_key_round_trips_as_dash() {
+        let m = SlpMsg::SrvRqst { xid: 1, service_type: "gateway".into(), key: String::new() };
+        assert!(m.to_string().ends_with(" -"));
+        assert_eq!(SlpMsg::parse(&m.to_wire()).unwrap(), m);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(SlpMsg::parse(b"").is_err());
+        assert!(SlpMsg::parse(b"NOPE 1").is_err());
+        assert!(SlpMsg::parse(b"SRVRPLY 1 2\nSLP1 reg sip a 10.0.0.1:5060 10.0.0.1 1 60").is_err());
+        assert!(SlpMsg::parse(b"SRVREG x sip a 10.0.0.1:5060 60").is_err());
+    }
+}

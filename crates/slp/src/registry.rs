@@ -1,0 +1,244 @@
+//! The distributed SLP registry state.
+//!
+//! Each node keeps one [`SlpRegistry`], shared (via `Rc<RefCell<_>>`)
+//! between the MANET SLP daemon process and the routing handler that
+//! gossips its contents. Entries are versioned per `(type, key, origin)`
+//! with a sequence number, so epidemic dissemination converges and
+//! refreshes win over staleness.
+
+use std::collections::BTreeMap;
+
+use siphoc_simnet::time::SimTime;
+
+use crate::service::{ServiceEntry, ServiceQuery};
+
+#[derive(Debug, Clone)]
+struct Stored {
+    entry: ServiceEntry,
+    expires: SimTime,
+    local: bool,
+}
+
+/// A node's view of all known service registrations.
+#[derive(Debug, Default)]
+pub struct SlpRegistry {
+    /// Keyed by `(service_type, key, origin)`.
+    entries: BTreeMap<(String, String, siphoc_simnet::net::Addr), Stored>,
+    seq: u64,
+}
+
+impl SlpRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> SlpRegistry {
+        SlpRegistry::default()
+    }
+
+    /// Next local sequence number (monotone per node).
+    pub fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Registers a local service (the node's own advertisement).
+    pub fn register_local(&mut self, entry: ServiceEntry, now: SimTime) {
+        let expires = entry.expires_at(now);
+        let key = (entry.service_type.clone(), entry.key.clone(), entry.origin);
+        self.entries.insert(key, Stored { entry, expires, local: true });
+    }
+
+    /// Removes a local registration.
+    pub fn deregister_local(&mut self, service_type: &str, key: &str, origin: siphoc_simnet::net::Addr) {
+        self.entries
+            .remove(&(service_type.to_owned(), key.to_owned(), origin));
+    }
+
+    /// Absorbs a remote entry learned from piggybacked traffic. Returns
+    /// `true` when the entry was new or fresher than what was stored.
+    pub fn absorb(&mut self, entry: ServiceEntry, now: SimTime) -> bool {
+        let key = (entry.service_type.clone(), entry.key.clone(), entry.origin);
+        match self.entries.get(&key) {
+            Some(existing) if existing.local => false,
+            Some(existing) if existing.entry.seq >= entry.seq && existing.expires > now => false,
+            _ => {
+                let expires = entry.expires_at(now);
+                self.entries.insert(key, Stored { entry, expires, local: false });
+                true
+            }
+        }
+    }
+
+    /// All unexpired entries matching `(service_type, key)`; an empty key
+    /// matches every entry of the type.
+    pub fn lookup(&self, service_type: &str, key: &str, now: SimTime) -> Vec<&ServiceEntry> {
+        self.entries
+            .values()
+            .filter(|s| {
+                s.expires > now
+                    && s.entry.service_type == service_type
+                    && (key.is_empty() || s.entry.key == key)
+            })
+            .map(|s| &s.entry)
+            .collect()
+    }
+
+    /// All unexpired entries matching a query.
+    pub fn matching(&self, query: &ServiceQuery, now: SimTime) -> Vec<ServiceEntry> {
+        self.entries
+            .values()
+            .filter(|s| s.expires > now && query.matches(&s.entry))
+            .map(|s| refreshed(s, now))
+            .collect()
+    }
+
+    /// The node's own registrations, with lifetimes recomputed for
+    /// serialization.
+    pub fn local_entries(&self, now: SimTime) -> Vec<ServiceEntry> {
+        self.entries
+            .values()
+            .filter(|s| s.local && s.expires > now)
+            .map(|s| refreshed(s, now))
+            .collect()
+    }
+
+    /// Every unexpired entry (local and learned), lifetimes recomputed.
+    /// Used by proactive gossip (OLSR mode).
+    pub fn all_entries(&self, now: SimTime) -> Vec<ServiceEntry> {
+        self.entries
+            .values()
+            .filter(|s| s.expires > now)
+            .map(|s| refreshed(s, now))
+            .collect()
+    }
+
+    /// Drops expired entries.
+    pub fn purge(&mut self, now: SimTime) {
+        self.entries.retain(|_, s| s.expires > now);
+    }
+
+    /// Number of stored entries (expired included until purged).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the registry in the style of paper Fig. 4 (the MANET SLP
+    /// process state listing).
+    pub fn render(&self, now: SimTime) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "MANET SLP registrations ({} entries):", self.entries.len());
+        for s in self.entries.values() {
+            let marker = if s.local { "local " } else { "remote" };
+            let _ = writeln!(
+                out,
+                "  [{marker}] {}  (expires {}, seq {})",
+                s.entry.service_url(),
+                s.expires,
+                s.entry.seq
+            );
+        }
+        let _ = now;
+        out
+    }
+}
+
+fn refreshed(s: &Stored, now: SimTime) -> ServiceEntry {
+    let mut e = s.entry.clone();
+    e.lifetime_secs = s.expires.saturating_since(now).as_secs_f64() as u32;
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siphoc_simnet::net::Addr;
+
+    fn sip(aor: &str, origin: u32, seq: u64, lifetime: u32) -> ServiceEntry {
+        ServiceEntry::sip_binding(
+            aor,
+            format!("10.0.0.{}:5060", origin + 1).parse().unwrap(),
+            Addr::manet(origin),
+            seq,
+            lifetime,
+        )
+    }
+
+    #[test]
+    fn absorb_accepts_new_and_fresher_only() {
+        let mut r = SlpRegistry::new();
+        let now = SimTime::ZERO;
+        assert!(r.absorb(sip("alice@v.ch", 1, 5, 60), now));
+        assert!(!r.absorb(sip("alice@v.ch", 1, 5, 60), now), "same seq rejected");
+        assert!(!r.absorb(sip("alice@v.ch", 1, 4, 60), now), "older rejected");
+        assert!(r.absorb(sip("alice@v.ch", 1, 6, 60), now), "newer accepted");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn local_entries_never_overwritten_by_gossip() {
+        let mut r = SlpRegistry::new();
+        let now = SimTime::ZERO;
+        r.register_local(sip("alice@v.ch", 0, 1, 60), now);
+        assert!(!r.absorb(sip("alice@v.ch", 0, 99, 60), now));
+        assert_eq!(r.lookup("sip", "alice@v.ch", now)[0].seq, 1);
+    }
+
+    #[test]
+    fn lookup_filters_by_type_key_and_expiry() {
+        let mut r = SlpRegistry::new();
+        let now = SimTime::ZERO;
+        r.absorb(sip("alice@v.ch", 1, 1, 10), now);
+        r.absorb(sip("bob@v.ch", 2, 1, 100), now);
+        r.absorb(
+            ServiceEntry::gateway("10.0.0.9:7077".parse().unwrap(), Addr::manet(8), 1, 100),
+            now,
+        );
+        assert_eq!(r.lookup("sip", "alice@v.ch", now).len(), 1);
+        assert_eq!(r.lookup("sip", "", now).len(), 2, "empty key matches type");
+        assert_eq!(r.lookup("gateway", "", now).len(), 1);
+        let later = SimTime::from_secs(50);
+        assert!(r.lookup("sip", "alice@v.ch", later).is_empty(), "expired");
+    }
+
+    #[test]
+    fn same_aor_from_two_origins_both_kept() {
+        let mut r = SlpRegistry::new();
+        let now = SimTime::ZERO;
+        r.absorb(sip("alice@v.ch", 1, 1, 60), now);
+        r.absorb(sip("alice@v.ch", 2, 1, 60), now);
+        assert_eq!(r.lookup("sip", "alice@v.ch", now).len(), 2);
+    }
+
+    #[test]
+    fn refreshed_lifetime_shrinks_with_age() {
+        let mut r = SlpRegistry::new();
+        r.register_local(sip("alice@v.ch", 0, 1, 100), SimTime::ZERO);
+        let at_40 = SimTime::from_secs(40);
+        let e = &r.local_entries(at_40)[0];
+        assert_eq!(e.lifetime_secs, 60);
+    }
+
+    #[test]
+    fn purge_removes_expired() {
+        let mut r = SlpRegistry::new();
+        r.absorb(sip("a@v.ch", 1, 1, 10), SimTime::ZERO);
+        r.purge(SimTime::from_secs(20));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn render_shows_local_and_remote() {
+        let mut r = SlpRegistry::new();
+        let now = SimTime::ZERO;
+        r.register_local(sip("alice@v.ch", 0, 1, 60), now);
+        r.absorb(sip("bob@v.ch", 1, 1, 60), now);
+        let s = r.render(now);
+        assert!(s.contains("[local ]"));
+        assert!(s.contains("[remote]"));
+        assert!(s.contains("service:sip://alice@v.ch!10.0.0.1:5060"));
+    }
+}

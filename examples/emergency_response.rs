@@ -1,0 +1,117 @@
+//! Emergency response: "MANETs are further envisioned as playing a
+//! significant role in emergency response situations in which the network
+//! infrastructure might temporarily be broken" (paper §1).
+//!
+//! A command post stays put while twelve first responders move through a
+//! 350×350 m incident area (random waypoint, pedestrian/vehicle speeds).
+//! Responders call the command post repeatedly; one relay node fails
+//! mid-scenario and recovers later. Prints per-call outcomes and the
+//! overall success rate under churn.
+//!
+//! Run with: `cargo run --release --example emergency_response`
+
+use wireless_adhoc_voip::core::config::VoipAppConfig;
+use wireless_adhoc_voip::core::nodesetup::{deploy, NodeSpec};
+use wireless_adhoc_voip::simnet::mobility::{Area, Mobility, WaypointParams};
+use wireless_adhoc_voip::simnet::prelude::*;
+use wireless_adhoc_voip::sip::ua::CallEvent;
+use wireless_adhoc_voip::sip::uri::Aor;
+
+fn main() {
+    let mut world = World::new(WorldConfig::new(911));
+    let area = Area::new(350.0, 350.0);
+
+    // Command post in the center, static.
+    let post_ua = VoipAppConfig::fig2("post", "rescue.org")
+        .to_ua_config()
+        .expect("config resolves");
+    let post = deploy(&mut world, NodeSpec::relay(175.0, 175.0).with_user(post_ua));
+
+    // Twelve responders: walking (1–2 m/s) or vehicle (5–10 m/s).
+    let mut responders = Vec::new();
+    for i in 0..12u32 {
+        let name = format!("unit{i:02}");
+        let start = (
+            30.0 + (i as f64 * 97.0) % 290.0,
+            30.0 + (i as f64 * 53.0) % 290.0,
+        );
+        let params = if i % 3 == 0 {
+            WaypointParams::new(5.0, 10.0, SimDuration::from_secs(5)) // vehicles
+        } else {
+            WaypointParams::new(1.0, 2.0, SimDuration::from_secs(10)) // on foot
+        };
+        let mobility = Mobility::random_waypoint(
+            start,
+            params,
+            area,
+            SimTime::ZERO,
+            &mut SimRng::from_seed_and_stream(911, 7000 + i as u64),
+        );
+        // Each responder checks in twice during the 5-minute scenario.
+        let mut ua = VoipAppConfig::fig2(&name, "rescue.org")
+            .to_ua_config()
+            .expect("config resolves");
+        for k in 0..2u64 {
+            ua = ua.call_at(
+                SimTime::from_secs(20 + i as u64 * 9 + k * 130),
+                Aor::new("post", "rescue.org"),
+                SimDuration::from_secs(15),
+            );
+        }
+        responders.push((
+            name,
+            deploy(
+                &mut world,
+                NodeSpec::relay(start.0, start.1).with_mobility(mobility).with_user(ua),
+            ),
+        ));
+    }
+
+    println!("emergency scenario: 1 command post + {} mobile responders, 300 s", responders.len());
+
+    // A responder's radio dies at t=100 and is fixed at t=180.
+    let casualty = responders[5].1.id;
+    world.run_for(SimDuration::from_secs(100));
+    println!("t=100s: {} goes dark (battery pulled)", responders[5].0);
+    world.set_node_up(casualty, false);
+    world.run_for(SimDuration::from_secs(80));
+    println!("t=180s: {} back online", responders[5].0);
+    world.set_node_up(casualty, true);
+    world.run_for(SimDuration::from_secs(120));
+
+    // Outcomes.
+    let mut attempted = 0usize;
+    let mut established = 0usize;
+    println!("\n{:<8} {:>9} {:>11} {:>8}", "unit", "attempts", "established", "worstMOS");
+    for (name, node) in &responders {
+        let log = node.ua_logs[0].borrow();
+        let a = log.count(|e| matches!(e, CallEvent::OutgoingCall { .. }));
+        let e = log.count(|e| matches!(e, CallEvent::Established { .. }));
+        attempted += a;
+        established += e;
+        let worst_mos = node
+            .media_reports
+            .as_ref()
+            .expect("media runs")
+            .borrow()
+            .iter()
+            .map(|r| r.quality.mos)
+            .fold(f64::INFINITY, f64::min);
+        let worst = if worst_mos.is_finite() { format!("{worst_mos:.2}") } else { "-".to_owned() };
+        println!("{name:<8} {a:>9} {e:>11} {worst:>8}");
+    }
+    let post_log = post.ua_logs[0].borrow();
+    let incoming = post_log.count(|e| matches!(e, CallEvent::IncomingCall { .. }));
+    println!("\ncommand post answered {incoming} incoming calls");
+    println!(
+        "success rate under mobility and churn: {}/{} ({:.0}%)",
+        established,
+        attempted,
+        100.0 * established as f64 / attempted.max(1) as f64
+    );
+    assert!(attempted >= 20, "scenario should attempt most scheduled calls");
+    assert!(
+        established as f64 >= attempted as f64 * 0.5,
+        "at least half the calls should succeed under this mobility"
+    );
+}

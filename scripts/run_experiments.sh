@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of EXPERIMENTS.md into results/.
+# Usage: scripts/run_experiments.sh [filter]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+EXPS=(exp_setup_delay exp_lookup exp_overhead exp_registration exp_mobility
+      exp_gateway exp_voice_quality exp_ablation_piggyback exp_contention
+      exp_footprint exp_interop exp_call_steps exp_scalability)
+for exp in "${EXPS[@]}"; do
+  if [[ $# -ge 1 && "$exp" != *"$1"* ]]; then continue; fi
+  echo "== $exp =="
+  cargo run --release -q -p siphoc-bench --bin "$exp" | tee "results/$exp.txt"
+done

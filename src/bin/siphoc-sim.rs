@@ -1,0 +1,69 @@
+//! `siphoc-sim`: run a declarative SIPHoc scenario from a JSON file.
+//!
+//! ```text
+//! siphoc-sim scenarios/two_node_call.json          # human-readable report
+//! siphoc-sim --json scenarios/two_node_call.json   # machine-readable report
+//! ```
+
+use std::process::ExitCode;
+
+use wireless_adhoc_voip::scenario::Scenario;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let Some(path) = args.first() else {
+        eprintln!("usage: siphoc-sim [--json] <scenario.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match Scenario::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match scenario.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json_out {
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "scenario: seed {} · {} simulated seconds · {} users",
+        report.seed,
+        report.duration_secs,
+        report.users.len()
+    );
+    println!(
+        "totals: {} control payload bytes · {} RTP packets delivered\n",
+        report.control_bytes, report.rtp_packets
+    );
+    for u in &report.users {
+        let mos = u
+            .worst_mos
+            .map(|m| format!("{m:.2}"))
+            .unwrap_or_else(|| "-".to_owned());
+        println!(
+            "{:<10} placed {} · established {} · received {} · worst MOS {}",
+            u.user, u.calls_placed, u.calls_established, u.calls_received, mos
+        );
+        for line in &u.timeline {
+            println!("    {line}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,69 @@
+//! The trace dissector set: every protocol in the stack renders a
+//! readable info column, and unknown traffic falls back cleanly.
+
+use wireless_adhoc_voip::dissectors;
+use wireless_adhoc_voip::media::rtp::RtpPacket;
+use wireless_adhoc_voip::simnet::net::{Addr, Datagram, SocketAddr};
+use wireless_adhoc_voip::simnet::node::NodeId;
+use wireless_adhoc_voip::simnet::time::SimTime;
+use wireless_adhoc_voip::simnet::trace::{PacketTrace, TraceEntry, TraceKind};
+use wireless_adhoc_voip::slp::msg::SlpMsg;
+
+fn entry(port: u16, payload: Vec<u8>) -> TraceEntry {
+    TraceEntry {
+        time: SimTime::from_millis(1),
+        node: NodeId(0),
+        kind: TraceKind::RadioRx,
+        reason: None,
+        dgram: Datagram::new(
+            SocketAddr::new(Addr::manet(0), port),
+            SocketAddr::new(Addr::manet(1), port),
+            payload,
+        ),
+    }
+}
+
+#[test]
+fn every_protocol_dissects() {
+    let mut trace = PacketTrace::new();
+    trace.set_enabled(true);
+    trace.record(entry(5060, b"INVITE sip:bob@voicehoc.ch SIP/2.0\r\n\r\n".to_vec()));
+    trace.record(entry(5070, b"SIP/2.0 180 Ringing\r\n\r\n".to_vec()));
+    trace.record(entry(
+        427,
+        SlpMsg::SrvRqst { xid: 9, service_type: "sip".into(), key: "bob@v.ch".into() }.to_wire(),
+    ));
+    let rtp = RtpPacket {
+        payload_type: 0,
+        seq: 42,
+        timestamp: 4711,
+        ssrc: 0xabcd,
+        payload: vec![0u8; 160],
+    };
+    trace.record(entry(8000, rtp.to_bytes()));
+    trace.record(entry(9999, b"mystery".to_vec()));
+
+    let out = trace.render(&dissectors());
+    assert!(out.contains("INVITE sip:bob@voicehoc.ch SIP/2.0"), "{out}");
+    assert!(out.contains("SIP/2.0 180 Ringing"), "{out}");
+    assert!(out.contains("SrvRqst sip bob@v.ch"), "{out}");
+    assert!(out.contains("PT=0 seq=42"), "{out}");
+    // Unknown traffic falls back to the generic udp row.
+    assert!(out.contains("udp"), "{out}");
+}
+
+#[test]
+fn sip_dissector_ignores_non_sip_text_on_sip_ports() {
+    let out = wireless_adhoc_voip::sip::sip_dissector(5060, b"not sip at all");
+    assert!(out.is_none());
+    let out = wireless_adhoc_voip::sip::sip_dissector(5060, &[0xff, 0xfe]);
+    assert!(out.is_none());
+}
+
+#[test]
+fn baseline_traffic_renders_on_slp_port() {
+    let (proto, info) =
+        wireless_adhoc_voip::slp::slp_dissector(427, b"PHELLO\nSLP1 reg sip a 10.0.0.1:5060 10.0.0.1 1 60").unwrap();
+    assert_eq!(proto, "slp");
+    assert!(info.starts_with("PHELLO"), "{info}");
+}

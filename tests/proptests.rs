@@ -1,0 +1,289 @@
+//! Property-based tests over the stack's parsers, codecs and invariants.
+//!
+//! Three recurring properties:
+//! * round-trip: `parse(serialize(x)) == x` for arbitrary well-formed `x`;
+//! * totality: parsers never panic on arbitrary bytes;
+//! * model invariants: monotonicity/conservation laws of the quality
+//!   model, jitter buffer and routing table.
+
+use proptest::prelude::*;
+
+use wireless_adhoc_voip::media::codec::Codec;
+use wireless_adhoc_voip::media::jitter::JitterBuffer;
+use wireless_adhoc_voip::media::quality;
+use wireless_adhoc_voip::media::rtp::{RtcpReport, RtpPacket};
+use wireless_adhoc_voip::routing::aodv::AodvMsg;
+use wireless_adhoc_voip::routing::olsr::OlsrMsg;
+use wireless_adhoc_voip::simnet::net::{Addr, SocketAddr};
+use wireless_adhoc_voip::simnet::route::{Route, RoutingTable};
+use wireless_adhoc_voip::simnet::time::{SimDuration, SimTime};
+use wireless_adhoc_voip::sip::headers::{CSeq, NameAddr, Via};
+use wireless_adhoc_voip::sip::msg::{Method, SipMessage};
+use wireless_adhoc_voip::sip::sdp::Sdp;
+use wireless_adhoc_voip::sip::uri::SipUri;
+use wireless_adhoc_voip::slp::msg::SlpMsg;
+use wireless_adhoc_voip::slp::service::{ServiceEntry, SlpRecord};
+
+// ----------------------------------------------------------------------
+// Generators
+// ----------------------------------------------------------------------
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    any::<u32>().prop_map(Addr)
+}
+
+fn arb_sock() -> impl Strategy<Value = SocketAddr> {
+    (arb_addr(), any::<u16>()).prop_map(|(a, p)| SocketAddr::new(a, p))
+}
+
+/// Tokens safe inside our whitespace-delimited text formats.
+fn arb_token() -> impl Strategy<Value = String> {
+    // `-` alone is the wire marker for the empty key; exclude it.
+    "[a-z0-9._@-]{1,24}".prop_filter("reserved", |s| s != "-")
+}
+
+fn arb_entry() -> impl Strategy<Value = ServiceEntry> {
+    (arb_token(), arb_token(), arb_sock(), arb_addr(), any::<u64>(), any::<u32>()).prop_map(
+        |(st, key, contact, origin, seq, lifetime)| ServiceEntry {
+            service_type: st,
+            key,
+            contact,
+            origin,
+            seq,
+            lifetime_secs: lifetime,
+        },
+    )
+}
+
+// ----------------------------------------------------------------------
+// Round-trips
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn addr_display_parse_round_trip(a in arb_addr()) {
+        let shown = a.to_string();
+        prop_assert_eq!(shown.parse::<Addr>().unwrap(), a);
+    }
+
+    #[test]
+    fn socket_addr_round_trip(sa in arb_sock()) {
+        prop_assert_eq!(sa.to_string().parse::<SocketAddr>().unwrap(), sa);
+    }
+
+    #[test]
+    fn sip_uri_round_trip(user in "[a-z0-9]{1,12}", host in "[a-z0-9.]{1,20}", port in proptest::option::of(1u16..)) {
+        let uri = SipUri { user: Some(user), host, port, params: vec![] };
+        let shown = uri.to_string();
+        prop_assert_eq!(shown.parse::<SipUri>().unwrap(), uri);
+    }
+
+    #[test]
+    fn via_round_trip(sent_by in arb_sock(), branch in "z9hG4bK[a-f0-9]{1,16}") {
+        let via = Via::new(sent_by, &branch);
+        prop_assert_eq!(via.to_string().parse::<Via>().unwrap(), via);
+    }
+
+    #[test]
+    fn cseq_round_trip(seq in any::<u32>(), method in "[A-Z]{2,10}") {
+        let c = CSeq { seq, method };
+        prop_assert_eq!(c.to_string().parse::<CSeq>().unwrap(), c);
+    }
+
+    #[test]
+    fn name_addr_round_trip(user in "[a-z]{1,8}", host in "[a-z.]{1,12}", tag in proptest::option::of("[a-f0-9]{1,8}")) {
+        let mut na = NameAddr::new(SipUri::new(&user, &host));
+        if let Some(t) = &tag {
+            na.set_tag(t);
+        }
+        prop_assert_eq!(na.to_string().parse::<NameAddr>().unwrap(), na);
+    }
+
+    #[test]
+    fn sip_message_round_trip(
+        user in "[a-z]{1,8}",
+        host in "[a-z.]{1,12}",
+        call_id in "[a-z0-9-]{1,20}",
+        cseq in 1u32..1_000_000,
+        body in "[ -~&&[^\r\n]]{0,80}",
+    ) {
+        let mut m = SipMessage::request(Method::Invite, SipUri::new(&user, &host));
+        m.headers_mut().push("Via", "SIP/2.0/UDP 10.0.0.1:5070;branch=z9hG4bKx");
+        m.headers_mut().push("From", format!("<sip:{user}@{host}>;tag=a"));
+        m.headers_mut().push("To", format!("<sip:{user}@{host}>"));
+        m.headers_mut().push("Call-ID", &call_id);
+        m.headers_mut().push("CSeq", format!("{cseq} INVITE"));
+        m.set_body(&body, Some("text/plain"));
+        prop_assert_eq!(SipMessage::parse(&m.to_wire()).unwrap(), m);
+    }
+
+    #[test]
+    fn sdp_round_trip(user in "[a-z]{1,8}", id in any::<u32>(), sock in arb_sock()) {
+        let sdp = Sdp::audio(&user, id as u64, sock);
+        prop_assert_eq!(sdp.to_string().parse::<Sdp>().unwrap(), sdp);
+    }
+
+    #[test]
+    fn service_entry_round_trip(e in arb_entry()) {
+        let wire = e.to_wire();
+        prop_assert_eq!(SlpRecord::parse(&wire).unwrap(), SlpRecord::Reg(e));
+    }
+
+    #[test]
+    fn slp_rply_round_trip(xid in any::<u32>(), entries in proptest::collection::vec(arb_entry(), 0..5)) {
+        let m = SlpMsg::SrvRply { xid, entries };
+        prop_assert_eq!(SlpMsg::parse(&m.to_wire()).unwrap(), m);
+    }
+
+    #[test]
+    fn aodv_rreq_round_trip(
+        flags in 0u8..4,
+        hop_count in any::<u8>(),
+        ttl in any::<u8>(),
+        rreq_id in any::<u32>(),
+        dst in arb_addr(),
+        orig in arb_addr(),
+        entries in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..4),
+    ) {
+        let m = AodvMsg::Rreq {
+            flags, hop_count, ttl, rreq_id, dst, dst_seq: 7, orig, orig_seq: 9, entries,
+        };
+        prop_assert_eq!(AodvMsg::parse(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn olsr_tc_round_trip(
+        orig in arb_addr(),
+        msg_seq in any::<u16>(),
+        ansn in any::<u16>(),
+        ttl in any::<u8>(),
+        selectors in proptest::collection::vec(arb_addr(), 0..8),
+    ) {
+        let m = OlsrMsg::Tc { orig, msg_seq, ansn, ttl, selectors, entries: vec![] };
+        prop_assert_eq!(OlsrMsg::parse(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn rtp_round_trip(pt in 0u8..128, seq in any::<u16>(), ts in any::<u32>(), ssrc in any::<u32>(), payload in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let p = RtpPacket { payload_type: pt, seq, timestamp: ts, ssrc, payload };
+        prop_assert_eq!(RtpPacket::parse(&p.to_bytes()).unwrap(), p);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Totality: parsers must never panic on arbitrary input
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sip_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = SipMessage::parse(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn aodv_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = AodvMsg::parse(&bytes);
+    }
+
+    #[test]
+    fn olsr_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = OlsrMsg::parse(&bytes);
+    }
+
+    #[test]
+    fn slp_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = SlpMsg::parse(&bytes);
+        let _ = SlpRecord::parse(&bytes);
+    }
+
+    #[test]
+    fn rtp_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = RtpPacket::parse(&bytes);
+        let _ = RtcpReport::parse(&bytes);
+    }
+
+    #[test]
+    fn uri_parser_total(s in "\\PC{0,60}") {
+        let _ = s.parse::<SipUri>();
+        let _ = s.parse::<Via>();
+        let _ = s.parse::<NameAddr>();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Model invariants
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn mos_decreases_with_loss(delay_ms in 0u64..400, l1 in 0.0f64..0.5, l2 in 0.0f64..0.5) {
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        let d = SimDuration::from_millis(delay_ms);
+        let q_lo = quality::evaluate(&Codec::PCMU, d, lo);
+        let q_hi = quality::evaluate(&Codec::PCMU, d, hi);
+        prop_assert!(q_hi.mos <= q_lo.mos + 1e-9);
+    }
+
+    #[test]
+    fn mos_decreases_with_delay(loss in 0.0f64..0.3, d1 in 0u64..500, d2 in 0u64..500) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let q_lo = quality::evaluate(&Codec::PCMU, SimDuration::from_millis(lo), loss);
+        let q_hi = quality::evaluate(&Codec::PCMU, SimDuration::from_millis(hi), loss);
+        prop_assert!(q_hi.mos <= q_lo.mos + 1e-9);
+    }
+
+    #[test]
+    fn mos_always_in_valid_range(delay_ms in 0u64..5_000, loss in 0.0f64..1.0) {
+        let q = quality::evaluate(&Codec::PCMU, SimDuration::from_millis(delay_ms), loss);
+        prop_assert!((1.0..=4.5).contains(&q.mos), "MOS {}", q.mos);
+        prop_assert!((0.0..=100.0).contains(&q.r_factor));
+    }
+
+    #[test]
+    fn jitter_buffer_conserves_packets(
+        seqs in proptest::collection::vec(any::<u16>(), 1..100),
+    ) {
+        let mut jb = JitterBuffer::new(SimDuration::from_millis(60));
+        let mut fed = 0u64;
+        for (i, seq) in seqs.iter().enumerate() {
+            let sent = SimTime::from_millis(20 * i as u64);
+            let mut p = RtpPacket {
+                payload_type: 0,
+                seq: *seq,
+                timestamp: 0,
+                ssrc: 1,
+                payload: vec![0u8; 160],
+            };
+            p.stamp_send_time(sent);
+            jb.on_packet(&p, sent + SimDuration::from_millis(10));
+            fed += 1;
+        }
+        let s = jb.stats();
+        // Every fed packet is accounted exactly once.
+        prop_assert_eq!(s.played + s.late + s.duplicates, fed);
+        // Expected is at least the distinct packets seen.
+        prop_assert!(s.expected >= 1);
+        prop_assert!(s.effective_loss_fraction() >= 0.0 && s.effective_loss_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn routing_table_lookup_agrees_with_insert(
+        dests in proptest::collection::btree_set(any::<u32>(), 1..50),
+        next in any::<u32>(),
+    ) {
+        let mut t = RoutingTable::new();
+        for d in &dests {
+            t.insert(Addr(*d), Route { next_hop: Addr(next), hops: 1, expires: SimTime::MAX, seq: 0 });
+        }
+        prop_assert_eq!(t.len(), dests.len());
+        for d in &dests {
+            let r = t.lookup(Addr(*d), SimTime::ZERO);
+            prop_assert!(r.is_some());
+            prop_assert_eq!(r.unwrap().next_hop, Addr(next));
+        }
+        // Invalidating the shared next hop empties the table.
+        let dead = t.invalidate_via(Addr(next));
+        prop_assert_eq!(dead.len(), dests.len());
+        prop_assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! F4 — paper Fig. 4: the MANET SLP process state after the proxy has
+//! advertised its contact address, plus the lifecycle of that state
+//! (refresh, de-registration, expiry, remote caching).
+
+use wireless_adhoc_voip::core::config::VoipAppConfig;
+use wireless_adhoc_voip::core::nodesetup::{deploy, NodeSpec};
+use wireless_adhoc_voip::simnet::prelude::*;
+use wireless_adhoc_voip::sip::ua::{ActionKind, ScriptedAction};
+
+fn alice_spec(script: Vec<ScriptedAction>) -> NodeSpec {
+    let mut ua = VoipAppConfig::fig2("Alice", "voicehoc.ch")
+        .to_ua_config()
+        .expect("config resolves");
+    ua.script = script;
+    NodeSpec::relay(0.0, 0.0).with_user(ua)
+}
+
+#[test]
+fn proxy_advertises_registration_in_slp() {
+    let mut w = World::new(WorldConfig::new(401).with_radio(RadioConfig::ideal()));
+    let alice = deploy(&mut w, alice_spec(Vec::new()));
+    w.run_for(SimDuration::from_secs(2));
+
+    // Paper Fig. 4: the registry holds the proxy's endpoint as the
+    // responsible contact for the user.
+    let reg = alice.registry.borrow();
+    let entries = reg.lookup("sip", "alice@voicehoc.ch", w.now());
+    assert_eq!(entries.len(), 1);
+    let e = entries[0];
+    assert_eq!(e.contact.to_string(), "10.0.0.1:5060", "contact is the proxy, not the UA");
+    assert_eq!(e.origin, alice.addr);
+    let rendered = reg.render(w.now());
+    assert!(rendered.contains("service:sip://alice@voicehoc.ch!10.0.0.1:5060"), "{rendered}");
+    assert!(rendered.contains("[local ]"), "{rendered}");
+}
+
+#[test]
+fn advertisement_refreshes_before_expiry() {
+    let mut w = World::new(WorldConfig::new(402).with_radio(RadioConfig::ideal()));
+    let alice = deploy(&mut w, alice_spec(Vec::new()));
+    // SLP advert lifetime is 120 s with refresh at 60 s; after 200 s the
+    // binding must still be live (two refreshes happened).
+    w.run_for(SimDuration::from_secs(200));
+    let reg = alice.registry.borrow();
+    assert_eq!(reg.lookup("sip", "alice@voicehoc.ch", w.now()).len(), 1);
+}
+
+#[test]
+fn unregister_withdraws_the_advertisement() {
+    let mut w = World::new(WorldConfig::new(403).with_radio(RadioConfig::ideal()));
+    let script = vec![ScriptedAction {
+        at: SimTime::from_secs(5),
+        kind: ActionKind::Unregister,
+    }];
+    let alice = deploy(&mut w, alice_spec(script));
+    w.run_for(SimDuration::from_secs(2));
+    assert_eq!(alice.registry.borrow().lookup("sip", "alice@voicehoc.ch", w.now()).len(), 1);
+    w.run_for(SimDuration::from_secs(5));
+    assert!(
+        alice.registry.borrow().lookup("sip", "alice@voicehoc.ch", w.now()).is_empty(),
+        "Expires: 0 must remove the SLP advertisement"
+    );
+}
+
+#[test]
+fn remote_node_caches_learned_binding_with_remote_marker() {
+    let mut w = World::new(WorldConfig::new(404).with_radio(RadioConfig::ideal()));
+    let _alice = deploy(&mut w, alice_spec(Vec::new()));
+    let other = deploy(&mut w, NodeSpec::relay(60.0, 0.0));
+    // Alice's binding spreads via hello piggyback to her neighbor.
+    w.run_for(SimDuration::from_secs(5));
+    let reg = other.registry.borrow();
+    let entries = reg.lookup("sip", "alice@voicehoc.ch", w.now());
+    assert_eq!(entries.len(), 1, "neighbor learns the binding from piggyback");
+    let rendered = reg.render(w.now());
+    assert!(rendered.contains("[remote]"), "{rendered}");
+}
+
+#[test]
+fn node_restart_loses_and_regains_state() {
+    let mut w = World::new(WorldConfig::new(405).with_radio(RadioConfig::ideal()));
+    let alice = deploy(&mut w, alice_spec(Vec::new()));
+    let bob_ua = VoipAppConfig::fig2("Bob", "voicehoc.ch").to_ua_config().expect("config");
+    let bob = deploy(&mut w, NodeSpec::relay(60.0, 0.0).with_user(bob_ua));
+    w.run_for(SimDuration::from_secs(5));
+    assert!(!bob.registry.borrow().lookup("sip", "alice@voicehoc.ch", w.now()).is_empty());
+
+    // Power-cycle bob: his learned state survives in the registry object
+    // (the process owns it), but alice's must re-gossip to stay fresh.
+    w.set_node_up(bob.id, false);
+    w.run_for(SimDuration::from_secs(10));
+    w.set_node_up(bob.id, true);
+    w.run_for(SimDuration::from_secs(15));
+    // Bob is registered and advertised again after restart.
+    assert!(
+        !alice.registry.borrow().lookup("sip", "bob@voicehoc.ch", w.now()).is_empty(),
+        "bob's re-registration must propagate after restart"
+    );
+}

@@ -1,0 +1,103 @@
+//! Tunnel and Connection Provider lifecycle: lease allocation across
+//! multiple clients, expiry after client death, and reconnection after a
+//! gateway restart.
+
+use wireless_adhoc_voip::core::nodesetup::{deploy, NodeSpec};
+use wireless_adhoc_voip::internet::dns::DnsDirectory;
+use wireless_adhoc_voip::simnet::prelude::*;
+
+const GW_PUB: Addr = Addr(0x52824001); // 82.130.64.1
+
+fn world_with_gateway(seed: u64, clients: usize) -> (World, NodeId, Vec<NodeId>) {
+    let mut w = World::new(WorldConfig::new(seed).with_radio(RadioConfig::ideal()));
+    let gw = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0)
+            .with_gateway(GW_PUB)
+            .with_dns(DnsDirectory::new()),
+    );
+    let mut ids = Vec::new();
+    for i in 0..clients {
+        let n = deploy(&mut w, NodeSpec::relay(60.0, i as f64 * 30.0 - 30.0));
+        ids.push(n.id);
+    }
+    (w, gw.id, ids)
+}
+
+#[test]
+fn every_client_gets_a_distinct_lease() {
+    let (mut w, gw, clients) = world_with_gateway(701, 3);
+    w.run_for(SimDuration::from_secs(20));
+    assert!(w.node(gw).stats().get("tunnel.lease").packets >= 3);
+    let mut leases = Vec::new();
+    for &c in &clients {
+        let aliases: Vec<Addr> = w
+            .node(c)
+            .local_addrs()
+            .iter()
+            .copied()
+            .filter(|a| a.is_public())
+            .collect();
+        assert_eq!(aliases.len(), 1, "client {c} holds exactly one lease");
+        leases.push(aliases[0]);
+    }
+    leases.sort();
+    leases.dedup();
+    assert_eq!(leases.len(), clients.len(), "leases must be distinct");
+}
+
+#[test]
+fn dead_client_lease_expires_and_backbone_traffic_is_dropped() {
+    let (mut w, gw, clients) = world_with_gateway(702, 1);
+    w.run_for(SimDuration::from_secs(15));
+    let lease = w
+        .node(clients[0])
+        .local_addrs()
+        .iter()
+        .copied()
+        .find(|a| a.is_public())
+        .expect("client leased");
+    // Kill the client; lease lifetime is 60 s, so after ~130 s the server
+    // must have expired it.
+    w.set_node_up(clients[0], false);
+    w.run_for(SimDuration::from_secs(130));
+    assert!(w.node(gw).stats().get("tunnel.lease_expired").packets >= 1);
+    // Backbone traffic for the stale lease is dropped, not tunneled.
+    let before = w.node(gw).stats().get("tunnel.to_client").packets;
+    let srv = w.add_node(
+        wireless_adhoc_voip::simnet::node::NodeConfig::wired(Addr::new(82, 1, 1, 1)),
+    );
+    w.inject(
+        srv,
+        Datagram::new(
+            SocketAddr::new(Addr::new(82, 1, 1, 1), 5060),
+            SocketAddr::new(lease, 5060),
+            b"too late".to_vec(),
+        ),
+    );
+    w.run_for(SimDuration::from_secs(2));
+    let after = w.node(gw).stats().get("tunnel.to_client").packets;
+    assert_eq!(before, after, "expired lease must not forward");
+}
+
+#[test]
+fn client_reconnects_after_gateway_restart() {
+    let (mut w, gw, clients) = world_with_gateway(703, 1);
+    w.run_for(SimDuration::from_secs(15));
+    assert!(w.node(clients[0]).local_addrs().iter().any(|a| a.is_public()));
+
+    w.set_node_up(gw, false);
+    // Refresh failures take up to max_refresh_failures × lease/2 ≈ 90 s to
+    // declare the tunnel down.
+    w.run_for(SimDuration::from_secs(150));
+    assert!(
+        !w.node(clients[0]).local_addrs().iter().any(|a| a.is_public()),
+        "lease must be torn down after the gateway vanished"
+    );
+    w.set_node_up(gw, true);
+    w.run_for(SimDuration::from_secs(60));
+    assert!(
+        w.node(clients[0]).local_addrs().iter().any(|a| a.is_public()),
+        "client must re-discover and re-lease after gateway restart"
+    );
+}
