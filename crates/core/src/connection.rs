@@ -41,6 +41,12 @@ pub struct ConnectionProviderConfig {
     pub connect_timeout: SimDuration,
     /// Consecutive refresh failures before declaring the tunnel down.
     pub max_refresh_failures: u32,
+    /// Ceiling for the exponential backoff applied to re-probes after
+    /// repeated gateway failures (lease refusals, connect timeouts,
+    /// refresh losses). The first retry still happens after
+    /// `check_interval`; each further consecutive failure doubles the
+    /// wait, capped here and jittered to avoid synchronized probing.
+    pub backoff_max: SimDuration,
     /// The node's own wired public address, when it *is* a gateway — the
     /// provider then reports connectivity immediately and never tunnels.
     pub wired_public: Option<Addr>,
@@ -52,6 +58,7 @@ impl Default for ConnectionProviderConfig {
             check_interval: SimDuration::from_secs(5),
             connect_timeout: SimDuration::from_secs(2),
             max_refresh_failures: 2,
+            backoff_max: SimDuration::from_secs(60),
             wired_public: None,
         }
     }
@@ -85,6 +92,7 @@ pub struct ConnectionProvider {
     cfg: ConnectionProviderConfig,
     state: State,
     next_xid: u32,
+    consecutive_failures: u32,
 }
 
 impl ConnectionProvider {
@@ -94,6 +102,7 @@ impl ConnectionProvider {
             cfg,
             state: State::Idle,
             next_xid: 0,
+            consecutive_failures: 0,
         }
     }
 
@@ -106,12 +115,27 @@ impl ConnectionProvider {
         self.next_xid += 1;
         let xid = self.next_xid;
         self.state = State::Probing { xid };
+        ctx.stats().count("cp.probe", 1);
         let m = SlpMsg::SrvRqst {
             xid,
             service_type: service_types::GATEWAY.to_owned(),
             key: String::new(),
         };
         ctx.send_local(ports::SLP, CP_SLP_PORT, m.to_wire());
+    }
+
+    /// Schedules the next gateway re-check, backing off exponentially
+    /// (with jitter) after consecutive failures so a gateway-less MANET
+    /// is not flooded with synchronized probe traffic.
+    fn schedule_recheck(&mut self, ctx: &mut Ctx<'_>) {
+        let base = self.cfg.check_interval.as_micros().max(1);
+        let cap = self.cfg.backoff_max.as_micros().max(base);
+        let shift = self.consecutive_failures.min(16);
+        let backoff = base.saturating_mul(1u64 << shift).min(cap);
+        // Uniform in [backoff/2, backoff): desynchronizes nodes that all
+        // lost the same gateway at the same instant.
+        let delay = ctx.rng().range_u64((backoff / 2).max(1), backoff.max(2));
+        ctx.set_timer(SimDuration::from_micros(delay), TAG_CHECK);
     }
 
     fn connect(&mut self, ctx: &mut Ctx<'_>, gateway: SocketAddr, attempts: u32) {
@@ -146,6 +170,7 @@ impl ConnectionProvider {
                     refresh_failures: 0,
                     refresh_outstanding: false,
                 };
+                self.consecutive_failures = 0;
                 ctx.add_local_addr(public);
                 ctx.set_default_handler(true);
                 ctx.stats().count("cp.tunnel_up", 1);
@@ -213,7 +238,8 @@ impl Process for ConnectionProvider {
                             Some(gw) => self.connect(ctx, gw.contact, 0),
                             None => {
                                 self.state = State::Idle;
-                                ctx.set_timer(self.cfg.check_interval, TAG_CHECK);
+                                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                                self.schedule_recheck(ctx);
                             }
                         }
                     }
@@ -259,7 +285,8 @@ impl Process for ConnectionProvider {
                         self.connect(ctx, gateway, attempts + 1);
                     } else {
                         self.state = State::Idle;
-                        ctx.set_timer(self.cfg.check_interval, TAG_CHECK);
+                        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                        self.schedule_recheck(ctx);
                     }
                 }
             }
@@ -278,7 +305,8 @@ impl Process for ConnectionProvider {
                     }
                     if *refresh_failures > max_failures {
                         self.teardown(ctx);
-                        ctx.set_timer(self.cfg.check_interval, TAG_CHECK);
+                        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                        self.schedule_recheck(ctx);
                         return;
                     }
                     *refresh_outstanding = true;
@@ -295,9 +323,19 @@ impl Process for ConnectionProvider {
 
     fn on_local_event(&mut self, ctx: &mut Ctx<'_>, ev: &LocalEvent) {
         if matches!(ev, LocalEvent::NodeRestarted) {
-            self.state = State::Idle;
-            if self.cfg.wired_public.is_none() {
-                ctx.set_timer(SimDuration::from_millis(100), TAG_CHECK);
+            // A crash does not clear the node's address aliases or
+            // default-handler registration, and the gateway side of any
+            // pre-crash lease is gone; tear everything down before
+            // starting over so the restarted node does not keep NATing
+            // through a dead tunnel.
+            self.teardown(ctx);
+            self.consecutive_failures = 0;
+            match self.cfg.wired_public {
+                Some(public) => ctx.emit(LocalEvent::Custom {
+                    kind: INTERNET_UP_EVENT,
+                    data: public.to_string().into_bytes(),
+                }),
+                None => ctx.set_timer(SimDuration::from_millis(100), TAG_CHECK),
             }
         }
     }

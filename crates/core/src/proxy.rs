@@ -311,17 +311,20 @@ impl SiphocProxy {
 
     fn on_request(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage, from: SocketAddr) {
         let local_src = self.is_local_source(ctx, from);
-        let method = msg.method().expect("requests carry methods");
+        // A corrupted datagram can parse as a response (or a request whose
+        // mandatory parts were mangled); drop it rather than panic.
+        let (method, uri) = match &msg {
+            SipMessage::Request { method, uri, .. } => (*method, uri.clone()),
+            SipMessage::Response { .. } => {
+                ctx.stats().count("sip.malformed_dropped", 1);
+                return;
+            }
+        };
 
         if method == Method::Register && local_src {
             self.on_local_register(ctx, msg);
             return;
         }
-
-        let SipMessage::Request { uri, .. } = &msg else {
-            unreachable!("on_request called with a response");
-        };
-        let uri = uri.clone();
 
         // Numeric Request-URIs: either one of our own advertised
         // endpoints (deliver to the local user named in the URI) or a

@@ -447,7 +447,7 @@ impl AodvProcess {
         }
         self.seen_rreq.insert((orig, rreq_id), ctx.now());
         // Reverse route to the originator.
-        self.update_route(ctx, orig, from, hop_count + 1, orig_seq, self.cfg.active_route_timeout);
+        self.update_route(ctx, orig, from, hop_count.saturating_add(1), orig_seq, self.cfg.active_route_timeout);
 
         let answers = self.handler_incoming(ctx, MsgKind::AodvRreq, from, orig, &entries);
 
@@ -469,7 +469,7 @@ impl AodvProcess {
             if ttl > 1 {
                 let fwd = AodvMsg::Rreq {
                     flags,
-                    hop_count: hop_count + 1,
+                    hop_count: hop_count.saturating_add(1),
                     ttl: ttl - 1,
                     rreq_id,
                     dst,
@@ -523,7 +523,7 @@ impl AodvProcess {
         if ttl > 1 {
             let fwd = AodvMsg::Rreq {
                 flags,
-                hop_count: hop_count + 1,
+                hop_count: hop_count.saturating_add(1),
                 ttl: ttl - 1,
                 rreq_id,
                 dst,
@@ -541,7 +541,7 @@ impl AodvProcess {
             return;
         };
         self.update_route(ctx, from, from, 1, 0, self.cfg.active_route_timeout);
-        self.update_route(ctx, dst, from, hop_count + 1, dst_seq, lifetime);
+        self.update_route(ctx, dst, from, hop_count.saturating_add(1), dst_seq, lifetime);
         let _ = self.handler_incoming(ctx, MsgKind::AodvRrep, from, dst, &entries);
         let _ = flags;
 
@@ -553,7 +553,7 @@ impl AodvProcess {
         if let Some(r) = ctx.routes_ref().lookup_specific(orig, ctx.now()) {
             let fwd = AodvMsg::Rrep {
                 flags,
-                hop_count: hop_count + 1,
+                hop_count: hop_count.saturating_add(1),
                 dst,
                 dst_seq,
                 orig,
@@ -633,6 +633,8 @@ impl Process for AodvProcess {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.bind(ports::AODV);
+        // RFC 3561 §6.2: data traffic over a route extends its lifetime.
+        ctx.routes().set_keepalive(Some(self.cfg.active_route_timeout));
         if !self.cfg.hello_interval.is_zero() {
             // Stagger first hellos to avoid network-wide synchronization.
             let jitter = ctx.rng().range_u64(0, self.cfg.hello_interval.as_micros().max(1));

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod mobility;
 pub mod net;
 pub mod node;
@@ -50,6 +51,7 @@ pub mod world;
 
 /// Convenient glob import of the types nearly every user needs.
 pub mod prelude {
+    pub use crate::fault::{FaultAction, FaultPlan, LinkSelector, PacketFault, PacketFaultKind};
     pub use crate::mobility::{Area, Mobility, WaypointParams};
     pub use crate::net::{ports, Addr, Datagram, L2Dst, SocketAddr};
     pub use crate::node::{NodeConfig, NodeId};

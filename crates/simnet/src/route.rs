@@ -43,6 +43,7 @@ pub struct Route {
 pub struct RoutingTable {
     entries: BTreeMap<Addr, Route>,
     default_route: Option<Route>,
+    keepalive: Option<crate::time::SimDuration>,
 }
 
 impl RoutingTable {
@@ -72,6 +73,36 @@ impl RoutingTable {
                 _ => None,
             },
         }
+    }
+
+    /// Sets the keepalive extension for routes that carry data traffic.
+    ///
+    /// Reactive protocols (AODV) call this with their active-route
+    /// timeout: RFC 3561 §6.2 requires an entry's lifetime to be pushed
+    /// out each time the route forwards a packet, so routes in active use
+    /// never expire mid-flow. Proactive protocols leave it unset — their
+    /// periodic updates already refresh entries.
+    pub fn set_keepalive(&mut self, extend: Option<crate::time::SimDuration>) {
+        self.keepalive = extend;
+    }
+
+    /// Looks up an unexpired route for `dst` and, when a keepalive
+    /// extension is configured, pushes the entry's expiry out to
+    /// `now + keepalive`. The forwarding path uses this so data traffic
+    /// keeps its own routes alive.
+    pub fn lookup_active(&mut self, dst: Addr, now: SimTime) -> Option<Route> {
+        if let Some(extend) = self.keepalive {
+            if let Some(r) = self.entries.get_mut(&dst) {
+                if r.expires > now {
+                    let refreshed = now + extend;
+                    if r.expires < refreshed {
+                        r.expires = refreshed;
+                    }
+                    return Some(*r);
+                }
+            }
+        }
+        self.lookup(dst, now)
     }
 
     /// Looks up a specific (non-default) unexpired route for `dst`.
@@ -219,6 +250,25 @@ mod tests {
         t.purge_expired(now);
         assert_eq!(t.len(), 1);
         assert!(t.default_route(now).is_none());
+    }
+
+    #[test]
+    fn lookup_active_extends_expiry_only_with_keepalive() {
+        let mut t = RoutingTable::new();
+        let dst = Addr::manet(9);
+        t.insert(dst, route(1, 2, SimTime::from_secs(10)));
+        // Without keepalive: plain lookup, no refresh.
+        assert!(t.lookup_active(dst, SimTime::from_secs(5)).is_some());
+        assert!(t.lookup_active(dst, SimTime::from_secs(10)).is_none());
+
+        t.insert(dst, route(1, 2, SimTime::from_secs(10)));
+        t.set_keepalive(Some(SimDuration::from_secs(6)));
+        assert!(t.lookup_active(dst, SimTime::from_secs(9)).is_some());
+        // Use at t=9 pushed the expiry to t=15.
+        assert!(t.lookup(dst, SimTime::from_secs(14)).is_some());
+        assert!(t.lookup(dst, SimTime::from_secs(15)).is_none());
+        // An already-expired route is not resurrected.
+        assert!(t.lookup_active(dst, SimTime::from_secs(20)).is_none());
     }
 
     #[test]

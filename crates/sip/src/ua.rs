@@ -221,6 +221,7 @@ struct Dialog {
     invite_branch: Option<String>,
     invite_key: Option<String>,
     pending_invite: Option<SipMessage>,
+    answer_resp: Option<SipMessage>,
     duration: Option<SimDuration>,
     cancelled: bool,
 }
@@ -358,6 +359,7 @@ impl UserAgent {
             invite_branch: Some(branch),
             invite_key: None,
             pending_invite: None,
+            answer_resp: None,
             duration: Some(duration),
             cancelled: false,
         };
@@ -482,10 +484,52 @@ impl UserAgent {
         let Some(from) = msg.from_header() else {
             return;
         };
-        if self.dialogs.contains_key(&call_id) {
-            // Re-INVITE unsupported: busy-out.
-            let resp = SipMessage::response_to(&msg, StatusCode::BUSY);
-            self.txn.respond(ctx, &key, resp);
+        if let Some(d) = self.dialogs.get(&call_id) {
+            // A retransmitted INVITE can surface on a *new* server
+            // transaction when an earlier flight's Via branch was mangled
+            // in transit: same dialog, different key. Detect it by From
+            // tag + CSeq and replay our current response on the fresh
+            // transaction so the caller can still reach us.
+            let retransmit = d.role == Role::Callee
+                && d.state != DialogState::Terminated
+                && from.tag().map(str::to_owned) == d.remote_tag
+                && msg.cseq() == d.pending_invite.as_ref().and_then(|m| m.cseq());
+            if retransmit {
+                ctx.stats().count("sip.invite_rebranch", 1);
+                if let Some(prev) = d.answer_resp.clone() {
+                    // Rebuild against *this* flight's Via stack — the
+                    // stored 200 answers the original (possibly mangled)
+                    // request and would route back along dead branches.
+                    let mut ok = SipMessage::response_to(&msg, StatusCode::OK);
+                    if let Some(to) = prev.to_header() {
+                        ok.headers_mut().set("To", to);
+                    }
+                    if let Some(contact) = prev.contact() {
+                        ok.headers_mut().set("Contact", contact);
+                    }
+                    if !prev.body().is_empty() {
+                        ok.set_body(prev.body(), Some("application/sdp"));
+                    }
+                    self.txn.respond(ctx, &key, ok);
+                } else {
+                    let local_tag = d.local_tag.clone();
+                    if let Some(d) = self.dialogs.get_mut(&call_id) {
+                        // Answer on the clean transaction when it fires.
+                        d.invite_key = Some(key.clone());
+                        d.pending_invite = Some(msg.clone());
+                    }
+                    let mut ringing = SipMessage::response_to(&msg, StatusCode::RINGING);
+                    if let Some(mut to) = ringing.to_header() {
+                        to.set_tag(&local_tag);
+                        ringing.headers_mut().set("To", to);
+                    }
+                    self.txn.respond(ctx, &key, ringing);
+                }
+            } else {
+                // Re-INVITE unsupported: busy-out.
+                let resp = SipMessage::response_to(&msg, StatusCode::BUSY);
+                self.txn.respond(ctx, &key, resp);
+            }
             return;
         }
         let idx = self.next_dialog;
@@ -507,6 +551,7 @@ impl UserAgent {
             invite_branch: None,
             invite_key: Some(key.clone()),
             pending_invite: Some(msg.clone()),
+            answer_resp: None,
             duration: None,
             cancelled: false,
         };
@@ -562,6 +607,9 @@ impl UserAgent {
             if let Some(a) = answer {
                 ok.set_body(&a.to_string(), Some("application/sdp"));
             }
+        }
+        if let Some(d) = self.dialogs.get_mut(&call_id) {
+            d.answer_resp = Some(ok.clone());
         }
         self.txn.respond(ctx, &key, ok);
         // Established is logged when the ACK arrives.
@@ -670,8 +718,13 @@ impl UserAgent {
                     }
                 }
             } else if status.is_final() {
+                // Duplicated or reordered finals can race dialog teardown;
+                // a missing dialog is a drop, not a crash.
+                let Some(d) = self.dialogs.get_mut(&call_id) else {
+                    ctx.stats().count("sip.malformed_dropped", 1);
+                    return;
+                };
                 let (ended, cancelled) = {
-                    let d = self.dialogs.get_mut(&call_id).expect("dialog exists");
                     let was_early = d.state == DialogState::Early;
                     d.state = DialogState::Terminated;
                     (was_early, d.cancelled)

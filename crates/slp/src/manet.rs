@@ -426,6 +426,14 @@ impl Process for ManetSlpProcess {
             }
             LocalEvent::NodeRestarted => {
                 self.pending.clear();
+                // Entries learned before the crash may describe a network
+                // that no longer exists (the paper's churn scenario: nodes
+                // and gateways leave at any time). Keep only what this
+                // node itself advertises; fresh gossip re-fills the rest.
+                let dropped = self.registry.borrow_mut().drop_remote();
+                if dropped > 0 {
+                    ctx.stats().count("slp.purged_restart", dropped);
+                }
                 ctx.set_timer(SimDuration::from_secs(10), TAG_PURGE);
             }
             _ => {}

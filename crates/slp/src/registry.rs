@@ -115,6 +115,16 @@ impl SlpRegistry {
         self.entries.retain(|_, s| s.expires > now);
     }
 
+    /// Drops every *learned* (non-local) entry, returning how many were
+    /// removed. Used after crashes and partition heals: entries absorbed
+    /// before the disruption may name gateways or proxies that no longer
+    /// exist, and serving them stale is worse than re-flooding a query.
+    pub fn drop_remote(&mut self) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, s| s.local);
+        before - self.entries.len()
+    }
+
     /// Number of stored entries (expired included until purged).
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The repo's single gate: build, test, lint. Run before publishing results
+# or merging; scripts/run_experiments.sh calls this first so no numbers are
+# ever generated from a broken tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

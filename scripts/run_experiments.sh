@@ -3,6 +3,7 @@
 # Usage: scripts/run_experiments.sh [filter]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+scripts/ci.sh
 mkdir -p results
 EXPS=(exp_setup_delay exp_lookup exp_overhead exp_registration exp_mobility
       exp_gateway exp_voice_quality exp_ablation_piggyback exp_contention

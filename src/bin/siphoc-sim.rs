@@ -49,8 +49,8 @@ fn main() -> ExitCode {
         report.users.len()
     );
     println!(
-        "totals: {} control payload bytes · {} RTP packets delivered\n",
-        report.control_bytes, report.rtp_packets
+        "totals: {} control payload bytes · {} RTP packets delivered · {} faults injected\n",
+        report.control_bytes, report.rtp_packets, report.faults_injected
     );
     for u in &report.users {
         let mos = u

@@ -120,6 +120,133 @@ pub struct ProviderSpec {
     pub addr: String,
 }
 
+/// One scheduled fault in a chaos plan. Nodes are referenced by their
+/// index in the scenario's `nodes` array.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "action", rename_all = "snake_case")]
+pub enum FaultEventSpec {
+    /// Power a node down.
+    Crash {
+        /// When, seconds from scenario start.
+        at_secs: u64,
+        /// Node index.
+        node: usize,
+    },
+    /// Power a node back up.
+    Restart {
+        /// When, seconds from scenario start.
+        at_secs: u64,
+        /// Node index.
+        node: usize,
+    },
+    /// Administratively cut the radio link between two nodes.
+    LinkDown {
+        /// When, seconds from scenario start.
+        at_secs: u64,
+        /// First endpoint, node index.
+        a: usize,
+        /// Second endpoint, node index.
+        b: usize,
+    },
+    /// Restore a previously cut link.
+    LinkUp {
+        /// When, seconds from scenario start.
+        at_secs: u64,
+        /// First endpoint, node index.
+        a: usize,
+        /// Second endpoint, node index.
+        b: usize,
+    },
+    /// Cut every radio link between `island` members and the rest.
+    Partition {
+        /// When, seconds from scenario start.
+        at_secs: u64,
+        /// Island members, node indices.
+        island: Vec<usize>,
+    },
+    /// Remove the partition and every explicit link cut.
+    Heal {
+        /// When, seconds from scenario start.
+        at_secs: u64,
+    },
+}
+
+/// Per-link packet fault kind selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PacketFaultKindSpec {
+    /// Deliver matching frames twice.
+    Duplicate,
+    /// Add extra delivery jitter so frames overtake each other.
+    Reorder,
+    /// Flip payload bytes before delivery.
+    Corrupt,
+    /// Silently drop frames after link-layer success.
+    Blackhole,
+}
+
+/// A probabilistic packet fault on radio links.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PacketFaultSpec {
+    /// What happens to afflicted frames.
+    pub kind: PacketFaultKindSpec,
+    /// Per-frame probability in `[0, 1]`.
+    pub probability: f64,
+    /// Window start, seconds from scenario start.
+    #[serde(default)]
+    pub from_secs: u64,
+    /// Window end (exclusive); omitted = active forever.
+    #[serde(default)]
+    pub until_secs: Option<u64>,
+    /// Restrict to the link between two node indices (both directions);
+    /// omitted = every link.
+    #[serde(default)]
+    pub a: Option<usize>,
+    /// Second endpoint of the restricted link.
+    #[serde(default)]
+    pub b: Option<usize>,
+    /// Maximum extra delay for `reorder` faults, milliseconds.
+    #[serde(default = "default_reorder_ms")]
+    pub max_extra_ms: u64,
+}
+
+fn default_reorder_ms() -> u64 {
+    50
+}
+
+/// Poisson churn over a set of nodes: alternating exponentially
+/// distributed up and down times inside a window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Node indices subject to churn.
+    pub nodes: Vec<usize>,
+    /// Mean up-time, seconds.
+    pub mean_up_secs: f64,
+    /// Mean down-time, seconds.
+    pub mean_down_secs: f64,
+    /// Window start, seconds from scenario start.
+    #[serde(default)]
+    pub from_secs: u64,
+    /// Window end; every churned node is back up by then.
+    pub until_secs: u64,
+}
+
+/// The fault-injection plan of a scenario: scheduled topology faults,
+/// probabilistic packet faults and Poisson node churn. Deterministic for
+/// a given scenario seed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChaosSpec {
+    /// Scheduled topology faults.
+    #[serde(default)]
+    pub events: Vec<FaultEventSpec>,
+    /// Probabilistic per-link packet faults.
+    #[serde(default)]
+    pub packet_faults: Vec<PacketFaultSpec>,
+    /// Poisson node churn.
+    #[serde(default)]
+    pub churn: Option<ChurnSpec>,
+}
+
 /// A complete scenario description.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Scenario {
@@ -141,6 +268,9 @@ pub struct Scenario {
     /// Internet providers (needed for gateway scenarios).
     #[serde(default)]
     pub providers: Vec<ProviderSpec>,
+    /// Fault-injection plan, if any.
+    #[serde(default)]
+    pub chaos: Option<ChaosSpec>,
 }
 
 fn default_domain() -> String {
@@ -177,6 +307,9 @@ pub struct ScenarioReport {
     pub control_bytes: u64,
     /// Total RTP packets delivered.
     pub rtp_packets: u64,
+    /// Fault-engine firings: topology events executed plus packet faults
+    /// applied (`fault.*` counters summed over all nodes).
+    pub faults_injected: u64,
 }
 
 /// Error running a scenario.
@@ -249,7 +382,123 @@ impl Scenario {
                 .parse::<Addr>()
                 .map_err(|_| ScenarioError::Invalid(format!("bad provider address {:?}", p.addr)))?;
         }
+        if let Some(chaos) = &self.chaos {
+            self.validate_chaos(chaos)?;
+        }
         Ok(())
+    }
+
+    fn validate_chaos(&self, chaos: &ChaosSpec) -> Result<(), ScenarioError> {
+        let check = |i: usize| -> Result<(), ScenarioError> {
+            if i >= self.nodes.len() {
+                return Err(ScenarioError::Invalid(format!(
+                    "chaos references node index {i}, but only {} nodes exist",
+                    self.nodes.len()
+                )));
+            }
+            Ok(())
+        };
+        for ev in &chaos.events {
+            match ev {
+                FaultEventSpec::Crash { node, .. } | FaultEventSpec::Restart { node, .. } => {
+                    check(*node)?;
+                }
+                FaultEventSpec::LinkDown { a, b, .. } | FaultEventSpec::LinkUp { a, b, .. } => {
+                    check(*a)?;
+                    check(*b)?;
+                }
+                FaultEventSpec::Partition { island, .. } => {
+                    for &i in island {
+                        check(i)?;
+                    }
+                }
+                FaultEventSpec::Heal { .. } => {}
+            }
+        }
+        for pf in &chaos.packet_faults {
+            if !(0.0..=1.0).contains(&pf.probability) {
+                return Err(ScenarioError::Invalid(format!(
+                    "packet fault probability {} outside [0, 1]",
+                    pf.probability
+                )));
+            }
+            match (pf.a, pf.b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    check(a)?;
+                    check(b)?;
+                }
+                _ => {
+                    return Err(ScenarioError::Invalid(
+                        "packet fault link needs both endpoints a and b".into(),
+                    ));
+                }
+            }
+        }
+        if let Some(churn) = &chaos.churn {
+            if churn.mean_up_secs <= 0.0 || churn.mean_down_secs <= 0.0 {
+                return Err(ScenarioError::Invalid("churn means must be positive".into()));
+            }
+            for &i in &churn.nodes {
+                check(i)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn build_fault_plan(&self, chaos: &ChaosSpec, deployed: &[(Option<String>, SiphocNode)]) -> FaultPlan {
+        let id = |i: usize| deployed[i].1.id;
+        let mut plan = FaultPlan::new();
+        for ev in &chaos.events {
+            plan = match *ev {
+                FaultEventSpec::Crash { at_secs, node } => {
+                    plan.crash_at(SimTime::from_secs(at_secs), id(node))
+                }
+                FaultEventSpec::Restart { at_secs, node } => {
+                    plan.restart_at(SimTime::from_secs(at_secs), id(node))
+                }
+                FaultEventSpec::LinkDown { at_secs, a, b } => {
+                    plan.link_down_at(SimTime::from_secs(at_secs), id(a), id(b))
+                }
+                FaultEventSpec::LinkUp { at_secs, a, b } => {
+                    plan.link_up_at(SimTime::from_secs(at_secs), id(a), id(b))
+                }
+                FaultEventSpec::Partition { at_secs, ref island } => plan.partition_at(
+                    SimTime::from_secs(at_secs),
+                    island.iter().map(|&i| id(i)).collect(),
+                ),
+                FaultEventSpec::Heal { at_secs } => plan.heal_at(SimTime::from_secs(at_secs)),
+            };
+        }
+        for pf in &chaos.packet_faults {
+            let on = match (pf.a, pf.b) {
+                (Some(a), Some(b)) => LinkSelector::Pair(id(a), id(b)),
+                _ => LinkSelector::All,
+            };
+            let kind = match pf.kind {
+                PacketFaultKindSpec::Duplicate => PacketFaultKind::Duplicate,
+                PacketFaultKindSpec::Reorder => PacketFaultKind::Reorder {
+                    max_extra: SimDuration::from_millis(pf.max_extra_ms),
+                },
+                PacketFaultKindSpec::Corrupt => PacketFaultKind::Corrupt,
+                PacketFaultKindSpec::Blackhole => PacketFaultKind::Blackhole,
+            };
+            let until = pf.until_secs.map_or(SimTime::MAX, SimTime::from_secs);
+            plan = plan.packet_fault(on, kind, pf.probability, SimTime::from_secs(pf.from_secs), until);
+        }
+        if let Some(churn) = &chaos.churn {
+            let ids: Vec<_> = churn.nodes.iter().map(|&i| id(i)).collect();
+            let mut rng = SimRng::from_seed_and_stream(self.seed, 91_000);
+            plan = plan.with_poisson_churn(
+                &ids,
+                churn.mean_up_secs,
+                churn.mean_down_secs,
+                SimTime::from_secs(churn.from_secs),
+                SimTime::from_secs(churn.until_secs),
+                &mut rng,
+            );
+        }
+        plan
     }
 
     /// Runs the scenario to completion and reports.
@@ -318,6 +567,10 @@ impl Scenario {
             deployed.push((n.user.clone(), deploy(&mut world, spec)));
         }
 
+        if let Some(chaos) = &self.chaos {
+            world.install_fault_plan(self.build_fault_plan(chaos, &deployed));
+        }
+
         world.run_for(SimDuration::from_secs(self.duration_secs));
 
         // Collect the report.
@@ -345,12 +598,14 @@ impl Scenario {
             control_bytes += siphoc_core::metrics::total_prefix(&world, prefix).bytes;
         }
         let rtp_packets = siphoc_core::metrics::total_counter(&world, "media.rtp_rx").packets;
+        let faults_injected = siphoc_core::metrics::total_prefix(&world, "fault.").packets;
         Ok(ScenarioReport {
             seed: self.seed,
             duration_secs: self.duration_secs,
             users,
             control_bytes,
             rtp_packets,
+            faults_injected,
         })
     }
 }
@@ -397,6 +652,129 @@ mod tests {
         let a = serde_json::to_string(&s.run().unwrap()).unwrap();
         let b = serde_json::to_string(&s.run().unwrap()).unwrap();
         assert_eq!(a, b);
+    }
+
+    fn two_node_scenario() -> Scenario {
+        Scenario {
+            seed: 7,
+            duration_secs: 25,
+            radio: RadioKind::Ideal,
+            routing: RoutingKind::Aodv,
+            domain: default_domain(),
+            nodes: vec![
+                NodeSpecJson {
+                    x: 0.0,
+                    y: 0.0,
+                    user: Some("alice".into()),
+                    calls: vec![CallSpec { at_secs: 5, to: "bob".into(), duration_secs: 8 }],
+                    gateway: None,
+                    mobility: None,
+                },
+                NodeSpecJson {
+                    x: 60.0,
+                    y: 0.0,
+                    user: Some("bob".into()),
+                    calls: Vec::new(),
+                    gateway: None,
+                    mobility: None,
+                },
+            ],
+            providers: Vec::new(),
+            chaos: None,
+        }
+    }
+
+    #[test]
+    fn chaos_plan_fires_and_calls_still_complete() {
+        // Built directly (not via JSON) so the test exercises the fault
+        // translation itself: a short partition plus forced duplication.
+        let mut s = two_node_scenario();
+        s.duration_secs = 40;
+        s.chaos = Some(ChaosSpec {
+            events: vec![
+                FaultEventSpec::Partition { at_secs: 20, island: vec![0] },
+                FaultEventSpec::Heal { at_secs: 25 },
+            ],
+            packet_faults: vec![PacketFaultSpec {
+                kind: PacketFaultKindSpec::Duplicate,
+                probability: 1.0,
+                from_secs: 0,
+                until_secs: None,
+                a: None,
+                b: None,
+                max_extra_ms: 50,
+            }],
+            churn: None,
+        });
+        let report = s.run().unwrap();
+        let alice = report.users.iter().find(|u| u.user == "alice").unwrap();
+        assert_eq!(alice.calls_established, 1, "{:?}", alice.timeline);
+        assert!(report.faults_injected > 0);
+    }
+
+    #[test]
+    fn chaos_spec_parses_from_json() {
+        let text = r#"{
+            "seed": 3, "duration_secs": 10, "radio": "ideal",
+            "nodes": [ { "x": 0, "y": 0 }, { "x": 50, "y": 0 } ],
+            "chaos": {
+                "events": [
+                    { "action": "crash", "at_secs": 2, "node": 1 },
+                    { "action": "restart", "at_secs": 4, "node": 1 },
+                    { "action": "link_down", "at_secs": 5, "a": 0, "b": 1 },
+                    { "action": "heal", "at_secs": 6 }
+                ],
+                "packet_faults": [
+                    { "kind": "reorder", "probability": 0.2, "max_extra_ms": 30 },
+                    { "kind": "corrupt", "probability": 0.01, "until_secs": 8 }
+                ],
+                "churn": { "nodes": [1], "mean_up_secs": 5,
+                           "mean_down_secs": 2, "until_secs": 9 }
+            }
+        }"#;
+        let s = Scenario::from_json(text).unwrap();
+        let chaos = s.chaos.as_ref().unwrap();
+        assert_eq!(chaos.events.len(), 4);
+        assert_eq!(chaos.packet_faults.len(), 2);
+        assert!(chaos.churn.is_some());
+        let report = s.run().unwrap();
+        assert!(report.faults_injected > 0);
+    }
+
+    #[test]
+    fn chaos_validation_rejects_bad_references() {
+        let mut s = two_node_scenario();
+        s.chaos = Some(ChaosSpec {
+            events: vec![FaultEventSpec::Crash { at_secs: 1, node: 9 }],
+            ..ChaosSpec::default()
+        });
+        assert!(matches!(s.validate(), Err(ScenarioError::Invalid(_))));
+
+        s.chaos = Some(ChaosSpec {
+            packet_faults: vec![PacketFaultSpec {
+                kind: PacketFaultKindSpec::Corrupt,
+                probability: 1.5,
+                from_secs: 0,
+                until_secs: None,
+                a: None,
+                b: None,
+                max_extra_ms: 50,
+            }],
+            ..ChaosSpec::default()
+        });
+        assert!(matches!(s.validate(), Err(ScenarioError::Invalid(_))));
+
+        s.chaos = Some(ChaosSpec {
+            churn: Some(ChurnSpec {
+                nodes: vec![0],
+                mean_up_secs: 0.0,
+                mean_down_secs: 1.0,
+                from_secs: 0,
+                until_secs: 5,
+            }),
+            ..ChaosSpec::default()
+        });
+        assert!(matches!(s.validate(), Err(ScenarioError::Invalid(_))));
     }
 
     #[test]

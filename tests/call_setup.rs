@@ -58,7 +58,20 @@ fn multihop_call_over_aodv_chain() {
     let _r1 = deploy(&mut w, NodeSpec::relay(80.0, 0.0));
     let _r2 = deploy(&mut w, NodeSpec::relay(160.0, 0.0));
     let bob = deploy(&mut w, NodeSpec::relay(240.0, 0.0).with_user(ua("bob", None)));
-    w.run_for(SimDuration::from_secs(25));
+    w.run_for(SimDuration::from_secs(13));
+
+    // The route between the endpoints really is 3 hops — sampled while the
+    // call's media still holds it active. (Idle routes now expire after
+    // ACTIVE_ROUTE_TIMEOUT: gateway probes back off instead of re-flooding
+    // the mesh every few seconds.)
+    let route = w
+        .node(alice.id)
+        .routes()
+        .lookup_specific(bob.addr, w.now())
+        .expect("route to bob's node");
+    assert_eq!(route.hops, 3);
+
+    w.run_for(SimDuration::from_secs(12));
 
     let a = alice.ua_logs[0].borrow();
     let b = bob.ua_logs[0].borrow();
@@ -68,14 +81,6 @@ fn multihop_call_over_aodv_chain() {
         a.events()
     );
     assert!(b.any(|e| matches!(e, CallEvent::Established { .. })));
-
-    // The route between the endpoints really is 3 hops.
-    let route = w
-        .node(alice.id)
-        .routes()
-        .lookup_specific(bob.addr, w.now())
-        .expect("route to bob's node");
-    assert_eq!(route.hops, 3);
 
     // Media crossed the relays.
     let ra = alice.media_reports.as_ref().unwrap().borrow();

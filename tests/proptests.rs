@@ -8,17 +8,29 @@
 
 use proptest::prelude::*;
 
+use wireless_adhoc_voip::core::config::VoipAppConfig;
+use wireless_adhoc_voip::core::nodesetup::{deploy, NodeSpec};
 use wireless_adhoc_voip::media::codec::Codec;
 use wireless_adhoc_voip::media::jitter::JitterBuffer;
 use wireless_adhoc_voip::media::quality;
 use wireless_adhoc_voip::media::rtp::{RtcpReport, RtpPacket};
 use wireless_adhoc_voip::routing::aodv::AodvMsg;
 use wireless_adhoc_voip::routing::olsr::OlsrMsg;
+use wireless_adhoc_voip::simnet::fault::{FaultPlan, LinkSelector, PacketFaultKind};
 use wireless_adhoc_voip::simnet::net::{Addr, SocketAddr};
+use wireless_adhoc_voip::simnet::node::NodeId;
+use wireless_adhoc_voip::simnet::process::{Ctx, Effect};
+use wireless_adhoc_voip::simnet::radio::RadioConfig;
+use wireless_adhoc_voip::simnet::rng::SimRng;
 use wireless_adhoc_voip::simnet::route::{Route, RoutingTable};
+use wireless_adhoc_voip::simnet::stats::NodeStats;
 use wireless_adhoc_voip::simnet::time::{SimDuration, SimTime};
+use wireless_adhoc_voip::simnet::world::{World, WorldConfig};
 use wireless_adhoc_voip::sip::headers::{CSeq, NameAddr, Via};
-use wireless_adhoc_voip::sip::msg::{Method, SipMessage};
+use wireless_adhoc_voip::sip::msg::{Method, SipMessage, StatusCode};
+use wireless_adhoc_voip::sip::txn::{TransactionLayer, TxnConfig, TxnEvent};
+use wireless_adhoc_voip::sip::ua::CallEvent;
+use wireless_adhoc_voip::sip::uri::Aor;
 use wireless_adhoc_voip::sip::sdp::Sdp;
 use wireless_adhoc_voip::sip::uri::SipUri;
 use wireless_adhoc_voip::slp::msg::SlpMsg;
@@ -267,6 +279,28 @@ proptest! {
     }
 
     #[test]
+    fn sip_parser_total_on_corrupted_valid_messages(
+        flips in proptest::collection::vec((any::<usize>(), 1u8..=255), 1..8),
+    ) {
+        // Start from a fully well-formed INVITE and mangle bytes the way
+        // the chaos engine's `Corrupt` fault does: the parser must stay
+        // total on near-valid input, not just on random noise.
+        let mut m = SipMessage::request(Method::Invite, SipUri::new("bob", "voicehoc.ch"));
+        m.headers_mut().push("Via", "SIP/2.0/UDP 10.0.0.1:5070;branch=z9hG4bKchaos");
+        m.headers_mut().push("From", "<sip:alice@voicehoc.ch>;tag=a1");
+        m.headers_mut().push("To", "<sip:bob@voicehoc.ch>");
+        m.headers_mut().push("Call-ID", "chaos-call-1");
+        m.headers_mut().push("CSeq", "1 INVITE");
+        m.set_body("v=0", Some("application/sdp"));
+        let mut wire = m.to_wire().into_bytes();
+        for (pos, xor) in flips {
+            let i = pos % wire.len();
+            wire[i] ^= xor;
+        }
+        let _ = SipMessage::parse(&String::from_utf8_lossy(&wire));
+    }
+
+    #[test]
     fn routing_table_lookup_agrees_with_insert(
         dests in proptest::collection::btree_set(any::<u32>(), 1..50),
         next in any::<u32>(),
@@ -285,5 +319,136 @@ proptest! {
         let dead = t.invalidate_via(Addr(next));
         prop_assert_eq!(dead.len(), dests.len());
         prop_assert!(t.is_empty());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Duplicate suppression under forced retransmission
+// ----------------------------------------------------------------------
+
+/// Builds an INVITE carrying everything a server transaction matches on.
+fn chaos_invite(branch: &str) -> SipMessage {
+    let mut m = SipMessage::request(Method::Invite, SipUri::new("bob", "voicehoc.ch"));
+    m.headers_mut()
+        .push("Via", format!("SIP/2.0/UDP 10.0.0.1:5060;branch={branch}"));
+    m.headers_mut().push("From", "<sip:alice@voicehoc.ch>;tag=a1");
+    m.headers_mut().push("To", "<sip:bob@voicehoc.ch>");
+    m.headers_mut().push("Call-ID", "dup-call-1");
+    m.headers_mut().push("CSeq", "1 INVITE");
+    m
+}
+
+proptest! {
+    /// However many times a request or its ACK is retransmitted, the
+    /// transaction layer surfaces exactly one `Request` and one `Ack`;
+    /// every duplicate is absorbed (replaying the cached final).
+    #[test]
+    fn txn_layer_absorbs_duplicated_requests_and_acks(dups in 1usize..6) {
+        let mut rng = SimRng::from_seed_and_stream(7, 7);
+        let mut routes = RoutingTable::new();
+        let mut stats = NodeStats::default();
+        let mut effects: Vec<Effect> = Vec::new();
+        let mut ctx = Ctx::for_test(
+            SimTime::ZERO,
+            NodeId(0),
+            Addr::manet(2),
+            &mut rng,
+            &mut routes,
+            &mut stats,
+            &mut effects,
+        );
+        let mut tl = TransactionLayer::new(5060, 0, TxnConfig::default());
+        let inv = chaos_invite("z9hG4bKdup");
+        let from = SocketAddr::new(Addr::manet(1), 5060);
+
+        let mut surfaced = Vec::new();
+        for _ in 0..=dups {
+            if let Some(TxnEvent::Request { key, .. }) = tl.on_datagram(&mut ctx, inv.clone(), from) {
+                surfaced.push(key);
+            }
+        }
+        prop_assert_eq!(surfaced.len(), 1, "one Request event per branch");
+
+        // Answer with a final; further INVITE copies only replay it.
+        let ok = SipMessage::response_to(&inv, StatusCode::OK);
+        tl.respond(&mut ctx, &surfaced[0], ok);
+        for _ in 0..dups {
+            prop_assert!(tl.on_datagram(&mut ctx, inv.clone(), from).is_none());
+        }
+
+        // Duplicated ACKs for the 2xx surface exactly once.
+        let mut ack = SipMessage::request(Method::Ack, SipUri::new("bob", "voicehoc.ch"));
+        ack.headers_mut().push("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bKdup");
+        ack.headers_mut().push("Call-ID", "dup-call-1");
+        ack.headers_mut().push("CSeq", "1 ACK");
+        let mut acks = 0;
+        for _ in 0..=dups {
+            if matches!(tl.on_datagram(&mut ctx, ack.clone(), from), Some(TxnEvent::Ack { .. })) {
+                acks += 1;
+            }
+        }
+        prop_assert_eq!(acks, 1, "one Ack event per confirmed final");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// End-to-end: whatever the seed and duplication rate, a call through
+    /// the full stack yields exactly one incoming dialog and one
+    /// establishment per side — duplicated finals never produce duplicate
+    /// `CallEvent`s.
+    #[test]
+    fn duplicated_finals_never_duplicate_call_events(
+        seed in 0u64..10_000,
+        dup_p in 0.5f64..=1.0,
+    ) {
+        let mut w = World::new(WorldConfig::new(seed).with_radio(RadioConfig::ideal()));
+        let mk = |name: &str, call: Option<(u64, &str, u64)>| {
+            let mut ua = VoipAppConfig::fig2(name, "voicehoc.ch").to_ua_config().expect("config");
+            ua.answer_delay = SimDuration::from_millis(50);
+            if let Some((at, to, dur)) = call {
+                ua = ua.call_at(
+                    SimTime::from_secs(at),
+                    Aor::new(to, "voicehoc.ch"),
+                    SimDuration::from_secs(dur),
+                );
+            }
+            ua
+        };
+        let alice = deploy(
+            &mut w,
+            NodeSpec::relay(0.0, 0.0).with_user(mk("alice", Some((5, "bob", 5)))),
+        );
+        let bob = deploy(&mut w, NodeSpec::relay(50.0, 0.0).with_user(mk("bob", None)));
+        w.install_fault_plan(FaultPlan::new().packet_fault(
+            LinkSelector::All,
+            PacketFaultKind::Duplicate,
+            dup_p,
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+        ));
+        w.run_for(SimDuration::from_secs(30));
+
+        let a = alice.ua_logs[0].borrow();
+        let b = bob.ua_logs[0].borrow();
+        prop_assert_eq!(
+            a.count(|e| matches!(e, CallEvent::Established { .. })),
+            1,
+            "alice: {:?}",
+            a.events()
+        );
+        prop_assert_eq!(
+            b.count(|e| matches!(e, CallEvent::IncomingCall { .. })),
+            1,
+            "bob: {:?}",
+            b.events()
+        );
+        prop_assert_eq!(
+            b.count(|e| matches!(e, CallEvent::Established { .. })),
+            1,
+            "bob: {:?}",
+            b.events()
+        );
     }
 }
