@@ -1,0 +1,280 @@
+//! `exp_bench_core` — wall-clock benchmark of the simulator hot path.
+//!
+//! Unlike the `exp_*` experiments (which reproduce paper numbers inside
+//! simulated time), this harness measures the *simulator itself*: how many
+//! events per wall-clock second the core event loop sustains on fixed,
+//! broadcast-heavy MANET workloads. Two scenario families, three sizes
+//! each, all seeds fixed:
+//!
+//! * `bcast_N` — an N-node constant-density mesh where every node
+//!   broadcasts a 64-byte beacon every 100 ms. Isolates the radio
+//!   broadcast path (receiver discovery + loss sampling + delivery), the
+//!   quadratic hot spot this harness exists to watch.
+//! * `siphoc_N` — an N-node mesh running the full SIPHoc stack (AODV with
+//!   SLP piggybacking) with staggered calls between user pairs. Measures
+//!   the same hot path under realistic protocol traffic.
+//!
+//! Output: an aligned text table on stdout plus `results/BENCH_core.json`
+//! (written with plain string formatting — no JSON dependency) recording
+//! per scenario: node count, simulated seconds, wall-clock ms, events
+//! dispatched, events/sec and peak RSS. Each scenario runs `--reps N`
+//! times (default 3) and the table/JSON report the fastest repetition —
+//! the minimum is the standard noise-robust wall-clock estimator; all
+//! repetition times are kept in the JSON as `wall_ms_runs`. CI runs
+//! `--smoke` (smallest mesh of each family only, one rep; failure means
+//! panic, never a perf number).
+//!
+//! Run with `--release`; debug numbers are meaningless.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use siphoc_bench::topology::bench_ua;
+use siphoc_core::nodesetup::{deploy, NodeSpec};
+use siphoc_simnet::prelude::*;
+use siphoc_sip::uri::Aor;
+
+const BCAST_SEED: u64 = 60_001;
+const SIPHOC_SEED: u64 = 60_002;
+/// Node density: one node per (85 m)² keeps meshes connected w.h.p.
+const CELL: f64 = 85.0;
+const BEACON_PORT: u16 = 9900;
+const BEACON_BYTES: usize = 64;
+const BEACON_INTERVAL_MS: u64 = 100;
+
+/// One measured scenario run.
+struct Sample {
+    name: String,
+    nodes: usize,
+    sim_secs: f64,
+    /// Fastest repetition (see `wall_ms_runs` for every repetition).
+    wall_ms: f64,
+    wall_ms_runs: Vec<f64>,
+    events: u64,
+    radio_tx: u64,
+    rss_peak_kb: u64,
+}
+
+impl Sample {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return f64::NAN;
+        }
+        self.events as f64 / (self.wall_ms / 1000.0)
+    }
+}
+
+/// Discards every datagram; binding the beacon port makes deliveries take
+/// the full dispatch path (port lookup + process call) instead of being
+/// dropped at the node boundary.
+struct NullSink;
+
+impl Process for NullSink {
+    fn name(&self) -> &'static str {
+        "bench-sink"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(BEACON_PORT);
+    }
+    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _dgram: &Datagram) {}
+}
+
+/// Peak resident set size of this process in kB (Linux `VmHWM`; 0 where
+/// unavailable). Monotonic over the process lifetime.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace().nth(1).and_then(|v| v.parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Jittered constant-density grid placement for node `i` of `n`.
+fn mesh_position(i: usize, n: usize, rng: &mut SimRng) -> (f64, f64) {
+    let side = (n as f64).sqrt() * CELL;
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let x = (i % cols) as f64 * CELL + rng.range_f64(-20.0, 20.0);
+    let y = (i / cols) as f64 * CELL + rng.range_f64(-20.0, 20.0);
+    (x.clamp(0.0, side), y.clamp(0.0, side))
+}
+
+/// Pure broadcast-flood workload: every node beacons every 100 ms.
+fn run_bcast(n: usize, sim_secs: u64) -> Sample {
+    let mut w = World::new(WorldConfig::new(BCAST_SEED));
+    let mut place_rng = SimRng::from_seed_and_stream(BCAST_SEED, 4242);
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let (x, y) = mesh_position(i, n, &mut place_rng);
+        let id = w.add_node(NodeConfig::manet(x, y));
+        w.spawn(id, Box::new(NullSink));
+        ids.push(id);
+    }
+    let started = Instant::now();
+    let total_ms = sim_secs * 1000;
+    let mut t_ms = 0u64;
+    while t_ms < total_ms {
+        w.run_until(SimTime::from_millis(t_ms));
+        for &id in &ids {
+            let src = SocketAddr::new(w.node(id).addr(), BEACON_PORT);
+            let dst = SocketAddr::new(Addr::BROADCAST, BEACON_PORT);
+            w.inject(id, Datagram::new(src, dst, vec![0xB5u8; BEACON_BYTES]));
+        }
+        t_ms += BEACON_INTERVAL_MS;
+    }
+    w.run_until(SimTime::from_millis(total_ms));
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    Sample {
+        name: format!("bcast_{n}"),
+        nodes: n,
+        sim_secs: sim_secs as f64,
+        wall_ms,
+        wall_ms_runs: vec![wall_ms],
+        events: w.events_processed(),
+        radio_tx: w.total_stats().get("radio.tx").packets,
+        rss_peak_kb: peak_rss_kb(),
+    }
+}
+
+/// Full-stack workload: AODV + MANET SLP piggybacking, staggered calls.
+fn run_siphoc(n: usize, sim_secs: u64) -> Sample {
+    let mut w = World::new(WorldConfig::new(SIPHOC_SEED));
+    let mut place_rng = SimRng::from_seed_and_stream(SIPHOC_SEED, 4242);
+    let users = (n / 10).max(4);
+    for i in 0..n {
+        let (x, y) = mesh_position(i, n, &mut place_rng);
+        let mut spec = NodeSpec::relay(x, y).without_connection_provider();
+        if i < users {
+            let mut ua = bench_ua(&format!("u{i}"));
+            if i % 2 == 0 && i + 1 < users {
+                ua = ua.call_at(
+                    SimTime::from_millis(5000 + (i as u64) * 500),
+                    Aor::new(&format!("u{}", i + 1), "voicehoc.ch"),
+                    SimDuration::from_secs(5),
+                );
+            }
+            spec = spec.with_user(ua);
+        }
+        deploy(&mut w, spec);
+    }
+    let started = Instant::now();
+    w.run_for(SimDuration::from_secs(sim_secs));
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    Sample {
+        name: format!("siphoc_{n}"),
+        nodes: n,
+        sim_secs: sim_secs as f64,
+        wall_ms,
+        wall_ms_runs: vec![wall_ms],
+        events: w.events_processed(),
+        radio_tx: w.total_stats().get("radio.tx").packets,
+        rss_peak_kb: peak_rss_kb(),
+    }
+}
+
+/// Runs a scenario `reps` times and keeps the fastest repetition
+/// (identical seeds mean identical event counts; only wall time varies).
+fn best_of(reps: usize, run: impl Fn() -> Sample) -> Sample {
+    let mut runs: Vec<Sample> = (0..reps.max(1)).map(|_| run()).collect();
+    let wall_ms_runs: Vec<f64> = runs.iter().map(|s| s.wall_ms).collect();
+    let best_idx = wall_ms_runs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("at least one repetition");
+    let mut best = runs.swap_remove(best_idx);
+    best.wall_ms_runs = wall_ms_runs;
+    best
+}
+
+fn render_json(samples: &[Sample]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"exp_bench_core\",\n  \"scenarios\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"sim_secs\": {:.1}, \"wall_ms\": {:.1}, \
+             \"wall_ms_runs\": [{}], \"events\": {}, \"events_per_sec\": {:.0}, \
+             \"radio_tx\": {}, \"rss_peak_kb\": {}}}",
+            s.name,
+            s.nodes,
+            s.sim_secs,
+            s.wall_ms,
+            s.wall_ms_runs
+                .iter()
+                .map(|w| format!("{w:.1}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            s.events,
+            s.events_per_sec(),
+            s.radio_tx,
+            s.rss_peak_kb
+        );
+        out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let reps: usize = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 3 });
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        // Smoke runs get their own default path so a CI canary never
+        // clobbers the recorded full-sweep numbers.
+        .unwrap_or_else(|| {
+            if smoke {
+                "results/BENCH_core_smoke.json".to_owned()
+            } else {
+                "results/BENCH_core.json".to_owned()
+            }
+        });
+
+    // (size, simulated seconds) — the 1000-node points run shorter so a
+    // full sweep stays in CI-friendly wall time even pre-optimization.
+    let bcast_points: &[(usize, u64)] = if smoke { &[(50, 5)] } else { &[(50, 30), (200, 20), (1000, 10)] };
+    let siphoc_points: &[(usize, u64)] = if smoke { &[(50, 5)] } else { &[(50, 30), (200, 20), (1000, 10)] };
+
+    println!("BENCH core: simulator hot-path throughput{}\n", if smoke { " (smoke)" } else { "" });
+    println!(
+        "{:<12} {:>6} {:>9} {:>10} {:>12} {:>13} {:>10} {:>12}",
+        "scenario", "nodes", "sim(s)", "wall(ms)", "events", "events/sec", "radio.tx", "rss_peak_kb"
+    );
+    let mut samples = Vec::new();
+    for &(n, secs) in bcast_points {
+        let s = best_of(reps, || run_bcast(n, secs));
+        println!(
+            "{:<12} {:>6} {:>9.1} {:>10.1} {:>12} {:>13.0} {:>10} {:>12}",
+            s.name, s.nodes, s.sim_secs, s.wall_ms, s.events, s.events_per_sec(), s.radio_tx, s.rss_peak_kb
+        );
+        samples.push(s);
+    }
+    for &(n, secs) in siphoc_points {
+        let s = best_of(reps, || run_siphoc(n, secs));
+        println!(
+            "{:<12} {:>6} {:>9.1} {:>10.1} {:>12} {:>13.0} {:>10} {:>12}",
+            s.name, s.nodes, s.sim_secs, s.wall_ms, s.events, s.events_per_sec(), s.radio_tx, s.rss_peak_kb
+        );
+        samples.push(s);
+    }
+
+    let json = render_json(&samples);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("\ncannot write {out_path}: {e}"),
+    }
+}

@@ -37,7 +37,7 @@ fn main() {
     );
     w.run_for(SimDuration::from_secs(8));
 
-    let entries = w.trace().entries();
+    let entries: Vec<_> = w.trace().entries().collect();
     let text = |e: &siphoc_simnet::trace::TraceEntry| String::from_utf8_lossy(&e.dgram.payload).into_owned();
 
     let find = |what: &str, pred: &dyn Fn(&siphoc_simnet::trace::TraceEntry) -> bool| {

@@ -164,7 +164,7 @@ impl SiphocProxy {
                 .map(|sa| !sa.addr.is_public())
                 .unwrap_or(false);
             if private {
-                let user = contact.uri.user.clone().unwrap_or_default();
+                let user = contact.uri.user.unwrap_or_default();
                 let rewritten =
                     SipUri::from_socket(Some(&user), SocketAddr::new(public, ports::SIPHOC_PROXY));
                 msg.headers_mut().set("Contact", format!("<{rewritten}>"));
@@ -302,7 +302,7 @@ impl SiphocProxy {
             return false;
         };
         if let SipMessage::Request { uri, .. } = &mut msg {
-            *uri = binding.contact.clone();
+            *uri = binding.contact;
         }
         ctx.stats().count("proxy.deliver_local", 1);
         self.forward(ctx, msg, dst);
@@ -332,7 +332,7 @@ impl SiphocProxy {
         if let Some(dst) = uri.socket_addr(ports::SIP) {
             let ours = dst.addr == ctx.addr() || Some(dst.addr) == self.internet;
             if ours {
-                let user = uri.user.clone().unwrap_or_default();
+                let user = uri.user.unwrap_or_default();
                 if !self.deliver_to_local_user(ctx, msg.clone(), &user) {
                     self.respond(ctx, &msg, StatusCode::NOT_FOUND);
                 }
@@ -346,7 +346,7 @@ impl SiphocProxy {
         let aor = uri.aor();
         let now = ctx.now();
         if self.local.lookup(&aor, now).is_some() {
-            let user = aor.user.clone();
+            let user = aor.user;
             if !self.deliver_to_local_user(ctx, msg.clone(), &user) {
                 self.respond(ctx, &msg, StatusCode::NOT_FOUND);
             }

@@ -36,7 +36,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fasthash;
 pub mod fault;
+pub mod grid;
 pub mod mobility;
 pub mod net;
 pub mod node;

@@ -151,6 +151,17 @@ impl Mobility {
         }
     }
 
+    /// Upper bound on this node's speed in m/s, at any time: 0 for static
+    /// nodes, the configured `max_speed` for waypoint movement. The
+    /// spatial neighbor index uses this to bound how far positions can
+    /// drift from their indexed cells between rebuilds.
+    pub fn max_speed(&self) -> f64 {
+        match self {
+            Mobility::Static { .. } => 0.0,
+            Mobility::RandomWaypoint { params, .. } => params.max_speed.max(params.min_speed),
+        }
+    }
+
     /// The instant at which the world should call [`Mobility::replan`], or
     /// `None` for immobile nodes.
     pub fn next_replan(&self) -> Option<SimTime> {

@@ -13,6 +13,7 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -214,6 +215,135 @@ pub const DEFAULT_TTL: u8 = 64;
 /// computing on-air frame sizes (8 bytes UDP + 20 bytes IP).
 pub const UDP_IP_OVERHEAD: usize = 28;
 
+/// Shared, immutable payload bytes.
+///
+/// A broadcast frame is delivered to every receiver in radio range and,
+/// when capture is on, recorded in the packet trace — historically each of
+/// those copies cloned the full byte vector. `Payload` wraps the bytes in
+/// an [`Arc`] so cloning is a reference-count bump; the only mutation in
+/// the stack (fault injection's bit corruption) goes through the
+/// copy-on-write [`Payload::make_mut`].
+///
+/// The wrapper dereferences to `[u8]`, so slice-style reads
+/// (`&dgram.payload`, `.len()`, `.starts_with(..)`, `.to_vec()`) work
+/// unchanged, and it compares transparently against byte slices, arrays
+/// and `Vec<u8>` in assertions.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// An empty payload.
+    pub fn empty() -> Payload {
+        Payload(Arc::from(&[][..]))
+    }
+
+    /// The payload bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Mutable access for in-place edits, copy-on-write: if the bytes are
+    /// shared with other datagram copies (or trace entries), they are
+    /// cloned first so those copies keep observing the original bytes.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        if Arc::get_mut(&mut self.0).is_none() {
+            self.0 = Arc::from(&self.0[..]);
+        }
+        Arc::get_mut(&mut self.0).expect("freshly copied payload is uniquely owned")
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload(v.into())
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Payload {
+        Payload(Arc::from(v))
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(v: [u8; N]) -> Payload {
+        Payload(Arc::from(&v[..]))
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(v: &[u8; N]) -> Payload {
+        Payload(Arc::from(&v[..]))
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.0[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self.0[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.0[..] == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.0[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.0[..] == other[..]
+    }
+}
+
+// Serde transparency (bytes serialize exactly like `Vec<u8>`). Gated
+// behind an off-by-default feature: nothing in the stack serializes
+// datagrams today, and the offline build container only carries
+// resolution stubs of serde.
+#[cfg(feature = "payload-serde")]
+impl Serialize for Payload {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.0.iter())
+    }
+}
+
+#[cfg(feature = "payload-serde")]
+impl<'de> Deserialize<'de> for Payload {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Payload, D::Error> {
+        Vec::<u8>::deserialize(deserializer).map(Payload::from)
+    }
+}
+
 /// An unreliable, unordered datagram — the only transport the simulator
 /// offers, mirroring the paper's UDP-based deployment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -224,18 +354,18 @@ pub struct Datagram {
     pub dst: SocketAddr,
     /// Remaining hops before the datagram is discarded.
     pub ttl: u8,
-    /// Opaque payload bytes.
-    pub payload: Vec<u8>,
+    /// Opaque payload bytes, shared between clones of this datagram.
+    pub payload: Payload,
 }
 
 impl Datagram {
     /// Creates a datagram with the default TTL.
-    pub fn new(src: SocketAddr, dst: SocketAddr, payload: Vec<u8>) -> Datagram {
+    pub fn new(src: SocketAddr, dst: SocketAddr, payload: impl Into<Payload>) -> Datagram {
         Datagram {
             src,
             dst,
             ttl: DEFAULT_TTL,
-            payload,
+            payload: payload.into(),
         }
     }
 

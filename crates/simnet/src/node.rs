@@ -8,7 +8,9 @@
 //! * **wired** nodes — backbone only (Internet SIP providers, callers),
 //! * **gateway-capable** nodes — both (the MANET node with Internet access).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use crate::fasthash::FastMap;
 
 use crate::mobility::Mobility;
 use crate::net::{Addr, Datagram};
@@ -123,11 +125,11 @@ pub struct Node {
     pub(crate) mobility: Mobility,
     pub(crate) procs: Vec<Option<Box<dyn Process>>>,
     pub(crate) proc_names: Vec<&'static str>,
-    pub(crate) port_bindings: HashMap<u16, usize>,
-    pub(crate) addr_handlers: HashMap<Addr, usize>,
+    pub(crate) port_bindings: FastMap<u16, usize>,
+    pub(crate) addr_handlers: FastMap<Addr, usize>,
     pub(crate) default_handler: Option<usize>,
     pub(crate) routes: RoutingTable,
-    pub(crate) pending: HashMap<Addr, Vec<PendingPacket>>,
+    pub(crate) pending: FastMap<Addr, Vec<PendingPacket>>,
     pub(crate) tx_queue: VecDeque<Frame>,
     pub(crate) tx_busy: bool,
     pub(crate) tx_until: SimTime,
@@ -147,11 +149,11 @@ impl Node {
             mobility: cfg.mobility,
             procs: Vec::new(),
             proc_names: Vec::new(),
-            port_bindings: HashMap::new(),
-            addr_handlers: HashMap::new(),
+            port_bindings: FastMap::default(),
+            addr_handlers: FastMap::default(),
             default_handler: None,
             routes: RoutingTable::new(),
-            pending: HashMap::new(),
+            pending: FastMap::default(),
             tx_queue: VecDeque::new(),
             tx_busy: false,
             tx_until: SimTime::ZERO,

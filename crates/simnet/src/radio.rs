@@ -48,25 +48,69 @@ impl LossModel {
         edge_loss: 0.6,
     };
 
+    /// Precomputes the per-range invariants (clear radius, ramp
+    /// denominator) so per-receiver calls in the broadcast loop skip the
+    /// redundant recomputation. The prepared model performs *the exact
+    /// same float operations* on the hot path — in particular the ramp
+    /// stays a division by the precomputed `range - clear`, never an
+    /// inverse multiply — so loss probabilities are bit-identical to
+    /// [`LossModel::loss_probability`] and seeded traces do not drift.
+    pub fn prepare(&self, range: f64) -> PreparedLoss {
+        let clear = range * self.clear_fraction;
+        PreparedLoss {
+            base: self.base,
+            edge_loss: self.edge_loss,
+            range,
+            clear,
+            denom: range - clear,
+        }
+    }
+
     /// Loss probability for a receiver at `dist` when the radio range is
     /// `range`. Distances beyond `range` always lose the frame.
     pub fn loss_probability(&self, dist: f64, range: f64) -> f64 {
-        if dist > range {
+        self.prepare(range).loss_probability(dist)
+    }
+
+    /// Samples whether a frame at `dist` is lost.
+    pub fn sample_loss(&self, dist: f64, range: f64, rng: &mut SimRng) -> bool {
+        rng.chance(self.loss_probability(dist, range))
+    }
+}
+
+/// A [`LossModel`] with its per-range invariants hoisted out of the
+/// per-receiver sampling loop. Build one per transmission with
+/// [`LossModel::prepare`].
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedLoss {
+    base: f64,
+    edge_loss: f64,
+    range: f64,
+    /// `range * clear_fraction`, inside which only `base` loss applies.
+    clear: f64,
+    /// `range - clear`, the quadratic ramp's denominator.
+    denom: f64,
+}
+
+impl PreparedLoss {
+    /// Loss probability for a receiver at `dist`; bit-identical to the
+    /// unprepared [`LossModel::loss_probability`].
+    pub fn loss_probability(&self, dist: f64) -> f64 {
+        if dist > self.range {
             return 1.0;
         }
-        let clear = range * self.clear_fraction;
-        let ramp = if dist <= clear || range <= clear {
+        let ramp = if dist <= self.clear || self.range <= self.clear {
             0.0
         } else {
-            let f = (dist - clear) / (range - clear);
+            let f = (dist - self.clear) / self.denom;
             f * f * self.edge_loss
         };
         (self.base + ramp).clamp(0.0, 1.0)
     }
 
     /// Samples whether a frame at `dist` is lost.
-    pub fn sample_loss(&self, dist: f64, range: f64, rng: &mut SimRng) -> bool {
-        rng.chance(self.loss_probability(dist, range))
+    pub fn sample_loss(&self, dist: f64, rng: &mut SimRng) -> bool {
+        rng.chance(self.loss_probability(dist))
     }
 }
 
@@ -152,6 +196,22 @@ pub struct Frame {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prepared_loss_is_bit_identical() {
+        for model in [LossModel::IDEAL, LossModel::TYPICAL] {
+            for range in [50.0, 100.0, 250.0] {
+                let prepared = model.prepare(range);
+                let mut dist = 0.0;
+                while dist <= range + 10.0 {
+                    let a = model.loss_probability(dist, range);
+                    let b = prepared.loss_probability(dist);
+                    assert_eq!(a.to_bits(), b.to_bits(), "dist {dist} range {range}");
+                    dist += 0.37;
+                }
+            }
+        }
+    }
 
     #[test]
     fn ideal_model_never_loses_in_range() {

@@ -7,6 +7,7 @@
 //! recorded and can be rendered as a Wireshark-style text listing through a
 //! pluggable [`Dissector`].
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 use crate::net::Datagram;
@@ -51,20 +52,32 @@ pub struct TraceEntry {
 pub type Dissector = fn(port: u16, payload: &[u8]) -> Option<(String, String)>;
 
 /// A bounded in-memory packet capture.
+///
+/// The capture is a ring buffer: once `capacity` entries are retained,
+/// each new record evicts the oldest one, so long-running captures keep
+/// the *most recent* window of traffic at a fixed memory ceiling instead
+/// of freezing at the start of the run. Entry numbers in [`render`]
+/// \(`PacketTrace::render`) are absolute capture indices — they keep
+/// counting across evictions, so the same packet renders under the same
+/// number no matter how much was evicted after it.
 #[derive(Debug, Default)]
 pub struct PacketTrace {
     enabled: bool,
-    entries: Vec<TraceEntry>,
+    entries: VecDeque<TraceEntry>,
     capacity: usize,
+    /// Entries evicted from the front so far; also the absolute index of
+    /// the oldest retained entry.
+    evicted: u64,
 }
 
 impl PacketTrace {
-    /// Creates a disabled trace.
+    /// Creates a disabled trace with a 100 000-entry ring.
     pub fn new() -> PacketTrace {
         PacketTrace {
             enabled: false,
-            entries: Vec::new(),
+            entries: VecDeque::new(),
             capacity: 100_000,
+            evicted: 0,
         }
     }
 
@@ -78,27 +91,60 @@ impl PacketTrace {
         self.enabled
     }
 
-    /// Caps the number of retained entries (oldest entries are NOT evicted;
-    /// capture simply stops at the cap to keep indices stable).
+    /// Caps the number of retained entries. When the ring is full, each
+    /// new record evicts the oldest retained entry; shrinking below the
+    /// current length evicts immediately.
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
-    }
-
-    /// Records an event if capturing is enabled and capacity remains.
-    pub fn record(&mut self, entry: TraceEntry) {
-        if self.enabled && self.entries.len() < self.capacity {
-            self.entries.push(entry);
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
         }
     }
 
-    /// All captured entries in capture order.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+    /// Records an event if capturing is enabled, evicting the oldest
+    /// retained entry once the ring is full.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if !self.enabled {
+            return;
+        }
+        if self.capacity == 0 {
+            self.evicted += 1;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back(entry);
     }
 
-    /// Discards all captured entries.
+    /// All retained entries in capture order (oldest first).
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = &TraceEntry> + '_ {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted by the ring so far. `evicted() + len()` is the
+    /// total ever recorded; `evicted()` is also the absolute index of the
+    /// oldest retained entry.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Discards all captured entries and resets the absolute numbering.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.evicted = 0;
     }
 
     /// Renders the capture as a Wireshark-style text listing using the given
@@ -110,7 +156,11 @@ impl PacketTrace {
             "{:>5} {:>12} {:>6} {:<9} {:<21} {:<21} {:>5}  {:<8} info",
             "no.", "time", "node", "event", "source", "destination", "len", "proto"
         );
+        if self.evicted > 0 {
+            let _ = writeln!(out, "  ... {} older entries evicted by the capture ring ...", self.evicted);
+        }
         for (i, e) in self.entries.iter().enumerate() {
+            let i = self.evicted + i as u64;
             let (proto, info) = dissect(dissectors, &e.dgram);
             let event = match e.kind {
                 TraceKind::RadioTx => "radio-tx",
@@ -174,25 +224,53 @@ mod tests {
         }
     }
 
+    fn entry_at(port: u16) -> TraceEntry {
+        entry(TraceKind::RadioRx, port)
+    }
+
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = PacketTrace::new();
         t.record(entry(TraceKind::RadioTx, 5060));
-        assert!(t.entries().is_empty());
+        assert!(t.is_empty());
         t.set_enabled(true);
         t.record(entry(TraceKind::RadioTx, 5060));
-        assert_eq!(t.entries().len(), 1);
+        assert_eq!(t.len(), 1);
     }
 
     #[test]
-    fn capacity_stops_capture() {
+    fn ring_evicts_oldest_and_keeps_absolute_numbering() {
         let mut t = PacketTrace::new();
         t.set_enabled(true);
         t.set_capacity(2);
-        for _ in 0..5 {
-            t.record(entry(TraceKind::RadioRx, 5060));
+        for port in 0..5u16 {
+            t.record(entry_at(port));
         }
-        assert_eq!(t.entries().len(), 2);
+        // The two newest entries survive; three were evicted.
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evicted(), 3);
+        let ports: Vec<u16> = t.entries().map(|e| e.dgram.dst.port).collect();
+        assert_eq!(ports, vec![3, 4]);
+        // Rendered numbers are absolute capture indices.
+        let out = t.render(&[]);
+        assert!(out.contains("3 older entries evicted"), "{out}");
+        assert!(out.contains("\n    3 "), "{out}");
+        assert!(out.contains("\n    4 "), "{out}");
+
+        // Shrinking the cap evicts immediately.
+        t.set_capacity(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.evicted(), 4);
+
+        // A zero-capacity ring retains nothing but keeps counting.
+        t.set_capacity(0);
+        t.record(entry_at(9));
+        assert!(t.is_empty());
+        assert_eq!(t.evicted(), 6);
+
+        // Clearing resets the numbering.
+        t.clear();
+        assert_eq!(t.evicted(), 0);
     }
 
     #[test]

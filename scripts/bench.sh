@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Wall-clock benchmark of the simulator hot path (`exp_bench_core`, see
+# EXPERIMENTS.md § "Simulator throughput"). Writes results/BENCH_core.json.
+#
+# Usage:
+#   scripts/bench.sh              # full sweep, best-of-3 per scenario
+#   scripts/bench.sh --reps 15    # tighter best-of-N
+#   scripts/bench.sh --smoke      # smallest workloads, one rep; CI crash
+#                                 # canary — a failure means a panic,
+#                                 # never a perf number (CI machines are
+#                                 # far too noisy to gate on timings)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p siphoc-bench --bin exp_bench_core
+exec ./target/release/exp_bench_core "$@"

@@ -7,4 +7,14 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-cargo clippy --all-targets -- -D warnings
+# Perf lints ride the warning gate: the simulator hot path is clone- and
+# allocation-sensitive (see DESIGN.md § performance), so regressions that
+# clippy can see should fail CI.
+cargo clippy --all-targets -- -D warnings \
+    -D clippy::redundant_clone \
+    -D clippy::inefficient_to_string \
+    -D clippy::unnecessary_to_owned
+# Crash canary for the benchmark harness: smallest workloads, one rep.
+# Failure means a panic, never a perf number.
+scripts/bench.sh --smoke
+

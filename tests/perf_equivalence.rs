@@ -1,0 +1,204 @@
+//! Seed-for-seed equivalence of the optimized simulator hot path.
+//!
+//! The spatial neighbor index and the shared (`Arc`) datagram payloads are
+//! pure optimizations: for any seed they must produce *byte-identical*
+//! packet traces and event counts compared to (a) the pre-optimization
+//! simulator and (b) the retained full-scan reference path. These tests
+//! pin both properties:
+//!
+//! * golden digests — FNV-1a hashes of the full packet trace (every field,
+//!   payload bytes included) captured from the seed-era simulator before
+//!   the grid/zero-copy changes landed. Any drift in receiver discovery
+//!   order, RNG draw order, loss sampling or fault handling changes the
+//!   digest.
+//! * grid ↔ full-scan equivalence — the same scenario run with
+//!   `use_spatial_index` on and off must trace identically, including
+//!   under mobility (drift-bounded cell queries) and chaos faults.
+
+use wireless_adhoc_voip::core::config::VoipAppConfig;
+use wireless_adhoc_voip::core::nodesetup::{deploy, NodeSpec};
+use wireless_adhoc_voip::simnet::prelude::*;
+use wireless_adhoc_voip::simnet::trace::TraceKind;
+use wireless_adhoc_voip::sip::uri::Aor;
+
+// ----------------------------------------------------------------------
+// Digest machinery
+// ----------------------------------------------------------------------
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Hashes every field of every trace entry plus the world's dispatched
+/// event count. Any behavioral difference in the hot path shows up here.
+fn world_digest(w: &World) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(w.events_processed());
+    for e in w.trace().entries() {
+        h.write_u64(e.time.as_micros());
+        h.write_u64(e.node.0 as u64);
+        h.write_u64(match e.kind {
+            TraceKind::RadioTx => 1,
+            TraceKind::RadioRx => 2,
+            TraceKind::WiredRx => 3,
+            TraceKind::Loopback => 4,
+            TraceKind::Drop => 5,
+        });
+        h.write(e.reason.unwrap_or("").as_bytes());
+        h.write_u64(e.dgram.src.addr.0 as u64);
+        h.write_u64(e.dgram.src.port as u64);
+        h.write_u64(e.dgram.dst.addr.0 as u64);
+        h.write_u64(e.dgram.dst.port as u64);
+        h.write_u64(e.dgram.ttl as u64);
+        h.write(&e.dgram.payload);
+    }
+    h.0
+}
+
+// ----------------------------------------------------------------------
+// Scenarios
+// ----------------------------------------------------------------------
+
+/// Broadcast-heavy static mesh on the lossy radio: every node beacons
+/// every 200 ms; per-receiver loss draws make the digest sensitive to
+/// receiver-iteration order.
+fn run_bcast_mesh(seed: u64, spatial: bool) -> u64 {
+    let mut cfg = WorldConfig::new(seed);
+    cfg.use_spatial_index = spatial;
+    let mut w = World::new(cfg);
+    let mut rng = SimRng::from_seed_and_stream(seed, 4242);
+    let mut ids = Vec::new();
+    for i in 0..25 {
+        let x = (i % 5) as f64 * 70.0 + rng.range_f64(-15.0, 15.0);
+        let y = (i / 5) as f64 * 70.0 + rng.range_f64(-15.0, 15.0);
+        ids.push(w.add_node(NodeConfig::manet(x, y)));
+    }
+    w.trace_mut().set_enabled(true);
+    let mut t_ms = 0u64;
+    while t_ms < 5_000 {
+        w.run_until(SimTime::from_millis(t_ms));
+        for &id in &ids {
+            let src = SocketAddr::new(w.node(id).addr(), 9900);
+            let dst = SocketAddr::new(Addr::BROADCAST, 9900);
+            w.inject(id, Datagram::new(src, dst, vec![0xB5u8; 64]));
+        }
+        t_ms += 200;
+    }
+    w.run_until(SimTime::from_millis(5_000));
+    world_digest(&w)
+}
+
+/// Full SIPHoc stack under mobility and chaos: waypoint movement forces
+/// grid rebuilds, AODV/SLP exercise unicast + piggyback paths, duplicate
+/// and corrupt packet faults exercise the fault delivery path (including
+/// payload copy-on-write).
+fn run_mobile_chaos(seed: u64, spatial: bool) -> u64 {
+    let mut cfg = WorldConfig::new(seed);
+    cfg.use_spatial_index = spatial;
+    let mut w = World::new(cfg);
+    let area = Area::new(300.0, 300.0);
+    let params = WaypointParams::new(1.0, 15.0, SimDuration::from_secs(1));
+    let mut rng = SimRng::from_seed_and_stream(seed, 777);
+    for i in 0..10 {
+        let x = (i % 4) as f64 * 75.0;
+        let y = (i / 4) as f64 * 75.0;
+        let mut spec = NodeSpec::relay(x, y).without_connection_provider();
+        if i == 0 || i == 3 {
+            let mut ua = VoipAppConfig::fig2(if i == 0 { "a" } else { "b" }, "voicehoc.ch")
+                .to_ua_config()
+                .expect("config");
+            ua.answer_delay = SimDuration::from_millis(50);
+            if i == 0 {
+                ua = ua.call_at(
+                    SimTime::from_secs(3),
+                    Aor::new("b", "voicehoc.ch"),
+                    SimDuration::from_secs(4),
+                );
+            }
+            spec = spec.with_user(ua);
+        }
+        let start = area.sample(&mut rng);
+        spec = spec.with_mobility(Mobility::random_waypoint(
+            start,
+            params,
+            area,
+            SimTime::ZERO,
+            &mut rng,
+        ));
+        deploy(&mut w, spec);
+    }
+    w.trace_mut().set_enabled(true);
+    let plan = FaultPlan::new()
+        .crash_at(SimTime::from_secs(6), NodeId(7))
+        .restart_at(SimTime::from_secs(8), NodeId(7))
+        .packet_fault(LinkSelector::All, PacketFaultKind::Duplicate, 0.05, SimTime::ZERO, SimTime::MAX)
+        .packet_fault(LinkSelector::All, PacketFaultKind::Corrupt, 0.05, SimTime::ZERO, SimTime::MAX);
+    w.install_fault_plan(plan);
+    w.run_for(SimDuration::from_secs(12));
+    world_digest(&w)
+}
+
+// ----------------------------------------------------------------------
+// Golden digests (captured from the pre-grid, pre-Arc-payload simulator)
+// ----------------------------------------------------------------------
+
+/// `(seed, bcast-mesh digest, mobile-chaos digest)` recorded by running
+/// these exact scenarios on the seed-era hot path (full node scan,
+/// `Vec<u8>` payloads). The optimized simulator must reproduce them
+/// bit-for-bit.
+const GOLDEN: [(u64, u64, u64); 2] = [
+    (2301, 0xc09cee5e3eec047b, 0x6c221399a060c612),
+    (2302, 0xfc3431acfa0b46a3, 0x5efe7332d5c78b55),
+];
+
+#[test]
+fn golden_trace_digests_are_reproduced() {
+    for (seed, want_bcast, want_chaos) in GOLDEN {
+        let got_bcast = run_bcast_mesh(seed, true);
+        assert_eq!(
+            got_bcast, want_bcast,
+            "bcast mesh digest drifted for seed {seed}: got {got_bcast:#018x}"
+        );
+        let got_chaos = run_mobile_chaos(seed, true);
+        assert_eq!(
+            got_chaos, want_chaos,
+            "mobile chaos digest drifted for seed {seed}: got {got_chaos:#018x}"
+        );
+    }
+}
+
+#[test]
+fn grid_and_full_scan_trace_identically() {
+    for seed in [9301u64, 9302, 9303] {
+        assert_eq!(
+            run_bcast_mesh(seed, true),
+            run_bcast_mesh(seed, false),
+            "bcast mesh: grid vs full scan diverged for seed {seed}"
+        );
+        assert_eq!(
+            run_mobile_chaos(seed, true),
+            run_mobile_chaos(seed, false),
+            "mobile chaos: grid vs full scan diverged for seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn same_seed_is_deterministic_across_runs() {
+    assert_eq!(run_bcast_mesh(4401, true), run_bcast_mesh(4401, true));
+    assert_eq!(run_mobile_chaos(4402, true), run_mobile_chaos(4402, true));
+    assert_ne!(run_bcast_mesh(4401, true), run_bcast_mesh(4403, true));
+}
