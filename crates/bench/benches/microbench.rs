@@ -18,9 +18,11 @@ fn sample_invite_text() -> String {
         siphoc_sip::msg::Method::Invite,
         "sip:bob@voicehoc.ch".parse().unwrap(),
     );
-    m.headers_mut().push("Via", "SIP/2.0/UDP 10.0.0.1:5070;branch=z9hG4bK776asdhds");
+    m.headers_mut()
+        .push("Via", "SIP/2.0/UDP 10.0.0.1:5070;branch=z9hG4bK776asdhds");
     m.headers_mut().push("Max-Forwards", 70);
-    m.headers_mut().push("From", "\"Alice\" <sip:alice@voicehoc.ch>;tag=1928301774");
+    m.headers_mut()
+        .push("From", "\"Alice\" <sip:alice@voicehoc.ch>;tag=1928301774");
     m.headers_mut().push("To", "<sip:bob@voicehoc.ch>");
     m.headers_mut().push("Call-ID", "a84b4c76e66710@10.0.0.1");
     m.headers_mut().push("CSeq", "314159 INVITE");
@@ -38,7 +40,9 @@ fn bench_sip_codec(c: &mut Criterion) {
         b.iter(|| SipMessage::parse(black_box(&wire)).unwrap())
     });
     let msg = SipMessage::parse(&wire).unwrap();
-    c.bench_function("sip_serialize_invite", |b| b.iter(|| black_box(&msg).to_wire()));
+    c.bench_function("sip_serialize_invite", |b| {
+        b.iter(|| black_box(&msg).to_wire())
+    });
 }
 
 fn bench_slp_codec(c: &mut Criterion) {
@@ -63,7 +67,12 @@ fn bench_routing_table(c: &mut Criterion) {
     for i in 0..200u32 {
         table.insert(
             Addr::manet(i),
-            Route { next_hop: Addr::manet(i % 10), hops: (i % 8) as u8 + 1, expires: SimTime::MAX, seq: i },
+            Route {
+                next_hop: Addr::manet(i % 10),
+                hops: (i % 8) as u8 + 1,
+                expires: SimTime::MAX,
+                seq: i,
+            },
         );
     }
     c.bench_function("route_lookup_200", |b| {

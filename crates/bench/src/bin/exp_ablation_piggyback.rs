@@ -25,7 +25,9 @@ use siphoc_core::baselines::{BaselineConfig, ProactiveHello};
 use siphoc_routing::aodv::{AodvConfig, AodvProcess};
 use siphoc_simnet::node::NodeConfig;
 use siphoc_simnet::prelude::*;
-use siphoc_slp::manet::{shared_registry, Dissemination, ManetSlpConfig, ManetSlpHandler, ManetSlpProcess};
+use siphoc_slp::manet::{
+    shared_registry, Dissemination, ManetSlpConfig, ManetSlpHandler, ManetSlpProcess,
+};
 
 const SEED: u64 = 8801;
 const SIDE: usize = 4;
@@ -63,8 +65,14 @@ fn build(world: &mut World, variant: Variant) -> Vec<NodeId> {
                     handler = handler.with_min_readvertise(SimDuration::ZERO);
                 }
                 let handler = Rc::new(RefCell::new(handler));
-                world.spawn(id, Box::new(AodvProcess::new(AodvConfig::default()).with_handler(handler)));
-                world.spawn(id, Box::new(ManetSlpProcess::new(ManetSlpConfig::on_demand(), registry)));
+                world.spawn(
+                    id,
+                    Box::new(AodvProcess::new(AodvConfig::default()).with_handler(handler)),
+                );
+                world.spawn(
+                    id,
+                    Box::new(ManetSlpProcess::new(ManetSlpConfig::on_demand(), registry)),
+                );
             }
             Variant::Dedicated => {
                 world.spawn(id, Box::new(AodvProcess::new(AodvConfig::default())));
@@ -121,7 +129,13 @@ fn main() {
             .filter(|l| l.found)
             .map(|l| format!("{:.2}", l.latency().as_millis_f64()))
             .unwrap_or_else(|| "miss".to_owned());
-        println!("{:<26} {:>14.1} {:>16} {:>12}", variant.label(), bytes, extra, lookup_ms);
+        println!(
+            "{:<26} {:>14.1} {:>16} {:>12}",
+            variant.label(),
+            bytes,
+            extra,
+            lookup_ms
+        );
     }
     println!("\nshape check: throttled piggyback has the lowest byte cost and ZERO");
     println!("extra packets; dedicated messages pay whole packets for the same data.");

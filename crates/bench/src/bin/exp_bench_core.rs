@@ -24,6 +24,14 @@
 //! `--smoke` (smallest mesh of each family only, one rep; failure means
 //! panic, never a perf number).
 //!
+//! `--check <baseline.json>` compares this run against a previously
+//! recorded file: event counts must match exactly (they are
+//! deterministic; a mismatch means the baseline is stale) and wall time
+//! may regress by at most 20%, else the process exits non-zero. The
+//! binary also refuses to run if it was built with the `obs` feature
+//! compiled into the simulator (pass `--allow-obs` to deliberately
+//! measure an instrumented build).
+//!
 //! Run with `--release`; debug numbers are meaningless.
 
 use std::fmt::Write as _;
@@ -85,9 +93,9 @@ fn peak_rss_kb() -> u64 {
     std::fs::read_to_string("/proc/self/status")
         .ok()
         .and_then(|s| {
-            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
-                l.split_whitespace().nth(1).and_then(|v| v.parse().ok())
-            })
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
         })
         .unwrap_or(0)
 }
@@ -218,9 +226,119 @@ fn render_json(samples: &[Sample]) -> String {
     out
 }
 
+/// Extracts `"key": <number>` from a flat JSON object chunk. Keys are
+/// matched with their trailing colon so `wall_ms` never matches
+/// `wall_ms_runs` and `events` never matches `events_per_sec`.
+fn json_num(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let i = chunk.find(&pat)? + pat.len();
+    let rest = &chunk[i..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the scenario list out of a `render_json` document:
+/// `(name, wall_ms, events)` per scenario. Hand-rolled for the same
+/// reason `render_json` is: no JSON dependency in the bench binary.
+fn parse_baseline(text: &str) -> Vec<(String, f64, u64)> {
+    let mut out = Vec::new();
+    for chunk in text.split("\"name\":").skip(1) {
+        let Some(name) = chunk.split('"').nth(1) else {
+            continue;
+        };
+        let Some(wall_ms) = json_num(chunk, "wall_ms") else {
+            continue;
+        };
+        let Some(events) = json_num(chunk, "events") else {
+            continue;
+        };
+        out.push((name.to_owned(), wall_ms, events as u64));
+    }
+    out
+}
+
+/// Allowed wall-clock slowdown vs the baseline before `--check` fails.
+const CHECK_THRESHOLD: f64 = 1.20;
+
+/// Absolute grace added on top of the relative threshold. Smoke scenarios
+/// finish in single-digit milliseconds, where scheduler noise alone
+/// exceeds 20%; the floor absorbs that while leaving the relative
+/// threshold in charge of every workload large enough to measure.
+const CHECK_NOISE_FLOOR_MS: f64 = 50.0;
+
+/// Compares this run against a checked-in baseline. Event counts are
+/// deterministic and must match *exactly* — a mismatch means the workload
+/// changed and the baseline is stale, which would make the wall-time
+/// comparison meaningless. Wall time may regress by at most 20%.
+fn check_against_baseline(samples: &[Sample], path: &str) -> Result<Vec<String>, Vec<String>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return Err(vec![format!("cannot read baseline {path}: {e}")]),
+    };
+    let baseline = parse_baseline(&text);
+    let mut failures = Vec::new();
+    let mut report = Vec::new();
+    for s in samples {
+        let Some((_, base_wall, base_events)) =
+            baseline.iter().find(|(name, _, _)| *name == s.name)
+        else {
+            failures.push(format!(
+                "{}: not in baseline {path}; regenerate it (scripts/bench.sh --smoke --out {path})",
+                s.name
+            ));
+            continue;
+        };
+        if s.events != *base_events {
+            failures.push(format!(
+                "{}: {} events vs {} in the baseline — the deterministic workload changed, \
+                 regenerate the baseline before gating on wall time",
+                s.name, s.events, base_events
+            ));
+            continue;
+        }
+        let limit = base_wall * CHECK_THRESHOLD + CHECK_NOISE_FLOOR_MS;
+        let ratio = s.wall_ms / base_wall.max(f64::MIN_POSITIVE);
+        if s.wall_ms > limit {
+            failures.push(format!(
+                "{}: {:.1} ms vs baseline {:.1} ms ({:+.0}%, limit {:.1} ms = +{:.0}% + {:.0} ms noise floor)",
+                s.name,
+                s.wall_ms,
+                base_wall,
+                (ratio - 1.0) * 100.0,
+                limit,
+                (CHECK_THRESHOLD - 1.0) * 100.0,
+                CHECK_NOISE_FLOOR_MS
+            ));
+        } else {
+            report.push(format!(
+                "{}: {:.1} ms vs baseline {:.1} ms (limit {:.1} ms) — ok",
+                s.name, s.wall_ms, base_wall, limit
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    // Published numbers must measure the bare hot path: refuse to run if
+    // this binary was built with observability compiled in (e.g. via a
+    // whole-workspace build that unified the `obs` feature into simnet).
+    if siphoc_simnet::obs_enabled() && !args.iter().any(|a| a == "--allow-obs") {
+        eprintln!(
+            "exp_bench_core: built with the `obs` feature enabled; numbers would not measure \
+             the bare hot path. Build with `cargo build --release -p siphoc-bench` \
+             (scripts/bench.sh does) or pass --allow-obs to measure an instrumented build."
+        );
+        std::process::exit(2);
+    }
     let reps: usize = args
         .iter()
         .position(|a| a == "--reps")
@@ -243,20 +361,45 @@ fn main() {
 
     // (size, simulated seconds) — the 1000-node points run shorter so a
     // full sweep stays in CI-friendly wall time even pre-optimization.
-    let bcast_points: &[(usize, u64)] = if smoke { &[(50, 5)] } else { &[(50, 30), (200, 20), (1000, 10)] };
-    let siphoc_points: &[(usize, u64)] = if smoke { &[(50, 5)] } else { &[(50, 30), (200, 20), (1000, 10)] };
+    let bcast_points: &[(usize, u64)] = if smoke {
+        &[(50, 5)]
+    } else {
+        &[(50, 30), (200, 20), (1000, 10)]
+    };
+    let siphoc_points: &[(usize, u64)] = if smoke {
+        &[(50, 5)]
+    } else {
+        &[(50, 30), (200, 20), (1000, 10)]
+    };
 
-    println!("BENCH core: simulator hot-path throughput{}\n", if smoke { " (smoke)" } else { "" });
+    println!(
+        "BENCH core: simulator hot-path throughput{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
     println!(
         "{:<12} {:>6} {:>9} {:>10} {:>12} {:>13} {:>10} {:>12}",
-        "scenario", "nodes", "sim(s)", "wall(ms)", "events", "events/sec", "radio.tx", "rss_peak_kb"
+        "scenario",
+        "nodes",
+        "sim(s)",
+        "wall(ms)",
+        "events",
+        "events/sec",
+        "radio.tx",
+        "rss_peak_kb"
     );
     let mut samples = Vec::new();
     for &(n, secs) in bcast_points {
         let s = best_of(reps, || run_bcast(n, secs));
         println!(
             "{:<12} {:>6} {:>9.1} {:>10.1} {:>12} {:>13.0} {:>10} {:>12}",
-            s.name, s.nodes, s.sim_secs, s.wall_ms, s.events, s.events_per_sec(), s.radio_tx, s.rss_peak_kb
+            s.name,
+            s.nodes,
+            s.sim_secs,
+            s.wall_ms,
+            s.events,
+            s.events_per_sec(),
+            s.radio_tx,
+            s.rss_peak_kb
         );
         samples.push(s);
     }
@@ -264,7 +407,14 @@ fn main() {
         let s = best_of(reps, || run_siphoc(n, secs));
         println!(
             "{:<12} {:>6} {:>9.1} {:>10.1} {:>12} {:>13.0} {:>10} {:>12}",
-            s.name, s.nodes, s.sim_secs, s.wall_ms, s.events, s.events_per_sec(), s.radio_tx, s.rss_peak_kb
+            s.name,
+            s.nodes,
+            s.sim_secs,
+            s.wall_ms,
+            s.events,
+            s.events_per_sec(),
+            s.radio_tx,
+            s.rss_peak_kb
         );
         samples.push(s);
     }
@@ -276,5 +426,27 @@ fn main() {
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => eprintln!("\ncannot write {out_path}: {e}"),
+    }
+
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1).cloned());
+    if let Some(base_path) = check_path {
+        match check_against_baseline(&samples, &base_path) {
+            Ok(report) => {
+                println!("\nregression check vs {base_path}:");
+                for line in report {
+                    println!("  {line}");
+                }
+            }
+            Err(failures) => {
+                eprintln!("\nregression check vs {base_path} FAILED:");
+                for line in failures {
+                    eprintln!("  {line}");
+                }
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -28,17 +28,32 @@ fn main() {
         Aor::new("bob", "voicehoc.ch"),
         SimDuration::from_secs(3),
     );
-    let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).without_connection_provider().with_user(alice_ua));
-    deploy(&mut w, NodeSpec::relay(60.0, 0.0).without_connection_provider());
-    deploy(&mut w, NodeSpec::relay(120.0, 0.0).without_connection_provider());
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0)
+            .without_connection_provider()
+            .with_user(alice_ua),
+    );
+    deploy(
+        &mut w,
+        NodeSpec::relay(60.0, 0.0).without_connection_provider(),
+    );
+    deploy(
+        &mut w,
+        NodeSpec::relay(120.0, 0.0).without_connection_provider(),
+    );
     let bob = deploy(
         &mut w,
-        NodeSpec::relay(180.0, 0.0).without_connection_provider().with_user(bench_ua("bob")),
+        NodeSpec::relay(180.0, 0.0)
+            .without_connection_provider()
+            .with_user(bench_ua("bob")),
     );
     w.run_for(SimDuration::from_secs(8));
 
     let entries: Vec<_> = w.trace().entries().collect();
-    let text = |e: &siphoc_simnet::trace::TraceEntry| String::from_utf8_lossy(&e.dgram.payload).into_owned();
+    let text = |e: &siphoc_simnet::trace::TraceEntry| {
+        String::from_utf8_lossy(&e.dgram.payload).into_owned()
+    };
 
     let find = |what: &str, pred: &dyn Fn(&siphoc_simnet::trace::TraceEntry) -> bool| {
         let hit = entries.iter().find(|e| pred(e));
@@ -68,23 +83,39 @@ fn main() {
     let s6 = find("step 6: proxy consults MANET SLP (SRVRQST)", &|e| {
         e.kind == TraceKind::Loopback && e.node == alice.id && text(e).starts_with("SRVRQST")
     });
-    let s6b = find("        ... resolved on the routing layer (service RREP arrives)", &|e| {
-        e.kind == TraceKind::RadioRx
-            && e.node == alice.id
-            && e.dgram.dst.port == 654
-            && text(e).contains("bob@voicehoc.ch")
-    });
+    let s6b = find(
+        "        ... resolved on the routing layer (service RREP arrives)",
+        &|e| {
+            e.kind == TraceKind::RadioRx
+                && e.node == alice.id
+                && e.dgram.dst.port == 654
+                && text(e).contains("bob@voicehoc.ch")
+        },
+    );
     let s7 = find("step 7: INVITE forwarded to bob's proxy (on air)", &|e| {
         e.kind == TraceKind::RadioTx && e.node == alice.id && text(e).starts_with("INVITE")
     });
-    let s8 = find("step 8: bob's proxy delivers the INVITE to his application", &|e| {
-        e.kind == TraceKind::Loopback
-            && e.node == bob.id
-            && text(e).starts_with("INVITE")
-            && e.dgram.dst.port == 5070
-    });
+    let s8 = find(
+        "step 8: bob's proxy delivers the INVITE to his application",
+        &|e| {
+            e.kind == TraceKind::Loopback
+                && e.node == bob.id
+                && text(e).starts_with("INVITE")
+                && e.dgram.dst.port == 5070
+        },
+    );
 
-    for (name, t) in [("s1", s1), ("s2", s2), ("s3", s3), ("s4", s4), ("s5", s5), ("s6", s6), ("s6-resolve", s6b), ("s7", s7), ("s8", s8)] {
+    for (name, t) in [
+        ("s1", s1),
+        ("s2", s2),
+        ("s3", s3),
+        ("s4", s4),
+        ("s5", s5),
+        ("s6", s6),
+        ("s6-resolve", s6b),
+        ("s7", s7),
+        ("s8", s8),
+    ] {
         assert!(t.is_some(), "{name} must be observable in the trace");
     }
     let resolve = s6b.expect("checked").saturating_since(s6.expect("checked"));

@@ -46,7 +46,10 @@ fn run_call(seed: u64, hops: usize, carrier_sense: bool) -> Option<(f64, f64)> {
 }
 
 fn main() {
-    println!("A2: carrier-sense ablation, voice quality vs hops ({} seeds)\n", SEEDS.len());
+    println!(
+        "A2: carrier-sense ablation, voice quality vs hops ({} seeds)\n",
+        SEEDS.len()
+    );
     println!(
         "{:>5} {:>14} {:>10} {:>14} {:>10}",
         "hops", "loss% (queue)", "MOS", "loss% (CSMA)", "MOS"

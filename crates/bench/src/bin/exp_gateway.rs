@@ -36,7 +36,13 @@ fn run_one(seed: u64, hops: usize) -> Option<(f64, f64)> {
     let mut w = World::new(WorldConfig::new(seed).with_radio(RadioConfig::ideal()));
     let dns = DnsDirectory::new().with_record("voicehoc.ch", PROVIDER);
     let p = w.add_node(NodeConfig::wired(PROVIDER));
-    w.spawn(p, Box::new(SipProviderProcess::new(ProviderConfig::new("voicehoc.ch", dns.clone()))));
+    w.spawn(
+        p,
+        Box::new(SipProviderProcess::new(ProviderConfig::new(
+            "voicehoc.ch",
+            dns.clone(),
+        ))),
+    );
     let iris_node = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 50)));
     let (iris, _ilog) = UserAgent::new(UaConfig::new(
         Aor::new("iris", "voicehoc.ch"),
@@ -47,11 +53,21 @@ fn run_one(seed: u64, hops: usize) -> Option<(f64, f64)> {
     w.spawn(iris_node, Box::new(im));
 
     // Gateway at x=0; relays; measured node `hops` away.
-    let gw = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_gateway(GW_PUB).with_dns(dns.clone()));
+    let gw = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0)
+            .with_gateway(GW_PUB)
+            .with_dns(dns.clone()),
+    );
     for i in 1..hops {
-        deploy(&mut w, NodeSpec::relay(i as f64 * 60.0, 0.0).with_dns(dns.clone()));
+        deploy(
+            &mut w,
+            NodeSpec::relay(i as f64 * 60.0, 0.0).with_dns(dns.clone()),
+        );
     }
-    let mut ua = VoipAppConfig::fig2("alice", "voicehoc.ch").to_ua_config().expect("config");
+    let mut ua = VoipAppConfig::fig2("alice", "voicehoc.ch")
+        .to_ua_config()
+        .expect("config");
     ua.answer_delay = SimDuration::ZERO;
     let ua = ua.call_at(
         SimTime::from_secs(30),
@@ -60,7 +76,9 @@ fn run_one(seed: u64, hops: usize) -> Option<(f64, f64)> {
     );
     let alice = deploy(
         &mut w,
-        NodeSpec::relay(hops as f64 * 60.0, 0.0).with_dns(dns).with_user(ua),
+        NodeSpec::relay(hops as f64 * 60.0, 0.0)
+            .with_dns(dns)
+            .with_user(ua),
     );
 
     // Tunnel establishment time: when alice's node gains its leased
@@ -82,8 +100,14 @@ fn run_one(seed: u64, hops: usize) -> Option<(f64, f64)> {
 }
 
 fn main() {
-    println!("E5: Internet integration vs hops to gateway ({} seeds per point)\n", SEEDS.len());
-    println!("{:>5} {:>16} {:>18}", "hops", "tunnel-up (s)", "call-setup (ms)");
+    println!(
+        "E5: Internet integration vs hops to gateway ({} seeds per point)\n",
+        SEEDS.len()
+    );
+    println!(
+        "{:>5} {:>16} {:>18}",
+        "hops", "tunnel-up (s)", "call-setup (ms)"
+    );
     for hops in 1..=5usize {
         let mut tunnel = Vec::new();
         let mut setup = Vec::new();

@@ -40,7 +40,13 @@ fn run_provider(p: &Provider) -> (bool, bool) {
         dns.insert(p.domain, p.addr);
     }
     let pn = w.add_node(NodeConfig::wired(p.addr));
-    w.spawn(pn, Box::new(SipProviderProcess::new(ProviderConfig::new(p.domain, dns.clone()))));
+    w.spawn(
+        pn,
+        Box::new(SipProviderProcess::new(ProviderConfig::new(
+            p.domain,
+            dns.clone(),
+        ))),
+    );
 
     // Internet-side user of this provider; calls the MANET user at t=60.
     let iris_node = w.add_node(NodeConfig::wired(Addr::new(82, 9, 9, 9)));
@@ -48,7 +54,11 @@ fn run_provider(p: &Provider) -> (bool, bool) {
         Aor::new("iris", p.domain),
         SocketAddr::new(p.addr, ports::SIP),
     )
-    .call_at(SimTime::from_secs(60), Aor::new("alice", p.domain), SimDuration::from_secs(5));
+    .call_at(
+        SimTime::from_secs(60),
+        Aor::new("alice", p.domain),
+        SimDuration::from_secs(5),
+    );
     let (iris, iris_log) = UserAgent::new(iris_cfg);
     w.spawn(iris_node, Box::new(iris));
     let (im, _) = MediaProcess::new(MediaConfig::pcmu(8000));
@@ -65,20 +75,43 @@ fn run_provider(p: &Provider) -> (bool, bool) {
     let alice_ua = VoipAppConfig::fig2("alice", p.domain)
         .to_ua_config()
         .expect("config resolves")
-        .call_at(SimTime::from_secs(25), Aor::new("iris", p.domain), SimDuration::from_secs(5));
-    let alice = deploy(&mut w, NodeSpec::relay(120.0, 0.0).with_dns(dns).with_user(alice_ua));
+        .call_at(
+            SimTime::from_secs(25),
+            Aor::new("iris", p.domain),
+            SimDuration::from_secs(5),
+        );
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(120.0, 0.0)
+            .with_dns(dns)
+            .with_user(alice_ua),
+    );
 
     w.run_for(SimDuration::from_secs(90));
     let outbound_ok = call_measurement(&alice, 0).setup.is_some();
-    let inbound_ok = iris_log.borrow().any(|e| matches!(e, CallEvent::Established { .. }));
+    let inbound_ok = iris_log
+        .borrow()
+        .any(|e| matches!(e, CallEvent::Established { .. }));
     (outbound_ok, inbound_ok)
 }
 
 fn main() {
     let providers = [
-        Provider { domain: "siphoc.ch", addr: Addr(0x52010101), reachable_via_domain: true },
-        Provider { domain: "netvoip.ch", addr: Addr(0x52020202), reachable_via_domain: true },
-        Provider { domain: "polyphone.ethz.ch", addr: Addr(0x52030303), reachable_via_domain: false },
+        Provider {
+            domain: "siphoc.ch",
+            addr: Addr(0x52010101),
+            reachable_via_domain: true,
+        },
+        Provider {
+            domain: "netvoip.ch",
+            addr: Addr(0x52020202),
+            reachable_via_domain: true,
+        },
+        Provider {
+            domain: "polyphone.ethz.ch",
+            addr: Addr(0x52030303),
+            reachable_via_domain: false,
+        },
     ];
     println!("T1: provider interoperability (MANET user, 2 hops from gateway)\n");
     println!("{:<20} {:>10} {:>10}", "provider", "outbound", "inbound");

@@ -33,13 +33,17 @@ fn run_one(seed: u64, side: usize, kind: LocationKind) -> Option<(f64, bool)> {
     }
     // Register bob on the far corner at t≈0.
     let (reg, _) = LookupProbe::new(
-        Some(("bob@v.ch".into(), SocketAddr::new(w.node(*ids.last().expect("nodes")).addr(), 5060))),
+        Some((
+            "bob@v.ch".into(),
+            SocketAddr::new(w.node(*ids.last().expect("nodes")).addr(), 5060),
+        )),
         Vec::new(),
     );
     w.spawn(*ids.last().expect("nodes"), Box::new(reg));
     // Look up from the near corner after the replicated services have had
     // time to converge (30 s covers OLSR TC and baseline refresh periods).
-    let (probe, results) = LookupProbe::new(None, vec![(SimTime::from_secs(30), "bob@v.ch".into())]);
+    let (probe, results) =
+        LookupProbe::new(None, vec![(SimTime::from_secs(30), "bob@v.ch".into())]);
     w.spawn(ids[0], Box::new(probe));
     w.run_for(SimDuration::from_secs(45));
     let r = results.borrow();
@@ -48,7 +52,10 @@ fn run_one(seed: u64, side: usize, kind: LocationKind) -> Option<(f64, bool)> {
 }
 
 fn main() {
-    println!("E2: lookup delay vs network size ({} seeds per point)\n", SEEDS.len());
+    println!(
+        "E2: lookup delay vs network size ({} seeds per point)\n",
+        SEEDS.len()
+    );
     print!("{:>7}", "nodes");
     for kind in LocationKind::all() {
         print!(" {:>16}", kind.label());

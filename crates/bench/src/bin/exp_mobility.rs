@@ -39,7 +39,14 @@ fn run_one(seed: u64, speed: f64) -> (usize, usize, Vec<f64>) {
         let pos = area.sample(&mut rng);
         let mut spec = NodeSpec::relay(pos.0, pos.1).without_connection_provider();
         if speed > 0.0 {
-            spec = spec.with_mobility(waypoint(seed, i as u64, area, (speed / 3.0).max(0.5), speed, 2));
+            spec = spec.with_mobility(waypoint(
+                seed,
+                i as u64,
+                area,
+                (speed / 3.0).max(0.5),
+                speed,
+                2,
+            ));
         }
         // Users on the first 8 nodes; even ones call odd ones.
         if i < 8 {
@@ -78,8 +85,15 @@ fn run_one(seed: u64, speed: f64) -> (usize, usize, Vec<f64>) {
 }
 
 fn main() {
-    println!("E4: call success under mobility ({} nodes, {} seeds per speed)\n", N, SEEDS.len());
-    println!("{:>11} {:>10} {:>12} {:>10}", "speed(m/s)", "attempts", "success(%)", "meanMOS");
+    println!(
+        "E4: call success under mobility ({} nodes, {} seeds per speed)\n",
+        N,
+        SEEDS.len()
+    );
+    println!(
+        "{:>11} {:>10} {:>12} {:>10}",
+        "speed(m/s)", "attempts", "success(%)", "meanMOS"
+    );
     for speed in SPEEDS {
         let mut att = 0;
         let mut est = 0;

@@ -45,8 +45,8 @@ fn run_one(seed: u64, n: usize) -> Outcome {
         let cols = (n as f64).sqrt().ceil() as usize;
         let gx = (i % cols) as f64 * CELL + rng.range_f64(-20.0, 20.0);
         let gy = (i / cols) as f64 * CELL + rng.range_f64(-20.0, 20.0);
-        let mut spec = NodeSpec::relay(gx.clamp(0.0, side), gy.clamp(0.0, side))
-            .without_connection_provider();
+        let mut spec =
+            NodeSpec::relay(gx.clamp(0.0, side), gy.clamp(0.0, side)).without_connection_provider();
         if i < users {
             let mut ua = bench_ua(&format!("u{i}"));
             if i % 2 == 0 && i + 1 < users {
@@ -78,7 +78,8 @@ fn run_one(seed: u64, n: usize) -> Outcome {
             }
         }
     }
-    let ctrl = siphoc_bench::measure::control_bytes_per_node_second(&w, SimDuration::from_secs(run_secs));
+    let ctrl =
+        siphoc_bench::measure::control_bytes_per_node_second(&w, SimDuration::from_secs(run_secs));
     let hits = siphoc_core::metrics::total_counter(&w, "slp.lookup_hit").packets;
     let misses = siphoc_core::metrics::total_counter(&w, "slp.lookup_miss").packets;
     Outcome {
@@ -92,7 +93,10 @@ fn run_one(seed: u64, n: usize) -> Outcome {
 }
 
 fn main() {
-    println!("E8: scalability with network size ({} seeds per point)\n", SEEDS.len());
+    println!(
+        "E8: scalability with network size ({} seeds per point)\n",
+        SEEDS.len()
+    );
     println!(
         "{:>6} {:>9} {:>11} {:>11} {:>13} {:>11}",
         "nodes", "calls", "success(%)", "setup(ms)", "ctrl B/node/s", "hit:miss"

@@ -33,7 +33,11 @@ fn run_one(seed: u64, hops: usize, routing: RoutingProtocol, warm: bool) -> Opti
     // Give proactive protocols (and their gossip) time to converge; keep
     // AODV cold by calling before periodic floods spread the binding.
     // DSDV needs diameter x update-interval.
-    let (first_call, settle) = if proactive { (90u64, 90u64) } else { (3u64, 0u64) };
+    let (first_call, settle) = if proactive {
+        (90u64, 90u64)
+    } else {
+        (3u64, 0u64)
+    };
     let mut ua = siphoc_bench::topology::bench_ua("alice");
     ua = ua.call_at(
         SimTime::from_secs(first_call),
@@ -85,19 +89,39 @@ fn sweep(label: &str, routing: fn() -> RoutingProtocol, warm: bool) -> Series {
 }
 
 fn main() {
-    println!("E1: session establishment time vs hop count ({} seeds per point)\n", SEEDS.len());
+    println!(
+        "E1: session establishment time vs hop count ({} seeds per point)\n",
+        SEEDS.len()
+    );
     let cold = sweep("aodv-cold", RoutingProtocol::aodv, false);
     let warm = sweep("aodv-warm", RoutingProtocol::aodv, true);
     let olsr = sweep("olsr", RoutingProtocol::olsr, false);
     let dsdv = sweep("dsdv", RoutingProtocol::dsdv, false);
 
-    println!("{:>5} {:>12} {:>12} {:>12} {:>12}", "hops", "aodv-cold", "aodv-warm", "olsr", "dsdv");
-    println!("{:>5} {:>12} {:>12} {:>12} {:>12}", "", "(ms)", "(ms)", "(ms)", "(ms)");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12}",
+        "hops", "aodv-cold", "aodv-warm", "olsr", "dsdv"
+    );
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12}",
+        "", "(ms)", "(ms)", "(ms)", "(ms)"
+    );
     for i in 0..cold.points.len() {
         let h = cold.points[i].0;
         let c = cold.points[i].1;
-        let find = |s: &Series| s.points.iter().find(|(x, _)| *x == h).map(|(_, y)| *y).unwrap_or(f64::NAN);
-        println!("{h:>5.0} {c:>12.1} {:>12.1} {:>12.1} {:>12.1}", find(&warm), find(&olsr), find(&dsdv));
+        let find = |s: &Series| {
+            s.points
+                .iter()
+                .find(|(x, _)| *x == h)
+                .map(|(_, y)| *y)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{h:>5.0} {c:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            find(&warm),
+            find(&olsr),
+            find(&dsdv)
+        );
     }
     println!("\nshape check: cold > warm at every hop count; cold grows with hops.");
 }

@@ -43,7 +43,12 @@ impl Process for CbrSource {
 
 fn run_call(seed: u64, hops: usize, cbr_streams: usize) -> Option<(f64, f64, f64)> {
     let mut w = typical_world(seed);
-    let nodes = siphoc_chain(&mut w, hops + 1, &RoutingProtocol::aodv(), &[(0, "alice"), (hops, "bob")]);
+    let nodes = siphoc_chain(
+        &mut w,
+        hops + 1,
+        &RoutingProtocol::aodv(),
+        &[(0, "alice"), (hops, "bob")],
+    );
     // Replace alice's scripted UA: siphoc_chain deploys plain users, so
     // run the call from a separate caller spec instead.
     let _ = &nodes;
@@ -63,7 +68,13 @@ fn run_call(seed: u64, hops: usize, cbr_streams: usize) -> Option<(f64, f64, f64
         let src = nodes[k % nodes.len()].id;
         let dst_node = &nodes[(k + 2) % nodes.len()];
         let dst = SocketAddr::new(dst_node.addr, 9700);
-        w.spawn(src, Box::new(CbrSource { dst, port: 9600 + k as u16 }));
+        w.spawn(
+            src,
+            Box::new(CbrSource {
+                dst,
+                port: 9600 + k as u16,
+            }),
+        );
     }
     w.run_for(SimDuration::from_secs(50));
     let reports = caller.media_reports.as_ref().expect("media").borrow();
@@ -71,14 +82,24 @@ fn run_call(seed: u64, hops: usize, cbr_streams: usize) -> Option<(f64, f64, f64
     if r.received == 0 {
         return None;
     }
-    Some((r.loss_fraction * 100.0, r.mean_delay.as_millis_f64(), r.quality.mos))
+    Some((
+        r.loss_fraction * 100.0,
+        r.mean_delay.as_millis_f64(),
+        r.quality.mos,
+    ))
 }
 
 fn main() {
-    println!("E6: voice quality, typical lossy radio ({} seeds per point)\n", SEEDS.len());
+    println!(
+        "E6: voice quality, typical lossy radio ({} seeds per point)\n",
+        SEEDS.len()
+    );
 
     println!("-- vs hop count (no background load) --");
-    println!("{:>5} {:>9} {:>10} {:>7}", "hops", "loss(%)", "delay(ms)", "MOS");
+    println!(
+        "{:>5} {:>9} {:>10} {:>7}",
+        "hops", "loss(%)", "delay(ms)", "MOS"
+    );
     for hops in 1..=6usize {
         let mut loss = Vec::new();
         let mut delay = Vec::new();
@@ -99,7 +120,10 @@ fn main() {
     }
 
     println!("\n-- 4-hop call vs background CBR streams (250 pps x 1400 B (~2.8 Mb/s) each) --");
-    println!("{:>8} {:>9} {:>10} {:>7}", "streams", "loss(%)", "delay(ms)", "MOS");
+    println!(
+        "{:>8} {:>9} {:>10} {:>7}",
+        "streams", "loss(%)", "delay(ms)", "MOS"
+    );
     for streams in [0usize, 1, 2, 3, 4] {
         let mut loss = Vec::new();
         let mut delay = Vec::new();

@@ -15,7 +15,9 @@ use siphoc_simnet::net::{ports, Datagram, SocketAddr};
 use siphoc_simnet::node::NodeConfig;
 use siphoc_simnet::prelude::*;
 use siphoc_simnet::process::{Ctx, Process};
-use siphoc_slp::manet::{shared_registry, Dissemination, ManetSlpConfig, ManetSlpHandler, ManetSlpProcess};
+use siphoc_slp::manet::{
+    shared_registry, Dissemination, ManetSlpConfig, ManetSlpHandler, ManetSlpProcess,
+};
 use siphoc_slp::msg::SlpMsg;
 use siphoc_slp::standard::{StandardSlpConfig, StandardSlpProcess};
 
@@ -69,8 +71,14 @@ pub fn add_location_node(world: &mut World, kind: LocationKind, x: f64, y: f64) 
                 registry.clone(),
                 Dissemination::OnDemand,
             )));
-            world.spawn(id, Box::new(AodvProcess::new(AodvConfig::default()).with_handler(handler)));
-            world.spawn(id, Box::new(ManetSlpProcess::new(ManetSlpConfig::on_demand(), registry)));
+            world.spawn(
+                id,
+                Box::new(AodvProcess::new(AodvConfig::default()).with_handler(handler)),
+            );
+            world.spawn(
+                id,
+                Box::new(ManetSlpProcess::new(ManetSlpConfig::on_demand(), registry)),
+            );
         }
         LocationKind::ManetSlpOlsr => {
             let registry = shared_registry();
@@ -78,16 +86,28 @@ pub fn add_location_node(world: &mut World, kind: LocationKind, x: f64, y: f64) 
                 registry.clone(),
                 Dissemination::Proactive,
             )));
-            world.spawn(id, Box::new(OlsrProcess::new(OlsrConfig::default()).with_handler(handler)));
-            world.spawn(id, Box::new(ManetSlpProcess::new(ManetSlpConfig::proactive(), registry)));
+            world.spawn(
+                id,
+                Box::new(OlsrProcess::new(OlsrConfig::default()).with_handler(handler)),
+            );
+            world.spawn(
+                id,
+                Box::new(ManetSlpProcess::new(ManetSlpConfig::proactive(), registry)),
+            );
         }
         LocationKind::StandardSlp => {
             world.spawn(id, Box::new(AodvProcess::new(AodvConfig::default())));
-            world.spawn(id, Box::new(StandardSlpProcess::new(StandardSlpConfig::default())));
+            world.spawn(
+                id,
+                Box::new(StandardSlpProcess::new(StandardSlpConfig::default())),
+            );
         }
         LocationKind::BroadcastReg => {
             world.spawn(id, Box::new(AodvProcess::new(AodvConfig::default())));
-            world.spawn(id, Box::new(BroadcastRegistration::new(BaselineConfig::default())));
+            world.spawn(
+                id,
+                Box::new(BroadcastRegistration::new(BaselineConfig::default())),
+            );
         }
         LocationKind::ProactiveHello => {
             world.spawn(id, Box::new(AodvProcess::new(AodvConfig::default())));
@@ -138,7 +158,10 @@ impl std::fmt::Debug for LookupProbe {
 
 impl LookupProbe {
     /// Creates a probe and the handle to its results.
-    pub fn new(register: Option<(String, SocketAddr)>, lookups: Vec<(SimTime, String)>) -> (LookupProbe, LookupLog) {
+    pub fn new(
+        register: Option<(String, SocketAddr)>,
+        lookups: Vec<(SimTime, String)>,
+    ) -> (LookupProbe, LookupLog) {
         let results: LookupLog = Rc::new(RefCell::new(Vec::new()));
         (
             LookupProbe {
@@ -219,16 +242,18 @@ mod tests {
                 Vec::new(),
             );
             w.spawn(b, Box::new(reg));
-            let (probe, results) = LookupProbe::new(
-                None,
-                vec![(SimTime::from_secs(30), "bob@v.ch".to_owned())],
-            );
+            let (probe, results) =
+                LookupProbe::new(None, vec![(SimTime::from_secs(30), "bob@v.ch".to_owned())]);
             w.spawn(a, Box::new(probe));
             w.run_for(SimDuration::from_secs(45));
             let r = results.borrow();
             assert_eq!(r.len(), 1, "{}: lookup must be answered", kind.label());
             assert!(r[0].found, "{}: binding must be found", kind.label());
-            assert!(r[0].latency() < SimDuration::from_secs(10), "{}", kind.label());
+            assert!(
+                r[0].latency() < SimDuration::from_secs(10),
+                "{}",
+                kind.label()
+            );
         }
     }
 }

@@ -25,7 +25,10 @@ pub fn call_measurement(node: &SiphocNode, k: usize) -> CallMeasurement {
         .map(|(t, _)| *t)
         .collect();
     let Some(&placed_at) = placed.get(k) else {
-        return CallMeasurement { setup: None, failed: true };
+        return CallMeasurement {
+            setup: None,
+            failed: true,
+        };
     };
     let window_end = placed.get(k + 1).copied().unwrap_or(SimTime::MAX);
     let established = log
@@ -56,7 +59,12 @@ pub fn control_bytes(world: &World) -> u64 {
     }
     // Piggyback bytes are already inside aodv./olsr. message counters;
     // subtract the lookup-accounting counters that are not on-air.
-    for non_air in ["slp.lookup_hit", "slp.lookup_miss", "slp.lookup_failed", "slp.query_flood"] {
+    for non_air in [
+        "slp.lookup_hit",
+        "slp.lookup_miss",
+        "slp.lookup_failed",
+        "slp.query_flood",
+    ] {
         total = total.saturating_sub(siphoc_core::metrics::total_counter(world, non_air).bytes);
     }
     total
@@ -91,7 +99,11 @@ mod tests {
         let ua = siphoc_core::config::VoipAppConfig::fig2("x", "voicehoc.ch")
             .to_ua_config()
             .unwrap()
-            .call_at(SimTime::from_secs(3), Aor::new("b", "voicehoc.ch"), SimDuration::from_secs(2));
+            .call_at(
+                SimTime::from_secs(3),
+                Aor::new("b", "voicehoc.ch"),
+                SimDuration::from_secs(2),
+            );
         let caller = siphoc_core::nodesetup::deploy(
             &mut w,
             siphoc_core::nodesetup::NodeSpec::relay(0.0, 60.0).with_user(ua),

@@ -79,7 +79,14 @@ pub fn siphoc_grid(
 
 /// Random-waypoint mobility for node `index`, derived deterministically
 /// from the world seed.
-pub fn waypoint(seed: u64, index: u64, area: Area, min_speed: f64, max_speed: f64, pause_s: u64) -> Mobility {
+pub fn waypoint(
+    seed: u64,
+    index: u64,
+    area: Area,
+    min_speed: f64,
+    max_speed: f64,
+    pause_s: u64,
+) -> Mobility {
     let mut rng = SimRng::from_seed_and_stream(seed, 50_000 + index);
     let start = area.sample(&mut rng);
     Mobility::random_waypoint(

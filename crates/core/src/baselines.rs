@@ -89,14 +89,29 @@ impl BaselineCore {
 
     fn reply(&self, ctx: &mut Ctx<'_>, to: SocketAddr, xid: u32, entries: Vec<ServiceEntry>) {
         let src = SocketAddr::new(Addr::LOOPBACK, ports::SLP);
-        ctx.send(Datagram::new(src, to, SlpMsg::SrvRply { xid, entries }.to_wire()));
+        ctx.send(Datagram::new(
+            src,
+            to,
+            SlpMsg::SrvRply { xid, entries }.to_wire(),
+        ));
     }
 
     /// Handles a client API message; returns a newly registered local
     /// entry when one was created (for immediate dissemination).
-    fn on_client_msg(&mut self, ctx: &mut Ctx<'_>, msg: SlpMsg, from: SocketAddr) -> Option<ServiceEntry> {
+    fn on_client_msg(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: SlpMsg,
+        from: SocketAddr,
+    ) -> Option<ServiceEntry> {
         match msg {
-            SlpMsg::SrvReg { xid, service_type, key, contact, lifetime_secs } => {
+            SlpMsg::SrvReg {
+                xid,
+                service_type,
+                key,
+                contact,
+                lifetime_secs,
+            } => {
                 let now = ctx.now();
                 let origin = ctx.addr();
                 let seq = self.registry.next_seq();
@@ -113,14 +128,22 @@ impl BaselineCore {
                 ctx.send(Datagram::new(src, from, SlpMsg::SrvAck { xid }.to_wire()));
                 Some(entry)
             }
-            SlpMsg::SrvDeReg { xid, service_type, key } => {
+            SlpMsg::SrvDeReg {
+                xid,
+                service_type,
+                key,
+            } => {
                 let origin = ctx.addr();
                 self.registry.deregister_local(&service_type, &key, origin);
                 let src = SocketAddr::new(Addr::LOOPBACK, ports::SLP);
                 ctx.send(Datagram::new(src, from, SlpMsg::SrvAck { xid }.to_wire()));
                 None
             }
-            SlpMsg::SrvRqst { xid, service_type, key } => {
+            SlpMsg::SrvRqst {
+                xid,
+                service_type,
+                key,
+            } => {
                 let now = ctx.now();
                 let found: Vec<ServiceEntry> = self
                     .registry
@@ -195,7 +218,8 @@ pub struct BroadcastRegistration {
 
 impl std::fmt::Debug for BroadcastRegistration {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BroadcastRegistration").finish_non_exhaustive()
+        f.debug_struct("BroadcastRegistration")
+            .finish_non_exhaustive()
     }
 }
 
@@ -209,7 +233,14 @@ impl BroadcastRegistration {
         }
     }
 
-    fn flood_entries(&mut self, ctx: &mut Ctx<'_>, origin: Addr, fid: u32, ttl: u8, entries: &[ServiceEntry]) {
+    fn flood_entries(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        origin: Addr,
+        fid: u32,
+        ttl: u8,
+        entries: &[ServiceEntry],
+    ) {
         let mut payload = format!("BREG {origin} {fid} {ttl}").into_bytes();
         for e in entries {
             payload.push(b'\n');
@@ -271,7 +302,9 @@ impl Process for BroadcastRegistration {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.bind(ports::SLP);
-        let jitter = ctx.rng().range_u64(0, self.core.cfg.refresh_interval.as_micros().max(1));
+        let jitter = ctx
+            .rng()
+            .range_u64(0, self.core.cfg.refresh_interval.as_micros().max(1));
         ctx.set_timer(SimDuration::from_micros(jitter), TAG_REFRESH);
         ctx.set_timer(SimDuration::from_secs(10), TAG_PURGE);
     }
@@ -300,7 +333,8 @@ impl Process for BroadcastRegistration {
             TAG_PURGE => {
                 let now = ctx.now();
                 self.core.registry.purge(now);
-                self.seen.retain(|_, t| now.saturating_since(*t) < SimDuration::from_secs(60));
+                self.seen
+                    .retain(|_, t| now.saturating_since(*t) < SimDuration::from_secs(60));
                 ctx.set_timer(SimDuration::from_secs(10), TAG_PURGE);
             }
             _ => {}
@@ -357,7 +391,9 @@ impl Process for ProactiveHello {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.bind(ports::SLP);
-        let jitter = ctx.rng().range_u64(0, self.core.cfg.refresh_interval.as_micros().max(1));
+        let jitter = ctx
+            .rng()
+            .range_u64(0, self.core.cfg.refresh_interval.as_micros().max(1));
         ctx.set_timer(SimDuration::from_micros(jitter), TAG_REFRESH);
         ctx.set_timer(SimDuration::from_secs(10), TAG_PURGE);
     }
@@ -432,7 +468,11 @@ mod tests {
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
             if token == 5 {
                 if let Some((_, key)) = self.lookup_at.take() {
-                    let m = SlpMsg::SrvRqst { xid: 2, service_type: "sip".into(), key };
+                    let m = SlpMsg::SrvRqst {
+                        xid: 2,
+                        service_type: "sip".into(),
+                        key,
+                    };
                     ctx.send_local(ports::SLP, 9400, m.to_wire());
                 }
             }

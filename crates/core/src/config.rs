@@ -95,7 +95,10 @@ mod tests {
     #[test]
     fn localhost_outbound_proxy_resolves_to_siphoc() {
         let cfg = VoipAppConfig::fig2("Alice", "voicehoc.ch");
-        assert_eq!(cfg.outbound_proxy_addr().unwrap().to_string(), "127.0.0.1:5060");
+        assert_eq!(
+            cfg.outbound_proxy_addr().unwrap().to_string(),
+            "127.0.0.1:5060"
+        );
         let ua = cfg.to_ua_config().unwrap();
         assert_eq!(ua.aor.to_string(), "alice@voicehoc.ch");
         assert_eq!(ua.local_port, 5070);
@@ -105,9 +108,15 @@ mod tests {
     fn explicit_proxy_addresses_parse() {
         let mut cfg = VoipAppConfig::fig2("Bob", "netvoip.ch");
         cfg.outbound_proxy = "82.1.1.1:5060".to_owned();
-        assert_eq!(cfg.outbound_proxy_addr().unwrap().to_string(), "82.1.1.1:5060");
+        assert_eq!(
+            cfg.outbound_proxy_addr().unwrap().to_string(),
+            "82.1.1.1:5060"
+        );
         cfg.outbound_proxy = "82.1.1.1".to_owned();
-        assert_eq!(cfg.outbound_proxy_addr().unwrap().to_string(), "82.1.1.1:5060");
+        assert_eq!(
+            cfg.outbound_proxy_addr().unwrap().to_string(),
+            "82.1.1.1:5060"
+        );
         cfg.outbound_proxy = "not an address".to_owned();
         assert!(cfg.outbound_proxy_addr().is_none());
     }

@@ -15,6 +15,7 @@
 //! node-local events the SIPHoc proxy listens for.
 
 use siphoc_simnet::net::{ports, Addr, Datagram, SocketAddr};
+use siphoc_simnet::obs::{SpanCat, SpanId};
 use siphoc_simnet::process::{Ctx, LocalEvent, Process};
 use siphoc_simnet::time::SimDuration;
 
@@ -93,6 +94,8 @@ pub struct ConnectionProvider {
     state: State,
     next_xid: u32,
     consecutive_failures: u32,
+    handshake_span: SpanId,
+    handshake_started_us: u64,
 }
 
 impl ConnectionProvider {
@@ -103,6 +106,8 @@ impl ConnectionProvider {
             state: State::Idle,
             next_xid: 0,
             consecutive_failures: 0,
+            handshake_span: SpanId::NONE,
+            handshake_started_us: 0,
         }
     }
 
@@ -140,12 +145,24 @@ impl ConnectionProvider {
 
     fn connect(&mut self, ctx: &mut Ctx<'_>, gateway: SocketAddr, attempts: u32) {
         self.state = State::Connecting { gateway, attempts };
+        if attempts == 0 {
+            self.handshake_span = ctx.span_enter(SpanCat::Tunnel, "tunnel.handshake");
+            if ctx.obs().tracing() {
+                let corr = gateway.addr.to_string();
+                ctx.obs().span_corr(self.handshake_span, &corr);
+            }
+            self.handshake_started_us = ctx.now_us();
+        }
         ctx.stats().count("cp.tconnect", 1);
         ctx.send_to(gateway, ports::TUNNEL, TunnelMsg::Connect.to_wire());
         ctx.set_timer(self.cfg.connect_timeout, TAG_CONNECT_TIMEOUT);
     }
 
     fn teardown(&mut self, ctx: &mut Ctx<'_>) {
+        // A handshake abandoned mid-flight (e.g. restart while Connecting)
+        // must not linger as an open span.
+        ctx.span_exit(self.handshake_span, false);
+        self.handshake_span = SpanId::NONE;
         if let State::Connected { public, .. } = self.state {
             ctx.remove_local_addr(public);
             ctx.set_default_handler(false);
@@ -171,6 +188,10 @@ impl ConnectionProvider {
                     refresh_outstanding: false,
                 };
                 self.consecutive_failures = 0;
+                ctx.span_exit(self.handshake_span, true);
+                self.handshake_span = SpanId::NONE;
+                let took = ctx.now_us().saturating_sub(self.handshake_started_us);
+                ctx.obs().hist_record("cp.handshake_us", took);
                 ctx.add_local_addr(public);
                 ctx.set_default_handler(true);
                 ctx.stats().count("cp.tunnel_up", 1);
@@ -180,9 +201,12 @@ impl ConnectionProvider {
                 });
                 ctx.set_timer(lease / 2, TAG_REFRESH);
             }
-            State::Connected { gateway, refresh_outstanding, refresh_failures, .. }
-                if gateway.addr == from.addr =>
-            {
+            State::Connected {
+                gateway,
+                refresh_outstanding,
+                refresh_failures,
+                ..
+            } if gateway.addr == from.addr => {
                 *refresh_outstanding = false;
                 *refresh_failures = 0;
             }
@@ -192,7 +216,10 @@ impl ConnectionProvider {
 
     /// Captured Internet-bound datagram: NAT the source and tunnel it.
     fn tunnel_out(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram) {
-        let State::Connected { gateway, public, .. } = &self.state else {
+        let State::Connected {
+            gateway, public, ..
+        } = &self.state
+        else {
             ctx.stats().count("cp.no_tunnel_drop", dgram.wire_len());
             return;
         };
@@ -224,7 +251,9 @@ impl Process for ConnectionProvider {
             return;
         }
         ctx.bind(ports::TUNNEL);
-        let jitter = ctx.rng().range_u64(0, self.cfg.check_interval.as_micros().max(1));
+        let jitter = ctx
+            .rng()
+            .range_u64(0, self.cfg.check_interval.as_micros().max(1));
         ctx.set_timer(SimDuration::from_micros(jitter), TAG_CHECK);
     }
 
@@ -238,7 +267,8 @@ impl Process for ConnectionProvider {
                             Some(gw) => self.connect(ctx, gw.contact, 0),
                             None => {
                                 self.state = State::Idle;
-                                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                                self.consecutive_failures =
+                                    self.consecutive_failures.saturating_add(1);
                                 self.schedule_recheck(ctx);
                             }
                         }
@@ -250,7 +280,10 @@ impl Process for ConnectionProvider {
         // Tunnel port traffic or default-handler captures.
         if dgram.dst.port == ports::TUNNEL && dgram.dst.addr == ctx.addr() {
             match TunnelMsg::parse(&dgram.payload) {
-                Some(TunnelMsg::Lease { public, lifetime_secs }) => {
+                Some(TunnelMsg::Lease {
+                    public,
+                    lifetime_secs,
+                }) => {
                     self.on_lease(ctx, dgram.src, public, lifetime_secs);
                 }
                 Some(TunnelMsg::Data { inner }) => {
@@ -284,6 +317,8 @@ impl Process for ConnectionProvider {
                     if attempts < 2 {
                         self.connect(ctx, gateway, attempts + 1);
                     } else {
+                        ctx.span_exit(self.handshake_span, false);
+                        self.handshake_span = SpanId::NONE;
                         self.state = State::Idle;
                         self.consecutive_failures = self.consecutive_failures.saturating_add(1);
                         self.schedule_recheck(ctx);

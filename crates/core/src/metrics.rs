@@ -40,7 +40,12 @@ pub const ROUTE_ENTRY_BYTES: usize = 48;
 pub const SLP_ENTRY_BYTES: usize = 96;
 
 /// Computes the footprint of one node.
-pub fn node_footprint(world: &World, node: NodeId, registry: Option<&SharedRegistry>, now: SimTime) -> FootprintReport {
+pub fn node_footprint(
+    world: &World,
+    node: NodeId,
+    registry: Option<&SharedRegistry>,
+    now: SimTime,
+) -> FootprintReport {
     let routing_entries = world.node(node).routes().len();
     let slp_entries = registry.map(|r| r.borrow().len()).unwrap_or(0);
     let _ = now;

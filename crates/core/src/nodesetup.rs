@@ -19,7 +19,8 @@ use siphoc_routing::dsdv::{DsdvConfig, DsdvProcess};
 use siphoc_routing::olsr::{OlsrConfig, OlsrProcess};
 use siphoc_sip::ua::{UaConfig, UaLogHandle, UserAgent};
 use siphoc_slp::manet::{
-    shared_registry, Dissemination, ManetSlpConfig, ManetSlpHandler, ManetSlpProcess, SharedRegistry,
+    shared_registry, Dissemination, ManetSlpConfig, ManetSlpHandler, ManetSlpProcess,
+    SharedRegistry,
 };
 
 use crate::connection::{ConnectionProvider, ConnectionProviderConfig};
@@ -187,20 +188,32 @@ pub fn deploy(world: &mut World, spec: NodeSpec) -> SiphocNode {
     )));
     match &spec.routing {
         RoutingProtocol::Aodv(c) => {
-            world.spawn(id, Box::new(AodvProcess::new(c.clone()).with_handler(handler)));
+            world.spawn(
+                id,
+                Box::new(AodvProcess::new(c.clone()).with_handler(handler)),
+            );
         }
         RoutingProtocol::Olsr(c) => {
-            world.spawn(id, Box::new(OlsrProcess::new(c.clone()).with_handler(handler)));
+            world.spawn(
+                id,
+                Box::new(OlsrProcess::new(c.clone()).with_handler(handler)),
+            );
         }
         RoutingProtocol::Dsdv(c) => {
-            world.spawn(id, Box::new(DsdvProcess::new(c.clone()).with_handler(handler)));
+            world.spawn(
+                id,
+                Box::new(DsdvProcess::new(c.clone()).with_handler(handler)),
+            );
         }
     }
 
     // MANET SLP daemon.
     world.spawn(
         id,
-        Box::new(ManetSlpProcess::new(spec.routing.slp_config(), registry.clone())),
+        Box::new(ManetSlpProcess::new(
+            spec.routing.slp_config(),
+            registry.clone(),
+        )),
     );
 
     // SIPHoc proxy.
@@ -227,7 +240,10 @@ pub fn deploy(world: &mut World, spec: NodeSpec) -> SiphocNode {
             ..TunnelServerConfig::default()
         };
         world.spawn(id, Box::new(TunnelServer::new(tunnel_cfg)));
-        world.spawn(id, Box::new(GatewayProvider::new(GatewayProviderConfig::default())));
+        world.spawn(
+            id,
+            Box::new(GatewayProvider::new(GatewayProviderConfig::default())),
+        );
     }
 
     // Media plane.
@@ -285,6 +301,9 @@ mod tests {
         assert!(names.contains(&"tunnel-server"));
         assert!(names.contains(&"gateway-provider"));
         assert!(w.node(n.id).has_wired());
-        assert!(w.node(n.id).local_addrs().contains(&Addr::new(82, 130, 64, 1)));
+        assert!(w
+            .node(n.id)
+            .local_addrs()
+            .contains(&Addr::new(82, 130, 64, 1)));
     }
 }

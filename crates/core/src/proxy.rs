@@ -28,6 +28,7 @@
 use std::collections::BTreeMap;
 
 use siphoc_simnet::net::{ports, Addr, Datagram, SocketAddr};
+use siphoc_simnet::obs::{SpanCat, SpanId};
 use siphoc_simnet::process::{Ctx, LocalEvent, Process};
 use siphoc_simnet::time::SimDuration;
 
@@ -72,6 +73,7 @@ impl Default for SiphocProxyConfig {
 #[derive(Debug)]
 struct Parked {
     msg: SipMessage,
+    span: SpanId,
 }
 
 const TAG_READVERT: u64 = 1;
@@ -221,7 +223,9 @@ impl SiphocProxy {
 
     fn on_local_register(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage) {
         let now = ctx.now();
-        let resp = self.local.handle_register(&msg, now, self.cfg.default_expiry);
+        let resp = self
+            .local
+            .handle_register(&msg, now, self.cfg.default_expiry);
         let accepted = resp.status() == Some(StatusCode::OK);
         if let Some(target) = response_target(&msg) {
             self.transmit(ctx, &resp, target);
@@ -232,7 +236,10 @@ impl SiphocProxy {
         ctx.stats().count("proxy.register_local", 1);
         let Some(to) = msg.to_header() else { return };
         let aor = to.uri.aor();
-        let expires = msg.contact().and_then(|c| c.expires_param()).or_else(|| msg.expires());
+        let expires = msg
+            .contact()
+            .and_then(|c| c.expires_param())
+            .or_else(|| msg.expires());
 
         // Step 2: advertise (or withdraw) through MANET SLP — the proxy's
         // own endpoint is the responsible contact for the user (Fig. 4).
@@ -277,9 +284,9 @@ impl SiphocProxy {
         };
         let mut fwd = msg.clone();
         let user = to.uri.aor().user;
-        let contact_uri = SipUri::from_socket(Some(&user), SocketAddr::new(public, ports::SIPHOC_PROXY));
-        fwd.headers_mut()
-            .set("Contact", format!("<{contact_uri}>"));
+        let contact_uri =
+            SipUri::from_socket(Some(&user), SocketAddr::new(public, ports::SIPHOC_PROXY));
+        fwd.headers_mut().set("Contact", format!("<{contact_uri}>"));
         ctx.stats().count("proxy.register_provider", 1);
         self.forward(ctx, fwd, SocketAddr::new(provider, ports::SIP));
     }
@@ -288,7 +295,12 @@ impl SiphocProxy {
     // Request routing (Fig. 3 steps 5–8)
     // ------------------------------------------------------------------
 
-    fn deliver_to_local_user(&mut self, ctx: &mut Ctx<'_>, mut msg: SipMessage, user: &str) -> bool {
+    fn deliver_to_local_user(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        mut msg: SipMessage,
+        user: &str,
+    ) -> bool {
         let now = ctx.now();
         let binding = self
             .local
@@ -357,7 +369,14 @@ impl SiphocProxy {
         self.next_xid += 1;
         let xid = self.next_xid;
         ctx.stats().count("proxy.slp_lookup", 1);
-        self.pending.insert(xid, Parked { msg });
+        let span = ctx.span_enter(SpanCat::Slp, "slp.resolve");
+        if ctx.obs().tracing() {
+            if let Some(call_id) = msg.call_id() {
+                let corr = call_id.to_owned();
+                ctx.obs().span_corr(span, &corr);
+            }
+        }
+        self.pending.insert(xid, Parked { msg, span });
         self.slp_request(
             ctx,
             SlpMsg::SrvRqst {
@@ -368,7 +387,12 @@ impl SiphocProxy {
         );
     }
 
-    fn on_slp_reply(&mut self, ctx: &mut Ctx<'_>, xid: u32, entries: Vec<siphoc_slp::service::ServiceEntry>) {
+    fn on_slp_reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        xid: u32,
+        entries: Vec<siphoc_slp::service::ServiceEntry>,
+    ) {
         let Some(parked) = self.pending.remove(&xid) else {
             return;
         };
@@ -378,6 +402,7 @@ impl SiphocProxy {
         let target = entries.iter().find(|e| e.origin != own).map(|e| e.contact);
         if let Some(dst) = target {
             // Step 7: forward to the responsible remote proxy.
+            ctx.span_exit(parked.span, true);
             ctx.stats().count("proxy.fwd_to_remote_proxy", 1);
             self.forward(ctx, msg, dst);
             return;
@@ -386,6 +411,7 @@ impl SiphocProxy {
         if self.internet.is_some() {
             if let SipMessage::Request { uri, .. } = &msg {
                 if let Some(provider) = self.cfg.dns.resolve(&uri.host) {
+                    ctx.span_exit(parked.span, true);
                     ctx.stats().count("proxy.fwd_to_provider", 1);
                     self.forward(ctx, msg, SocketAddr::new(provider, ports::SIP));
                     return;
@@ -393,6 +419,7 @@ impl SiphocProxy {
                 ctx.stats().count("proxy.provider_unresolvable", 1);
             }
         }
+        ctx.span_exit(parked.span, false);
         ctx.stats().count("proxy.lookup_failed", 1);
         self.respond(ctx, &msg, StatusCode::NOT_FOUND);
     }
@@ -451,7 +478,9 @@ impl Process for SiphocProxy {
             match SlpMsg::parse(&dgram.payload) {
                 Ok(SlpMsg::SrvRply { xid, entries }) => self.on_slp_reply(ctx, xid, entries),
                 Ok(SlpMsg::SrvAck { .. }) => {}
-                _ => ctx.stats().count("proxy.slp_unexpected", dgram.payload.len()),
+                _ => ctx
+                    .stats()
+                    .count("proxy.slp_unexpected", dgram.payload.len()),
             }
             return;
         }
@@ -493,7 +522,9 @@ impl Process for SiphocProxy {
                 ctx.stats().count("proxy.internet_down", 1);
             }
             LocalEvent::NodeRestarted => {
-                self.pending.clear();
+                for (_, parked) in std::mem::take(&mut self.pending) {
+                    ctx.span_exit(parked.span, false);
+                }
                 ctx.set_timer(self.cfg.slp_lifetime / 2, TAG_READVERT);
             }
             _ => {}

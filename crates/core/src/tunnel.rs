@@ -54,15 +54,13 @@ impl TunnelMsg {
     pub fn to_wire(&self) -> Vec<u8> {
         match self {
             TunnelMsg::Connect => b"TCONNECT".to_vec(),
-            TunnelMsg::Lease { public, lifetime_secs } => {
-                format!("TLEASE {public} {lifetime_secs}").into_bytes()
-            }
+            TunnelMsg::Lease {
+                public,
+                lifetime_secs,
+            } => format!("TLEASE {public} {lifetime_secs}").into_bytes(),
             TunnelMsg::Data { inner } => {
-                let mut out = format!(
-                    "TDATA {} {} {}\n",
-                    inner.src, inner.dst, inner.ttl
-                )
-                .into_bytes();
+                let mut out =
+                    format!("TDATA {} {} {}\n", inner.src, inner.dst, inner.ttl).into_bytes();
                 out.extend_from_slice(&inner.payload);
                 out
             }
@@ -74,7 +72,10 @@ impl TunnelMsg {
         if bytes == b"TCONNECT" {
             return Some(TunnelMsg::Connect);
         }
-        let text_end = bytes.iter().position(|b| *b == b'\n').unwrap_or(bytes.len());
+        let text_end = bytes
+            .iter()
+            .position(|b| *b == b'\n')
+            .unwrap_or(bytes.len());
         let head = std::str::from_utf8(&bytes[..text_end]).ok()?;
         let mut it = head.split_ascii_whitespace();
         match it.next()? {
@@ -161,12 +162,16 @@ impl TunnelServer {
         // Linear scan for a free pool slot (pool is small).
         let used: Vec<Addr> = self.leases.values().map(|l| l.public).collect();
         for i in 0..self.cfg.pool_size {
-            let candidate = Addr(self.cfg.pool_base.0 + ((self.next_offset + i) % self.cfg.pool_size));
+            let candidate =
+                Addr(self.cfg.pool_base.0 + ((self.next_offset + i) % self.cfg.pool_size));
             if !used.contains(&candidate) {
                 self.next_offset = (self.next_offset + i + 1) % self.cfg.pool_size;
                 self.leases.insert(
                     client,
-                    Lease { public: candidate, expires: now + self.cfg.lease_lifetime },
+                    Lease {
+                        public: candidate,
+                        expires: now + self.cfg.lease_lifetime,
+                    },
                 );
                 return Some(candidate);
             }
@@ -194,11 +199,18 @@ impl Process for TunnelServer {
                 .find(|(_, l)| l.public == dgram.dst.addr)
                 .map(|(c, _)| *c);
             if let Some(client) = client {
-                let msg = TunnelMsg::Data { inner: dgram.clone() };
+                let msg = TunnelMsg::Data {
+                    inner: dgram.clone(),
+                };
                 ctx.stats().count("tunnel.to_client", dgram.wire_len());
-                ctx.send_to(SocketAddr::new(client, ports::TUNNEL), ports::TUNNEL, msg.to_wire());
+                ctx.send_to(
+                    SocketAddr::new(client, ports::TUNNEL),
+                    ports::TUNNEL,
+                    msg.to_wire(),
+                );
             } else {
-                ctx.stats().count("tunnel.expired_lease_drop", dgram.wire_len());
+                ctx.stats()
+                    .count("tunnel.expired_lease_drop", dgram.wire_len());
             }
             return;
         }
@@ -269,7 +281,10 @@ mod tests {
         );
         let msgs = vec![
             TunnelMsg::Connect,
-            TunnelMsg::Lease { public: Addr::new(82, 130, 64, 100), lifetime_secs: 60 },
+            TunnelMsg::Lease {
+                public: Addr::new(82, 130, 64, 100),
+                lifetime_secs: 60,
+            },
             TunnelMsg::Data { inner },
         ];
         for m in msgs {
@@ -285,7 +300,9 @@ mod tests {
             "82.1.1.9:8000".parse().unwrap(),
             vec![0x80, 0x00, 0xff, b'\n', 0x01, b'\n'],
         );
-        let m = TunnelMsg::Data { inner: inner.clone() };
+        let m = TunnelMsg::Data {
+            inner: inner.clone(),
+        };
         match TunnelMsg::parse(&m.to_wire()) {
             Some(TunnelMsg::Data { inner: got }) => assert_eq!(got, inner),
             other => panic!("{other:?}"),

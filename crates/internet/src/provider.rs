@@ -18,8 +18,8 @@ use siphoc_simnet::time::SimDuration;
 
 use siphoc_sip::msg::{Method, SipMessage, StatusCode};
 use siphoc_sip::proxy::{
-    prepare_forward_request, prepare_forward_response, response_target, stateless_response, transmit,
-    ForwardDecision,
+    prepare_forward_request, prepare_forward_response, response_target, stateless_response,
+    transmit, ForwardDecision,
 };
 use siphoc_sip::registrar::BindingTable;
 use siphoc_sip::txn::{TransactionLayer, TxnConfig, TxnEvent};
@@ -151,7 +151,9 @@ impl SipProviderProcess {
                 Some(TxnEvent::Request { key, msg, .. }) => {
                     let now = ctx.now();
                     ctx.stats().count("provider.register", 1);
-                    let resp = self.bindings.handle_register(&msg, now, self.cfg.default_expiry);
+                    let resp = self
+                        .bindings
+                        .handle_register(&msg, now, self.cfg.default_expiry);
                     self.txn.respond(ctx, &key, resp);
                 }
                 _ => { /* retransmission replayed internally */ }
@@ -248,7 +250,13 @@ mod tests {
     fn register_and_call_between_two_internet_uas() {
         let (mut w, p, paddr) = internet_world();
         let dns = DnsDirectory::new().with_record("voicehoc.ch", paddr);
-        w.spawn(p, Box::new(SipProviderProcess::new(ProviderConfig::new("voicehoc.ch", dns))));
+        w.spawn(
+            p,
+            Box::new(SipProviderProcess::new(ProviderConfig::new(
+                "voicehoc.ch",
+                dns,
+            ))),
+        );
 
         let ua1n = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 10)));
         let ua2n = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 11)));
@@ -270,20 +278,41 @@ mod tests {
         assert!(log1.borrow().any(|e| matches!(e, CallEvent::Registered)));
         assert!(log2.borrow().any(|e| matches!(e, CallEvent::Registered)));
         assert!(
-            log1.borrow().any(|e| matches!(e, CallEvent::Established { .. })),
+            log1.borrow()
+                .any(|e| matches!(e, CallEvent::Established { .. })),
             "{:?}",
             log1.borrow().events()
         );
-        assert!(log2.borrow().any(|e| matches!(e, CallEvent::Established { .. })));
-        assert!(log1.borrow().any(|e| matches!(e, CallEvent::Terminated { by_remote: false, .. })));
-        assert!(log2.borrow().any(|e| matches!(e, CallEvent::Terminated { by_remote: true, .. })));
+        assert!(log2
+            .borrow()
+            .any(|e| matches!(e, CallEvent::Established { .. })));
+        assert!(log1.borrow().any(|e| matches!(
+            e,
+            CallEvent::Terminated {
+                by_remote: false,
+                ..
+            }
+        )));
+        assert!(log2.borrow().any(|e| matches!(
+            e,
+            CallEvent::Terminated {
+                by_remote: true,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn call_to_unregistered_user_gets_404() {
         let (mut w, p, paddr) = internet_world();
         let dns = DnsDirectory::new().with_record("voicehoc.ch", paddr);
-        w.spawn(p, Box::new(SipProviderProcess::new(ProviderConfig::new("voicehoc.ch", dns))));
+        w.spawn(
+            p,
+            Box::new(SipProviderProcess::new(ProviderConfig::new(
+                "voicehoc.ch",
+                dns,
+            ))),
+        );
         let uan = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 10)));
         let proxy = SocketAddr::new(paddr, ports::SIP);
         let cfg = UaConfig::new(Aor::new("alice", "voicehoc.ch"), proxy).call_at(
@@ -295,7 +324,13 @@ mod tests {
         w.spawn(uan, Box::new(ua));
         w.run_for(SimDuration::from_secs(10));
         assert!(
-            log.borrow().any(|e| matches!(e, CallEvent::Failed { code: Some(404), .. })),
+            log.borrow().any(|e| matches!(
+                e,
+                CallEvent::Failed {
+                    code: Some(404),
+                    ..
+                }
+            )),
             "{:?}",
             log.borrow().events()
         );
@@ -311,8 +346,20 @@ mod tests {
             .with_record("netvoip.ch", p2a);
         let p1 = w.add_node(NodeConfig::wired(p1a));
         let p2 = w.add_node(NodeConfig::wired(p2a));
-        w.spawn(p1, Box::new(SipProviderProcess::new(ProviderConfig::new("voicehoc.ch", dns.clone()))));
-        w.spawn(p2, Box::new(SipProviderProcess::new(ProviderConfig::new("netvoip.ch", dns))));
+        w.spawn(
+            p1,
+            Box::new(SipProviderProcess::new(ProviderConfig::new(
+                "voicehoc.ch",
+                dns.clone(),
+            ))),
+        );
+        w.spawn(
+            p2,
+            Box::new(SipProviderProcess::new(ProviderConfig::new(
+                "netvoip.ch",
+                dns,
+            ))),
+        );
 
         let ua1n = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 10)));
         let ua2n = w.add_node(NodeConfig::wired(Addr::new(82, 2, 2, 10)));
@@ -330,11 +377,14 @@ mod tests {
         w.spawn(ua2n, Box::new(ua2));
         w.run_for(SimDuration::from_secs(12));
         assert!(
-            log1.borrow().any(|e| matches!(e, CallEvent::Established { .. })),
+            log1.borrow()
+                .any(|e| matches!(e, CallEvent::Established { .. })),
             "{:?}",
             log1.borrow().events()
         );
-        assert!(log2.borrow().any(|e| matches!(e, CallEvent::Established { .. })));
+        assert!(log2
+            .borrow()
+            .any(|e| matches!(e, CallEvent::Established { .. })));
     }
 
     #[test]
@@ -342,7 +392,13 @@ mod tests {
         let (mut w, p, paddr) = internet_world();
         // polyphone.ethz.ch is NOT in DNS: requires its own outbound proxy.
         let dns = DnsDirectory::new().with_record("voicehoc.ch", paddr);
-        w.spawn(p, Box::new(SipProviderProcess::new(ProviderConfig::new("voicehoc.ch", dns))));
+        w.spawn(
+            p,
+            Box::new(SipProviderProcess::new(ProviderConfig::new(
+                "voicehoc.ch",
+                dns,
+            ))),
+        );
         let uan = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 10)));
         let cfg = UaConfig::new(
             Aor::new("alice", "voicehoc.ch"),
@@ -357,7 +413,13 @@ mod tests {
         w.spawn(uan, Box::new(ua));
         w.run_for(SimDuration::from_secs(10));
         assert!(
-            log.borrow().any(|e| matches!(e, CallEvent::Failed { code: Some(503), .. })),
+            log.borrow().any(|e| matches!(
+                e,
+                CallEvent::Failed {
+                    code: Some(503),
+                    ..
+                }
+            )),
             "{:?}",
             log.borrow().events()
         );

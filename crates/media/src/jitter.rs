@@ -35,7 +35,8 @@ pub struct StreamStats {
 impl StreamStats {
     /// Network packets lost (expected − received, floor 0).
     pub fn lost(&self) -> u64 {
-        self.expected.saturating_sub(self.played + self.late + self.duplicates)
+        self.expected
+            .saturating_sub(self.played + self.late + self.duplicates)
     }
 
     /// Effective loss for voice quality: lost in the network *or* too late
@@ -161,10 +162,9 @@ impl JitterBuffer {
             // Playout deadline: min observed delay would be the buffer
             // baseline; approximate with (delay > depth) ⇒ late relative
             // to a buffer sized `depth` above the fastest path.
-            let baseline = SimDuration::from_micros(
-                self.stats.delay_sum_us / self.stats.delay_samples.max(1),
-            )
-            .saturating_sub(self.stats.jitter_buffer_headroom());
+            let baseline =
+                SimDuration::from_micros(self.stats.delay_sum_us / self.stats.delay_samples.max(1))
+                    .saturating_sub(self.stats.jitter_buffer_headroom());
             let deadline = baseline + self.depth;
             on_time = delay <= deadline;
         }

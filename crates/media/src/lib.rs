@@ -23,7 +23,10 @@ pub fn rtp_dissector(port: u16, payload: &[u8]) -> Option<(String, String)> {
     match rtp::RtpPacket::parse(payload) {
         Ok(p) => Some((
             "rtp".to_owned(),
-            format!("PT={} seq={} ts={} ssrc={:08x}", p.payload_type, p.seq, p.timestamp, p.ssrc),
+            format!(
+                "PT={} seq={} ts={} ssrc={:08x}",
+                p.payload_type, p.seq, p.timestamp, p.ssrc
+            ),
         )),
         Err(_) => Some(("rtp".to_owned(), "malformed".to_owned())),
     }

@@ -61,7 +61,8 @@ pub fn mos_from_r(r: f64) -> f64 {
 /// `mouth_to_ear` should include the playout buffer depth on top of the
 /// measured network delay.
 pub fn evaluate(codec: &Codec, mouth_to_ear: SimDuration, loss_fraction: f64) -> QualityReport {
-    let r = (R_DEFAULT - delay_impairment(mouth_to_ear) - loss_impairment(codec, loss_fraction)).clamp(0.0, 100.0);
+    let r = (R_DEFAULT - delay_impairment(mouth_to_ear) - loss_impairment(codec, loss_fraction))
+        .clamp(0.0, 100.0);
     QualityReport {
         r_factor: r,
         mos: mos_from_r(r),
@@ -72,7 +73,11 @@ pub fn evaluate(codec: &Codec, mouth_to_ear: SimDuration, loss_fraction: f64) ->
 
 /// Convenience: evaluates directly from receiver [`StreamStats`] and the
 /// jitter buffer depth.
-pub fn evaluate_stream(codec: &Codec, stats: &StreamStats, buffer_depth: SimDuration) -> QualityReport {
+pub fn evaluate_stream(
+    codec: &Codec,
+    stats: &StreamStats,
+    buffer_depth: SimDuration,
+) -> QualityReport {
     evaluate(
         codec,
         stats.mean_delay() + buffer_depth,

@@ -127,7 +127,8 @@ impl RtcpReport {
         if bytes.len() < 18 || bytes[0] != 0x81 || bytes[1] != 201 {
             return Err(ParseRtpError);
         }
-        let u32at = |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+        let u32at =
+            |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
         Ok(RtcpReport {
             ssrc: u32at(2),
             lost: u32at(6),

@@ -245,7 +245,11 @@ impl MediaProcess {
         if let Some(vad) = self.cfg.vad {
             if now >= s.vad_until {
                 s.talking = !s.talking;
-                let mean = if s.talking { vad.talk_mean_secs } else { vad.silence_mean_secs };
+                let mean = if s.talking {
+                    vad.talk_mean_secs
+                } else {
+                    vad.silence_mean_secs
+                };
                 let len = ctx.rng().exp_secs(mean);
                 s.vad_until = now + SimDuration::from_secs_f64(len);
             }
@@ -320,7 +324,9 @@ impl Process for MediaProcess {
         if *kind == MEDIA_START_EVENT {
             let text = String::from_utf8_lossy(data);
             let mut parts = text.split('|');
-            let (Some(call_id), Some(_port), Some(remote)) = (parts.next(), parts.next(), parts.next()) else {
+            let (Some(call_id), Some(_port), Some(remote)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
                 return;
             };
             let Ok(remote) = remote.parse::<SocketAddr>() else {
@@ -360,7 +366,8 @@ mod tests {
             match token {
                 1 => ctx.emit(LocalEvent::Custom {
                     kind: MEDIA_START_EVENT,
-                    data: format!("{}|{}|{}", self.call_id, self.local_port, self.remote).into_bytes(),
+                    data: format!("{}|{}|{}", self.call_id, self.local_port, self.remote)
+                        .into_bytes(),
                 }),
                 2 => ctx.emit(LocalEvent::Custom {
                     kind: MEDIA_STOP_EVENT,
@@ -374,13 +381,35 @@ mod tests {
     fn media_pair(loss: LossModel) -> (World, ReportLog, ReportLog) {
         // No link-layer retries: raw channel loss reaches the media plane
         // (models congestion-style loss that ARQ cannot mask).
-        let radio = RadioConfig { loss, unicast_retries: 0, ..RadioConfig::ideal() };
+        let radio = RadioConfig {
+            loss,
+            unicast_retries: 0,
+            ..RadioConfig::ideal()
+        };
         let mut w = World::new(WorldConfig::new(55).with_radio(radio));
         let a = w.add_node(NodeConfig::manet(0.0, 0.0));
         let b = w.add_node(NodeConfig::manet(50.0, 0.0));
         let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
-        w.install_route(a, ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
-        w.install_route(b, aa, Route { next_hop: aa, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.install_route(
+            a,
+            ba,
+            Route {
+                next_hop: ba,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
+        w.install_route(
+            b,
+            aa,
+            Route {
+                next_hop: aa,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
         let (ma, ra) = MediaProcess::new(MediaConfig::pcmu(8000));
         let (mb, rb) = MediaProcess::new(MediaConfig::pcmu(8000));
         w.spawn(a, Box::new(ma));
@@ -426,7 +455,11 @@ mod tests {
 
     #[test]
     fn lossy_link_degrades_mos() {
-        let loss = LossModel { base: 0.08, clear_fraction: 1.0, edge_loss: 0.0 };
+        let loss = LossModel {
+            base: 0.08,
+            clear_fraction: 1.0,
+            edge_loss: 0.0,
+        };
         let (mut w, ra, _rb) = media_pair(loss);
         w.run_for(SimDuration::from_secs(12));
         let reports = ra.borrow();
@@ -439,7 +472,11 @@ mod tests {
         let mut clean_w = clean_w;
         clean_w.run_for(SimDuration::from_secs(12));
         let clean = clean_ra.borrow()[0].quality.mos;
-        assert!(r.quality.mos < clean - 0.3, "lossy {} vs clean {clean}", r.quality.mos);
+        assert!(
+            r.quality.mos < clean - 0.3,
+            "lossy {} vs clean {clean}",
+            r.quality.mos
+        );
     }
 
     #[test]
@@ -449,8 +486,15 @@ mod tests {
         let reports = ra.borrow();
         let r = &reports[0];
         assert!(r.mean_delay > SimDuration::ZERO);
-        assert!(r.mean_delay < SimDuration::from_millis(5), "{}", r.mean_delay);
-        assert!(r.quality.delay >= SimDuration::from_millis(60), "includes buffer");
+        assert!(
+            r.mean_delay < SimDuration::from_millis(5),
+            "{}",
+            r.mean_delay
+        );
+        assert!(
+            r.quality.delay >= SimDuration::from_millis(60),
+            "includes buffer"
+        );
     }
 }
 
@@ -479,7 +523,8 @@ mod rtcp_tests {
             match token {
                 1 => ctx.emit(LocalEvent::Custom {
                     kind: MEDIA_START_EVENT,
-                    data: format!("{}|{}|{}", self.call_id, self.local_port, self.remote).into_bytes(),
+                    data: format!("{}|{}|{}", self.call_id, self.local_port, self.remote)
+                        .into_bytes(),
                 }),
                 2 => ctx.emit(LocalEvent::Custom {
                     kind: MEDIA_STOP_EVENT,
@@ -493,7 +538,11 @@ mod rtcp_tests {
     #[test]
     fn rtcp_reports_reach_the_sender() {
         let radio = RadioConfig {
-            loss: LossModel { base: 0.05, clear_fraction: 1.0, edge_loss: 0.0 },
+            loss: LossModel {
+                base: 0.05,
+                clear_fraction: 1.0,
+                edge_loss: 0.0,
+            },
             unicast_retries: 0,
             ..RadioConfig::ideal()
         };
@@ -501,8 +550,26 @@ mod rtcp_tests {
         let a = w.add_node(NodeConfig::manet(0.0, 0.0));
         let b = w.add_node(NodeConfig::manet(50.0, 0.0));
         let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
-        w.install_route(a, ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
-        w.install_route(b, aa, Route { next_hop: aa, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.install_route(
+            a,
+            ba,
+            Route {
+                next_hop: ba,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
+        w.install_route(
+            b,
+            aa,
+            Route {
+                next_hop: aa,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
         let (ma, ra) = MediaProcess::new(MediaConfig::pcmu(8000));
         let (mb, _rb) = MediaProcess::new(MediaConfig::pcmu(8000));
         w.spawn(a, Box::new(ma));
@@ -562,15 +629,43 @@ mod vad_tests {
         let a = w.add_node(NodeConfig::manet(0.0, 0.0));
         let b = w.add_node(NodeConfig::manet(50.0, 0.0));
         let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
-        w.install_route(a, ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
-        w.install_route(b, aa, Route { next_hop: aa, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.install_route(
+            a,
+            ba,
+            Route {
+                next_hop: ba,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
+        w.install_route(
+            b,
+            aa,
+            Route {
+                next_hop: aa,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
         let cfg = MediaConfig::pcmu(8000).with_vad(VadModel::brady());
         let (ma, _) = MediaProcess::new(cfg);
         let (mb, rb) = MediaProcess::new(MediaConfig::pcmu(8000));
         w.spawn(a, Box::new(ma));
         w.spawn(b, Box::new(mb));
-        w.spawn(a, Box::new(Starter { remote: SocketAddr::new(ba, 8000) }));
-        w.spawn(b, Box::new(Starter { remote: SocketAddr::new(aa, 8000) }));
+        w.spawn(
+            a,
+            Box::new(Starter {
+                remote: SocketAddr::new(ba, 8000),
+            }),
+        );
+        w.spawn(
+            b,
+            Box::new(Starter {
+                remote: SocketAddr::new(aa, 8000),
+            }),
+        );
         w.run_for(SimDuration::from_secs(41));
         // 40 s of 50 pps = 2000 continuous frames; Brady activity ~43%.
         let sent = w.node(a).stats().get("media.rtp_tx").packets;

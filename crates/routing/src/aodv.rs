@@ -19,6 +19,7 @@
 use std::collections::BTreeMap;
 
 use siphoc_simnet::net::{ports, Addr, Datagram, L2Dst, SocketAddr};
+use siphoc_simnet::obs::{SpanCat, SpanId};
 use siphoc_simnet::process::{Ctx, LocalEvent, Process};
 use siphoc_simnet::route::Route;
 use siphoc_simnet::time::{SimDuration, SimTime};
@@ -142,14 +143,39 @@ impl AodvMsg {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         match self {
-            AodvMsg::Rreq { flags, hop_count, ttl, rreq_id, dst, dst_seq, orig, orig_seq, entries } => {
-                w.u8(TYPE_RREQ).u8(*flags).u8(*hop_count).u8(*ttl).u32(*rreq_id);
+            AodvMsg::Rreq {
+                flags,
+                hop_count,
+                ttl,
+                rreq_id,
+                dst,
+                dst_seq,
+                orig,
+                orig_seq,
+                entries,
+            } => {
+                w.u8(TYPE_RREQ)
+                    .u8(*flags)
+                    .u8(*hop_count)
+                    .u8(*ttl)
+                    .u32(*rreq_id);
                 w.addr(*dst).u32(*dst_seq).addr(*orig).u32(*orig_seq);
                 write_entries(&mut w, entries);
             }
-            AodvMsg::Rrep { flags, hop_count, dst, dst_seq, orig, lifetime, entries } => {
+            AodvMsg::Rrep {
+                flags,
+                hop_count,
+                dst,
+                dst_seq,
+                orig,
+                lifetime,
+                entries,
+            } => {
                 w.u8(TYPE_RREP).u8(*flags).u8(*hop_count);
-                w.addr(*dst).u32(*dst_seq).addr(*orig).u32(lifetime.as_micros() as u32 / 1000);
+                w.addr(*dst)
+                    .u32(*dst_seq)
+                    .addr(*orig)
+                    .u32(lifetime.as_micros() as u32 / 1000);
                 write_entries(&mut w, entries);
             }
             AodvMsg::Rerr { dests } => {
@@ -240,6 +266,8 @@ struct Discovery {
     retries_used: u32,
     ttl: u8,
     generation: u32,
+    span: SpanId,
+    started_us: u64,
 }
 
 /// The AODV routing process. Spawn exactly one per MANET node.
@@ -318,7 +346,9 @@ impl AodvProcess {
         entries: &[Vec<u8>],
     ) -> Vec<Vec<u8>> {
         match &self.handler {
-            Some(h) if !entries.is_empty() => h.borrow_mut().process_incoming(ctx, kind, from, origin, entries),
+            Some(h) if !entries.is_empty() => h
+                .borrow_mut()
+                .process_incoming(ctx, kind, from, origin, entries),
             _ => Vec::new(),
         }
     }
@@ -340,7 +370,15 @@ impl AodvProcess {
     }
 
     /// Installs or refreshes a route if the AODV update rules allow it.
-    fn update_route(&mut self, ctx: &mut Ctx<'_>, dst: Addr, next_hop: Addr, hops: u8, seq: u32, lifetime: SimDuration) {
+    fn update_route(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: Addr,
+        next_hop: Addr,
+        hops: u8,
+        seq: u32,
+        lifetime: SimDuration,
+    ) {
         if dst == ctx.addr() {
             return;
         }
@@ -357,7 +395,15 @@ impl AodvProcess {
         };
         if accept {
             let fresh = current.is_none();
-            ctx.routes().insert(dst, Route { next_hop, hops, expires, seq });
+            ctx.routes().insert(
+                dst,
+                Route {
+                    next_hop,
+                    hops,
+                    expires,
+                    seq,
+                },
+            );
             if fresh {
                 ctx.emit(LocalEvent::RouteAdded { dst });
             }
@@ -380,7 +426,22 @@ impl AodvProcess {
         let ttl = self.cfg.ttl_start;
         self.generation += 1;
         let generation = self.generation;
-        self.pending.insert(dst, Discovery { retries_used: 0, ttl, generation });
+        let span = ctx.span_enter(SpanCat::Routing, "route.discovery");
+        if ctx.obs().tracing() {
+            let corr = dst.to_string();
+            ctx.obs().span_corr(span, &corr);
+        }
+        let started_us = ctx.now_us();
+        self.pending.insert(
+            dst,
+            Discovery {
+                retries_used: 0,
+                ttl,
+                generation,
+                span,
+                started_us,
+            },
+        );
         self.send_rreq(ctx, dst, ttl, generation);
     }
 
@@ -433,7 +494,18 @@ impl AodvProcess {
     }
 
     fn on_rreq(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AodvMsg) {
-        let AodvMsg::Rreq { flags, hop_count, ttl, rreq_id, dst, dst_seq, orig, orig_seq, entries } = msg else {
+        let AodvMsg::Rreq {
+            flags,
+            hop_count,
+            ttl,
+            rreq_id,
+            dst,
+            dst_seq,
+            orig,
+            orig_seq,
+            entries,
+        } = msg
+        else {
             return;
         };
         if orig == ctx.addr() {
@@ -447,7 +519,14 @@ impl AodvProcess {
         }
         self.seen_rreq.insert((orig, rreq_id), ctx.now());
         // Reverse route to the originator.
-        self.update_route(ctx, orig, from, hop_count.saturating_add(1), orig_seq, self.cfg.active_route_timeout);
+        self.update_route(
+            ctx,
+            orig,
+            from,
+            hop_count.saturating_add(1),
+            orig_seq,
+            self.cfg.active_route_timeout,
+        );
 
         let answers = self.handler_incoming(ctx, MsgKind::AodvRreq, from, orig, &entries);
 
@@ -537,16 +616,36 @@ impl AodvProcess {
     }
 
     fn on_rrep(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AodvMsg) {
-        let AodvMsg::Rrep { flags, hop_count, dst, dst_seq, orig, lifetime, entries } = msg else {
+        let AodvMsg::Rrep {
+            flags,
+            hop_count,
+            dst,
+            dst_seq,
+            orig,
+            lifetime,
+            entries,
+        } = msg
+        else {
             return;
         };
         self.update_route(ctx, from, from, 1, 0, self.cfg.active_route_timeout);
-        self.update_route(ctx, dst, from, hop_count.saturating_add(1), dst_seq, lifetime);
+        self.update_route(
+            ctx,
+            dst,
+            from,
+            hop_count.saturating_add(1),
+            dst_seq,
+            lifetime,
+        );
         let _ = self.handler_incoming(ctx, MsgKind::AodvRrep, from, dst, &entries);
         let _ = flags;
 
         if orig == ctx.addr() {
-            self.pending.remove(&dst);
+            if let Some(d) = self.pending.remove(&dst) {
+                ctx.span_exit(d.span, true);
+                let waited = ctx.now_us().saturating_sub(d.started_us);
+                ctx.obs().hist_record("aodv.discovery_us", waited);
+            }
             return;
         }
         // Forward along the reverse path.
@@ -614,7 +713,8 @@ impl AodvProcess {
             self.on_link_break(ctx, n);
         }
         // Purge the duplicate cache (PATH_DISCOVERY_TIME ~ 5.6 s; use 10 s).
-        self.seen_rreq.retain(|_, t| now.saturating_since(*t) < SimDuration::from_secs(10));
+        self.seen_rreq
+            .retain(|_, t| now.saturating_since(*t) < SimDuration::from_secs(10));
 
         self.hello_seq = self.hello_seq.wrapping_add(1);
         let msg = AodvMsg::Hello {
@@ -634,10 +734,13 @@ impl Process for AodvProcess {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.bind(ports::AODV);
         // RFC 3561 §6.2: data traffic over a route extends its lifetime.
-        ctx.routes().set_keepalive(Some(self.cfg.active_route_timeout));
+        ctx.routes()
+            .set_keepalive(Some(self.cfg.active_route_timeout));
         if !self.cfg.hello_interval.is_zero() {
             // Stagger first hellos to avoid network-wide synchronization.
-            let jitter = ctx.rng().range_u64(0, self.cfg.hello_interval.as_micros().max(1));
+            let jitter = ctx
+                .rng()
+                .range_u64(0, self.cfg.hello_interval.as_micros().max(1));
             ctx.set_timer(SimDuration::from_micros(jitter), TAG_HELLO);
         }
     }
@@ -677,7 +780,11 @@ impl Process for AodvProcess {
                     return; // Stale timer from a superseded attempt.
                 }
                 if ctx.routes_ref().lookup_specific(dst, ctx.now()).is_some() {
-                    self.pending.remove(&dst);
+                    if let Some(d) = self.pending.remove(&dst) {
+                        ctx.span_exit(d.span, true);
+                        let waited = ctx.now_us().saturating_sub(d.started_us);
+                        ctx.obs().hist_record("aodv.discovery_us", waited);
+                    }
                     return;
                 }
                 let d = self.pending.get_mut(&dst).expect("pending entry vanished");
@@ -685,8 +792,11 @@ impl Process for AodvProcess {
                 // NET_DIAMETER count against RREQ_RETRIES.
                 if d.ttl >= self.cfg.net_diameter {
                     if d.retries_used >= self.cfg.rreq_retries {
-                        self.pending.remove(&dst);
+                        if let Some(d) = self.pending.remove(&dst) {
+                            ctx.span_exit(d.span, false);
+                        }
                         ctx.stats().count("aodv.discovery_failed", 1);
+                        ctx.obs().counter_add("aodv.discovery_failed", 1);
                         ctx.emit(LocalEvent::RouteLost { dst });
                         return;
                     }
@@ -700,7 +810,10 @@ impl Process for AodvProcess {
                 d.ttl = next_ttl;
                 self.generation += 1;
                 let generation = self.generation;
-                self.pending.get_mut(&dst).expect("pending entry vanished").generation = generation;
+                self.pending
+                    .get_mut(&dst)
+                    .expect("pending entry vanished")
+                    .generation = generation;
                 self.send_rreq(ctx, dst, next_ttl, generation);
             }
             _ => {}
@@ -709,13 +822,14 @@ impl Process for AodvProcess {
 
     fn on_local_event(&mut self, ctx: &mut Ctx<'_>, ev: &LocalEvent) {
         match ev {
-            LocalEvent::RouteNeeded { dst }
-                if dst.is_manet() => {
-                    self.start_discovery(ctx, *dst);
-                }
+            LocalEvent::RouteNeeded { dst } if dst.is_manet() => {
+                self.start_discovery(ctx, *dst);
+            }
             LocalEvent::LinkTxFailed { neighbor } => self.on_link_break(ctx, *neighbor),
             LocalEvent::NodeRestarted => {
-                self.pending.clear();
+                for (_, d) in std::mem::take(&mut self.pending) {
+                    ctx.span_exit(d.span, false);
+                }
                 self.seen_rreq.clear();
                 self.neighbors.clear();
                 if !self.cfg.hello_interval.is_zero() {
@@ -791,7 +905,10 @@ mod tests {
             AodvMsg::Rerr {
                 dests: vec![(Addr::manet(1), 3), (Addr::manet(2), 0)],
             },
-            AodvMsg::Hello { seq: 77, entries: vec![b"x".to_vec()] },
+            AodvMsg::Hello {
+                seq: 77,
+                entries: vec![b"x".to_vec()],
+            },
         ];
         for m in msgs {
             assert_eq!(AodvMsg::parse(&m.to_bytes()).unwrap(), m);
@@ -812,17 +929,31 @@ mod tests {
     fn discovers_route_over_three_hop_chain() {
         let (mut w, ids) = chain_world(4, 80.0);
         let got = Rc::new(RefCell::new(Vec::new()));
-        w.spawn(ids[3], Box::new(Sink { port: 9000, got: got.clone() }));
+        w.spawn(
+            ids[3],
+            Box::new(Sink {
+                port: 9000,
+                got: got.clone(),
+            }),
+        );
         w.run_for(SimDuration::from_secs(2)); // let hellos settle
         let src = w.node(ids[0]).addr();
         let dst = w.node(ids[3]).addr();
         w.inject(
             ids[0],
-            Datagram::new(SocketAddr::new(src, 9000), SocketAddr::new(dst, 9000), b"data".to_vec()),
+            Datagram::new(
+                SocketAddr::new(src, 9000),
+                SocketAddr::new(dst, 9000),
+                b"data".to_vec(),
+            ),
         );
         w.run_for(SimDuration::from_secs(2));
         assert_eq!(got.borrow().len(), 1, "data must arrive after discovery");
-        let r = w.node(ids[0]).routes().lookup_specific(dst, w.now()).expect("route installed");
+        let r = w
+            .node(ids[0])
+            .routes()
+            .lookup_specific(dst, w.now())
+            .expect("route installed");
         assert_eq!(r.hops, 3);
         assert_eq!(r.next_hop, w.node(ids[1]).addr());
     }
@@ -832,18 +963,32 @@ mod tests {
         // 6 hops > ttl_start + one increment, so the search must escalate.
         let (mut w, ids) = chain_world(7, 80.0);
         let got = Rc::new(RefCell::new(Vec::new()));
-        w.spawn(ids[6], Box::new(Sink { port: 9000, got: got.clone() }));
+        w.spawn(
+            ids[6],
+            Box::new(Sink {
+                port: 9000,
+                got: got.clone(),
+            }),
+        );
         w.run_for(SimDuration::from_secs(2));
         let src = w.node(ids[0]).addr();
         let dst = w.node(ids[6]).addr();
         w.inject(
             ids[0],
-            Datagram::new(SocketAddr::new(src, 9000), SocketAddr::new(dst, 9000), b"far".to_vec()),
+            Datagram::new(
+                SocketAddr::new(src, 9000),
+                SocketAddr::new(dst, 9000),
+                b"far".to_vec(),
+            ),
         );
         w.run_for(SimDuration::from_secs(5));
         assert_eq!(got.borrow().len(), 1);
         assert_eq!(
-            w.node(ids[0]).routes().lookup_specific(dst, w.now()).unwrap().hops,
+            w.node(ids[0])
+                .routes()
+                .lookup_specific(dst, w.now())
+                .unwrap()
+                .hops,
             6
         );
     }
@@ -852,7 +997,13 @@ mod tests {
     fn link_break_triggers_rerr_and_rediscovery() {
         let (mut w, ids) = chain_world(4, 80.0);
         let got = Rc::new(RefCell::new(Vec::new()));
-        w.spawn(ids[3], Box::new(Sink { port: 9000, got: got.clone() }));
+        w.spawn(
+            ids[3],
+            Box::new(Sink {
+                port: 9000,
+                got: got.clone(),
+            }),
+        );
         w.run_for(SimDuration::from_secs(2));
         let src = w.node(ids[0]).addr();
         let dst = w.node(ids[3]).addr();
@@ -897,11 +1048,22 @@ mod tests {
         let ghost = Addr::manet(77);
         w.inject(
             ids[0],
-            Datagram::new(SocketAddr::new(src, 9000), SocketAddr::new(ghost, 9000), b"?".to_vec()),
+            Datagram::new(
+                SocketAddr::new(src, 9000),
+                SocketAddr::new(ghost, 9000),
+                b"?".to_vec(),
+            ),
         );
         w.run_for(SimDuration::from_secs(20));
-        assert!(w.node(ids[0]).routes().lookup_specific(ghost, w.now()).is_none());
-        assert_eq!(w.node(ids[0]).stats().get("aodv.discovery_failed").packets, 1);
+        assert!(w
+            .node(ids[0])
+            .routes()
+            .lookup_specific(ghost, w.now())
+            .is_none());
+        assert_eq!(
+            w.node(ids[0]).stats().get("aodv.discovery_failed").packets,
+            1
+        );
         assert_eq!(w.node(ids[0]).pending_packets(), 0, "buffered packet swept");
     }
 
@@ -941,7 +1103,9 @@ mod tests {
                 return self.answer.iter().cloned().collect();
             }
             if kind == MsgKind::AodvRrep {
-                self.answers_seen.borrow_mut().extend(entries.iter().cloned());
+                self.answers_seen
+                    .borrow_mut()
+                    .extend(entries.iter().cloned());
             }
             Vec::new()
         }
@@ -991,11 +1155,19 @@ mod tests {
         // The far node saw the query and its answer travelled back to 0.
         assert_eq!(*handlers[3].0.borrow(), 1, "query reached node 3");
         assert!(
-            handlers[0].1.borrow().iter().any(|e| e == b"bob-is-at-10.0.0.4"),
+            handlers[0]
+                .1
+                .borrow()
+                .iter()
+                .any(|e| e == b"bob-is-at-10.0.0.4"),
             "answer delivered to originator"
         );
         // Bonus: originator also learned the route to the answering node.
         let bob_addr = w.node(ids[3]).addr();
-        assert!(w.node(ids[0]).routes().lookup_specific(bob_addr, w.now()).is_some());
+        assert!(w
+            .node(ids[0])
+            .routes()
+            .lookup_specific(bob_addr, w.now())
+            .is_some());
     }
 }

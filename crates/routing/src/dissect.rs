@@ -21,7 +21,12 @@ fn preview(entries: &[Vec<u8>]) -> String {
         .iter()
         .map(|e| String::from_utf8_lossy(e).chars().take(60).collect())
         .collect();
-    format!(" +piggyback[{} entries, {} bytes: {}]", entries.len(), total, texts.join(" | "))
+    format!(
+        " +piggyback[{} entries, {} bytes: {}]",
+        entries.len(),
+        total,
+        texts.join(" | ")
+    )
 }
 
 /// Dissects AODV control traffic (port 654).
@@ -30,16 +35,36 @@ pub fn aodv_dissector(port: u16, payload: &[u8]) -> Option<(String, String)> {
         return None;
     }
     let info = match AodvMsg::parse(payload) {
-        Ok(AodvMsg::Rreq { dst, orig, rreq_id, ttl, hop_count, entries, .. }) => {
+        Ok(AodvMsg::Rreq {
+            dst,
+            orig,
+            rreq_id,
+            ttl,
+            hop_count,
+            entries,
+            ..
+        }) => {
             let what = if dst == siphoc_simnet::net::Addr::UNSPECIFIED {
                 "service query".to_owned()
             } else {
                 format!("dst {dst}")
             };
-            format!("RREQ id={rreq_id} {what} orig {orig} ttl={ttl} hops={hop_count}{}", preview(&entries))
+            format!(
+                "RREQ id={rreq_id} {what} orig {orig} ttl={ttl} hops={hop_count}{}",
+                preview(&entries)
+            )
         }
-        Ok(AodvMsg::Rrep { dst, orig, hop_count, entries, .. }) => {
-            format!("RREP dst {dst} -> orig {orig} hops={hop_count}{}", preview(&entries))
+        Ok(AodvMsg::Rrep {
+            dst,
+            orig,
+            hop_count,
+            entries,
+            ..
+        }) => {
+            format!(
+                "RREP dst {dst} -> orig {orig} hops={hop_count}{}",
+                preview(&entries)
+            )
         }
         Ok(AodvMsg::Rerr { dests }) => {
             let list: Vec<String> = dests.iter().map(|(a, _)| a.to_string()).collect();
@@ -60,8 +85,18 @@ pub fn olsr_dissector(port: u16, payload: &[u8]) -> Option<(String, String)> {
         Ok(OlsrMsg::Hello { neighbors, entries }) => {
             format!("HELLO {} neighbors{}", neighbors.len(), preview(&entries))
         }
-        Ok(OlsrMsg::Tc { orig, ansn, selectors, entries, .. }) => {
-            format!("TC orig {orig} ansn={ansn} {} selectors{}", selectors.len(), preview(&entries))
+        Ok(OlsrMsg::Tc {
+            orig,
+            ansn,
+            selectors,
+            entries,
+            ..
+        }) => {
+            format!(
+                "TC orig {orig} ansn={ansn} {} selectors{}",
+                selectors.len(),
+                preview(&entries)
+            )
         }
         Err(_) => "malformed".to_owned(),
     };

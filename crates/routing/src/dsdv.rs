@@ -171,7 +171,10 @@ impl DsdvProcess {
 
     /// Number of live (non-infinite) routes (diagnostics).
     pub fn route_count(&self) -> usize {
-        self.table.values().filter(|e| e.metric < METRIC_INFINITY).count()
+        self.table
+            .values()
+            .filter(|e| e.metric < METRIC_INFINITY)
+            .count()
     }
 
     fn collect_piggyback(&mut self, ctx: &mut Ctx<'_>) -> Vec<Vec<u8>> {
@@ -180,7 +183,11 @@ impl DsdvProcess {
             Some(h) => {
                 // DSDV is a proactive vehicle; reuse the OLSR-TC kind so
                 // proactive handlers gossip their full registry.
-                let entries = fit_budget(h.borrow_mut().collect_outgoing(ctx, MsgKind::OlsrTc, budget), budget);
+                let entries = fit_budget(
+                    h.borrow_mut()
+                        .collect_outgoing(ctx, MsgKind::OlsrTc, budget),
+                    budget,
+                );
                 let extra: usize = entries.iter().map(|e| e.len() + 2).sum();
                 if extra > 0 {
                     ctx.stats().count("dsdv.piggyback", extra);
@@ -205,7 +212,11 @@ impl DsdvProcess {
                 // Full dumps carry everything; triggered updates at least
                 // the broken routes.
                 if now.saturating_since(e.heard) <= hold || e.metric >= METRIC_INFINITY {
-                    routes.push(DsdvEntry { dest: *dest, metric: e.metric, seq: e.seq });
+                    routes.push(DsdvEntry {
+                        dest: *dest,
+                        metric: e.metric,
+                        seq: e.seq,
+                    });
                 }
             }
         }
@@ -214,7 +225,14 @@ impl DsdvProcess {
             entries: self.collect_piggyback(ctx),
         };
         let payload = update.to_bytes();
-        ctx.stats().count(if full { "dsdv.full_update" } else { "dsdv.triggered_update" }, payload.len());
+        ctx.stats().count(
+            if full {
+                "dsdv.full_update"
+            } else {
+                "dsdv.triggered_update"
+            },
+            payload.len(),
+        );
         let src = SocketAddr::new(ctx.addr(), DSDV_PORT);
         let dst = SocketAddr::new(Addr::BROADCAST, DSDV_PORT);
         ctx.send_link(L2Dst::Broadcast, Datagram::new(src, dst, payload));
@@ -251,7 +269,15 @@ impl DsdvProcess {
             .get(&dest)
             .map(|e| e.metric < METRIC_INFINITY)
             .unwrap_or(false);
-        self.table.insert(dest, TableEntry { next_hop: via, metric, seq, heard: now });
+        self.table.insert(
+            dest,
+            TableEntry {
+                next_hop: via,
+                metric,
+                seq,
+                heard: now,
+            },
+        );
         if metric < METRIC_INFINITY {
             self.install(ctx, dest);
             if !had_route {
@@ -267,26 +293,44 @@ impl DsdvProcess {
     }
 
     fn install(&self, ctx: &mut Ctx<'_>, dest: Addr) {
-        let Some(e) = self.table.get(&dest) else { return };
-        let expires = ctx.now() + self.cfg.update_interval * (self.cfg.allowed_update_loss as u64 + 1);
+        let Some(e) = self.table.get(&dest) else {
+            return;
+        };
+        let expires =
+            ctx.now() + self.cfg.update_interval * (self.cfg.allowed_update_loss as u64 + 1);
         ctx.routes().insert(
             dest,
-            Route { next_hop: e.next_hop, hops: e.metric, expires, seq: e.seq },
+            Route {
+                next_hop: e.next_hop,
+                hops: e.metric,
+                expires,
+                seq: e.seq,
+            },
         );
     }
 
     fn on_update(&mut self, ctx: &mut Ctx<'_>, from: Addr, update: DsdvUpdate) {
         // The sender itself is a 1-hop neighbor.
-        self.consider(ctx, from, from, 1, self.table.get(&from).map(|e| e.seq).unwrap_or(0));
+        self.consider(
+            ctx,
+            from,
+            from,
+            1,
+            self.table.get(&from).map(|e| e.seq).unwrap_or(0),
+        );
         for r in &update.routes {
             let metric = r.metric.saturating_add(1).min(METRIC_INFINITY);
             self.consider(ctx, r.dest, from, metric, r.seq);
         }
         if let Some(h) = &self.handler {
             if !update.entries.is_empty() {
-                let _ = h
-                    .borrow_mut()
-                    .process_incoming(ctx, MsgKind::OlsrTc, from, from, &update.entries);
+                let _ = h.borrow_mut().process_incoming(
+                    ctx,
+                    MsgKind::OlsrTc,
+                    from,
+                    from,
+                    &update.entries,
+                );
             }
         }
     }
@@ -329,7 +373,9 @@ impl Process for DsdvProcess {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.bind(DSDV_PORT);
-        let jitter = ctx.rng().range_u64(0, self.cfg.update_interval.as_micros().max(1));
+        let jitter = ctx
+            .rng()
+            .range_u64(0, self.cfg.update_interval.as_micros().max(1));
         ctx.set_timer(SimDuration::from_micros(jitter), TAG_PERIODIC);
     }
 
@@ -403,8 +449,16 @@ mod tests {
     fn update_round_trips() {
         let u = DsdvUpdate {
             routes: vec![
-                DsdvEntry { dest: Addr::manet(0), metric: 0, seq: 4 },
-                DsdvEntry { dest: Addr::manet(5), metric: METRIC_INFINITY, seq: 7 },
+                DsdvEntry {
+                    dest: Addr::manet(0),
+                    metric: 0,
+                    seq: 4,
+                },
+                DsdvEntry {
+                    dest: Addr::manet(5),
+                    metric: METRIC_INFINITY,
+                    seq: 7,
+                },
             ],
             entries: vec![b"svc".to_vec()],
         };
@@ -431,7 +485,14 @@ mod tests {
             }
         }
         let far = w.node(ids[4]).addr();
-        assert_eq!(w.node(ids[0]).routes().lookup_specific(far, w.now()).unwrap().hops, 4);
+        assert_eq!(
+            w.node(ids[0])
+                .routes()
+                .lookup_specific(far, w.now())
+                .unwrap()
+                .hops,
+            4
+        );
     }
 
     #[test]
@@ -457,7 +518,11 @@ mod tests {
         let (src, dst) = (w.node(ids[0]).addr(), w.node(ids[3]).addr());
         w.inject(
             ids[0],
-            Datagram::new(SocketAddr::new(src, 9000), SocketAddr::new(dst, 9000), b"dsdv".to_vec()),
+            Datagram::new(
+                SocketAddr::new(src, 9000),
+                SocketAddr::new(dst, 9000),
+                b"dsdv".to_vec(),
+            ),
         );
         w.run_for(SimDuration::from_secs(1));
         assert_eq!(*got.borrow(), 1);
@@ -468,18 +533,28 @@ mod tests {
         let (mut w, ids) = chain(3);
         w.run_for(SimDuration::from_secs(60));
         let far = w.node(ids[2]).addr();
-        assert!(w.node(ids[0]).routes().lookup_specific(far, w.now()).is_some());
+        assert!(w
+            .node(ids[0])
+            .routes()
+            .lookup_specific(far, w.now())
+            .is_some());
         w.set_node_up(ids[1], false);
         // Silent-neighbor detection needs allowed_update_loss × interval.
         w.run_for(SimDuration::from_secs(60));
         assert!(
-            w.node(ids[0]).routes().lookup_specific(far, w.now()).is_none(),
+            w.node(ids[0])
+                .routes()
+                .lookup_specific(far, w.now())
+                .is_none(),
             "route via dead relay must break"
         );
         w.set_node_up(ids[1], true);
         w.run_for(SimDuration::from_secs(60));
         assert!(
-            w.node(ids[0]).routes().lookup_specific(far, w.now()).is_some(),
+            w.node(ids[0])
+                .routes()
+                .lookup_specific(far, w.now())
+                .is_some(),
             "route must heal after relay restart"
         );
     }
@@ -491,6 +566,7 @@ mod tests {
         let mut rng = siphoc_simnet::rng::SimRng::from_seed_and_stream(0, 0);
         let mut routes = siphoc_simnet::route::RoutingTable::new();
         let mut stats = siphoc_simnet::stats::NodeStats::default();
+        let mut obs = siphoc_simnet::obs::NodeObs::default();
         let mut effects = Vec::new();
         let mut ctx = siphoc_simnet::process::Ctx::for_test(
             SimTime::ZERO,
@@ -499,6 +575,7 @@ mod tests {
             &mut rng,
             &mut routes,
             &mut stats,
+            &mut obs,
             &mut effects,
         );
         let dest = Addr::manet(9);

@@ -47,7 +47,10 @@ impl MsgKind {
     /// Whether messages of this kind propagate beyond one hop — handlers
     /// use this to decide which messages are worth piggybacking on.
     pub fn is_network_wide(self) -> bool {
-        matches!(self, MsgKind::AodvRreq | MsgKind::AodvRrep | MsgKind::OlsrTc)
+        matches!(
+            self,
+            MsgKind::AodvRreq | MsgKind::AodvRrep | MsgKind::OlsrTc
+        )
     }
 }
 
@@ -63,7 +66,8 @@ pub trait RoutingHandler {
     /// Returns entries to attach to an outgoing message of `kind`. The
     /// total encoded size of the returned entries should stay within
     /// `budget` bytes; the routing process truncates the list otherwise.
-    fn collect_outgoing(&mut self, ctx: &mut Ctx<'_>, kind: MsgKind, budget: usize) -> Vec<Vec<u8>>;
+    fn collect_outgoing(&mut self, ctx: &mut Ctx<'_>, kind: MsgKind, budget: usize)
+        -> Vec<Vec<u8>>;
 
     /// Processes entries received on a message of `kind`. `from` is the
     /// link-layer sender, `origin` the node that originated the message.

@@ -124,7 +124,14 @@ impl OlsrMsg {
                 }
                 write_entries(&mut w, entries);
             }
-            OlsrMsg::Tc { orig, msg_seq, ansn, ttl, selectors, entries } => {
+            OlsrMsg::Tc {
+                orig,
+                msg_seq,
+                ansn,
+                ttl,
+                selectors,
+                entries,
+            } => {
                 w.u8(TYPE_TC).addr(*orig).u16(*msg_seq).u16(*ansn).u8(*ttl);
                 w.u8(selectors.len() as u8);
                 for a in selectors {
@@ -150,7 +157,10 @@ impl OlsrMsg {
                 for _ in 0..n {
                     neighbors.push((r.addr("neighbor")?, LinkStatus::from_u8(r.u8("status")?)?));
                 }
-                Ok(OlsrMsg::Hello { neighbors, entries: read_entries(&mut r)? })
+                Ok(OlsrMsg::Hello {
+                    neighbors,
+                    entries: read_entries(&mut r)?,
+                })
             }
             TYPE_TC => {
                 let orig = r.addr("orig")?;
@@ -162,7 +172,14 @@ impl OlsrMsg {
                 for _ in 0..n {
                     selectors.push(r.addr("selector")?);
                 }
-                Ok(OlsrMsg::Tc { orig, msg_seq, ansn, ttl, selectors, entries: read_entries(&mut r)? })
+                Ok(OlsrMsg::Tc {
+                    orig,
+                    msg_seq,
+                    ansn,
+                    ttl,
+                    selectors,
+                    entries: read_entries(&mut r)?,
+                })
             }
             _ => Err(WireError::new("unknown OLSR message type")),
         }
@@ -248,7 +265,8 @@ impl OlsrProcess {
         let budget = self.cfg.piggyback_budget;
         match &self.handler {
             Some(h) => {
-                let entries = fit_budget(h.borrow_mut().collect_outgoing(ctx, kind, budget), budget);
+                let entries =
+                    fit_budget(h.borrow_mut().collect_outgoing(ctx, kind, budget), budget);
                 let extra: usize = entries.iter().map(|e| e.len() + 2).sum();
                 if extra > 0 {
                     ctx.stats().count("olsr.piggyback", extra);
@@ -259,10 +277,19 @@ impl OlsrProcess {
         }
     }
 
-    fn handler_incoming(&mut self, ctx: &mut Ctx<'_>, kind: MsgKind, from: Addr, origin: Addr, entries: &[Vec<u8>]) {
+    fn handler_incoming(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        kind: MsgKind,
+        from: Addr,
+        origin: Addr,
+        entries: &[Vec<u8>],
+    ) {
         if let Some(h) = &self.handler {
             if !entries.is_empty() {
-                let _ = h.borrow_mut().process_incoming(ctx, kind, from, origin, entries);
+                let _ = h
+                    .borrow_mut()
+                    .process_incoming(ctx, kind, from, origin, entries);
             }
         }
     }
@@ -277,10 +304,12 @@ impl OlsrProcess {
 
     fn purge(&mut self, now: SimTime) {
         let hello_hold = self.hold(self.cfg.hello_interval);
-        self.links.retain(|_, l| now.saturating_since(l.last_heard) <= hello_hold);
+        self.links
+            .retain(|_, l| now.saturating_since(l.last_heard) <= hello_hold);
         let live: BTreeSet<Addr> = self.links.keys().copied().collect();
         self.two_hop.retain(|n, _| live.contains(n));
-        self.mpr_selectors.retain(|_, t| now.saturating_since(*t) <= hello_hold);
+        self.mpr_selectors
+            .retain(|_, t| now.saturating_since(*t) <= hello_hold);
         self.topology.retain(|_, exp| *exp > now);
         self.tc_seen
             .retain(|_, t| now.saturating_since(*t) <= SimDuration::from_secs(30));
@@ -396,7 +425,15 @@ impl OlsrProcess {
             }
         }
         for (dest, (fh, hops)) in first_hop {
-            ctx.routes().insert(dest, Route { next_hop: fh, hops, expires, seq: 0 });
+            ctx.routes().insert(
+                dest,
+                Route {
+                    next_hop: fh,
+                    hops,
+                    expires,
+                    seq: 0,
+                },
+            );
         }
         ctx.routes().purge_expired(now);
     }
@@ -440,11 +477,20 @@ impl OlsrProcess {
         self.broadcast(ctx, &msg, "olsr.tc");
     }
 
-    fn on_hello(&mut self, ctx: &mut Ctx<'_>, from: Addr, neighbors: Vec<(Addr, LinkStatus)>, entries: Vec<Vec<u8>>) {
+    fn on_hello(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: Addr,
+        neighbors: Vec<(Addr, LinkStatus)>,
+        entries: Vec<Vec<u8>>,
+    ) {
         let own = ctx.addr();
         let now = ctx.now();
         let hears_us = neighbors.iter().any(|(a, _)| *a == own);
-        let entry = self.links.entry(from).or_insert(LinkState { last_heard: now, symmetric: false });
+        let entry = self.links.entry(from).or_insert(LinkState {
+            last_heard: now,
+            symmetric: false,
+        });
         entry.last_heard = now;
         entry.symmetric = hears_us;
         // 2-hop set: the sender's symmetric neighbors.
@@ -469,7 +515,15 @@ impl OlsrProcess {
     }
 
     fn on_tc(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: OlsrMsg) {
-        let OlsrMsg::Tc { orig, msg_seq, ansn, ttl, selectors, entries } = msg else {
+        let OlsrMsg::Tc {
+            orig,
+            msg_seq,
+            ansn,
+            ttl,
+            selectors,
+            entries,
+        } = msg
+        else {
             return;
         };
         if orig == ctx.addr() {
@@ -518,9 +572,13 @@ impl Process for OlsrProcess {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.bind(ports::OLSR);
-        let hj = ctx.rng().range_u64(0, self.cfg.hello_interval.as_micros().max(1));
+        let hj = ctx
+            .rng()
+            .range_u64(0, self.cfg.hello_interval.as_micros().max(1));
         ctx.set_timer(SimDuration::from_micros(hj), TAG_HELLO);
-        let tj = ctx.rng().range_u64(0, self.cfg.tc_interval.as_micros().max(1));
+        let tj = ctx
+            .rng()
+            .range_u64(0, self.cfg.tc_interval.as_micros().max(1));
         ctx.set_timer(SimDuration::from_micros(tj), TAG_TC);
     }
 
@@ -622,7 +680,10 @@ mod tests {
     fn message_round_trips() {
         let msgs = vec![
             OlsrMsg::Hello {
-                neighbors: vec![(Addr::manet(1), LinkStatus::Sym), (Addr::manet(2), LinkStatus::Mpr)],
+                neighbors: vec![
+                    (Addr::manet(1), LinkStatus::Sym),
+                    (Addr::manet(2), LinkStatus::Mpr),
+                ],
                 entries: vec![b"reg".to_vec()],
             },
             OlsrMsg::Tc {
@@ -663,7 +724,14 @@ mod tests {
             }
         }
         let far = w.node(ids[4]).addr();
-        assert_eq!(w.node(ids[0]).routes().lookup_specific(far, w.now()).unwrap().hops, 4);
+        assert_eq!(
+            w.node(ids[0])
+                .routes()
+                .lookup_specific(far, w.now())
+                .unwrap()
+                .hops,
+            4
+        );
     }
 
     #[test]
@@ -676,7 +744,11 @@ mod tests {
         let dst = w.node(ids[3]).addr();
         w.inject(
             ids[0],
-            Datagram::new(SocketAddr::new(src, 9000), SocketAddr::new(dst, 9000), b"now".to_vec()),
+            Datagram::new(
+                SocketAddr::new(src, 9000),
+                SocketAddr::new(dst, 9000),
+                b"now".to_vec(),
+            ),
         );
         // Proactive: no discovery latency beyond per-hop transmission.
         w.run_for(SimDuration::from_millis(100));
@@ -688,7 +760,11 @@ mod tests {
         let (mut w, ids) = chain_world(3, 80.0);
         w.run_for(SimDuration::from_secs(20));
         let a2 = w.node(ids[2]).addr();
-        let r = w.node(ids[0]).routes().lookup_specific(a2, w.now()).unwrap();
+        let r = w
+            .node(ids[0])
+            .routes()
+            .lookup_specific(a2, w.now())
+            .unwrap();
         assert_eq!(r.next_hop, w.node(ids[1]).addr());
         assert_eq!(r.hops, 2);
     }
@@ -709,7 +785,11 @@ mod tests {
         assert!(w.node(n0).routes().lookup_specific(d3, w.now()).is_some());
         w.set_node_up(n1, false);
         w.run_for(SimDuration::from_secs(15));
-        let r = w.node(n0).routes().lookup_specific(d3, w.now()).expect("healed route");
+        let r = w
+            .node(n0)
+            .routes()
+            .lookup_specific(d3, w.now())
+            .expect("healed route");
         assert_eq!(r.next_hop, w.node(n2).addr(), "must detour via n2");
     }
 
@@ -722,7 +802,12 @@ mod tests {
         fn name(&self) -> &'static str {
             "gossip"
         }
-        fn collect_outgoing(&mut self, _ctx: &mut Ctx<'_>, _kind: MsgKind, _b: usize) -> Vec<Vec<u8>> {
+        fn collect_outgoing(
+            &mut self,
+            _ctx: &mut Ctx<'_>,
+            _kind: MsgKind,
+            _b: usize,
+        ) -> Vec<Vec<u8>> {
             let mut out: Vec<Vec<u8>> = self.own.iter().cloned().collect();
             out.extend(self.seen.borrow().iter().cloned());
             out
@@ -750,8 +835,14 @@ mod tests {
         for (i, &id) in ids.iter().enumerate() {
             let seen = Rc::new(RefCell::new(std::collections::BTreeSet::new()));
             let own = (i == 0).then(|| b"alice@10.0.0.1".to_vec());
-            let h = Rc::new(RefCell::new(Gossip { own, seen: seen.clone() }));
-            w.spawn(id, Box::new(OlsrProcess::new(OlsrConfig::default()).with_handler(h)));
+            let h = Rc::new(RefCell::new(Gossip {
+                own,
+                seen: seen.clone(),
+            }));
+            w.spawn(
+                id,
+                Box::new(OlsrProcess::new(OlsrConfig::default()).with_handler(h)),
+            );
             seens.push(seen);
         }
         w.run_for(SimDuration::from_secs(40));

@@ -92,7 +92,10 @@ impl Writer {
     ///
     /// Panics if `bytes` exceeds 65535 bytes.
     pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
-        assert!(bytes.len() <= u16::MAX as usize, "blob too large for u16 length");
+        assert!(
+            bytes.len() <= u16::MAX as usize,
+            "blob too large for u16 length"
+        );
         self.u16(bytes.len() as u16);
         self.buf.extend_from_slice(bytes);
         self
@@ -201,7 +204,12 @@ mod tests {
     #[test]
     fn round_trip_scalars() {
         let mut w = Writer::new();
-        w.u8(7).u16(300).u32(70_000).u64(1 << 40).addr(Addr::manet(3)).str("bob");
+        w.u8(7)
+            .u16(300)
+            .u32(70_000)
+            .u64(1 << 40)
+            .addr(Addr::manet(3))
+            .str("bob");
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.u8("a").unwrap(), 7);

@@ -202,7 +202,13 @@ impl FaultPlan {
         from: SimTime,
         until: SimTime,
     ) -> FaultPlan {
-        self.packet_faults.push(PacketFault { on, kind, probability, from, until });
+        self.packet_faults.push(PacketFault {
+            on,
+            kind,
+            probability,
+            from,
+            until,
+        });
         self
     }
 
@@ -284,7 +290,10 @@ mod tests {
         let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
         assert!(LinkSelector::All.matches(a, b));
         assert!(LinkSelector::Pair(a, b).matches(a, b));
-        assert!(LinkSelector::Pair(a, b).matches(b, a), "pairs are symmetric");
+        assert!(
+            LinkSelector::Pair(a, b).matches(b, a),
+            "pairs are symmetric"
+        );
         assert!(!LinkSelector::Pair(a, b).matches(a, c));
         assert!(LinkSelector::From(a).matches(a, c));
         assert!(!LinkSelector::From(a).matches(c, a));

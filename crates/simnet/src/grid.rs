@@ -241,12 +241,23 @@ mod tests {
             .map(|(i, &(x, y))| {
                 let id = NodeId(i as u32);
                 let rng = SimRng::from_seed_and_stream(1, 1000 + i as u64);
-                Node::new(id, crate::net::Addr::manet(i as u32), NodeConfig::manet(x, y), rng)
+                Node::new(
+                    id,
+                    crate::net::Addr::manet(i as u32),
+                    NodeConfig::manet(x, y),
+                    rng,
+                )
             })
             .collect()
     }
 
-    fn full_scan(nodes: &[Node], node: NodeId, pos: (f64, f64), range: f64, now: SimTime) -> Vec<NodeId> {
+    fn full_scan(
+        nodes: &[Node],
+        node: NodeId,
+        pos: (f64, f64),
+        range: f64,
+        now: SimTime,
+    ) -> Vec<NodeId> {
         nodes
             .iter()
             .filter(|n| {
@@ -271,9 +282,7 @@ mod tests {
             let cand = grid.candidates(&nodes, n.id, pos, range, now);
             let exact: Vec<NodeId> = cand
                 .into_iter()
-                .filter(|&id| {
-                    distance(pos, nodes[id.0 as usize].mobility.position(now)) <= range
-                })
+                .filter(|&id| distance(pos, nodes[id.0 as usize].mobility.position(now)) <= range)
                 .collect();
             assert_eq!(exact, full_scan(&nodes, n.id, pos, range, now));
         }
@@ -311,7 +320,10 @@ mod tests {
         let pos1 = nodes[1].mobility.position(later);
         if distance((0.0, 0.0), pos1) <= range {
             let cand = grid.candidates(&nodes, NodeId(0), (0.0, 0.0), range, later);
-            assert!(cand.contains(&NodeId(1)), "drifted node missing from candidates");
+            assert!(
+                cand.contains(&NodeId(1)),
+                "drifted node missing from candidates"
+            );
         }
     }
 

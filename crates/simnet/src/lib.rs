@@ -36,6 +36,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+/// Re-export of the observability crate so downstream stack crates can
+/// instrument without their own `siphoc-obs` dependency: `use
+/// siphoc_simnet::obs::{SpanCat, SpanId};`. Every recording method is a
+/// no-op shell unless this crate's `obs` feature is enabled.
+pub use siphoc_obs as obs;
+
+/// Whether this build records observability data (`obs` feature).
+///
+/// Bench binaries assert this is `false` so published numbers always
+/// measure the bare hot path.
+pub const fn obs_enabled() -> bool {
+    cfg!(feature = "obs")
+}
+
 pub mod fasthash;
 pub mod fault;
 pub mod grid;

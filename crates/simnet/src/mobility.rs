@@ -34,13 +34,19 @@ impl Area {
     ///
     /// Panics if either dimension is not positive.
     pub fn new(width: f64, height: f64) -> Area {
-        assert!(width > 0.0 && height > 0.0, "area dimensions must be positive");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "area dimensions must be positive"
+        );
         Area { width, height }
     }
 
     /// Samples a uniform position inside the area.
     pub fn sample(&self, rng: &mut SimRng) -> Position {
-        (rng.range_f64(0.0, self.width), rng.range_f64(0.0, self.height))
+        (
+            rng.range_f64(0.0, self.width),
+            rng.range_f64(0.0, self.height),
+        )
     }
 }
 
@@ -181,9 +187,18 @@ impl Mobility {
     }
 }
 
-fn sample_leg(from: Position, params: WaypointParams, area: Area, now: SimTime, rng: &mut SimRng) -> Leg {
+fn sample_leg(
+    from: Position,
+    params: WaypointParams,
+    area: Area,
+    now: SimTime,
+    rng: &mut SimRng,
+) -> Leg {
     let to = area.sample(rng);
-    let speed = rng.range_f64(params.min_speed, params.max_speed.max(params.min_speed + f64::EPSILON));
+    let speed = rng.range_f64(
+        params.min_speed,
+        params.max_speed.max(params.min_speed + f64::EPSILON),
+    );
     let dist = distance(from, to);
     let travel = SimDuration::from_secs_f64(dist / speed);
     let arrive = now + travel;

@@ -17,7 +17,6 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-
 /// An IPv4-like network address.
 ///
 /// # Examples
@@ -122,7 +121,9 @@ impl FromStr for Addr {
     type Err = ParseAddrError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseAddrError { input: s.to_owned() };
+        let err = || ParseAddrError {
+            input: s.to_owned(),
+        };
         let mut parts = s.split('.');
         let mut octets = [0u8; 4];
         for octet in &mut octets {
@@ -180,7 +181,9 @@ impl FromStr for SocketAddr {
     type Err = ParseAddrError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseAddrError { input: s.to_owned() };
+        let err = || ParseAddrError {
+            input: s.to_owned(),
+        };
         let (addr, port) = s.rsplit_once(':').ok_or_else(err)?;
         Ok(SocketAddr {
             addr: addr.parse()?,

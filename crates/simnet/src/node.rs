@@ -135,6 +135,7 @@ pub struct Node {
     pub(crate) tx_until: SimTime,
     pub(crate) rng: SimRng,
     pub(crate) stats: NodeStats,
+    pub(crate) obs: siphoc_obs::NodeObs,
 }
 
 impl Node {
@@ -159,6 +160,7 @@ impl Node {
             tx_until: SimTime::ZERO,
             rng,
             stats: NodeStats::default(),
+            obs: siphoc_obs::NodeObs::default(),
         }
     }
 
@@ -180,7 +182,9 @@ impl Node {
 
     /// Whether `addr` is delivered locally on this node.
     pub fn is_local_addr(&self, addr: Addr) -> bool {
-        addr.is_loopback() || self.local_addrs.contains(&addr) || self.addr_handlers.contains_key(&addr)
+        addr.is_loopback()
+            || self.local_addrs.contains(&addr)
+            || self.addr_handlers.contains_key(&addr)
     }
 
     /// Whether the node has a radio interface.
@@ -206,6 +210,12 @@ impl Node {
     /// The node's traffic counters.
     pub fn stats(&self) -> &NodeStats {
         &self.stats
+    }
+
+    /// The node's observability shard (metrics + spans). A no-op shell
+    /// unless the `obs` feature is enabled.
+    pub fn obs(&self) -> &siphoc_obs::NodeObs {
+        &self.obs
     }
 
     /// Position at `now` (radio nodes; wired nodes report their fixed
@@ -261,7 +271,12 @@ mod tests {
     #[test]
     fn node_answers_to_aliases_and_loopback() {
         let cfg = NodeConfig::manet(0.0, 0.0);
-        let mut n = Node::new(NodeId(0), Addr::manet(0), cfg, SimRng::from_seed_and_stream(0, 0));
+        let mut n = Node::new(
+            NodeId(0),
+            Addr::manet(0),
+            cfg,
+            SimRng::from_seed_and_stream(0, 0),
+        );
         assert!(n.is_local_addr(Addr::manet(0)));
         assert!(n.is_local_addr(Addr::LOOPBACK));
         assert!(!n.is_local_addr(Addr::manet(1)));

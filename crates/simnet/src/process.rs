@@ -126,6 +126,7 @@ pub struct Ctx<'a> {
     pub(crate) rng: &'a mut SimRng,
     pub(crate) routes: &'a mut RoutingTable,
     pub(crate) stats: &'a mut NodeStats,
+    pub(crate) obs: &'a mut siphoc_obs::NodeObs,
     pub(crate) effects: &'a mut Vec<Effect>,
 }
 
@@ -141,6 +142,7 @@ impl<'a> Ctx<'a> {
         rng: &'a mut SimRng,
         routes: &'a mut RoutingTable,
         stats: &'a mut NodeStats,
+        obs: &'a mut siphoc_obs::NodeObs,
         effects: &'a mut Vec<Effect>,
     ) -> Ctx<'a> {
         Ctx {
@@ -152,6 +154,7 @@ impl<'a> Ctx<'a> {
             rng,
             routes,
             stats,
+            obs,
             effects,
         }
     }
@@ -195,6 +198,47 @@ impl<'a> Ctx<'a> {
     /// The node's traffic counters.
     pub fn stats(&mut self) -> &mut NodeStats {
         self.stats
+    }
+
+    /// The node's observability shard: typed metrics and span tracing.
+    /// Every method is a no-op shell unless the `obs` feature is on, so
+    /// instrumentation sites need no `cfg` guards.
+    pub fn obs(&mut self) -> &mut siphoc_obs::NodeObs {
+        self.obs
+    }
+
+    /// Current sim time in microseconds — the timestamp unit spans use.
+    pub fn now_us(&self) -> u64 {
+        self.now.as_micros()
+    }
+
+    /// Opens an observability span at the current sim time. Returns
+    /// `SpanId::NONE` (and records nothing) unless tracing is enabled on an
+    /// obs build, so call sites need no guards.
+    pub fn span_enter(
+        &mut self,
+        cat: siphoc_obs::SpanCat,
+        name: &'static str,
+    ) -> siphoc_obs::SpanId {
+        let t = self.now.as_micros();
+        self.obs.span_enter(cat, name, t)
+    }
+
+    /// Closes a span at the current sim time; safe on `SpanId::NONE`.
+    pub fn span_exit(&mut self, id: siphoc_obs::SpanId, ok: bool) {
+        let t = self.now.as_micros();
+        self.obs.span_exit(id, t, ok);
+    }
+
+    /// Records a zero-duration instant event at the current sim time.
+    pub fn span_instant(
+        &mut self,
+        cat: siphoc_obs::SpanCat,
+        name: &'static str,
+        corr: Option<&str>,
+    ) {
+        let t = self.now.as_micros();
+        self.obs.span_instant(cat, name, t, corr);
     }
 
     /// Binds a UDP-like port to this process. Datagrams addressed to the
@@ -306,6 +350,7 @@ mod tests {
         let mut rng = SimRng::from_seed_and_stream(0, 0);
         let mut routes = RoutingTable::new();
         let mut stats = NodeStats::default();
+        let mut obs = siphoc_obs::NodeObs::default();
         let mut effects = Vec::new();
         let mut ctx = Ctx {
             now: SimTime::ZERO,
@@ -316,6 +361,7 @@ mod tests {
             rng: &mut rng,
             routes: &mut routes,
             stats: &mut stats,
+            obs: &mut obs,
             effects: &mut effects,
         };
         let mut p = Probe;
@@ -330,6 +376,7 @@ mod tests {
         let mut rng = SimRng::from_seed_and_stream(0, 0);
         let mut routes = RoutingTable::new();
         let mut stats = NodeStats::default();
+        let mut obs = siphoc_obs::NodeObs::default();
         let mut effects = Vec::new();
         let mut ctx = Ctx {
             now: SimTime::ZERO,
@@ -340,12 +387,15 @@ mod tests {
             rng: &mut rng,
             routes: &mut routes,
             stats: &mut stats,
+            obs: &mut obs,
             effects: &mut effects,
         };
         ctx.bind(5060);
         ctx.send_to(SocketAddr::new(Addr::manet(1), 5060), 5060, b"hi".to_vec());
         ctx.set_timer(SimDuration::from_secs(1), 42);
-        ctx.emit(LocalEvent::RouteNeeded { dst: Addr::manet(9) });
+        ctx.emit(LocalEvent::RouteNeeded {
+            dst: Addr::manet(9),
+        });
         assert_eq!(effects.len(), 4);
         match &effects[1] {
             Effect::Send(d) => {
@@ -361,6 +411,7 @@ mod tests {
         let mut rng = SimRng::from_seed_and_stream(0, 0);
         let mut routes = RoutingTable::new();
         let mut stats = NodeStats::default();
+        let mut obs = siphoc_obs::NodeObs::default();
         let mut effects = Vec::new();
         let mut ctx = Ctx {
             now: SimTime::ZERO,
@@ -371,6 +422,7 @@ mod tests {
             rng: &mut rng,
             routes: &mut routes,
             stats: &mut stats,
+            obs: &mut obs,
             effects: &mut effects,
         };
         ctx.send_local(427, 5555, b"q".to_vec());

@@ -255,7 +255,9 @@ mod tests {
         };
         let mut rng = SimRng::from_seed_and_stream(4, 4);
         let n = 20_000;
-        let losses = (0..n).filter(|_| m.sample_loss(10.0, 100.0, &mut rng)).count();
+        let losses = (0..n)
+            .filter(|_| m.sample_loss(10.0, 100.0, &mut rng))
+            .count();
         let rate = losses as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
     }

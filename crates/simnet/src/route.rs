@@ -186,10 +186,23 @@ impl fmt::Display for RoutingTable {
         rows.sort_by_key(|(d, _)| **d);
         writeln!(f, "destination      next-hop         hops seq")?;
         for (dst, r) in rows {
-            writeln!(f, "{:<16} {:<16} {:<4} {}", dst.to_string(), r.next_hop.to_string(), r.hops, r.seq)?;
+            writeln!(
+                f,
+                "{:<16} {:<16} {:<4} {}",
+                dst.to_string(),
+                r.next_hop.to_string(),
+                r.hops,
+                r.seq
+            )?;
         }
         if let Some(r) = self.default_route {
-            writeln!(f, "default          {:<16} {:<4} {}", r.next_hop.to_string(), r.hops, r.seq)?;
+            writeln!(
+                f,
+                "default          {:<16} {:<4} {}",
+                r.next_hop.to_string(),
+                r.hops,
+                r.seq
+            )?;
         }
         Ok(())
     }
@@ -223,9 +236,15 @@ mod tests {
         let mut t = RoutingTable::new();
         let dst = Addr::manet(9);
         t.set_default(Some(route(3, 1, SimTime::MAX)));
-        assert_eq!(t.lookup(dst, SimTime::ZERO).unwrap().next_hop, Addr::manet(3));
+        assert_eq!(
+            t.lookup(dst, SimTime::ZERO).unwrap().next_hop,
+            Addr::manet(3)
+        );
         t.insert(dst, route(1, 2, SimTime::MAX));
-        assert_eq!(t.lookup(dst, SimTime::ZERO).unwrap().next_hop, Addr::manet(1));
+        assert_eq!(
+            t.lookup(dst, SimTime::ZERO).unwrap().next_hop,
+            Addr::manet(1)
+        );
     }
 
     #[test]

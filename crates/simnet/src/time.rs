@@ -20,7 +20,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(20);
 /// assert_eq!(t.as_micros(), 20_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
@@ -32,7 +34,9 @@ pub struct SimTime(u64);
 ///
 /// assert_eq!(SimDuration::from_secs(2) / 4, SimDuration::from_millis(500));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -116,7 +120,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((secs * 1_000_000.0).round() as u64)
     }
 
@@ -268,8 +275,14 @@ mod tests {
 
     #[test]
     fn duration_from_secs_f64_rounds_to_micros() {
-        assert_eq!(SimDuration::from_secs_f64(0.0000015), SimDuration::from_micros(2));
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.0000015),
+            SimDuration::from_micros(2)
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1500)
+        );
     }
 
     #[test]

@@ -157,7 +157,11 @@ impl PacketTrace {
             "no.", "time", "node", "event", "source", "destination", "len", "proto"
         );
         if self.evicted > 0 {
-            let _ = writeln!(out, "  ... {} older entries evicted by the capture ring ...", self.evicted);
+            let _ = writeln!(
+                out,
+                "  ... {} older entries evicted by the capture ring ...",
+                self.evicted
+            );
         }
         for (i, e) in self.entries.iter().enumerate() {
             let i = self.evicted + i as u64;

@@ -69,21 +69,47 @@ impl WorldConfig {
 
 #[derive(Debug)]
 enum Event {
-    Start { node: NodeId, proc: usize },
-    TxStart { node: NodeId },
-    Deliver { node: NodeId, dgram: Datagram, via: Via },
+    Start {
+        node: NodeId,
+        proc: usize,
+    },
+    TxStart {
+        node: NodeId,
+    },
+    Deliver {
+        node: NodeId,
+        dgram: Datagram,
+        via: Via,
+    },
     /// One radio broadcast frame fanned out to every surviving receiver.
     /// All per-receiver `Deliver`s of a frame share one delivery time and
     /// would receive consecutive `seq`s, so nothing can ever sort between
     /// them — popping them as one heap entry preserves dispatch order
     /// exactly while removing a push+pop per receiver. Only used while no
     /// packet faults are active (faults need per-copy scheduling).
-    DeliverRadioBatch { dgram: Datagram, receivers: Vec<NodeId> },
-    TxDone { node: NodeId },
-    Timer { node: NodeId, proc: usize, token: u64 },
-    Local { node: NodeId, exclude: Option<usize>, ev: LocalEvent },
-    Replan { node: NodeId },
-    PendingSweep { node: NodeId },
+    DeliverRadioBatch {
+        dgram: Datagram,
+        receivers: Vec<NodeId>,
+    },
+    TxDone {
+        node: NodeId,
+    },
+    Timer {
+        node: NodeId,
+        proc: usize,
+        token: u64,
+    },
+    Local {
+        node: NodeId,
+        exclude: Option<usize>,
+        ev: LocalEvent,
+    },
+    Replan {
+        node: NodeId,
+    },
+    PendingSweep {
+        node: NodeId,
+    },
     Fault(FaultAction),
 }
 
@@ -178,6 +204,7 @@ pub struct World {
     free_slots: Vec<u32>,
     /// Recycled receiver buffers for [`Event::DeliverRadioBatch`].
     batch_pool: Vec<Vec<NodeId>>,
+    tracing_default: bool,
 }
 
 impl World {
@@ -206,6 +233,7 @@ impl World {
             slab: Vec::new(),
             free_slots: Vec::new(),
             batch_pool: Vec::new(),
+            tracing_default: false,
         }
     }
 
@@ -244,6 +272,7 @@ impl World {
         let rng = SimRng::from_seed_and_stream(self.cfg.seed, 1000 + id.0 as u64);
         let alias = cfg.public_alias;
         let mut node = Node::new(id, addr, cfg, rng);
+        node.obs.set_tracing(self.tracing_default);
         if let Some(alias) = alias {
             assert!(alias.is_public(), "public alias {alias} must be public");
             assert!(
@@ -294,6 +323,77 @@ impl World {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Enables or disables span tracing on every current node and sets the
+    /// default applied to nodes added later. Metrics are always recorded
+    /// when the `obs` feature is compiled in; spans additionally require
+    /// this runtime switch. A no-op in obs-less builds.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing_default = on;
+        for n in &mut self.nodes {
+            n.obs.set_tracing(on);
+        }
+    }
+
+    /// Aggregates every node's observability shard plus the legacy
+    /// [`NodeStats`] counters into one labelled [`siphoc_obs::Registry`].
+    ///
+    /// Each `NodeStats` counter `x.y` is bridged as counter `x.y` (packet
+    /// count) and `x.y_bytes`, labelled `node="n<id>"`, so the ad-hoc
+    /// string counters stay queryable through the typed exporters. World
+    /// gauges (`sim.now_us`, `sim.events`, `sim.nodes`) ride along.
+    pub fn obs_registry(&self) -> siphoc_obs::Registry {
+        let mut reg = siphoc_obs::Registry::new();
+        for n in &self.nodes {
+            let label = n.id.to_string();
+            n.obs.merge_metrics_into(&mut reg, &label);
+            for (name, c) in n.stats.iter() {
+                reg.counter_add(name, &[("node", &label)], c.packets);
+                reg.counter_add(&format!("{name}_bytes"), &[("node", &label)], c.bytes);
+            }
+        }
+        reg.gauge_set("sim.now_us", &[], self.now.as_micros() as f64);
+        reg.gauge_set("sim.events", &[], self.events as f64);
+        reg.gauge_set("sim.nodes", &[], self.nodes.len() as f64);
+        reg
+    }
+
+    /// Every span recorded so far, tagged with the owning node's id.
+    /// Spans still open at the current sim time are included, marked
+    /// `unfinished`. Empty unless tracing was enabled on an obs build.
+    pub fn obs_spans(&self) -> Vec<siphoc_obs::TaggedSpan> {
+        let now_us = self.now.as_micros();
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            let label = n.id.to_string();
+            for span in n.obs.spans() {
+                out.push(siphoc_obs::TaggedSpan {
+                    node: label.clone(),
+                    span: span.clone(),
+                });
+            }
+            for span in n.obs.open_spans(now_us) {
+                out.push(siphoc_obs::TaggedSpan {
+                    node: label.clone(),
+                    span,
+                });
+            }
+        }
+        out
+    }
+
+    /// Renders all recorded spans as Chrome `trace_event` JSON (an array of
+    /// events loadable in `about:tracing` or Perfetto). Correlated spans
+    /// (same call-id) are grouped into one "process" row per call.
+    pub fn obs_chrome_trace(&self) -> String {
+        siphoc_obs::chrome_trace_json(&self.obs_spans())
+    }
+
+    /// Per-call timelines: spans grouped by correlation key (call-id),
+    /// ordered by start time. Uncorrelated spans are omitted.
+    pub fn obs_timelines(&self) -> Vec<siphoc_obs::CallTimeline> {
+        siphoc_obs::call_timelines(&self.obs_spans())
     }
 
     /// Resolves an address to the owning node (primary or claimed).
@@ -454,7 +554,9 @@ impl World {
             debug_assert!(q.time >= self.now, "event queue went backwards");
             self.now = q.time;
             self.events += 1;
-            let event = self.slab[q.slot as usize].take().expect("queued slot is empty");
+            let event = self.slab[q.slot as usize]
+                .take()
+                .expect("queued slot is empty");
             self.free_slots.push(q.slot);
             let node = event_node(&event);
             self.dispatch(event);
@@ -514,7 +616,9 @@ impl World {
         match event {
             Event::Start { node, proc } => self.call_proc(node, proc, CallKind::Start),
             Event::TxStart { node } => self.start_tx(node),
-            Event::Timer { node, proc, token } => self.call_proc(node, proc, CallKind::Timer(token)),
+            Event::Timer { node, proc, token } => {
+                self.call_proc(node, proc, CallKind::Timer(token))
+            }
             Event::Deliver { node, dgram, via } => self.deliver(node, dgram, via),
             Event::DeliverRadioBatch { dgram, receivers } => self.deliver_batch(dgram, receivers),
             Event::TxDone { node } => self.tx_done(node),
@@ -557,7 +661,8 @@ impl World {
                     !pkts.is_empty()
                 });
                 for _ in 0..dropped {
-                    n.stats.count("drop.pending_timeout", dropped_bytes / dropped.max(1));
+                    n.stats
+                        .count("drop.pending_timeout", dropped_bytes / dropped.max(1));
                 }
             }
             Event::Fault(action) => self.apply_fault(action),
@@ -584,6 +689,7 @@ impl World {
                 rng: &mut n.rng,
                 routes: &mut n.routes,
                 stats: &mut n.stats,
+                obs: &mut n.obs,
                 effects: &mut effects,
             };
             match kind {
@@ -612,12 +718,23 @@ impl World {
                 Effect::Send(dgram) => self.route_and_send(node, dgram, false),
                 Effect::SendLink { dst, dgram } => self.enqueue_frame(node, dst, dgram),
                 Effect::SetTimer { delay, token } => {
-                    self.schedule(delay, Event::Timer { node, proc: idx, token });
+                    self.schedule(
+                        delay,
+                        Event::Timer {
+                            node,
+                            proc: idx,
+                            token,
+                        },
+                    );
                 }
                 Effect::Emit(ev) => {
                     self.schedule(
                         SimDuration::from_micros(1),
-                        Event::Local { node, exclude: Some(idx), ev },
+                        Event::Local {
+                            node,
+                            exclude: Some(idx),
+                            ev,
+                        },
                     );
                 }
                 Effect::AddLocalAddr(a) => {
@@ -673,7 +790,14 @@ impl World {
         }
         if n.is_local_addr(dst.addr) {
             self.record(node, TraceKind::Loopback, None, &dgram);
-            self.schedule(loopback_delay, Event::Deliver { node, dgram, via: Via::Loopback });
+            self.schedule(
+                loopback_delay,
+                Event::Deliver {
+                    node,
+                    dgram,
+                    via: Via::Loopback,
+                },
+            );
             return;
         }
 
@@ -702,7 +826,11 @@ impl World {
             if let Some(h) = n.default_handler {
                 self.schedule(
                     SimDuration::from_micros(1),
-                    Event::Deliver { node, dgram, via: Via::Handler(h) },
+                    Event::Deliver {
+                        node,
+                        dgram,
+                        via: Via::Handler(h),
+                    },
                 );
             } else {
                 n.stats.count("drop.no_uplink", dgram.wire_len());
@@ -774,11 +902,22 @@ impl World {
         let jitter_us = {
             let max = self.cfg.wired_jitter.as_micros();
             let n = self.node_mut(node);
-            if max == 0 { 0 } else { n.rng.range_u64(0, max) }
+            if max == 0 {
+                0
+            } else {
+                n.rng.range_u64(0, max)
+            }
         };
         self.node_mut(node).stats.count("wired.tx", wire);
         let delay = self.cfg.wired_latency + SimDuration::from_micros(jitter_us);
-        self.schedule(delay, Event::Deliver { node: target, dgram, via: Via::Wired });
+        self.schedule(
+            delay,
+            Event::Deliver {
+                node: target,
+                dgram,
+                via: Via::Wired,
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -817,8 +956,14 @@ impl World {
         let mut out = std::mem::take(&mut self.scratch_candidates);
         out.clear();
         if self.cfg.use_spatial_index {
-            self.grid
-                .candidates_into(&self.nodes, node, pos, self.cfg.radio.range, self.now, &mut out);
+            self.grid.candidates_into(
+                &self.nodes,
+                node,
+                pos,
+                self.cfg.radio.range,
+                self.now,
+                &mut out,
+            );
         } else {
             out.extend(
                 self.nodes
@@ -849,8 +994,7 @@ impl World {
                 .iter()
                 .map(|&id| &self.nodes[id.0 as usize])
                 .filter(|o| {
-                    o.up
-                        && o.tx_until > now
+                    o.up && o.tx_until > now
                         && crate::mobility::distance(pos, o.mobility.position(now)) <= radio.range
                 })
                 .map(|o| o.tx_until)
@@ -871,6 +1015,7 @@ impl World {
         let front = n.tx_queue.front().expect("checked above");
         let wire = front.dgram.wire_len();
         let t = radio.tx_time(wire, &mut n.rng);
+        n.obs.hist_record("radio.airtime_us", t.as_micros());
         n.tx_until = now + t;
         self.schedule(t, Event::TxDone { node });
     }
@@ -937,7 +1082,10 @@ impl World {
                 } else {
                     self.schedule(
                         prop,
-                        Event::DeliverRadioBatch { dgram: frame.dgram.clone(), receivers: batch },
+                        Event::DeliverRadioBatch {
+                            dgram: frame.dgram.clone(),
+                            receivers: batch,
+                        },
                     );
                 }
                 self.finish_frame(node);
@@ -950,10 +1098,14 @@ impl World {
                             let t = self.node(target);
                             t.up && t.has_radio
                                 && !self.link_faulted(node, target)
-                                && crate::mobility::distance(pos, t.mobility.position(self.now)) <= radio.range
+                                && crate::mobility::distance(pos, t.mobility.position(self.now))
+                                    <= radio.range
                         };
                         if up_and_in_range {
-                            let dist = crate::mobility::distance(pos, self.node(target).position(self.now));
+                            let dist = crate::mobility::distance(
+                                pos,
+                                self.node(target).position(self.now),
+                            );
                             let n = self.node_mut(node);
                             !radio.loss.sample_loss(dist, radio.range, &mut n.rng)
                         } else {
@@ -977,13 +1129,20 @@ impl World {
                     // Stay busy: retransmit after another full TX time.
                     let t = {
                         let n = self.node_mut(node);
-                        radio.tx_time(wire, &mut n.rng)
+                        let t = radio.tx_time(wire, &mut n.rng);
+                        n.obs.hist_record("radio.airtime_us", t.as_micros());
+                        t
                     };
                     self.node_mut(node).tx_until = now + t;
                     self.schedule(t, Event::TxDone { node });
                 } else {
                     self.node_mut(node).stats.count("drop.l2_fail", wire);
-                    self.record(node, TraceKind::Drop, Some("l2-retries-exhausted"), &frame.dgram);
+                    self.record(
+                        node,
+                        TraceKind::Drop,
+                        Some("l2-retries-exhausted"),
+                        &frame.dgram,
+                    );
                     self.schedule(
                         SimDuration::from_micros(1),
                         Event::Local {
@@ -1052,7 +1211,11 @@ impl World {
             let gap = SimDuration::from_micros(i * 150);
             self.schedule(
                 prop + extra + gap,
-                Event::Deliver { node: rx, dgram: dgram.clone(), via: Via::Radio },
+                Event::Deliver {
+                    node: rx,
+                    dgram: dgram.clone(),
+                    via: Via::Radio,
+                },
             );
         }
     }
@@ -1123,7 +1286,9 @@ impl World {
             if let Some(&idx) = n.port_bindings.get(&dst.port) {
                 self.call_proc(node, idx, CallKind::Datagram(dgram));
             } else {
-                self.node_mut(node).stats.count("drop.no_listener", dgram.wire_len());
+                self.node_mut(node)
+                    .stats
+                    .count("drop.no_listener", dgram.wire_len());
             }
             return;
         }
@@ -1131,7 +1296,13 @@ impl World {
         self.route_and_send(node, dgram, true);
     }
 
-    fn record(&mut self, node: NodeId, kind: TraceKind, reason: Option<&'static str>, dgram: &Datagram) {
+    fn record(
+        &mut self,
+        node: NodeId,
+        kind: TraceKind,
+        reason: Option<&'static str>,
+        dgram: &Datagram,
+    ) {
         if self.trace.is_enabled() {
             self.trace.record(TraceEntry {
                 time: self.now,
@@ -1202,7 +1373,13 @@ mod tests {
 
     impl Echo {
         #[allow(clippy::type_complexity)]
-        fn new(port: u16) -> (Echo, Rc<RefCell<Vec<Datagram>>>, Rc<RefCell<Vec<LocalEvent>>>) {
+        fn new(
+            port: u16,
+        ) -> (
+            Echo,
+            Rc<RefCell<Vec<Datagram>>>,
+            Rc<RefCell<Vec<LocalEvent>>>,
+        ) {
             let received = Rc::new(RefCell::new(Vec::new()));
             let events = Rc::new(RefCell::new(Vec::new()));
             (
@@ -1255,7 +1432,10 @@ mod tests {
         let (echo, recv, _) = Echo::new(ports::SLP);
         w.spawn(a, Box::new(echo));
         w.run_for(SimDuration::from_millis(1));
-        w.inject(a, dgram(Addr::LOOPBACK, Addr::LOOPBACK, ports::SLP, b"ping"));
+        w.inject(
+            a,
+            dgram(Addr::LOOPBACK, Addr::LOOPBACK, ports::SLP, b"ping"),
+        );
         w.run_for(SimDuration::from_millis(1));
         assert_eq!(recv.borrow().len(), 1);
         assert_eq!(recv.borrow()[0].payload, b"ping");
@@ -1274,7 +1454,12 @@ mod tests {
         let n = w.node_mut(a);
         n.routes.insert(
             baddr,
-            Route { next_hop: baddr, hops: 1, expires: SimTime::MAX, seq: 0 },
+            Route {
+                next_hop: baddr,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
         );
         let aaddr = w.node(a).addr();
         w.inject(a, dgram(aaddr, baddr, 9000, b"hello"));
@@ -1292,8 +1477,24 @@ mod tests {
         w.spawn(b, Box::new(echo));
         w.run_for(SimDuration::from_millis(1));
         let (aa, ra, ba) = (w.node(a).addr(), w.node(r).addr(), w.node(b).addr());
-        w.node_mut(a).routes.insert(ba, Route { next_hop: ra, hops: 2, expires: SimTime::MAX, seq: 0 });
-        w.node_mut(r).routes.insert(ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.node_mut(a).routes.insert(
+            ba,
+            Route {
+                next_hop: ra,
+                hops: 2,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
+        w.node_mut(r).routes.insert(
+            ba,
+            Route {
+                next_hop: ba,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
         w.inject(a, dgram(aa, ba, 9000, b"via relay"));
         w.run_for(SimDuration::from_millis(10));
         assert_eq!(recv.borrow().len(), 1);
@@ -1320,7 +1521,15 @@ mod tests {
             .iter()
             .any(|e| matches!(e, LocalEvent::RouteNeeded { dst } if *dst == ba)));
         // Installing a route flushes the parked packet.
-        w.node_mut(a).routes.insert(ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.node_mut(a).routes.insert(
+            ba,
+            Route {
+                next_hop: ba,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
         // Any event on the node triggers the flush; use a local event.
         w.inject(a, dgram(Addr::LOOPBACK, Addr::LOOPBACK, 9001, b"tick"));
         w.run_for(SimDuration::from_millis(10));
@@ -1368,7 +1577,15 @@ mod tests {
         w.spawn(a, Box::new(ea));
         w.run_for(SimDuration::from_millis(1));
         let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
-        w.node_mut(a).routes.insert(ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.node_mut(a).routes.insert(
+            ba,
+            Route {
+                next_hop: ba,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
         // Move b out of range, then send.
         w.move_node(b, 10_000.0, 0.0);
         w.inject(a, dgram(aa, ba, 9000, b"lost"));
@@ -1391,7 +1608,12 @@ mod tests {
         w.run_for(SimDuration::from_millis(1));
         w.inject(
             p1,
-            dgram(Addr::new(82, 1, 1, 1), Addr::new(82, 1, 1, 2), ports::SIP, b"REGISTER"),
+            dgram(
+                Addr::new(82, 1, 1, 1),
+                Addr::new(82, 1, 1, 2),
+                ports::SIP,
+                b"REGISTER",
+            ),
         );
         w.run_for(SimDuration::from_millis(100));
         assert_eq!(recv.borrow().len(), 1);
@@ -1435,7 +1657,15 @@ mod tests {
         w.run_for(SimDuration::from_millis(1));
         w.set_node_up(b, false);
         let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
-        w.node_mut(a).routes.insert(ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.node_mut(a).routes.insert(
+            ba,
+            Route {
+                next_hop: ba,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
         w.inject(a, dgram(aa, ba, 9000, b"to the void"));
         w.run_for(SimDuration::from_millis(100));
         assert_eq!(rb.borrow().len(), 0);
@@ -1521,9 +1751,18 @@ mod tests {
         let srv = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 1)));
         let leased = Addr::new(82, 130, 0, 5);
         let got = Rc::new(RefCell::new(Vec::new()));
-        w.spawn(gw, Box::new(Claim { addr: leased, got: got.clone() }));
+        w.spawn(
+            gw,
+            Box::new(Claim {
+                addr: leased,
+                got: got.clone(),
+            }),
+        );
         w.run_for(SimDuration::from_millis(1));
-        w.inject(srv, dgram(Addr::new(82, 1, 1, 1), leased, 5060, b"inbound call"));
+        w.inject(
+            srv,
+            dgram(Addr::new(82, 1, 1, 1), leased, 5060, b"inbound call"),
+        );
         w.run_for(SimDuration::from_millis(100));
         assert_eq!(got.borrow().len(), 1);
     }
@@ -1537,11 +1776,28 @@ mod tests {
         let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
         let target = Addr::manet(99);
         // Deliberate two-node routing loop for `target`.
-        w.node_mut(a).routes.insert(target, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
-        w.node_mut(b).routes.insert(target, Route { next_hop: aa, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.node_mut(a).routes.insert(
+            target,
+            Route {
+                next_hop: ba,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
+        w.node_mut(b).routes.insert(
+            target,
+            Route {
+                next_hop: aa,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
         w.inject(a, dgram(aa, target, 9000, b"looping"));
         w.run_for(SimDuration::from_secs(2));
-        let drops = w.node(a).stats().get("drop.ttl").packets + w.node(b).stats().get("drop.ttl").packets;
+        let drops =
+            w.node(a).stats().get("drop.ttl").packets + w.node(b).stats().get("drop.ttl").packets;
         assert_eq!(drops, 1, "loop must terminate via TTL");
     }
 }
@@ -1563,7 +1819,13 @@ mod fault_tests {
     impl Sink {
         fn new(port: u16) -> (Sink, Rc<RefCell<Vec<Datagram>>>) {
             let received = Rc::new(RefCell::new(Vec::new()));
-            (Sink { port, received: received.clone() }, received)
+            (
+                Sink {
+                    port,
+                    received: received.clone(),
+                },
+                received,
+            )
         }
     }
 
@@ -1597,7 +1859,12 @@ mod fault_tests {
         let ba = w.node(b).addr();
         w.node_mut(a).routes.insert(
             ba,
-            Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 },
+            Route {
+                next_hop: ba,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
         );
         (w, a, b, recv)
     }
@@ -1671,8 +1938,16 @@ mod fault_tests {
         w.run_for(SimDuration::from_millis(100));
         assert_eq!(recv.borrow().len(), 0);
         assert_eq!(w.node(a).stats().get("fault.blackhole").packets, 1);
-        assert_eq!(w.node(a).stats().get("radio.tx").packets, 1, "link layer saw success");
-        assert_eq!(w.node(a).stats().get("radio.retx").packets, 0, "no retries for blackholed frames");
+        assert_eq!(
+            w.node(a).stats().get("radio.tx").packets,
+            1,
+            "link layer saw success"
+        );
+        assert_eq!(
+            w.node(a).stats().get("radio.retx").packets,
+            0,
+            "no retries for blackholed frames"
+        );
     }
 
     #[test]
@@ -1718,7 +1993,9 @@ mod fault_tests {
         // delayed past the later (unfaulted) one.
         w.install_fault_plan(FaultPlan::new().packet_fault(
             LinkSelector::All,
-            PacketFaultKind::Reorder { max_extra: SimDuration::from_millis(500) },
+            PacketFaultKind::Reorder {
+                max_extra: SimDuration::from_millis(500),
+            },
             1.0,
             SimTime::ZERO,
             SimTime::from_millis(200),

@@ -94,7 +94,12 @@ impl FromStr for Via {
         let rest = s.trim().strip_prefix("SIP/2.0/UDP").ok_or_else(err)?;
         let rest = rest.trim_start();
         let mut parts = rest.split(';');
-        let sent_by: SocketAddr = parts.next().ok_or_else(err)?.trim().parse().map_err(|_| err())?;
+        let sent_by: SocketAddr = parts
+            .next()
+            .ok_or_else(err)?
+            .trim()
+            .parse()
+            .map_err(|_| err())?;
         let mut branch = None;
         let mut received = None;
         for p in parts {
@@ -186,7 +191,10 @@ impl FromStr for NameAddr {
         let s = s.trim();
         let (display, rest) = if let Some(stripped) = s.strip_prefix('"') {
             let end = stripped.find('"').ok_or_else(err)?;
-            (Some(stripped[..end].to_owned()), stripped[end + 1..].trim_start())
+            (
+                Some(stripped[..end].to_owned()),
+                stripped[end + 1..].trim_start(),
+            )
         } else {
             (None, s)
         };
@@ -213,7 +221,11 @@ impl FromStr for NameAddr {
             let (n, v) = p.split_once('=').ok_or_else(err)?;
             params.push((n.to_owned(), v.to_owned()));
         }
-        Ok(NameAddr { display, uri, params })
+        Ok(NameAddr {
+            display,
+            uri,
+            params,
+        })
     }
 }
 
@@ -280,12 +292,16 @@ mod tests {
     #[test]
     fn via_requires_branch() {
         assert!("SIP/2.0/UDP 10.0.0.1:5060".parse::<Via>().is_err());
-        assert!("SIP/2.0/TCP 10.0.0.1:5060;branch=z9hG4bKx".parse::<Via>().is_err());
+        assert!("SIP/2.0/TCP 10.0.0.1:5060;branch=z9hG4bKx"
+            .parse::<Via>()
+            .is_err());
     }
 
     #[test]
     fn name_addr_round_trip_with_tag() {
-        let na: NameAddr = "\"Alice\" <sip:alice@voicehoc.ch>;tag=77aa".parse().unwrap();
+        let na: NameAddr = "\"Alice\" <sip:alice@voicehoc.ch>;tag=77aa"
+            .parse()
+            .unwrap();
         assert_eq!(na.display.as_deref(), Some("Alice"));
         assert_eq!(na.tag(), Some("77aa"));
         assert_eq!(na.to_string(), "\"Alice\" <sip:alice@voicehoc.ch>;tag=77aa");

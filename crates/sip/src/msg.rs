@@ -182,7 +182,10 @@ impl Headers {
 
     /// Removes and returns the *first* occurrence of `name` (Via popping).
     pub fn remove_first(&mut self, name: &str) -> Option<String> {
-        let idx = self.items.iter().position(|(n, _)| n.eq_ignore_ascii_case(name))?;
+        let idx = self
+            .items
+            .iter()
+            .position(|(n, _)| n.eq_ignore_ascii_case(name))?;
         Some(self.items.remove(idx).1)
     }
 
@@ -407,7 +410,9 @@ impl SipMessage {
             None => (input.trim_end_matches("\r\n"), ""),
         };
         let mut lines = head.split("\r\n");
-        let start = lines.next().ok_or_else(|| ParseMsgError::new("empty message"))?;
+        let start = lines
+            .next()
+            .ok_or_else(|| ParseMsgError::new("empty message"))?;
 
         let mut headers = Headers::new();
         for line in lines {
@@ -436,7 +441,10 @@ impl SipMessage {
             })
         } else {
             let mut it = start.split(' ');
-            let method: Method = it.next().ok_or_else(|| ParseMsgError::new("missing method"))?.parse()?;
+            let method: Method = it
+                .next()
+                .ok_or_else(|| ParseMsgError::new("missing method"))?
+                .parse()?;
             let uri: SipUri = it
                 .next()
                 .ok_or_else(|| ParseMsgError::new("missing request-URI"))?
@@ -482,14 +490,19 @@ mod tests {
 
     fn sample_invite() -> SipMessage {
         let mut m = SipMessage::request(Method::Invite, "sip:bob@voicehoc.ch".parse().unwrap());
-        m.headers_mut().push("Via", "SIP/2.0/UDP 10.0.0.1:5070;branch=z9hG4bK776");
+        m.headers_mut()
+            .push("Via", "SIP/2.0/UDP 10.0.0.1:5070;branch=z9hG4bK776");
         m.headers_mut().push("Max-Forwards", 70);
-        m.headers_mut().push("From", "<sip:alice@voicehoc.ch>;tag=1928");
+        m.headers_mut()
+            .push("From", "<sip:alice@voicehoc.ch>;tag=1928");
         m.headers_mut().push("To", "<sip:bob@voicehoc.ch>");
         m.headers_mut().push("Call-ID", "a84b4c76e66710");
         m.headers_mut().push("CSeq", "314159 INVITE");
         m.headers_mut().push("Contact", "<sip:alice@10.0.0.1:5070>");
-        m.set_body("v=0\r\no=alice 1 1 IN IP4 10.0.0.1\r\n", Some("application/sdp"));
+        m.set_body(
+            "v=0\r\no=alice 1 1 IN IP4 10.0.0.1\r\n",
+            Some("application/sdp"),
+        );
         m
     }
 
@@ -506,7 +519,8 @@ mod tests {
     fn response_wire_round_trip() {
         let req = sample_invite();
         let mut resp = SipMessage::response_to(&req, StatusCode::RINGING);
-        resp.headers_mut().push("Contact", "<sip:bob@10.0.0.2:5070>");
+        resp.headers_mut()
+            .push("Contact", "<sip:bob@10.0.0.2:5070>");
         let wire = resp.to_wire();
         assert!(wire.starts_with("SIP/2.0 180 Ringing\r\n"));
         let parsed = SipMessage::parse(&wire).unwrap();
@@ -533,7 +547,12 @@ mod tests {
         assert!(vias[0].contains("10.0.0.9"));
         let popped = m.headers_mut().remove_first("Via").unwrap();
         assert!(popped.contains("10.0.0.9"));
-        assert!(m.top_via().unwrap().sent_by.to_string().contains("10.0.0.1"));
+        assert!(m
+            .top_via()
+            .unwrap()
+            .sent_by
+            .to_string()
+            .contains("10.0.0.1"));
     }
 
     #[test]

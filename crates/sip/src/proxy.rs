@@ -101,7 +101,8 @@ mod tests {
         m.headers_mut()
             .push("Via", format!("SIP/2.0/UDP 10.0.0.1:5070;branch={branch}"));
         m.headers_mut().push("Max-Forwards", 70);
-        m.headers_mut().push("From", "<sip:alice@voicehoc.ch>;tag=a");
+        m.headers_mut()
+            .push("From", "<sip:alice@voicehoc.ch>;tag=a");
         m.headers_mut().push("To", "<sip:bob@voicehoc.ch>");
         m.headers_mut().push("Call-ID", "c1");
         m.headers_mut().push("CSeq", "1 INVITE");

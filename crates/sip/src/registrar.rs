@@ -141,7 +141,11 @@ impl BindingTable {
         if expires_secs == 0 {
             self.unbind(&aor, &contact.uri);
         } else {
-            self.bind(aor, contact.uri.clone(), now + SimDuration::from_secs(expires_secs as u64));
+            self.bind(
+                aor,
+                contact.uri.clone(),
+                now + SimDuration::from_secs(expires_secs as u64),
+            );
         }
         let mut resp = SipMessage::response_to(req, StatusCode::OK);
         resp.headers_mut().push("Contact", &contact);
@@ -170,7 +174,9 @@ mod tests {
     use crate::msg::Headers;
 
     fn register_req(aor: &str, contact: &str, expires: Option<u32>) -> SipMessage {
-        let uri: SipUri = format!("sip:{}", aor.split('@').nth(1).unwrap()).parse().unwrap();
+        let uri: SipUri = format!("sip:{}", aor.split('@').nth(1).unwrap())
+            .parse()
+            .unwrap();
         let mut m = SipMessage::request(Method::Register, uri);
         let h: &mut Headers = m.headers_mut();
         h.push("Via", "SIP/2.0/UDP 10.0.0.1:5070;branch=z9hG4bK1");
@@ -227,8 +233,16 @@ mod tests {
     fn multiple_contacts_freshest_wins() {
         let mut t = BindingTable::new();
         let aor = Aor::new("bob", "voicehoc.ch");
-        t.bind(aor.clone(), "sip:bob@10.0.0.2:5070".parse().unwrap(), SimTime::from_secs(100));
-        t.bind(aor.clone(), "sip:bob@10.0.0.3:5070".parse().unwrap(), SimTime::from_secs(200));
+        t.bind(
+            aor.clone(),
+            "sip:bob@10.0.0.2:5070".parse().unwrap(),
+            SimTime::from_secs(100),
+        );
+        t.bind(
+            aor.clone(),
+            "sip:bob@10.0.0.3:5070".parse().unwrap(),
+            SimTime::from_secs(200),
+        );
         let b = t.lookup(&aor, SimTime::ZERO).unwrap();
         assert_eq!(b.contact.to_string(), "sip:bob@10.0.0.3:5070");
         assert_eq!(t.lookup_all(&aor, SimTime::ZERO).len(), 2);
@@ -238,7 +252,11 @@ mod tests {
     fn purge_drops_expired() {
         let mut t = BindingTable::new();
         let aor = Aor::new("bob", "voicehoc.ch");
-        t.bind(aor.clone(), "sip:bob@10.0.0.2:5070".parse().unwrap(), SimTime::from_secs(10));
+        t.bind(
+            aor.clone(),
+            "sip:bob@10.0.0.2:5070".parse().unwrap(),
+            SimTime::from_secs(10),
+        );
         t.purge(SimTime::from_secs(11));
         assert!(t.is_empty());
     }

@@ -71,7 +71,12 @@ impl fmt::Display for Sdp {
         writeln!(f, "c=IN IP4 {}\r", self.addr)?;
         writeln!(f, "t=0 0\r")?;
         let types: Vec<String> = self.payload_types.iter().map(u8::to_string).collect();
-        writeln!(f, "m=audio {} RTP/AVP {}\r", self.audio_port, types.join(" "))?;
+        writeln!(
+            f,
+            "m=audio {} RTP/AVP {}\r",
+            self.audio_port,
+            types.join(" ")
+        )?;
         Ok(())
     }
 }
@@ -104,7 +109,10 @@ impl FromStr for Sdp {
             if let Some(o) = line.strip_prefix("o=") {
                 let mut it = o.split_whitespace();
                 origin_user = Some(it.next().ok_or_else(|| err("o= user"))?.to_owned());
-                session_id = it.next().and_then(|v| v.parse().ok()).ok_or_else(|| err("o= id"))?;
+                session_id = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("o= id"))?;
             } else if let Some(c) = line.strip_prefix("c=") {
                 let a = c
                     .strip_prefix("IN IP4 ")
@@ -112,7 +120,10 @@ impl FromStr for Sdp {
                 addr = Some(a.trim().parse().map_err(|_| err("c= address"))?);
             } else if let Some(m) = line.strip_prefix("m=audio ") {
                 let mut it = m.split_whitespace();
-                let port: u16 = it.next().and_then(|v| v.parse().ok()).ok_or_else(|| err("m= port"))?;
+                let port: u16 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("m= port"))?;
                 let proto = it.next().ok_or_else(|| err("m= proto"))?;
                 if proto != "RTP/AVP" {
                     return Err(err("m= proto"));
@@ -150,7 +161,9 @@ mod tests {
     #[test]
     fn answer_picks_common_type() {
         let offer = Sdp::audio("alice", 1, "10.0.0.1:8000".parse().unwrap());
-        let ans = offer.answer("bob", 2, "10.0.0.2:8002".parse().unwrap()).unwrap();
+        let ans = offer
+            .answer("bob", 2, "10.0.0.2:8002".parse().unwrap())
+            .unwrap();
         assert_eq!(ans.payload_types, vec![0]);
         assert_eq!(ans.rtp_endpoint().to_string(), "10.0.0.2:8002");
     }
@@ -158,8 +171,14 @@ mod tests {
     #[test]
     fn rejects_missing_sections() {
         assert!("v=0\r\n".parse::<Sdp>().is_err());
-        assert!("o=a 1 1 IN IP4 10.0.0.1\r\nc=IN IP4 10.0.0.1\r\n".parse::<Sdp>().is_err());
-        assert!("o=a 1 1 IN IP4 x\r\nc=IN IP6 ::1\r\nm=audio 1 RTP/AVP 0\r\n".parse::<Sdp>().is_err());
+        assert!("o=a 1 1 IN IP4 10.0.0.1\r\nc=IN IP4 10.0.0.1\r\n"
+            .parse::<Sdp>()
+            .is_err());
+        assert!(
+            "o=a 1 1 IN IP4 x\r\nc=IN IP6 ::1\r\nm=audio 1 RTP/AVP 0\r\n"
+                .parse::<Sdp>()
+                .is_err()
+        );
     }
 
     #[test]

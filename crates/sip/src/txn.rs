@@ -97,6 +97,8 @@ struct ClientTxn {
     state: ClientState,
     interval: SimDuration,
     invite: bool,
+    /// When the first flight left, for the `sip.txn_rtt_us` histogram.
+    started_us: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,7 +195,12 @@ impl TransactionLayer {
     /// Starts a client transaction: stamps a new Via (sent from this node
     /// and port), transmits, and arms retransmission and timeout timers.
     /// Returns the branch identifying the transaction.
-    pub fn send_request(&mut self, ctx: &mut Ctx<'_>, mut msg: SipMessage, dst: SocketAddr) -> String {
+    pub fn send_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        mut msg: SipMessage,
+        dst: SocketAddr,
+    ) -> String {
         let branch = self.new_branch(ctx);
         let via = Via::new(SocketAddr::new(ctx.addr(), self.local_port), &branch);
         msg.headers_mut().push_front("Via", via);
@@ -204,7 +211,13 @@ impl TransactionLayer {
     /// Starts a client transaction for a message that already carries its
     /// top Via with `branch` (used when the caller controls Via contents,
     /// e.g. to reuse the INVITE branch on a 2xx ACK).
-    pub fn send_request_with_branch(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage, dst: SocketAddr, branch: String) {
+    pub fn send_request_with_branch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: SipMessage,
+        dst: SocketAddr,
+        branch: String,
+    ) {
         let invite = msg.method() == Some(Method::Invite);
         let is_ack = msg.method() == Some(Method::Ack);
         self.transmit(ctx, &msg, dst);
@@ -221,9 +234,13 @@ impl TransactionLayer {
             state: ClientState::Trying,
             interval: self.cfg.t1,
             invite,
+            started_us: ctx.now_us(),
         };
         ctx.set_timer(self.cfg.t1, self.token(id, KIND_RETRANS));
-        ctx.set_timer(self.cfg.t1 * self.cfg.timeout_t1_multiple, self.token(id, KIND_TIMEOUT));
+        ctx.set_timer(
+            self.cfg.t1 * self.cfg.timeout_t1_multiple,
+            self.token(id, KIND_TIMEOUT),
+        );
         self.clients.insert(branch, txn);
     }
 
@@ -242,14 +259,22 @@ impl TransactionLayer {
             if invite {
                 ctx.set_timer(self.cfg.t1, self.token(id, KIND_SRV_RETRANS));
             }
-            ctx.set_timer(self.cfg.t1 * self.cfg.timeout_t1_multiple, self.token(id, KIND_SRV_CLEANUP));
+            ctx.set_timer(
+                self.cfg.t1 * self.cfg.timeout_t1_multiple,
+                self.token(id, KIND_SRV_CLEANUP),
+            );
         }
         self.transmit(ctx, &resp, target);
     }
 
     /// Handles a SIP message arriving on the layer's port. Returns the
     /// event the TU must process, if any.
-    pub fn on_datagram(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage, from: SocketAddr) -> Option<TxnEvent> {
+    pub fn on_datagram(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: SipMessage,
+        from: SocketAddr,
+    ) -> Option<TxnEvent> {
         if msg.is_request() {
             self.on_request(ctx, msg, from)
         } else {
@@ -257,7 +282,12 @@ impl TransactionLayer {
         }
     }
 
-    fn on_request(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage, from: SocketAddr) -> Option<TxnEvent> {
+    fn on_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: SipMessage,
+        from: SocketAddr,
+    ) -> Option<TxnEvent> {
         let method = msg.method()?;
         let via = msg.top_via()?;
         let key = server_key(&via.branch, method);
@@ -308,7 +338,7 @@ impl TransactionLayer {
         Some(TxnEvent::Request { key, msg, from })
     }
 
-    fn on_response(&mut self, _ctx: &mut Ctx<'_>, msg: SipMessage) -> Option<TxnEvent> {
+    fn on_response(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage) -> Option<TxnEvent> {
         let via = msg.top_via()?;
         let txn = self.clients.get_mut(&via.branch)?;
         // CSeq method must match the request's.
@@ -316,8 +346,10 @@ impl TransactionLayer {
             return None;
         }
         let final_resp = msg.status().map(|s| s.is_final()).unwrap_or(false);
-        if final_resp {
+        if final_resp && txn.state == ClientState::Trying {
             txn.state = ClientState::Completed;
+            let rtt = ctx.now_us().saturating_sub(txn.started_us);
+            ctx.obs().hist_record("sip.txn_rtt_us", rtt);
         }
         let branch = txn.branch.clone();
         Some(TxnEvent::Response { branch, msg })
@@ -352,7 +384,10 @@ impl TransactionLayer {
                 let branch = self.clients.iter().find(|(_, t)| t.id == id)?.0.clone();
                 let txn = self.clients.remove(&branch)?;
                 if txn.state == ClientState::Trying {
-                    Some(TxnEvent::Timeout { branch, msg: txn.msg })
+                    Some(TxnEvent::Timeout {
+                        branch,
+                        msg: txn.msg,
+                    })
                 } else {
                     None
                 }
@@ -373,7 +408,11 @@ impl TransactionLayer {
                 None
             }
             KIND_SRV_CLEANUP => {
-                let key = self.servers.values().find(|t| t.id == id).map(|t| t.key.clone())?;
+                let key = self
+                    .servers
+                    .values()
+                    .find(|t| t.id == id)
+                    .map(|t| t.key.clone())?;
                 self.servers.remove(&key);
                 None
             }
@@ -417,7 +456,11 @@ mod tests {
     }
 
     impl TxnPeer {
-        fn new(port: u16, send_to: Option<SocketAddr>, answer: bool) -> (TxnPeer, Rc<RefCell<Vec<String>>>) {
+        fn new(
+            port: u16,
+            send_to: Option<SocketAddr>,
+            answer: bool,
+        ) -> (TxnPeer, Rc<RefCell<Vec<String>>>) {
             let log = Rc::new(RefCell::new(Vec::new()));
             (
                 TxnPeer {
@@ -436,7 +479,8 @@ mod tests {
             let mut m = SipMessage::request(Method::Options, uri);
             m.headers_mut().push("From", "<sip:me@10.0.0.1>;tag=a");
             m.headers_mut().push("To", "<sip:peer@10.0.0.2>");
-            m.headers_mut().push("Call-ID", format!("cid-{}", ctx.rng().next_u64()));
+            m.headers_mut()
+                .push("Call-ID", format!("cid-{}", ctx.rng().next_u64()));
             m.headers_mut().push("CSeq", "1 OPTIONS");
             m.headers_mut().push("Max-Forwards", 70);
             m
@@ -467,7 +511,9 @@ mod tests {
                     }
                 }
                 Some(TxnEvent::Response { msg, .. }) => {
-                    self.log.borrow_mut().push(format!("response {}", msg.status().unwrap().0));
+                    self.log
+                        .borrow_mut()
+                        .push(format!("response {}", msg.status().unwrap().0));
                 }
                 Some(TxnEvent::Timeout { .. }) => self.log.borrow_mut().push("timeout".into()),
                 Some(TxnEvent::Ack { .. }) => self.log.borrow_mut().push("ack".into()),
@@ -493,8 +539,26 @@ mod tests {
         let b = w.add_node(NodeConfig::manet(50.0, 0.0));
         // Static neighbor routes; the txn tests are not about routing.
         let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
-        w.install_route(a, ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
-        w.install_route(b, aa, Route { next_hop: aa, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.install_route(
+            a,
+            ba,
+            Route {
+                next_hop: ba,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
+        w.install_route(
+            b,
+            aa,
+            Route {
+                next_hop: aa,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
         (w, a, b)
     }
 
@@ -515,7 +579,11 @@ mod tests {
     fn retransmission_recovers_from_heavy_loss() {
         // 60% loss per frame: the first attempts will almost surely fail,
         // retransmission must push it through eventually.
-        let loss = LossModel { base: 0.6, clear_fraction: 1.0, edge_loss: 0.0 };
+        let loss = LossModel {
+            base: 0.6,
+            clear_fraction: 1.0,
+            edge_loss: 0.0,
+        };
         let (mut w, a, b) = two_nodes(loss);
         let dst = SocketAddr::new(w.node(b).addr(), 5080);
         let (client, clog) = TxnPeer::new(5080, Some(dst), false);
@@ -523,7 +591,10 @@ mod tests {
         w.spawn(a, Box::new(client));
         w.spawn(b, Box::new(server));
         w.run_for(SimDuration::from_secs(40));
-        assert!(slog.borrow().contains(&"request".to_string()), "request never arrived");
+        assert!(
+            slog.borrow().contains(&"request".to_string()),
+            "request never arrived"
+        );
         assert!(
             clog.borrow().iter().any(|e| e == "response 200"),
             "response never arrived: {:?}",

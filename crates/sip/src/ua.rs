@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use siphoc_simnet::net::{Datagram, SocketAddr};
+use siphoc_simnet::obs::{SpanCat, SpanId};
 use siphoc_simnet::process::{Ctx, LocalEvent, Process};
 use siphoc_simnet::time::{SimDuration, SimTime};
 
@@ -224,6 +225,10 @@ struct Dialog {
     answer_resp: Option<SipMessage>,
     duration: Option<SimDuration>,
     cancelled: bool,
+    /// Open observability span covering call setup (INVITE->ACK).
+    span: SpanId,
+    /// When setup started, for the `sip.call_setup_us` histogram.
+    setup_started_us: u64,
 }
 
 const TAG_REGISTER: u64 = 1;
@@ -246,6 +251,7 @@ pub struct UserAgent {
     register_branch: Option<String>,
     register_cseq: u32,
     registered: bool,
+    register_span: SpanId,
 }
 
 impl std::fmt::Debug for UserAgent {
@@ -272,6 +278,7 @@ impl UserAgent {
                 register_branch: None,
                 register_cseq: 0,
                 registered: false,
+                register_span: SpanId::NONE,
             },
             log,
         )
@@ -312,10 +319,21 @@ impl UserAgent {
         let id = NameAddr::new(self.cfg.aor.to_uri());
         m.headers_mut().push("From", id.clone().with_tag(&tag));
         m.headers_mut().push("To", &id);
-        m.headers_mut().push("Call-ID", format!("reg-{}-{}", self.cfg.aor.user, self.cfg.local_port));
-        m.headers_mut().push("CSeq", CSeq::new(self.register_cseq, "REGISTER"));
-        m.headers_mut().push("Contact", NameAddr::new(self.local_contact(ctx)));
+        m.headers_mut().push(
+            "Call-ID",
+            format!("reg-{}-{}", self.cfg.aor.user, self.cfg.local_port),
+        );
+        m.headers_mut()
+            .push("CSeq", CSeq::new(self.register_cseq, "REGISTER"));
+        m.headers_mut()
+            .push("Contact", NameAddr::new(self.local_contact(ctx)));
         m.headers_mut().push("Expires", expires);
+        ctx.span_exit(self.register_span, true);
+        self.register_span = ctx.span_enter(SpanCat::Sip, "sip.register");
+        ctx.obs().span_corr(
+            self.register_span,
+            &format!("reg-{}-{}", self.cfg.aor.user, self.cfg.local_port),
+        );
         let branch = self.txn.send_request(ctx, m, self.cfg.outbound_proxy);
         self.register_branch = Some(branch);
     }
@@ -327,16 +345,24 @@ impl UserAgent {
     fn place_call(&mut self, ctx: &mut Ctx<'_>, to: Aor, duration: SimDuration) {
         let idx = self.next_dialog;
         self.next_dialog += 1;
-        let call_id = format!("call-{}-{}-{:x}", self.cfg.aor.user, idx, ctx.rng().next_u64());
+        let call_id = format!(
+            "call-{}-{}-{:x}",
+            self.cfg.aor.user,
+            idx,
+            ctx.rng().next_u64()
+        );
         let local_tag = self.new_tag(ctx);
 
         let mut m = self.base_request(ctx, Method::Invite, to.to_uri());
-        m.headers_mut()
-            .push("From", NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag));
+        m.headers_mut().push(
+            "From",
+            NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag),
+        );
         m.headers_mut().push("To", NameAddr::new(to.to_uri()));
         m.headers_mut().push("Call-ID", &call_id);
         m.headers_mut().push("CSeq", CSeq::new(1, "INVITE"));
-        m.headers_mut().push("Contact", NameAddr::new(self.local_contact(ctx)));
+        m.headers_mut()
+            .push("Contact", NameAddr::new(self.local_contact(ctx)));
         let sdp = Sdp::audio(
             &self.cfg.aor.user,
             ctx.rng().next_u64() >> 1,
@@ -344,6 +370,10 @@ impl UserAgent {
         );
         m.set_body(&sdp.to_string(), Some("application/sdp"));
 
+        let span = ctx.span_enter(SpanCat::Sip, "sip.invite");
+        ctx.obs().span_corr(span, &call_id);
+        ctx.obs().counter_add("sip.calls_placed", 1);
+        let setup_started_us = ctx.now_us();
         let branch = self.txn.send_request(ctx, m, self.cfg.outbound_proxy);
         let dialog = Dialog {
             idx,
@@ -362,6 +392,8 @@ impl UserAgent {
             answer_resp: None,
             duration: Some(duration),
             cancelled: false,
+            span,
+            setup_started_us,
         };
         self.dialogs.insert(call_id.clone(), dialog);
         self.emit_log(ctx, CallEvent::OutgoingCall { call_id, to });
@@ -387,8 +419,10 @@ impl UserAgent {
             "Via",
             crate::headers::Via::new(SocketAddr::new(ctx.addr(), self.cfg.local_port), &branch),
         );
-        m.headers_mut()
-            .push("From", NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag));
+        m.headers_mut().push(
+            "From",
+            NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag),
+        );
         let mut to = NameAddr::new(remote_aor.to_uri());
         if let Some(t) = &remote_tag {
             to.set_tag(t);
@@ -417,8 +451,10 @@ impl UserAgent {
         let remote_tag = d.remote_tag.clone();
         let remote_aor = d.remote_aor.clone();
         let mut m = self.base_request(ctx, Method::Bye, target);
-        m.headers_mut()
-            .push("From", NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag));
+        m.headers_mut().push(
+            "From",
+            NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag),
+        );
         let mut to = NameAddr::new(remote_aor.to_uri());
         if let Some(t) = &remote_tag {
             to.set_tag(t);
@@ -433,7 +469,10 @@ impl UserAgent {
         }
         self.emit_log(
             ctx,
-            CallEvent::Terminated { call_id: call_id.to_owned(), by_remote: false },
+            CallEvent::Terminated {
+                call_id: call_id.to_owned(),
+                by_remote: false,
+            },
         );
     }
 
@@ -450,15 +489,19 @@ impl UserAgent {
         d.cancelled = true;
         let (remote_aor, local_tag) = (d.remote_aor.clone(), d.local_tag.clone());
         let mut m = self.base_request(ctx, Method::Cancel, remote_aor.to_uri());
+        m.headers_mut().push(
+            "From",
+            NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag),
+        );
         m.headers_mut()
-            .push("From", NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag));
-        m.headers_mut().push("To", NameAddr::new(remote_aor.to_uri()));
+            .push("To", NameAddr::new(remote_aor.to_uri()));
         m.headers_mut().push("Call-ID", call_id);
         m.headers_mut().push("CSeq", CSeq::new(1, "CANCEL"));
         self.txn.send_request(ctx, m, self.cfg.outbound_proxy);
     }
 
     fn start_media(&self, ctx: &mut Ctx<'_>, call_id: &str, remote_rtp: SocketAddr) {
+        ctx.span_instant(SpanCat::Media, "media.start", Some(call_id));
         let payload = format!("{call_id}|{}|{}", self.cfg.rtp_port, remote_rtp);
         ctx.emit(LocalEvent::Custom {
             kind: MEDIA_START_EVENT,
@@ -467,6 +510,7 @@ impl UserAgent {
     }
 
     fn end_media(&self, ctx: &mut Ctx<'_>, call_id: &str) {
+        ctx.span_instant(SpanCat::Media, "media.stop", Some(call_id));
         ctx.emit(LocalEvent::Custom {
             kind: MEDIA_STOP_EVENT,
             data: call_id.as_bytes().to_vec(),
@@ -537,6 +581,9 @@ impl UserAgent {
         let local_tag = self.new_tag(ctx);
         let remote_rtp = msg.body().parse::<Sdp>().ok().map(|s| s.rtp_endpoint());
         let remote_target = msg.contact().map(|c| c.uri);
+        let span = ctx.span_enter(SpanCat::Sip, "sip.answer");
+        ctx.obs().span_corr(span, &call_id);
+        let setup_started_us = ctx.now_us();
         let dialog = Dialog {
             idx,
             call_id: call_id.clone(),
@@ -554,11 +601,16 @@ impl UserAgent {
             answer_resp: None,
             duration: None,
             cancelled: false,
+            span,
+            setup_started_us,
         };
         self.dialogs.insert(call_id.clone(), dialog);
         self.emit_log(
             ctx,
-            CallEvent::IncomingCall { call_id: call_id.clone(), from: from.uri.aor() },
+            CallEvent::IncomingCall {
+                call_id: call_id.clone(),
+                from: from.uri.aor(),
+            },
         );
         // Ring.
         let mut ringing = SipMessage::response_to(&msg, StatusCode::RINGING);
@@ -597,7 +649,8 @@ impl UserAgent {
             to.set_tag(&local_tag);
             ok.headers_mut().set("To", to);
         }
-        ok.headers_mut().push("Contact", NameAddr::new(self.local_contact(ctx)));
+        ok.headers_mut()
+            .push("Contact", NameAddr::new(self.local_contact(ctx)));
         if let Ok(offer) = invite.body().parse::<Sdp>() {
             let answer = offer.answer(
                 &self.cfg.aor.user,
@@ -623,7 +676,13 @@ impl UserAgent {
                 if d.state != DialogState::Terminated {
                     d.state = DialogState::Terminated;
                     self.end_media(ctx, &call_id);
-                    self.emit_log(ctx, CallEvent::Terminated { call_id, by_remote: true });
+                    self.emit_log(
+                        ctx,
+                        CallEvent::Terminated {
+                            call_id,
+                            by_remote: true,
+                        },
+                    );
                 }
             }
         }
@@ -641,7 +700,11 @@ impl UserAgent {
             if early_callee {
                 let (ikey, invite, tag) = {
                     let d = &self.dialogs[&call_id];
-                    (d.invite_key.clone(), d.pending_invite.clone(), d.local_tag.clone())
+                    (
+                        d.invite_key.clone(),
+                        d.pending_invite.clone(),
+                        d.local_tag.clone(),
+                    )
                 };
                 if let (Some(ikey), Some(invite)) = (ikey, invite) {
                     let mut resp = SipMessage::response_to(&invite, StatusCode::TERMINATED);
@@ -653,8 +716,16 @@ impl UserAgent {
                 }
                 if let Some(d) = self.dialogs.get_mut(&call_id) {
                     d.state = DialogState::Terminated;
+                    let span = d.span;
+                    ctx.span_exit(span, false);
                 }
-                self.emit_log(ctx, CallEvent::Terminated { call_id, by_remote: true });
+                self.emit_log(
+                    ctx,
+                    CallEvent::Terminated {
+                        call_id,
+                        by_remote: true,
+                    },
+                );
             }
         }
     }
@@ -667,11 +738,15 @@ impl UserAgent {
         if Some(&branch) == self.register_branch.as_ref() {
             let Some(status) = msg.status() else { return };
             if status.is_success() {
+                ctx.span_exit(self.register_span, true);
+                self.register_span = SpanId::NONE;
                 if !self.registered {
                     self.registered = true;
                     self.emit_log(ctx, CallEvent::Registered);
                 }
             } else if status.is_final() {
+                ctx.span_exit(self.register_span, false);
+                self.register_span = SpanId::NONE;
                 self.emit_log(ctx, CallEvent::RegisterFailed);
             }
             return;
@@ -703,14 +778,22 @@ impl UserAgent {
                 let remote_rtp = d.remote_rtp;
                 let duration = d.duration;
                 let idx = d.idx;
+                let (span, started_us) = (d.span, d.setup_started_us);
                 // Always (re-)ACK, also for retransmitted 200s.
                 self.send_ack(ctx, &call_id);
                 if was_early {
+                    ctx.span_exit(span, true);
+                    ctx.obs().counter_add("sip.calls_established", 1);
+                    let setup = ctx.now_us().saturating_sub(started_us);
+                    ctx.obs().hist_record("sip.call_setup_us", setup);
                     if let Some(rtp) = remote_rtp {
                         self.start_media(ctx, &call_id, rtp);
                         self.emit_log(
                             ctx,
-                            CallEvent::Established { call_id: call_id.clone(), remote_rtp: rtp },
+                            CallEvent::Established {
+                                call_id: call_id.clone(),
+                                remote_rtp: rtp,
+                            },
                         );
                     }
                     if let Some(dur) = duration {
@@ -729,16 +812,24 @@ impl UserAgent {
                     d.state = DialogState::Terminated;
                     (was_early, d.cancelled)
                 };
+                let span = d.span;
                 if ended {
+                    ctx.span_exit(span, false);
                     if cancelled {
                         self.emit_log(
                             ctx,
-                            CallEvent::Terminated { call_id, by_remote: false },
+                            CallEvent::Terminated {
+                                call_id,
+                                by_remote: false,
+                            },
                         );
                     } else {
                         self.emit_log(
                             ctx,
-                            CallEvent::Failed { call_id, code: Some(status.0) },
+                            CallEvent::Failed {
+                                call_id,
+                                code: Some(status.0),
+                            },
                         );
                     }
                 }
@@ -749,6 +840,8 @@ impl UserAgent {
 
     fn on_txn_timeout(&mut self, ctx: &mut Ctx<'_>, branch: String, msg: SipMessage) {
         if Some(&branch) == self.register_branch.as_ref() {
+            ctx.span_exit(self.register_span, false);
+            self.register_span = SpanId::NONE;
             self.emit_log(ctx, CallEvent::RegisterFailed);
             return;
         }
@@ -757,7 +850,15 @@ impl UserAgent {
                 if let Some(d) = self.dialogs.get_mut(&call_id) {
                     if d.state == DialogState::Early {
                         d.state = DialogState::Terminated;
-                        self.emit_log(ctx, CallEvent::Failed { call_id, code: None });
+                        let span = d.span;
+                        ctx.span_exit(span, false);
+                        self.emit_log(
+                            ctx,
+                            CallEvent::Failed {
+                                call_id,
+                                code: None,
+                            },
+                        );
                     }
                 }
             }
@@ -773,7 +874,10 @@ impl Process for UserAgent {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.bind(self.cfg.local_port);
         if self.cfg.register {
-            self.send_register(ctx, self.cfg.register_expires.as_micros() as u32 / 1_000_000);
+            self.send_register(
+                ctx,
+                self.cfg.register_expires.as_micros() as u32 / 1_000_000,
+            );
             // Refresh at half-life.
             ctx.set_timer(self.cfg.register_expires / 2, tok(TAG_REGISTER, 0));
         }
@@ -808,14 +912,24 @@ impl Process for UserAgent {
                     let info = self.dialogs.get_mut(&call_id).and_then(|d| {
                         if d.state == DialogState::Early && d.role == Role::Callee {
                             d.state = DialogState::Confirmed;
-                            d.remote_rtp
+                            d.remote_rtp.map(|rtp| (rtp, d.span, d.setup_started_us))
                         } else {
                             None
                         }
                     });
-                    if let Some(rtp) = info {
+                    if let Some((rtp, span, started_us)) = info {
+                        ctx.span_exit(span, true);
+                        ctx.obs().counter_add("sip.calls_established", 1);
+                        let setup = ctx.now_us().saturating_sub(started_us);
+                        ctx.obs().hist_record("sip.call_setup_us", setup);
                         self.start_media(ctx, &call_id, rtp);
-                        self.emit_log(ctx, CallEvent::Established { call_id, remote_rtp: rtp });
+                        self.emit_log(
+                            ctx,
+                            CallEvent::Established {
+                                call_id,
+                                remote_rtp: rtp,
+                            },
+                        );
                     }
                 }
             }
@@ -836,7 +950,10 @@ impl Process for UserAgent {
         let idx = token >> 8;
         match tag {
             TAG_REGISTER => {
-                self.send_register(ctx, self.cfg.register_expires.as_micros() as u32 / 1_000_000);
+                self.send_register(
+                    ctx,
+                    self.cfg.register_expires.as_micros() as u32 / 1_000_000,
+                );
                 ctx.set_timer(self.cfg.register_expires / 2, tok(TAG_REGISTER, 0));
             }
             TAG_SCRIPT => {
@@ -900,8 +1017,26 @@ mod tests {
         let a = w.add_node(NodeConfig::manet(0.0, 0.0));
         let b = w.add_node(NodeConfig::manet(50.0, 0.0));
         let (aa, ba) = (w.node(a).addr(), w.node(b).addr());
-        w.install_route(a, ba, Route { next_hop: ba, hops: 1, expires: SimTime::MAX, seq: 0 });
-        w.install_route(b, aa, Route { next_hop: aa, hops: 1, expires: SimTime::MAX, seq: 0 });
+        w.install_route(
+            a,
+            ba,
+            Route {
+                next_hop: ba,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
+        w.install_route(
+            b,
+            aa,
+            Route {
+                next_hop: aa,
+                hops: 1,
+                expires: SimTime::MAX,
+                seq: 0,
+            },
+        );
 
         let alice = Aor::new("alice", "voicehoc.ch");
         let bob = Aor::new("bob", "voicehoc.ch");
@@ -930,15 +1065,42 @@ mod tests {
         assert!(a.any(|e| matches!(e, CallEvent::OutgoingCall { .. })));
         assert!(b.any(|e| matches!(e, CallEvent::IncomingCall { .. })));
         assert!(a.any(|e| matches!(e, CallEvent::Ringing { .. })));
-        assert!(a.any(|e| matches!(e, CallEvent::Established { .. })), "{:?}", a.events());
-        assert!(b.any(|e| matches!(e, CallEvent::Established { .. })), "{:?}", b.events());
+        assert!(
+            a.any(|e| matches!(e, CallEvent::Established { .. })),
+            "{:?}",
+            a.events()
+        );
+        assert!(
+            b.any(|e| matches!(e, CallEvent::Established { .. })),
+            "{:?}",
+            b.events()
+        );
         // Caller hangs up after 5 s of talk.
-        assert!(a.any(|e| matches!(e, CallEvent::Terminated { by_remote: false, .. })));
-        assert!(b.any(|e| matches!(e, CallEvent::Terminated { by_remote: true, .. })));
+        assert!(a.any(|e| matches!(
+            e,
+            CallEvent::Terminated {
+                by_remote: false,
+                ..
+            }
+        )));
+        assert!(b.any(|e| matches!(
+            e,
+            CallEvent::Terminated {
+                by_remote: true,
+                ..
+            }
+        )));
         // Timing: established ~1.2 s (1 s script + 200 ms ring).
-        let est = a.first_time(|e| matches!(e, CallEvent::Established { .. })).unwrap();
-        assert!(est >= SimTime::from_millis(1150) && est < SimTime::from_millis(1600), "{est}");
-        let bye = a.first_time(|e| matches!(e, CallEvent::Terminated { .. })).unwrap();
+        let est = a
+            .first_time(|e| matches!(e, CallEvent::Established { .. }))
+            .unwrap();
+        assert!(
+            est >= SimTime::from_millis(1150) && est < SimTime::from_millis(1600),
+            "{est}"
+        );
+        let bye = a
+            .first_time(|e| matches!(e, CallEvent::Terminated { .. }))
+            .unwrap();
         assert!(bye.saturating_since(est) >= SimDuration::from_secs(5));
     }
 
@@ -980,7 +1142,11 @@ mod tests {
             SocketAddr::new(Addr::manet(99), 5060),
         );
         cfg.register = false;
-        let cfg = cfg.call_at(SimTime::from_secs(1), Aor::new("ghost", "nowhere.org"), SimDuration::from_secs(5));
+        let cfg = cfg.call_at(
+            SimTime::from_secs(1),
+            Aor::new("ghost", "nowhere.org"),
+            SimDuration::from_secs(5),
+        );
         let (ua, log) = UserAgent::new(cfg);
         w.spawn(a, Box::new(ua));
         w.run_for(SimDuration::from_secs(60));
@@ -1017,13 +1183,27 @@ mod tests {
 
         let (mut w, _log_a, _log_b) = b2b_world();
         let probe_events = Rc::new(RefCell::new(Vec::new()));
-        w.spawn(NodeId(0), Box::new(MediaProbe { events: probe_events.clone() }));
+        w.spawn(
+            NodeId(0),
+            Box::new(MediaProbe {
+                events: probe_events.clone(),
+            }),
+        );
         w.run_for(SimDuration::from_secs(10));
         let evs = probe_events.borrow();
-        assert!(evs.iter().any(|e| e.starts_with("sip.media_start:")), "{evs:?}");
-        assert!(evs.iter().any(|e| e.starts_with("sip.media_stop:")), "{evs:?}");
+        assert!(
+            evs.iter().any(|e| e.starts_with("sip.media_start:")),
+            "{evs:?}"
+        );
+        assert!(
+            evs.iter().any(|e| e.starts_with("sip.media_stop:")),
+            "{evs:?}"
+        );
         // Start payload carries local port and the peer RTP endpoint.
-        let start = evs.iter().find(|e| e.starts_with("sip.media_start:")).unwrap();
+        let start = evs
+            .iter()
+            .find(|e| e.starts_with("sip.media_start:"))
+            .unwrap();
         assert!(start.contains("|8000|10.0.0.2:8000"), "{start}");
     }
 }

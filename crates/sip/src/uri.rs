@@ -92,7 +92,8 @@ impl SipUri {
 
     /// Adds a parameter, returning `self` for chaining.
     pub fn with_param(mut self, name: &str, value: Option<&str>) -> SipUri {
-        self.params.push((name.to_owned(), value.map(str::to_owned)));
+        self.params
+            .push((name.to_owned(), value.map(str::to_owned)));
         self
     }
 }
@@ -135,7 +136,9 @@ impl FromStr for SipUri {
     type Err = ParseUriError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseUriError { input: s.to_owned() };
+        let err = || ParseUriError {
+            input: s.to_owned(),
+        };
         let rest = s
             .strip_prefix("sip:")
             .or_else(|| s.strip_prefix("SIP:"))
@@ -226,9 +229,13 @@ impl FromStr for Aor {
                 return Ok(uri.aor());
             }
         }
-        let (user, domain) = s.split_once('@').ok_or(ParseUriError { input: s.to_owned() })?;
+        let (user, domain) = s.split_once('@').ok_or(ParseUriError {
+            input: s.to_owned(),
+        })?;
         if user.is_empty() || domain.is_empty() {
-            return Err(ParseUriError { input: s.to_owned() });
+            return Err(ParseUriError {
+                input: s.to_owned(),
+            });
         }
         Ok(Aor::new(user, domain))
     }
@@ -264,7 +271,13 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for s in ["alice@voicehoc.ch", "sip:", "sip:@host", "sip:user@", "sip:a@b;;"] {
+        for s in [
+            "alice@voicehoc.ch",
+            "sip:",
+            "sip:@host",
+            "sip:user@",
+            "sip:a@b;;",
+        ] {
             assert!(s.parse::<SipUri>().is_err(), "{s} should fail");
         }
     }
@@ -278,8 +291,14 @@ mod tests {
 
     #[test]
     fn aor_parses_both_forms() {
-        assert_eq!("alice@voicehoc.ch".parse::<Aor>().unwrap(), Aor::new("alice", "voicehoc.ch"));
-        assert_eq!("sip:alice@voicehoc.ch".parse::<Aor>().unwrap(), Aor::new("alice", "voicehoc.ch"));
+        assert_eq!(
+            "alice@voicehoc.ch".parse::<Aor>().unwrap(),
+            Aor::new("alice", "voicehoc.ch")
+        );
+        assert_eq!(
+            "sip:alice@voicehoc.ch".parse::<Aor>().unwrap(),
+            Aor::new("alice", "voicehoc.ch")
+        );
         assert!("nodomain".parse::<Aor>().is_err());
     }
 

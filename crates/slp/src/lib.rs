@@ -25,14 +25,28 @@ pub fn slp_dissector(port: u16, payload: &[u8]) -> Option<(String, String)> {
         return None;
     }
     let info = match msg::SlpMsg::parse(payload) {
-        Ok(msg::SlpMsg::SrvReg { service_type, key, contact, .. }) => {
+        Ok(msg::SlpMsg::SrvReg {
+            service_type,
+            key,
+            contact,
+            ..
+        }) => {
             format!("SrvReg {service_type} {key} -> {contact}")
         }
-        Ok(msg::SlpMsg::SrvDeReg { service_type, key, .. }) => format!("SrvDeReg {service_type} {key}"),
+        Ok(msg::SlpMsg::SrvDeReg {
+            service_type, key, ..
+        }) => format!("SrvDeReg {service_type} {key}"),
         Ok(msg::SlpMsg::SrvAck { xid }) => format!("SrvAck xid={xid}"),
-        Ok(msg::SlpMsg::SrvRqst { service_type, key, .. }) => format!("SrvRqst {service_type} {key}"),
+        Ok(msg::SlpMsg::SrvRqst {
+            service_type, key, ..
+        }) => format!("SrvRqst {service_type} {key}"),
         Ok(msg::SlpMsg::SrvRply { entries, .. }) => format!("SrvRply {} entries", entries.len()),
-        Ok(msg::SlpMsg::McastRqst { service_type, key, ttl, .. }) => {
+        Ok(msg::SlpMsg::McastRqst {
+            service_type,
+            key,
+            ttl,
+            ..
+        }) => {
             format!("McastRqst {service_type} {key} ttl={ttl}")
         }
         Err(_) => {

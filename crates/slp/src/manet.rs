@@ -23,6 +23,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use siphoc_simnet::net::{ports, Addr, Datagram, SocketAddr};
+use siphoc_simnet::obs::{SpanCat, SpanId};
 use siphoc_simnet::process::{Ctx, LocalEvent, Process};
 use siphoc_simnet::time::{SimDuration, SimTime};
 
@@ -147,7 +148,12 @@ impl RoutingHandler for ManetSlpHandler {
         "manet-slp"
     }
 
-    fn collect_outgoing(&mut self, ctx: &mut Ctx<'_>, kind: MsgKind, _budget: usize) -> Vec<Vec<u8>> {
+    fn collect_outgoing(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        kind: MsgKind,
+        _budget: usize,
+    ) -> Vec<Vec<u8>> {
         let now = ctx.now();
         let entries = {
             let reg = self.registry.borrow();
@@ -161,7 +167,9 @@ impl RoutingHandler for ManetSlpHandler {
                     // Full gossip on network-wide and one-hop messages
                     // alike; hop-by-hop relay of learned entries is what
                     // replicates the registry everywhere.
-                    MsgKind::OlsrHello | MsgKind::OlsrTc | MsgKind::AodvHello => reg.all_entries(now),
+                    MsgKind::OlsrHello | MsgKind::OlsrTc | MsgKind::AodvHello => {
+                        reg.all_entries(now)
+                    }
                     _ => reg.local_entries(now),
                 },
             }
@@ -169,7 +177,9 @@ impl RoutingHandler for ManetSlpHandler {
         // Periodic vehicles are throttled; on-demand ones carry current
         // state (a service RREP must answer even if recently advertised).
         let entries = match kind {
-            MsgKind::AodvHello | MsgKind::OlsrHello | MsgKind::OlsrTc => self.throttle(entries, now),
+            MsgKind::AodvHello | MsgKind::OlsrHello | MsgKind::OlsrTc => {
+                self.throttle(entries, now)
+            }
             MsgKind::AodvRreq | MsgKind::AodvRrep => entries,
         };
         entries.iter().map(ServiceEntry::to_wire).collect()
@@ -225,6 +235,10 @@ struct PendingQuery {
     query: ServiceQuery,
     deadline: SimTime,
     retries_left: u32,
+    /// Open observability span covering the distributed lookup.
+    span: SpanId,
+    /// When the lookup started, for the `slp.lookup_us` histogram.
+    started_us: u64,
 }
 
 /// The MANET SLP daemon process.
@@ -268,7 +282,14 @@ impl ManetSlpProcess {
         });
     }
 
-    fn handle_lookup(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, xid: u32, service_type: String, key: String) {
+    fn handle_lookup(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: SocketAddr,
+        xid: u32,
+        service_type: String,
+        key: String,
+    ) {
         let now = ctx.now();
         let found: Vec<ServiceEntry> = self
             .registry
@@ -279,10 +300,20 @@ impl ManetSlpProcess {
             .collect();
         if !found.is_empty() {
             ctx.stats().count("slp.lookup_hit", 1);
+            ctx.obs().counter_add("slp.lookup_hit", 1);
+            ctx.span_instant(SpanCat::Slp, "slp.hit", Some(&key));
             self.reply(ctx, from, xid, found);
             return;
         }
         ctx.stats().count("slp.lookup_miss", 1);
+        let span = ctx.span_enter(SpanCat::Slp, "slp.lookup");
+        // Wildcard lookups (e.g. the gateway probe's empty key) have no
+        // meaningful correlation; an empty key would render as its own
+        // bogus per-call group in the Chrome trace.
+        if !key.is_empty() {
+            ctx.obs().span_corr(span, &key);
+        }
+        let started_us = ctx.now_us();
         self.next_qid += 1;
         let query = ServiceQuery {
             service_type,
@@ -300,6 +331,8 @@ impl ManetSlpProcess {
             query,
             deadline,
             retries_left: self.cfg.query_retries,
+            span,
+            started_us,
         });
         ctx.set_timer(self.cfg.query_timeout, TAG_QUERY);
     }
@@ -311,11 +344,14 @@ impl ManetSlpProcess {
         for (i, p) in self.pending.iter().enumerate() {
             let found = self.registry.borrow().matching(&p.query, now);
             if !found.is_empty() {
-                resolved.push((i, p.requester, p.xid, found));
+                resolved.push((i, p.requester, p.xid, found, p.span, p.started_us));
             }
         }
-        for (i, requester, xid, found) in resolved.into_iter().rev() {
+        for (i, requester, xid, found, span, started_us) in resolved.into_iter().rev() {
             self.pending.remove(i);
+            ctx.span_exit(span, true);
+            let waited = ctx.now_us().saturating_sub(started_us);
+            ctx.obs().hist_record("slp.lookup_us", waited);
             self.reply(ctx, requester, xid, found);
         }
     }
@@ -348,6 +384,7 @@ impl ManetSlpProcess {
         for i in give_up.into_iter().rev() {
             let p = self.pending.remove(i);
             ctx.stats().count("slp.lookup_failed", 1);
+            ctx.span_exit(p.span, false);
             self.reply(ctx, p.requester, p.xid, Vec::new());
         }
     }
@@ -369,7 +406,13 @@ impl Process for ManetSlpProcess {
             return;
         };
         match msg {
-            SlpMsg::SrvReg { xid, service_type, key, contact, lifetime_secs } => {
+            SlpMsg::SrvReg {
+                xid,
+                service_type,
+                key,
+                contact,
+                lifetime_secs,
+            } => {
                 let now = ctx.now();
                 let origin = ctx.addr();
                 let mut reg = self.registry.borrow_mut();
@@ -385,17 +428,35 @@ impl Process for ManetSlpProcess {
                 reg.register_local(entry, now);
                 drop(reg);
                 let src = SocketAddr::new(Addr::LOOPBACK, ports::SLP);
-                ctx.send(Datagram::new(src, dgram.src, SlpMsg::SrvAck { xid }.to_wire()));
+                ctx.send(Datagram::new(
+                    src,
+                    dgram.src,
+                    SlpMsg::SrvAck { xid }.to_wire(),
+                ));
                 // New local state may answer someone's outstanding query on
                 // the next control message; nothing further to do here.
             }
-            SlpMsg::SrvDeReg { xid, service_type, key } => {
+            SlpMsg::SrvDeReg {
+                xid,
+                service_type,
+                key,
+            } => {
                 let origin = ctx.addr();
-                self.registry.borrow_mut().deregister_local(&service_type, &key, origin);
+                self.registry
+                    .borrow_mut()
+                    .deregister_local(&service_type, &key, origin);
                 let src = SocketAddr::new(Addr::LOOPBACK, ports::SLP);
-                ctx.send(Datagram::new(src, dgram.src, SlpMsg::SrvAck { xid }.to_wire()));
+                ctx.send(Datagram::new(
+                    src,
+                    dgram.src,
+                    SlpMsg::SrvAck { xid }.to_wire(),
+                ));
             }
-            SlpMsg::SrvRqst { xid, service_type, key } => {
+            SlpMsg::SrvRqst {
+                xid,
+                service_type,
+                key,
+            } => {
                 self.handle_lookup(ctx, dgram.src, xid, service_type, key);
             }
             _ => {
@@ -425,7 +486,9 @@ impl Process for ManetSlpProcess {
                 self.drain_pending(ctx);
             }
             LocalEvent::NodeRestarted => {
-                self.pending.clear();
+                for p in self.pending.drain(..) {
+                    ctx.span_exit(p.span, false);
+                }
                 // Entries learned before the crash may describe a network
                 // that no longer exists (the paper's churn scenario: nodes
                 // and gateways leave at any time). Keep only what this
@@ -464,7 +527,11 @@ mod tests {
         ) -> (SlpClient, Rc<RefCell<Vec<(SimTime, Vec<ServiceEntry>)>>>) {
             let replies = Rc::new(RefCell::new(Vec::new()));
             (
-                SlpClient { register, lookup_at, replies: replies.clone() },
+                SlpClient {
+                    register,
+                    lookup_at,
+                    replies: replies.clone(),
+                },
                 replies,
             )
         }
@@ -494,7 +561,11 @@ mod tests {
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
             if token == 7 {
                 if let Some((_, t, k)) = self.lookup_at.take() {
-                    let m = SlpMsg::SrvRqst { xid: 2, service_type: t, key: k };
+                    let m = SlpMsg::SrvRqst {
+                        xid: 2,
+                        service_type: t,
+                        key: k,
+                    };
                     ctx.send_local(ports::SLP, 9427, m.to_wire());
                 }
             }
@@ -517,12 +588,20 @@ mod tests {
     ) -> (NodeId, SharedRegistry) {
         let id = w.add_node(NodeConfig::manet(pos.0, pos.1));
         let registry = shared_registry();
-        let handler: Rc<RefCell<ManetSlpHandler>> =
-            Rc::new(RefCell::new(ManetSlpHandler::new(registry.clone(), cfg.mode)));
+        let handler: Rc<RefCell<ManetSlpHandler>> = Rc::new(RefCell::new(ManetSlpHandler::new(
+            registry.clone(),
+            cfg.mode,
+        )));
         if aodv {
-            w.spawn(id, Box::new(AodvProcess::new(AodvConfig::default()).with_handler(handler)));
+            w.spawn(
+                id,
+                Box::new(AodvProcess::new(AodvConfig::default()).with_handler(handler)),
+            );
         } else {
-            w.spawn(id, Box::new(OlsrProcess::new(OlsrConfig::default()).with_handler(handler)));
+            w.spawn(
+                id,
+                Box::new(OlsrProcess::new(OlsrConfig::default()).with_handler(handler)),
+            );
         }
         w.spawn(id, Box::new(ManetSlpProcess::new(cfg, registry.clone())));
         (id, registry)
@@ -534,7 +613,11 @@ mod tests {
         let cfg = ManetSlpConfig::on_demand();
         let (id, _) = add_slp_node(&mut w, (0.0, 0.0), true, cfg);
         let (client, replies) = SlpClient::new(
-            Some(("sip".into(), "alice@v.ch".into(), "10.0.0.1:5060".parse().unwrap())),
+            Some((
+                "sip".into(),
+                "alice@v.ch".into(),
+                "10.0.0.1:5060".parse().unwrap(),
+            )),
             Some((SimTime::from_millis(100), "sip".into(), "alice@v.ch".into())),
         );
         w.spawn(id, Box::new(client));
@@ -556,7 +639,11 @@ mod tests {
         // Bob's proxy registers on the far node.
         let (far, _) = nodes[3];
         let (reg_client, _) = SlpClient::new(
-            Some(("sip".into(), "bob@v.ch".into(), "10.0.0.4:5060".parse().unwrap())),
+            Some((
+                "sip".into(),
+                "bob@v.ch".into(),
+                "10.0.0.4:5060".parse().unwrap(),
+            )),
             None,
         );
         w.spawn(far, Box::new(reg_client));
@@ -574,9 +661,16 @@ mod tests {
         assert_eq!(r[0].1.len(), 1, "binding found: {:?}", r[0].1);
         assert_eq!(r[0].1[0].contact.to_string(), "10.0.0.4:5060");
         // The querying node cached the learned binding.
-        assert!(!near_reg.borrow().lookup("sip", "bob@v.ch", w.now()).is_empty());
+        assert!(!near_reg
+            .borrow()
+            .lookup("sip", "bob@v.ch", w.now())
+            .is_empty());
         // And it learned a route to Bob's node from the service RREP.
-        assert!(w.node(near).routes().lookup_specific(Addr::manet(3), w.now()).is_some());
+        assert!(w
+            .node(near)
+            .routes()
+            .lookup_specific(Addr::manet(3), w.now())
+            .is_some());
     }
 
     #[test]
@@ -589,7 +683,11 @@ mod tests {
         }
         let (far, _) = nodes[3];
         let (reg_client, _) = SlpClient::new(
-            Some(("sip".into(), "bob@v.ch".into(), "10.0.0.4:5060".parse().unwrap())),
+            Some((
+                "sip".into(),
+                "bob@v.ch".into(),
+                "10.0.0.4:5060".parse().unwrap(),
+            )),
             None,
         );
         w.spawn(far, Box::new(reg_client));
@@ -613,7 +711,10 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].1.len(), 1);
         let latency = r[0].0.saturating_since(SimTime::from_secs(30));
-        assert!(latency < SimDuration::from_millis(10), "local lookup took {latency}");
+        assert!(
+            latency < SimDuration::from_millis(10),
+            "local lookup took {latency}"
+        );
     }
 
     #[test]

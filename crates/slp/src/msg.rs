@@ -101,14 +101,32 @@ fn key_in(raw: &str) -> String {
 impl fmt::Display for SlpMsg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SlpMsg::SrvReg { xid, service_type, key, contact, lifetime_secs } => {
-                write!(f, "SRVREG {xid} {service_type} {} {contact} {lifetime_secs}", key_out(key))
+            SlpMsg::SrvReg {
+                xid,
+                service_type,
+                key,
+                contact,
+                lifetime_secs,
+            } => {
+                write!(
+                    f,
+                    "SRVREG {xid} {service_type} {} {contact} {lifetime_secs}",
+                    key_out(key)
+                )
             }
-            SlpMsg::SrvDeReg { xid, service_type, key } => {
+            SlpMsg::SrvDeReg {
+                xid,
+                service_type,
+                key,
+            } => {
                 write!(f, "SRVDEREG {xid} {service_type} {}", key_out(key))
             }
             SlpMsg::SrvAck { xid } => write!(f, "SRVACK {xid}"),
-            SlpMsg::SrvRqst { xid, service_type, key } => {
+            SlpMsg::SrvRqst {
+                xid,
+                service_type,
+                key,
+            } => {
                 write!(f, "SRVRQST {xid} {service_type} {}", key_out(key))
             }
             SlpMsg::SrvRply { xid, entries } => {
@@ -118,8 +136,19 @@ impl fmt::Display for SlpMsg {
                 }
                 Ok(())
             }
-            SlpMsg::McastRqst { origin, fid, ttl, reply_to, service_type, key } => {
-                write!(f, "MRQST {origin} {fid} {ttl} {reply_to} {service_type} {}", key_out(key))
+            SlpMsg::McastRqst {
+                origin,
+                fid,
+                ttl,
+                reply_to,
+                service_type,
+                key,
+            } => {
+                write!(
+                    f,
+                    "MRQST {origin} {fid} {ttl} {reply_to} {service_type} {}",
+                    key_out(key)
+                )
             }
         }
     }
@@ -145,28 +174,44 @@ impl SlpMsg {
         let mut next = |what: &'static str| it.next().ok_or(ParseEntryError::new(what));
         match kind {
             "SRVREG" => Ok(SlpMsg::SrvReg {
-                xid: next("xid")?.parse().map_err(|_| ParseEntryError::new("xid"))?,
+                xid: next("xid")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("xid"))?,
                 service_type: next("type")?.to_owned(),
                 key: key_in(next("key")?),
-                contact: next("contact")?.parse().map_err(|_| ParseEntryError::new("contact"))?,
-                lifetime_secs: next("lifetime")?.parse().map_err(|_| ParseEntryError::new("lifetime"))?,
+                contact: next("contact")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("contact"))?,
+                lifetime_secs: next("lifetime")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("lifetime"))?,
             }),
             "SRVDEREG" => Ok(SlpMsg::SrvDeReg {
-                xid: next("xid")?.parse().map_err(|_| ParseEntryError::new("xid"))?,
+                xid: next("xid")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("xid"))?,
                 service_type: next("type")?.to_owned(),
                 key: key_in(next("key")?),
             }),
             "SRVACK" => Ok(SlpMsg::SrvAck {
-                xid: next("xid")?.parse().map_err(|_| ParseEntryError::new("xid"))?,
+                xid: next("xid")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("xid"))?,
             }),
             "SRVRQST" => Ok(SlpMsg::SrvRqst {
-                xid: next("xid")?.parse().map_err(|_| ParseEntryError::new("xid"))?,
+                xid: next("xid")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("xid"))?,
                 service_type: next("type")?.to_owned(),
                 key: key_in(next("key")?),
             }),
             "SRVRPLY" => {
-                let xid = next("xid")?.parse().map_err(|_| ParseEntryError::new("xid"))?;
-                let n: usize = next("count")?.parse().map_err(|_| ParseEntryError::new("count"))?;
+                let xid = next("xid")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("xid"))?;
+                let n: usize = next("count")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("count"))?;
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
                     let line = lines.next().ok_or(ParseEntryError::new("entry line"))?;
@@ -175,10 +220,18 @@ impl SlpMsg {
                 Ok(SlpMsg::SrvRply { xid, entries })
             }
             "MRQST" => Ok(SlpMsg::McastRqst {
-                origin: next("origin")?.parse().map_err(|_| ParseEntryError::new("origin"))?,
-                fid: next("fid")?.parse().map_err(|_| ParseEntryError::new("fid"))?,
-                ttl: next("ttl")?.parse().map_err(|_| ParseEntryError::new("ttl"))?,
-                reply_to: next("reply_to")?.parse().map_err(|_| ParseEntryError::new("reply_to"))?,
+                origin: next("origin")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("origin"))?,
+                fid: next("fid")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("fid"))?,
+                ttl: next("ttl")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("ttl"))?,
+                reply_to: next("reply_to")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("reply_to"))?,
                 service_type: next("type")?.to_owned(),
                 key: key_in(next("key")?),
             }),
@@ -208,11 +261,25 @@ mod tests {
                 contact: "10.0.0.1:5060".parse().unwrap(),
                 lifetime_secs: 120,
             },
-            SlpMsg::SrvDeReg { xid: 2, service_type: "sip".into(), key: "alice@v.ch".into() },
+            SlpMsg::SrvDeReg {
+                xid: 2,
+                service_type: "sip".into(),
+                key: "alice@v.ch".into(),
+            },
             SlpMsg::SrvAck { xid: 3 },
-            SlpMsg::SrvRqst { xid: 4, service_type: "gateway".into(), key: String::new() },
-            SlpMsg::SrvRply { xid: 5, entries: vec![entry.clone(), entry] },
-            SlpMsg::SrvRply { xid: 6, entries: vec![] },
+            SlpMsg::SrvRqst {
+                xid: 4,
+                service_type: "gateway".into(),
+                key: String::new(),
+            },
+            SlpMsg::SrvRply {
+                xid: 5,
+                entries: vec![entry.clone(), entry],
+            },
+            SlpMsg::SrvRply {
+                xid: 6,
+                entries: vec![],
+            },
             SlpMsg::McastRqst {
                 origin: Addr::manet(3),
                 fid: 9,
@@ -230,7 +297,11 @@ mod tests {
 
     #[test]
     fn empty_key_round_trips_as_dash() {
-        let m = SlpMsg::SrvRqst { xid: 1, service_type: "gateway".into(), key: String::new() };
+        let m = SlpMsg::SrvRqst {
+            xid: 1,
+            service_type: "gateway".into(),
+            key: String::new(),
+        };
         assert!(m.to_string().ends_with(" -"));
         assert_eq!(SlpMsg::parse(&m.to_wire()).unwrap(), m);
     }

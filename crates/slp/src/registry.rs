@@ -43,11 +43,23 @@ impl SlpRegistry {
     pub fn register_local(&mut self, entry: ServiceEntry, now: SimTime) {
         let expires = entry.expires_at(now);
         let key = (entry.service_type.clone(), entry.key.clone(), entry.origin);
-        self.entries.insert(key, Stored { entry, expires, local: true });
+        self.entries.insert(
+            key,
+            Stored {
+                entry,
+                expires,
+                local: true,
+            },
+        );
     }
 
     /// Removes a local registration.
-    pub fn deregister_local(&mut self, service_type: &str, key: &str, origin: siphoc_simnet::net::Addr) {
+    pub fn deregister_local(
+        &mut self,
+        service_type: &str,
+        key: &str,
+        origin: siphoc_simnet::net::Addr,
+    ) {
         self.entries
             .remove(&(service_type.to_owned(), key.to_owned(), origin));
     }
@@ -61,7 +73,14 @@ impl SlpRegistry {
             Some(existing) if existing.entry.seq >= entry.seq && existing.expires > now => false,
             _ => {
                 let expires = entry.expires_at(now);
-                self.entries.insert(key, Stored { entry, expires, local: false });
+                self.entries.insert(
+                    key,
+                    Stored {
+                        entry,
+                        expires,
+                        local: false,
+                    },
+                );
                 true
             }
         }
@@ -140,7 +159,11 @@ impl SlpRegistry {
     pub fn render(&self, now: SimTime) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "MANET SLP registrations ({} entries):", self.entries.len());
+        let _ = writeln!(
+            out,
+            "MANET SLP registrations ({} entries):",
+            self.entries.len()
+        );
         for s in self.entries.values() {
             let marker = if s.local { "local " } else { "remote" };
             let _ = writeln!(
@@ -182,8 +205,14 @@ mod tests {
         let mut r = SlpRegistry::new();
         let now = SimTime::ZERO;
         assert!(r.absorb(sip("alice@v.ch", 1, 5, 60), now));
-        assert!(!r.absorb(sip("alice@v.ch", 1, 5, 60), now), "same seq rejected");
-        assert!(!r.absorb(sip("alice@v.ch", 1, 4, 60), now), "older rejected");
+        assert!(
+            !r.absorb(sip("alice@v.ch", 1, 5, 60), now),
+            "same seq rejected"
+        );
+        assert!(
+            !r.absorb(sip("alice@v.ch", 1, 4, 60), now),
+            "older rejected"
+        );
         assert!(r.absorb(sip("alice@v.ch", 1, 6, 60), now), "newer accepted");
         assert_eq!(r.len(), 1);
     }

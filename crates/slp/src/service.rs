@@ -50,7 +50,13 @@ pub struct ServiceEntry {
 
 impl ServiceEntry {
     /// Builds a SIP user binding.
-    pub fn sip_binding(aor: &str, contact: SocketAddr, origin: Addr, seq: u64, lifetime_secs: u32) -> ServiceEntry {
+    pub fn sip_binding(
+        aor: &str,
+        contact: SocketAddr,
+        origin: Addr,
+        seq: u64,
+        lifetime_secs: u32,
+    ) -> ServiceEntry {
         ServiceEntry {
             service_type: service_types::SIP.to_owned(),
             key: aor.to_lowercase(),
@@ -62,7 +68,12 @@ impl ServiceEntry {
     }
 
     /// Builds a gateway advertisement.
-    pub fn gateway(contact: SocketAddr, origin: Addr, seq: u64, lifetime_secs: u32) -> ServiceEntry {
+    pub fn gateway(
+        contact: SocketAddr,
+        origin: Addr,
+        seq: u64,
+        lifetime_secs: u32,
+    ) -> ServiceEntry {
         ServiceEntry {
             service_type: service_types::GATEWAY.to_owned(),
             key: String::new(),
@@ -79,7 +90,10 @@ impl ServiceEntry {
         if self.key.is_empty() {
             format!("service:{}://{}", self.service_type, self.contact)
         } else {
-            format!("service:{}://{}!{}", self.service_type, self.key, self.contact)
+            format!(
+                "service:{}://{}!{}",
+                self.service_type, self.key, self.contact
+            )
         }
     }
 
@@ -136,7 +150,11 @@ impl FromStr for ServiceEntry {
         }
         let service_type = it.next().ok_or(ParseEntryError::new("type"))?.to_owned();
         let key_raw = it.next().ok_or(ParseEntryError::new("key"))?;
-        let key = if key_raw == "-" { String::new() } else { key_raw.to_owned() };
+        let key = if key_raw == "-" {
+            String::new()
+        } else {
+            key_raw.to_owned()
+        };
         let contact = it
             .next()
             .and_then(|v| v.parse().ok())
@@ -145,7 +163,10 @@ impl FromStr for ServiceEntry {
             .next()
             .and_then(|v| v.parse().ok())
             .ok_or(ParseEntryError::new("origin"))?;
-        let seq = it.next().and_then(|v| v.parse().ok()).ok_or(ParseEntryError::new("seq"))?;
+        let seq = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or(ParseEntryError::new("seq"))?;
         let lifetime_secs = it
             .next()
             .and_then(|v| v.parse().ok())
@@ -180,7 +201,11 @@ pub struct ServiceQuery {
 impl fmt::Display for ServiceQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let key: &str = if self.key.is_empty() { "-" } else { &self.key };
-        write!(f, "SLP1 qry {} {} {} {}", self.service_type, key, self.origin, self.qid)
+        write!(
+            f,
+            "SLP1 qry {} {} {} {}",
+            self.service_type, key, self.origin, self.qid
+        )
     }
 }
 
@@ -206,12 +231,19 @@ impl FromStr for ServiceQuery {
         }
         let service_type = it.next().ok_or(ParseEntryError::new("type"))?.to_owned();
         let key_raw = it.next().ok_or(ParseEntryError::new("key"))?;
-        let key = if key_raw == "-" { String::new() } else { key_raw.to_owned() };
+        let key = if key_raw == "-" {
+            String::new()
+        } else {
+            key_raw.to_owned()
+        };
         let origin = it
             .next()
             .and_then(|v| v.parse().ok())
             .ok_or(ParseEntryError::new("origin"))?;
-        let qid = it.next().and_then(|v| v.parse().ok()).ok_or(ParseEntryError::new("qid"))?;
+        let qid = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or(ParseEntryError::new("qid"))?;
         Ok(ServiceQuery {
             service_type,
             key,
@@ -263,7 +295,10 @@ mod tests {
     fn entry_wire_round_trip() {
         let e = entry();
         let s = e.to_string();
-        assert_eq!(s, "SLP1 reg sip alice@voicehoc.ch 10.0.0.1:5060 10.0.0.1 7 120");
+        assert_eq!(
+            s,
+            "SLP1 reg sip alice@voicehoc.ch 10.0.0.1:5060 10.0.0.1 7 120"
+        );
         assert_eq!(s.parse::<ServiceEntry>().unwrap(), e);
     }
 
@@ -295,7 +330,13 @@ mod tests {
         let parsed: ServiceQuery = q.to_string().parse().unwrap();
         assert_eq!(parsed, q);
         assert!(!q.matches(&entry()));
-        let bob = ServiceEntry::sip_binding("bob@voicehoc.ch", "10.0.0.2:5060".parse().unwrap(), Addr::manet(1), 1, 60);
+        let bob = ServiceEntry::sip_binding(
+            "bob@voicehoc.ch",
+            "10.0.0.2:5060".parse().unwrap(),
+            Addr::manet(1),
+            1,
+            60,
+        );
         assert!(q.matches(&bob));
         // Empty-key query matches any entry of the type.
         let any_gw = ServiceQuery {

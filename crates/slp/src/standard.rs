@@ -94,7 +94,11 @@ impl StandardSlpProcess {
 
     fn reply_local(&self, ctx: &mut Ctx<'_>, to: SocketAddr, xid: u32, entries: Vec<ServiceEntry>) {
         let src = SocketAddr::new(Addr::LOOPBACK, ports::SLP);
-        ctx.send(Datagram::new(src, to, SlpMsg::SrvRply { xid, entries }.to_wire()));
+        ctx.send(Datagram::new(
+            src,
+            to,
+            SlpMsg::SrvRply { xid, entries }.to_wire(),
+        ));
     }
 
     fn flood(&mut self, ctx: &mut Ctx<'_>, msg: &SlpMsg) {
@@ -105,7 +109,14 @@ impl StandardSlpProcess {
         ctx.send_link(L2Dst::Broadcast, Datagram::new(src, dst, payload));
     }
 
-    fn start_lookup(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, xid: u32, service_type: String, key: String) {
+    fn start_lookup(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: SocketAddr,
+        xid: u32,
+        service_type: String,
+        key: String,
+    ) {
         let now = ctx.now();
         // Local service agent first.
         let found: Vec<ServiceEntry> = self
@@ -148,7 +159,15 @@ impl StandardSlpProcess {
     }
 
     fn on_mcast_rqst(&mut self, ctx: &mut Ctx<'_>, msg: SlpMsg) {
-        let SlpMsg::McastRqst { origin, fid, ttl, reply_to, service_type, key } = msg else {
+        let SlpMsg::McastRqst {
+            origin,
+            fid,
+            ttl,
+            reply_to,
+            service_type,
+            key,
+        } = msg
+        else {
             return;
         };
         if origin == ctx.addr() {
@@ -168,7 +187,10 @@ impl StandardSlpProcess {
             .cloned()
             .collect();
         if !found.is_empty() {
-            let rply = SlpMsg::SrvRply { xid: fid, entries: found };
+            let rply = SlpMsg::SrvRply {
+                xid: fid,
+                entries: found,
+            };
             ctx.stats().count("slp_std.rply", rply.to_wire().len());
             // Routed unicast: under AODV this triggers route discovery.
             ctx.send_to(reply_to, ports::SLP, rply.to_wire());
@@ -250,24 +272,53 @@ impl Process for StandardSlpProcess {
         };
         let local_client = dgram.src.addr.is_loopback();
         match msg {
-            SlpMsg::SrvReg { xid, service_type, key, contact, lifetime_secs } if local_client => {
+            SlpMsg::SrvReg {
+                xid,
+                service_type,
+                key,
+                contact,
+                lifetime_secs,
+            } if local_client => {
                 let now = ctx.now();
                 let origin = ctx.addr();
                 let seq = self.local.next_seq();
                 self.local.register_local(
-                    ServiceEntry { service_type, key, contact, origin, seq, lifetime_secs },
+                    ServiceEntry {
+                        service_type,
+                        key,
+                        contact,
+                        origin,
+                        seq,
+                        lifetime_secs,
+                    },
                     now,
                 );
                 let src = SocketAddr::new(Addr::LOOPBACK, ports::SLP);
-                ctx.send(Datagram::new(src, dgram.src, SlpMsg::SrvAck { xid }.to_wire()));
+                ctx.send(Datagram::new(
+                    src,
+                    dgram.src,
+                    SlpMsg::SrvAck { xid }.to_wire(),
+                ));
             }
-            SlpMsg::SrvDeReg { xid, service_type, key } if local_client => {
+            SlpMsg::SrvDeReg {
+                xid,
+                service_type,
+                key,
+            } if local_client => {
                 let origin = ctx.addr();
                 self.local.deregister_local(&service_type, &key, origin);
                 let src = SocketAddr::new(Addr::LOOPBACK, ports::SLP);
-                ctx.send(Datagram::new(src, dgram.src, SlpMsg::SrvAck { xid }.to_wire()));
+                ctx.send(Datagram::new(
+                    src,
+                    dgram.src,
+                    SlpMsg::SrvAck { xid }.to_wire(),
+                ));
             }
-            SlpMsg::SrvRqst { xid, service_type, key } if local_client => {
+            SlpMsg::SrvRqst {
+                xid,
+                service_type,
+                key,
+            } if local_client => {
                 self.start_lookup(ctx, dgram.src, xid, service_type, key);
             }
             SlpMsg::McastRqst { .. } => self.on_mcast_rqst(ctx, msg),
@@ -275,7 +326,8 @@ impl Process for StandardSlpProcess {
                 self.on_network_reply(ctx, xid, entries);
             }
             _ => {
-                ctx.stats().count("slp_std.unexpected_msg", dgram.payload.len());
+                ctx.stats()
+                    .count("slp_std.unexpected_msg", dgram.payload.len());
             }
         }
     }
@@ -317,7 +369,13 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             ctx.bind(9427);
             if let Some((t, k, c)) = self.register.take() {
-                let m = SlpMsg::SrvReg { xid: 1, service_type: t, key: k, contact: c, lifetime_secs: 600 };
+                let m = SlpMsg::SrvReg {
+                    xid: 1,
+                    service_type: t,
+                    key: k,
+                    contact: c,
+                    lifetime_secs: 600,
+                };
                 ctx.send_local(ports::SLP, 9427, m.to_wire());
             }
             if let Some((at, _, _)) = &self.lookup_at {
@@ -327,7 +385,16 @@ mod tests {
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
             if token == 7 {
                 if let Some((_, t, k)) = self.lookup_at.take() {
-                    ctx.send_local(ports::SLP, 9427, SlpMsg::SrvRqst { xid: 2, service_type: t, key: k }.to_wire());
+                    ctx.send_local(
+                        ports::SLP,
+                        9427,
+                        SlpMsg::SrvRqst {
+                            xid: 2,
+                            service_type: t,
+                            key: k,
+                        }
+                        .to_wire(),
+                    );
                 }
             }
         }
@@ -345,7 +412,10 @@ mod tests {
             .collect();
         for &id in &ids {
             w.spawn(id, Box::new(AodvProcess::new(AodvConfig::default())));
-            w.spawn(id, Box::new(StandardSlpProcess::new(StandardSlpConfig::default())));
+            w.spawn(
+                id,
+                Box::new(StandardSlpProcess::new(StandardSlpConfig::default())),
+            );
         }
         (w, ids)
     }
@@ -357,7 +427,11 @@ mod tests {
         w.spawn(
             ids[3],
             Box::new(Client {
-                register: Some(("sip".into(), "bob@v.ch".into(), "10.0.0.4:5060".parse().unwrap())),
+                register: Some((
+                    "sip".into(),
+                    "bob@v.ch".into(),
+                    "10.0.0.4:5060".parse().unwrap(),
+                )),
                 lookup_at: None,
                 replies: Rc::new(RefCell::new(Vec::new())),
             }),
@@ -377,7 +451,10 @@ mod tests {
         assert_eq!(r[0].1[0].contact.to_string(), "10.0.0.4:5060");
         // The flood reached everyone: every node forwarded the MRQST.
         for &id in &ids[1..3] {
-            assert!(w.node(id).stats().get("slp_std.mrqst").packets >= 1, "node {id} did not forward");
+            assert!(
+                w.node(id).stats().get("slp_std.mrqst").packets >= 1,
+                "node {id} did not forward"
+            );
         }
     }
 
@@ -406,7 +483,11 @@ mod tests {
         w.spawn(
             ids[1],
             Box::new(Client {
-                register: Some(("sip".into(), "bob@v.ch".into(), "10.0.0.2:5060".parse().unwrap())),
+                register: Some((
+                    "sip".into(),
+                    "bob@v.ch".into(),
+                    "10.0.0.2:5060".parse().unwrap(),
+                )),
                 lookup_at: None,
                 replies: Rc::new(RefCell::new(Vec::new())),
             }),

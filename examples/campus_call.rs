@@ -62,22 +62,36 @@ fn main() {
         nodes.push(deploy(&mut world, spec));
     }
 
-    println!("campus: {} nodes on a {GRID}x{GRID} grid, {} users, {} calls", nodes.len(), user_slots.len(), calls.len());
+    println!(
+        "campus: {} nodes on a {GRID}x{GRID} grid, {} users, {} calls",
+        nodes.len(),
+        user_slots.len(),
+        calls.len()
+    );
     world.run_for(SimDuration::from_secs(60));
 
-    println!("\n{:<6} {:<6} {:>10} {:>6} {:>8} {:>8} {:>6}", "caller", "callee", "setup(ms)", "hops", "loss(%)", "delay", "MOS");
+    println!(
+        "\n{:<6} {:<6} {:>10} {:>6} {:>8} {:>8} {:>6}",
+        "caller", "callee", "setup(ms)", "hops", "loss(%)", "delay", "MOS"
+    );
     for (from, to, at, _) in calls {
-        let caller_slot = user_slots.iter().find(|(_, n)| n == from).expect("caller exists").0;
-        let callee_slot = user_slots.iter().find(|(_, n)| n == to).expect("callee exists").0;
+        let caller_slot = user_slots
+            .iter()
+            .find(|(_, n)| n == from)
+            .expect("caller exists")
+            .0;
+        let callee_slot = user_slots
+            .iter()
+            .find(|(_, n)| n == to)
+            .expect("callee exists")
+            .0;
         let caller = &nodes[caller_slot];
         let callee = &nodes[callee_slot];
         let log = caller.ua_logs[0].borrow();
         let placed = log
             .first_time(|e| matches!(e, CallEvent::OutgoingCall { to: t, .. } if t.user == *to))
             .unwrap_or(SimTime::from_secs(*at));
-        let established = log.first_time(
-            |e| matches!(e, CallEvent::Established { .. }),
-        );
+        let established = log.first_time(|e| matches!(e, CallEvent::Established { .. }));
         let setup_ms = established
             .map(|t| t.saturating_since(placed).as_millis_f64())
             .unwrap_or(f64::NAN);
@@ -90,7 +104,13 @@ fn main() {
         let reports = caller.media_reports.as_ref().expect("media runs").borrow();
         let (loss, delay, mos) = reports
             .first()
-            .map(|r| (r.loss_fraction * 100.0, r.mean_delay.to_string(), r.quality.mos))
+            .map(|r| {
+                (
+                    r.loss_fraction * 100.0,
+                    r.mean_delay.to_string(),
+                    r.quality.mos,
+                )
+            })
             .unwrap_or((f64::NAN, "-".to_owned(), f64::NAN));
         println!("{from:<6} {to:<6} {setup_ms:>10.1} {hops:>6} {loss:>8.2} {delay:>8} {mos:>6.2}");
     }
@@ -100,8 +120,14 @@ fn main() {
     println!("\n=== network totals over 60 s ===");
     for prefix in ["aodv.", "slp.", "proxy.", "media."] {
         let c = total.sum_prefix(prefix);
-        println!("  {prefix:<8} {:>8} packets, {:>10} bytes", c.packets, c.bytes);
+        println!(
+            "  {prefix:<8} {:>8} packets, {:>10} bytes",
+            c.packets, c.bytes
+        );
     }
     let piggy = total.get("aodv.piggyback");
-    println!("  piggybacked service bytes: {} (zero dedicated SLP packets on air)", piggy.bytes);
+    println!(
+        "  piggybacked service bytes: {} (zero dedicated SLP packets on air)",
+        piggy.bytes
+    );
 }

@@ -62,12 +62,17 @@ fn main() {
             name,
             deploy(
                 &mut world,
-                NodeSpec::relay(start.0, start.1).with_mobility(mobility).with_user(ua),
+                NodeSpec::relay(start.0, start.1)
+                    .with_mobility(mobility)
+                    .with_user(ua),
             ),
         ));
     }
 
-    println!("emergency scenario: 1 command post + {} mobile responders, 300 s", responders.len());
+    println!(
+        "emergency scenario: 1 command post + {} mobile responders, 300 s",
+        responders.len()
+    );
 
     // A responder's radio dies at t=100 and is fixed at t=180.
     let casualty = responders[5].1.id;
@@ -82,7 +87,10 @@ fn main() {
     // Outcomes.
     let mut attempted = 0usize;
     let mut established = 0usize;
-    println!("\n{:<8} {:>9} {:>11} {:>8}", "unit", "attempts", "established", "worstMOS");
+    println!(
+        "\n{:<8} {:>9} {:>11} {:>8}",
+        "unit", "attempts", "established", "worstMOS"
+    );
     for (name, node) in &responders {
         let log = node.ua_logs[0].borrow();
         let a = log.count(|e| matches!(e, CallEvent::OutgoingCall { .. }));
@@ -97,7 +105,11 @@ fn main() {
             .iter()
             .map(|r| r.quality.mos)
             .fold(f64::INFINITY, f64::min);
-        let worst = if worst_mos.is_finite() { format!("{worst_mos:.2}") } else { "-".to_owned() };
+        let worst = if worst_mos.is_finite() {
+            format!("{worst_mos:.2}")
+        } else {
+            "-".to_owned()
+        };
         println!("{name:<8} {a:>9} {e:>11} {worst:>8}");
     }
     let post_log = post.ua_logs[0].borrow();
@@ -109,7 +121,10 @@ fn main() {
         attempted,
         100.0 * established as f64 / attempted.max(1) as f64
     );
-    assert!(attempted >= 20, "scenario should attempt most scheduled calls");
+    assert!(
+        attempted >= 20,
+        "scenario should attempt most scheduled calls"
+    );
     assert!(
         established as f64 >= attempted as f64 * 0.5,
         "at least half the calls should succeed under this mobility"

@@ -35,12 +35,28 @@ fn main() {
         .with_record("netvoip.ch", netvoip);
 
     let p1 = world.add_node(NodeConfig::wired(voicehoc));
-    world.spawn(p1, Box::new(SipProviderProcess::new(ProviderConfig::new("voicehoc.ch", dns.clone()))));
+    world.spawn(
+        p1,
+        Box::new(SipProviderProcess::new(ProviderConfig::new(
+            "voicehoc.ch",
+            dns.clone(),
+        ))),
+    );
     let p2 = world.add_node(NodeConfig::wired(netvoip));
-    world.spawn(p2, Box::new(SipProviderProcess::new(ProviderConfig::new("netvoip.ch", dns.clone()))));
+    world.spawn(
+        p2,
+        Box::new(SipProviderProcess::new(ProviderConfig::new(
+            "netvoip.ch",
+            dns.clone(),
+        ))),
+    );
 
     let iris_node = world.add_node(NodeConfig::wired(Addr::new(82, 2, 2, 50)));
-    let iris_cfg = UaConfig::new(Aor::new("iris", "netvoip.ch"), SocketAddr::new(netvoip, ports::SIP)).call_at(
+    let iris_cfg = UaConfig::new(
+        Aor::new("iris", "netvoip.ch"),
+        SocketAddr::new(netvoip, ports::SIP),
+    )
+    .call_at(
         SimTime::from_secs(60),
         Aor::new("alice", "voicehoc.ch"),
         SimDuration::from_secs(10),
@@ -63,11 +79,21 @@ fn main() {
     let alice_ua = VoipAppConfig::fig2("Alice", "voicehoc.ch")
         .to_ua_config()
         .expect("config resolves")
-        .call_at(SimTime::from_secs(25), Aor::new("iris", "netvoip.ch"), SimDuration::from_secs(10))
-        .call_at(SimTime::from_secs(45), Aor::new("carol", "polyphone.ethz.ch"), SimDuration::from_secs(10));
+        .call_at(
+            SimTime::from_secs(25),
+            Aor::new("iris", "netvoip.ch"),
+            SimDuration::from_secs(10),
+        )
+        .call_at(
+            SimTime::from_secs(45),
+            Aor::new("carol", "polyphone.ethz.ch"),
+            SimDuration::from_secs(10),
+        );
     let alice = deploy(
         &mut world,
-        NodeSpec::relay(160.0, 0.0).with_dns(dns).with_user(alice_ua),
+        NodeSpec::relay(160.0, 0.0)
+            .with_dns(dns)
+            .with_user(alice_ua),
     );
 
     println!("topology: alice --radio-- relay --radio-- gateway ~~wired~~ providers/iris");
@@ -88,7 +114,10 @@ fn main() {
     println!("\n=== gateway tunnel accounting ===");
     for name in ["tunnel.lease", "tunnel.to_internet", "tunnel.to_client"] {
         let c = st.get(name);
-        println!("  {name:<22} {:>7} packets {:>10} bytes", c.packets, c.bytes);
+        println!(
+            "  {name:<22} {:>7} packets {:>10} bytes",
+            c.packets, c.bytes
+        );
     }
 
     // ---- Interop matrix (paper §3.2) ------------------------------------
@@ -97,8 +126,14 @@ fn main() {
     let ok_in = a.any(|e| matches!(e, CallEvent::IncomingCall { .. }));
     let poly_failed = a.any(|e| matches!(e, CallEvent::Failed { .. }));
     println!("\n=== provider interoperability (paper §3.2) ===");
-    println!("  netvoip.ch          outbound call: {}", if ok_out { "OK" } else { "FAILED" });
-    println!("  voicehoc.ch         inbound call:  {}", if ok_in { "OK" } else { "FAILED" });
+    println!(
+        "  netvoip.ch          outbound call: {}",
+        if ok_out { "OK" } else { "FAILED" }
+    );
+    println!(
+        "  voicehoc.ch         inbound call:  {}",
+        if ok_in { "OK" } else { "FAILED" }
+    );
     println!(
         "  polyphone.ethz.ch   outbound call: {} (requires provider-specific outbound proxy — the paper's open issue)",
         if poly_failed { "FAILED as documented" } else { "unexpectedly OK" }

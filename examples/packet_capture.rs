@@ -68,8 +68,8 @@ fn main() {
         "expected an AODV RREP carrying bob's SIP contact in the capture"
     );
     for e in hits {
-        let (proto, info) = dissect::aodv_dissector(e.dgram.dst.port, &e.dgram.payload)
-            .expect("dissects as AODV");
+        let (proto, info) =
+            dissect::aodv_dissector(e.dgram.dst.port, &e.dgram.payload).expect("dissects as AODV");
         println!(
             "  t={} node=n{} {} -> {} [{proto}] {info}",
             e.time, e.node.0, e.dgram.src, e.dgram.dst

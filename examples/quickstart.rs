@@ -16,7 +16,10 @@ fn main() {
     // ---- Paper Fig. 2: the VoIP application configuration ------------
     let alice_cfg = VoipAppConfig::fig2("Alice", "voicehoc.ch");
     println!("=== VoIP application configuration (paper Fig. 2) ===");
-    println!("{}\n", serde_json::to_string_pretty(&alice_cfg).expect("config serializes"));
+    println!(
+        "{}\n",
+        serde_json::to_string_pretty(&alice_cfg).expect("config serializes")
+    );
 
     // ---- Build the world: two nodes in radio range -------------------
     let mut world = World::new(WorldConfig::new(42));
@@ -35,7 +38,10 @@ fn main() {
     let alice = deploy(&mut world, NodeSpec::relay(0.0, 0.0).with_user(alice_ua));
     let bob = deploy(&mut world, NodeSpec::relay(60.0, 0.0).with_user(bob_ua));
     println!("deployed alice on {} and bob on {}", alice.addr, bob.addr);
-    println!("processes on alice's node: {:?}\n", world.node(alice.id).process_names());
+    println!(
+        "processes on alice's node: {:?}\n",
+        world.node(alice.id).process_names()
+    );
 
     // ---- Run: registration, call, talk, hang up ----------------------
     world.run_for(SimDuration::from_secs(25));
@@ -57,7 +63,13 @@ fn main() {
     // ---- Voice quality -------------------------------------------------
     println!("\n=== media quality ===");
     for (who, node) in [("alice", &alice), ("bob", &bob)] {
-        for r in node.media_reports.as_ref().expect("media deployed").borrow().iter() {
+        for r in node
+            .media_reports
+            .as_ref()
+            .expect("media deployed")
+            .borrow()
+            .iter()
+        {
             println!(
                 "  {who}: {} frames sent, {} received, loss {:.2}%, delay {}, MOS {:.2}",
                 r.sent,

@@ -9,6 +9,13 @@
 #                                 # canary — a failure means a panic,
 #                                 # never a perf number (CI machines are
 #                                 # far too noisy to gate on timings)
+#   scripts/bench.sh --smoke --check results/BENCH_baseline.json
+#                                 # regression gate: event counts must
+#                                 # match the baseline exactly and wall
+#                                 # time may regress at most 20%
+#
+# Building only -p siphoc-bench keeps the `obs` feature out of the build
+# (resolver 2): the binary asserts it measures the bare hot path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

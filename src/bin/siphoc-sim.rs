@@ -3,7 +3,16 @@
 //! ```text
 //! siphoc-sim scenarios/two_node_call.json          # human-readable report
 //! siphoc-sim --json scenarios/two_node_call.json   # machine-readable report
+//! siphoc-sim --trace-out trace.json \
+//!            --metrics-out metrics.prom scenarios/two_node_call.json
 //! ```
+//!
+//! `--trace-out` writes a Chrome `trace_event` file (open in
+//! `about:tracing` or <https://ui.perfetto.dev>) with one track per node
+//! and one process group per call. `--metrics-out` writes the merged
+//! metrics registry — Prometheus text format, or JSON when the path ends
+//! in `.json`. Either flag turns span tracing on for the run; the report
+//! itself is identical either way.
 
 use std::process::ExitCode;
 
@@ -13,8 +22,12 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_out = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
+    let trace_out = take_flag_value(&mut args, "--trace-out");
+    let metrics_out = take_flag_value(&mut args, "--metrics-out");
     let Some(path) = args.first() else {
-        eprintln!("usage: siphoc-sim [--json] <scenario.json>");
+        eprintln!(
+            "usage: siphoc-sim [--json] [--trace-out FILE] [--metrics-out FILE] <scenario.json>"
+        );
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(path) {
@@ -31,15 +44,50 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match scenario.run() {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+    let want_obs = trace_out.is_some() || metrics_out.is_some();
+    let (report, dump) = if want_obs {
+        match scenario.run_with_obs() {
+            Ok((r, d)) => (r, Some(d)),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match scenario.run() {
+            Ok(r) => (r, None),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
+    if let Some(dump) = &dump {
+        if let Some(out) = &trace_out {
+            if let Err(e) = std::fs::write(out, &dump.chrome_trace) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("trace written to {out} (open in about:tracing / ui.perfetto.dev)");
+        }
+        if let Some(out) = &metrics_out {
+            let body = if out.ends_with(".json") {
+                &dump.metrics_json
+            } else {
+                &dump.metrics_prometheus
+            };
+            if let Err(e) = std::fs::write(out, body) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("metrics written to {out}");
+        }
+    }
     if json_out {
-        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
         return ExitCode::SUCCESS;
     }
     println!(
@@ -66,4 +114,16 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Removes `flag VALUE` from `args`, returning the value if present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a file argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
 }

@@ -210,6 +210,9 @@ pub struct PacketFaultSpec {
     pub max_extra_ms: u64,
 }
 
+// Referenced only from `#[serde(default = ...)]` attributes, which offline
+// builds with a derive stub do not expand into calls.
+#[allow(dead_code)]
 fn default_reorder_ms() -> u64 {
     50
 }
@@ -273,6 +276,8 @@ pub struct Scenario {
     pub chaos: Option<ChaosSpec>,
 }
 
+// See `default_reorder_ms` on why this needs the allow.
+#[allow(dead_code)]
 fn default_domain() -> String {
     "voicehoc.ch".to_owned()
 }
@@ -310,6 +315,23 @@ pub struct ScenarioReport {
     /// Fault-engine firings: topology events executed plus packet faults
     /// applied (`fault.*` counters summed over all nodes).
     pub faults_injected: u64,
+}
+
+/// Observability artifacts captured by [`Scenario::run_with_obs`].
+///
+/// All three strings are self-contained documents: the Chrome trace loads
+/// directly in `about:tracing` / [Perfetto](https://ui.perfetto.dev), the
+/// Prometheus text is scrape-format, and the JSON mirrors the registry.
+/// With the `obs` feature disabled they are still valid documents, just
+/// (near-)empty.
+#[derive(Debug, Clone)]
+pub struct ObsDump {
+    /// Chrome `trace_event` JSON (per-call timelines + per-node tracks).
+    pub chrome_trace: String,
+    /// Prometheus text exposition of the merged metrics registry.
+    pub metrics_prometheus: String,
+    /// JSON rendering of the merged metrics registry.
+    pub metrics_json: String,
 }
 
 /// Error running a scenario.
@@ -365,7 +387,10 @@ impl Scenario {
                     )));
                 }
                 if !users.iter().any(|u| **u == c.to) {
-                    return Err(ScenarioError::Invalid(format!("callee {:?} is not a user", c.to)));
+                    return Err(ScenarioError::Invalid(format!(
+                        "callee {:?} is not a user",
+                        c.to
+                    )));
                 }
             }
             if let Some(g) = &n.gateway {
@@ -373,14 +398,16 @@ impl Scenario {
                     .parse()
                     .map_err(|_| ScenarioError::Invalid(format!("bad gateway address {g:?}")))?;
                 if !addr.is_public() {
-                    return Err(ScenarioError::Invalid(format!("gateway address {g} must be public")));
+                    return Err(ScenarioError::Invalid(format!(
+                        "gateway address {g} must be public"
+                    )));
                 }
             }
         }
         for p in &self.providers {
-            p.addr
-                .parse::<Addr>()
-                .map_err(|_| ScenarioError::Invalid(format!("bad provider address {:?}", p.addr)))?;
+            p.addr.parse::<Addr>().map_err(|_| {
+                ScenarioError::Invalid(format!("bad provider address {:?}", p.addr))
+            })?;
         }
         if let Some(chaos) = &self.chaos {
             self.validate_chaos(chaos)?;
@@ -437,7 +464,9 @@ impl Scenario {
         }
         if let Some(churn) = &chaos.churn {
             if churn.mean_up_secs <= 0.0 || churn.mean_down_secs <= 0.0 {
-                return Err(ScenarioError::Invalid("churn means must be positive".into()));
+                return Err(ScenarioError::Invalid(
+                    "churn means must be positive".into(),
+                ));
             }
             for &i in &churn.nodes {
                 check(i)?;
@@ -446,7 +475,11 @@ impl Scenario {
         Ok(())
     }
 
-    fn build_fault_plan(&self, chaos: &ChaosSpec, deployed: &[(Option<String>, SiphocNode)]) -> FaultPlan {
+    fn build_fault_plan(
+        &self,
+        chaos: &ChaosSpec,
+        deployed: &[(Option<String>, SiphocNode)],
+    ) -> FaultPlan {
         let id = |i: usize| deployed[i].1.id;
         let mut plan = FaultPlan::new();
         for ev in &chaos.events {
@@ -463,7 +496,10 @@ impl Scenario {
                 FaultEventSpec::LinkUp { at_secs, a, b } => {
                     plan.link_up_at(SimTime::from_secs(at_secs), id(a), id(b))
                 }
-                FaultEventSpec::Partition { at_secs, ref island } => plan.partition_at(
+                FaultEventSpec::Partition {
+                    at_secs,
+                    ref island,
+                } => plan.partition_at(
                     SimTime::from_secs(at_secs),
                     island.iter().map(|&i| id(i)).collect(),
                 ),
@@ -484,7 +520,13 @@ impl Scenario {
                 PacketFaultKindSpec::Blackhole => PacketFaultKind::Blackhole,
             };
             let until = pf.until_secs.map_or(SimTime::MAX, SimTime::from_secs);
-            plan = plan.packet_fault(on, kind, pf.probability, SimTime::from_secs(pf.from_secs), until);
+            plan = plan.packet_fault(
+                on,
+                kind,
+                pf.probability,
+                SimTime::from_secs(pf.from_secs),
+                until,
+            );
         }
         if let Some(churn) = &chaos.churn {
             let ids: Vec<_> = churn.nodes.iter().map(|&i| id(i)).collect();
@@ -507,12 +549,40 @@ impl Scenario {
     ///
     /// Returns [`ScenarioError::Invalid`] if validation fails.
     pub fn run(&self) -> Result<ScenarioReport, ScenarioError> {
+        let (report, _world) = self.run_world(false)?;
+        Ok(report)
+    }
+
+    /// Runs the scenario with span tracing enabled and additionally
+    /// returns the observability artifacts: a Chrome trace of every SIP
+    /// transaction / SLP lookup / route discovery / tunnel handshake,
+    /// plus the merged metrics registry in both export formats.
+    ///
+    /// Tracing is out-of-band: the [`ScenarioReport`] is bit-identical
+    /// to what [`Scenario::run`] returns for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Invalid`] if validation fails.
+    pub fn run_with_obs(&self) -> Result<(ScenarioReport, ObsDump), ScenarioError> {
+        let (report, world) = self.run_world(true)?;
+        let registry = world.obs_registry();
+        let dump = ObsDump {
+            chrome_trace: world.obs_chrome_trace(),
+            metrics_prometheus: registry.render_prometheus(),
+            metrics_json: registry.render_json(),
+        };
+        Ok((report, dump))
+    }
+
+    fn run_world(&self, tracing: bool) -> Result<(ScenarioReport, World), ScenarioError> {
         self.validate()?;
         let radio = match self.radio {
             RadioKind::Ideal => RadioConfig::ideal(),
             RadioKind::Typical => RadioConfig::default_80211b(),
         };
         let mut world = World::new(WorldConfig::new(self.seed).with_radio(radio));
+        world.set_tracing(tracing);
 
         // DNS + providers.
         let mut dns = DnsDirectory::new();
@@ -523,7 +593,10 @@ impl Scenario {
             let id = world.add_node(NodeConfig::wired(p.addr.parse().expect("validated")));
             world.spawn(
                 id,
-                Box::new(SipProviderProcess::new(ProviderConfig::new(&p.domain, dns.clone()))),
+                Box::new(SipProviderProcess::new(ProviderConfig::new(
+                    &p.domain,
+                    dns.clone(),
+                ))),
             );
         }
 
@@ -545,7 +618,11 @@ impl Scenario {
                 let mut rng = SimRng::from_seed_and_stream(self.seed, 90_000 + i as u64);
                 spec = spec.with_mobility(Mobility::random_waypoint(
                     (n.x, n.y),
-                    WaypointParams::new(m.min_speed, m.max_speed, SimDuration::from_secs(m.pause_secs)),
+                    WaypointParams::new(
+                        m.min_speed,
+                        m.max_speed,
+                        SimDuration::from_secs(m.pause_secs),
+                    ),
                     area,
                     SimTime::ZERO,
                     &mut rng,
@@ -582,7 +659,9 @@ impl Scenario {
                 r.borrow()
                     .iter()
                     .map(|s| s.quality.mos)
-                    .fold(None, |acc: Option<f64>, m| Some(acc.map_or(m, |a| a.min(m))))
+                    .fold(None, |acc: Option<f64>, m| {
+                        Some(acc.map_or(m, |a| a.min(m)))
+                    })
             });
             users.push(UserReport {
                 user: user.clone(),
@@ -590,23 +669,37 @@ impl Scenario {
                 calls_established: log.count(|e| matches!(e, CallEvent::Established { .. })),
                 calls_received: log.count(|e| matches!(e, CallEvent::IncomingCall { .. })),
                 worst_mos,
-                timeline: log.events().iter().map(|(t, e)| format!("{t} {e:?}")).collect(),
+                timeline: log
+                    .events()
+                    .iter()
+                    .map(|(t, e)| format!("{t} {e:?}"))
+                    .collect(),
             });
         }
         let mut control_bytes = 0;
-        for prefix in ["aodv.", "olsr.", "dsdv.", "slp_std.", "bcast_reg.", "phello."] {
+        for prefix in [
+            "aodv.",
+            "olsr.",
+            "dsdv.",
+            "slp_std.",
+            "bcast_reg.",
+            "phello.",
+        ] {
             control_bytes += siphoc_core::metrics::total_prefix(&world, prefix).bytes;
         }
         let rtp_packets = siphoc_core::metrics::total_counter(&world, "media.rtp_rx").packets;
         let faults_injected = siphoc_core::metrics::total_prefix(&world, "fault.").packets;
-        Ok(ScenarioReport {
-            seed: self.seed,
-            duration_secs: self.duration_secs,
-            users,
-            control_bytes,
-            rtp_packets,
-            faults_injected,
-        })
+        Ok((
+            ScenarioReport {
+                seed: self.seed,
+                duration_secs: self.duration_secs,
+                users,
+                control_bytes,
+                rtp_packets,
+                faults_injected,
+            },
+            world,
+        ))
     }
 }
 
@@ -666,7 +759,11 @@ mod tests {
                     x: 0.0,
                     y: 0.0,
                     user: Some("alice".into()),
-                    calls: vec![CallSpec { at_secs: 5, to: "bob".into(), duration_secs: 8 }],
+                    calls: vec![CallSpec {
+                        at_secs: 5,
+                        to: "bob".into(),
+                        duration_secs: 8,
+                    }],
                     gateway: None,
                     mobility: None,
                 },
@@ -692,7 +789,10 @@ mod tests {
         s.duration_secs = 40;
         s.chaos = Some(ChaosSpec {
             events: vec![
-                FaultEventSpec::Partition { at_secs: 20, island: vec![0] },
+                FaultEventSpec::Partition {
+                    at_secs: 20,
+                    island: vec![0],
+                },
                 FaultEventSpec::Heal { at_secs: 25 },
             ],
             packet_faults: vec![PacketFaultSpec {
@@ -745,7 +845,10 @@ mod tests {
     fn chaos_validation_rejects_bad_references() {
         let mut s = two_node_scenario();
         s.chaos = Some(ChaosSpec {
-            events: vec![FaultEventSpec::Crash { at_secs: 1, node: 9 }],
+            events: vec![FaultEventSpec::Crash {
+                at_secs: 1,
+                node: 9,
+            }],
             ..ChaosSpec::default()
         });
         assert!(matches!(s.validate(), Err(ScenarioError::Invalid(_))));
@@ -788,7 +891,10 @@ mod tests {
         ));
         let bad_gw = r#"{"seed":1,"duration_secs":5,"nodes":[
             {"x":0,"y":0,"gateway":"10.0.0.1"}]}"#;
-        assert!(matches!(Scenario::from_json(bad_gw), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(
+            Scenario::from_json(bad_gw),
+            Err(ScenarioError::Invalid(_))
+        ));
         let relay_only = r#"{"seed":1,"duration_secs":1,"nodes":[{"x":0,"y":0}]}"#;
         assert!(Scenario::from_json(relay_only).is_ok());
     }

@@ -28,18 +28,48 @@ fn manet_world(seed: u64) -> World {
 #[test]
 fn one_hop_call_over_aodv() {
     let mut w = manet_world(101);
-    let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_user(ua("alice", Some((5, "bob", 10)))));
-    let bob = deploy(&mut w, NodeSpec::relay(60.0, 0.0).with_user(ua("bob", None)));
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0).with_user(ua("alice", Some((5, "bob", 10)))),
+    );
+    let bob = deploy(
+        &mut w,
+        NodeSpec::relay(60.0, 0.0).with_user(ua("bob", None)),
+    );
     w.run_for(SimDuration::from_secs(25));
 
     let a = alice.ua_logs[0].borrow();
     let b = bob.ua_logs[0].borrow();
-    assert!(a.any(|e| matches!(e, CallEvent::Registered)), "{:?}", a.events());
+    assert!(
+        a.any(|e| matches!(e, CallEvent::Registered)),
+        "{:?}",
+        a.events()
+    );
     assert!(b.any(|e| matches!(e, CallEvent::Registered)));
-    assert!(a.any(|e| matches!(e, CallEvent::Established { .. })), "{:?}", a.events());
-    assert!(b.any(|e| matches!(e, CallEvent::Established { .. })), "{:?}", b.events());
-    assert!(a.any(|e| matches!(e, CallEvent::Terminated { by_remote: false, .. })));
-    assert!(b.any(|e| matches!(e, CallEvent::Terminated { by_remote: true, .. })));
+    assert!(
+        a.any(|e| matches!(e, CallEvent::Established { .. })),
+        "{:?}",
+        a.events()
+    );
+    assert!(
+        b.any(|e| matches!(e, CallEvent::Established { .. })),
+        "{:?}",
+        b.events()
+    );
+    assert!(a.any(|e| matches!(
+        e,
+        CallEvent::Terminated {
+            by_remote: false,
+            ..
+        }
+    )));
+    assert!(b.any(|e| matches!(
+        e,
+        CallEvent::Terminated {
+            by_remote: true,
+            ..
+        }
+    )));
 
     // Media flowed in both directions with good quality.
     let ra = alice.media_reports.as_ref().unwrap().borrow();
@@ -54,10 +84,16 @@ fn one_hop_call_over_aodv() {
 #[test]
 fn multihop_call_over_aodv_chain() {
     let mut w = manet_world(102);
-    let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_user(ua("alice", Some((6, "bob", 8)))));
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0).with_user(ua("alice", Some((6, "bob", 8)))),
+    );
     let _r1 = deploy(&mut w, NodeSpec::relay(80.0, 0.0));
     let _r2 = deploy(&mut w, NodeSpec::relay(160.0, 0.0));
-    let bob = deploy(&mut w, NodeSpec::relay(240.0, 0.0).with_user(ua("bob", None)));
+    let bob = deploy(
+        &mut w,
+        NodeSpec::relay(240.0, 0.0).with_user(ua("bob", None)),
+    );
     w.run_for(SimDuration::from_secs(13));
 
     // The route between the endpoints really is 3 hops — sampled while the
@@ -115,12 +151,24 @@ fn call_over_olsr_proactive() {
 #[test]
 fn call_to_unknown_user_fails_cleanly() {
     let mut w = manet_world(104);
-    let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_user(ua("alice", Some((5, "ghost", 5)))));
-    let _bob = deploy(&mut w, NodeSpec::relay(60.0, 0.0).with_user(ua("bob", None)));
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0).with_user(ua("alice", Some((5, "ghost", 5)))),
+    );
+    let _bob = deploy(
+        &mut w,
+        NodeSpec::relay(60.0, 0.0).with_user(ua("bob", None)),
+    );
     w.run_for(SimDuration::from_secs(30));
     let a = alice.ua_logs[0].borrow();
     assert!(
-        a.any(|e| matches!(e, CallEvent::Failed { code: Some(404), .. })),
+        a.any(|e| matches!(
+            e,
+            CallEvent::Failed {
+                code: Some(404),
+                ..
+            }
+        )),
         "{:?}",
         a.events()
     );
@@ -129,14 +177,28 @@ fn call_to_unknown_user_fails_cleanly() {
 #[test]
 fn simultaneous_bidirectional_calls() {
     let mut w = manet_world(105);
-    let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_user(ua("alice", Some((5, "bob", 10)))));
-    let bob = deploy(&mut w, NodeSpec::relay(60.0, 0.0).with_user(ua("bob", None)));
-    let carol = deploy(&mut w, NodeSpec::relay(30.0, 50.0).with_user(ua("carol", Some((6, "bob", 5)))));
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0).with_user(ua("alice", Some((5, "bob", 10)))),
+    );
+    let bob = deploy(
+        &mut w,
+        NodeSpec::relay(60.0, 0.0).with_user(ua("bob", None)),
+    );
+    let carol = deploy(
+        &mut w,
+        NodeSpec::relay(30.0, 50.0).with_user(ua("carol", Some((6, "bob", 5)))),
+    );
     w.run_for(SimDuration::from_secs(25));
 
     // Bob auto-answers both calls (two dialogs on one UA).
     let b = bob.ua_logs[0].borrow();
-    assert_eq!(b.count(|e| matches!(e, CallEvent::IncomingCall { .. })), 2, "{:?}", b.events());
+    assert_eq!(
+        b.count(|e| matches!(e, CallEvent::IncomingCall { .. })),
+        2,
+        "{:?}",
+        b.events()
+    );
     let a = alice.ua_logs[0].borrow();
     let c = carol.ua_logs[0].borrow();
     assert!(a.any(|e| matches!(e, CallEvent::Established { .. })));
@@ -147,11 +209,20 @@ fn simultaneous_bidirectional_calls() {
 fn deterministic_replay_same_seed() {
     fn run(seed: u64) -> Vec<String> {
         let mut w = manet_world(seed);
-        let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_user(ua("alice", Some((5, "bob", 5)))));
-        let _bob = deploy(&mut w, NodeSpec::relay(60.0, 0.0).with_user(ua("bob", None)));
+        let alice = deploy(
+            &mut w,
+            NodeSpec::relay(0.0, 0.0).with_user(ua("alice", Some((5, "bob", 5)))),
+        );
+        let _bob = deploy(
+            &mut w,
+            NodeSpec::relay(60.0, 0.0).with_user(ua("bob", None)),
+        );
         w.run_for(SimDuration::from_secs(20));
         let log = alice.ua_logs[0].borrow();
-        log.events().iter().map(|(t, e)| format!("{t}:{e:?}")).collect()
+        log.events()
+            .iter()
+            .map(|(t, e)| format!("{t}:{e:?}"))
+            .collect()
     }
     assert_eq!(run(106), run(106));
 }

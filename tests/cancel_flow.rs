@@ -13,13 +13,21 @@ fn hangup_while_ringing_cancels_the_invite() {
     let mut w = World::new(WorldConfig::new(601).with_radio(RadioConfig::ideal()));
 
     // Alice calls at t=5 and hangs up at t=7, while Bob rings for 10 s.
-    let mut alice_ua = VoipAppConfig::fig2("alice", "voicehoc.ch").to_ua_config().expect("config");
-    alice_ua = alice_ua.call_at(SimTime::from_secs(5), Aor::new("bob", "voicehoc.ch"), SimDuration::from_secs(30));
+    let mut alice_ua = VoipAppConfig::fig2("alice", "voicehoc.ch")
+        .to_ua_config()
+        .expect("config");
+    alice_ua = alice_ua.call_at(
+        SimTime::from_secs(5),
+        Aor::new("bob", "voicehoc.ch"),
+        SimDuration::from_secs(30),
+    );
     alice_ua.script.push(ScriptedAction {
         at: SimTime::from_secs(7),
         kind: ActionKind::HangupAll,
     });
-    let mut bob_ua = VoipAppConfig::fig2("bob", "voicehoc.ch").to_ua_config().expect("config");
+    let mut bob_ua = VoipAppConfig::fig2("bob", "voicehoc.ch")
+        .to_ua_config()
+        .expect("config");
     bob_ua.answer_delay = SimDuration::from_secs(10);
 
     let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_user(alice_ua));
@@ -29,18 +37,42 @@ fn hangup_while_ringing_cancels_the_invite() {
     let a = alice.ua_logs[0].borrow();
     let b = bob.ua_logs[0].borrow();
     // The call rang but never established anywhere.
-    assert!(a.any(|e| matches!(e, CallEvent::Ringing { .. })), "{:?}", a.events());
-    assert!(!a.any(|e| matches!(e, CallEvent::Established { .. })), "{:?}", a.events());
-    assert!(!b.any(|e| matches!(e, CallEvent::Established { .. })), "{:?}", b.events());
-    // Both sides logged termination: alice locally (487 after her CANCEL),
-    // bob as remote cancellation.
     assert!(
-        a.any(|e| matches!(e, CallEvent::Terminated { by_remote: false, .. })),
+        a.any(|e| matches!(e, CallEvent::Ringing { .. })),
         "{:?}",
         a.events()
     );
     assert!(
-        b.any(|e| matches!(e, CallEvent::Terminated { by_remote: true, .. })),
+        !a.any(|e| matches!(e, CallEvent::Established { .. })),
+        "{:?}",
+        a.events()
+    );
+    assert!(
+        !b.any(|e| matches!(e, CallEvent::Established { .. })),
+        "{:?}",
+        b.events()
+    );
+    // Both sides logged termination: alice locally (487 after her CANCEL),
+    // bob as remote cancellation.
+    assert!(
+        a.any(|e| matches!(
+            e,
+            CallEvent::Terminated {
+                by_remote: false,
+                ..
+            }
+        )),
+        "{:?}",
+        a.events()
+    );
+    assert!(
+        b.any(|e| matches!(
+            e,
+            CallEvent::Terminated {
+                by_remote: true,
+                ..
+            }
+        )),
         "{:?}",
         b.events()
     );
@@ -53,19 +85,35 @@ fn cancel_after_answer_is_harmless_race() {
     // Hangup lands just *after* the callee answered: the HangupAll sees a
     // confirmed dialog and sends BYE instead — no stuck state either way.
     let mut w = World::new(WorldConfig::new(602).with_radio(RadioConfig::ideal()));
-    let mut alice_ua = VoipAppConfig::fig2("alice", "voicehoc.ch").to_ua_config().expect("config");
-    alice_ua = alice_ua.call_at(SimTime::from_secs(5), Aor::new("bob", "voicehoc.ch"), SimDuration::from_secs(30));
+    let mut alice_ua = VoipAppConfig::fig2("alice", "voicehoc.ch")
+        .to_ua_config()
+        .expect("config");
+    alice_ua = alice_ua.call_at(
+        SimTime::from_secs(5),
+        Aor::new("bob", "voicehoc.ch"),
+        SimDuration::from_secs(30),
+    );
     alice_ua.script.push(ScriptedAction {
         at: SimTime::from_millis(5400),
         kind: ActionKind::HangupAll,
     });
-    let bob_ua = VoipAppConfig::fig2("bob", "voicehoc.ch").to_ua_config().expect("config");
+    let bob_ua = VoipAppConfig::fig2("bob", "voicehoc.ch")
+        .to_ua_config()
+        .expect("config");
     let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_user(alice_ua));
     let bob = deploy(&mut w, NodeSpec::relay(60.0, 0.0).with_user(bob_ua));
     w.run_for(SimDuration::from_secs(20));
 
     let a = alice.ua_logs[0].borrow();
     let b = bob.ua_logs[0].borrow();
-    assert!(a.any(|e| matches!(e, CallEvent::Terminated { .. })), "{:?}", a.events());
-    assert!(b.any(|e| matches!(e, CallEvent::Terminated { .. })), "{:?}", b.events());
+    assert!(
+        a.any(|e| matches!(e, CallEvent::Terminated { .. })),
+        "{:?}",
+        a.events()
+    );
+    assert!(
+        b.any(|e| matches!(e, CallEvent::Terminated { .. })),
+        "{:?}",
+        b.events()
+    );
 }

@@ -12,10 +12,16 @@ use wireless_adhoc_voip::sip::ua::{CallEvent, UaConfig};
 use wireless_adhoc_voip::sip::uri::Aor;
 
 fn user(name: &str, call: Option<(u64, &str, u64)>) -> UaConfig {
-    let mut ua = VoipAppConfig::fig2(name, "voicehoc.ch").to_ua_config().expect("config");
+    let mut ua = VoipAppConfig::fig2(name, "voicehoc.ch")
+        .to_ua_config()
+        .expect("config");
     ua.answer_delay = SimDuration::from_millis(50);
     if let Some((at, to, dur)) = call {
-        ua = ua.call_at(SimTime::from_secs(at), Aor::new(to, "voicehoc.ch"), SimDuration::from_secs(dur));
+        ua = ua.call_at(
+            SimTime::from_secs(at),
+            Aor::new(to, "voicehoc.ch"),
+            SimDuration::from_secs(dur),
+        );
     }
     ua
 }
@@ -132,7 +138,10 @@ fn chaos_mesh_calls_survive_churn_partition_and_packet_faults() {
         let total = w.total_stats();
         assert!(total.get("fault.partition").packets >= 1, "seed {seed}");
         assert!(total.get("fault.heal").packets >= 1, "seed {seed}");
-        assert!(total.get("fault.crash").packets >= 1, "seed {seed}: churn must crash someone");
+        assert!(
+            total.get("fault.crash").packets >= 1,
+            "seed {seed}: churn must crash someone"
+        );
         assert!(total.get("fault.duplicate").packets > 0, "seed {seed}");
         assert!(total.get("fault.corrupt").packets > 0, "seed {seed}");
     }
@@ -144,8 +153,14 @@ fn chaos_mesh_calls_survive_churn_partition_and_packet_faults() {
 #[test]
 fn forced_duplication_and_reordering_yield_single_dialog() {
     let mut w = World::new(WorldConfig::new(1201).with_radio(RadioConfig::ideal()));
-    let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_user(user("alice", Some((5, "bob", 5)))));
-    let bob = deploy(&mut w, NodeSpec::relay(50.0, 0.0).with_user(user("bob", None)));
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0).with_user(user("alice", Some((5, "bob", 5)))),
+    );
+    let bob = deploy(
+        &mut w,
+        NodeSpec::relay(50.0, 0.0).with_user(user("bob", None)),
+    );
     let plan = FaultPlan::new()
         .packet_fault(
             LinkSelector::All,
@@ -156,7 +171,9 @@ fn forced_duplication_and_reordering_yield_single_dialog() {
         )
         .packet_fault(
             LinkSelector::All,
-            PacketFaultKind::Reorder { max_extra: SimDuration::from_millis(30) },
+            PacketFaultKind::Reorder {
+                max_extra: SimDuration::from_millis(30),
+            },
             0.5,
             SimTime::ZERO,
             SimTime::from_secs(60),
@@ -188,12 +205,13 @@ fn forced_duplication_and_reordering_yield_single_dialog() {
 #[test]
 fn restarted_node_drops_stale_lease_then_releases() {
     let mut w = World::new(WorldConfig::new(1301).with_radio(RadioConfig::ideal()));
-    let gw = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_gateway(Addr::new(82, 130, 64, 1)));
+    let gw = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0).with_gateway(Addr::new(82, 130, 64, 1)),
+    );
     let alice = deploy(&mut w, NodeSpec::relay(60.0, 0.0));
     w.run_for(SimDuration::from_secs(20));
-    let leased = |w: &World| {
-        w.node(alice.id).local_addrs().iter().any(|a| a.is_public())
-    };
+    let leased = |w: &World| w.node(alice.id).local_addrs().iter().any(|a| a.is_public());
     assert!(leased(&w), "client must lease before the crash");
 
     w.install_fault_plan(
@@ -226,7 +244,10 @@ fn restarted_node_drops_stale_lease_then_releases() {
 #[test]
 fn restart_purges_learned_slp_entries() {
     let mut w = World::new(WorldConfig::new(1401).with_radio(RadioConfig::ideal()));
-    let _gw = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_gateway(Addr::new(82, 130, 64, 1)));
+    let _gw = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0).with_gateway(Addr::new(82, 130, 64, 1)),
+    );
     let alice = deploy(&mut w, NodeSpec::relay(60.0, 0.0));
     w.run_for(SimDuration::from_secs(20));
     let learned_before = alice

@@ -1,0 +1,186 @@
+//! Structural validation of `.github/workflows/ci.yml`.
+//!
+//! No YAML crate ships with this repo, so the workflow is checked against
+//! the small YAML subset GitHub Actions files actually use: 2-space
+//! indentation, `key: value` mappings, `- ` list items and `|` block
+//! scalars. The point is to catch the failure modes that silently disable
+//! CI — tabs, broken indentation, a renamed job, a gate command that
+//! drifted from the scripts it mirrors — in `cargo test`, before a push
+//! discovers them.
+
+use std::path::Path;
+
+fn workflow_text() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(".github/workflows/ci.yml");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"))
+}
+
+/// Lines of the mapping block nested under `header` (e.g. `"jobs:"`),
+/// de-indented by one level. Block scalars keep their raw text.
+fn block(text: &str, header: &str) -> String {
+    let mut out = String::new();
+    let mut header_indent = None;
+    for line in text.lines() {
+        let indent = line.len() - line.trim_start().len();
+        match header_indent {
+            None => {
+                if line.trim_end() == header
+                    || line.trim_start().trim_end() == header && indent == 0
+                {
+                    header_indent = Some(indent);
+                }
+            }
+            Some(h) => {
+                if !line.trim().is_empty() && indent <= h {
+                    break;
+                }
+                out.push_str(line.get(h + 2..).unwrap_or(""));
+                out.push('\n');
+            }
+        }
+    }
+    assert!(header_indent.is_some(), "header {header:?} not found");
+    out
+}
+
+#[test]
+fn workflow_is_structurally_valid_yaml_subset() {
+    let text = workflow_text();
+    let mut in_block_scalar = false;
+    let mut block_scalar_indent = 0;
+    for (i, raw) in text.lines().enumerate() {
+        let n = i + 1;
+        assert!(
+            !raw.contains('\t'),
+            "line {n}: tab character (YAML forbids tabs)"
+        );
+        let line = raw.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let indent = line.len() - line.trim_start().len();
+        if in_block_scalar {
+            if indent > block_scalar_indent {
+                continue; // raw scalar content
+            }
+            in_block_scalar = false;
+        }
+        let content = line.trim_start();
+        if content.starts_with('#') {
+            continue;
+        }
+        assert_eq!(
+            indent % 2,
+            0,
+            "line {n}: indentation {indent} is not a multiple of 2"
+        );
+        let item = content.strip_prefix("- ").unwrap_or(content);
+        // Every structural line is `key: ...`, `key:` or a scalar list item.
+        let is_mapping = item.split_once(':').is_some_and(|(k, v)| {
+            !k.is_empty() && !k.contains(' ') || v.starts_with(' ') || v.is_empty()
+        });
+        let is_scalar_item = content.starts_with("- ") && !item.contains(": ");
+        assert!(
+            is_mapping || is_scalar_item,
+            "line {n}: not a mapping or list item in the YAML subset: {line:?}"
+        );
+        if content.ends_with(": |") || content.ends_with(":|") {
+            in_block_scalar = true;
+            block_scalar_indent = indent;
+        }
+    }
+    // GitHub expression delimiters balance.
+    assert_eq!(
+        text.matches("${{").count(),
+        text.matches("}}").count(),
+        "unbalanced ${{{{ ... }}}} expressions"
+    );
+}
+
+#[test]
+fn workflow_triggers_on_push_and_pull_request() {
+    let text = workflow_text();
+    let on = block(&text, "on:");
+    assert!(on.contains("push:"), "missing push trigger:\n{on}");
+    assert!(
+        on.contains("pull_request:"),
+        "missing pull_request trigger:\n{on}"
+    );
+}
+
+#[test]
+fn workflow_defines_the_four_gate_jobs() {
+    let text = workflow_text();
+    let jobs = block(&text, "jobs:");
+    for job in ["ci:", "fmt:", "features:", "bench:"] {
+        let body = block(&jobs, job);
+        assert!(
+            body.contains("runs-on:"),
+            "job {job} has no runs-on:\n{body}"
+        );
+        assert!(body.contains("steps:"), "job {job} has no steps:\n{body}");
+        assert!(
+            body.contains("actions/checkout@"),
+            "job {job} never checks out the repo"
+        );
+    }
+}
+
+#[test]
+fn workflow_jobs_run_the_scripts_they_mirror() {
+    let text = workflow_text();
+    let jobs = block(&text, "jobs:");
+
+    let ci = block(&jobs, "ci:");
+    assert!(
+        ci.contains("scripts/ci.sh"),
+        "ci job must run the local gate script"
+    );
+    assert!(
+        ci.contains("actions/cache@"),
+        "ci job should cache cargo artifacts"
+    );
+    assert!(
+        ci.contains("~/.cargo/registry"),
+        "ci cache misses the registry"
+    );
+
+    let fmt = block(&jobs, "fmt:");
+    assert!(
+        fmt.contains("cargo fmt") && fmt.contains("--check"),
+        "fmt job must gate formatting"
+    );
+
+    let bench = block(&jobs, "bench:");
+    assert!(
+        bench.contains("scripts/bench.sh") && bench.contains("--check"),
+        "bench job must run the regression gate"
+    );
+    assert!(
+        bench.contains("results/BENCH_baseline.json"),
+        "bench job must compare against the tracked baseline"
+    );
+
+    let features = block(&jobs, "features:");
+    for needle in ["matrix", "--no-default-features", "payload-serde", "obs"] {
+        assert!(
+            features.contains(needle),
+            "feature matrix missing {needle:?}:\n{features}"
+        );
+    }
+}
+
+#[test]
+fn bench_baseline_is_tracked_and_parsable() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_baseline.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("baseline missing at {path:?} (scripts/bench.sh --smoke --out results/BENCH_baseline.json): {e}"));
+    // The same fields exp_bench_core --check extracts.
+    for needle in ["\"name\":", "\"wall_ms\":", "\"events\":"] {
+        assert!(text.contains(needle), "baseline missing {needle}");
+    }
+    assert!(
+        text.contains("bcast_50") && text.contains("siphoc_50"),
+        "baseline must hold the smoke scenarios"
+    );
+}

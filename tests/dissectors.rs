@@ -27,11 +27,19 @@ fn entry(port: u16, payload: Vec<u8>) -> TraceEntry {
 fn every_protocol_dissects() {
     let mut trace = PacketTrace::new();
     trace.set_enabled(true);
-    trace.record(entry(5060, b"INVITE sip:bob@voicehoc.ch SIP/2.0\r\n\r\n".to_vec()));
+    trace.record(entry(
+        5060,
+        b"INVITE sip:bob@voicehoc.ch SIP/2.0\r\n\r\n".to_vec(),
+    ));
     trace.record(entry(5070, b"SIP/2.0 180 Ringing\r\n\r\n".to_vec()));
     trace.record(entry(
         427,
-        SlpMsg::SrvRqst { xid: 9, service_type: "sip".into(), key: "bob@v.ch".into() }.to_wire(),
+        SlpMsg::SrvRqst {
+            xid: 9,
+            service_type: "sip".into(),
+            key: "bob@v.ch".into(),
+        }
+        .to_wire(),
     ));
     let rtp = RtpPacket {
         payload_type: 0,
@@ -62,8 +70,11 @@ fn sip_dissector_ignores_non_sip_text_on_sip_ports() {
 
 #[test]
 fn baseline_traffic_renders_on_slp_port() {
-    let (proto, info) =
-        wireless_adhoc_voip::slp::slp_dissector(427, b"PHELLO\nSLP1 reg sip a 10.0.0.1:5060 10.0.0.1 1 60").unwrap();
+    let (proto, info) = wireless_adhoc_voip::slp::slp_dissector(
+        427,
+        b"PHELLO\nSLP1 reg sip a 10.0.0.1:5060 10.0.0.1 1 60",
+    )
+    .unwrap();
     assert_eq!(proto, "slp");
     assert!(info.starts_with("PHELLO"), "{info}");
 }

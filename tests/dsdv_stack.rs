@@ -23,7 +23,11 @@ fn multihop_call_over_dsdv() {
     let _relay = deploy(&mut w, mk(80.0));
     let bob = deploy(
         &mut w,
-        mk(160.0).with_user(VoipAppConfig::fig2("bob", "voicehoc.ch").to_ua_config().expect("config")),
+        mk(160.0).with_user(
+            VoipAppConfig::fig2("bob", "voicehoc.ch")
+                .to_ua_config()
+                .expect("config"),
+        ),
     );
     w.run_for(SimDuration::from_secs(110));
 
@@ -36,7 +40,11 @@ fn multihop_call_over_dsdv() {
     );
     assert!(b.any(|e| matches!(e, CallEvent::Established { .. })));
     // DSDV routes were in place before the call (proactive).
-    let r = w.node(alice.id).routes().lookup_specific(bob.addr, w.now()).expect("route");
+    let r = w
+        .node(alice.id)
+        .routes()
+        .lookup_specific(bob.addr, w.now())
+        .expect("route");
     assert_eq!(r.hops, 2);
     // Bob's binding had replicated via DSDV-update piggybacking.
     assert!(w.node(alice.id).stats().get("slp.lookup_hit").packets >= 1);

@@ -20,7 +20,13 @@ fn client_fails_over_to_second_gateway() {
     let mut w = World::new(WorldConfig::new(901).with_radio(RadioConfig::ideal()));
     let dns = DnsDirectory::new().with_record("voicehoc.ch", PROVIDER);
     let p = w.add_node(NodeConfig::wired(PROVIDER));
-    w.spawn(p, Box::new(SipProviderProcess::new(ProviderConfig::new("voicehoc.ch", dns.clone()))));
+    w.spawn(
+        p,
+        Box::new(SipProviderProcess::new(ProviderConfig::new(
+            "voicehoc.ch",
+            dns.clone(),
+        ))),
+    );
     let iris_node = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 50)));
     let (iris, _iris_log) = UserAgent::new(UaConfig::new(
         Aor::new("iris", "voicehoc.ch"),
@@ -49,7 +55,10 @@ fn client_fails_over_to_second_gateway() {
             Aor::new("iris", "voicehoc.ch"),
             SimDuration::from_secs(5),
         );
-    let alice = deploy(&mut w, NodeSpec::relay(60.0, 0.0).with_dns(dns).with_user(alice_ua));
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(60.0, 0.0).with_dns(dns).with_user(alice_ua),
+    );
 
     // Lease established with whichever gateway answered first.
     w.run_for(SimDuration::from_secs(20));
@@ -62,7 +71,11 @@ fn client_fails_over_to_second_gateway() {
         .collect();
     assert_eq!(first_lease.len(), 1, "one lease held");
     let leased_from_gw1 = first_lease[0].0 & 0xffff_ff00 == 0x5282_4000;
-    let (dead, alive) = if leased_from_gw1 { (gw1.id, gw2.id) } else { (gw2.id, gw1.id) };
+    let (dead, alive) = if leased_from_gw1 {
+        (gw1.id, gw2.id)
+    } else {
+        (gw2.id, gw1.id)
+    };
 
     // Kill the serving gateway; the CP needs refresh failures (up to
     // ~90 s) to notice, then re-probes and leases from the survivor.
@@ -76,7 +89,10 @@ fn client_fails_over_to_second_gateway() {
         .filter(|a| a.is_public())
         .collect();
     assert_eq!(second_lease.len(), 1, "re-leased after failover");
-    assert_ne!(second_lease[0], first_lease[0], "lease must come from the other pool");
+    assert_ne!(
+        second_lease[0], first_lease[0],
+        "lease must come from the other pool"
+    );
     assert!(w.node(alive).stats().get("tunnel.lease").packets >= 1);
 
     // And the Internet call at t=200 succeeds through the new gateway.

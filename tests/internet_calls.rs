@@ -8,11 +8,11 @@
 use wireless_adhoc_voip::core::nodesetup::{deploy, NodeSpec};
 use wireless_adhoc_voip::internet::dns::DnsDirectory;
 use wireless_adhoc_voip::internet::provider::{ProviderConfig, SipProviderProcess};
+use wireless_adhoc_voip::media::session::{MediaConfig, MediaProcess};
 use wireless_adhoc_voip::simnet::net::ports;
 use wireless_adhoc_voip::simnet::node::NodeConfig;
 use wireless_adhoc_voip::simnet::prelude::*;
 use wireless_adhoc_voip::sip::ua::{CallEvent, UaConfig, UaLogHandle, UserAgent};
-use wireless_adhoc_voip::media::session::{MediaConfig, MediaProcess};
 use wireless_adhoc_voip::sip::uri::Aor;
 
 const PROVIDER: Addr = Addr(0x52010101); // 82.1.1.1
@@ -32,16 +32,34 @@ struct Setup {
     alice_node: NodeId,
 }
 
-fn setup(seed: u64, manet_nodes: usize, alice_calls: Option<(u64, &str)>, iris_calls: Option<(u64, &str)>) -> Setup {
+fn setup(
+    seed: u64,
+    manet_nodes: usize,
+    alice_calls: Option<(u64, &str)>,
+    iris_calls: Option<(u64, &str)>,
+) -> Setup {
     let mut w = World::new(WorldConfig::new(seed).with_radio(RadioConfig::ideal()));
     let p = w.add_node(NodeConfig::wired(PROVIDER));
-    w.spawn(p, Box::new(SipProviderProcess::new(ProviderConfig::new("voicehoc.ch", dns()))));
+    w.spawn(
+        p,
+        Box::new(SipProviderProcess::new(ProviderConfig::new(
+            "voicehoc.ch",
+            dns(),
+        ))),
+    );
 
     // Internet user.
     let iris_node = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 50)));
-    let mut iris = UaConfig::new(Aor::new("iris", "voicehoc.ch"), SocketAddr::new(PROVIDER, ports::SIP));
+    let mut iris = UaConfig::new(
+        Aor::new("iris", "voicehoc.ch"),
+        SocketAddr::new(PROVIDER, ports::SIP),
+    );
     if let Some((at, to)) = iris_calls {
-        iris = iris.call_at(SimTime::from_secs(at), Aor::new(to, "voicehoc.ch"), SimDuration::from_secs(8));
+        iris = iris.call_at(
+            SimTime::from_secs(at),
+            Aor::new(to, "voicehoc.ch"),
+            SimDuration::from_secs(8),
+        );
     }
     let (iris_ua, iris_log) = UserAgent::new(iris);
     w.spawn(iris_node, Box::new(iris_ua));
@@ -51,21 +69,32 @@ fn setup(seed: u64, manet_nodes: usize, alice_calls: Option<(u64, &str)>, iris_c
     // MANET: gateway at x=0, then relays, alice on the last node.
     let _gw = deploy(
         &mut w,
-        NodeSpec::relay(0.0, 0.0).with_gateway(GATEWAY_PUB).with_dns(dns()),
+        NodeSpec::relay(0.0, 0.0)
+            .with_gateway(GATEWAY_PUB)
+            .with_dns(dns()),
     );
     for i in 1..manet_nodes.saturating_sub(1) {
-        deploy(&mut w, NodeSpec::relay(i as f64 * 80.0, 0.0).with_dns(dns()));
+        deploy(
+            &mut w,
+            NodeSpec::relay(i as f64 * 80.0, 0.0).with_dns(dns()),
+        );
     }
     let mut alice = wireless_adhoc_voip::core::config::VoipAppConfig::fig2("alice", "voicehoc.ch")
         .to_ua_config()
         .unwrap();
     if let Some((at, to)) = alice_calls {
-        alice = alice.call_at(SimTime::from_secs(at), Aor::new(to, "voicehoc.ch"), SimDuration::from_secs(8));
+        alice = alice.call_at(
+            SimTime::from_secs(at),
+            Aor::new(to, "voicehoc.ch"),
+            SimDuration::from_secs(8),
+        );
     }
     let alice_x = (manet_nodes.saturating_sub(1)) as f64 * 80.0;
     let alice_node = deploy(
         &mut w,
-        NodeSpec::relay(alice_x, 0.0).with_dns(dns()).with_user(alice),
+        NodeSpec::relay(alice_x, 0.0)
+            .with_dns(dns())
+            .with_user(alice),
     );
     let alice_log = alice_node.ua_logs[0].clone();
     Setup {
@@ -86,9 +115,15 @@ fn manet_user_registers_at_provider_through_tunnel() {
     let gw = NodeId(2); // provider, iris, then the gateway
     let st = s.world.node(gw).stats();
     assert!(st.get("tunnel.lease").packets >= 1, "no lease granted");
-    assert!(st.get("tunnel.to_internet").packets >= 1, "nothing tunneled out");
+    assert!(
+        st.get("tunnel.to_internet").packets >= 1,
+        "nothing tunneled out"
+    );
     // And alice's local registration also succeeded (MANET side).
-    assert!(s.alice_log.borrow().any(|e| matches!(e, CallEvent::Registered)));
+    assert!(s
+        .alice_log
+        .borrow()
+        .any(|e| matches!(e, CallEvent::Registered)));
 }
 
 #[test]
@@ -109,8 +144,20 @@ fn call_from_manet_to_internet() {
     );
     assert!(i.any(|e| matches!(e, CallEvent::Established { .. })));
     // Call ended by alice after 8 s.
-    assert!(a.any(|e| matches!(e, CallEvent::Terminated { by_remote: false, .. })));
-    assert!(i.any(|e| matches!(e, CallEvent::Terminated { by_remote: true, .. })));
+    assert!(a.any(|e| matches!(
+        e,
+        CallEvent::Terminated {
+            by_remote: false,
+            ..
+        }
+    )));
+    assert!(i.any(|e| matches!(
+        e,
+        CallEvent::Terminated {
+            by_remote: true,
+            ..
+        }
+    )));
 }
 
 #[test]
@@ -138,12 +185,24 @@ fn media_crosses_the_tunnel_with_usable_quality() {
     s.world.run_for(SimDuration::from_secs(45));
     // Alice's media reports live on her node's media process.
     let a = s.alice_log.borrow();
-    assert!(a.any(|e| matches!(e, CallEvent::Established { .. })), "{:?}", a.events());
+    assert!(
+        a.any(|e| matches!(e, CallEvent::Established { .. })),
+        "{:?}",
+        a.events()
+    );
     drop(a);
     // RTP flowed both ways across the tunnel: check stats on alice's node.
     let st = s.world.node(s.alice_node).stats();
-    assert!(st.get("media.rtp_tx").packets > 300, "tx {}", st.get("media.rtp_tx").packets);
-    assert!(st.get("media.rtp_rx").packets > 300, "rx {}", st.get("media.rtp_rx").packets);
+    assert!(
+        st.get("media.rtp_tx").packets > 300,
+        "tx {}",
+        st.get("media.rtp_tx").packets
+    );
+    assert!(
+        st.get("media.rtp_rx").packets > 300,
+        "rx {}",
+        st.get("media.rtp_rx").packets
+    );
 }
 
 #[test]

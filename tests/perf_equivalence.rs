@@ -144,8 +144,20 @@ fn run_mobile_chaos(seed: u64, spatial: bool) -> u64 {
     let plan = FaultPlan::new()
         .crash_at(SimTime::from_secs(6), NodeId(7))
         .restart_at(SimTime::from_secs(8), NodeId(7))
-        .packet_fault(LinkSelector::All, PacketFaultKind::Duplicate, 0.05, SimTime::ZERO, SimTime::MAX)
-        .packet_fault(LinkSelector::All, PacketFaultKind::Corrupt, 0.05, SimTime::ZERO, SimTime::MAX);
+        .packet_fault(
+            LinkSelector::All,
+            PacketFaultKind::Duplicate,
+            0.05,
+            SimTime::ZERO,
+            SimTime::MAX,
+        )
+        .packet_fault(
+            LinkSelector::All,
+            PacketFaultKind::Corrupt,
+            0.05,
+            SimTime::ZERO,
+            SimTime::MAX,
+        );
     w.install_fault_plan(plan);
     w.run_for(SimDuration::from_secs(12));
     world_digest(&w)

@@ -28,10 +28,10 @@ use wireless_adhoc_voip::simnet::time::{SimDuration, SimTime};
 use wireless_adhoc_voip::simnet::world::{World, WorldConfig};
 use wireless_adhoc_voip::sip::headers::{CSeq, NameAddr, Via};
 use wireless_adhoc_voip::sip::msg::{Method, SipMessage, StatusCode};
+use wireless_adhoc_voip::sip::sdp::Sdp;
 use wireless_adhoc_voip::sip::txn::{TransactionLayer, TxnConfig, TxnEvent};
 use wireless_adhoc_voip::sip::ua::CallEvent;
 use wireless_adhoc_voip::sip::uri::Aor;
-use wireless_adhoc_voip::sip::sdp::Sdp;
 use wireless_adhoc_voip::sip::uri::SipUri;
 use wireless_adhoc_voip::slp::msg::SlpMsg;
 use wireless_adhoc_voip::slp::service::{ServiceEntry, SlpRecord};
@@ -55,16 +55,22 @@ fn arb_token() -> impl Strategy<Value = String> {
 }
 
 fn arb_entry() -> impl Strategy<Value = ServiceEntry> {
-    (arb_token(), arb_token(), arb_sock(), arb_addr(), any::<u64>(), any::<u32>()).prop_map(
-        |(st, key, contact, origin, seq, lifetime)| ServiceEntry {
+    (
+        arb_token(),
+        arb_token(),
+        arb_sock(),
+        arb_addr(),
+        any::<u64>(),
+        any::<u32>(),
+    )
+        .prop_map(|(st, key, contact, origin, seq, lifetime)| ServiceEntry {
             service_type: st,
             key,
             contact,
             origin,
             seq,
             lifetime_secs: lifetime,
-        },
-    )
+        })
 }
 
 // ----------------------------------------------------------------------
@@ -331,7 +337,8 @@ fn chaos_invite(branch: &str) -> SipMessage {
     let mut m = SipMessage::request(Method::Invite, SipUri::new("bob", "voicehoc.ch"));
     m.headers_mut()
         .push("Via", format!("SIP/2.0/UDP 10.0.0.1:5060;branch={branch}"));
-    m.headers_mut().push("From", "<sip:alice@voicehoc.ch>;tag=a1");
+    m.headers_mut()
+        .push("From", "<sip:alice@voicehoc.ch>;tag=a1");
     m.headers_mut().push("To", "<sip:bob@voicehoc.ch>");
     m.headers_mut().push("Call-ID", "dup-call-1");
     m.headers_mut().push("CSeq", "1 INVITE");
@@ -347,6 +354,7 @@ proptest! {
         let mut rng = SimRng::from_seed_and_stream(7, 7);
         let mut routes = RoutingTable::new();
         let mut stats = NodeStats::default();
+        let mut obs = siphoc_simnet::obs::NodeObs::default();
         let mut effects: Vec<Effect> = Vec::new();
         let mut ctx = Ctx::for_test(
             SimTime::ZERO,
@@ -355,6 +363,7 @@ proptest! {
             &mut rng,
             &mut routes,
             &mut stats,
+            &mut obs,
             &mut effects,
         );
         let mut tl = TransactionLayer::new(5060, 0, TxnConfig::default());

@@ -10,10 +10,16 @@ use wireless_adhoc_voip::sip::ua::{CallEvent, UaConfig};
 use wireless_adhoc_voip::sip::uri::Aor;
 
 fn user(name: &str, call: Option<(u64, &str, u64)>) -> UaConfig {
-    let mut ua = VoipAppConfig::fig2(name, "voicehoc.ch").to_ua_config().expect("config");
+    let mut ua = VoipAppConfig::fig2(name, "voicehoc.ch")
+        .to_ua_config()
+        .expect("config");
     ua.answer_delay = SimDuration::from_millis(50);
     if let Some((at, to, dur)) = call {
-        ua = ua.call_at(SimTime::from_secs(at), Aor::new(to, "voicehoc.ch"), SimDuration::from_secs(dur));
+        ua = ua.call_at(
+            SimTime::from_secs(at),
+            Aor::new(to, "voicehoc.ch"),
+            SimDuration::from_secs(dur),
+        );
     }
     ua
 }
@@ -22,10 +28,16 @@ fn user(name: &str, call: Option<(u64, &str, u64)>) -> UaConfig {
 /// can die without partitioning.
 fn diamond(seed: u64, call: (u64, &str, u64)) -> (World, SiphocNode, SiphocNode, NodeId, NodeId) {
     let mut w = World::new(WorldConfig::new(seed).with_radio(RadioConfig::ideal()));
-    let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_user(user("alice", Some(call))));
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0).with_user(user("alice", Some(call))),
+    );
     let ra = deploy(&mut w, NodeSpec::relay(60.0, 40.0));
     let rb = deploy(&mut w, NodeSpec::relay(60.0, -40.0));
-    let bob = deploy(&mut w, NodeSpec::relay(120.0, 0.0).with_user(user("bob", None)));
+    let bob = deploy(
+        &mut w,
+        NodeSpec::relay(120.0, 0.0).with_user(user("bob", None)),
+    );
     (w, alice, bob, ra.id, rb.id)
 }
 
@@ -33,7 +45,9 @@ fn diamond(seed: u64, call: (u64, &str, u64)) -> (World, SiphocNode, SiphocNode,
 fn relay_crash_mid_call_heals_via_alternate_path() {
     let (mut w, alice, bob, ra, _rb) = diamond(501, (5, "bob", 25));
     w.run_for(SimDuration::from_secs(10));
-    assert!(alice.ua_logs[0].borrow().any(|e| matches!(e, CallEvent::Established { .. })));
+    assert!(alice.ua_logs[0]
+        .borrow()
+        .any(|e| matches!(e, CallEvent::Established { .. })));
 
     // Kill whichever relay carries the media path.
     let bob_route = w.node(alice.id).routes().lookup_specific(bob.addr, w.now());
@@ -46,7 +60,13 @@ fn relay_crash_mid_call_heals_via_alternate_path() {
     // other relay after AODV repaired the route.
     let a = alice.ua_logs[0].borrow();
     assert!(
-        a.any(|e| matches!(e, CallEvent::Terminated { by_remote: false, .. })),
+        a.any(|e| matches!(
+            e,
+            CallEvent::Terminated {
+                by_remote: false,
+                ..
+            }
+        )),
         "{:?}",
         a.events()
     );
@@ -57,7 +77,11 @@ fn relay_crash_mid_call_heals_via_alternate_path() {
         "healing should bound the outage: loss {}",
         r.loss_fraction
     );
-    assert!(r.received > 700, "most of the 25 s call flowed: {}", r.received);
+    assert!(
+        r.received > 700,
+        "most of the 25 s call flowed: {}",
+        r.received
+    );
 }
 
 #[test]
@@ -79,12 +103,22 @@ fn callee_crash_mid_call_ends_with_silence_not_panic() {
 #[test]
 fn call_succeeds_over_lossy_channel_via_retransmission() {
     let radio = RadioConfig {
-        loss: LossModel { base: 0.25, clear_fraction: 1.0, edge_loss: 0.0 },
+        loss: LossModel {
+            base: 0.25,
+            clear_fraction: 1.0,
+            edge_loss: 0.0,
+        },
         ..RadioConfig::default_80211b()
     };
     let mut w = World::new(WorldConfig::new(503).with_radio(radio));
-    let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_user(user("alice", Some((5, "bob", 5)))));
-    let bob = deploy(&mut w, NodeSpec::relay(50.0, 0.0).with_user(user("bob", None)));
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0).with_user(user("alice", Some((5, "bob", 5)))),
+    );
+    let bob = deploy(
+        &mut w,
+        NodeSpec::relay(50.0, 0.0).with_user(user("bob", None)),
+    );
     w.run_for(SimDuration::from_secs(40));
     let a = alice.ua_logs[0].borrow();
     let b = bob.ua_logs[0].borrow();
@@ -102,8 +136,14 @@ fn call_succeeds_over_lossy_channel_via_retransmission() {
 fn partitioned_network_fails_calls_then_recovers_on_merge() {
     let mut w = World::new(WorldConfig::new(504).with_radio(RadioConfig::ideal()));
     // Two islands 1 km apart.
-    let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_user(user("alice", Some((5, "bob", 5)))));
-    let bob = deploy(&mut w, NodeSpec::relay(1000.0, 0.0).with_user(user("bob", None)));
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0).with_user(user("alice", Some((5, "bob", 5)))),
+    );
+    let bob = deploy(
+        &mut w,
+        NodeSpec::relay(1000.0, 0.0).with_user(user("bob", None)),
+    );
     w.run_for(SimDuration::from_secs(30));
     let failed = alice.ua_logs[0]
         .borrow()
@@ -122,7 +162,9 @@ fn partitioned_network_fails_calls_then_recovers_on_merge() {
     );
     w.run_for(SimDuration::from_secs(25));
     assert!(
-        carol.ua_logs[0].borrow().any(|e| matches!(e, CallEvent::Established { .. })),
+        carol.ua_logs[0]
+            .borrow()
+            .any(|e| matches!(e, CallEvent::Established { .. })),
         "after the merge, calls must succeed: {:?}",
         carol.ua_logs[0].borrow().events()
     );
@@ -131,7 +173,10 @@ fn partitioned_network_fails_calls_then_recovers_on_merge() {
 #[test]
 fn proxy_survives_malformed_sip_and_slp_traffic() {
     let mut w = World::new(WorldConfig::new(505).with_radio(RadioConfig::ideal()));
-    let alice = deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_user(user("alice", None)));
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0).with_user(user("alice", None)),
+    );
     w.run_for(SimDuration::from_secs(2));
     // Blast garbage at every service port on the node.
     let src = SocketAddr::new(Addr::manet(0), 9999);
@@ -143,9 +188,20 @@ fn proxy_survives_malformed_sip_and_slp_traffic() {
     }
     w.run_for(SimDuration::from_secs(5));
     // The node still works: registration state intact.
-    assert!(!alice.registry.borrow().lookup("sip", "alice@voicehoc.ch", w.now()).is_empty());
-    let malformed = w.node(alice.id).stats().sum_prefix("proxy.malformed").packets
+    assert!(!alice
+        .registry
+        .borrow()
+        .lookup("sip", "alice@voicehoc.ch", w.now())
+        .is_empty());
+    let malformed = w
+        .node(alice.id)
+        .stats()
+        .sum_prefix("proxy.malformed")
+        .packets
         + w.node(alice.id).stats().sum_prefix("slp.malformed").packets
-        + w.node(alice.id).stats().sum_prefix("aodv.malformed").packets;
+        + w.node(alice.id)
+            .stats()
+            .sum_prefix("aodv.malformed")
+            .packets;
     assert!(malformed > 0, "garbage must be counted, not crash");
 }

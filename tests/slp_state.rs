@@ -27,10 +27,17 @@ fn proxy_advertises_registration_in_slp() {
     let entries = reg.lookup("sip", "alice@voicehoc.ch", w.now());
     assert_eq!(entries.len(), 1);
     let e = entries[0];
-    assert_eq!(e.contact.to_string(), "10.0.0.1:5060", "contact is the proxy, not the UA");
+    assert_eq!(
+        e.contact.to_string(),
+        "10.0.0.1:5060",
+        "contact is the proxy, not the UA"
+    );
     assert_eq!(e.origin, alice.addr);
     let rendered = reg.render(w.now());
-    assert!(rendered.contains("service:sip://alice@voicehoc.ch!10.0.0.1:5060"), "{rendered}");
+    assert!(
+        rendered.contains("service:sip://alice@voicehoc.ch!10.0.0.1:5060"),
+        "{rendered}"
+    );
     assert!(rendered.contains("[local ]"), "{rendered}");
 }
 
@@ -54,10 +61,21 @@ fn unregister_withdraws_the_advertisement() {
     }];
     let alice = deploy(&mut w, alice_spec(script));
     w.run_for(SimDuration::from_secs(2));
-    assert_eq!(alice.registry.borrow().lookup("sip", "alice@voicehoc.ch", w.now()).len(), 1);
+    assert_eq!(
+        alice
+            .registry
+            .borrow()
+            .lookup("sip", "alice@voicehoc.ch", w.now())
+            .len(),
+        1
+    );
     w.run_for(SimDuration::from_secs(5));
     assert!(
-        alice.registry.borrow().lookup("sip", "alice@voicehoc.ch", w.now()).is_empty(),
+        alice
+            .registry
+            .borrow()
+            .lookup("sip", "alice@voicehoc.ch", w.now())
+            .is_empty(),
         "Expires: 0 must remove the SLP advertisement"
     );
 }
@@ -71,7 +89,11 @@ fn remote_node_caches_learned_binding_with_remote_marker() {
     w.run_for(SimDuration::from_secs(5));
     let reg = other.registry.borrow();
     let entries = reg.lookup("sip", "alice@voicehoc.ch", w.now());
-    assert_eq!(entries.len(), 1, "neighbor learns the binding from piggyback");
+    assert_eq!(
+        entries.len(),
+        1,
+        "neighbor learns the binding from piggyback"
+    );
     let rendered = reg.render(w.now());
     assert!(rendered.contains("[remote]"), "{rendered}");
 }
@@ -80,10 +102,16 @@ fn remote_node_caches_learned_binding_with_remote_marker() {
 fn node_restart_loses_and_regains_state() {
     let mut w = World::new(WorldConfig::new(405).with_radio(RadioConfig::ideal()));
     let alice = deploy(&mut w, alice_spec(Vec::new()));
-    let bob_ua = VoipAppConfig::fig2("Bob", "voicehoc.ch").to_ua_config().expect("config");
+    let bob_ua = VoipAppConfig::fig2("Bob", "voicehoc.ch")
+        .to_ua_config()
+        .expect("config");
     let bob = deploy(&mut w, NodeSpec::relay(60.0, 0.0).with_user(bob_ua));
     w.run_for(SimDuration::from_secs(5));
-    assert!(!bob.registry.borrow().lookup("sip", "alice@voicehoc.ch", w.now()).is_empty());
+    assert!(!bob
+        .registry
+        .borrow()
+        .lookup("sip", "alice@voicehoc.ch", w.now())
+        .is_empty());
 
     // Power-cycle bob: his learned state survives in the registry object
     // (the process owns it), but alice's must re-gossip to stay fresh.
@@ -93,7 +121,11 @@ fn node_restart_loses_and_regains_state() {
     w.run_for(SimDuration::from_secs(15));
     // Bob is registered and advertised again after restart.
     assert!(
-        !alice.registry.borrow().lookup("sip", "bob@voicehoc.ch", w.now()).is_empty(),
+        !alice
+            .registry
+            .borrow()
+            .lookup("sip", "bob@voicehoc.ch", w.now())
+            .is_empty(),
         "bob's re-registration must propagate after restart"
     );
 }

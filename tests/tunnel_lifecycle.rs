@@ -64,9 +64,9 @@ fn dead_client_lease_expires_and_backbone_traffic_is_dropped() {
     assert!(w.node(gw).stats().get("tunnel.lease_expired").packets >= 1);
     // Backbone traffic for the stale lease is dropped, not tunneled.
     let before = w.node(gw).stats().get("tunnel.to_client").packets;
-    let srv = w.add_node(
-        wireless_adhoc_voip::simnet::node::NodeConfig::wired(Addr::new(82, 1, 1, 1)),
-    );
+    let srv = w.add_node(wireless_adhoc_voip::simnet::node::NodeConfig::wired(
+        Addr::new(82, 1, 1, 1),
+    ));
     w.inject(
         srv,
         Datagram::new(
@@ -84,20 +84,30 @@ fn dead_client_lease_expires_and_backbone_traffic_is_dropped() {
 fn client_reconnects_after_gateway_restart() {
     let (mut w, gw, clients) = world_with_gateway(703, 1);
     w.run_for(SimDuration::from_secs(15));
-    assert!(w.node(clients[0]).local_addrs().iter().any(|a| a.is_public()));
+    assert!(w
+        .node(clients[0])
+        .local_addrs()
+        .iter()
+        .any(|a| a.is_public()));
 
     w.set_node_up(gw, false);
     // Refresh failures take up to max_refresh_failures × lease/2 ≈ 90 s to
     // declare the tunnel down.
     w.run_for(SimDuration::from_secs(150));
     assert!(
-        !w.node(clients[0]).local_addrs().iter().any(|a| a.is_public()),
+        !w.node(clients[0])
+            .local_addrs()
+            .iter()
+            .any(|a| a.is_public()),
         "lease must be torn down after the gateway vanished"
     );
     w.set_node_up(gw, true);
     w.run_for(SimDuration::from_secs(60));
     assert!(
-        w.node(clients[0]).local_addrs().iter().any(|a| a.is_public()),
+        w.node(clients[0])
+            .local_addrs()
+            .iter()
+            .any(|a| a.is_public()),
         "client must re-discover and re-lease after gateway restart"
     );
 }
