@@ -19,8 +19,10 @@ use siphoc_simnet::obs::{SpanCat, SpanId};
 use siphoc_simnet::process::{Ctx, LocalEvent, Process};
 use siphoc_simnet::time::SimDuration;
 
+use siphoc_slp::manet::SharedRegistry;
 use siphoc_slp::msg::SlpMsg;
-use siphoc_slp::service::service_types;
+use siphoc_slp::registry::rank_gateways;
+use siphoc_slp::service::{service_types, ServiceEntry};
 
 use crate::tunnel::TunnelMsg;
 
@@ -51,6 +53,15 @@ pub struct ConnectionProviderConfig {
     /// The node's own wired public address, when it *is* a gateway — the
     /// provider then reports connectivity immediately and never tunnels.
     pub wired_public: Option<Addr>,
+    /// Interval between tunnel liveness pings while Connected.
+    /// `SimDuration::ZERO` disables keepalives entirely, restoring the
+    /// lease-refresh-only liveness of the pre-handoff provider.
+    pub keepalive_interval: SimDuration,
+    /// Consecutive unanswered pings before the gateway is declared dead
+    /// and a mid-call handoff begins. Detection latency is therefore
+    /// `(keepalive_max_missed + 1) * keepalive_interval` in the worst
+    /// case — ~4 s with the defaults, inside the 5 s handoff budget.
+    pub keepalive_max_missed: u32,
 }
 
 impl Default for ConnectionProviderConfig {
@@ -61,6 +72,8 @@ impl Default for ConnectionProviderConfig {
             max_refresh_failures: 2,
             backoff_max: SimDuration::from_secs(60),
             wired_public: None,
+            keepalive_interval: SimDuration::from_secs(1),
+            keepalive_max_missed: 3,
         }
     }
 }
@@ -80,12 +93,21 @@ enum State {
         lease: SimDuration,
         refresh_failures: u32,
         refresh_outstanding: bool,
+        missed_pings: u32,
     },
 }
 
 const TAG_CHECK: u64 = 1;
 const TAG_CONNECT_TIMEOUT: u64 = 2;
 const TAG_REFRESH: u64 = 3;
+const TAG_KEEPALIVE: u64 = 4;
+
+/// Timers cannot be cancelled, so the refresh and keepalive chains carry a
+/// generation in the token's upper bits; a fired timer whose generation no
+/// longer matches is a stale chain and is ignored.
+const fn tok(tag: u64, gen: u64) -> u64 {
+    tag | (gen << 8)
+}
 
 /// The Connection Provider process.
 #[derive(Debug)]
@@ -96,6 +118,26 @@ pub struct ConnectionProvider {
     consecutive_failures: u32,
     handshake_span: SpanId,
     handshake_started_us: u64,
+    /// Generation of the live keepalive timer chain.
+    ka_gen: u64,
+    /// Generation of the live lease-refresh timer chain.
+    refresh_gen: u64,
+    ping_seq: u64,
+    /// Ranked `service:gateway` contacts beyond the one we leased from —
+    /// the warm-standby set a handoff falls back to without re-probing.
+    standby: Vec<SocketAddr>,
+    /// The node's MANET SLP registry, for ranking fresh gateway
+    /// candidates at handoff time.
+    registry: Option<SharedRegistry>,
+    handoff_span: SpanId,
+    handoff_started_us: u64,
+    /// The public address held when the current handoff began; `Some`
+    /// exactly while a handoff is in flight.
+    handoff_from: Option<Addr>,
+    /// The gateway most recently declared dead. Its SLP adverts may
+    /// outlive it in neighbor caches for a full lifetime; every candidate
+    /// ranking skips it until a lease from someone else proves recovery.
+    dead_gateway: Option<Addr>,
 }
 
 impl ConnectionProvider {
@@ -108,7 +150,23 @@ impl ConnectionProvider {
             consecutive_failures: 0,
             handshake_span: SpanId::NONE,
             handshake_started_us: 0,
+            ka_gen: 0,
+            refresh_gen: 0,
+            ping_seq: 0,
+            standby: Vec::new(),
+            registry: None,
+            handoff_span: SpanId::NONE,
+            handoff_started_us: 0,
+            handoff_from: None,
+            dead_gateway: None,
         }
+    }
+
+    /// Attaches the node's shared MANET SLP registry so gateway handoff
+    /// can rank live `service:gateway` candidates instead of re-probing.
+    pub fn with_registry(mut self, registry: SharedRegistry) -> ConnectionProvider {
+        self.registry = Some(registry);
+        self
     }
 
     /// Whether the node currently holds a tunnel lease (or is a gateway).
@@ -163,6 +221,12 @@ impl ConnectionProvider {
         // must not linger as an open span.
         ctx.span_exit(self.handshake_span, false);
         self.handshake_span = SpanId::NONE;
+        // Likewise a handoff in flight: give up on it cleanly (emits
+        // INTERNET_DOWN, releases the default handler).
+        self.fail_handoff(ctx);
+        self.ka_gen += 1;
+        self.refresh_gen += 1;
+        self.standby.clear();
         if let State::Connected { public, .. } = self.state {
             ctx.remove_local_addr(public);
             ctx.set_default_handler(false);
@@ -173,6 +237,120 @@ impl ConnectionProvider {
             ctx.stats().count("cp.tunnel_down", 1);
         }
         self.state = State::Idle;
+    }
+
+    /// Ranked tunnel-server contacts for every live `service:gateway`
+    /// entry the node knows, best first, excluding `exclude` (the gateway
+    /// just declared dead).
+    fn candidate_gateways(&self, ctx: &Ctx<'_>, exclude: Option<Addr>) -> Vec<SocketAddr> {
+        let Some(reg) = &self.registry else {
+            return Vec::new();
+        };
+        let now = ctx.now();
+        let routes = ctx.routes_ref();
+        reg.borrow()
+            .gateway_candidates(now, |a| routes.lookup_specific(a, now).map(|r| r.hops))
+            .into_iter()
+            .filter(|e| {
+                exclude != Some(e.contact.addr) && exclude != Some(e.origin) && !self.is_dead(e)
+            })
+            .map(|e| e.contact)
+            .collect()
+    }
+
+    /// Whether an offered gateway entry names the blocklisted dead one.
+    fn is_dead(&self, e: &ServiceEntry) -> bool {
+        self.dead_gateway == Some(e.contact.addr) || self.dead_gateway == Some(e.origin)
+    }
+
+    /// Pops the best remaining standby contact, dropping any entry for
+    /// the gateway that just failed.
+    fn next_standby(&mut self, failed: Addr) -> Option<SocketAddr> {
+        self.standby.retain(|c| c.addr != failed);
+        if self.standby.is_empty() {
+            None
+        } else {
+            Some(self.standby.remove(0))
+        }
+    }
+
+    /// The serving gateway stopped answering pings: declare it dead and
+    /// immediately lease from the best ranked survivor. The default
+    /// handler stays installed and no INTERNET_DOWN is emitted — a
+    /// successful handoff looks to the upper layers like a lease
+    /// renumbering, not an outage.
+    fn begin_handoff(&mut self, ctx: &mut Ctx<'_>) {
+        let State::Connected {
+            gateway, public, ..
+        } = &self.state
+        else {
+            return;
+        };
+        let (gateway, public) = (*gateway, *public);
+        ctx.stats().count("cp.gateway_dead", 1);
+        ctx.obs().counter_add("cp.gateway_dead", 1);
+        self.handoff_span = ctx.span_enter(SpanCat::Tunnel, "tunnel.handoff");
+        if ctx.obs().tracing() {
+            let corr = gateway.addr.to_string();
+            ctx.obs().span_corr(self.handoff_span, &corr);
+        }
+        self.handoff_started_us = ctx.now_us();
+        // The old lease is dead with its gateway; stop answering for it.
+        ctx.remove_local_addr(public);
+        self.handoff_from = Some(public);
+        self.ka_gen += 1;
+        self.dead_gateway = Some(gateway.addr);
+        // First-hand death evidence beats the advert lifetime: drop the
+        // dead gateway's cached SLP entries so a fallback lookup floods
+        // for survivors instead of hitting the stale cache until expiry.
+        if let Some(reg) = &self.registry {
+            let purged = reg.borrow_mut().purge_origin(gateway.addr);
+            if purged > 0 {
+                ctx.stats().count("cp.slp_purged", purged);
+            }
+        }
+        let mut candidates = self.candidate_gateways(ctx, Some(gateway.addr));
+        if candidates.is_empty() {
+            // Stale SLP standby may still name the dead gateway's
+            // neighbors; fall back to whatever the last probe ranked.
+            candidates = std::mem::take(&mut self.standby);
+            candidates.retain(|c| c.addr != gateway.addr);
+        }
+        match candidates.first().copied() {
+            Some(best) => {
+                self.standby = candidates.split_off(1);
+                self.connect(ctx, best, 0);
+            }
+            None => {
+                // No warm candidate — fall back to a fresh SLP probe. The
+                // handoff stays in flight (`handoff_from` kept): the probe
+                // is its continuation, and only an empty or exhausted
+                // probe declares the node offline.
+                self.standby.clear();
+                self.probe(ctx);
+            }
+        }
+    }
+
+    /// Gives up an in-flight handoff: the node is genuinely offline now,
+    /// so release the default handler and tell the stack.
+    fn fail_handoff(&mut self, ctx: &mut Ctx<'_>) {
+        if self.handoff_from.take().is_some() {
+            ctx.span_exit(self.handoff_span, false);
+            self.handoff_span = SpanId::NONE;
+            ctx.set_default_handler(false);
+            ctx.emit(LocalEvent::Custom {
+                kind: INTERNET_DOWN_EVENT,
+                data: Vec::new(),
+            });
+            ctx.stats().count("cp.tunnel_down", 1);
+        }
+        // The blocklist exists to keep the *handoff* from re-picking the
+        // gateway it just watched die. Once the outage is declared, normal
+        // probing resumes — and must be allowed to find that same gateway
+        // again after it restarts (its purged adverts can only reappear
+        // through a fresh announcement).
+        self.dead_gateway = None;
     }
 
     fn on_lease(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, public: Addr, lifetime_secs: u32) {
@@ -186,8 +364,13 @@ impl ConnectionProvider {
                     lease,
                     refresh_failures: 0,
                     refresh_outstanding: false,
+                    missed_pings: 0,
                 };
                 self.consecutive_failures = 0;
+                // A fresh lease from a (different) gateway ends the
+                // blocklist: if the dead one comes back it re-announces
+                // and competes on equal footing again.
+                self.dead_gateway = None;
                 ctx.span_exit(self.handshake_span, true);
                 self.handshake_span = SpanId::NONE;
                 let took = ctx.now_us().saturating_sub(self.handshake_started_us);
@@ -199,16 +382,53 @@ impl ConnectionProvider {
                     kind: INTERNET_UP_EVENT,
                     data: public.to_string().into_bytes(),
                 });
-                ctx.set_timer(lease / 2, TAG_REFRESH);
+                self.refresh_gen += 1;
+                ctx.set_timer(lease / 2, tok(TAG_REFRESH, self.refresh_gen));
+                if !self.cfg.keepalive_interval.is_zero() {
+                    self.ka_gen += 1;
+                    ctx.set_timer(self.cfg.keepalive_interval, tok(TAG_KEEPALIVE, self.ka_gen));
+                }
+                if self.handoff_from.take().is_some() {
+                    ctx.span_exit(self.handoff_span, true);
+                    self.handoff_span = SpanId::NONE;
+                    let took = ctx.now_us().saturating_sub(self.handoff_started_us);
+                    ctx.obs().hist_record("cp.handoff_us", took);
+                    ctx.stats().count("cp.handoff_ok", 1);
+                    ctx.obs().counter_add("cp.handoff_ok", 1);
+                }
             }
             State::Connected {
                 gateway,
+                public: cur_public,
+                lease: cur_lease,
                 refresh_outstanding,
                 refresh_failures,
-                ..
+                missed_pings,
             } if gateway.addr == from.addr => {
                 *refresh_outstanding = false;
                 *refresh_failures = 0;
+                // A lease grant is proof of life as good as a pong.
+                *missed_pings = 0;
+                // The grant is authoritative: adopt a renumbered public
+                // address and a shortened (or lengthened) lifetime instead
+                // of silently drifting from the server's view.
+                let old_public = *cur_public;
+                *cur_public = public;
+                let lease_changed = *cur_lease != lease;
+                *cur_lease = lease;
+                if old_public != public {
+                    ctx.remove_local_addr(old_public);
+                    ctx.add_local_addr(public);
+                    ctx.stats().count("cp.lease_renumbered", 1);
+                    ctx.emit(LocalEvent::Custom {
+                        kind: INTERNET_UP_EVENT,
+                        data: public.to_string().into_bytes(),
+                    });
+                }
+                if lease_changed {
+                    self.refresh_gen += 1;
+                    ctx.set_timer(lease / 2, tok(TAG_REFRESH, self.refresh_gen));
+                }
             }
             _ => {}
         }
@@ -263,9 +483,27 @@ impl Process for ConnectionProvider {
             if let Ok(SlpMsg::SrvRply { xid, entries }) = SlpMsg::parse(&dgram.payload) {
                 if let State::Probing { xid: expect } = self.state {
                     if xid == expect {
+                        // Rank every offered gateway (hops, then
+                        // freshness): lease from the best, keep the rest
+                        // as warm standby for handoff. Neighbor caches may
+                        // still advertise the blocklisted dead gateway.
+                        let mut entries: Vec<ServiceEntry> = entries;
+                        entries.retain(|e| !self.is_dead(e));
+                        {
+                            let now = ctx.now();
+                            let routes = ctx.routes_ref();
+                            rank_gateways(&mut entries, |a| {
+                                routes.lookup_specific(a, now).map(|r| r.hops)
+                            });
+                        }
                         match entries.first() {
-                            Some(gw) => self.connect(ctx, gw.contact, 0),
+                            Some(gw) => {
+                                self.standby = entries.iter().skip(1).map(|e| e.contact).collect();
+                                let best = gw.contact;
+                                self.connect(ctx, best, 0);
+                            }
                             None => {
+                                self.fail_handoff(ctx);
                                 self.state = State::Idle;
                                 self.consecutive_failures =
                                     self.consecutive_failures.saturating_add(1);
@@ -290,7 +528,20 @@ impl Process for ConnectionProvider {
                     ctx.stats().count("cp.tunneled_in", inner.wire_len());
                     ctx.reinject(inner);
                 }
-                Some(TunnelMsg::Connect) | None => {
+                Some(TunnelMsg::Pong { .. }) => {
+                    if let State::Connected {
+                        gateway,
+                        missed_pings,
+                        ..
+                    } = &mut self.state
+                    {
+                        if gateway.addr == dgram.src.addr {
+                            *missed_pings = 0;
+                            ctx.stats().count("cp.pong", 1);
+                        }
+                    }
+                }
+                Some(TunnelMsg::Connect) | Some(TunnelMsg::Ping { .. }) | None => {
                     ctx.stats().count("cp.unexpected_msg", dgram.payload.len());
                 }
             }
@@ -302,7 +553,8 @@ impl Process for ConnectionProvider {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        match token {
+        let gen = token >> 8;
+        match token & 0xff {
             TAG_CHECK => match self.state {
                 State::Idle => self.probe(ctx),
                 State::Probing { .. } => {
@@ -316,9 +568,17 @@ impl Process for ConnectionProvider {
                 if let State::Connecting { gateway, attempts } = self.state {
                     if attempts < 2 {
                         self.connect(ctx, gateway, attempts + 1);
+                    } else if let Some(next) = self.next_standby(gateway.addr) {
+                        // This gateway never answered; advance through the
+                        // warm-standby ranking before giving up.
+                        ctx.span_exit(self.handshake_span, false);
+                        self.handshake_span = SpanId::NONE;
+                        ctx.stats().count("cp.standby_advance", 1);
+                        self.connect(ctx, next, 0);
                     } else {
                         ctx.span_exit(self.handshake_span, false);
                         self.handshake_span = SpanId::NONE;
+                        self.fail_handoff(ctx);
                         self.state = State::Idle;
                         self.consecutive_failures = self.consecutive_failures.saturating_add(1);
                         self.schedule_recheck(ctx);
@@ -326,6 +586,9 @@ impl Process for ConnectionProvider {
                 }
             }
             TAG_REFRESH => {
+                if gen != self.refresh_gen {
+                    return;
+                }
                 let max_failures = self.cfg.max_refresh_failures;
                 if let State::Connected {
                     gateway,
@@ -349,7 +612,38 @@ impl Process for ConnectionProvider {
                     let lease = *lease;
                     ctx.stats().count("cp.tconnect", 1);
                     ctx.send_to(gateway, ports::TUNNEL, TunnelMsg::Connect.to_wire());
-                    ctx.set_timer(lease / 2, TAG_REFRESH);
+                    ctx.set_timer(lease / 2, tok(TAG_REFRESH, self.refresh_gen));
+                }
+            }
+            TAG_KEEPALIVE => {
+                if gen != self.ka_gen {
+                    return;
+                }
+                let dead = matches!(
+                    &self.state,
+                    State::Connected { missed_pings, .. }
+                        if *missed_pings >= self.cfg.keepalive_max_missed
+                );
+                if dead {
+                    self.begin_handoff(ctx);
+                    return;
+                }
+                if let State::Connected {
+                    gateway,
+                    missed_pings,
+                    ..
+                } = &mut self.state
+                {
+                    *missed_pings += 1;
+                    let gateway = *gateway;
+                    self.ping_seq += 1;
+                    ctx.stats().count("cp.ping", 1);
+                    ctx.send_to(
+                        gateway,
+                        ports::TUNNEL,
+                        TunnelMsg::Ping { seq: self.ping_seq }.to_wire(),
+                    );
+                    ctx.set_timer(self.cfg.keepalive_interval, tok(TAG_KEEPALIVE, self.ka_gen));
                 }
             }
             _ => {}

@@ -97,6 +97,11 @@ pub struct NodeSpec {
     /// experiments that must keep its periodic gateway lookups (and the
     /// binding gossip they carry) off the air.
     pub connection_provider: bool,
+    /// Tunnel keepalive override for the Connection Provider:
+    /// `(interval, max_missed_pings)`. `None` keeps the defaults; an
+    /// interval of `SimDuration::ZERO` disables keepalives (and with them
+    /// fast dead-gateway detection and mid-call handoff).
+    pub keepalive: Option<(siphoc_simnet::time::SimDuration, u32)>,
 }
 
 impl NodeSpec {
@@ -111,7 +116,21 @@ impl NodeSpec {
             dns: DnsDirectory::new(),
             media: false,
             connection_provider: true,
+            keepalive: None,
         }
+    }
+
+    /// Overrides the Connection Provider's tunnel keepalive behavior:
+    /// ping every `interval`, declare the gateway dead after `max_missed`
+    /// consecutive unanswered pings. `SimDuration::ZERO` disables
+    /// keepalives entirely.
+    pub fn with_keepalive(
+        mut self,
+        interval: siphoc_simnet::time::SimDuration,
+        max_missed: u32,
+    ) -> NodeSpec {
+        self.keepalive = Some((interval, max_missed));
+        self
     }
 
     /// Disables the Connection Provider (experiment isolation).
@@ -226,11 +245,18 @@ pub fn deploy(world: &mut World, spec: NodeSpec) -> SiphocNode {
     // Connection Provider (every node), Gateway Provider + tunnel server
     // (gateways only).
     if spec.connection_provider {
-        let cp_cfg = ConnectionProviderConfig {
+        let mut cp_cfg = ConnectionProviderConfig {
             wired_public: spec.gateway_public,
             ..ConnectionProviderConfig::default()
         };
-        world.spawn(id, Box::new(ConnectionProvider::new(cp_cfg)));
+        if let Some((interval, max_missed)) = spec.keepalive {
+            cp_cfg.keepalive_interval = interval;
+            cp_cfg.keepalive_max_missed = max_missed;
+        }
+        world.spawn(
+            id,
+            Box::new(ConnectionProvider::new(cp_cfg).with_registry(registry.clone())),
+        );
     }
     if let Some(public) = spec.gateway_public {
         // Each gateway leases from its own public block (base + 100), so

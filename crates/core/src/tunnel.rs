@@ -47,6 +47,19 @@ pub enum TunnelMsg {
         /// The tunneled datagram.
         inner: Datagram,
     },
+    /// Client → server: liveness probe. Deliberately does *not* refresh
+    /// the lease — lease soft state stays driven by `Connect` alone, so a
+    /// gateway that answers pings but lost its lease table still forces a
+    /// clean re-lease.
+    Ping {
+        /// Echo sequence number.
+        seq: u64,
+    },
+    /// Server → client: liveness probe echo.
+    Pong {
+        /// The echoed sequence number.
+        seq: u64,
+    },
 }
 
 impl TunnelMsg {
@@ -64,6 +77,8 @@ impl TunnelMsg {
                 out.extend_from_slice(&inner.payload);
                 out
             }
+            TunnelMsg::Ping { seq } => format!("TPING {seq}").into_bytes(),
+            TunnelMsg::Pong { seq } => format!("TPONG {seq}").into_bytes(),
         }
     }
 
@@ -92,6 +107,12 @@ impl TunnelMsg {
                 inner.ttl = ttl;
                 Some(TunnelMsg::Data { inner })
             }
+            "TPING" => Some(TunnelMsg::Ping {
+                seq: it.next()?.parse().ok()?,
+            }),
+            "TPONG" => Some(TunnelMsg::Pong {
+                seq: it.next()?.parse().ok()?,
+            }),
             _ => None,
         }
     }
@@ -242,7 +263,11 @@ impl Process for TunnelServer {
                 ctx.stats().count("tunnel.to_internet", inner.wire_len());
                 ctx.reinject(inner);
             }
-            TunnelMsg::Lease { .. } => {
+            TunnelMsg::Ping { seq } => {
+                ctx.stats().count("tunnel.ping", 1);
+                ctx.send_to(dgram.src, ports::TUNNEL, TunnelMsg::Pong { seq }.to_wire());
+            }
+            TunnelMsg::Lease { .. } | TunnelMsg::Pong { .. } => {
                 ctx.stats().count("tunnel.unexpected_msg", 1);
             }
         }
@@ -286,11 +311,15 @@ mod tests {
                 lifetime_secs: 60,
             },
             TunnelMsg::Data { inner },
+            TunnelMsg::Ping { seq: 7 },
+            TunnelMsg::Pong { seq: u64::MAX },
         ];
         for m in msgs {
             assert_eq!(TunnelMsg::parse(&m.to_wire()), Some(m));
         }
         assert_eq!(TunnelMsg::parse(b"garbage"), None);
+        assert_eq!(TunnelMsg::parse(b"TPING"), None, "seq required");
+        assert_eq!(TunnelMsg::parse(b"TPONG x"), None, "numeric seq required");
     }
 
     #[test]

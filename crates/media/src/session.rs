@@ -166,7 +166,14 @@ impl MediaProcess {
     }
 
     fn start_session(&mut self, ctx: &mut Ctx<'_>, call_id: String, remote: SocketAddr) {
-        if self.sessions.contains_key(&call_id) {
+        if let Some(s) = self.sessions.get_mut(&call_id) {
+            // A repeated media-start for a live call re-homes the stream
+            // (gateway handoff moved the peer's public RTP endpoint); the
+            // jitter buffer, counters and timer chains carry over.
+            if s.remote != remote {
+                s.remote = remote;
+                ctx.stats().count("media.rehomed", 1);
+            }
             return;
         }
         self.next_idx += 1;

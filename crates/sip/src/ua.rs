@@ -36,6 +36,13 @@ pub const MEDIA_START_EVENT: &str = "sip.media_start";
 /// `call_id`.
 pub const MEDIA_STOP_EVENT: &str = "sip.media_stop";
 
+/// Mirror of `siphoc_core::connection::INTERNET_UP_EVENT` (the crate
+/// dependency points the other way, so the constant cannot be imported).
+/// The Connection Provider emits it with the leased public address as
+/// payload; the UA watches it so a mid-call gateway handoff (public
+/// address change) triggers in-dialog re-INVITEs that re-target media.
+const INTERNET_UP_EVENT: &str = "siphoc.internet_up";
+
 /// User agent configuration (the paper Fig. 2 dialog, as data).
 #[derive(Debug, Clone)]
 pub struct UaConfig {
@@ -229,6 +236,9 @@ struct Dialog {
     span: SpanId,
     /// When setup started, for the `sip.call_setup_us` histogram.
     setup_started_us: u64,
+    /// CSeq of an in-flight outgoing re-INVITE (gateway handoff re-homing);
+    /// `None` when no re-INVITE is outstanding.
+    reinvite_cseq: Option<u32>,
 }
 
 const TAG_REGISTER: u64 = 1;
@@ -252,6 +262,9 @@ pub struct UserAgent {
     register_cseq: u32,
     registered: bool,
     register_span: SpanId,
+    /// Last public address announced via `INTERNET_UP_EVENT`; a *change*
+    /// (gateway handoff renumbered the node) re-INVITEs Internet calls.
+    last_public: Option<String>,
 }
 
 impl std::fmt::Debug for UserAgent {
@@ -279,6 +292,7 @@ impl UserAgent {
                 register_cseq: 0,
                 registered: false,
                 register_span: SpanId::NONE,
+                last_public: None,
             },
             log,
         )
@@ -394,6 +408,7 @@ impl UserAgent {
             cancelled: false,
             span,
             setup_started_us,
+            reinvite_cseq: None,
         };
         self.dialogs.insert(call_id.clone(), dialog);
         self.emit_log(ctx, CallEvent::OutgoingCall { call_id, to });
@@ -474,6 +489,107 @@ impl UserAgent {
                 by_remote: false,
             },
         );
+    }
+
+    /// Sends an in-dialog re-INVITE (RFC 3261 §14) refreshing this side's
+    /// Contact and SDP. Used after a gateway handoff renumbered the node:
+    /// the outbound proxy's ALG rewrites Contact/SDP to the *new* public
+    /// address, so the remote endpoint re-targets signaling and media.
+    fn send_reinvite(&mut self, ctx: &mut Ctx<'_>, call_id: &str) {
+        let contact = self.local_contact(ctx);
+        let Some(d) = self.dialogs.get_mut(call_id) else {
+            return;
+        };
+        if d.state != DialogState::Confirmed {
+            return;
+        }
+        d.local_seq += 1;
+        let seq = d.local_seq;
+        d.reinvite_cseq = Some(seq);
+        let target = d
+            .remote_target
+            .clone()
+            .unwrap_or_else(|| d.remote_aor.to_uri());
+        let local_tag = d.local_tag.clone();
+        let remote_tag = d.remote_tag.clone();
+        let remote_aor = d.remote_aor.clone();
+        let mut m = self.base_request(ctx, Method::Invite, target);
+        m.headers_mut().push(
+            "From",
+            NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag),
+        );
+        let mut to = NameAddr::new(remote_aor.to_uri());
+        if let Some(t) = &remote_tag {
+            to.set_tag(t);
+        }
+        m.headers_mut().push("To", to);
+        m.headers_mut().push("Call-ID", call_id);
+        m.headers_mut().push("CSeq", CSeq::new(seq, "INVITE"));
+        m.headers_mut().push("Contact", NameAddr::new(contact));
+        // Session id from the clock, not the RNG: re-INVITEs are driven
+        // by connectivity events and must not perturb the RNG stream of
+        // runs where they never fire.
+        let sdp = Sdp::audio(
+            &self.cfg.aor.user,
+            ctx.now_us(),
+            SocketAddr::new(ctx.addr(), self.cfg.rtp_port),
+        );
+        m.set_body(&sdp.to_string(), Some("application/sdp"));
+        ctx.stats().count("sip.reinvite_tx", 1);
+        let branch = self.txn.send_request(ctx, m, self.cfg.outbound_proxy);
+        if let Some(d) = self.dialogs.get_mut(call_id) {
+            d.invite_branch = Some(branch);
+        }
+    }
+
+    /// Handles an in-dialog re-INVITE on the callee side: adopt the
+    /// peer's refreshed Contact/SDP, answer 200 with our current
+    /// endpoints, and re-home the media session if the peer's RTP
+    /// endpoint moved.
+    fn on_reinvite(&mut self, ctx: &mut Ctx<'_>, key: &str, msg: &SipMessage, call_id: &str) {
+        ctx.stats().count("sip.reinvite_rx", 1);
+        let contact = self.local_contact(ctx);
+        let Some(d) = self.dialogs.get_mut(call_id) else {
+            return;
+        };
+        let prev_rtp = d.remote_rtp;
+        if let Some(c) = msg.contact() {
+            d.remote_target = Some(c.uri);
+        }
+        let offer = msg.body().parse::<Sdp>().ok();
+        if let Some(o) = &offer {
+            d.remote_rtp = Some(o.rtp_endpoint());
+        }
+        let local_tag = d.local_tag.clone();
+        let mut ok = SipMessage::response_to(msg, StatusCode::OK);
+        if let Some(mut to) = ok.to_header() {
+            to.set_tag(&local_tag);
+            ok.headers_mut().set("To", to);
+        }
+        ok.headers_mut().push("Contact", NameAddr::new(contact));
+        if let Some(o) = offer {
+            // Clock-derived session id for the same determinism reason as
+            // `send_reinvite`.
+            if let Some(a) = o.answer(
+                &self.cfg.aor.user,
+                ctx.now_us(),
+                SocketAddr::new(ctx.addr(), self.cfg.rtp_port),
+            ) {
+                ok.set_body(&a.to_string(), Some("application/sdp"));
+            }
+        }
+        // Store the refreshed transaction state so a retransmitted
+        // re-INVITE replays this 200 (the existing rebranch path).
+        d.pending_invite = Some(msg.clone());
+        d.answer_resp = Some(ok.clone());
+        d.invite_key = Some(key.to_owned());
+        let new_rtp = d.remote_rtp;
+        self.txn.respond(ctx, key, ok);
+        if let Some(rtp) = new_rtp {
+            if prev_rtp != new_rtp {
+                self.start_media(ctx, call_id, rtp);
+            }
+        }
     }
 
     /// Cancels a caller-side dialog that is still ringing (RFC 3261 §9):
@@ -570,9 +686,26 @@ impl UserAgent {
                     self.txn.respond(ctx, &key, ringing);
                 }
             } else {
-                // Re-INVITE unsupported: busy-out.
-                let resp = SipMessage::response_to(&msg, StatusCode::BUSY);
-                self.txn.respond(ctx, &key, resp);
+                // A genuine in-dialog re-INVITE: confirmed dialog, the
+                // peer's tag matches, and the CSeq advanced past the
+                // original INVITE. Anything else (spurious mid-setup
+                // INVITE, mangled tag) still busies out.
+                let in_dialog = d.state == DialogState::Confirmed
+                    && from.tag().map(str::to_owned) == d.remote_tag
+                    && match (msg.cseq(), d.pending_invite.as_ref().and_then(|m| m.cseq())) {
+                        (Some(new), Some(orig)) => new.seq > orig.seq,
+                        // Caller-side dialogs never stored a peer INVITE:
+                        // any tag-matching INVITE on a confirmed dialog is
+                        // the peer re-negotiating.
+                        (Some(_), None) => d.role == Role::Caller,
+                        _ => false,
+                    };
+                if in_dialog {
+                    self.on_reinvite(ctx, &key, &msg, &call_id);
+                } else {
+                    let resp = SipMessage::response_to(&msg, StatusCode::BUSY);
+                    self.txn.respond(ctx, &key, resp);
+                }
             }
             return;
         }
@@ -603,6 +736,7 @@ impl UserAgent {
             cancelled: false,
             span,
             setup_started_us,
+            reinvite_cseq: None,
         };
         self.dialogs.insert(call_id.clone(), dialog);
         self.emit_log(
@@ -767,6 +901,7 @@ impl UserAgent {
             }
             if status.is_success() {
                 let was_early = d.state == DialogState::Early;
+                let prev_rtp = d.remote_rtp;
                 d.state = DialogState::Confirmed;
                 d.remote_tag = msg.to_header().and_then(|t| t.tag().map(str::to_owned));
                 if let Some(c) = msg.contact() {
@@ -775,12 +910,29 @@ impl UserAgent {
                 if let Ok(sdp) = msg.body().parse::<Sdp>() {
                     d.remote_rtp = Some(sdp.rtp_endpoint());
                 }
+                // Only the 200 answering *our* outstanding re-INVITE may
+                // re-home media: a duplicated (or corrupted) retransmit of
+                // the original 200 must stay a bare re-ACK.
+                let reinvite_done = !was_early
+                    && d.reinvite_cseq.is_some()
+                    && d.reinvite_cseq == msg.cseq().map(|c| c.seq);
+                if reinvite_done {
+                    d.reinvite_cseq = None;
+                }
                 let remote_rtp = d.remote_rtp;
                 let duration = d.duration;
                 let idx = d.idx;
                 let (span, started_us) = (d.span, d.setup_started_us);
                 // Always (re-)ACK, also for retransmitted 200s.
                 self.send_ack(ctx, &call_id);
+                if reinvite_done {
+                    ctx.stats().count("sip.reinvite_ok", 1);
+                    if let Some(rtp) = remote_rtp {
+                        if prev_rtp != remote_rtp {
+                            self.start_media(ctx, &call_id, rtp);
+                        }
+                    }
+                }
                 if was_early {
                     ctx.span_exit(span, true);
                     ctx.obs().counter_add("sip.calls_established", 1);
@@ -936,6 +1088,40 @@ impl Process for UserAgent {
             Some(TxnEvent::Response { branch, msg }) => self.on_response(ctx, branch, msg),
             Some(TxnEvent::Timeout { branch, msg }) => self.on_txn_timeout(ctx, branch, msg),
             None => {}
+        }
+    }
+
+    fn on_local_event(&mut self, ctx: &mut Ctx<'_>, ev: &LocalEvent) {
+        let LocalEvent::Custom { kind, data } = ev else {
+            return;
+        };
+        if *kind != INTERNET_UP_EVENT {
+            return;
+        }
+        let public = String::from_utf8_lossy(data).into_owned();
+        let changed = self
+            .last_public
+            .as_deref()
+            .is_some_and(|prev| prev != public);
+        self.last_public = Some(public);
+        if !changed {
+            return;
+        }
+        // The node was renumbered mid-session (gateway handoff). Every
+        // confirmed Internet call still names the dead lease in its
+        // Contact/SDP on the remote side; re-INVITE so the proxy ALG
+        // stamps the new public address and the peer re-targets media.
+        let internet_calls: Vec<String> = self
+            .dialogs
+            .values()
+            .filter(|d| {
+                d.state == DialogState::Confirmed
+                    && d.remote_rtp.is_some_and(|r| r.addr.is_public())
+            })
+            .map(|d| d.call_id.clone())
+            .collect();
+        for call_id in internet_calls {
+            self.send_reinvite(ctx, &call_id);
         }
     }
 

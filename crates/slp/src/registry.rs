@@ -65,12 +65,20 @@ impl SlpRegistry {
     }
 
     /// Absorbs a remote entry learned from piggybacked traffic. Returns
-    /// `true` when the entry was new or fresher than what was stored.
+    /// `true` when the entry was new or fresher than what was stored (and
+    /// so worth re-gossiping). A re-announcement with an *equal* seq from
+    /// the same origin is not fresher, but it is a refresh: it extends the
+    /// stored expiry so steadily re-advertised services never lapse
+    /// mid-refresh.
     pub fn absorb(&mut self, entry: ServiceEntry, now: SimTime) -> bool {
         let key = (entry.service_type.clone(), entry.key.clone(), entry.origin);
-        match self.entries.get(&key) {
+        match self.entries.get_mut(&key) {
             Some(existing) if existing.local => false,
-            Some(existing) if existing.entry.seq >= entry.seq && existing.expires > now => false,
+            Some(existing) if existing.entry.seq > entry.seq && existing.expires > now => false,
+            Some(existing) if existing.entry.seq == entry.seq && existing.expires > now => {
+                existing.expires = existing.expires.max(entry.expires_at(now));
+                false
+            }
             _ => {
                 let expires = entry.expires_at(now);
                 self.entries.insert(
@@ -129,6 +137,40 @@ impl SlpRegistry {
             .collect()
     }
 
+    /// All unexpired `service:gateway` entries ranked for lease candidacy:
+    /// fewest hops first (per `hops_to`; unreachable sorts last), then the
+    /// longest remaining lifetime, then origin for a stable total order.
+    /// The Connection Provider leases from the head and keeps the tail as
+    /// warm standby for mid-call handoff.
+    pub fn gateway_candidates(
+        &self,
+        now: SimTime,
+        hops_to: impl FnMut(siphoc_simnet::net::Addr) -> Option<u8>,
+    ) -> Vec<ServiceEntry> {
+        let mut out: Vec<ServiceEntry> = self
+            .entries
+            .values()
+            .filter(|s| {
+                s.expires > now && s.entry.service_type == crate::service::service_types::GATEWAY
+            })
+            .map(|s| refreshed(s, now))
+            .collect();
+        rank_gateways(&mut out, hops_to);
+        out
+    }
+
+    /// Removes every learned entry announced by `origin` — used when the
+    /// node has first-hand evidence the origin is dead (e.g. a gateway
+    /// that stopped answering tunnel keepalives) and its adverts must not
+    /// keep satisfying lookups until they expire. Local registrations are
+    /// untouched. Returns how many entries were dropped.
+    pub fn purge_origin(&mut self, origin: siphoc_simnet::net::Addr) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, s| s.local || s.entry.origin != origin);
+        before - self.entries.len()
+    }
+
     /// Drops expired entries.
     pub fn purge(&mut self, now: SimTime) {
         self.entries.retain(|_, s| s.expires > now);
@@ -185,6 +227,23 @@ fn refreshed(s: &Stored, now: SimTime) -> ServiceEntry {
     e
 }
 
+/// Orders gateway entries by lease desirability: hop count to the origin
+/// ascending (no route = `u8::MAX`, last), remaining lifetime descending
+/// (fresher adverts are likelier to still be alive), origin ascending as a
+/// deterministic tiebreak.
+pub fn rank_gateways(
+    entries: &mut [ServiceEntry],
+    mut hops_to: impl FnMut(siphoc_simnet::net::Addr) -> Option<u8>,
+) {
+    entries.sort_by_key(|e| {
+        (
+            hops_to(e.origin).unwrap_or(u8::MAX),
+            std::cmp::Reverse(e.lifetime_secs),
+            e.origin,
+        )
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +274,73 @@ mod tests {
         );
         assert!(r.absorb(sip("alice@v.ch", 1, 6, 60), now), "newer accepted");
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn same_seq_reannouncement_extends_expiry() {
+        let mut r = SlpRegistry::new();
+        assert!(r.absorb(sip("alice@v.ch", 1, 5, 60), SimTime::ZERO));
+        // Re-announced at t=50 with the same seq: not re-gossiped, but the
+        // lifetime restarts, so the entry must survive past the original
+        // t=60 expiry.
+        assert!(!r.absorb(sip("alice@v.ch", 1, 5, 60), SimTime::from_secs(50)));
+        assert_eq!(
+            r.lookup("sip", "alice@v.ch", SimTime::from_secs(90)).len(),
+            1,
+            "refresh must extend expiry"
+        );
+        assert!(r
+            .lookup("sip", "alice@v.ch", SimTime::from_secs(120))
+            .is_empty());
+    }
+
+    #[test]
+    fn same_seq_refresh_never_shortens_expiry() {
+        let mut r = SlpRegistry::new();
+        assert!(r.absorb(sip("alice@v.ch", 1, 5, 100), SimTime::ZERO));
+        // A same-seq copy with a shorter lifetime (e.g. relayed late) must
+        // not pull the expiry earlier.
+        assert!(!r.absorb(sip("alice@v.ch", 1, 5, 10), SimTime::from_secs(5)));
+        assert_eq!(
+            r.lookup("sip", "alice@v.ch", SimTime::from_secs(90)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn gateway_candidates_rank_by_hops_then_freshness() {
+        let mut r = SlpRegistry::new();
+        let now = SimTime::ZERO;
+        let gw = |origin: u32, seq, lifetime| {
+            ServiceEntry::gateway(
+                format!("82.130.{origin}.1:7077").parse().unwrap(),
+                Addr::manet(origin),
+                seq,
+                lifetime,
+            )
+        };
+        r.absorb(gw(1, 1, 60), now); // 3 hops
+        r.absorb(gw(2, 1, 60), now); // 1 hop
+        r.absorb(gw(3, 1, 30), now); // 1 hop but staler
+        r.absorb(gw(4, 1, 60), now); // unreachable
+        r.absorb(sip("alice@v.ch", 9, 1, 60), now); // not a gateway
+        let hops = |a: Addr| match a {
+            a if a == Addr::manet(1) => Some(3),
+            a if a == Addr::manet(2) => Some(1),
+            a if a == Addr::manet(3) => Some(1),
+            _ => None,
+        };
+        let ranked = r.gateway_candidates(now, hops);
+        let origins: Vec<Addr> = ranked.iter().map(|e| e.origin).collect();
+        assert_eq!(
+            origins,
+            vec![
+                Addr::manet(2),
+                Addr::manet(3),
+                Addr::manet(1),
+                Addr::manet(4)
+            ]
+        );
     }
 
     #[test]

@@ -19,4 +19,7 @@ cargo clippy --all-targets --all-features -- -D warnings \
 # Crash canary for the benchmark harness: smallest workloads, one rep.
 # Failure means a panic, never a perf number.
 scripts/bench.sh --smoke
-
+# Mid-call gateway handoff canary: one seed, asserts the call survives and
+# the detection + re-lease budget (5 s simulated) holds.
+cargo build --release -p siphoc-bench --bin exp_handoff
+./target/release/exp_handoff --smoke

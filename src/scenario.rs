@@ -111,6 +111,24 @@ pub struct NodeSpecJson {
     pub mobility: Option<MobilitySpec>,
 }
 
+/// Tunnel keepalive configuration, applied to every node's Connection
+/// Provider.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeepaliveSpec {
+    /// Ping interval, milliseconds. `0` disables keepalives (and with
+    /// them fast dead-gateway detection and mid-call handoff).
+    pub interval_ms: u64,
+    /// Consecutive unanswered pings before the gateway is declared dead.
+    #[serde(default = "default_max_missed")]
+    pub max_missed: u32,
+}
+
+// See `default_reorder_ms` on why this needs the allow.
+#[allow(dead_code)]
+fn default_max_missed() -> u32 {
+    3
+}
+
 /// A simulated Internet SIP provider.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProviderSpec {
@@ -274,6 +292,10 @@ pub struct Scenario {
     /// Fault-injection plan, if any.
     #[serde(default)]
     pub chaos: Option<ChaosSpec>,
+    /// Tunnel keepalive override for every node; omitted keeps the
+    /// Connection Provider defaults.
+    #[serde(default)]
+    pub keepalive: Option<KeepaliveSpec>,
 }
 
 // See `default_reorder_ms` on why this needs the allow.
@@ -611,6 +633,9 @@ impl Scenario {
             let mut spec = NodeSpec::relay(n.x, n.y)
                 .with_routing(self.routing.to_protocol())
                 .with_dns(dns.clone());
+            if let Some(ka) = &self.keepalive {
+                spec = spec.with_keepalive(SimDuration::from_millis(ka.interval_ms), ka.max_missed);
+            }
             if let Some(g) = &n.gateway {
                 spec = spec.with_gateway(g.parse().expect("validated"));
             }
@@ -778,6 +803,7 @@ mod tests {
             ],
             providers: Vec::new(),
             chaos: None,
+            keepalive: None,
         }
     }
 

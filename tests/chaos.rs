@@ -7,8 +7,12 @@
 
 use wireless_adhoc_voip::core::config::VoipAppConfig;
 use wireless_adhoc_voip::core::nodesetup::{deploy, NodeSpec};
+use wireless_adhoc_voip::internet::dns::DnsDirectory;
+use wireless_adhoc_voip::internet::provider::{ProviderConfig, SipProviderProcess};
+use wireless_adhoc_voip::simnet::net::ports;
+use wireless_adhoc_voip::simnet::node::NodeConfig;
 use wireless_adhoc_voip::simnet::prelude::*;
-use wireless_adhoc_voip::sip::ua::{CallEvent, UaConfig};
+use wireless_adhoc_voip::sip::ua::{CallEvent, UaConfig, UserAgent};
 use wireless_adhoc_voip::sip::uri::Aor;
 
 fn user(name: &str, call: Option<(u64, &str, u64)>) -> UaConfig {
@@ -274,6 +278,83 @@ fn restart_purges_learned_slp_entries() {
         .count();
     assert_eq!(learned_after, 0, "learned entries purged on restart");
     assert!(w.node(alice.id).stats().get("slp.purged_restart").packets >= 1);
+}
+
+/// Poisson churn on the gateways themselves: the serving gateway dies and
+/// comes back repeatedly while a client holds a tunnel. Keepalive-driven
+/// dead-gateway detection must fire at least once, the client must hold a
+/// lease again once the churn window closes, and a late Internet call
+/// must still establish.
+#[test]
+fn gateway_churn_client_recovers_and_calls_after() {
+    let mut w = World::new(WorldConfig::new(1601).with_radio(RadioConfig::ideal()));
+    let dns = DnsDirectory::new().with_record("voicehoc.ch", Addr(0x52010101));
+    let p = w.add_node(NodeConfig::wired(Addr(0x52010101)));
+    w.spawn(
+        p,
+        Box::new(SipProviderProcess::new(ProviderConfig::new(
+            "voicehoc.ch",
+            dns.clone(),
+        ))),
+    );
+    let iris_node = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 50)));
+    let mut iris_cfg = UaConfig::new(
+        Aor::new("iris", "voicehoc.ch"),
+        SocketAddr::new(Addr(0x52010101), ports::SIP),
+    );
+    iris_cfg.answer_delay = SimDuration::ZERO;
+    let (iris, _iris_log) = UserAgent::new(iris_cfg);
+    w.spawn(iris_node, Box::new(iris));
+
+    let gw1 = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0)
+            .with_gateway(Addr::new(82, 130, 64, 1))
+            .with_dns(dns.clone()),
+    );
+    let gw2 = deploy(
+        &mut w,
+        NodeSpec::relay(120.0, 0.0)
+            .with_gateway(Addr::new(82, 130, 65, 1))
+            .with_dns(dns.clone()),
+    );
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(60.0, 0.0)
+            .with_dns(dns)
+            .with_user(user("alice", Some((110, "iris", 5)))),
+    );
+
+    // Both gateways churn (up ~25 s, down ~8 s) between t=20 and t=90;
+    // the fault engine guarantees everyone is back up by the window end.
+    let mut churn_rng = SimRng::from_seed_and_stream(1601, 4243);
+    let plan = FaultPlan::new().with_poisson_churn(
+        &[gw1.id, gw2.id],
+        25.0,
+        8.0,
+        SimTime::from_secs(20),
+        SimTime::from_secs(90),
+        &mut churn_rng,
+    );
+    w.install_fault_plan(plan);
+    w.run_until(SimTime::from_secs(140));
+
+    let st = w.node(alice.id).stats();
+    assert!(
+        st.get("cp.gateway_dead").packets >= 1,
+        "keepalives must catch at least one gateway death"
+    );
+    assert!(w.total_stats().get("fault.crash").packets >= 1);
+    assert!(
+        w.node(alice.id).local_addrs().iter().any(|a| a.is_public()),
+        "client must hold a lease after the churn window"
+    );
+    let a = alice.ua_logs[0].borrow();
+    assert!(
+        a.any(|e| matches!(e, CallEvent::Established { .. })),
+        "Internet call after the churn must establish: {:?}",
+        a.events()
+    );
 }
 
 /// With no gateway anywhere, the Connection Provider's re-probes back off

@@ -160,6 +160,10 @@ fn workflow_jobs_run_the_scripts_they_mirror() {
         bench.contains("results/BENCH_baseline.json"),
         "bench job must compare against the tracked baseline"
     );
+    assert!(
+        bench.contains("exp_handoff") && bench.contains("--smoke"),
+        "bench job must run the gateway-handoff smoke canary"
+    );
 
     let features = block(&jobs, "features:");
     for needle in ["matrix", "--no-default-features", "payload-serde", "obs"] {

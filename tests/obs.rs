@@ -51,6 +51,7 @@ fn call_scenario() -> Scenario {
         ],
         providers: Vec::new(),
         chaos: None,
+        keepalive: None,
     }
 }
 

@@ -98,6 +98,46 @@ fn remote_node_caches_learned_binding_with_remote_marker() {
     assert!(rendered.contains("[remote]"), "{rendered}");
 }
 
+/// Regression: gossip re-announces an entry with the *same* sequence
+/// number between origin-side refreshes. A learned copy must have its
+/// expiry extended by each re-announcement — before the fix it silently
+/// kept the original deadline and vanished after one lifetime even
+/// though the origin was alive and re-announcing the whole time.
+#[test]
+fn learned_advert_survives_same_seq_reannouncements() {
+    use wireless_adhoc_voip::slp::registry::SlpRegistry;
+    use wireless_adhoc_voip::slp::service::{service_types, ServiceEntry};
+
+    let origin = Addr::new(10, 0, 0, 7);
+    let advert = || {
+        ServiceEntry::gateway(
+            SocketAddr::new(origin, 7077),
+            origin,
+            5, // seq frozen between origin refreshes
+            60,
+        )
+    };
+    let mut reg = SlpRegistry::new();
+    assert!(reg.absorb(advert(), SimTime::ZERO));
+
+    // Re-announcements every 20 s, well past the original 60 s lifetime.
+    for t in (20..=200).step_by(20) {
+        reg.absorb(advert(), SimTime::from_secs(t));
+    }
+    assert_eq!(
+        reg.lookup(service_types::GATEWAY, "", SimTime::from_secs(200))
+            .len(),
+        1,
+        "continuously re-announced advert must stay live"
+    );
+    // Once the announcements stop, the last-granted lifetime still rules.
+    assert!(
+        reg.lookup(service_types::GATEWAY, "", SimTime::from_secs(261))
+            .is_empty(),
+        "advert expires one lifetime after the final re-announcement"
+    );
+}
+
 #[test]
 fn node_restart_loses_and_regains_state() {
     let mut w = World::new(WorldConfig::new(405).with_radio(RadioConfig::ideal()));
