@@ -17,7 +17,7 @@
 use siphoc_simnet::net::{ports, Addr, Datagram, SocketAddr};
 use siphoc_simnet::obs::{SpanCat, SpanId};
 use siphoc_simnet::process::{Ctx, LocalEvent, Process};
-use siphoc_simnet::time::SimDuration;
+use siphoc_simnet::time::{SimDuration, SimTime};
 
 use siphoc_slp::manet::SharedRegistry;
 use siphoc_slp::msg::SlpMsg;
@@ -62,6 +62,17 @@ pub struct ConnectionProviderConfig {
     /// `(keepalive_max_missed + 1) * keepalive_interval` in the worst
     /// case — ~4 s with the defaults, inside the 5 s handoff budget.
     pub keepalive_max_missed: u32,
+    /// Number of *warm standby* leases to hold alongside the active one
+    /// (make-before-break). Each standby is a live lease on a ranked
+    /// `service:gateway` candidate, kept warm with its own keepalive and
+    /// refresh chains, so a dead active gateway is replaced by promotion
+    /// instead of a fresh handshake. `0` disables multi-homing and
+    /// restores the cold-contact (break-before-make) failover.
+    pub standby_target: u32,
+    /// Period of the standby maintenance scan: expired or dead standbys
+    /// are dropped and the warm set is replenished back to
+    /// `standby_target` from the current gateway ranking.
+    pub standby_refresh: SimDuration,
 }
 
 impl Default for ConnectionProviderConfig {
@@ -74,6 +85,8 @@ impl Default for ConnectionProviderConfig {
             wired_public: None,
             keepalive_interval: SimDuration::from_secs(1),
             keepalive_max_missed: 3,
+            standby_target: 1,
+            standby_refresh: SimDuration::from_secs(10),
         }
     }
 }
@@ -101,12 +114,67 @@ const TAG_CHECK: u64 = 1;
 const TAG_CONNECT_TIMEOUT: u64 = 2;
 const TAG_REFRESH: u64 = 3;
 const TAG_KEEPALIVE: u64 = 4;
+const TAG_STANDBY_SCAN: u64 = 5;
+const TAG_STANDBY_KA: u64 = 6;
+const TAG_STANDBY_REFRESH: u64 = 7;
+const TAG_STANDBY_TIMEOUT: u64 = 8;
 
 /// Timers cannot be cancelled, so the refresh and keepalive chains carry a
 /// generation in the token's upper bits; a fired timer whose generation no
-/// longer matches is a stale chain and is ignored.
+/// longer matches is a stale chain and is ignored. Standby chains carry
+/// the standby's id instead — a fired timer whose id no longer names a
+/// live standby is likewise stale.
 const fn tok(tag: u64, gen: u64) -> u64 {
     tag | (gen << 8)
+}
+
+/// A warm standby: a live lease held on a non-active gateway, pre-warmed
+/// so promotion at handoff time is a state flip, not a handshake.
+#[derive(Debug, Clone)]
+struct Standby {
+    /// Distinguishes this standby's timer chains from any predecessor's.
+    id: u64,
+    /// The gateway's tunnel-server contact.
+    gateway: SocketAddr,
+    /// The node that advertised the gateway (hop ranking, liveness).
+    origin: Addr,
+    /// The leased public address once the standby is warm; `None` while
+    /// the TCONNECT is still outstanding.
+    public: Option<Addr>,
+    /// Granted lease lifetime.
+    lease: SimDuration,
+    /// When the standby's lease lapses unless refreshed.
+    lease_expires: SimTime,
+    /// When the gateway's SLP advert lapses; a standby whose advert
+    /// expired is dropped (`cp.standby_expired`) — the gateway stopped
+    /// re-announcing and is not worth keeping warm.
+    advert_expires: SimTime,
+    /// Consecutive unanswered standby keepalive pings.
+    missed_pings: u32,
+}
+
+/// A cold standby contact from the last probe: no lease held, just a
+/// ranked fallback for when the registry has nothing better.
+#[derive(Debug, Clone)]
+struct ColdContact {
+    contact: SocketAddr,
+    origin: Addr,
+    /// When the advert backing this contact lapses.
+    expires: SimTime,
+}
+
+/// Orders standby contacts for a failover: fewest hops to the
+/// advertising origin first (unreachable last), then the freshest advert,
+/// then origin for a stable total order — the same desirability order as
+/// `rank_gateways`, applied at failover time instead of insertion time.
+fn rank_cold_contacts(contacts: &mut [ColdContact], mut hops_to: impl FnMut(Addr) -> Option<u8>) {
+    contacts.sort_by_key(|c| {
+        (
+            hops_to(c.origin).unwrap_or(u8::MAX),
+            std::cmp::Reverse(c.expires),
+            c.origin,
+        )
+    });
 }
 
 /// The Connection Provider process.
@@ -123,9 +191,16 @@ pub struct ConnectionProvider {
     /// Generation of the live lease-refresh timer chain.
     refresh_gen: u64,
     ping_seq: u64,
-    /// Ranked `service:gateway` contacts beyond the one we leased from —
-    /// the warm-standby set a handoff falls back to without re-probing.
-    standby: Vec<SocketAddr>,
+    /// Cold `service:gateway` contacts beyond the one we leased from —
+    /// the fallback set a handoff re-ranks when no warm standby survives.
+    standby: Vec<ColdContact>,
+    /// Warm standby leases (make-before-break), at most
+    /// `cfg.standby_target` of them.
+    warm: Vec<Standby>,
+    /// Id generator for standby timer chains.
+    next_standby_id: u64,
+    /// Generation of the live standby maintenance scan chain.
+    scan_gen: u64,
     /// The node's MANET SLP registry, for ranking fresh gateway
     /// candidates at handoff time.
     registry: Option<SharedRegistry>,
@@ -138,6 +213,12 @@ pub struct ConnectionProvider {
     /// outlive it in neighbor caches for a full lifetime; every candidate
     /// ranking skips it until a lease from someone else proves recovery.
     dead_gateway: Option<Addr>,
+    /// Earliest time the next exhaustive gateway sweep may run. The
+    /// registry only learns what floods past this node; when the warm set
+    /// is short, the scan sweeps the network for additional gateways —
+    /// throttled, since a single-gateway MANET would otherwise flood on
+    /// every scan forever.
+    next_sweep_at: SimTime,
 }
 
 impl ConnectionProvider {
@@ -154,11 +235,15 @@ impl ConnectionProvider {
             refresh_gen: 0,
             ping_seq: 0,
             standby: Vec::new(),
+            warm: Vec::new(),
+            next_standby_id: 0,
+            scan_gen: 0,
             registry: None,
             handoff_span: SpanId::NONE,
             handoff_started_us: 0,
             handoff_from: None,
             dead_gateway: None,
+            next_sweep_at: SimTime::ZERO,
         }
     }
 
@@ -239,10 +324,10 @@ impl ConnectionProvider {
         self.state = State::Idle;
     }
 
-    /// Ranked tunnel-server contacts for every live `service:gateway`
-    /// entry the node knows, best first, excluding `exclude` (the gateway
-    /// just declared dead).
-    fn candidate_gateways(&self, ctx: &Ctx<'_>, exclude: Option<Addr>) -> Vec<SocketAddr> {
+    /// Ranked `service:gateway` entries for every live advert the node
+    /// knows, best first, excluding `exclude` (the gateway just declared
+    /// dead).
+    fn candidate_gateways(&self, ctx: &Ctx<'_>, exclude: Option<Addr>) -> Vec<ServiceEntry> {
         let Some(reg) = &self.registry else {
             return Vec::new();
         };
@@ -254,7 +339,6 @@ impl ConnectionProvider {
             .filter(|e| {
                 exclude != Some(e.contact.addr) && exclude != Some(e.origin) && !self.is_dead(e)
             })
-            .map(|e| e.contact)
             .collect()
     }
 
@@ -263,14 +347,205 @@ impl ConnectionProvider {
         self.dead_gateway == Some(e.contact.addr) || self.dead_gateway == Some(e.origin)
     }
 
-    /// Pops the best remaining standby contact, dropping any entry for
-    /// the gateway that just failed.
-    fn next_standby(&mut self, failed: Addr) -> Option<SocketAddr> {
-        self.standby.retain(|c| c.addr != failed);
+    /// Pops the best remaining cold standby contact, dropping entries for
+    /// the gateway that just failed and contacts whose backing advert
+    /// lapsed, then **re-ranking the survivors against current routes** —
+    /// the ranking captured at probe time is stale by the time a failover
+    /// needs it (nodes moved, routes changed, adverts refreshed).
+    fn next_standby(&mut self, ctx: &mut Ctx<'_>, failed: Addr) -> Option<SocketAddr> {
+        let now = ctx.now();
+        self.standby
+            .retain(|c| c.contact.addr != failed && c.origin != failed);
+        let before = self.standby.len();
+        self.standby.retain(|c| c.expires > now);
+        let lapsed = before - self.standby.len();
+        if lapsed > 0 {
+            ctx.stats().count("cp.standby_expired", lapsed);
+            ctx.obs().counter_add("cp.standby_expired", lapsed as u64);
+        }
+        {
+            let routes = ctx.routes_ref();
+            rank_cold_contacts(&mut self.standby, |a| {
+                routes.lookup_specific(a, now).map(|r| r.hops)
+            });
+        }
         if self.standby.is_empty() {
             None
         } else {
-            Some(self.standby.remove(0))
+            Some(self.standby.remove(0).contact)
+        }
+    }
+
+    /// Records the tail of a gateway ranking as the cold fallback set.
+    fn keep_cold(&mut self, entries: &[ServiceEntry], now: SimTime) {
+        self.standby = entries
+            .iter()
+            .map(|e| ColdContact {
+                contact: e.contact,
+                origin: e.origin,
+                expires: e.expires_at(now),
+            })
+            .collect();
+    }
+
+    /// Drops every warm standby (teardown, declared outage) and kills the
+    /// maintenance scan chain. Nothing is released on the gateway side:
+    /// standby leases are soft state and expire there.
+    fn drop_standbys(&mut self, ctx: &mut Ctx<'_>) {
+        let warm = self.warm.iter().filter(|s| s.public.is_some()).count();
+        if warm > 0 {
+            ctx.stats().count("cp.standby_drop", warm);
+        }
+        self.warm.clear();
+        self.scan_gen += 1;
+    }
+
+    /// One standby maintenance pass: refresh advert lifetimes from the
+    /// registry, expire standbys whose advert or lease lapsed, and
+    /// replenish the warm set back to `standby_target` from the current
+    /// gateway ranking. Runs on the `TAG_STANDBY_SCAN` chain while a
+    /// lease is held.
+    fn maintain_standbys(&mut self, ctx: &mut Ctx<'_>) {
+        let State::Connected { gateway, .. } = &self.state else {
+            return;
+        };
+        let active = gateway.addr;
+        let now = ctx.now();
+        let candidates = self.candidate_gateways(ctx, Some(active));
+        // A steadily re-announced gateway must not age out of the warm
+        // set: adopt the freshest advert lifetime the registry holds.
+        for s in &mut self.warm {
+            if let Some(e) = candidates.iter().find(|e| e.origin == s.origin) {
+                s.advert_expires = s.advert_expires.max(e.expires_at(now));
+            }
+        }
+        self.expire_standbys(ctx, now);
+        let before = self.standby.len();
+        self.standby.retain(|c| c.expires > now);
+        let lapsed = before - self.standby.len();
+        if lapsed > 0 {
+            ctx.stats().count("cp.standby_expired", lapsed);
+            ctx.obs().counter_add("cp.standby_expired", lapsed as u64);
+        }
+        // Replenish: best-ranked candidates first, cold contacts as a
+        // last resort, skipping gateways already in the warm set.
+        let mut pool: Vec<(SocketAddr, Addr, SimTime)> = candidates
+            .iter()
+            .map(|e| (e.contact, e.origin, e.expires_at(now)))
+            .collect();
+        for c in &self.standby {
+            if c.contact.addr != active && !pool.iter().any(|(ct, ..)| ct.addr == c.contact.addr) {
+                pool.push((c.contact, c.origin, c.expires));
+            }
+        }
+        for (contact, origin, advert_expires) in pool {
+            if self.warm.len() as u32 >= self.cfg.standby_target {
+                break;
+            }
+            if self
+                .warm
+                .iter()
+                .any(|s| s.gateway.addr == contact.addr || s.origin == origin)
+            {
+                continue;
+            }
+            if self.dead_gateway == Some(contact.addr) || self.dead_gateway == Some(origin) {
+                continue;
+            }
+            self.next_standby_id += 1;
+            let id = self.next_standby_id;
+            self.warm.push(Standby {
+                id,
+                gateway: contact,
+                origin,
+                public: None,
+                lease: SimDuration::ZERO,
+                lease_expires: now,
+                advert_expires,
+                missed_pings: 0,
+            });
+            ctx.stats().count("cp.standby_connect", 1);
+            ctx.send_to(contact, ports::TUNNEL, TunnelMsg::Connect.to_wire());
+            ctx.set_timer(self.cfg.connect_timeout, tok(TAG_STANDBY_TIMEOUT, id));
+        }
+        // Still short of the target? The registry holds too few distinct
+        // gateways — sweep the network for more. Answers are absorbed into
+        // the registry as they flood back; a later scan warms them. (The
+        // startup probe races every node's simultaneous discovery and is
+        // answered by the *nearest* match, so a multi-homed node must keep
+        // looking for alternatives it never heard of.)
+        if (self.warm.len() as u32) < self.cfg.standby_target && now >= self.next_sweep_at {
+            self.next_sweep_at = now + self.cfg.standby_refresh.max(SimDuration::from_secs(5));
+            self.next_xid += 1;
+            ctx.stats().count("cp.standby_sweep", 1);
+            ctx.obs().counter_add("cp.standby_sweep", 1);
+            let m = SlpMsg::SrvRqstX {
+                xid: self.next_xid,
+                service_type: service_types::GATEWAY.to_owned(),
+                key: String::new(),
+            };
+            ctx.send_local(ports::SLP, CP_SLP_PORT, m.to_wire());
+        }
+    }
+
+    /// Drops warm standbys whose SLP advert lifetime (or held lease)
+    /// lapsed, with the `cp.standby_expired` counter.
+    fn expire_standbys(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
+        let before = self.warm.len();
+        self.warm
+            .retain(|s| s.advert_expires > now && (s.public.is_none() || s.lease_expires > now));
+        let lapsed = before - self.warm.len();
+        if lapsed > 0 {
+            ctx.stats().count("cp.standby_expired", lapsed);
+            ctx.obs().counter_add("cp.standby_expired", lapsed as u64);
+        }
+    }
+
+    /// Flips a warm standby into the active lease (make-before-break
+    /// promotion): the standby tunnel is already up, leased and verified
+    /// live, so the handoff completes in the same event that detected the
+    /// death — no handshake on the critical path.
+    fn promote(&mut self, ctx: &mut Ctx<'_>, s: Standby) {
+        let public = s.public.expect("only warm standbys are promoted");
+        let now = ctx.now();
+        let lease = s.lease_expires.saturating_since(now);
+        self.state = State::Connected {
+            gateway: s.gateway,
+            public,
+            lease,
+            refresh_failures: 0,
+            refresh_outstanding: false,
+            missed_pings: 0,
+        };
+        self.consecutive_failures = 0;
+        ctx.add_local_addr(public);
+        ctx.set_default_handler(true);
+        ctx.stats().count("cp.promote", 1);
+        ctx.obs().counter_add("cp.promote", 1);
+        ctx.emit(LocalEvent::Custom {
+            kind: INTERNET_UP_EVENT,
+            data: public.to_string().into_bytes(),
+        });
+        // Re-anchor the refresh and liveness chains on the promoted
+        // gateway; the standby's own chains died with its removal. The
+        // immediate TCONNECT re-confirms the lease server-side.
+        self.refresh_gen += 1;
+        ctx.stats().count("cp.tconnect", 1);
+        ctx.send_to(s.gateway, ports::TUNNEL, TunnelMsg::Connect.to_wire());
+        let refresh_in = lease.max(SimDuration::from_secs(2)) / 2;
+        ctx.set_timer(refresh_in, tok(TAG_REFRESH, self.refresh_gen));
+        if !self.cfg.keepalive_interval.is_zero() {
+            self.ka_gen += 1;
+            ctx.set_timer(self.cfg.keepalive_interval, tok(TAG_KEEPALIVE, self.ka_gen));
+        }
+        if self.handoff_from.take().is_some() {
+            ctx.span_exit(self.handoff_span, true);
+            self.handoff_span = SpanId::NONE;
+            let took = ctx.now_us().saturating_sub(self.handoff_started_us);
+            ctx.obs().hist_record("cp.handoff_us", took);
+            ctx.obs().hist_record("cp.promote_us", took);
+            ctx.stats().count("cp.handoff_ok", 1);
+            ctx.obs().counter_add("cp.handoff_ok", 1);
         }
     }
 
@@ -309,32 +584,73 @@ impl ConnectionProvider {
                 ctx.stats().count("cp.slp_purged", purged);
             }
         }
+        // Make-before-break: drop standbys that rode the dead gateway,
+        // expire the stale, re-rank the survivors against *current*
+        // routes (hops, then advert freshness) and promote the hottest
+        // warm one — a pre-warmed lease makes the switch a state flip
+        // with no handshake on the critical path.
+        let now = ctx.now();
+        let rode_dead = self
+            .warm
+            .iter()
+            .filter(|s| {
+                (s.gateway.addr == gateway.addr || s.origin == gateway.addr) && s.public.is_some()
+            })
+            .count();
+        if rode_dead > 0 {
+            ctx.stats().count("cp.standby_dead", rode_dead);
+        }
+        self.warm
+            .retain(|s| s.gateway.addr != gateway.addr && s.origin != gateway.addr);
+        self.expire_standbys(ctx, now);
+        {
+            let routes = ctx.routes_ref();
+            self.warm.sort_by_key(|s| {
+                (
+                    routes
+                        .lookup_specific(s.origin, now)
+                        .map(|r| r.hops)
+                        .unwrap_or(u8::MAX),
+                    std::cmp::Reverse(s.advert_expires),
+                    s.origin,
+                )
+            });
+        }
+        if let Some(i) = self.warm.iter().position(|s| s.public.is_some()) {
+            let s = self.warm.remove(i);
+            self.promote(ctx, s);
+            return;
+        }
+        // No warm standby survived: break-before-make fallback through
+        // the registry ranking, then the cold contacts, then a probe.
         let mut candidates = self.candidate_gateways(ctx, Some(gateway.addr));
         if candidates.is_empty() {
             // Stale SLP standby may still name the dead gateway's
-            // neighbors; fall back to whatever the last probe ranked.
-            candidates = std::mem::take(&mut self.standby);
-            candidates.retain(|c| c.addr != gateway.addr);
-        }
-        match candidates.first().copied() {
-            Some(best) => {
-                self.standby = candidates.split_off(1);
-                self.connect(ctx, best, 0);
+            // neighbors; fall back to whatever the last probe ranked,
+            // re-ranked against current routes.
+            match self.next_standby(ctx, gateway.addr) {
+                Some(best) => self.connect(ctx, best, 0),
+                None => {
+                    // No candidate at all — fall back to a fresh SLP
+                    // probe. The handoff stays in flight (`handoff_from`
+                    // kept): the probe is its continuation, and only an
+                    // empty or exhausted probe declares the node offline.
+                    self.probe(ctx);
+                }
             }
-            None => {
-                // No warm candidate — fall back to a fresh SLP probe. The
-                // handoff stays in flight (`handoff_from` kept): the probe
-                // is its continuation, and only an empty or exhausted
-                // probe declares the node offline.
-                self.standby.clear();
-                self.probe(ctx);
-            }
+            return;
         }
+        let best = candidates.remove(0);
+        self.keep_cold(&candidates, now);
+        self.connect(ctx, best.contact, 0);
     }
 
     /// Gives up an in-flight handoff: the node is genuinely offline now,
     /// so release the default handler and tell the stack.
     fn fail_handoff(&mut self, ctx: &mut Ctx<'_>) {
+        // Whatever the outcome, the warm set does not survive going
+        // offline — standbys are maintained only alongside a live lease.
+        self.drop_standbys(ctx);
         if self.handoff_from.take().is_some() {
             ctx.span_exit(self.handoff_span, false);
             self.handoff_span = SpanId::NONE;
@@ -396,6 +712,27 @@ impl ConnectionProvider {
                     ctx.stats().count("cp.handoff_ok", 1);
                     ctx.obs().counter_add("cp.handoff_ok", 1);
                 }
+                // A standby lease on the now-active gateway merged into
+                // the active one; count it as released, not leaked.
+                let merged = self
+                    .warm
+                    .iter()
+                    .filter(|s| s.gateway.addr == from.addr && s.public.is_some())
+                    .count();
+                if merged > 0 {
+                    ctx.stats().count("cp.standby_drop", merged);
+                }
+                self.warm.retain(|s| s.gateway.addr != from.addr);
+                // Multi-homing: start (or restart) the standby
+                // maintenance chain that keeps `standby_target` warm
+                // leases alongside this one.
+                if self.cfg.standby_target > 0 && !self.cfg.standby_refresh.is_zero() {
+                    self.scan_gen += 1;
+                    ctx.set_timer(
+                        SimDuration::from_millis(10),
+                        tok(TAG_STANDBY_SCAN, self.scan_gen),
+                    );
+                }
             }
             State::Connected {
                 gateway,
@@ -430,7 +767,55 @@ impl ConnectionProvider {
                     ctx.set_timer(lease / 2, tok(TAG_REFRESH, self.refresh_gen));
                 }
             }
-            _ => {}
+            _ => {
+                // Not for the active tunnel: a standby warming up (first
+                // grant) or refreshing. Handled outside the match so the
+                // state borrow is released.
+            }
+        }
+        if !self.standby_owns_lease(from) {
+            return;
+        }
+        self.on_standby_lease(ctx, from, public, lease);
+    }
+
+    /// Whether a lease grant from `from` belongs to a warm-set entry (and
+    /// not to the active/connecting tunnel, which consumed it above).
+    fn standby_owns_lease(&self, from: SocketAddr) -> bool {
+        self.warm.iter().any(|s| s.gateway.addr == from.addr)
+    }
+
+    /// A lease grant for a standby: record it warm. The granted public
+    /// address is *held*, never installed — the node keeps exactly one
+    /// active public alias, so pre-warming is invisible to the stack
+    /// until promotion.
+    fn on_standby_lease(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: SocketAddr,
+        public: Addr,
+        lease: SimDuration,
+    ) {
+        let now = ctx.now();
+        let ka = self.cfg.keepalive_interval;
+        let Some(s) = self.warm.iter_mut().find(|s| s.gateway.addr == from.addr) else {
+            return;
+        };
+        let newly_warm = s.public.is_none();
+        s.public = Some(public);
+        s.lease = lease;
+        s.lease_expires = now + lease;
+        s.missed_pings = 0;
+        let id = s.id;
+        if newly_warm {
+            ctx.stats().count("cp.standby_warm", 1);
+            ctx.obs().counter_add("cp.standby_warm", 1);
+            // The standby gets its own keepalive and refresh chains so
+            // it is *verified* warm, not merely leased-once.
+            if !ka.is_zero() {
+                ctx.set_timer(ka, tok(TAG_STANDBY_KA, id));
+            }
+            ctx.set_timer(lease / 2, tok(TAG_STANDBY_REFRESH, id));
         }
     }
 
@@ -498,8 +883,9 @@ impl Process for ConnectionProvider {
                         }
                         match entries.first() {
                             Some(gw) => {
-                                self.standby = entries.iter().skip(1).map(|e| e.contact).collect();
                                 let best = gw.contact;
+                                let now = ctx.now();
+                                self.keep_cold(&entries[1..], now);
                                 self.connect(ctx, best, 0);
                             }
                             None => {
@@ -529,6 +915,7 @@ impl Process for ConnectionProvider {
                     ctx.reinject(inner);
                 }
                 Some(TunnelMsg::Pong { .. }) => {
+                    let mut active = false;
                     if let State::Connected {
                         gateway,
                         missed_pings,
@@ -537,11 +924,25 @@ impl Process for ConnectionProvider {
                     {
                         if gateway.addr == dgram.src.addr {
                             *missed_pings = 0;
-                            ctx.stats().count("cp.pong", 1);
+                            active = true;
                         }
                     }
+                    if active {
+                        ctx.stats().count("cp.pong", 1);
+                    } else if let Some(s) = self
+                        .warm
+                        .iter_mut()
+                        .find(|s| s.gateway.addr == dgram.src.addr)
+                    {
+                        // A standby answering its keepalive: still warm.
+                        s.missed_pings = 0;
+                        ctx.stats().count("cp.standby_pong", 1);
+                    }
                 }
-                Some(TunnelMsg::Connect) | Some(TunnelMsg::Ping { .. }) | None => {
+                Some(TunnelMsg::Connect)
+                | Some(TunnelMsg::Ping { .. })
+                | Some(TunnelMsg::Relay(_))
+                | None => {
                     ctx.stats().count("cp.unexpected_msg", dgram.payload.len());
                 }
             }
@@ -568,7 +969,7 @@ impl Process for ConnectionProvider {
                 if let State::Connecting { gateway, attempts } = self.state {
                     if attempts < 2 {
                         self.connect(ctx, gateway, attempts + 1);
-                    } else if let Some(next) = self.next_standby(gateway.addr) {
+                    } else if let Some(next) = self.next_standby(ctx, gateway.addr) {
                         // This gateway never answered; advance through the
                         // warm-standby ranking before giving up.
                         ctx.span_exit(self.handshake_span, false);
@@ -646,6 +1047,66 @@ impl Process for ConnectionProvider {
                     ctx.set_timer(self.cfg.keepalive_interval, tok(TAG_KEEPALIVE, self.ka_gen));
                 }
             }
+            TAG_STANDBY_SCAN => {
+                if gen != self.scan_gen || self.cfg.standby_target == 0 {
+                    return;
+                }
+                if matches!(self.state, State::Connected { .. }) {
+                    self.maintain_standbys(ctx);
+                }
+                // The chain survives Probing/Connecting interludes (a
+                // handoff in flight) and dies only by generation.
+                ctx.set_timer(
+                    self.cfg.standby_refresh,
+                    tok(TAG_STANDBY_SCAN, self.scan_gen),
+                );
+            }
+            TAG_STANDBY_KA => {
+                // `gen` is the standby id; a missing id means the standby
+                // was promoted, dropped or expired — the chain dies here.
+                let Some(i) = self.warm.iter().position(|s| s.id == gen) else {
+                    return;
+                };
+                if self.warm[i].missed_pings >= self.cfg.keepalive_max_missed {
+                    self.warm.remove(i);
+                    ctx.stats().count("cp.standby_dead", 1);
+                    ctx.obs().counter_add("cp.standby_dead", 1);
+                    // Replenished by the next maintenance scan.
+                    return;
+                }
+                self.warm[i].missed_pings += 1;
+                let gw = self.warm[i].gateway;
+                self.ping_seq += 1;
+                ctx.stats().count("cp.standby_ping", 1);
+                ctx.send_to(
+                    gw,
+                    ports::TUNNEL,
+                    TunnelMsg::Ping { seq: self.ping_seq }.to_wire(),
+                );
+                ctx.set_timer(self.cfg.keepalive_interval, tok(TAG_STANDBY_KA, gen));
+            }
+            TAG_STANDBY_REFRESH => {
+                let Some(s) = self.warm.iter().find(|s| s.id == gen) else {
+                    return;
+                };
+                let (gw, lease) = (s.gateway, s.lease);
+                ctx.stats().count("cp.standby_refresh", 1);
+                ctx.send_to(gw, ports::TUNNEL, TunnelMsg::Connect.to_wire());
+                let refresh_in = lease.max(SimDuration::from_secs(2)) / 2;
+                ctx.set_timer(refresh_in, tok(TAG_STANDBY_REFRESH, gen));
+            }
+            TAG_STANDBY_TIMEOUT => {
+                // Only meaningful while the standby never warmed: the
+                // TCONNECT went unanswered, so stop waiting for it.
+                if let Some(i) = self
+                    .warm
+                    .iter()
+                    .position(|s| s.id == gen && s.public.is_none())
+                {
+                    self.warm.remove(i);
+                    ctx.stats().count("cp.standby_timeout", 1);
+                }
+            }
             _ => {}
         }
     }
@@ -687,5 +1148,49 @@ mod tests {
     fn fresh_provider_is_disconnected() {
         let cp = ConnectionProvider::new(ConnectionProviderConfig::default());
         assert!(!cp.is_connected());
+    }
+
+    fn cold(n: u32, now: SimTime, life: u64) -> ColdContact {
+        ColdContact {
+            contact: SocketAddr::new(Addr::manet(n), ports::TUNNEL),
+            origin: Addr::manet(n),
+            expires: now + SimDuration::from_secs(life),
+        }
+    }
+
+    /// Regression: standby contacts used to be popped in insertion order,
+    /// so a failover could chase a gateway that had drifted three hops
+    /// away while a one-hop candidate sat later in the list. The ranking
+    /// must be recomputed against current routes at failover time.
+    #[test]
+    fn cold_contacts_rerank_by_current_hops_not_insertion_order() {
+        let now = SimTime::from_secs(100);
+        // Inserted far-first (the ranking at probe time); by failover
+        // time node 2 is nearest and node 3 is unreachable.
+        let mut contacts = vec![cold(1, now, 30), cold(2, now, 30), cold(3, now, 30)];
+        rank_cold_contacts(&mut contacts, |a| {
+            if a == Addr::manet(1) {
+                Some(3)
+            } else if a == Addr::manet(2) {
+                Some(1)
+            } else {
+                None
+            }
+        });
+        assert_eq!(contacts[0].origin, Addr::manet(2), "nearest first");
+        assert_eq!(contacts[1].origin, Addr::manet(1));
+        assert_eq!(contacts[2].origin, Addr::manet(3), "unreachable last");
+    }
+
+    #[test]
+    fn cold_contacts_tiebreak_on_advert_freshness() {
+        let now = SimTime::from_secs(100);
+        let mut contacts = vec![cold(1, now, 10), cold(2, now, 50)];
+        rank_cold_contacts(&mut contacts, |_| Some(2));
+        assert_eq!(
+            contacts[0].origin,
+            Addr::manet(2),
+            "equal hops: fresher advert wins"
+        );
     }
 }

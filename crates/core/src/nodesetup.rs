@@ -102,6 +102,15 @@ pub struct NodeSpec {
     /// interval of `SimDuration::ZERO` disables keepalives (and with them
     /// fast dead-gateway detection and mid-call handoff).
     pub keepalive: Option<(siphoc_simnet::time::SimDuration, u32)>,
+    /// Standby-lease override for the Connection Provider:
+    /// `(standby_target, refresh_cadence)`. `None` keeps the defaults; a
+    /// target of `0` disables multi-homing and restores pure
+    /// break-before-make failover.
+    pub standby: Option<(u32, siphoc_simnet::time::SimDuration)>,
+    /// When set on a gateway, its wired side is NAT'd: lease addresses
+    /// are allocated through this TURN-style relay instead of being
+    /// claimed locally.
+    pub gateway_relay: Option<siphoc_simnet::net::SocketAddr>,
 }
 
 impl NodeSpec {
@@ -117,6 +126,8 @@ impl NodeSpec {
             media: false,
             connection_provider: true,
             keepalive: None,
+            standby: None,
+            gateway_relay: None,
         }
     }
 
@@ -130,6 +141,32 @@ impl NodeSpec {
         max_missed: u32,
     ) -> NodeSpec {
         self.keepalive = Some((interval, max_missed));
+        self
+    }
+
+    /// Overrides the Connection Provider's multi-homing: hold warm leases
+    /// on up to `target` standby gateways, refreshing the pool every
+    /// `refresh`. `target = 0` disables standbys (break-before-make).
+    pub fn with_standby(
+        mut self,
+        target: u32,
+        refresh: siphoc_simnet::time::SimDuration,
+    ) -> NodeSpec {
+        self.standby = Some((target, refresh));
+        self
+    }
+
+    /// Makes the node a NAT'd gateway: it advertises and serves tunnel
+    /// leases as usual, but the lease addresses are allocated on (and all
+    /// Internet traffic hairpins through) the TURN-style relay at
+    /// `relay`.
+    pub fn with_nat_gateway(
+        mut self,
+        public: Addr,
+        relay: siphoc_simnet::net::SocketAddr,
+    ) -> NodeSpec {
+        self.gateway_public = Some(public);
+        self.gateway_relay = Some(relay);
         self
     }
 
@@ -253,6 +290,10 @@ pub fn deploy(world: &mut World, spec: NodeSpec) -> SiphocNode {
             cp_cfg.keepalive_interval = interval;
             cp_cfg.keepalive_max_missed = max_missed;
         }
+        if let Some((target, refresh)) = spec.standby {
+            cp_cfg.standby_target = target;
+            cp_cfg.standby_refresh = refresh;
+        }
         world.spawn(
             id,
             Box::new(ConnectionProvider::new(cp_cfg).with_registry(registry.clone())),
@@ -263,6 +304,8 @@ pub fn deploy(world: &mut World, spec: NodeSpec) -> SiphocNode {
         // multiple gateways never hand out colliding addresses.
         let tunnel_cfg = TunnelServerConfig {
             pool_base: Addr(public.0 + 100),
+            relay: spec.gateway_relay,
+            wired_public: Some(public),
             ..TunnelServerConfig::default()
         };
         world.spawn(id, Box::new(TunnelServer::new(tunnel_cfg)));

@@ -25,6 +25,7 @@
 
 use std::collections::BTreeMap;
 
+use siphoc_internet::relay::{decap, encap, RelayMsg};
 use siphoc_simnet::net::{ports, Addr, Datagram, SocketAddr};
 use siphoc_simnet::process::{Ctx, Process};
 use siphoc_simnet::time::{SimDuration, SimTime};
@@ -60,6 +61,12 @@ pub enum TunnelMsg {
         /// The echoed sequence number.
         seq: u64,
     },
+    /// Relay-plane message (TURN-style allocate / permission / relayed
+    /// datagram), exchanged between a NAT'd gateway and its media relay.
+    /// The codec lives with the relay actor in `siphoc_internet::relay`;
+    /// nesting it here keeps a single parse entry point for everything
+    /// arriving on the tunnel port.
+    Relay(RelayMsg),
 }
 
 impl TunnelMsg {
@@ -71,14 +78,10 @@ impl TunnelMsg {
                 public,
                 lifetime_secs,
             } => format!("TLEASE {public} {lifetime_secs}").into_bytes(),
-            TunnelMsg::Data { inner } => {
-                let mut out =
-                    format!("TDATA {} {} {}\n", inner.src, inner.dst, inner.ttl).into_bytes();
-                out.extend_from_slice(&inner.payload);
-                out
-            }
+            TunnelMsg::Data { inner } => encap("TDATA", inner),
             TunnelMsg::Ping { seq } => format!("TPING {seq}").into_bytes(),
             TunnelMsg::Pong { seq } => format!("TPONG {seq}").into_bytes(),
+            TunnelMsg::Relay(m) => m.to_wire(),
         }
     }
 
@@ -86,6 +89,9 @@ impl TunnelMsg {
     pub fn parse(bytes: &[u8]) -> Option<TunnelMsg> {
         if bytes == b"TCONNECT" {
             return Some(TunnelMsg::Connect);
+        }
+        if let Some(m) = RelayMsg::parse(bytes) {
+            return Some(TunnelMsg::Relay(m));
         }
         let text_end = bytes
             .iter()
@@ -98,15 +104,9 @@ impl TunnelMsg {
                 public: it.next()?.parse().ok()?,
                 lifetime_secs: it.next()?.parse().ok()?,
             }),
-            "TDATA" => {
-                let src: SocketAddr = it.next()?.parse().ok()?;
-                let dst: SocketAddr = it.next()?.parse().ok()?;
-                let ttl: u8 = it.next()?.parse().ok()?;
-                let payload = bytes.get(text_end + 1..).unwrap_or_default().to_vec();
-                let mut inner = Datagram::new(src, dst, payload);
-                inner.ttl = ttl;
-                Some(TunnelMsg::Data { inner })
-            }
+            "TDATA" => Some(TunnelMsg::Data {
+                inner: decap(&mut it, bytes, text_end)?,
+            }),
             "TPING" => Some(TunnelMsg::Ping {
                 seq: it.next()?.parse().ok()?,
             }),
@@ -127,6 +127,14 @@ pub struct TunnelServerConfig {
     pub pool_size: u32,
     /// Lease lifetime granted to clients.
     pub lease_lifetime: SimDuration,
+    /// When set, the gateway is NAT'd: it cannot claim backbone-routable
+    /// addresses itself, so leases are allocated on this TURN-style relay
+    /// and all Internet traffic is hairpinned through it.
+    pub relay: Option<SocketAddr>,
+    /// The gateway's own backbone-routable address. A NAT'd gateway stamps
+    /// this as the source of relay-bound traffic so the relay's replies
+    /// can traverse the wired backbone (the MANET address cannot).
+    pub wired_public: Option<Addr>,
 }
 
 impl Default for TunnelServerConfig {
@@ -135,6 +143,8 @@ impl Default for TunnelServerConfig {
             pool_base: Addr::new(82, 130, 64, 100),
             pool_size: 64,
             lease_lifetime: SimDuration::from_secs(60),
+            relay: None,
+            wired_public: None,
         }
     }
 }
@@ -155,6 +165,11 @@ pub struct TunnelServer {
     /// client MANET address → lease.
     leases: BTreeMap<Addr, Lease>,
     next_offset: u32,
+    /// NAT'd mode: clients whose lease awaits the relay's `AllocOk`,
+    /// mapped to the reply address for the eventual `TLEASE`.
+    pending_allocs: BTreeMap<Addr, SocketAddr>,
+    /// NAT'd mode: (relayed, peer) permissions already pushed to the relay.
+    permits_sent: std::collections::BTreeSet<(Addr, Addr)>,
 }
 
 impl TunnelServer {
@@ -164,12 +179,28 @@ impl TunnelServer {
             cfg,
             leases: BTreeMap::new(),
             next_offset: 0,
+            pending_allocs: BTreeMap::new(),
+            permits_sent: std::collections::BTreeSet::new(),
         }
     }
 
     /// Current number of active leases.
     pub fn lease_count(&self) -> usize {
         self.leases.len()
+    }
+
+    fn send_lease(&self, ctx: &mut Ctx<'_>, to: SocketAddr, public: Addr) {
+        let lease = TunnelMsg::Lease {
+            public,
+            lifetime_secs: self.cfg.lease_lifetime.as_micros() as u32 / 1_000_000,
+        };
+        ctx.send_to(to, ports::TUNNEL, lease.to_wire());
+    }
+
+    fn send_to_relay(&self, ctx: &mut Ctx<'_>, relay: SocketAddr, payload: Vec<u8>) {
+        let src_addr = self.cfg.wired_public.unwrap_or_else(|| ctx.addr());
+        let src = SocketAddr::new(src_addr, ports::TUNNEL);
+        ctx.send(Datagram::new(src, relay, payload));
     }
 
     fn allocate(&mut self, client: Addr, now: SimTime) -> Option<Addr> {
@@ -212,8 +243,13 @@ impl Process for TunnelServer {
     }
 
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram) {
-        // Backbone traffic captured via a claimed lease address?
-        if dgram.dst.addr != ctx.addr() && dgram.dst.addr.is_public() {
+        // Backbone traffic captured via a claimed lease address? Relay
+        // replies also arrive addressed to the wired alias — let those
+        // fall through to the message parser below.
+        if dgram.dst.addr != ctx.addr()
+            && dgram.dst.addr.is_public()
+            && self.cfg.relay != Some(dgram.src)
+        {
             let client = self
                 .leases
                 .iter()
@@ -243,15 +279,28 @@ impl Process for TunnelServer {
             TunnelMsg::Connect => {
                 let now = ctx.now();
                 let client = dgram.src.addr;
+                if let Some(relay) = self.cfg.relay {
+                    // NAT'd mode: the lease pool lives on the relay. A
+                    // refresh is answered from local soft state at once;
+                    // a fresh connect waits for the relay's AllocOk.
+                    // Either way the relay-side allocation is renewed.
+                    if let Some(l) = self.leases.get_mut(&client) {
+                        l.expires = now + self.cfg.lease_lifetime;
+                        let public = l.public;
+                        ctx.stats().count("tunnel.lease", 1);
+                        self.send_lease(ctx, dgram.src, public);
+                    } else {
+                        self.pending_allocs.insert(client, dgram.src);
+                    }
+                    ctx.stats().count("tunnel.alloc_req", 1);
+                    self.send_to_relay(ctx, relay, RelayMsg::AllocReq { client }.to_wire());
+                    return;
+                }
                 match self.allocate(client, now) {
                     Some(public) => {
                         ctx.claim_public_addr(public);
-                        let lease = TunnelMsg::Lease {
-                            public,
-                            lifetime_secs: self.cfg.lease_lifetime.as_micros() as u32 / 1_000_000,
-                        };
                         ctx.stats().count("tunnel.lease", 1);
-                        ctx.send_to(dgram.src, ports::TUNNEL, lease.to_wire());
+                        self.send_lease(ctx, dgram.src, public);
                     }
                     None => {
                         ctx.stats().count("tunnel.pool_exhausted", 1);
@@ -259,6 +308,23 @@ impl Process for TunnelServer {
                 }
             }
             TunnelMsg::Data { inner } => {
+                if let Some(relay) = self.cfg.relay {
+                    // NAT'd mode: hairpin outbound traffic through the
+                    // relay, opening a permission for the reply path the
+                    // first time each (relayed, peer) pair is seen.
+                    let key = (inner.src.addr, inner.dst.addr);
+                    if self.permits_sent.insert(key) {
+                        ctx.stats().count("tunnel.permit", 1);
+                        let permit = RelayMsg::Permit {
+                            relayed: key.0,
+                            peer: key.1,
+                        };
+                        self.send_to_relay(ctx, relay, permit.to_wire());
+                    }
+                    ctx.stats().count("tunnel.relay_fwd", inner.wire_len());
+                    self.send_to_relay(ctx, relay, RelayMsg::RelayFwd { inner }.to_wire());
+                    return;
+                }
                 // Client → Internet: re-inject on the wired side.
                 ctx.stats().count("tunnel.to_internet", inner.wire_len());
                 ctx.reinject(inner);
@@ -267,7 +333,48 @@ impl Process for TunnelServer {
                 ctx.stats().count("tunnel.ping", 1);
                 ctx.send_to(dgram.src, ports::TUNNEL, TunnelMsg::Pong { seq }.to_wire());
             }
-            TunnelMsg::Lease { .. } | TunnelMsg::Pong { .. } => {
+            TunnelMsg::Relay(RelayMsg::AllocOk { client, relayed })
+                if self.cfg.relay == Some(dgram.src) =>
+            {
+                let now = ctx.now();
+                self.leases.insert(
+                    client,
+                    Lease {
+                        public: relayed,
+                        expires: now + self.cfg.lease_lifetime,
+                    },
+                );
+                // Absent on renewals — the client already holds its lease.
+                if let Some(reply) = self.pending_allocs.remove(&client) {
+                    ctx.stats().count("tunnel.lease", 1);
+                    self.send_lease(ctx, reply, relayed);
+                }
+            }
+            TunnelMsg::Relay(RelayMsg::RelayData { inner })
+                if self.cfg.relay == Some(dgram.src) =>
+            {
+                let client = self
+                    .leases
+                    .iter()
+                    .find(|(_, l)| l.public == inner.dst.addr)
+                    .map(|(c, _)| *c);
+                match client {
+                    Some(client) => {
+                        ctx.stats().count("tunnel.from_relay", inner.wire_len());
+                        let msg = TunnelMsg::Data { inner };
+                        ctx.send_to(
+                            SocketAddr::new(client, ports::TUNNEL),
+                            ports::TUNNEL,
+                            msg.to_wire(),
+                        );
+                    }
+                    None => {
+                        ctx.stats()
+                            .count("tunnel.expired_lease_drop", inner.wire_len());
+                    }
+                }
+            }
+            _ => {
                 ctx.stats().count("tunnel.unexpected_msg", 1);
             }
         }
@@ -286,7 +393,12 @@ impl Process for TunnelServer {
             .collect();
         for (client, public) in expired {
             self.leases.remove(&client);
-            ctx.release_public_addr(public);
+            // NAT'd leases were claimed by the relay, not here; the
+            // relay expires its own allocations.
+            if self.cfg.relay.is_none() {
+                ctx.release_public_addr(public);
+            }
+            self.permits_sent.retain(|(relayed, _)| *relayed != public);
             ctx.stats().count("tunnel.lease_expired", 1);
         }
         ctx.set_timer(self.cfg.lease_lifetime, TAG_EXPIRE);
@@ -310,9 +422,26 @@ mod tests {
                 public: Addr::new(82, 130, 64, 100),
                 lifetime_secs: 60,
             },
-            TunnelMsg::Data { inner },
+            TunnelMsg::Data {
+                inner: inner.clone(),
+            },
             TunnelMsg::Ping { seq: 7 },
             TunnelMsg::Pong { seq: u64::MAX },
+            TunnelMsg::Relay(RelayMsg::AllocReq {
+                client: Addr::manet(4),
+            }),
+            TunnelMsg::Relay(RelayMsg::AllocOk {
+                client: Addr::manet(4),
+                relayed: Addr::new(82, 130, 65, 9),
+            }),
+            TunnelMsg::Relay(RelayMsg::Permit {
+                relayed: Addr::new(82, 130, 65, 9),
+                peer: Addr::new(82, 1, 1, 50),
+            }),
+            TunnelMsg::Relay(RelayMsg::RelayFwd {
+                inner: inner.clone(),
+            }),
+            TunnelMsg::Relay(RelayMsg::RelayData { inner }),
         ];
         for m in msgs {
             assert_eq!(TunnelMsg::parse(&m.to_wire()), Some(m));
@@ -320,6 +449,11 @@ mod tests {
         assert_eq!(TunnelMsg::parse(b"garbage"), None);
         assert_eq!(TunnelMsg::parse(b"TPING"), None, "seq required");
         assert_eq!(TunnelMsg::parse(b"TPONG x"), None, "numeric seq required");
+        assert_eq!(
+            TunnelMsg::parse(b"TPERMIT 82.130.65.9"),
+            None,
+            "peer required"
+        );
     }
 
     #[test]

@@ -10,3 +10,4 @@
 
 pub mod dns;
 pub mod provider;
+pub mod relay;

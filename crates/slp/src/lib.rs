@@ -40,6 +40,9 @@ pub fn slp_dissector(port: u16, payload: &[u8]) -> Option<(String, String)> {
         Ok(msg::SlpMsg::SrvRqst {
             service_type, key, ..
         }) => format!("SrvRqst {service_type} {key}"),
+        Ok(msg::SlpMsg::SrvRqstX {
+            service_type, key, ..
+        }) => format!("SrvRqstX {service_type} {key}"),
         Ok(msg::SlpMsg::SrvRply { entries, .. }) => format!("SrvRply {} entries", entries.len()),
         Ok(msg::SlpMsg::McastRqst {
             service_type,

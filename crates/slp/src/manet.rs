@@ -235,6 +235,10 @@ struct PendingQuery {
     query: ServiceQuery,
     deadline: SimTime,
     retries_left: u32,
+    /// Exhaustive sweep: the network flood runs even when the local
+    /// registry already holds matches, and the reply waits for the full
+    /// deadline so late answers from distant providers are included.
+    exhaustive: bool,
     /// Open observability span covering the distributed lookup.
     span: SpanId,
     /// When the lookup started, for the `slp.lookup_us` histogram.
@@ -289,23 +293,28 @@ impl ManetSlpProcess {
         xid: u32,
         service_type: String,
         key: String,
+        exhaustive: bool,
     ) {
         let now = ctx.now();
-        let found: Vec<ServiceEntry> = self
-            .registry
-            .borrow()
-            .lookup(&service_type, &key, now)
-            .into_iter()
-            .cloned()
-            .collect();
-        if !found.is_empty() {
-            ctx.stats().count("slp.lookup_hit", 1);
-            ctx.obs().counter_add("slp.lookup_hit", 1);
-            ctx.span_instant(SpanCat::Slp, "slp.hit", Some(&key));
-            self.reply(ctx, from, xid, found);
-            return;
+        if !exhaustive {
+            let found: Vec<ServiceEntry> = self
+                .registry
+                .borrow()
+                .lookup(&service_type, &key, now)
+                .into_iter()
+                .cloned()
+                .collect();
+            if !found.is_empty() {
+                ctx.stats().count("slp.lookup_hit", 1);
+                ctx.obs().counter_add("slp.lookup_hit", 1);
+                ctx.span_instant(SpanCat::Slp, "slp.hit", Some(&key));
+                self.reply(ctx, from, xid, found);
+                return;
+            }
+            ctx.stats().count("slp.lookup_miss", 1);
+        } else {
+            ctx.stats().count("slp.lookup_sweep", 1);
         }
-        ctx.stats().count("slp.lookup_miss", 1);
         let span = ctx.span_enter(SpanCat::Slp, "slp.lookup");
         // Wildcard lookups (e.g. the gateway probe's empty key) have no
         // meaningful correlation; an empty key would render as its own
@@ -331,17 +340,23 @@ impl ManetSlpProcess {
             query,
             deadline,
             retries_left: self.cfg.query_retries,
+            exhaustive,
             span,
             started_us,
         });
         ctx.set_timer(self.cfg.query_timeout, TAG_QUERY);
     }
 
-    /// Answers any pending query the registry can now satisfy.
+    /// Answers any pending query the registry can now satisfy. Exhaustive
+    /// sweeps are excluded: a first match must not cut their collection
+    /// window short — they resolve at the deadline in `sweep_deadlines`.
     fn drain_pending(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         let mut resolved = Vec::new();
         for (i, p) in self.pending.iter().enumerate() {
+            if p.exhaustive {
+                continue;
+            }
             let found = self.registry.borrow().matching(&p.query, now);
             if !found.is_empty() {
                 resolved.push((i, p.requester, p.xid, found, p.span, p.started_us));
@@ -359,19 +374,38 @@ impl ManetSlpProcess {
     fn sweep_deadlines(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         let timeout = self.cfg.query_timeout;
-        let mut give_up = Vec::new();
+        // (index, finished-sweep?) — sweeps resolve with whatever the
+        // registry gathered; ordinary queries give up empty-handed.
+        let mut done = Vec::new();
         let mut refloods = Vec::new();
         for (i, p) in self.pending.iter_mut().enumerate() {
             if p.deadline > now {
                 continue;
             }
-            if p.retries_left > 0 {
+            if p.exhaustive {
+                done.push((i, true));
+            } else if p.retries_left > 0 {
                 p.retries_left -= 1;
                 p.deadline = now + timeout;
                 refloods.push(p.query.clone());
             } else {
-                give_up.push(i);
+                done.push((i, false));
             }
+        }
+        for (i, sweep) in done.into_iter().rev() {
+            let p = self.pending.remove(i);
+            let found = if sweep {
+                self.registry.borrow().matching(&p.query, now)
+            } else {
+                ctx.stats().count("slp.lookup_failed", 1);
+                Vec::new()
+            };
+            ctx.span_exit(p.span, !found.is_empty());
+            if sweep {
+                let waited = ctx.now_us().saturating_sub(p.started_us);
+                ctx.obs().hist_record("slp.lookup_us", waited);
+            }
+            self.reply(ctx, p.requester, p.xid, found);
         }
         if self.cfg.mode == Dissemination::OnDemand {
             for q in refloods {
@@ -380,12 +414,6 @@ impl ManetSlpProcess {
             }
         } else if !self.pending.is_empty() {
             ctx.set_timer(timeout, TAG_QUERY);
-        }
-        for i in give_up.into_iter().rev() {
-            let p = self.pending.remove(i);
-            ctx.stats().count("slp.lookup_failed", 1);
-            ctx.span_exit(p.span, false);
-            self.reply(ctx, p.requester, p.xid, Vec::new());
         }
     }
 }
@@ -457,7 +485,14 @@ impl Process for ManetSlpProcess {
                 service_type,
                 key,
             } => {
-                self.handle_lookup(ctx, dgram.src, xid, service_type, key);
+                self.handle_lookup(ctx, dgram.src, xid, service_type, key, false);
+            }
+            SlpMsg::SrvRqstX {
+                xid,
+                service_type,
+                key,
+            } => {
+                self.handle_lookup(ctx, dgram.src, xid, service_type, key, true);
             }
             _ => {
                 ctx.stats().count("slp.unexpected_msg", dgram.payload.len());

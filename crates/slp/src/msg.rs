@@ -58,6 +58,19 @@ pub enum SlpMsg {
         /// Lookup key (empty = any of the type).
         key: String,
     },
+    /// Exhaustive lookup (client → daemon): always sweep the network —
+    /// even when the local registry already holds matches — and reply
+    /// with everything known once the sweep settles. Multi-homed clients
+    /// use this to discover *additional* providers of a service they
+    /// already consume (e.g. standby gateways beyond the active one).
+    SrvRqstX {
+        /// Exchange id.
+        xid: u32,
+        /// Service type.
+        service_type: String,
+        /// Lookup key (empty = any of the type).
+        key: String,
+    },
     /// Lookup result (daemon → client). Empty means not found.
     SrvRply {
         /// Echoed exchange id.
@@ -128,6 +141,13 @@ impl fmt::Display for SlpMsg {
                 key,
             } => {
                 write!(f, "SRVRQST {xid} {service_type} {}", key_out(key))
+            }
+            SlpMsg::SrvRqstX {
+                xid,
+                service_type,
+                key,
+            } => {
+                write!(f, "SRVRQSTX {xid} {service_type} {}", key_out(key))
             }
             SlpMsg::SrvRply { xid, entries } => {
                 write!(f, "SRVRPLY {xid} {}", entries.len())?;
@@ -205,6 +225,13 @@ impl SlpMsg {
                 service_type: next("type")?.to_owned(),
                 key: key_in(next("key")?),
             }),
+            "SRVRQSTX" => Ok(SlpMsg::SrvRqstX {
+                xid: next("xid")?
+                    .parse()
+                    .map_err(|_| ParseEntryError::new("xid"))?,
+                service_type: next("type")?.to_owned(),
+                key: key_in(next("key")?),
+            }),
             "SRVRPLY" => {
                 let xid = next("xid")?
                     .parse()
@@ -269,6 +296,11 @@ mod tests {
             SlpMsg::SrvAck { xid: 3 },
             SlpMsg::SrvRqst {
                 xid: 4,
+                service_type: "gateway".into(),
+                key: String::new(),
+            },
+            SlpMsg::SrvRqstX {
+                xid: 9,
                 service_type: "gateway".into(),
                 key: String::new(),
             },

@@ -19,7 +19,9 @@ cargo clippy --all-targets --all-features -- -D warnings \
 # Crash canary for the benchmark harness: smallest workloads, one rep.
 # Failure means a panic, never a perf number.
 scripts/bench.sh --smoke
-# Mid-call gateway handoff canary: one seed, asserts the call survives and
-# the detection + re-lease budget (5 s simulated) holds.
+# Mid-call gateway handoff canary: one seed, both failover modes. Asserts
+# every call survives, break-before-make stays inside the 5 s detection +
+# re-lease budget, and make-before-break (warm standby promotion) keeps
+# the mean handoff ≤ 500 ms.
 cargo build --release -p siphoc-bench --bin exp_handoff
 ./target/release/exp_handoff --smoke

@@ -25,6 +25,7 @@ use siphoc_core::config::VoipAppConfig;
 use siphoc_core::nodesetup::{deploy, NodeSpec, RoutingProtocol, SiphocNode};
 use siphoc_internet::dns::DnsDirectory;
 use siphoc_internet::provider::{ProviderConfig, SipProviderProcess};
+use siphoc_internet::relay::{RelayConfig, TurnRelay};
 use siphoc_simnet::mobility::{Area, Mobility, WaypointParams};
 use siphoc_simnet::net::{ports, Addr, SocketAddr};
 use siphoc_simnet::node::NodeConfig;
@@ -109,6 +110,12 @@ pub struct NodeSpecJson {
     /// Random-waypoint mobility (area = bounding box of all nodes + margin).
     #[serde(default)]
     pub mobility: Option<MobilitySpec>,
+    /// Marks a gateway as NAT'd on its wired side: its tunnel leases are
+    /// allocated through the scenario's TURN-style relay and all
+    /// Internet traffic hairpins there. Requires `gateway` on this node
+    /// and at least one entry in the scenario's `relays`.
+    #[serde(default)]
+    pub nat: bool,
 }
 
 /// Tunnel keepalive configuration, applied to every node's Connection
@@ -127,6 +134,32 @@ pub struct KeepaliveSpec {
 #[allow(dead_code)]
 fn default_max_missed() -> u32 {
     3
+}
+
+/// Multi-homing configuration, applied to every node's Connection
+/// Provider.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StandbySpec {
+    /// How many warm standby gateway leases to hold alongside the active
+    /// one. `0` disables multi-homing (break-before-make failover).
+    pub target: u32,
+    /// Standby pool maintenance cadence, milliseconds.
+    #[serde(default = "default_standby_refresh_ms")]
+    pub refresh_ms: u64,
+}
+
+// See `default_reorder_ms` on why this needs the allow.
+#[allow(dead_code)]
+fn default_standby_refresh_ms() -> u64 {
+    10_000
+}
+
+/// A TURN-style media relay on the wired Internet (required by NAT'd
+/// gateways).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RelaySpec {
+    /// Public address the relay listens on.
+    pub addr: String,
 }
 
 /// A simulated Internet SIP provider.
@@ -296,6 +329,14 @@ pub struct Scenario {
     /// Connection Provider defaults.
     #[serde(default)]
     pub keepalive: Option<KeepaliveSpec>,
+    /// Multi-homing override for every node; omitted keeps the
+    /// Connection Provider defaults (one warm standby).
+    #[serde(default)]
+    pub standby: Option<StandbySpec>,
+    /// TURN-style media relays on the wired side. NAT'd gateways
+    /// allocate their leases through the first relay.
+    #[serde(default)]
+    pub relays: Vec<RelaySpec>,
 }
 
 // See `default_reorder_ms` on why this needs the allow.
@@ -425,11 +466,36 @@ impl Scenario {
                     )));
                 }
             }
+            if n.nat {
+                if n.gateway.is_none() {
+                    return Err(ScenarioError::Invalid(format!(
+                        "node at ({}, {}) is marked nat but is not a gateway",
+                        n.x, n.y
+                    )));
+                }
+                if self.relays.is_empty() {
+                    return Err(ScenarioError::Invalid(
+                        "nat gateways need at least one relay".into(),
+                    ));
+                }
+            }
         }
         for p in &self.providers {
             p.addr.parse::<Addr>().map_err(|_| {
                 ScenarioError::Invalid(format!("bad provider address {:?}", p.addr))
             })?;
+        }
+        for r in &self.relays {
+            let addr: Addr = r
+                .addr
+                .parse()
+                .map_err(|_| ScenarioError::Invalid(format!("bad relay address {:?}", r.addr)))?;
+            if !addr.is_public() {
+                return Err(ScenarioError::Invalid(format!(
+                    "relay address {} must be public",
+                    r.addr
+                )));
+            }
         }
         if let Some(chaos) = &self.chaos {
             self.validate_chaos(chaos)?;
@@ -622,6 +688,22 @@ impl Scenario {
             );
         }
 
+        // TURN-style relays. Each gets its own relayed pool (base + 100,
+        // the same convention gateways use for their lease blocks).
+        let mut relay_endpoint = None;
+        for r in &self.relays {
+            let addr: Addr = r.addr.parse().expect("validated");
+            let id = world.add_node(NodeConfig::wired(addr));
+            world.spawn(
+                id,
+                Box::new(TurnRelay::new(RelayConfig {
+                    pool_base: Addr(addr.0 + 100),
+                    ..RelayConfig::default()
+                })),
+            );
+            relay_endpoint.get_or_insert(SocketAddr::new(addr, ports::TUNNEL));
+        }
+
         // Movement area: bounding box of all nodes plus margin.
         let max_x = self.nodes.iter().map(|n| n.x).fold(0.0, f64::max) + 50.0;
         let max_y = self.nodes.iter().map(|n| n.y).fold(0.0, f64::max) + 50.0;
@@ -636,8 +718,16 @@ impl Scenario {
             if let Some(ka) = &self.keepalive {
                 spec = spec.with_keepalive(SimDuration::from_millis(ka.interval_ms), ka.max_missed);
             }
+            if let Some(sb) = &self.standby {
+                spec = spec.with_standby(sb.target, SimDuration::from_millis(sb.refresh_ms));
+            }
             if let Some(g) = &n.gateway {
-                spec = spec.with_gateway(g.parse().expect("validated"));
+                let public = g.parse().expect("validated");
+                spec = if n.nat {
+                    spec.with_nat_gateway(public, relay_endpoint.expect("validated"))
+                } else {
+                    spec.with_gateway(public)
+                };
             }
             if let Some(m) = &n.mobility {
                 let mut rng = SimRng::from_seed_and_stream(self.seed, 90_000 + i as u64);
@@ -791,6 +881,7 @@ mod tests {
                     }],
                     gateway: None,
                     mobility: None,
+                    nat: false,
                 },
                 NodeSpecJson {
                     x: 60.0,
@@ -799,11 +890,14 @@ mod tests {
                     calls: Vec::new(),
                     gateway: None,
                     mobility: None,
+                    nat: false,
                 },
             ],
             providers: Vec::new(),
             chaos: None,
             keepalive: None,
+            standby: None,
+            relays: Vec::new(),
         }
     }
 
@@ -904,6 +998,30 @@ mod tests {
             ..ChaosSpec::default()
         });
         assert!(matches!(s.validate(), Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn nat_validation_requires_gateway_and_relay() {
+        let mut s = two_node_scenario();
+        s.nodes[0].nat = true;
+        assert!(
+            matches!(s.validate(), Err(ScenarioError::Invalid(_))),
+            "nat without gateway must be rejected"
+        );
+        s.nodes[0].gateway = Some("82.130.64.1".into());
+        assert!(
+            matches!(s.validate(), Err(ScenarioError::Invalid(_))),
+            "nat without a relay must be rejected"
+        );
+        s.relays.push(RelaySpec {
+            addr: "10.0.0.9".into(),
+        });
+        assert!(
+            matches!(s.validate(), Err(ScenarioError::Invalid(_))),
+            "relay address must be public"
+        );
+        s.relays[0].addr = "82.130.66.1".into();
+        assert!(s.validate().is_ok());
     }
 
     #[test]

@@ -357,6 +357,140 @@ fn gateway_churn_client_recovers_and_calls_after() {
     );
 }
 
+/// The double fault the multi-homed standby design must absorb: the
+/// serving gateway AND the hottest standby crash in the same instant —
+/// inside one keepalive detection window. Whichever death is detected
+/// first, the Connection Provider must end up leased from the surviving
+/// third gateway without ever declaring an Internet outage (the standbys
+/// turn both switches into renumberings), and a call placed afterwards
+/// establishes through the survivor.
+#[test]
+fn double_kill_of_serving_gateway_and_top_standby_lands_on_third() {
+    let mut w = World::new(WorldConfig::new(1701).with_radio(RadioConfig::ideal()));
+    let dns = DnsDirectory::new().with_record("voicehoc.ch", Addr(0x52010101));
+    let p = w.add_node(NodeConfig::wired(Addr(0x52010101)));
+    w.spawn(
+        p,
+        Box::new(SipProviderProcess::new(ProviderConfig::new(
+            "voicehoc.ch",
+            dns.clone(),
+        ))),
+    );
+    let iris_node = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 50)));
+    let mut iris_cfg = UaConfig::new(
+        Aor::new("iris", "voicehoc.ch"),
+        SocketAddr::new(Addr(0x52010101), ports::SIP),
+    );
+    iris_cfg.answer_delay = SimDuration::ZERO;
+    let (iris, _iris_log) = UserAgent::new(iris_cfg);
+    w.spawn(iris_node, Box::new(iris));
+
+    // Hop counts pin the standby ranking: gwA (1 hop) serves, gwB
+    // (2 hops, east arm) is the top standby, gwC (3 hops, north arm) the
+    // second. The arms are disjoint past alice, so killing gwA and gwB
+    // cannot partition gwC.
+    let gw_a = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0)
+            .with_gateway(Addr::new(82, 130, 64, 1))
+            .with_dns(dns.clone()),
+    );
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(60.0, 0.0)
+            .with_standby(2, SimDuration::from_secs(1))
+            .with_dns(dns.clone())
+            .with_user(user("alice", Some((45, "iris", 5)))),
+    );
+    deploy(&mut w, NodeSpec::relay(120.0, 0.0).with_dns(dns.clone()));
+    let gw_b = deploy(
+        &mut w,
+        NodeSpec::relay(180.0, 0.0)
+            .with_gateway(Addr::new(82, 130, 65, 1))
+            .with_dns(dns.clone()),
+    );
+    deploy(&mut w, NodeSpec::relay(60.0, 60.0).with_dns(dns.clone()));
+    deploy(&mut w, NodeSpec::relay(60.0, 120.0).with_dns(dns.clone()));
+    deploy(
+        &mut w,
+        NodeSpec::relay(60.0, 180.0)
+            .with_gateway(Addr::new(82, 130, 66, 1))
+            .with_dns(dns),
+    );
+
+    let leases = |w: &World| -> Vec<Addr> {
+        w.node(alice.id)
+            .local_addrs()
+            .iter()
+            .copied()
+            .filter(|a| a.is_public())
+            .collect()
+    };
+
+    // Lease from the near gateway, both alternatives pre-warmed.
+    w.run_for(SimDuration::from_secs(20));
+    let first = leases(&w);
+    assert_eq!(first.len(), 1, "one lease held before the kill");
+    assert_eq!(
+        first[0].0 & 0xffff_ff00,
+        0x5282_4000,
+        "nearest gateway serves first"
+    );
+    assert!(
+        w.node(alice.id).stats().get("cp.standby_warm").packets >= 2,
+        "both alternatives must be warm before the kill"
+    );
+
+    // Both crashes land in the same instant — one detection window.
+    let kill_at = w.now() + SimDuration::from_millis(10);
+    w.install_fault_plan(
+        FaultPlan::new()
+            .crash_at(kill_at, gw_a.id)
+            .crash_at(kill_at, gw_b.id),
+    );
+    let mut on_third = None;
+    for step in 1..=150u64 {
+        w.run_for(SimDuration::from_millis(100));
+        let now_leased = leases(&w);
+        if now_leased.len() == 1 && now_leased[0].0 & 0xffff_ff00 == 0x5282_4200 {
+            on_third = Some(SimDuration::from_millis(100 * step));
+            break;
+        }
+    }
+    let took = on_third.expect("the third gateway must end up serving");
+    assert!(
+        took <= SimDuration::from_secs(12),
+        "double handoff took {took:?}, budget is two detection windows"
+    );
+    let st = w.node(alice.id).stats();
+    assert!(st.get("cp.gateway_dead").packets >= 1);
+    assert!(
+        st.get("cp.promote").packets >= 1,
+        "the surviving standby must be promoted, not re-leased cold"
+    );
+    assert!(st.get("cp.handoff_ok").packets >= 1);
+    assert_eq!(
+        st.get("cp.tunnel_down").packets,
+        0,
+        "a double kill with a surviving standby must not declare an outage"
+    );
+    assert_eq!(
+        leases(&w).len(),
+        1,
+        "exactly one lease after the dust settles"
+    );
+    assert!(w.total_stats().get("fault.crash").packets >= 2);
+
+    // And the late Internet call establishes through the survivor.
+    w.run_until(SimTime::from_secs(60));
+    let a = alice.ua_logs[0].borrow();
+    assert!(
+        a.any(|e| matches!(e, CallEvent::Established { .. })),
+        "call through the third gateway must establish: {:?}",
+        a.events()
+    );
+}
+
 /// With no gateway anywhere, the Connection Provider's re-probes back off
 /// exponentially instead of hammering the (empty) MANET every 5 s.
 #[test]

@@ -174,6 +174,36 @@ fn workflow_jobs_run_the_scripts_they_mirror() {
     }
 }
 
+/// The handoff canary gates both failover modes in both gates: the local
+/// script and the workflow must run `exp_handoff --smoke`, and the smoke
+/// binary must carry the ≤ 500 ms make-before-break budget it enforces.
+/// Losing any of these silently turns the make-before-break path into
+/// dead code nobody exercises before merge.
+#[test]
+fn handoff_canary_gates_make_before_break_in_both_gates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sh = std::fs::read_to_string(root.join("scripts/ci.sh")).expect("scripts/ci.sh");
+    assert!(
+        sh.contains("exp_handoff") && sh.contains("--smoke"),
+        "local gate must run the handoff smoke canary"
+    );
+    let yml = workflow_text();
+    assert!(
+        yml.contains("exp_handoff") && yml.contains("--smoke"),
+        "workflow must run the handoff smoke canary"
+    );
+    let bench = std::fs::read_to_string(root.join("crates/bench/src/bin/exp_handoff.rs"))
+        .expect("exp_handoff source");
+    assert!(
+        bench.contains("500.0"),
+        "smoke canary must keep the 500 ms make-before-break budget"
+    );
+    assert!(
+        bench.contains("Mode::Bbm") && bench.contains("Mode::Mbb"),
+        "canary must exercise both failover modes"
+    );
+}
+
 #[test]
 fn bench_baseline_is_tracked_and_parsable() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_baseline.json");

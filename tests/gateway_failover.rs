@@ -133,6 +133,93 @@ fn client_fails_over_to_second_gateway_within_five_seconds() {
     );
 }
 
+/// Regression: standby promotion must *re-rank* the warm set (fewest
+/// hops first, freshest advert as the tie-break), not pop it in insertion
+/// order. Discovery is staggered so the orders disagree: a distant
+/// gateway is warmed first, then a one-hop gateway powers on and is
+/// warmed second. When the active gateway dies, the promotion must pick
+/// the late-arriving near gateway — the insertion-order pop this guards
+/// against would hand the call to the 3-hop one.
+#[test]
+fn promotion_prefers_closest_standby_over_insertion_order() {
+    let mut w = World::new(WorldConfig::new(903).with_radio(RadioConfig::ideal()));
+    let dns = internet_side(&mut w);
+
+    // gwA — alice — r1 — r2 — gwB in a line (gwB three hops from alice);
+    // gwC one hop from alice, off the line, initially powered down.
+    let gw_a = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0)
+            .with_gateway(Addr::new(82, 130, 64, 1))
+            .with_standby(2, SimDuration::from_secs(1))
+            .with_dns(dns.clone()),
+    );
+    let alice = deploy(
+        &mut w,
+        NodeSpec::relay(60.0, 0.0)
+            .with_standby(2, SimDuration::from_secs(1))
+            .with_dns(dns.clone()),
+    );
+    deploy(&mut w, NodeSpec::relay(120.0, 0.0).with_dns(dns.clone()));
+    deploy(&mut w, NodeSpec::relay(180.0, 0.0).with_dns(dns.clone()));
+    deploy(
+        &mut w,
+        NodeSpec::relay(240.0, 0.0)
+            .with_gateway(Addr::new(82, 130, 65, 1))
+            .with_dns(dns.clone()),
+    );
+    // Phase 1: gwA serves (one hop beats three), gwB is the only standby.
+    w.run_for(SimDuration::from_secs(15));
+    let first_lease = public_leases(&w, &alice);
+    assert_eq!(first_lease.len(), 1, "one lease held");
+    assert_eq!(
+        first_lease[0].0 & 0xffff_ff00,
+        0x5282_4000,
+        "nearest gateway must serve first"
+    );
+    assert!(
+        w.node(alice.id).stats().get("cp.standby_warm").packets >= 1,
+        "the far gateway must be pre-warmed"
+    );
+
+    // Phase 2: the near alternative joins the MANET *after* gwB is
+    // already warm, so it lands second in insertion order.
+    deploy(
+        &mut w,
+        NodeSpec::relay(60.0, 60.0)
+            .with_gateway(Addr::new(82, 130, 66, 1))
+            .with_dns(dns),
+    );
+    w.run_for(SimDuration::from_secs(15));
+    assert!(
+        w.node(alice.id).stats().get("cp.standby_warm").packets >= 2,
+        "both alternatives must be warm before the kill"
+    );
+
+    // Phase 3: the serving gateway dies; promotion must pick gwC (1 hop),
+    // not gwB (3 hops, warmed first).
+    w.set_node_up(gw_a.id, false);
+    let mut promoted = false;
+    for _ in 0..50 {
+        w.run_for(SimDuration::from_millis(100));
+        if w.node(alice.id).stats().get("cp.handoff_ok").packets >= 1 {
+            promoted = true;
+            break;
+        }
+    }
+    assert!(promoted, "handoff must complete within 5 s of the kill");
+    assert!(w.node(alice.id).stats().get("cp.promote").packets >= 1);
+    let second_lease = public_leases(&w, &alice);
+    assert_eq!(second_lease.len(), 1, "exactly one lease after promotion");
+    assert_eq!(
+        second_lease[0].0 & 0xffff_ff00,
+        0x5282_4200,
+        "promotion must re-rank by hops: the one-hop gateway wins even \
+         though the three-hop one was warmed first (got {})",
+        second_lease[0]
+    );
+}
+
 /// The tentpole property: a call that is *already up* survives the death
 /// of the gateway carrying it. Keepalives detect the dead gateway, the
 /// Connection Provider re-leases from the survivor, the UA re-INVITEs

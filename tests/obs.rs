@@ -22,6 +22,7 @@ fn node(x: f64, user: Option<&str>, calls: Vec<CallSpec>) -> NodeSpecJson {
         calls,
         gateway: None,
         mobility: None,
+        nat: false,
     }
 }
 
@@ -52,6 +53,8 @@ fn call_scenario() -> Scenario {
         providers: Vec::new(),
         chaos: None,
         keepalive: None,
+        standby: None,
+        relays: Vec::new(),
     }
 }
 

@@ -463,6 +463,136 @@ proptest! {
 }
 
 // ----------------------------------------------------------------------
+// Multi-homing invariants under gateway churn
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under arbitrary sequential gateway churn the Connection Provider
+    /// (a) never exposes two public leases at once — promotion and
+    /// renumbering swap the alias atomically; (b) conserves its standby
+    /// accounting — every lease it ever warmed is promoted, declared
+    /// dead, dropped or expired, with at most `standby_target` still in
+    /// hand; and (c) retires every keepalive generation — once the last
+    /// gateway is gone and the outage declared, no stray standby or
+    /// tunnel pings keep firing from leaked timer chains.
+    #[test]
+    fn gateway_churn_never_doubles_leases_or_leaks_keepalives(
+        seed in 0u64..10_000,
+        churn in proptest::collection::vec(
+            (0usize..3, 500u64..4_000, 1_000u64..4_000),
+            1..5,
+        ),
+    ) {
+        let mut w = World::new(WorldConfig::new(seed).with_radio(RadioConfig::ideal()));
+        // Three one-hop gateways around the client: churn can never
+        // partition the survivors.
+        let gws = [
+            deploy(&mut w, NodeSpec::relay(0.0, 0.0).with_gateway(Addr::new(82, 130, 64, 1))),
+            deploy(&mut w, NodeSpec::relay(120.0, 0.0).with_gateway(Addr::new(82, 130, 65, 1))),
+            deploy(&mut w, NodeSpec::relay(60.0, 60.0).with_gateway(Addr::new(82, 130, 66, 1))),
+        ];
+        let alice = deploy(
+            &mut w,
+            NodeSpec::relay(60.0, 0.0).with_standby(2, SimDuration::from_secs(1)),
+        );
+        let pubs = |w: &World| -> usize {
+            w.node(alice.id)
+                .local_addrs()
+                .iter()
+                .filter(|a| a.is_public())
+                .count()
+        };
+        // Step the world in 100 ms slices, checking the single-lease
+        // invariant at every slice boundary.
+        macro_rules! step_checked {
+            ($ms:expr) => {
+                let mut left = $ms;
+                while left > 0 {
+                    let slice = left.min(100);
+                    w.run_for(SimDuration::from_millis(slice));
+                    left -= slice;
+                    prop_assert!(
+                        pubs(&w) <= 1,
+                        "two active leases at {:?}: {:?}",
+                        w.now(),
+                        w.node(alice.id).local_addrs()
+                    );
+                }
+            };
+        }
+
+        step_checked!(15_000);
+        for (idx, down_ms, up_ms) in churn {
+            w.set_node_up(gws[idx].id, false);
+            step_checked!(down_ms);
+            w.set_node_up(gws[idx].id, true);
+            step_checked!(up_ms);
+        }
+        // All three are up again: the client must re-lease within the
+        // probe backoff's worst case.
+        let mut releases = false;
+        for _ in 0..700u32 {
+            step_checked!(100);
+            if pubs(&w) == 1 {
+                releases = true;
+                break;
+            }
+        }
+        prop_assert!(releases, "client must hold one lease once churn ends");
+
+        // Standby conservation: promotions and deaths only come out of
+        // warmed leases, and whatever is unaccounted is still warm — at
+        // most the configured target.
+        let st = w.node(alice.id).stats();
+        let warmed = st.get("cp.standby_warm").packets;
+        let promoted = st.get("cp.promote").packets;
+        let dead = st.get("cp.standby_dead").packets;
+        let dropped = st.get("cp.standby_drop").packets;
+        let expired = st.get("cp.standby_expired").packets;
+        prop_assert!(
+            warmed >= promoted + dead,
+            "promotions ({promoted}) + standby deaths ({dead}) exceed leases ever warmed ({warmed})"
+        );
+        prop_assert!(
+            warmed.saturating_sub(promoted + dead + dropped + expired) <= 2,
+            "more than standby_target leases unaccounted: warmed {warmed}, \
+             promoted {promoted}, dead {dead}, dropped {dropped}, expired {expired}"
+        );
+
+        // Generation hygiene: kill every gateway, let the outage be
+        // declared, and verify the keepalive machinery goes silent — a
+        // leaked generation would keep a ping chain alive forever.
+        for gw in &gws {
+            w.set_node_up(gw.id, false);
+        }
+        let mut offline = false;
+        for _ in 0..600u32 {
+            step_checked!(100);
+            if pubs(&w) == 0 {
+                offline = true;
+                break;
+            }
+        }
+        prop_assert!(offline, "outage must be declared once no gateway exists");
+        w.run_for(SimDuration::from_secs(5));
+        let st = w.node(alice.id).stats();
+        let (ping0, sping0) = (st.get("cp.ping").packets, st.get("cp.standby_ping").packets);
+        w.run_for(SimDuration::from_secs(10));
+        let st = w.node(alice.id).stats();
+        prop_assert_eq!(
+            st.get("cp.ping").packets, ping0,
+            "tunnel keepalives must stop with the lease"
+        );
+        prop_assert_eq!(
+            st.get("cp.standby_ping").packets, sping0,
+            "standby keepalives must stop with the warm set"
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
 // Hot-path determinism: the spatial index and shared payloads are pure
 // optimizations
 // ----------------------------------------------------------------------
@@ -473,7 +603,7 @@ proptest! {
 fn trace_fingerprint(w: &World) -> u64 {
     use wireless_adhoc_voip::simnet::trace::TraceKind;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |h: &mut u64, bytes: &[u8]| {
+    let eat = |h: &mut u64, bytes: &[u8]| {
         for &b in bytes {
             *h ^= b as u64;
             *h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -518,7 +648,7 @@ fn beacon_mesh_fingerprint(seed: u64, n: usize, spatial: bool) -> u64 {
         for &id in &ids {
             let src = SocketAddr::new(w.node(id).addr(), 9900);
             let dst = SocketAddr::new(Addr::BROADCAST, 9900);
-            w.inject(id, Datagram::new(id_payload(id), src, dst));
+            w.inject(id, Datagram::new(src, dst, id_payload(id)));
         }
         t_ms += 250;
     }
