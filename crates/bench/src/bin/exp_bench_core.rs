@@ -37,6 +37,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use siphoc_bench::city::{build_city, CityParams};
 use siphoc_bench::topology::bench_ua;
 use siphoc_core::nodesetup::{deploy, NodeSpec};
 use siphoc_simnet::prelude::*;
@@ -44,6 +45,7 @@ use siphoc_sip::uri::Aor;
 
 const BCAST_SEED: u64 = 60_001;
 const SIPHOC_SEED: u64 = 60_002;
+const CITY_SEED: u64 = 60_003;
 /// Node density: one node per (85 m)² keeps meshes connected w.h.p.
 const CELL: f64 = 85.0;
 const BEACON_PORT: u16 = 9900;
@@ -61,6 +63,8 @@ struct Sample {
     events: u64,
     radio_tx: u64,
     rss_peak_kb: u64,
+    /// Worker threads used by the sharded executor (1 = plain loop).
+    threads: usize,
 }
 
 impl Sample {
@@ -143,6 +147,7 @@ fn run_bcast(n: usize, sim_secs: u64) -> Sample {
         events: w.events_processed(),
         radio_tx: w.total_stats().get("radio.tx").packets,
         rss_peak_kb: peak_rss_kb(),
+        threads: 1,
     }
 }
 
@@ -179,6 +184,33 @@ fn run_siphoc(n: usize, sim_secs: u64) -> Sample {
         events: w.events_processed(),
         radio_tx: w.total_stats().get("radio.tx").packets,
         rss_peak_kb: peak_rss_kb(),
+        threads: 1,
+    }
+}
+
+/// City-scale workload for the sharded parallel executor: districts on a
+/// coarse super-grid (independent conflict components), mobile convoys
+/// and a dense emergency swarm, all beaconing on their own timers so the
+/// whole run is one `run_until_threads` call. The same seed at any
+/// thread count dispatches exactly the same events — `main` asserts it.
+fn run_city(n: usize, sim_secs: u64, threads: usize) -> Sample {
+    let mut w = World::new(WorldConfig::new(CITY_SEED));
+    build_city(&mut w, CityParams::with_nodes(n));
+    let started = Instant::now();
+    w.run_until_threads(SimTime::from_secs(sim_secs), threads);
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let (par_w, seq_w) = w.window_counts();
+    eprintln!("  city_{n} t{threads}: {par_w} parallel / {seq_w} sequential windows");
+    Sample {
+        name: format!("city_{n}_t{threads}"),
+        nodes: n,
+        sim_secs: sim_secs as f64,
+        wall_ms,
+        wall_ms_runs: vec![wall_ms],
+        events: w.events_processed(),
+        radio_tx: w.total_stats().get("radio.tx").packets,
+        rss_peak_kb: peak_rss_kb(),
+        threads,
     }
 }
 
@@ -198,14 +230,41 @@ fn best_of(reps: usize, run: impl Fn() -> Sample) -> Sample {
     best
 }
 
-fn render_json(samples: &[Sample]) -> String {
-    let mut out = String::from("{\n  \"bench\": \"exp_bench_core\",\n  \"scenarios\": [\n");
+/// Captures where the numbers came from: hardware parallelism, sweep
+/// concurrency, toolchain and source revision. Wall-clock numbers are
+/// only comparable across runs with matching provenance.
+fn render_provenance(jobs: usize) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let cmd_line = |cmd: &str, args: &[&str]| -> String {
+        std::process::Command::new(cmd)
+            .args(args)
+            .output()
+            .ok()
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_owned())
+    };
+    let rustc = cmd_line("rustc", &["-V"]);
+    let rev = cmd_line("git", &["rev-parse", "--short", "HEAD"]);
+    format!(
+        "  \"provenance\": {{\"cores\": {cores}, \"jobs\": {jobs}, \
+         \"rustc\": \"{rustc}\", \"git_rev\": \"{rev}\"}},\n"
+    )
+}
+
+fn render_json(samples: &[Sample], jobs: usize) -> String {
+    let mut out = String::from("{\n  \"bench\": \"exp_bench_core\",\n");
+    out.push_str(&render_provenance(jobs));
+    out.push_str("  \"scenarios\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let _ = write!(
             out,
             "    {{\"name\": \"{}\", \"nodes\": {}, \"sim_secs\": {:.1}, \"wall_ms\": {:.1}, \
              \"wall_ms_runs\": [{}], \"events\": {}, \"events_per_sec\": {:.0}, \
-             \"radio_tx\": {}, \"rss_peak_kb\": {}}}",
+             \"radio_tx\": {}, \"rss_peak_kb\": {}, \"threads\": {}}}",
             s.name,
             s.nodes,
             s.sim_secs,
@@ -218,7 +277,8 @@ fn render_json(samples: &[Sample]) -> String {
             s.events,
             s.events_per_sec(),
             s.radio_tx,
-            s.rss_peak_kb
+            s.rss_peak_kb,
+            s.threads
         );
         out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
     }
@@ -359,6 +419,13 @@ fn main() {
             }
         });
 
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
     // (size, simulated seconds) — the 1000-node points run shorter so a
     // full sweep stays in CI-friendly wall time even pre-optimization.
     let bcast_points: &[(usize, u64)] = if smoke {
@@ -370,6 +437,14 @@ fn main() {
         &[(50, 5)]
     } else {
         &[(50, 30), (200, 20), (1000, 10)]
+    };
+    // (size, simulated seconds, sharded-executor threads). The same city
+    // at several thread counts: t1 is the sequential reference, t2/t4
+    // measure the sharded speedup — and must dispatch identical events.
+    let city_points: &[(usize, u64, usize)] = if smoke {
+        &[(500, 2, 1), (500, 2, 2)]
+    } else {
+        &[(10_000, 3, 1), (10_000, 3, 2), (10_000, 3, 4)]
     };
 
     println!(
@@ -387,24 +462,27 @@ fn main() {
         "radio.tx",
         "rss_peak_kb"
     );
-    let mut samples = Vec::new();
-    for &(n, secs) in bcast_points {
-        let s = best_of(reps, || run_bcast(n, secs));
-        println!(
-            "{:<12} {:>6} {:>9.1} {:>10.1} {:>12} {:>13.0} {:>10} {:>12}",
-            s.name,
-            s.nodes,
-            s.sim_secs,
-            s.wall_ms,
-            s.events,
-            s.events_per_sec(),
-            s.radio_tx,
-            s.rss_peak_kb
-        );
-        samples.push(s);
+    // One flat task list so `--jobs` can sweep scenarios concurrently
+    // (results stay in declaration order). City points keep jobs=1
+    // semantics anyway when run alone: with --jobs 1 (the default, and
+    // what scripts/bench.sh uses for recorded numbers) everything runs
+    // inline exactly as before.
+    enum Point {
+        Bcast(usize, u64),
+        Siphoc(usize, u64),
+        City(usize, u64, usize),
     }
-    for &(n, secs) in siphoc_points {
-        let s = best_of(reps, || run_siphoc(n, secs));
+    let mut points: Vec<Point> = Vec::new();
+    points.extend(bcast_points.iter().map(|&(n, s)| Point::Bcast(n, s)));
+    points.extend(siphoc_points.iter().map(|&(n, s)| Point::Siphoc(n, s)));
+    points.extend(city_points.iter().map(|&(n, s, t)| Point::City(n, s, t)));
+    let samples: Vec<Sample> =
+        siphoc_simnet::parallel::run_indexed(jobs, points.len(), |i| match points[i] {
+            Point::Bcast(n, secs) => best_of(reps, || run_bcast(n, secs)),
+            Point::Siphoc(n, secs) => best_of(reps, || run_siphoc(n, secs)),
+            Point::City(n, secs, threads) => best_of(reps, || run_city(n, secs, threads)),
+        });
+    for s in &samples {
         println!(
             "{:<12} {:>6} {:>9.1} {:>10.1} {:>12} {:>13.0} {:>10} {:>12}",
             s.name,
@@ -416,10 +494,27 @@ fn main() {
             s.radio_tx,
             s.rss_peak_kb
         );
-        samples.push(s);
     }
 
-    let json = render_json(&samples);
+    // The sharded executor must be trace-equivalent: every city sample
+    // of a given size has to dispatch exactly as many events as its
+    // single-thread reference.
+    for s in &samples {
+        if s.threads <= 1 || !s.name.starts_with("city_") {
+            continue;
+        }
+        let reference = samples
+            .iter()
+            .find(|r| r.name == format!("city_{}_t1", s.nodes))
+            .expect("city sweeps always include a t1 reference");
+        assert_eq!(
+            s.events, reference.events,
+            "{}: event count diverged from {} — the sharded executor broke determinism",
+            s.name, reference.name
+        );
+    }
+
+    let json = render_json(&samples, jobs);
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         let _ = std::fs::create_dir_all(dir);
     }

@@ -231,7 +231,14 @@ fn run_one(seed: u64, mode: Mode, nat_far: bool) -> Option<Run> {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let seeds: &[u64] = if smoke { &SEEDS[..1] } else { &SEEDS[..] };
     println!(
         "E9: mid-call gateway handoff, break-before-make vs make-before-break ({} seed{})\n",
@@ -247,13 +254,26 @@ fn main() {
     let mut runs = 0usize;
     let mut mbb_gap_ok = true;
     let mut relayed_total = 0u64;
+    // Each (seed, mode) run builds an isolated world, so the sweep fans
+    // out over a worker pool under --jobs; results come back in input
+    // order and the report below is identical either way.
+    let mut cases = Vec::new();
     for &seed in seeds {
         // The last seed exercises the NAT'd far gateway, so its mbb
         // promotion re-homes media through the TURN-style relay.
         let nat_far = !smoke && seed == SEEDS[SEEDS.len() - 1];
         for mode in [Mode::Bbm, Mode::Mbb] {
+            cases.push((seed, mode, nat_far));
+        }
+    }
+    let results = siphoc_simnet::parallel::run_indexed(jobs, cases.len(), |i| {
+        let (seed, mode, nat_far) = cases[i];
+        run_one(seed, mode, nat_far)
+    });
+    for (&(seed, mode, nat_far), result) in cases.iter().zip(results) {
+        {
             runs += 1;
-            match run_one(seed, mode, nat_far) {
+            match result {
                 Some(r) => {
                     println!(
                         "{seed:>6} {:>5} {:>6} {:>13.1} {:>9.1} {:>9} {:>8}",

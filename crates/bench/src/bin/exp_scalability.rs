@@ -93,6 +93,13 @@ fn run_one(seed: u64, n: usize) -> Outcome {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     println!(
         "E8: scalability with network size ({} seeds per point)\n",
         SEEDS.len()
@@ -101,15 +108,27 @@ fn main() {
         "{:>6} {:>9} {:>11} {:>11} {:>13} {:>11}",
         "nodes", "calls", "success(%)", "setup(ms)", "ctrl B/node/s", "hit:miss"
     );
-    for n in [10usize, 20, 30, 40, 50] {
+    // Every (size, seed) run is an isolated world: fan the whole sweep
+    // out over a worker pool under --jobs, then aggregate in input order.
+    const SIZES: [usize; 5] = [10, 20, 30, 40, 50];
+    let cases: Vec<(usize, u64)> = SIZES
+        .iter()
+        .flat_map(|&n| SEEDS.iter().map(move |&s| (n, s)))
+        .collect();
+    let mut results = siphoc_simnet::parallel::run_indexed(jobs, cases.len(), |i| {
+        let (n, seed) = cases[i];
+        run_one(seed, n)
+    })
+    .into_iter();
+    for n in SIZES {
         let mut attempted = 0;
         let mut ok = 0;
         let mut setup = Vec::new();
         let mut ctrl = Vec::new();
         let mut hits = 0;
         let mut misses = 0;
-        for seed in SEEDS {
-            let o = run_one(seed, n);
+        for _seed in SEEDS {
+            let o = results.next().expect("one result per case");
             attempted += o.attempted;
             ok += o.ok;
             setup.extend(o.setup_ms);

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod city;
 pub mod location;
 pub mod measure;
 pub mod topology;

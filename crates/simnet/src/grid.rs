@@ -97,6 +97,30 @@ impl NeighborGrid {
         self.dirty = true;
     }
 
+    /// Whether the next query at `now` would rebuild the cells first:
+    /// the index is dirty, or accumulated drift exceeds the slack budget.
+    /// The parallel runner uses this to prove no rebuild can fire inside
+    /// a lookahead window — rebuild *timing* is part of the determinism
+    /// contract, because a rebuild changes the candidate superset (and so
+    /// the order of downstream RNG draws).
+    pub fn needs_rebuild(&self, now: SimTime) -> bool {
+        self.dirty || self.drift(now) > self.cell * MAX_DRIFT_FRACTION
+    }
+
+    /// Rebuilds now if the next query would have: called by the parallel
+    /// runner at a window boundary so workers can query the index frozen
+    /// for the whole window. Rebuild timing is free to differ between
+    /// thread counts — queries return drift-inflated *supersets* that the
+    /// callers trim with exact distance checks before anything observable
+    /// (RNG draws, deliveries) happens, so when a rebuild lands is
+    /// invisible in the trace (the grid↔full-scan equivalence tests pin
+    /// exactly this).
+    pub fn ensure_fresh(&mut self, nodes: &[Node], now: SimTime) {
+        if self.needs_rebuild(now) {
+            self.rebuild(nodes, now);
+        }
+    }
+
     /// Worst-case distance any node may have moved since the last build.
     fn drift(&self, now: SimTime) -> f64 {
         let age = now.as_micros().saturating_sub(self.built_at.as_micros());
@@ -198,9 +222,35 @@ impl NeighborGrid {
         now: SimTime,
         out: &mut Vec<NodeId>,
     ) {
-        if self.dirty || self.drift(now) > self.cell * MAX_DRIFT_FRACTION {
+        if self.needs_rebuild(now) {
             self.rebuild(nodes, now);
         }
+        self.query(node, pos, range, now, out);
+    }
+
+    /// As [`candidates_into`](Self::candidates_into) but on a *frozen*
+    /// index: never rebuilds. The caller (the parallel runner) must have
+    /// checked [`needs_rebuild`](Self::needs_rebuild) is false for the
+    /// whole time window it queries in — workers then share the index
+    /// read-only and every query matches what the sequential path would
+    /// have produced.
+    pub fn candidates_frozen(
+        &self,
+        node: NodeId,
+        pos: Position,
+        range: f64,
+        now: SimTime,
+        out: &mut Vec<NodeId>,
+    ) {
+        debug_assert!(
+            !self.needs_rebuild(now),
+            "frozen grid query past its rebuild horizon"
+        );
+        self.query(node, pos, range, now, out);
+    }
+
+    /// The shared (read-only) query body behind both entry points.
+    fn query(&self, node: NodeId, pos: Position, range: f64, now: SimTime, out: &mut Vec<NodeId>) {
         if self.cols == 0 {
             return;
         }

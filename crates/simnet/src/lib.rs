@@ -50,16 +50,19 @@ pub const fn obs_enabled() -> bool {
     cfg!(feature = "obs")
 }
 
+pub(crate) mod exec;
 pub mod fasthash;
 pub mod fault;
 pub mod grid;
 pub mod mobility;
 pub mod net;
 pub mod node;
+pub mod parallel;
 pub mod process;
 pub mod radio;
 pub mod rng;
 pub mod route;
+mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;

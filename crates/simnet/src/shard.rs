@@ -1,0 +1,635 @@
+//! Sharded single-world execution: conservative-lookahead windows,
+//! conflict components, deterministic replay.
+//!
+//! [`World::run_until_threads`] runs the same event-for-event simulation
+//! as [`World::run_until`], byte-identically — same trace, same `(time,
+//! seq)` order, same event count — while executing independent regions of
+//! the world on worker threads. The algorithm, in three steps per
+//! *window*:
+//!
+//! 1. **Window.** Pop every queued event in `[t0, t0 + h_min)` where `t0`
+//!    is the next event time and `h_min = mac_overhead + prop_delay` is
+//!    the cheapest possible radio hop. Within such a window an event's
+//!    causal cone can cross between nodes at most through *one* radio
+//!    delivery layer (any further hop costs at least a full MAC overhead
+//!    and lands at or beyond the window end), so all its effects stay
+//!    inside one radio disk around its node — the *one-disk-expansion*
+//!    bound that makes conflict analysis local.
+//!
+//! 2. **Components.** Union-find the popped events: events sharing a
+//!    node, events whose radio disks can overlap (coarse cells of
+//!    3×range: disks of radius ≤ 1.25×range can only meet across
+//!    same-or-adjacent cells), and every event on or near a wired node
+//!    (the wired backbone shares one global address map, so all its
+//!    readers and writers serialize in a single "wired" component). Each
+//!    component's events — plus any within-window children they spawn —
+//!    touch a node set disjoint from every other component's, so
+//!    components execute concurrently with no synchronization at all.
+//!
+//! 3. **Replay.** Workers record, per executed event, its trace entries,
+//!    address-map operations and children (in birth order, split into
+//!    within-window ones they executed themselves and future ones). The
+//!    coordinator then replays the records in global `(time, seq)` order
+//!    on a merge heap, assigning child sequence numbers from the world
+//!    counter exactly where the sequential loop would have — which is
+//!    what reconstructs the identical schedule, trace, and queue state.
+//!
+//! Windows that the analysis cannot prove independent — packet faults
+//! active, carrier sense on (its deferral scans read neighbors'
+//! `tx_until` across components), fault/replan events present, the
+//! spatial index due for a rebuild, or simply too few events to be worth
+//! fanning out — fall back to the sequential engine for that window, so
+//! correctness never rests on the fast path.
+//!
+//! # Sharing caveat
+//!
+//! Worker threads touch disjoint node sets, which makes the usual `Send`
+//! bounds unnecessary *provided* process state is node-local (the `Ctx`
+//! contract). Processes on different nodes must not share interior-
+//! mutable state (`Rc`/`RefCell`) with each other; the stock stack and
+//! scenario builders construct per-node state and satisfy this.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+
+use crate::exec::{
+    event_nodes, ChildSlot, Engine, EngineOut, EngineScratch, Event, GridAccess, MapAccess, MapOp,
+    NodesAccess, Rec, WorkerOut,
+};
+use crate::fasthash::FastMap;
+use crate::node::NodeId;
+use crate::time::SimTime;
+use crate::world::World;
+
+/// Don't fan out windows smaller than this; the bucket/replay machinery
+/// would cost more than it saves.
+const PAR_MIN_WINDOW_EVENTS: usize = 4;
+
+/// Rank offset separating within-window children from window-initial
+/// events in a worker's execution heap. Initial events rank by their true
+/// global sequence number; children rank by birth order above this
+/// ceiling — sound because every child's eventual sequence number exceeds
+/// every pre-window one (the counter only grows), and birth order within
+/// a bucket matches the sequential assignment order (workers execute
+/// bucket events in the sequential order, and each event births children
+/// in the same intra-event order).
+const CHILD_RANK_BASE: u64 = u64::MAX / 2;
+
+/// One popped window-initial event with its original queue key.
+struct Init {
+    time: SimTime,
+    seq: u64,
+    event: Option<Event>,
+}
+
+/// Per-bucket execution state, reused across windows.
+#[derive(Default)]
+struct Bucket {
+    inits: Vec<Init>,
+    /// Execution heap: `(time, rank, index)`; `rank < CHILD_RANK_BASE`
+    /// means `index` is an init, otherwise a child slot.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    children: Vec<ChildSlot>,
+    out: WorkerOut,
+    eng: EngineOut,
+}
+
+impl Bucket {
+    fn reset(&mut self) {
+        self.inits.clear();
+        self.heap.clear();
+        self.children.clear();
+        self.out.clear();
+        self.eng.clear();
+    }
+}
+
+/// Everything a worker needs to execute one bucket of one window. Plain
+/// pointers/copies so the struct can cross the task channel without
+/// borrowing the world; validity is a protocol invariant (the coordinator
+/// blocks on the done channel before touching the world again).
+struct WindowShared {
+    cfg: *const crate::world::WorldConfig,
+    nodes_ptr: *mut crate::node::Node,
+    nodes_len: usize,
+    radio_ids_ptr: *const NodeId,
+    radio_ids_len: usize,
+    link_cuts: *const std::collections::BTreeSet<(u32, u32)>,
+    partition: *const Option<std::collections::BTreeSet<u32>>,
+    addr_map: *const FastMap<crate::net::Addr, NodeId>,
+    grid: *const crate::grid::NeighborGrid,
+    trace_enabled: bool,
+    /// Exclusive end of the window: children at `time >= end` are future.
+    end: SimTime,
+}
+
+struct Task {
+    shared: *const WindowShared,
+    bucket: *mut Bucket,
+}
+
+// SAFETY: the coordinator guarantees (a) the pointed-to data outlives the
+// task (it blocks on worker completion before the window state is
+// dropped or the world mutated) and (b) no two live tasks' buckets
+// overlap, and bucket node sets are disjoint (conflict components).
+unsafe impl Send for Task {}
+
+/// Executes every event of one bucket in sequential-equivalent order,
+/// recording outputs for replay.
+///
+/// # Safety
+///
+/// `shared`'s pointers must be valid, the bucket's component must be
+/// node-disjoint from every other concurrently running bucket, and no
+/// other thread may mutate world state for the duration of the call.
+unsafe fn run_bucket(shared: &WindowShared, b: &mut Bucket, scratch: &mut EngineScratch) {
+    let mut born: u64 = 0;
+    for (i, init) in b.inits.iter().enumerate() {
+        b.heap.push(Reverse((init.time, init.seq, i as u32)));
+    }
+    while let Some(Reverse((time, rank, idx))) = b.heap.pop() {
+        let event = if rank < CHILD_RANK_BASE {
+            b.inits[idx as usize]
+                .event
+                .take()
+                .expect("init executed twice")
+        } else {
+            match std::mem::replace(&mut b.children[idx as usize], ChildSlot::Taken) {
+                ChildSlot::Pending(ev) => ev,
+                _ => unreachable!("child slot executed twice"),
+            }
+        };
+        let trace_start = b.out.trace.len() as u32;
+        let child_start = b.children.len() as u32;
+        let map_start = b.eng.map_ops.len() as u32;
+        {
+            let mut engine = Engine {
+                cfg: &*shared.cfg,
+                now: time,
+                nodes: NodesAccess::from_raw(shared.nodes_ptr, shared.nodes_len),
+                radio_ids: std::slice::from_raw_parts(shared.radio_ids_ptr, shared.radio_ids_len),
+                link_cuts: &*shared.link_cuts,
+                partition: &*shared.partition,
+                // Windows with packet faults never parallelize.
+                packet_faults: &[],
+                fault_rng: None,
+                map: MapAccess::Overlay(&*shared.addr_map),
+                grid: GridAccess::Frozen(&*shared.grid),
+                trace_enabled: shared.trace_enabled,
+                scratch,
+                out: &mut b.eng,
+            };
+            engine.dispatch_and_flush(event);
+        }
+        b.out.trace.append(&mut b.eng.trace);
+        for (t, ev) in b.eng.children.drain(..) {
+            if t < shared.end {
+                let slot = b.children.len() as u32;
+                b.children.push(ChildSlot::Pending(ev));
+                b.heap.push(Reverse((t, CHILD_RANK_BASE + born, slot)));
+                born += 1;
+            } else {
+                b.children.push(ChildSlot::Future(t, ev));
+            }
+        }
+        let rec_idx = b.out.recs.len() as u32;
+        b.out.recs.push(Rec {
+            time,
+            events_delta: b.eng.events_delta,
+            trace_range: (trace_start, b.out.trace.len() as u32),
+            child_range: (child_start, b.children.len() as u32),
+            map_range: (map_start, b.eng.map_ops.len() as u32),
+        });
+        b.eng.events_delta = 0;
+        if rank < CHILD_RANK_BASE {
+            b.out.init_recs.push((rank, rec_idx));
+        } else {
+            b.children[idx as usize] = ChildSlot::Inline(rec_idx);
+        }
+    }
+    // Map ops stay in the engine buffer during the bucket so overlay
+    // lookups see earlier claims; hand them to the replay output now.
+    std::mem::swap(&mut b.out.map_ops, &mut b.eng.map_ops);
+}
+
+/// Scratch state for per-window conflict analysis, reused across windows.
+#[derive(Default)]
+struct Analysis {
+    /// Union-find parents over `inits.len() + 1` entries; the last entry
+    /// is the virtual root of the wired component.
+    parent: Vec<u32>,
+    /// Epoch-stamped node → first-init map (avoids an O(nodes) clear per
+    /// window).
+    node_stamp: Vec<u32>,
+    node_first: Vec<u32>,
+    epoch: u32,
+    /// Coarse spatial cells (3 × radio range) → first occupant.
+    cells: FastMap<(i64, i64), u32>,
+    /// Root → bucket assignment for this window.
+    bucket_of_root: FastMap<u32, usize>,
+}
+
+impl Analysis {
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins (no ranks needed at these
+            // sizes, and the winner must not depend on call order).
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+impl World {
+    /// As [`run_until`](World::run_until), but executes independent
+    /// regions of the world on up to `threads` threads. The result —
+    /// packet trace, event count, queue state, every node's RNG — is
+    /// byte-identical to the single-threaded run; see the
+    /// [module docs](crate::shard) for the windowing argument.
+    /// `threads <= 1` is exactly `run_until`.
+    ///
+    /// Processes on different nodes must not share interior-mutable
+    /// state with each other (node-local state only — the `Ctx`
+    /// contract); the stock protocol stack satisfies this.
+    pub fn run_until_threads(&mut self, t: SimTime, threads: usize) {
+        let threads = threads.clamp(1, 64);
+        let h_min = self.cfg.radio.mac_overhead + self.cfg.radio.prop_delay;
+        // The lookahead bound needs a positive minimum hop cost; a
+        // degenerate radio config gets the plain sequential loop.
+        if threads == 1 || h_min.is_zero() {
+            self.run_until(t);
+            return;
+        }
+
+        // Wired radio nodes participate in radio fan-outs *and* the
+        // global address map, so any event whose disk can reach one joins
+        // the wired component. Interface flags are fixed at creation.
+        let wired_radio: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|n| n.has_wired && n.has_radio)
+            .map(|n| n.id)
+            .collect();
+
+        let mut analysis = Analysis::default();
+        let mut inits: Vec<Init> = Vec::new();
+        let mut buckets: Vec<Bucket> = (0..threads).map(|_| Bucket::default()).collect();
+        let mut coord_scratch = EngineScratch::default();
+
+        let n_workers = threads - 1;
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+
+        std::thread::scope(|scope| {
+            // Task senders live inside the scope: dropping them after the
+            // window loop is what lets the workers' `recv` fail and the
+            // scope join.
+            let mut task_txs: Vec<mpsc::Sender<Task>> = Vec::with_capacity(n_workers);
+            for _ in 0..n_workers {
+                let (tx, rx) = mpsc::channel::<Task>();
+                task_txs.push(tx);
+                let done = done_tx.clone();
+                scope.spawn(move || {
+                    let mut scratch = EngineScratch::default();
+                    while let Ok(task) = rx.recv() {
+                        // SAFETY: see `Task`'s Send justification; the
+                        // coordinator upholds the window protocol.
+                        unsafe { run_bucket(&*task.shared, &mut *task.bucket, &mut scratch) };
+                        if done.send(()).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            while let Some(Reverse(q)) = self.queue.peek() {
+                if q.time > t {
+                    break;
+                }
+                let t0 = q.time;
+                let end = SimTime::from_micros(
+                    (t0 + h_min)
+                        .as_micros()
+                        .min(t.as_micros().saturating_add(1)),
+                );
+
+                // Pop the window's initial events.
+                inits.clear();
+                while let Some(Reverse(q)) = self.queue.peek() {
+                    if q.time >= end {
+                        break;
+                    }
+                    let Reverse(q) = self.queue.pop().expect("peeked entry vanished");
+                    let event = self.take_slot(q.slot);
+                    inits.push(Init {
+                        time: q.time,
+                        seq: q.seq,
+                        event: Some(event),
+                    });
+                }
+
+                let parallel = self.window_eligible(&inits, t0, end)
+                    && self.partition_window(&mut analysis, &inits, t0, &wired_radio, threads);
+
+                if !parallel {
+                    self.seq_windows += 1;
+                    for init in inits.drain(..) {
+                        self.requeue(init.time, init.seq, init.event.expect("init taken"));
+                    }
+                    self.run_window_sequential(end);
+                    continue;
+                }
+                self.par_windows += 1;
+
+                // Distribute inits to their component's bucket.
+                for b in buckets.iter_mut() {
+                    b.reset();
+                }
+                let wired_root = analysis.find(inits.len() as u32);
+                let wired_bucket = analysis.bucket_of_root.get(&wired_root).copied();
+                for (i, init) in inits.drain(..).enumerate() {
+                    let root = analysis.find(i as u32);
+                    let b = analysis.bucket_of_root[&root];
+                    buckets[b].inits.push(init);
+                }
+
+                let shared = WindowShared {
+                    cfg: &self.cfg,
+                    nodes_ptr: self.nodes.as_mut_ptr(),
+                    nodes_len: self.nodes.len(),
+                    radio_ids_ptr: self.radio_ids.as_ptr(),
+                    radio_ids_len: self.radio_ids.len(),
+                    link_cuts: &self.link_cuts,
+                    partition: &self.partition,
+                    addr_map: &self.addr_map,
+                    grid: &self.grid,
+                    trace_enabled: self.trace.is_enabled(),
+                    end,
+                };
+
+                // Fan the non-empty buckets out; bucket 0 runs here.
+                let bucket_base = buckets.as_mut_ptr();
+                let mut outstanding = 0usize;
+                for w in 1..threads {
+                    // SAFETY: disjoint elements of `buckets`; the borrow
+                    // is released when the done channel confirms below.
+                    let bp = unsafe { bucket_base.add(w) };
+                    if unsafe { (*bp).inits.is_empty() } {
+                        continue;
+                    }
+                    task_txs[w - 1]
+                        .send(Task {
+                            shared: &shared,
+                            bucket: bp,
+                        })
+                        .expect("worker thread died");
+                    outstanding += 1;
+                }
+                if !buckets[0].inits.is_empty() {
+                    // SAFETY: bucket 0 is never sent to a worker; the
+                    // shared window state is valid for this call.
+                    unsafe { run_bucket(&shared, &mut buckets[0], &mut coord_scratch) };
+                }
+                for _ in 0..outstanding {
+                    done_rx.recv().expect("worker thread died");
+                }
+
+                self.replay_window(&mut buckets, wired_bucket);
+            }
+            drop(task_txs);
+        });
+        self.now = t;
+    }
+
+    /// As [`run_for`](World::run_for) with [`run_until_threads`].
+    pub fn run_for_threads(&mut self, d: crate::time::SimDuration, threads: usize) {
+        self.run_until_threads(self.now + d, threads);
+    }
+
+    /// Cheap structural checks: can this window even be considered for
+    /// parallel execution?
+    fn window_eligible(&mut self, inits: &[Init], t0: SimTime, end: SimTime) -> bool {
+        if inits.len() < PAR_MIN_WINDOW_EVENTS {
+            return false;
+        }
+        // Packet faults draw from one global RNG stream in strict event
+        // order; carrier sense reads neighbors' `tx_until` across
+        // components. Both serialize the world.
+        if !self.packet_faults.is_empty() || self.cfg.radio.carrier_sense {
+            return false;
+        }
+        // Global-state events (fault application, mobility replans)
+        // mutate what every worker reads; run such windows sequentially.
+        if inits.iter().any(|i| {
+            matches!(
+                i.event.as_ref().expect("init taken"),
+                Event::Fault(_) | Event::Replan { .. }
+            )
+        }) {
+            return false;
+        }
+        if self.cfg.use_spatial_index {
+            // Freeze the grid for the window: rebuild now if a query
+            // inside it would have (rebuild timing is trace-invisible —
+            // queries yield exact-filtered supersets — so rebuilding at
+            // the window boundary is free). If even a fresh build can't
+            // cover the window (degenerate drift), serialize.
+            self.grid.ensure_fresh(&self.nodes, t0);
+            let last = SimTime::from_micros(end.as_micros().saturating_sub(1));
+            if self.grid.needs_rebuild(last) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Builds conflict components over the window's initial events and
+    /// assigns them to buckets. Returns false when the window collapses
+    /// into too few components to be worth fanning out.
+    fn partition_window(
+        &mut self,
+        a: &mut Analysis,
+        inits: &[Init],
+        t0: SimTime,
+        wired_radio: &[NodeId],
+        threads: usize,
+    ) -> bool {
+        let n = inits.len() as u32;
+        let wired_root = n;
+        a.parent.clear();
+        a.parent.extend(0..=n);
+        a.epoch = a.epoch.wrapping_add(1);
+        if a.epoch == 0 {
+            // Wrapped: stale stamps could collide; reset them all.
+            a.node_stamp.clear();
+            a.epoch = 1;
+        }
+        if a.node_stamp.len() < self.nodes.len() {
+            a.node_stamp.resize(self.nodes.len(), 0);
+            a.node_first.resize(self.nodes.len(), 0);
+        }
+        a.cells.clear();
+
+        // Conflict radius: an event's writes stay within one radio disk
+        // of its node, and drift-inflated disks reach at most 1.25 ×
+        // range (the grid rebuild budget bounds drift at 0.25 × range).
+        // Two disks can therefore only overlap when their centers are
+        // within 2.5 × range — always same-or-adjacent cells at 3 ×.
+        let cell = 3.0 * self.cfg.radio.range.max(1e-9);
+        // Seed wired radio nodes as cell occupants of the wired
+        // component, so any event whose disk could reach one (and with
+        // it, the shared address map via an inline gateway delivery)
+        // serializes with the backbone.
+        for &id in wired_radio {
+            let pos = self.nodes[id.0 as usize].mobility.position(t0);
+            let c = ((pos.0 / cell).floor() as i64, (pos.1 / cell).floor() as i64);
+            if let Some(&first) = a.cells.get(&c) {
+                a.union(first, wired_root);
+            } else {
+                a.cells.insert(c, wired_root);
+            }
+        }
+
+        for (i, init) in inits.iter().enumerate() {
+            let i = i as u32;
+            let event = init.event.as_ref().expect("init taken");
+            for &node in event_nodes(event) {
+                let ni = node.0 as usize;
+                // Same node ⇒ same component.
+                if a.node_stamp[ni] == a.epoch {
+                    a.union(i, a.node_first[ni]);
+                } else {
+                    a.node_stamp[ni] = a.epoch;
+                    a.node_first[ni] = i;
+                }
+                let nd = &self.nodes[ni];
+                // Backbone participants serialize with the wired
+                // component (shared address map).
+                if nd.has_wired {
+                    a.union(i, wired_root);
+                }
+                // Overlapping radio disks ⇒ same component.
+                if nd.has_radio {
+                    let pos = nd.mobility.position(t0);
+                    let c = ((pos.0 / cell).floor() as i64, (pos.1 / cell).floor() as i64);
+                    for dy in -1..=1 {
+                        for dx in -1..=1 {
+                            if let Some(&first) = a.cells.get(&(c.0 + dx, c.1 + dy)) {
+                                a.union(i, first);
+                            }
+                        }
+                    }
+                    a.cells.entry(c).or_insert(i);
+                }
+            }
+        }
+
+        // Assign components to buckets round-robin in first-appearance
+        // order. (Any assignment is correct — replay re-establishes the
+        // global order — this one just spreads load deterministically.)
+        a.bucket_of_root.clear();
+        let mut next_bucket = 0usize;
+        let mut components = 0usize;
+        for i in 0..=n {
+            let root = a.find(i);
+            if let std::collections::hash_map::Entry::Vacant(e) = a.bucket_of_root.entry(root) {
+                e.insert(next_bucket);
+                next_bucket = (next_bucket + 1) % threads;
+                components += 1;
+            }
+        }
+        // The wired root always counts as a component even when no init
+        // touches it; require at least two *real* ones.
+        components >= 3
+            || (components == 2 && {
+                let wr = a.find(wired_root);
+                (0..n).any(|i| a.find(i) == wr)
+            })
+    }
+
+    /// Sequential fallback for one window: run every event strictly
+    /// before `end` through the ordinary engine.
+    fn run_window_sequential(&mut self, end: SimTime) {
+        while let Some(Reverse(q)) = self.queue.peek() {
+            if q.time >= end {
+                break;
+            }
+            let Reverse(q) = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(q.time >= self.now, "event queue went backwards");
+            self.now = q.time;
+            let event = self.take_slot(q.slot);
+            self.dispatch_sequential(event);
+        }
+    }
+
+    /// Merges worker outputs back into the world in exact sequential
+    /// order, reconstructing the `(time, seq)` schedule the
+    /// single-threaded loop would have produced.
+    fn replay_window(&mut self, buckets: &mut [Bucket], wired_bucket: Option<usize>) {
+        // Heap over (time, true_seq, bucket, rec): initial events carry
+        // their original seq; children get theirs assigned from the world
+        // counter when their parent's record is replayed — in birth
+        // order, which is exactly when the sequential loop would have
+        // assigned them.
+        let mut heap: BinaryHeap<Reverse<(SimTime, u64, usize, u32)>> = BinaryHeap::new();
+        for (b, bucket) in buckets.iter().enumerate() {
+            for &(seq, rec) in &bucket.out.init_recs {
+                heap.push(Reverse((bucket.out.recs[rec as usize].time, seq, b, rec)));
+            }
+        }
+        while let Some(Reverse((time, _seq, b, rec_idx))) = heap.pop() {
+            self.now = time;
+            let rec = buckets[b].out.recs[rec_idx as usize];
+            self.events += rec.events_delta;
+            for i in rec.trace_range.0..rec.trace_range.1 {
+                let entry = buckets[b].out.trace[i as usize].clone();
+                self.trace.record(entry);
+            }
+            if rec.map_range.0 != rec.map_range.1 {
+                debug_assert_eq!(
+                    Some(b),
+                    wired_bucket,
+                    "address-map mutation outside the wired component"
+                );
+                for i in rec.map_range.0..rec.map_range.1 {
+                    match buckets[b].out.map_ops[i as usize] {
+                        MapOp::Insert(addr, node) => {
+                            self.addr_map.insert(addr, node);
+                        }
+                        MapOp::Remove(addr) => {
+                            self.addr_map.remove(&addr);
+                        }
+                    }
+                }
+            }
+            for i in rec.child_range.0..rec.child_range.1 {
+                match std::mem::replace(&mut buckets[b].children[i as usize], ChildSlot::Taken) {
+                    ChildSlot::Future(t, ev) => self.schedule_at(t, ev),
+                    ChildSlot::Inline(child_rec) => {
+                        let seq = self.seq;
+                        self.seq += 1;
+                        heap.push(Reverse((
+                            buckets[b].out.recs[child_rec as usize].time,
+                            seq,
+                            b,
+                            child_rec,
+                        )));
+                    }
+                    ChildSlot::Pending(..) | ChildSlot::Taken => {
+                        unreachable!("unexecuted or doubly-replayed child")
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,25 +1,33 @@
-//! The simulated world: event loop, forwarding engine, radio and backbone.
+//! The simulated world: event loop, node table and global state.
 //!
 //! A [`World`] owns all nodes, the pending-event queue and the packet
 //! trace. The event loop is strictly deterministic: equal-time events fire
 //! in scheduling order, every random draw comes from a seeded stream, and
 //! all internal collections iterate in stable order.
+//!
+//! What happens *inside* one event — process calls, forwarding, the radio
+//! channel — lives in [`crate::exec::Engine`]; the world owns scheduling
+//! (the `(time, seq)` queue and slab), global fault state and the node
+//! table, and drives the engine one event at a time. The windowed
+//! parallel runner in [`crate::shard`] drives the same engine from worker
+//! threads and merges results back through the same scheduling machinery,
+//! which is what keeps multi-threaded runs byte-identical.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 
+use crate::exec::{Engine, EngineOut, EngineScratch, Event, GridAccess, MapAccess, NodesAccess};
 use crate::fasthash::FastMap;
-
-use crate::fault::{corrupt_payload, FaultAction, FaultPlan, PacketFault, PacketFaultKind};
+use crate::fault::{FaultAction, FaultPlan, PacketFault};
 use crate::grid::NeighborGrid;
-use crate::net::{Addr, Datagram, L2Dst};
-use crate::node::{Node, NodeConfig, NodeId, PendingPacket};
-use crate::process::{Ctx, Effect, LocalEvent, Process};
-use crate::radio::{Frame, RadioConfig};
+use crate::net::{Addr, Datagram};
+use crate::node::{Node, NodeConfig, NodeId};
+use crate::process::{LocalEvent, Process};
+use crate::radio::RadioConfig;
 use crate::rng::SimRng;
 use crate::stats::NodeStats;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{PacketTrace, TraceEntry, TraceKind};
+use crate::trace::PacketTrace;
 
 /// Global world parameters.
 #[derive(Debug, Clone)]
@@ -67,68 +75,14 @@ impl WorldConfig {
     }
 }
 
-#[derive(Debug)]
-enum Event {
-    Start {
-        node: NodeId,
-        proc: usize,
-    },
-    TxStart {
-        node: NodeId,
-    },
-    Deliver {
-        node: NodeId,
-        dgram: Datagram,
-        via: Via,
-    },
-    /// One radio broadcast frame fanned out to every surviving receiver.
-    /// All per-receiver `Deliver`s of a frame share one delivery time and
-    /// would receive consecutive `seq`s, so nothing can ever sort between
-    /// them — popping them as one heap entry preserves dispatch order
-    /// exactly while removing a push+pop per receiver. Only used while no
-    /// packet faults are active (faults need per-copy scheduling).
-    DeliverRadioBatch {
-        dgram: Datagram,
-        receivers: Vec<NodeId>,
-    },
-    TxDone {
-        node: NodeId,
-    },
-    Timer {
-        node: NodeId,
-        proc: usize,
-        token: u64,
-    },
-    Local {
-        node: NodeId,
-        exclude: Option<usize>,
-        ev: LocalEvent,
-    },
-    Replan {
-        node: NodeId,
-    },
-    PendingSweep {
-        node: NodeId,
-    },
-    Fault(FaultAction),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Via {
-    Loopback,
-    Wired,
-    Radio,
-    Handler(usize),
-}
-
 /// Heap entry: ordering key plus a slot index into the world's event
 /// slab. Keeping the (large) `Event` payload out of the heap makes every
 /// sift move 24 bytes instead of 80, which is a measurable share of the
 /// event loop at scale.
-struct Queued {
-    time: SimTime,
-    seq: u64,
-    slot: u32,
+pub(crate) struct Queued {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) slot: u32,
 }
 
 impl PartialEq for Queued {
@@ -148,14 +102,6 @@ impl Ord for Queued {
     }
 }
 
-#[allow(dead_code)] // variants carry data used only through dispatch
-enum CallKind {
-    Start,
-    Datagram(Datagram),
-    Timer(u64),
-    Local(LocalEvent),
-}
-
 /// The simulation world.
 ///
 /// # Examples
@@ -170,40 +116,51 @@ enum CallKind {
 /// assert_eq!(world.node(a).addr(), Addr::manet(0));
 /// ```
 pub struct World {
-    cfg: WorldConfig,
-    now: SimTime,
-    seq: u64,
+    pub(crate) cfg: WorldConfig,
+    pub(crate) now: SimTime,
+    pub(crate) seq: u64,
     /// Total events dispatched since creation (benchmark harnesses divide
     /// this by wall-clock time to report simulator throughput).
-    events: u64,
-    queue: BinaryHeap<Reverse<Queued>>,
-    nodes: Vec<Node>,
-    addr_map: FastMap<Addr, NodeId>,
-    trace: PacketTrace,
+    pub(crate) events: u64,
+    pub(crate) queue: BinaryHeap<Reverse<Queued>>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) addr_map: FastMap<Addr, NodeId>,
+    pub(crate) trace: PacketTrace,
     next_manet_index: u32,
     workload_rng: SimRng,
     /// Administratively cut radio links, as normalized id pairs.
-    link_cuts: BTreeSet<(u32, u32)>,
+    pub(crate) link_cuts: BTreeSet<(u32, u32)>,
     /// Current partition island (node ids); links crossing its boundary
     /// are blocked.
-    partition: Option<BTreeSet<u32>>,
+    pub(crate) partition: Option<BTreeSet<u32>>,
     /// Active probabilistic per-link packet faults.
-    packet_faults: Vec<PacketFault>,
+    pub(crate) packet_faults: Vec<PacketFault>,
     /// Dedicated RNG stream for packet-fault sampling, so chaos draws
     /// never perturb node or workload streams.
-    fault_rng: SimRng,
+    pub(crate) fault_rng: SimRng,
     /// Spatial index over node positions serving radio range queries;
     /// lazily rebuilt (see [`crate::grid`]).
-    grid: NeighborGrid,
-    /// Reused candidate buffer for radio range queries, so the per-frame
-    /// hot path allocates nothing in steady state.
-    scratch_candidates: Vec<NodeId>,
+    pub(crate) grid: NeighborGrid,
+    /// Ids of every radio node in creation order. Interface flags are
+    /// fixed at creation, so this is maintained incrementally by
+    /// [`World::add_node`] and replaces the full node scan when the
+    /// spatial index is disabled.
+    pub(crate) radio_ids: Vec<NodeId>,
+    /// Reused engine hot-path buffers for the sequential lane (parallel
+    /// workers own their own).
+    pub(crate) scratch: EngineScratch,
+    /// Engine output buffer for the sequential lane, flushed after every
+    /// event.
+    pub(crate) engine_out: EngineOut,
     /// Backing storage for queued events; `queue` holds only (time, seq,
     /// slot) keys. `None` slots are free and listed in `free_slots`.
-    slab: Vec<Option<Event>>,
-    free_slots: Vec<u32>,
-    /// Recycled receiver buffers for [`Event::DeliverRadioBatch`].
-    batch_pool: Vec<Vec<NodeId>>,
+    pub(crate) slab: Vec<Option<Event>>,
+    pub(crate) free_slots: Vec<u32>,
+    /// Lookahead windows executed on the parallel fast path by
+    /// [`World::run_until_threads`].
+    pub(crate) par_windows: u64,
+    /// Lookahead windows that fell back to sequential execution.
+    pub(crate) seq_windows: u64,
     tracing_default: bool,
 }
 
@@ -229,10 +186,13 @@ impl World {
             packet_faults: Vec::new(),
             fault_rng,
             grid,
-            scratch_candidates: Vec::new(),
+            radio_ids: Vec::new(),
+            scratch: EngineScratch::default(),
+            engine_out: EngineOut::default(),
             slab: Vec::new(),
             free_slots: Vec::new(),
-            batch_pool: Vec::new(),
+            par_windows: 0,
+            seq_windows: 0,
             tracing_default: false,
         }
     }
@@ -245,6 +205,13 @@ impl World {
     /// Total number of events dispatched by the event loop so far.
     pub fn events_processed(&self) -> u64 {
         self.events
+    }
+
+    /// `(parallel, sequential-fallback)` lookahead-window counts from
+    /// [`World::run_until_threads`]. Both zero under plain `run_until`.
+    /// Lets harnesses verify the parallel fast path actually engaged.
+    pub fn window_counts(&self) -> (u64, u64) {
+        (self.par_windows, self.seq_windows)
     }
 
     /// The world configuration.
@@ -284,6 +251,9 @@ impl World {
         }
         if let Some(t) = node.mobility.next_replan() {
             self.schedule_at(t, Event::Replan { node: id });
+        }
+        if node.has_radio {
+            self.radio_ids.push(id);
         }
         self.addr_map.insert(addr, id);
         self.nodes.push(node);
@@ -553,16 +523,8 @@ impl World {
             let Reverse(q) = self.queue.pop().expect("peeked entry vanished");
             debug_assert!(q.time >= self.now, "event queue went backwards");
             self.now = q.time;
-            self.events += 1;
-            let event = self.slab[q.slot as usize]
-                .take()
-                .expect("queued slot is empty");
-            self.free_slots.push(q.slot);
-            let node = event_node(&event);
-            self.dispatch(event);
-            if let Some(node) = node {
-                self.flush_pending(node);
-            }
+            let event = self.take_slot(q.slot);
+            self.dispatch_sequential(event);
         }
         self.now = t;
     }
@@ -575,7 +537,7 @@ impl World {
     /// Injects a datagram as if a process on `node` had sent it.
     /// Useful for tests and workload drivers.
     pub fn inject(&mut self, node: NodeId, dgram: Datagram) {
-        self.route_and_send(node, dgram, false);
+        self.with_engine(|e| e.route_and_send(node, dgram, false));
     }
 
     /// Installs a static route on a node. Intended for tests and
@@ -593,13 +555,27 @@ impl World {
         self.schedule_at(self.now + delay, event);
     }
 
-    fn schedule_at(&mut self, time: SimTime, event: Event) {
+    pub(crate) fn schedule_at(&mut self, time: SimTime, event: Event) {
         let time = if time < self.now { self.now } else { time };
         let seq = self.seq;
         self.seq += 1;
-        // Park the event in the slab (reusing freed slots LIFO, which is
-        // deterministic) and queue only its ordering key.
-        let slot = match self.free_slots.pop() {
+        let slot = self.park_slot(event);
+        self.queue.push(Reverse(Queued { time, seq, slot }));
+    }
+
+    /// Re-parks a popped event under its *original* `(time, seq)` key —
+    /// used by the parallel runner's fallback path to push an already
+    /// popped window back onto the queue without perturbing the sequence
+    /// numbering that ordering (and hence determinism) depends on.
+    pub(crate) fn requeue(&mut self, time: SimTime, seq: u64, event: Event) {
+        let slot = self.park_slot(event);
+        self.queue.push(Reverse(Queued { time, seq, slot }));
+    }
+
+    /// Parks an event in the slab (reusing freed slots LIFO, which is
+    /// deterministic) and returns its slot; the queue holds only keys.
+    fn park_slot(&mut self, event: Event) -> u32 {
+        match self.free_slots.pop() {
             Some(slot) => {
                 self.slab[slot as usize] = Some(event);
                 slot
@@ -608,29 +584,24 @@ impl World {
                 self.slab.push(Some(event));
                 u32::try_from(self.slab.len() - 1).expect("event slab overflow")
             }
-        };
-        self.queue.push(Reverse(Queued { time, seq, slot }));
+        }
     }
 
-    fn dispatch(&mut self, event: Event) {
+    pub(crate) fn take_slot(&mut self, slot: u32) -> Event {
+        let event = self.slab[slot as usize]
+            .take()
+            .expect("queued slot is empty");
+        self.free_slots.push(slot);
+        event
+    }
+
+    /// Dispatches one popped event on the sequential lane. Global-state
+    /// events (faults, mobility replans) are handled here directly;
+    /// everything else goes through the shared engine.
+    pub(crate) fn dispatch_sequential(&mut self, event: Event) {
         match event {
-            Event::Start { node, proc } => self.call_proc(node, proc, CallKind::Start),
-            Event::TxStart { node } => self.start_tx(node),
-            Event::Timer { node, proc, token } => {
-                self.call_proc(node, proc, CallKind::Timer(token))
-            }
-            Event::Deliver { node, dgram, via } => self.deliver(node, dgram, via),
-            Event::DeliverRadioBatch { dgram, receivers } => self.deliver_batch(dgram, receivers),
-            Event::TxDone { node } => self.tx_done(node),
-            Event::Local { node, exclude, ev } => {
-                let count = self.node(node).procs.len();
-                for idx in 0..count {
-                    if Some(idx) != exclude {
-                        self.call_proc(node, idx, CallKind::Local(ev.clone()));
-                    }
-                }
-            }
             Event::Replan { node } => {
+                self.events += 1;
                 let now = self.now;
                 let n = self.node_mut(node);
                 n.mobility.replan(now, &mut n.rng);
@@ -644,674 +615,53 @@ impl World {
                 // query radii tight under heavy mobility.)
                 self.grid.invalidate();
             }
-            Event::PendingSweep { node } => {
-                let now = self.now;
-                let n = self.node_mut(node);
-                let mut dropped = 0usize;
-                let mut dropped_bytes = 0usize;
-                n.pending.retain(|_, pkts| {
-                    pkts.retain(|p| {
-                        let keep = p.deadline > now;
-                        if !keep {
-                            dropped += 1;
-                            dropped_bytes += p.dgram.wire_len();
-                        }
-                        keep
-                    });
-                    !pkts.is_empty()
-                });
-                for _ in 0..dropped {
-                    n.stats
-                        .count("drop.pending_timeout", dropped_bytes / dropped.max(1));
-                }
+            Event::Fault(action) => {
+                self.events += 1;
+                self.apply_fault(action);
             }
-            Event::Fault(action) => self.apply_fault(action),
+            event => self.with_engine(|e| e.dispatch_and_flush(event)),
         }
     }
 
-    fn call_proc(&mut self, node: NodeId, idx: usize, kind: CallKind) {
-        let now = self.now;
-        let n = self.node_mut(node);
-        if !n.up || idx >= n.procs.len() {
-            return;
-        }
-        let Some(mut proc) = n.procs[idx].take() else {
-            return;
-        };
-        let mut effects = Vec::new();
-        {
-            let mut ctx = Ctx {
-                now,
-                node: n.id,
-                addr: n.addr,
-                has_wired: n.has_wired,
-                proc_index: idx,
-                rng: &mut n.rng,
-                routes: &mut n.routes,
-                stats: &mut n.stats,
-                obs: &mut n.obs,
-                effects: &mut effects,
+    /// Runs a closure against a sequential-lane engine view of this world
+    /// (direct map and grid access, global fault stream attached), then
+    /// flushes the engine's buffered outputs: the event meter, trace
+    /// entries and child events, in birth order — reproducing the exact
+    /// `seq` assignment of the pre-extraction inline scheduler.
+    pub(crate) fn with_engine<R>(&mut self, f: impl FnOnce(&mut Engine<'_>) -> R) -> R {
+        let r = {
+            let mut engine = Engine {
+                cfg: &self.cfg,
+                now: self.now,
+                nodes: NodesAccess::new(&mut self.nodes),
+                radio_ids: &self.radio_ids,
+                link_cuts: &self.link_cuts,
+                partition: &self.partition,
+                packet_faults: &self.packet_faults,
+                fault_rng: Some(&mut self.fault_rng),
+                map: MapAccess::Direct(&mut self.addr_map),
+                grid: GridAccess::Mut(&mut self.grid),
+                trace_enabled: self.trace.is_enabled(),
+                scratch: &mut self.scratch,
+                out: &mut self.engine_out,
             };
-            match kind {
-                CallKind::Start => proc.on_start(&mut ctx),
-                CallKind::Datagram(d) => proc.on_datagram(&mut ctx, &d),
-                CallKind::Timer(token) => proc.on_timer(&mut ctx, token),
-                CallKind::Local(ev) => proc.on_local_event(&mut ctx, &ev),
-            }
-        }
-        self.node_mut(node).procs[idx] = Some(proc);
-        self.apply_effects(node, idx, effects);
-    }
-
-    fn apply_effects(&mut self, node: NodeId, idx: usize, effects: Vec<Effect>) {
-        for effect in effects {
-            match effect {
-                Effect::Bind(port) => {
-                    let name = self.node(node).proc_names[idx];
-                    let n = self.node_mut(node);
-                    if let Some(prev) = n.port_bindings.insert(port, idx) {
-                        if prev != idx {
-                            panic!("port {port} on {node} already bound by another process (binder: {name})");
-                        }
-                    }
-                }
-                Effect::Send(dgram) => self.route_and_send(node, dgram, false),
-                Effect::SendLink { dst, dgram } => self.enqueue_frame(node, dst, dgram),
-                Effect::SetTimer { delay, token } => {
-                    self.schedule(
-                        delay,
-                        Event::Timer {
-                            node,
-                            proc: idx,
-                            token,
-                        },
-                    );
-                }
-                Effect::Emit(ev) => {
-                    self.schedule(
-                        SimDuration::from_micros(1),
-                        Event::Local {
-                            node,
-                            exclude: Some(idx),
-                            ev,
-                        },
-                    );
-                }
-                Effect::AddLocalAddr(a) => {
-                    let n = self.node_mut(node);
-                    if !n.local_addrs.contains(&a) {
-                        n.local_addrs.push(a);
-                    }
-                }
-                Effect::RemoveLocalAddr(a) => {
-                    let n = self.node_mut(node);
-                    n.local_addrs.retain(|x| *x != a);
-                }
-                Effect::ClaimPublicAddr(a) => {
-                    self.addr_map.insert(a, node);
-                    self.node_mut(node).addr_handlers.insert(a, idx);
-                }
-                Effect::ReleasePublicAddr(a) => {
-                    if self.addr_map.get(&a) == Some(&node) {
-                        self.addr_map.remove(&a);
-                    }
-                    self.node_mut(node).addr_handlers.remove(&a);
-                }
-                Effect::SetDefaultHandler(enabled) => {
-                    let n = self.node_mut(node);
-                    if enabled {
-                        n.default_handler = Some(idx);
-                    } else if n.default_handler == Some(idx) {
-                        n.default_handler = None;
-                    }
-                }
-                Effect::Reinject(dgram) => self.route_and_send(node, dgram, false),
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Forwarding
-    // ------------------------------------------------------------------
-
-    /// Routes a datagram out of `node`. `forwarded` marks transit traffic,
-    /// which has its TTL decremented.
-    fn route_and_send(&mut self, node: NodeId, dgram: Datagram, forwarded: bool) {
-        let loopback_delay = self.cfg.loopback_delay;
-        let n = self.node_mut(node);
-        if !n.up {
-            return;
-        }
-        let dst = dgram.dst;
-        if dst.addr.is_broadcast() {
-            n.stats.count("radio.bcast_tx", dgram.wire_len());
-            self.enqueue_frame(node, L2Dst::Broadcast, dgram);
-            return;
-        }
-        if n.is_local_addr(dst.addr) {
-            self.record(node, TraceKind::Loopback, None, &dgram);
-            self.schedule(
-                loopback_delay,
-                Event::Deliver {
-                    node,
-                    dgram,
-                    via: Via::Loopback,
-                },
-            );
-            return;
-        }
-
-        let mut dgram = dgram;
-        if forwarded {
-            if dgram.ttl <= 1 {
-                n.stats.count("drop.ttl", dgram.wire_len());
-                return;
-            }
-            dgram.ttl -= 1;
-            n.stats.count("fwd", dgram.wire_len());
-        }
-
-        let now = self.now;
-        let n = self.node_mut(node);
-        if let Some(route) = n.routes.lookup_active(dst.addr, now) {
-            self.enqueue_frame(node, L2Dst::Unicast(route.next_hop), dgram);
-            return;
-        }
-
-        if dst.addr.is_public() && n.has_wired {
-            self.wired_send(node, dgram);
-            return;
-        }
-        if dst.addr.is_public() {
-            if let Some(h) = n.default_handler {
-                self.schedule(
-                    SimDuration::from_micros(1),
-                    Event::Deliver {
-                        node,
-                        dgram,
-                        via: Via::Handler(h),
-                    },
-                );
-            } else {
-                n.stats.count("drop.no_uplink", dgram.wire_len());
-            }
-            return;
-        }
-        if dst.addr.is_manet() && n.has_radio {
-            let deadline = now + self.cfg.pending_timeout;
-            let wire = dgram.wire_len();
-            let n = self.node_mut(node);
-            n.pending
-                .entry(dst.addr)
-                .or_default()
-                .push(PendingPacket { dgram, deadline });
-            n.stats.count("pending.queued", wire);
-            self.schedule_at(deadline, Event::PendingSweep { node });
-            self.schedule(
-                SimDuration::from_micros(1),
-                Event::Local {
-                    node,
-                    exclude: None,
-                    ev: LocalEvent::RouteNeeded { dst: dst.addr },
-                },
-            );
-            return;
-        }
-        n.stats.count("drop.no_route", dgram.wire_len());
-    }
-
-    /// Re-sends parked datagrams for destinations that acquired a route.
-    fn flush_pending(&mut self, node: NodeId) {
-        let now = self.now;
-        let n = self.node_mut(node);
-        if n.pending.is_empty() {
-            return;
-        }
-        let mut ready: Vec<Addr> = n
-            .pending
-            .keys()
-            .filter(|d| n.routes.lookup(**d, now).is_some())
-            .copied()
-            .collect();
-        // `pending` is a hash map; fix the flush order so re-sends (and
-        // the events they schedule) are independent of hasher internals.
-        ready.sort_unstable();
-        for dst in ready {
-            let pkts = self.node_mut(node).pending.remove(&dst).unwrap_or_default();
-            for p in pkts {
-                // TTL was already decremented (if transit) before parking.
-                self.route_and_send(node, p.dgram, false);
-            }
-        }
-    }
-
-    fn wired_send(&mut self, node: NodeId, dgram: Datagram) {
-        let Some(target) = self.addr_map.get(&dgram.dst.addr).copied() else {
-            self.node_mut(node)
-                .stats
-                .count("drop.wired_unroutable", dgram.wire_len());
-            return;
+            f(&mut engine)
         };
-        if !self.node(target).has_wired {
-            self.node_mut(node)
-                .stats
-                .count("drop.wired_unroutable", dgram.wire_len());
-            return;
-        }
-        let wire = dgram.wire_len();
-        let jitter_us = {
-            let max = self.cfg.wired_jitter.as_micros();
-            let n = self.node_mut(node);
-            if max == 0 {
-                0
-            } else {
-                n.rng.range_u64(0, max)
-            }
-        };
-        self.node_mut(node).stats.count("wired.tx", wire);
-        let delay = self.cfg.wired_latency + SimDuration::from_micros(jitter_us);
-        self.schedule(
-            delay,
-            Event::Deliver {
-                node: target,
-                dgram,
-                via: Via::Wired,
-            },
+        self.events += self.engine_out.events_delta;
+        self.engine_out.events_delta = 0;
+        debug_assert!(
+            self.engine_out.map_ops.is_empty(),
+            "direct map access never buffers ops"
         );
-    }
-
-    // ------------------------------------------------------------------
-    // Radio
-    // ------------------------------------------------------------------
-
-    fn enqueue_frame(&mut self, node: NodeId, dst: L2Dst, dgram: Datagram) {
-        let retries = self.cfg.radio.unicast_retries;
-        let n = self.node_mut(node);
-        if !n.has_radio {
-            n.stats.count("drop.no_radio", dgram.wire_len());
-            return;
+        for entry in self.engine_out.trace.drain(..) {
+            self.trace.record(entry);
         }
-        n.tx_queue.push_back(Frame {
-            dst,
-            dgram,
-            retries_left: retries,
-        });
-        if !n.tx_busy {
-            n.tx_busy = true;
-            self.start_tx(node);
+        let mut children = std::mem::take(&mut self.engine_out.children);
+        for (time, ev) in children.drain(..) {
+            self.schedule_at(time, ev);
         }
-    }
-
-    /// Radio-range candidate set around `pos`, excluding `node` itself and
-    /// non-radio nodes, sorted by node id. With the spatial index enabled
-    /// this inspects only nearby grid cells; otherwise it lists every
-    /// other radio node (the reference full scan). Either way the result
-    /// is a superset of the true in-range set in the same order, and the
-    /// caller must still apply exact distance and liveness filters —
-    /// which is what makes the two paths trace-identical.
-    /// Takes the world's reusable candidate buffer filled for `node`;
-    /// return it with [`World::recycle_candidates`] when done so the next
-    /// transmission reuses the allocation.
-    fn radio_candidates(&mut self, node: NodeId, pos: crate::mobility::Position) -> Vec<NodeId> {
-        let mut out = std::mem::take(&mut self.scratch_candidates);
-        out.clear();
-        if self.cfg.use_spatial_index {
-            self.grid.candidates_into(
-                &self.nodes,
-                node,
-                pos,
-                self.cfg.radio.range,
-                self.now,
-                &mut out,
-            );
-        } else {
-            out.extend(
-                self.nodes
-                    .iter()
-                    .filter(|o| o.id != node && o.has_radio)
-                    .map(|o| o.id),
-            );
-        }
-        out
-    }
-
-    fn recycle_candidates(&mut self, buf: Vec<NodeId>) {
-        self.scratch_candidates = buf;
-    }
-
-    fn start_tx(&mut self, node: NodeId) {
-        let radio = self.cfg.radio;
-        let now = self.now;
-        if self.node(node).tx_queue.front().is_none() {
-            self.node_mut(node).tx_busy = false;
-            return;
-        }
-        // Carrier sense: defer while any node in range is on the air.
-        if radio.carrier_sense {
-            let pos = self.node(node).mobility.position(now);
-            let candidates = self.radio_candidates(node, pos);
-            let busy_until = candidates
-                .iter()
-                .map(|&id| &self.nodes[id.0 as usize])
-                .filter(|o| {
-                    o.up && o.tx_until > now
-                        && crate::mobility::distance(pos, o.mobility.position(now)) <= radio.range
-                })
-                .map(|o| o.tx_until)
-                .max();
-            self.recycle_candidates(candidates);
-            if let Some(until) = busy_until {
-                let backoff = {
-                    let n = self.node_mut(node);
-                    let max = radio.backoff_max.as_micros().max(1);
-                    SimDuration::from_micros(n.rng.range_u64(0, max))
-                };
-                n_count_defer(self.node_mut(node));
-                self.schedule_at(until + backoff, Event::TxStart { node });
-                return;
-            }
-        }
-        let n = self.node_mut(node);
-        let front = n.tx_queue.front().expect("checked above");
-        let wire = front.dgram.wire_len();
-        let t = radio.tx_time(wire, &mut n.rng);
-        n.obs.hist_record("radio.airtime_us", t.as_micros());
-        n.tx_until = now + t;
-        self.schedule(t, Event::TxDone { node });
-    }
-
-    fn tx_done(&mut self, node: NodeId) {
-        let radio = self.cfg.radio;
-        let prop = radio.prop_delay;
-        let now = self.now;
-        let n = self.node_mut(node);
-        if !n.up {
-            n.tx_queue.clear();
-            n.tx_busy = false;
-            return;
-        }
-        let Some(frame) = n.tx_queue.front().cloned() else {
-            n.tx_busy = false;
-            return;
-        };
-        let pos = n.mobility.position(now);
-        let wire = frame.dgram.wire_len();
-
-        match frame.dst {
-            L2Dst::Broadcast => {
-                self.node_mut(node).stats.count("radio.tx", wire);
-                self.record(node, TraceKind::RadioTx, None, &frame.dgram);
-                // Per-receiver loss draws below consume the transmitter's
-                // RNG in iteration order, so the candidate order (node id)
-                // is part of the determinism contract. The loss model's
-                // per-range invariants are hoisted out of the loop;
-                // sampling stays bit-identical.
-                let candidates = self.radio_candidates(node, pos);
-                let loss = radio.loss.prepare(radio.range);
-                // Without packet faults every surviving receiver gets the
-                // identical frame at the identical time, so the fan-out is
-                // queued as one batch event (see `DeliverRadioBatch`).
-                // With faults active each copy may be dropped, mutated or
-                // delayed individually, so it keeps per-receiver scheduling.
-                let faults_active = !self.packet_faults.is_empty();
-                let mut batch = self.batch_pool.pop().unwrap_or_default();
-                for &rx in &candidates {
-                    let r = &self.nodes[rx.0 as usize];
-                    if !r.up {
-                        continue;
-                    }
-                    let dist = crate::mobility::distance(pos, r.mobility.position(now));
-                    if dist > radio.range || self.link_faulted(node, rx) {
-                        continue;
-                    }
-                    let lost = {
-                        let n = self.node_mut(node);
-                        loss.sample_loss(dist, &mut n.rng)
-                    };
-                    if !lost {
-                        if faults_active {
-                            self.deliver_radio_frame(node, rx, frame.dgram.clone(), prop);
-                        } else {
-                            batch.push(rx);
-                        }
-                    }
-                }
-                self.recycle_candidates(candidates);
-                if batch.is_empty() {
-                    self.batch_pool.push(batch);
-                } else {
-                    self.schedule(
-                        prop,
-                        Event::DeliverRadioBatch {
-                            dgram: frame.dgram.clone(),
-                            receivers: batch,
-                        },
-                    );
-                }
-                self.finish_frame(node);
-            }
-            L2Dst::Unicast(neighbor) => {
-                let target = self.addr_map.get(&neighbor).copied();
-                let ok = match target {
-                    Some(target) => {
-                        let up_and_in_range = {
-                            let t = self.node(target);
-                            t.up && t.has_radio
-                                && !self.link_faulted(node, target)
-                                && crate::mobility::distance(pos, t.mobility.position(self.now))
-                                    <= radio.range
-                        };
-                        if up_and_in_range {
-                            let dist = crate::mobility::distance(
-                                pos,
-                                self.node(target).position(self.now),
-                            );
-                            let n = self.node_mut(node);
-                            !radio.loss.sample_loss(dist, radio.range, &mut n.rng)
-                        } else {
-                            false
-                        }
-                    }
-                    None => false,
-                };
-                if ok {
-                    let target = target.expect("delivery succeeded without target");
-                    self.node_mut(node).stats.count("radio.tx", wire);
-                    self.record(node, TraceKind::RadioTx, None, &frame.dgram);
-                    self.deliver_radio_frame(node, target, frame.dgram.clone(), prop);
-                    self.finish_frame(node);
-                } else if frame.retries_left > 0 {
-                    let n = self.node_mut(node);
-                    n.stats.count("radio.retx", wire);
-                    if let Some(f) = n.tx_queue.front_mut() {
-                        f.retries_left -= 1;
-                    }
-                    // Stay busy: retransmit after another full TX time.
-                    let t = {
-                        let n = self.node_mut(node);
-                        let t = radio.tx_time(wire, &mut n.rng);
-                        n.obs.hist_record("radio.airtime_us", t.as_micros());
-                        t
-                    };
-                    self.node_mut(node).tx_until = now + t;
-                    self.schedule(t, Event::TxDone { node });
-                } else {
-                    self.node_mut(node).stats.count("drop.l2_fail", wire);
-                    self.record(
-                        node,
-                        TraceKind::Drop,
-                        Some("l2-retries-exhausted"),
-                        &frame.dgram,
-                    );
-                    self.schedule(
-                        SimDuration::from_micros(1),
-                        Event::Local {
-                            node,
-                            exclude: None,
-                            ev: LocalEvent::LinkTxFailed { neighbor },
-                        },
-                    );
-                    self.finish_frame(node);
-                }
-            }
-        }
-    }
-
-    /// Schedules radio delivery of a successfully transmitted frame,
-    /// applying any active per-link packet faults (blackhole, corrupt,
-    /// duplicate, reorder). Fault randomness comes from the world's
-    /// dedicated fault stream; every applied fault is counted on the
-    /// transmitter under the `fault.` prefix.
-    fn deliver_radio_frame(&mut self, tx: NodeId, rx: NodeId, dgram: Datagram, prop: SimDuration) {
-        let mut dgram = dgram;
-        let mut extra = SimDuration::ZERO;
-        let mut copies: u64 = 1;
-        if !self.packet_faults.is_empty() {
-            let now = self.now;
-            let faults: Vec<PacketFault> = self
-                .packet_faults
-                .iter()
-                .filter(|f| f.applies(now, tx, rx))
-                .copied()
-                .collect();
-            for f in faults {
-                if !self.fault_rng.chance(f.probability) {
-                    continue;
-                }
-                let wire = dgram.wire_len();
-                match f.kind {
-                    PacketFaultKind::Blackhole => {
-                        self.node_mut(tx).stats.count("fault.blackhole", wire);
-                        self.record(tx, TraceKind::Drop, Some("fault-blackhole"), &dgram);
-                        return;
-                    }
-                    PacketFaultKind::Corrupt => {
-                        corrupt_payload(dgram.payload.make_mut(), &mut self.fault_rng);
-                        self.node_mut(tx).stats.count("fault.corrupt", wire);
-                    }
-                    PacketFaultKind::Duplicate => {
-                        copies += 1;
-                        self.node_mut(tx).stats.count("fault.duplicate", wire);
-                    }
-                    PacketFaultKind::Reorder { max_extra } => {
-                        let max_us = max_extra.as_micros();
-                        if max_us > 0 {
-                            let jitter = self.fault_rng.range_u64(0, max_us);
-                            extra += SimDuration::from_micros(jitter);
-                            self.node_mut(tx).stats.count("fault.reorder", wire);
-                        }
-                    }
-                }
-            }
-        }
-        for i in 0..copies {
-            // Space duplicate copies slightly apart so they interleave
-            // with other in-flight traffic rather than arriving back to
-            // back in the same microsecond.
-            let gap = SimDuration::from_micros(i * 150);
-            self.schedule(
-                prop + extra + gap,
-                Event::Deliver {
-                    node: rx,
-                    dgram: dgram.clone(),
-                    via: Via::Radio,
-                },
-            );
-        }
-    }
-
-    fn finish_frame(&mut self, node: NodeId) {
-        let n = self.node_mut(node);
-        n.tx_queue.pop_front();
-        if n.tx_queue.is_empty() {
-            n.tx_busy = false;
-        } else {
-            self.start_tx(node);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Delivery
-    // ------------------------------------------------------------------
-
-    /// Dispatches a batched radio fan-out: each receiver is one logical
-    /// delivery, processed exactly as the per-receiver `Deliver` events it
-    /// replaces (including the per-event pending flush and the event
-    /// meter, which counts logical events so throughput numbers stay
-    /// comparable with per-event scheduling).
-    fn deliver_batch(&mut self, dgram: Datagram, mut receivers: Vec<NodeId>) {
-        self.events += receivers.len() as u64 - 1;
-        for &rx in &receivers {
-            self.deliver(rx, dgram.clone(), Via::Radio);
-            self.flush_pending(rx);
-        }
-        receivers.clear();
-        self.batch_pool.push(receivers);
-    }
-
-    fn deliver(&mut self, node: NodeId, dgram: Datagram, via: Via) {
-        let n = self.node_mut(node);
-        if !n.up {
-            return;
-        }
-        match via {
-            Via::Radio => {
-                n.stats.count("radio.rx", dgram.wire_len());
-                self.record(node, TraceKind::RadioRx, None, &dgram);
-            }
-            Via::Wired => {
-                n.stats.count("wired.rx", dgram.wire_len());
-                self.record(node, TraceKind::WiredRx, None, &dgram);
-            }
-            Via::Handler(h) => {
-                self.call_proc(node, h, CallKind::Datagram(dgram));
-                return;
-            }
-            Via::Loopback => {}
-        }
-
-        let n = self.node(node);
-        let dst = dgram.dst;
-        if dst.addr.is_broadcast() {
-            if let Some(&idx) = n.port_bindings.get(&dst.port) {
-                self.call_proc(node, idx, CallKind::Datagram(dgram));
-            }
-            return;
-        }
-        if let Some(&idx) = n.addr_handlers.get(&dst.addr) {
-            self.call_proc(node, idx, CallKind::Datagram(dgram));
-            return;
-        }
-        if n.is_local_addr(dst.addr) {
-            if let Some(&idx) = n.port_bindings.get(&dst.port) {
-                self.call_proc(node, idx, CallKind::Datagram(dgram));
-            } else {
-                self.node_mut(node)
-                    .stats
-                    .count("drop.no_listener", dgram.wire_len());
-            }
-            return;
-        }
-        // Transit traffic: forward.
-        self.route_and_send(node, dgram, true);
-    }
-
-    fn record(
-        &mut self,
-        node: NodeId,
-        kind: TraceKind,
-        reason: Option<&'static str>,
-        dgram: &Datagram,
-    ) {
-        if self.trace.is_enabled() {
-            self.trace.record(TraceEntry {
-                time: self.now,
-                node,
-                kind,
-                reason,
-                dgram: dgram.clone(),
-            });
-        }
+        self.engine_out.children = children;
+        r
     }
 }
 
@@ -1325,39 +675,19 @@ impl std::fmt::Debug for World {
     }
 }
 
-fn n_count_defer(n: &mut Node) {
-    n.stats.count("radio.cs_defer", 0);
-}
-
-fn event_node(ev: &Event) -> Option<NodeId> {
-    match ev {
-        Event::Start { node, .. }
-        | Event::TxStart { node }
-        | Event::Deliver { node, .. }
-        | Event::TxDone { node }
-        | Event::Timer { node, .. }
-        | Event::Local { node, .. }
-        | Event::Replan { node }
-        | Event::PendingSweep { node } => Some(*node),
-        // Batch deliveries flush each receiver inline during dispatch.
-        Event::DeliverRadioBatch { .. } | Event::Fault(_) => None,
-    }
-}
-
 /// Normalizes an unordered node pair for the link-cut table.
-fn norm_pair(a: NodeId, b: NodeId) -> (u32, u32) {
+pub(crate) fn norm_pair(a: NodeId, b: NodeId) -> (u32, u32) {
     if a.0 <= b.0 {
         (a.0, b.0)
     } else {
         (b.0, a.0)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::net::{ports, SocketAddr};
-    use crate::process::LocalEvent;
+    use crate::process::{Ctx, LocalEvent};
     use crate::route::Route;
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -1805,8 +1135,9 @@ mod tests {
 #[cfg(test)]
 mod fault_tests {
     use super::*;
-    use crate::fault::LinkSelector;
+    use crate::fault::{LinkSelector, PacketFaultKind};
     use crate::net::SocketAddr;
+    use crate::process::Ctx;
     use crate::route::Route;
     use std::cell::RefCell;
     use std::rc::Rc;

@@ -16,9 +16,16 @@ cargo clippy --all-targets --all-features -- -D warnings \
     -D clippy::redundant_clone \
     -D clippy::inefficient_to_string \
     -D clippy::unnecessary_to_owned
-# Crash canary for the benchmark harness: smallest workloads, one rep.
-# Failure means a panic, never a perf number.
-scripts/bench.sh --smoke
+# Crash canary for the benchmark harness: smallest workloads, one rep,
+# two concurrent sweep jobs (exercises the multi-seed parallel runner).
+# Failure means a panic, never a perf number. The smoke city scenarios
+# run the sharded executor at 1 and 2 threads and the harness asserts
+# identical event counts.
+scripts/bench.sh --smoke --jobs 2
+# Determinism matrix: the sharded executor must reproduce sequential
+# digests at 2 and 4 threads on the city workload (already part of
+# `cargo test` above; named here so a partial test run can't skip it).
+cargo test -q --test determinism_matrix
 # Mid-call gateway handoff canary: one seed, both failover modes. Asserts
 # every call survives, break-before-make stays inside the 5 s detection +
 # re-lease budget, and make-before-break (warm standby promotion) keeps

@@ -164,6 +164,14 @@ fn workflow_jobs_run_the_scripts_they_mirror() {
         bench.contains("exp_handoff") && bench.contains("--smoke"),
         "bench job must run the gateway-handoff smoke canary"
     );
+    assert!(
+        bench.contains("--jobs 2"),
+        "bench job must exercise the multi-seed parallel runner"
+    );
+    assert!(
+        bench.contains("determinism_matrix"),
+        "bench job must run the sharded-executor determinism matrix"
+    );
 
     let features = block(&jobs, "features:");
     for needle in ["matrix", "--no-default-features", "payload-serde", "obs"] {
@@ -201,6 +209,40 @@ fn handoff_canary_gates_make_before_break_in_both_gates() {
     assert!(
         bench.contains("Mode::Bbm") && bench.contains("Mode::Mbb"),
         "canary must exercise both failover modes"
+    );
+}
+
+/// The parallel-execution gates live in both the local script and the
+/// workflow: bench smoke under `--jobs 2` (multi-seed runner + the
+/// city scenarios' 1-vs-2-thread event-count assertion) and the
+/// determinism matrix (byte-identical digests at 2 and 4 threads).
+/// Losing either silently turns the sharded executor into untested code.
+#[test]
+fn parallel_execution_gates_run_in_both_gates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sh = std::fs::read_to_string(root.join("scripts/ci.sh")).expect("scripts/ci.sh");
+    assert!(
+        sh.contains("--jobs 2"),
+        "local gate must run the bench smoke under --jobs 2"
+    );
+    assert!(
+        sh.contains("determinism_matrix"),
+        "local gate must name the determinism matrix explicitly"
+    );
+    let yml = workflow_text();
+    assert!(
+        yml.contains("--jobs 2") && yml.contains("determinism_matrix"),
+        "workflow must carry the parallel-execution gates"
+    );
+    let core = std::fs::read_to_string(root.join("crates/bench/src/bin/exp_bench_core.rs"))
+        .expect("exp_bench_core source");
+    assert!(
+        core.contains("run_until_threads"),
+        "bench harness must drive the sharded executor"
+    );
+    assert!(
+        core.contains("city_"),
+        "bench harness must carry the city scenarios"
     );
 }
 

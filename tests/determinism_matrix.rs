@@ -1,0 +1,110 @@
+//! Thread-count invariance of the sharded deterministic executor.
+//!
+//! `World::run_until_threads` promises byte-identical runs at any thread
+//! count. `tests/perf_equivalence.rs` pins that against golden digests
+//! for the protocol-stack scenarios; this suite pins it on the
+//! *city-scale* workload the parallel runner was built for (many
+//! independent conflict components, mobility, a dense hot cluster) and
+//! checks the structural invariant behind the merge: the replayed trace
+//! is time-monotone — shard-boundary deliveries never violate `(time,
+//! seq)` order.
+
+use siphoc_bench::city::{build_city, CityParams};
+use wireless_adhoc_voip::simnet::prelude::*;
+use wireless_adhoc_voip::simnet::trace::TraceKind;
+
+/// FNV-1a over every field of every trace entry plus the event count —
+/// the same digest `perf_equivalence` uses.
+fn digest(w: &World) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let write = |h: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    write(&mut h, &w.events_processed().to_le_bytes());
+    for e in w.trace().entries() {
+        write(&mut h, &e.time.as_micros().to_le_bytes());
+        write(&mut h, &(e.node.0 as u64).to_le_bytes());
+        let kind: u64 = match e.kind {
+            TraceKind::RadioTx => 1,
+            TraceKind::RadioRx => 2,
+            TraceKind::WiredRx => 3,
+            TraceKind::Loopback => 4,
+            TraceKind::Drop => 5,
+        };
+        write(&mut h, &kind.to_le_bytes());
+        write(&mut h, e.reason.unwrap_or("").as_bytes());
+        write(&mut h, &(e.dgram.src.addr.0 as u64).to_le_bytes());
+        write(&mut h, &(e.dgram.src.port as u64).to_le_bytes());
+        write(&mut h, &(e.dgram.dst.addr.0 as u64).to_le_bytes());
+        write(&mut h, &(e.dgram.dst.port as u64).to_le_bytes());
+        write(&mut h, &(e.dgram.ttl as u64).to_le_bytes());
+        write(&mut h, &e.dgram.payload);
+    }
+    h
+}
+
+/// A small city (a few districts + convoys + swarm), run for `secs`
+/// simulated seconds at `threads`. Returns the world for inspection.
+fn run_city(seed: u64, nodes: usize, secs: u64, threads: usize) -> World {
+    let mut w = World::new(WorldConfig::new(seed));
+    build_city(&mut w, CityParams::with_nodes(nodes));
+    w.trace_mut().set_enabled(true);
+    if threads == 1 {
+        w.run_until(SimTime::from_secs(secs));
+    } else {
+        w.run_until_threads(SimTime::from_secs(secs), threads);
+    }
+    w
+}
+
+#[test]
+fn city_digest_is_thread_count_invariant() {
+    for seed in [11_001u64, 11_002] {
+        let reference = run_city(seed, 200, 2, 1);
+        let want = digest(&reference);
+        for threads in [2usize, 4] {
+            let w = run_city(seed, 200, 2, threads);
+            // The whole point of the city topology: the parallel fast
+            // path must actually engage, otherwise this test pins
+            // nothing beyond the fallback.
+            let (par, _seq) = w.window_counts();
+            assert!(
+                par > 0,
+                "seed {seed} at {threads} threads never took the parallel path"
+            );
+            let got = digest(&w);
+            assert_eq!(
+                got, want,
+                "seed {seed}: digest diverged at {threads} threads \
+                 (got {got:#018x}, want {want:#018x})"
+            );
+        }
+    }
+}
+
+#[test]
+fn replayed_trace_is_time_monotone() {
+    let w = run_city(11_003, 200, 2, 4);
+    let (par, _) = w.window_counts();
+    assert!(par > 0, "parallel path never engaged");
+    let mut last = SimTime::ZERO;
+    for e in w.trace().entries() {
+        assert!(
+            e.time >= last,
+            "trace went backwards: {} after {}",
+            e.time,
+            last
+        );
+        last = e.time;
+    }
+}
+
+#[test]
+fn threaded_runs_are_reproducible() {
+    let a = digest(&run_city(11_004, 150, 2, 4));
+    let b = digest(&run_city(11_004, 150, 2, 4));
+    assert_eq!(a, b, "same seed and thread count must reproduce exactly");
+}

@@ -55,6 +55,7 @@ fn call_scenario() -> Scenario {
         keepalive: None,
         standby: None,
         relays: Vec::new(),
+        threads: 1,
     }
 }
 

@@ -76,6 +76,10 @@ fn world_digest(w: &World) -> u64 {
 /// every 200 ms; per-receiver loss draws make the digest sensitive to
 /// receiver-iteration order.
 fn run_bcast_mesh(seed: u64, spatial: bool) -> u64 {
+    run_bcast_mesh_threads(seed, spatial, 1)
+}
+
+fn run_bcast_mesh_threads(seed: u64, spatial: bool, threads: usize) -> u64 {
     let mut cfg = WorldConfig::new(seed);
     cfg.use_spatial_index = spatial;
     let mut w = World::new(cfg);
@@ -89,7 +93,11 @@ fn run_bcast_mesh(seed: u64, spatial: bool) -> u64 {
     w.trace_mut().set_enabled(true);
     let mut t_ms = 0u64;
     while t_ms < 5_000 {
-        w.run_until(SimTime::from_millis(t_ms));
+        if threads == 1 {
+            w.run_until(SimTime::from_millis(t_ms));
+        } else {
+            w.run_until_threads(SimTime::from_millis(t_ms), threads);
+        }
         for &id in &ids {
             let src = SocketAddr::new(w.node(id).addr(), 9900);
             let dst = SocketAddr::new(Addr::BROADCAST, 9900);
@@ -97,7 +105,11 @@ fn run_bcast_mesh(seed: u64, spatial: bool) -> u64 {
         }
         t_ms += 200;
     }
-    w.run_until(SimTime::from_millis(5_000));
+    if threads == 1 {
+        w.run_until(SimTime::from_millis(5_000));
+    } else {
+        w.run_until_threads(SimTime::from_millis(5_000), threads);
+    }
     world_digest(&w)
 }
 
@@ -106,6 +118,10 @@ fn run_bcast_mesh(seed: u64, spatial: bool) -> u64 {
 /// and corrupt packet faults exercise the fault delivery path (including
 /// payload copy-on-write).
 fn run_mobile_chaos(seed: u64, spatial: bool) -> u64 {
+    run_mobile_chaos_threads(seed, spatial, 1)
+}
+
+fn run_mobile_chaos_threads(seed: u64, spatial: bool, threads: usize) -> u64 {
     let mut cfg = WorldConfig::new(seed);
     cfg.use_spatial_index = spatial;
     let mut w = World::new(cfg);
@@ -159,7 +175,11 @@ fn run_mobile_chaos(seed: u64, spatial: bool) -> u64 {
             SimTime::MAX,
         );
     w.install_fault_plan(plan);
-    w.run_for(SimDuration::from_secs(12));
+    if threads == 1 {
+        w.run_for(SimDuration::from_secs(12));
+    } else {
+        w.run_for_threads(SimDuration::from_secs(12), threads);
+    }
     world_digest(&w)
 }
 
@@ -213,4 +233,27 @@ fn same_seed_is_deterministic_across_runs() {
     assert_eq!(run_bcast_mesh(4401, true), run_bcast_mesh(4401, true));
     assert_eq!(run_mobile_chaos(4402, true), run_mobile_chaos(4402, true));
     assert_ne!(run_bcast_mesh(4401, true), run_bcast_mesh(4403, true));
+}
+
+/// The sharded parallel runner must reproduce the sequential trace
+/// byte-for-byte: same digests at 1, 2 and 4 threads, for both the
+/// broadcast-heavy mesh (big windows, many conflict components) and the
+/// chaos scenario (packet faults force the sequential fallback on every
+/// window — the fallback itself must also be exact).
+#[test]
+fn thread_matrix_reproduces_sequential_digests() {
+    for (seed, want_bcast, want_chaos) in GOLDEN {
+        for threads in [2usize, 4] {
+            let got = run_bcast_mesh_threads(seed, true, threads);
+            assert_eq!(
+                got, want_bcast,
+                "bcast mesh digest drifted for seed {seed} at {threads} threads: got {got:#018x}"
+            );
+            let got = run_mobile_chaos_threads(seed, true, threads);
+            assert_eq!(
+                got, want_chaos,
+                "mobile chaos digest drifted for seed {seed} at {threads} threads: got {got:#018x}"
+            );
+        }
+    }
 }
