@@ -1,0 +1,497 @@
+//! `exp_call_load` — SIP control-plane capacity benchmark (E11).
+//!
+//! Drives the scriptable call-load generator in `bench::load` against the
+//! signaling hot path: N registered UAs on one hub node place M calls/s
+//! through the local SIPHoc proxy/registrar, all over loopback, so the
+//! wall-clock cost is almost pure SIP parse/render, transaction
+//! bookkeeping and registrar lookups. Scenario families:
+//!
+//! * `steady_uN_rM[_poisson]` — M calls/s for a fixed window, uniform or
+//!   Poisson arrivals. The rate ladder locates the saturation knee.
+//! * `regstorm_uN` — the partition-heal shape: every UA re-REGISTERs in
+//!   synchronized waves (short expiry keeps the population in phase).
+//! * `byestorm_uN` / `reinvitestorm_uN` — the gateway-handoff shape: all
+//!   established dialogs BYE or re-INVITE at the same instant.
+//!
+//! Reported per scenario: wall ms, events, offered/established calls,
+//! sustained calls/s (established per *wall* second), real-time factor
+//! (sim seconds per wall second) and p50/p95/p99 call setup delay (sim
+//! time, from caller-side UA logs — no obs needed). The *knee* is the
+//! offered rate where the real-time factor crosses 1.0 — beyond it the
+//! stack can no longer keep up with its offered signaling load in real
+//! time — interpolated between the two ladder rungs that straddle it.
+//!
+//! Output: aligned table on stdout plus `results/BENCH_sip.json` with the
+//! same provenance block as `BENCH_core.json`. `--check <baseline>`
+//! enforces exact event counts and bounded wall-time regression, exactly
+//! like `exp_bench_core --check`. Run with `--release`.
+
+use std::fmt::Write as _;
+
+use siphoc_bench::load::{run_load, Arrival, LoadReport, LoadScenario, LoadSpec};
+use siphoc_bench::percentile;
+use siphoc_simnet::prelude::*;
+
+const LOAD_SEED: u64 = 61_001;
+/// Registered UAs in every scenario (even; callers pair across the ring).
+const USERS: usize = 96;
+
+/// One measured scenario: the fastest repetition plus every rep's wall.
+struct Sample {
+    report: LoadReport,
+    wall_ms_runs: Vec<f64>,
+    rss_peak_kb: u64,
+}
+
+/// p50/p95/p99 of the caller-observed setup delay, in milliseconds.
+fn setup_percentiles(report: &LoadReport) -> (f64, f64, f64) {
+    let ms: Vec<f64> = report
+        .setup_us
+        .iter()
+        .map(|&us| us as f64 / 1000.0)
+        .collect();
+    (
+        percentile(&ms, 50.0).unwrap_or(f64::NAN),
+        percentile(&ms, 95.0).unwrap_or(f64::NAN),
+        percentile(&ms, 99.0).unwrap_or(f64::NAN),
+    )
+}
+
+/// Peak resident set size of this process in kB (Linux `VmHWM`).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+/// Runs a spec `reps` times and keeps the fastest repetition (identical
+/// seeds mean identical event counts; only wall time varies).
+fn best_of(reps: usize, spec: &LoadSpec) -> Sample {
+    let mut runs: Vec<LoadReport> = (0..reps.max(1)).map(|_| run_load(spec)).collect();
+    let wall_ms_runs: Vec<f64> = runs.iter().map(|r| r.wall_ms).collect();
+    let best_idx = wall_ms_runs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("at least one repetition");
+    Sample {
+        report: runs.swap_remove(best_idx),
+        wall_ms_runs,
+        rss_peak_kb: peak_rss_kb(),
+    }
+}
+
+/// Saturation knee of the steady-rate ladder: the offered calls/s where
+/// the real-time factor crosses 1.0. Within each rung `wall/sim` grows
+/// close to linearly with offered rate, so the crossing is interpolated
+/// between the two rungs that straddle it. Returns `None` while every
+/// rung still runs faster than real time (knee above the ladder).
+fn find_knee(ladder: &[&LoadReport]) -> Option<f64> {
+    for pair in ladder.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        // u = wall/sim = 1/rtf; saturation is u >= 1.
+        let ua = (a.wall_ms / 1000.0) / a.sim_secs;
+        let ub = (b.wall_ms / 1000.0) / b.sim_secs;
+        if ua < 1.0 && ub >= 1.0 {
+            let t = (1.0 - ua) / (ub - ua);
+            return Some(a.rate_cps + t * (b.rate_cps - a.rate_cps));
+        }
+    }
+    None
+}
+
+/// Captures where the numbers came from — same block as `BENCH_core.json`.
+fn render_provenance(jobs: usize) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let cmd_line = |cmd: &str, args: &[&str]| -> String {
+        std::process::Command::new(cmd)
+            .args(args)
+            .output()
+            .ok()
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_owned())
+    };
+    let rustc = cmd_line("rustc", &["-V"]);
+    let rev = cmd_line("git", &["rev-parse", "--short", "HEAD"]);
+    format!(
+        "  \"provenance\": {{\"cores\": {cores}, \"jobs\": {jobs}, \
+         \"rustc\": \"{rustc}\", \"git_rev\": \"{rev}\"}},\n"
+    )
+}
+
+fn render_json(samples: &[Sample], jobs: usize, knee: Option<f64>, peak_cps: f64) -> String {
+    let mut out = String::from("{\n  \"bench\": \"exp_call_load\",\n");
+    out.push_str(&render_provenance(jobs));
+    let _ = write!(
+        out,
+        "  \"knee_cps\": {},\n  \"peak_sustained_cps\": {peak_cps:.0},\n",
+        knee.map(|k| format!("{k:.0}"))
+            .unwrap_or_else(|| "null".to_owned())
+    );
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let r = &s.report;
+        let (p50, p95, p99) = setup_percentiles(r);
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"users\": {}, \"rate_cps\": {:.0}, \"arrival\": \"{}\", \
+             \"sim_secs\": {:.1}, \"wall_ms\": {:.1}, \"wall_ms_runs\": [{}], \"events\": {}, \
+             \"offered\": {}, \"established\": {}, \"failed\": {}, \"terminated\": {}, \
+             \"registers\": {}, \"reinvites_ok\": {}, \"sustained_cps\": {:.0}, \"rtf\": {:.2}, \
+             \"setup_p50_ms\": {:.2}, \"setup_p95_ms\": {:.2}, \"setup_p99_ms\": {:.2}, \
+             \"rss_peak_kb\": {}}}",
+            r.name,
+            r.users,
+            r.rate_cps,
+            r.arrival,
+            r.sim_secs,
+            r.wall_ms,
+            s.wall_ms_runs
+                .iter()
+                .map(|w| format!("{w:.1}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            r.events,
+            r.offered,
+            r.established,
+            r.failed,
+            r.terminated,
+            r.registers,
+            r.reinvites_ok,
+            r.wall_cps(),
+            r.rtf(),
+            p50,
+            p95,
+            p99,
+            s.rss_peak_kb
+        );
+        out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Carries the `pre_optimization` block of an existing output file into a
+/// freshly rendered document. The block is a historical snapshot — it
+/// measured code that no longer exists — so a re-run must preserve it
+/// verbatim rather than silently dropping the 2× comparison point.
+fn carry_pre_block(old: &str, new_json: String) -> String {
+    if new_json.contains("\"pre_optimization\"") {
+        return new_json;
+    }
+    let Some(start) = old.find("  \"pre_optimization\": {") else {
+        return new_json;
+    };
+    const CLOSE: &str = "\n  },\n";
+    let Some(end) = old[start..].find(CLOSE) else {
+        return new_json;
+    };
+    let block = &old[start..start + end + CLOSE.len()];
+    match new_json.find("  \"scenarios\": [") {
+        Some(i) => {
+            let mut out = String::with_capacity(new_json.len() + block.len());
+            out.push_str(&new_json[..i]);
+            out.push_str(block);
+            out.push_str(&new_json[i..]);
+            out
+        }
+        None => new_json,
+    }
+}
+
+/// Extracts `"key": <number>` from a flat JSON object chunk (keys matched
+/// with their trailing colon — `wall_ms` never matches `wall_ms_runs`).
+fn json_num(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let i = chunk.find(&pat)? + pat.len();
+    let rest = &chunk[i..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `(name, wall_ms, events)` per scenario of a `render_json` document.
+fn parse_baseline(text: &str) -> Vec<(String, f64, u64)> {
+    let mut out = Vec::new();
+    for chunk in text.split("\"name\":").skip(1) {
+        let Some(name) = chunk.split('"').nth(1) else {
+            continue;
+        };
+        let Some(wall_ms) = json_num(chunk, "wall_ms") else {
+            continue;
+        };
+        let Some(events) = json_num(chunk, "events") else {
+            continue;
+        };
+        out.push((name.to_owned(), wall_ms, events as u64));
+    }
+    out
+}
+
+/// Allowed wall-clock slowdown vs the baseline before `--check` fails.
+const CHECK_THRESHOLD: f64 = 1.20;
+/// Absolute grace on top of the relative threshold (smoke scenarios sit
+/// in scheduler-noise territory).
+const CHECK_NOISE_FLOOR_MS: f64 = 50.0;
+
+/// Compares this run against a checked-in baseline: event counts must
+/// match exactly (deterministic workload), wall time may regress ≤ 20%.
+fn check_against_baseline(samples: &[Sample], path: &str) -> Result<Vec<String>, Vec<String>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return Err(vec![format!("cannot read baseline {path}: {e}")]),
+    };
+    let baseline = parse_baseline(&text);
+    let mut failures = Vec::new();
+    let mut report = Vec::new();
+    for s in samples {
+        let name = &s.report.name;
+        let Some((_, base_wall, base_events)) = baseline.iter().find(|(n, _, _)| n == name) else {
+            failures.push(format!(
+                "{name}: not in baseline {path}; regenerate it (exp_call_load --out {path})"
+            ));
+            continue;
+        };
+        if s.report.events != *base_events {
+            failures.push(format!(
+                "{name}: {} events vs {} in the baseline — the deterministic workload \
+                 changed, regenerate the baseline before gating on wall time",
+                s.report.events, base_events
+            ));
+            continue;
+        }
+        let limit = base_wall * CHECK_THRESHOLD + CHECK_NOISE_FLOOR_MS;
+        let ratio = s.report.wall_ms / base_wall.max(f64::MIN_POSITIVE);
+        if s.report.wall_ms > limit {
+            failures.push(format!(
+                "{name}: {:.1} ms vs baseline {:.1} ms ({:+.0}%, limit {:.1} ms)",
+                s.report.wall_ms,
+                base_wall,
+                (ratio - 1.0) * 100.0,
+                limit
+            ));
+        } else {
+            report.push(format!(
+                "{name}: {:.1} ms vs baseline {:.1} ms (limit {:.1} ms) — ok",
+                s.report.wall_ms, base_wall, limit
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Published capacity numbers must measure the bare hot path.
+    if siphoc_simnet::obs_enabled() && !args.iter().any(|a| a == "--allow-obs") {
+        eprintln!(
+            "exp_call_load: built with the `obs` feature enabled; numbers would not measure \
+             the bare signaling hot path. Build with `cargo build --release -p siphoc-bench` \
+             or pass --allow-obs to measure an instrumented build."
+        );
+        std::process::exit(2);
+    }
+    let reps: usize = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 3 });
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        // Smoke runs get their own default path so a CI canary never
+        // clobbers the recorded full-sweep numbers.
+        .unwrap_or_else(|| {
+            if smoke {
+                "results/BENCH_sip_smoke.json".to_owned()
+            } else {
+                "results/BENCH_sip.json".to_owned()
+            }
+        });
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    // The steady-rate ladder. Rungs above 400 calls/s run a shorter
+    // window so a pre-optimization sweep stays in CI-friendly wall time;
+    // the knee interpolation works on per-rung real-time factors, so the
+    // window may differ across rungs. Smoke points are an exact subset of
+    // the full sweep (same parameters → same deterministic event counts),
+    // which lets CI `--smoke --check results/BENCH_sip.json`.
+    let window = |rate: f64| -> SimDuration {
+        if rate > 4000.0 {
+            SimDuration::from_secs(2)
+        } else if rate > 400.0 {
+            SimDuration::from_secs(5)
+        } else {
+            SimDuration::from_secs(10)
+        }
+    };
+    let steady = |rate: f64, arrival: Arrival| -> LoadSpec {
+        LoadSpec {
+            users: USERS,
+            scenario: LoadScenario::Steady {
+                rate_cps: rate,
+                arrival,
+                window: window(rate),
+            },
+            seed: LOAD_SEED,
+        }
+    };
+    let storm = |scenario: LoadScenario| -> LoadSpec {
+        LoadSpec {
+            users: USERS,
+            scenario,
+            seed: LOAD_SEED,
+        }
+    };
+    let reg_storm = storm(LoadScenario::RegStorm {
+        sim: SimDuration::from_secs(8),
+    });
+
+    let mut specs: Vec<LoadSpec> = Vec::new();
+    let ladder_rates: &[f64] = if smoke {
+        &[50.0]
+    } else {
+        &[
+            50.0, 200.0, 1000.0, 4000.0, 8000.0, 16000.0, 32000.0, 48000.0, 64000.0, 96000.0,
+        ]
+    };
+    for &r in ladder_rates {
+        specs.push(steady(r, Arrival::Uniform));
+    }
+    if !smoke {
+        specs.push(steady(1000.0, Arrival::Poisson));
+    }
+    specs.push(reg_storm);
+    if !smoke {
+        specs.push(storm(LoadScenario::ByeStorm));
+        specs.push(storm(LoadScenario::ReinviteStorm));
+    }
+
+    println!(
+        "BENCH sip: signaling control-plane capacity{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<22} {:>6} {:>8} {:>10} {:>12} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9}",
+        "scenario",
+        "users",
+        "rate",
+        "wall(ms)",
+        "events",
+        "offered",
+        "estab",
+        "rtf",
+        "cps(wall)",
+        "p50(ms)",
+        "p99(ms)"
+    );
+    let samples: Vec<Sample> =
+        siphoc_simnet::parallel::run_indexed(jobs, specs.len(), |i| best_of(reps, &specs[i]));
+    for s in &samples {
+        let r = &s.report;
+        let (p50, _, p99) = setup_percentiles(r);
+        println!(
+            "{:<22} {:>6} {:>8.0} {:>10.1} {:>12} {:>9} {:>9} {:>7.2} {:>9.0} {:>9.2} {:>9.2}",
+            r.name,
+            r.users,
+            r.rate_cps,
+            r.wall_ms,
+            r.events,
+            r.offered,
+            r.established,
+            r.rtf(),
+            r.wall_cps(),
+            p50,
+            p99
+        );
+    }
+
+    // Every steady scenario must establish what it offered — loopback
+    // signaling has no loss, so a shortfall is a stack bug, not load.
+    for s in &samples {
+        let r = &s.report;
+        if r.rate_cps > 0.0 {
+            assert_eq!(
+                r.established, r.offered,
+                "{}: {} of {} offered calls established — signaling stack dropped calls",
+                r.name, r.established, r.offered
+            );
+        }
+    }
+
+    let ladder: Vec<&LoadReport> = samples
+        .iter()
+        .map(|s| &s.report)
+        .filter(|r| r.rate_cps > 0.0 && r.arrival == "uniform")
+        .collect();
+    let knee = find_knee(&ladder);
+    let peak_cps = ladder.iter().map(|r| r.wall_cps()).fold(0.0f64, f64::max);
+    match knee {
+        Some(k) => println!(
+            "\nsaturation knee: ~{k:.0} offered calls/s (real-time factor crosses 1.0); \
+             peak sustained {peak_cps:.0} calls/s"
+        ),
+        None => println!(
+            "\nsaturation knee: above the ladder (every rung faster than real time); \
+             peak sustained {peak_cps:.0} calls/s"
+        ),
+    }
+
+    let json = render_json(&samples, jobs, knee, peak_cps);
+    let json = match std::fs::read_to_string(&out_path) {
+        Ok(old) => carry_pre_block(&old, json),
+        Err(_) => json,
+    };
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("cannot write {out_path}: {e}"),
+    }
+
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1).cloned());
+    if let Some(base_path) = check_path {
+        match check_against_baseline(&samples, &base_path) {
+            Ok(report) => {
+                println!("\nregression check vs {base_path}:");
+                for line in report {
+                    println!("  {line}");
+                }
+            }
+            Err(failures) => {
+                eprintln!("\nregression check vs {base_path} FAILED:");
+                for line in failures {
+                    eprintln!("  {line}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

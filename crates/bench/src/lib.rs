@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod city;
+pub mod load;
 pub mod location;
 pub mod measure;
 pub mod topology;

@@ -30,7 +30,7 @@ use std::collections::BTreeMap;
 use siphoc_simnet::net::{ports, Addr, Datagram, SocketAddr};
 use siphoc_simnet::obs::{SpanCat, SpanId};
 use siphoc_simnet::process::{Ctx, LocalEvent, Process};
-use siphoc_simnet::time::SimDuration;
+use siphoc_simnet::time::{SimDuration, SimTime};
 
 use siphoc_internet::dns::DnsDirectory;
 use siphoc_sip::msg::{Method, SipMessage, StatusCode};
@@ -40,7 +40,7 @@ use siphoc_sip::proxy::{
 };
 use siphoc_sip::registrar::BindingTable;
 use siphoc_sip::sdp::Sdp;
-use siphoc_sip::uri::SipUri;
+use siphoc_sip::uri::{Aor, SipUri};
 use siphoc_slp::msg::SlpMsg;
 use siphoc_slp::service::service_types;
 
@@ -295,38 +295,24 @@ impl SiphocProxy {
     // Request routing (Fig. 3 steps 5–8)
     // ------------------------------------------------------------------
 
-    fn deliver_to_local_user(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        mut msg: SipMessage,
-        user: &str,
-    ) -> bool {
-        let now = ctx.now();
+    /// Resolves the live local binding for `user`: the rewritten
+    /// Request-URI and the socket to forward to. Resolving before moving
+    /// the message keeps the forwarding path clone-free.
+    fn local_target(&self, user: &str, now: SimTime) -> Option<(SipUri, SocketAddr)> {
         let binding = self
             .local
-            .iter()
-            .find(|(aor, _)| aor.user == user)
-            .and_then(|(aor, _)| self.local.lookup(&aor.clone(), now).cloned());
-        let Some(binding) = binding else {
-            return false;
-        };
-        let Some(dst) = binding.contact.socket_addr(ports::SIP) else {
-            return false;
-        };
-        if let SipMessage::Request { uri, .. } = &mut msg {
-            *uri = binding.contact;
-        }
-        ctx.stats().count("proxy.deliver_local", 1);
-        self.forward(ctx, msg, dst);
-        true
+            .lookup_by_user(user)
+            .and_then(|aor| self.local.lookup(aor, now))?;
+        let dst = binding.contact.socket_addr(ports::SIP)?;
+        Some((binding.contact.clone(), dst))
     }
 
-    fn on_request(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage, from: SocketAddr) {
+    fn on_request(&mut self, ctx: &mut Ctx<'_>, mut msg: SipMessage, from: SocketAddr) {
         let local_src = self.is_local_source(ctx, from);
         // A corrupted datagram can parse as a response (or a request whose
         // mandatory parts were mangled); drop it rather than panic.
-        let (method, uri) = match &msg {
-            SipMessage::Request { method, uri, .. } => (*method, uri.clone()),
+        let method = match &msg {
+            SipMessage::Request { method, .. } => *method,
             SipMessage::Response { .. } => {
                 ctx.stats().count("sip.malformed_dropped", 1);
                 return;
@@ -338,53 +324,80 @@ impl SiphocProxy {
             return;
         }
 
-        // Numeric Request-URIs: either one of our own advertised
-        // endpoints (deliver to the local user named in the URI) or a
-        // direct forward.
-        if let Some(dst) = uri.socket_addr(ports::SIP) {
-            let ours = dst.addr == ctx.addr() || Some(dst.addr) == self.internet;
-            if ours {
-                let user = uri.user.unwrap_or_default();
-                if !self.deliver_to_local_user(ctx, msg.clone(), &user) {
-                    self.respond(ctx, &msg, StatusCode::NOT_FOUND);
+        // Route without cloning the message: resolve the target first,
+        // then move the message along the chosen path.
+        enum RouteTo {
+            Local(SipUri, SocketAddr),
+            Direct(SocketAddr),
+            NotFound,
+            Slp(Aor),
+        }
+        let now = ctx.now();
+        let route = {
+            let SipMessage::Request { uri, .. } = &msg else {
+                unreachable!("responses rejected above")
+            };
+            // Numeric Request-URIs: either one of our own advertised
+            // endpoints (deliver to the local user named in the URI) or a
+            // direct forward.
+            if let Some(dst) = uri.socket_addr(ports::SIP) {
+                let ours = dst.addr == ctx.addr() || Some(dst.addr) == self.internet;
+                if ours {
+                    let user = uri.user.as_deref().unwrap_or("");
+                    match self.local_target(user, now) {
+                        Some((contact, dst)) => RouteTo::Local(contact, dst),
+                        None => RouteTo::NotFound,
+                    }
+                } else {
+                    RouteTo::Direct(dst)
                 }
             } else {
+                // Domain Request-URI.
+                let aor = uri.aor();
+                if self.local.lookup(&aor, now).is_some() {
+                    match self.local_target(&aor.user, now) {
+                        Some((contact, dst)) => RouteTo::Local(contact, dst),
+                        None => RouteTo::NotFound,
+                    }
+                } else {
+                    RouteTo::Slp(aor)
+                }
+            }
+        };
+
+        match route {
+            RouteTo::Local(contact, dst) => {
+                if let SipMessage::Request { uri, .. } = &mut msg {
+                    *uri = contact;
+                }
+                ctx.stats().count("proxy.deliver_local", 1);
                 self.forward(ctx, msg, dst);
             }
-            return;
-        }
-
-        // Domain Request-URI.
-        let aor = uri.aor();
-        let now = ctx.now();
-        if self.local.lookup(&aor, now).is_some() {
-            let user = aor.user;
-            if !self.deliver_to_local_user(ctx, msg.clone(), &user) {
-                self.respond(ctx, &msg, StatusCode::NOT_FOUND);
+            RouteTo::Direct(dst) => self.forward(ctx, msg, dst),
+            RouteTo::NotFound => self.respond(ctx, &msg, StatusCode::NOT_FOUND),
+            RouteTo::Slp(aor) => {
+                // Step 6: consult MANET SLP for the responsible proxy.
+                self.next_xid += 1;
+                let xid = self.next_xid;
+                ctx.stats().count("proxy.slp_lookup", 1);
+                let span = ctx.span_enter(SpanCat::Slp, "slp.resolve");
+                if ctx.obs().tracing() {
+                    if let Some(call_id) = msg.call_id() {
+                        let corr = call_id.to_owned();
+                        ctx.obs().span_corr(span, &corr);
+                    }
+                }
+                self.pending.insert(xid, Parked { msg, span });
+                self.slp_request(
+                    ctx,
+                    SlpMsg::SrvRqst {
+                        xid,
+                        service_type: service_types::SIP.to_owned(),
+                        key: aor.to_string(),
+                    },
+                );
             }
-            return;
         }
-
-        // Step 6: consult MANET SLP for the responsible proxy.
-        self.next_xid += 1;
-        let xid = self.next_xid;
-        ctx.stats().count("proxy.slp_lookup", 1);
-        let span = ctx.span_enter(SpanCat::Slp, "slp.resolve");
-        if ctx.obs().tracing() {
-            if let Some(call_id) = msg.call_id() {
-                let corr = call_id.to_owned();
-                ctx.obs().span_corr(span, &corr);
-            }
-        }
-        self.pending.insert(xid, Parked { msg, span });
-        self.slp_request(
-            ctx,
-            SlpMsg::SrvRqst {
-                xid,
-                service_type: service_types::SIP.to_owned(),
-                key: aor.to_string(),
-            },
-        );
     }
 
     fn on_slp_reply(
@@ -445,7 +458,7 @@ impl SiphocProxy {
         let adverts: Vec<String> = self
             .local
             .iter()
-            .filter(|(aor, _)| self.local.lookup(&(*aor).clone(), now).is_some())
+            .filter(|(aor, _)| self.local.lookup(aor, now).is_some())
             .map(|(aor, _)| aor.to_string())
             .collect();
         for key in adverts {
@@ -498,7 +511,9 @@ impl Process for SiphocProxy {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == TAG_READVERT {
             let now = ctx.now();
-            self.local.purge(now);
+            self.local.sweep(now);
+            ctx.obs()
+                .gauge_set("sip.bindings", self.local.bindings_len() as f64);
             self.readvertise(ctx);
             ctx.set_timer(self.cfg.slp_lifetime / 2, TAG_READVERT);
         }

@@ -6,7 +6,9 @@
 //! claim of the paper is meaningful in the reproduction: the user agent and
 //! the SIPHoc proxy interoperate purely through standard bytes.
 
+use std::borrow::Cow;
 use std::fmt;
+use std::fmt::Write as _;
 use std::str::FromStr;
 
 use crate::headers::{CSeq, NameAddr, Via};
@@ -130,10 +132,46 @@ impl fmt::Display for StatusCode {
     }
 }
 
+/// Interns the header names every message carries as `Cow::Borrowed` so
+/// the signaling hot path allocates nothing for them. Matching is exact
+/// (byte-for-byte) — interning must never canonicalize case, or a parsed
+/// message would re-render differently than it arrived.
+fn intern_name(name: &str) -> Cow<'static, str> {
+    // Dispatch on length first so the common case is a single equality
+    // check instead of a scan over a table.
+    let known: Option<&'static str> = match name.len() {
+        2 if name == "To" => Some("To"),
+        3 if name == "Via" => Some("Via"),
+        4 => match name {
+            "From" => Some("From"),
+            "CSeq" => Some("CSeq"),
+            _ => None,
+        },
+        7 => match name {
+            "Call-ID" => Some("Call-ID"),
+            "Contact" => Some("Contact"),
+            "Expires" => Some("Expires"),
+            _ => None,
+        },
+        10 if name == "User-Agent" => Some("User-Agent"),
+        12 => match name {
+            "Max-Forwards" => Some("Max-Forwards"),
+            "Content-Type" => Some("Content-Type"),
+            _ => None,
+        },
+        14 if name == "Content-Length" => Some("Content-Length"),
+        _ => None,
+    };
+    match known {
+        Some(k) => Cow::Borrowed(k),
+        None => Cow::Owned(name.to_owned()),
+    }
+}
+
 /// An ordered, case-insensitive multimap of SIP headers.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Headers {
-    items: Vec<(String, String)>,
+    items: Vec<(Cow<'static, str>, String)>,
 }
 
 impl Headers {
@@ -142,14 +180,27 @@ impl Headers {
         Headers::default()
     }
 
+    /// Empty header set with room for `n` lines (hot-path constructors).
+    fn with_capacity(n: usize) -> Headers {
+        Headers {
+            items: Vec::with_capacity(n),
+        }
+    }
+
     /// Appends a header.
     pub fn push(&mut self, name: &str, value: impl fmt::Display) {
-        self.items.push((name.to_owned(), value.to_string()));
+        self.items.push((intern_name(name), value.to_string()));
+    }
+
+    /// Appends a header whose value is already rendered, skipping the
+    /// `Display` round-trip. Hot-path builders pass cached strings here.
+    pub fn push_owned(&mut self, name: &str, value: String) {
+        self.items.push((intern_name(name), value));
     }
 
     /// Prepends a header (used for Via stacking at proxies).
     pub fn push_front(&mut self, name: &str, value: impl fmt::Display) {
-        self.items.insert(0, (name.to_owned(), value.to_string()));
+        self.items.insert(0, (intern_name(name), value.to_string()));
     }
 
     /// First value of `name`, if any.
@@ -175,6 +226,12 @@ impl Headers {
         self.push(name, value);
     }
 
+    /// Like [`Headers::set`] for an already-rendered value.
+    pub fn set_owned(&mut self, name: &str, value: String) {
+        self.remove(name);
+        self.push_owned(name, value);
+    }
+
     /// Removes every occurrence of `name`.
     pub fn remove(&mut self, name: &str) {
         self.items.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
@@ -191,7 +248,7 @@ impl Headers {
 
     /// Iterates `(name, value)` pairs in order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.items.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+        self.items.iter().map(|(n, v)| (n.as_ref(), v.as_str()))
     }
 
     /// Number of header lines.
@@ -251,7 +308,7 @@ impl SipMessage {
         let SipMessage::Request { headers, .. } = req else {
             panic!("response_to called on a response");
         };
-        let mut h = Headers::new();
+        let mut h = Headers::with_capacity(8);
         for via in headers.get_all("Via") {
             h.push("Via", via);
         }
@@ -291,13 +348,19 @@ impl SipMessage {
     /// Replaces the body and sets Content-Length (and Content-Type when a
     /// type is given).
     pub fn set_body(&mut self, body: &str, content_type: Option<&str>) {
+        self.set_body_string(body.to_owned(), content_type);
+    }
+
+    /// Like [`SipMessage::set_body`] but takes ownership of the body,
+    /// avoiding a copy when the caller already holds a `String`.
+    pub fn set_body_string(&mut self, body: String, content_type: Option<&str>) {
         if let Some(ct) = content_type {
             self.headers_mut().set("Content-Type", ct);
         }
         self.headers_mut().set("Content-Length", body.len());
         match self {
             SipMessage::Request { body: b, .. } | SipMessage::Response { body: b, .. } => {
-                *b = body.to_owned();
+                *b = body;
             }
         }
     }
@@ -371,15 +434,26 @@ impl SipMessage {
     // Wire format
     // ------------------------------------------------------------------
 
-    /// Serializes to RFC 3261 wire text.
-    pub fn to_wire(&self) -> String {
-        let mut out = String::with_capacity(256 + self.body().len());
+    /// Serializes RFC 3261 wire text into a caller-owned buffer,
+    /// replacing its contents. The transaction layer renders every
+    /// outgoing message through one reusable scratch buffer, so the
+    /// steady-state transmit path performs no per-message allocation.
+    pub fn render_into(&self, out: &mut String) {
+        out.clear();
+        out.reserve(256 + self.body().len());
         match self {
             SipMessage::Request { method, uri, .. } => {
-                out.push_str(&format!("{method} {uri} SIP/2.0\r\n"));
+                out.push_str(method.as_str());
+                out.push(' ');
+                let _ = write!(out, "{uri}");
+                out.push_str(" SIP/2.0\r\n");
             }
             SipMessage::Response { code, .. } => {
-                out.push_str(&format!("SIP/2.0 {code}\r\n"));
+                out.push_str("SIP/2.0 ");
+                let _ = write!(out, "{}", code.0);
+                out.push(' ');
+                out.push_str(code.reason());
+                out.push_str("\r\n");
             }
         }
         for (n, v) in self.headers().iter() {
@@ -390,6 +464,12 @@ impl SipMessage {
         }
         out.push_str("\r\n");
         out.push_str(self.body());
+    }
+
+    /// Serializes to RFC 3261 wire text.
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
         out
     }
 
@@ -414,7 +494,7 @@ impl SipMessage {
             .next()
             .ok_or_else(|| ParseMsgError::new("empty message"))?;
 
-        let mut headers = Headers::new();
+        let mut headers = Headers::with_capacity(8);
         for line in lines {
             if line.is_empty() {
                 continue;

@@ -5,8 +5,10 @@
 //! registrations it then advertises through MANET SLP), the simulated
 //! Internet SIP providers, and the broadcast-registration baseline.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
+use siphoc_simnet::fasthash::FastMap;
 use siphoc_simnet::time::{SimDuration, SimTime};
 
 use crate::msg::{Method, SipMessage, StatusCode};
@@ -38,7 +40,22 @@ pub struct Binding {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct BindingTable {
-    bindings: BTreeMap<Aor, Vec<Binding>>,
+    /// Contact lists, hash-indexed: the lookup on every forwarded INVITE
+    /// is O(1) instead of a BTreeMap walk.
+    bindings: FastMap<Aor, Vec<Binding>>,
+    /// AORs in sorted order — preserves the old BTreeMap iteration order
+    /// that SLP readvertisement and `Display` depend on.
+    order: Vec<Aor>,
+    /// Expiry wheel: a lazy min-heap of `(deadline, aor)`. Refreshing a
+    /// binding pushes a new entry rather than re-keying the old one;
+    /// stale entries are skipped on pop because [`sweep`](Self::sweep)
+    /// re-checks the live contact list.
+    expiry: BinaryHeap<Reverse<(SimTime, Aor)>>,
+    /// User part → its AORs (sorted), so "first AOR with this user" — the
+    /// proxy's local-delivery lookup — is O(1) instead of a table scan.
+    by_user: FastMap<String, Vec<Aor>>,
+    /// Total contact bindings across all AORs (the `sip.bindings` gauge).
+    contacts: usize,
 }
 
 impl BindingTable {
@@ -49,26 +66,60 @@ impl BindingTable {
 
     /// Adds or refreshes a binding.
     pub fn bind(&mut self, aor: Aor, contact: SipUri, expires: SimTime) {
-        let list = self.bindings.entry(aor).or_default();
+        if !self.bindings.contains_key(&aor) {
+            if let Err(i) = self.order.binary_search(&aor) {
+                self.order.insert(i, aor.clone());
+            }
+            let users = self.by_user.entry(aor.user.clone()).or_default();
+            if let Err(i) = users.binary_search(&aor) {
+                users.insert(i, aor.clone());
+            }
+            self.bindings.insert(aor.clone(), Vec::new());
+        }
+        self.expiry.push(Reverse((expires, aor.clone())));
+        let list = self.bindings.get_mut(&aor).expect("just inserted");
         match list.iter_mut().find(|b| b.contact == contact) {
             Some(b) => b.expires = expires,
-            None => list.push(Binding { contact, expires }),
+            None => {
+                list.push(Binding { contact, expires });
+                self.contacts += 1;
+            }
+        }
+    }
+
+    /// Drops an AOR from every index (its contact list is already empty
+    /// or about to be discarded).
+    fn forget(&mut self, aor: &Aor) {
+        self.bindings.remove(aor);
+        if let Ok(i) = self.order.binary_search(aor) {
+            self.order.remove(i);
+        }
+        if let Some(users) = self.by_user.get_mut(&aor.user) {
+            users.retain(|a| a != aor);
+            if users.is_empty() {
+                self.by_user.remove(&aor.user);
+            }
         }
     }
 
     /// Removes a specific contact binding.
     pub fn unbind(&mut self, aor: &Aor, contact: &SipUri) {
         if let Some(list) = self.bindings.get_mut(aor) {
+            let before = list.len();
             list.retain(|b| &b.contact != contact);
+            self.contacts -= before - list.len();
             if list.is_empty() {
-                self.bindings.remove(aor);
+                self.forget(aor);
             }
         }
     }
 
     /// Removes every binding for an AOR.
     pub fn unbind_all(&mut self, aor: &Aor) {
-        self.bindings.remove(aor);
+        if let Some(list) = self.bindings.get(aor) {
+            self.contacts -= list.len();
+            self.forget(aor);
+        }
     }
 
     /// The freshest unexpired contact for `aor`.
@@ -80,36 +131,79 @@ impl BindingTable {
             .max_by_key(|b| b.expires)
     }
 
-    /// All unexpired contacts for `aor`.
-    pub fn lookup_all(&self, aor: &Aor, now: SimTime) -> Vec<&Binding> {
+    /// All unexpired contacts for `aor`, in registration order.
+    pub fn lookup_all<'a>(
+        &'a self,
+        aor: &Aor,
+        now: SimTime,
+    ) -> impl Iterator<Item = &'a Binding> + 'a {
         self.bindings
             .get(aor)
-            .map(|list| list.iter().filter(|b| b.expires > now).collect())
-            .unwrap_or_default()
+            .into_iter()
+            .flat_map(move |list| list.iter().filter(move |b| b.expires > now))
     }
 
-    /// Drops expired bindings.
-    pub fn purge(&mut self, now: SimTime) {
-        self.bindings.retain(|_, list| {
+    /// The first AOR (in table order) whose user part is `user` — the
+    /// proxy's local-delivery lookup.
+    pub fn lookup_by_user(&self, user: &str) -> Option<&Aor> {
+        self.by_user.get(user).and_then(|v| v.first())
+    }
+
+    /// Eagerly drops every binding whose deadline has passed, driven by
+    /// the expiry wheel: cost is proportional to the number of due (or
+    /// stale) wheel entries, never to the table size. Returns how many
+    /// contact bindings were dropped.
+    pub fn sweep(&mut self, now: SimTime) -> usize {
+        let mut removed = 0;
+        while let Some(Reverse((deadline, _))) = self.expiry.peek() {
+            if *deadline > now {
+                break;
+            }
+            let Some(Reverse((_, aor))) = self.expiry.pop() else {
+                break;
+            };
+            // Re-check against the live list: a refresh leaves this wheel
+            // entry stale, and the refreshed deadline has its own entry.
+            let Some(list) = self.bindings.get_mut(&aor) else {
+                continue;
+            };
+            let before = list.len();
             list.retain(|b| b.expires > now);
-            !list.is_empty()
-        });
+            removed += before - list.len();
+            if list.is_empty() {
+                self.forget(&aor);
+            }
+        }
+        self.contacts -= removed;
+        removed
+    }
+
+    /// Drops expired bindings. Every binding has a wheel entry at its
+    /// exact deadline, so this is the eager sweep under the old name.
+    pub fn purge(&mut self, now: SimTime) {
+        self.sweep(now);
     }
 
     /// Number of AORs with at least one binding (expired included until
-    /// purged).
+    /// swept).
     pub fn len(&self) -> usize {
-        self.bindings.len()
+        self.order.len()
+    }
+
+    /// Total contact bindings across all AORs (expired included until
+    /// swept) — the `sip.bindings` gauge.
+    pub fn bindings_len(&self) -> usize {
+        self.contacts
     }
 
     /// `true` when the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.bindings.is_empty()
+        self.order.is_empty()
     }
 
     /// Iterates over `(aor, bindings)` in AOR order.
     pub fn iter(&self) -> impl Iterator<Item = (&Aor, &[Binding])> {
-        self.bindings.iter().map(|(a, b)| (a, b.as_slice()))
+        self.order.iter().map(|a| (a, self.bindings[a].as_slice()))
     }
 
     /// Processes a REGISTER request against this table, returning the
@@ -156,10 +250,10 @@ impl BindingTable {
 
 impl std::fmt::Display for BindingTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.bindings.is_empty() {
+        if self.is_empty() {
             return writeln!(f, "(no registrations)");
         }
-        for (aor, list) in &self.bindings {
+        for (aor, list) in self.iter() {
             for b in list {
                 writeln!(f, "{aor} -> {} (expires {})", b.contact, b.expires)?;
             }
@@ -209,7 +303,7 @@ mod tests {
         t.handle_register(&req, SimTime::ZERO, SimDuration::from_secs(3600));
         t.handle_register(&req, SimTime::from_secs(30), SimDuration::from_secs(3600));
         let aor = Aor::new("alice", "voicehoc.ch");
-        assert_eq!(t.lookup_all(&aor, SimTime::from_secs(80)).len(), 1);
+        assert_eq!(t.lookup_all(&aor, SimTime::from_secs(80)).count(), 1);
         assert!(t.lookup(&aor, SimTime::from_secs(89)).is_some());
     }
 
@@ -245,7 +339,7 @@ mod tests {
         );
         let b = t.lookup(&aor, SimTime::ZERO).unwrap();
         assert_eq!(b.contact.to_string(), "sip:bob@10.0.0.3:5070");
-        assert_eq!(t.lookup_all(&aor, SimTime::ZERO).len(), 2);
+        assert_eq!(t.lookup_all(&aor, SimTime::ZERO).count(), 2);
     }
 
     #[test]

@@ -18,10 +18,12 @@
 //!   fires, re-surfacing retransmitted finals so the TU can re-ACK.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use siphoc_simnet::fasthash::FastMap;
 use siphoc_simnet::net::SocketAddr;
 use siphoc_simnet::process::Ctx;
-use siphoc_simnet::time::SimDuration;
+use siphoc_simnet::time::{SimDuration, SimTime};
 
 use crate::headers::{Via, BRANCH_COOKIE};
 use crate::msg::{Method, SipMessage};
@@ -35,6 +37,13 @@ pub struct TxnConfig {
     pub t2: SimDuration,
     /// Overall transaction lifetime in units of T1 (RFC uses 64).
     pub timeout_t1_multiple: u64,
+    /// Coalesce transaction deadlines onto a shared timer wheel with
+    /// 100 ms ticks: 10k concurrent transactions occupy a handful of
+    /// event-heap slots instead of one each. Off by default — the wheel
+    /// quantizes deadlines, which shifts timer event timing, so enabling
+    /// it changes deterministic traces (the load harness opts in; normal
+    /// deployments keep RFC-exact timing).
+    pub timer_wheel: bool,
 }
 
 impl Default for TxnConfig {
@@ -43,18 +52,21 @@ impl Default for TxnConfig {
             t1: SimDuration::from_millis(500),
             t2: SimDuration::from_secs(4),
             timeout_t1_multiple: 64,
+            timer_wheel: false,
         }
     }
 }
 
 /// Events the transaction layer surfaces to its transaction user.
+/// Branch and key identifiers are shared `Arc<str>`s — the TU stores them
+/// in its dialogs without copying the string.
 #[derive(Debug)]
 pub enum TxnEvent {
     /// A response matched a client transaction (provisional, final, or a
     /// re-surfaced retransmitted final).
     Response {
         /// Branch of the matching client transaction.
-        branch: String,
+        branch: Arc<str>,
         /// The response.
         msg: SipMessage,
     },
@@ -62,7 +74,7 @@ pub enum TxnEvent {
     /// [`TransactionLayer::respond`] using `key`.
     Request {
         /// Server-transaction key for responding.
-        key: String,
+        key: Arc<str>,
         /// The request.
         msg: SipMessage,
         /// Transport-level source.
@@ -77,7 +89,7 @@ pub enum TxnEvent {
     /// A client transaction exhausted its retransmissions.
     Timeout {
         /// Branch of the timed-out transaction.
-        branch: String,
+        branch: Arc<str>,
         /// The original request.
         msg: SipMessage,
     },
@@ -90,8 +102,7 @@ enum ClientState {
 }
 
 struct ClientTxn {
-    id: u64,
-    branch: String,
+    branch: Arc<str>,
     msg: SipMessage,
     dst: SocketAddr,
     state: ClientState,
@@ -110,7 +121,6 @@ enum ServerState {
 
 struct ServerTxn {
     id: u64,
-    key: String,
     last_response: Option<SipMessage>,
     response_target: SocketAddr,
     state: ServerState,
@@ -123,14 +133,33 @@ const KIND_TIMEOUT: u64 = 1;
 const KIND_SRV_RETRANS: u64 = 2;
 const KIND_SRV_CLEANUP: u64 = 3;
 
+/// Shared-wheel timer token: low 32 bits all set — an id/kind token can
+/// never look like it (ids are 30-bit).
+const WHEEL_TOKEN_SUFFIX: u64 = 0xffff_ffff;
+/// Wheel granularity. Deadlines are quantized *up* to the next tick, so
+/// every transaction in the same 100 ms window shares one heap timer.
+const WHEEL_TICK_US: u64 = 100_000;
+
 /// The transaction layer. Embed one per SIP element (UA, registrar).
 pub struct TransactionLayer {
     cfg: TxnConfig,
     local_port: u16,
     token_base: u64,
     next_id: u64,
-    clients: BTreeMap<String, ClientTxn>,
-    servers: BTreeMap<String, ServerTxn>,
+    clients: FastMap<Arc<str>, ClientTxn>,
+    /// Timer-token id → branch, so timer dispatch is O(1) instead of a
+    /// scan over every live transaction.
+    client_by_id: FastMap<u64, Arc<str>>,
+    servers: FastMap<Arc<str>, ServerTxn>,
+    server_by_id: FastMap<u64, Arc<str>>,
+    /// Shared timer wheel (only populated with `cfg.timer_wheel`):
+    /// quantized deadline → the `(id, kind)` entries due at it. One ctx
+    /// timer is armed per bucket, not per transaction.
+    wheel: BTreeMap<SimTime, Vec<(u64, u8)>>,
+    /// Reusable render buffer: every outgoing message is serialized here
+    /// exactly once, so steady-state transmit allocates only the datagram
+    /// payload itself.
+    scratch: String,
 }
 
 impl std::fmt::Debug for TransactionLayer {
@@ -148,7 +177,12 @@ fn server_key(branch: &str, method: Method) -> String {
         Method::Ack => Method::Invite,
         other => other,
     };
-    format!("{branch}|{m}")
+    let m = m.as_str();
+    let mut key = String::with_capacity(branch.len() + 1 + m.len());
+    key.push_str(branch);
+    key.push('|');
+    key.push_str(m);
+    key
 }
 
 impl TransactionLayer {
@@ -163,8 +197,12 @@ impl TransactionLayer {
             local_port,
             token_base,
             next_id: 0,
-            clients: BTreeMap::new(),
-            servers: BTreeMap::new(),
+            clients: FastMap::default(),
+            client_by_id: FastMap::default(),
+            servers: FastMap::default(),
+            server_by_id: FastMap::default(),
+            wheel: BTreeMap::new(),
+            scratch: String::new(),
         }
     }
 
@@ -178,6 +216,11 @@ impl TransactionLayer {
         self.clients.len()
     }
 
+    /// Live transactions in either role — the `sip.txn_active` gauge.
+    pub fn active_count(&self) -> usize {
+        self.clients.len() + self.servers.len()
+    }
+
     /// Generates a fresh RFC 3261 branch value.
     pub fn new_branch(&mut self, ctx: &mut Ctx<'_>) -> String {
         format!("{BRANCH_COOKIE}{:016x}", ctx.rng().next_u64())
@@ -187,9 +230,39 @@ impl TransactionLayer {
         self.token_base | (id << 2) | kind
     }
 
-    fn transmit(&self, ctx: &mut Ctx<'_>, msg: &SipMessage, dst: SocketAddr) {
-        ctx.stats().count("sip.txn_tx", msg.to_wire().len());
-        ctx.send_to(dst, self.local_port, msg.to_bytes());
+    /// Arms a transaction deadline: a dedicated ctx timer normally, or a
+    /// shared-wheel bucket when `cfg.timer_wheel` is set. A bucket arms
+    /// one ctx timer the first time it is created; later transactions
+    /// landing in the same 100 ms window ride along for free.
+    fn arm(&mut self, ctx: &mut Ctx<'_>, delay: SimDuration, id: u64, kind: u64) {
+        if !self.cfg.timer_wheel {
+            ctx.set_timer(delay, self.token(id, kind));
+            return;
+        }
+        let deadline = (ctx.now() + delay).as_micros();
+        let slot = SimTime::from_micros(deadline.div_ceil(WHEEL_TICK_US) * WHEEL_TICK_US);
+        let vacant = !self.wheel.contains_key(&slot);
+        self.wheel.entry(slot).or_default().push((id, kind as u8));
+        if vacant {
+            ctx.set_timer(slot - ctx.now(), self.token_base | WHEEL_TOKEN_SUFFIX);
+        }
+    }
+
+    /// Sends `self.scratch` (already rendered) and counts it, optionally
+    /// under an extra counter first (retransmit/replay bookkeeping).
+    fn send_scratch(&mut self, ctx: &mut Ctx<'_>, dst: SocketAddr, extra: Option<&'static str>) {
+        if let Some(name) = extra {
+            ctx.stats().count(name, self.scratch.len());
+        }
+        ctx.stats().count("sip.txn_tx", self.scratch.len());
+        ctx.send_to(dst, self.local_port, self.scratch.as_bytes().to_vec());
+    }
+
+    fn transmit(&mut self, ctx: &mut Ctx<'_>, msg: &SipMessage, dst: SocketAddr) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        msg.render_into(&mut scratch);
+        self.scratch = scratch;
+        self.send_scratch(ctx, dst, None);
     }
 
     /// Starts a client transaction: stamps a new Via (sent from this node
@@ -200,10 +273,11 @@ impl TransactionLayer {
         ctx: &mut Ctx<'_>,
         mut msg: SipMessage,
         dst: SocketAddr,
-    ) -> String {
+    ) -> Arc<str> {
         let branch = self.new_branch(ctx);
         let via = Via::new(SocketAddr::new(ctx.addr(), self.local_port), &branch);
         msg.headers_mut().push_front("Via", via);
+        let branch: Arc<str> = branch.into();
         self.send_request_with_branch(ctx, msg, dst, branch.clone());
         branch
     }
@@ -216,7 +290,7 @@ impl TransactionLayer {
         ctx: &mut Ctx<'_>,
         msg: SipMessage,
         dst: SocketAddr,
-        branch: String,
+        branch: Arc<str>,
     ) {
         let invite = msg.method() == Some(Method::Invite);
         let is_ack = msg.method() == Some(Method::Ack);
@@ -227,7 +301,6 @@ impl TransactionLayer {
         let id = self.next_id;
         self.next_id += 1;
         let txn = ClientTxn {
-            id,
             branch: branch.clone(),
             msg,
             dst,
@@ -236,11 +309,14 @@ impl TransactionLayer {
             invite,
             started_us: ctx.now_us(),
         };
-        ctx.set_timer(self.cfg.t1, self.token(id, KIND_RETRANS));
-        ctx.set_timer(
+        self.arm(ctx, self.cfg.t1, id, KIND_RETRANS);
+        self.arm(
+            ctx,
             self.cfg.t1 * self.cfg.timeout_t1_multiple,
-            self.token(id, KIND_TIMEOUT),
+            id,
+            KIND_TIMEOUT,
         );
+        self.client_by_id.insert(id, branch.clone());
         self.clients.insert(branch, txn);
     }
 
@@ -252,19 +328,31 @@ impl TransactionLayer {
         };
         let target = txn.response_target;
         let is_final = resp.status().map(|s| s.is_final()).unwrap_or(false);
-        txn.last_response = Some(resp.clone());
         let (id, invite) = (txn.id, txn.invite);
         if is_final {
             txn.state = ServerState::Completed;
+        }
+        // Render once into the scratch buffer, then store the response
+        // without cloning it.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        resp.render_into(&mut scratch);
+        self.scratch = scratch;
+        self.servers
+            .get_mut(key)
+            .expect("looked up above")
+            .last_response = Some(resp);
+        if is_final {
             if invite {
-                ctx.set_timer(self.cfg.t1, self.token(id, KIND_SRV_RETRANS));
+                self.arm(ctx, self.cfg.t1, id, KIND_SRV_RETRANS);
             }
-            ctx.set_timer(
+            self.arm(
+                ctx,
                 self.cfg.t1 * self.cfg.timeout_t1_multiple,
-                self.token(id, KIND_SRV_CLEANUP),
+                id,
+                KIND_SRV_CLEANUP,
             );
         }
-        self.transmit(ctx, &resp, target);
+        self.send_scratch(ctx, target, None);
     }
 
     /// Handles a SIP message arriving on the layer's port. Returns the
@@ -293,7 +381,7 @@ impl TransactionLayer {
         let key = server_key(&via.branch, method);
 
         if method == Method::Ack {
-            match self.servers.get_mut(&key) {
+            match self.servers.get_mut(key.as_str()) {
                 Some(txn) => {
                     let final_was_2xx = txn
                         .last_response
@@ -313,34 +401,45 @@ impl TransactionLayer {
             }
         }
 
-        if let Some(txn) = self.servers.get(&key) {
-            // Retransmitted request: replay the last response.
-            if let Some(resp) = txn.last_response.clone() {
-                let target = txn.response_target;
-                ctx.stats().count("sip.txn_replay", resp.to_wire().len());
-                self.transmit(ctx, &resp, target);
+        if self.servers.contains_key(key.as_str()) {
+            // Retransmitted request: replay the last response, rendered
+            // straight from the stored message — no clone.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let txn = &self.servers[key.as_str()];
+            let target = txn.response_target;
+            let has_resp = match &txn.last_response {
+                Some(resp) => {
+                    resp.render_into(&mut scratch);
+                    true
+                }
+                None => false,
+            };
+            self.scratch = scratch;
+            if has_resp {
+                self.send_scratch(ctx, target, Some("sip.txn_replay"));
             }
             return None;
         }
 
         let id = self.next_id;
         self.next_id += 1;
+        let key: Arc<str> = key.into();
         let txn = ServerTxn {
             id,
-            key: key.clone(),
             last_response: None,
             response_target: via.response_target(),
             state: ServerState::Proceeding,
             interval: self.cfg.t1,
             invite: method == Method::Invite,
         };
+        self.server_by_id.insert(id, key.clone());
         self.servers.insert(key.clone(), txn);
         Some(TxnEvent::Request { key, msg, from })
     }
 
     fn on_response(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage) -> Option<TxnEvent> {
         let via = msg.top_via()?;
-        let txn = self.clients.get_mut(&via.branch)?;
+        let txn = self.clients.get_mut(via.branch.as_str())?;
         // CSeq method must match the request's.
         if msg.cseq().map(|c| c.method) != txn.msg.cseq().map(|c| c.method) {
             return None;
@@ -355,33 +454,70 @@ impl TransactionLayer {
         Some(TxnEvent::Response { branch, msg })
     }
 
-    /// Handles one of the layer's timer tokens.
-    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) -> Option<TxnEvent> {
+    /// Handles one of the layer's timer tokens. A shared-wheel token may
+    /// resolve several coalesced deadlines at once, so the result is a
+    /// list; an empty list performs no allocation.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) -> Vec<TxnEvent> {
         debug_assert!(self.owns_token(token));
+        if token & WHEEL_TOKEN_SUFFIX == WHEEL_TOKEN_SUFFIX {
+            return self.on_wheel(ctx);
+        }
         let kind = token & 0b11;
         let id = (token & 0xffff_ffff) >> 2;
+        match self.fire(ctx, id, kind) {
+            Some(ev) => vec![ev],
+            None => Vec::new(),
+        }
+    }
+
+    /// Drains every due wheel bucket. Entries whose transaction is gone
+    /// (timed out, cleaned up) miss the id map and are skipped — the
+    /// wheel never needs explicit cancellation.
+    fn on_wheel(&mut self, ctx: &mut Ctx<'_>) -> Vec<TxnEvent> {
+        let now = ctx.now();
+        let mut events = Vec::new();
+        while let Some(entry) = self.wheel.first_entry() {
+            if *entry.key() > now {
+                break;
+            }
+            let due = entry.remove();
+            for (id, kind) in due {
+                if let Some(ev) = self.fire(ctx, id, kind as u64) {
+                    events.push(ev);
+                }
+            }
+        }
+        events
+    }
+
+    /// Resolves one `(id, kind)` deadline. O(1): the id maps point
+    /// straight at the transaction, no scan.
+    fn fire(&mut self, ctx: &mut Ctx<'_>, id: u64, kind: u64) -> Option<TxnEvent> {
         match kind {
             KIND_RETRANS => {
-                let txn = self.clients.values_mut().find(|t| t.id == id)?;
-                if txn.state != ClientState::Trying {
-                    return None;
+                let branch = self.client_by_id.get(&id)?.clone();
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let mut send = None;
+                if let Some(txn) = self.clients.get_mut(&branch) {
+                    if txn.state == ClientState::Trying {
+                        txn.interval = if txn.invite {
+                            txn.interval * 2
+                        } else {
+                            (txn.interval * 2).min_dur(self.cfg.t2)
+                        };
+                        txn.msg.render_into(&mut scratch);
+                        send = Some((txn.dst, txn.interval));
+                    }
                 }
-                let msg = txn.msg.clone();
-                let dst = txn.dst;
-                txn.interval = if txn.invite {
-                    txn.interval * 2
-                } else {
-                    (txn.interval * 2).min_dur(self.cfg.t2)
-                };
-                let next = txn.interval;
-                let tok = self.token(id, KIND_RETRANS);
-                ctx.stats().count("sip.txn_retx", msg.to_wire().len());
-                self.transmit(ctx, &msg, dst);
-                ctx.set_timer(next, tok);
+                self.scratch = scratch;
+                if let Some((dst, next)) = send {
+                    self.send_scratch(ctx, dst, Some("sip.txn_retx"));
+                    self.arm(ctx, next, id, KIND_RETRANS);
+                }
                 None
             }
             KIND_TIMEOUT => {
-                let branch = self.clients.iter().find(|(_, t)| t.id == id)?.0.clone();
+                let branch = self.client_by_id.remove(&id)?;
                 let txn = self.clients.remove(&branch)?;
                 if txn.state == ClientState::Trying {
                     Some(TxnEvent::Timeout {
@@ -393,26 +529,27 @@ impl TransactionLayer {
                 }
             }
             KIND_SRV_RETRANS => {
-                let txn = self.servers.values_mut().find(|t| t.id == id)?;
-                if txn.state != ServerState::Completed {
-                    return None;
+                let key = self.server_by_id.get(&id)?.clone();
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let mut send = None;
+                if let Some(txn) = self.servers.get_mut(&key) {
+                    if txn.state == ServerState::Completed {
+                        if let Some(resp) = &txn.last_response {
+                            resp.render_into(&mut scratch);
+                            txn.interval = (txn.interval * 2).min_dur(self.cfg.t2);
+                            send = Some((txn.response_target, txn.interval));
+                        }
+                    }
                 }
-                let resp = txn.last_response.clone()?;
-                let target = txn.response_target;
-                txn.interval = (txn.interval * 2).min_dur(self.cfg.t2);
-                let next = txn.interval;
-                let tok = self.token(id, KIND_SRV_RETRANS);
-                ctx.stats().count("sip.txn_retx", resp.to_wire().len());
-                self.transmit(ctx, &resp, target);
-                ctx.set_timer(next, tok);
+                self.scratch = scratch;
+                if let Some((target, next)) = send {
+                    self.send_scratch(ctx, target, Some("sip.txn_retx"));
+                    self.arm(ctx, next, id, KIND_SRV_RETRANS);
+                }
                 None
             }
             KIND_SRV_CLEANUP => {
-                let key = self
-                    .servers
-                    .values()
-                    .find(|t| t.id == id)
-                    .map(|t| t.key.clone())?;
+                let key = self.server_by_id.remove(&id)?;
                 self.servers.remove(&key);
                 None
             }
@@ -522,8 +659,10 @@ mod tests {
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
             if self.layer.owns_token(token) {
-                if let Some(TxnEvent::Timeout { .. }) = self.layer.on_timer(ctx, token) {
-                    self.log.borrow_mut().push("timeout".into());
+                for ev in self.layer.on_timer(ctx, token) {
+                    if matches!(ev, TxnEvent::Timeout { .. }) {
+                        self.log.borrow_mut().push("timeout".into());
+                    }
                 }
             }
         }

@@ -18,10 +18,13 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use siphoc_simnet::net::{Datagram, SocketAddr};
+use siphoc_simnet::fasthash::FastMap;
+use siphoc_simnet::net::{Addr, Datagram, SocketAddr};
 use siphoc_simnet::obs::{SpanCat, SpanId};
 use siphoc_simnet::process::{Ctx, LocalEvent, Process};
 use siphoc_simnet::time::{SimDuration, SimTime};
+
+use std::sync::Arc;
 
 use crate::headers::{CSeq, NameAddr};
 use crate::msg::{Method, SipMessage, StatusCode};
@@ -67,6 +70,11 @@ pub struct UaConfig {
     pub script: Vec<ScriptedAction>,
     /// Transaction timing.
     pub txn: TxnConfig,
+    /// Emit `sip.media_start`/`sip.media_stop` node-local events when
+    /// calls establish and terminate. Local events fan out to every
+    /// process on the node, so signaling-only deployments (no media
+    /// plane listening) can turn this off; call-load benches do.
+    pub media_events: bool,
 }
 
 impl UaConfig {
@@ -83,6 +91,7 @@ impl UaConfig {
             answer_delay: SimDuration::from_millis(200),
             script: Vec::new(),
             txn: TxnConfig::default(),
+            media_events: true,
         }
     }
 
@@ -117,6 +126,9 @@ pub enum ActionKind {
     },
     /// Terminate every active call now.
     HangupAll,
+    /// Send an in-dialog re-INVITE on every confirmed dialog now (the
+    /// load harness's gateway-handoff storm shape).
+    ReinviteAll,
     /// De-register (Expires: 0).
     Unregister,
 }
@@ -220,16 +232,27 @@ struct Dialog {
     call_id: String,
     local_tag: String,
     remote_tag: Option<String>,
+    /// Rendered `From` value for requests this side sends in the dialog
+    /// (`<sip:user@domain>;tag=local` — fixed for the dialog's lifetime).
+    hdr_from: String,
+    /// Rendered `To` value for requests this side sends; the remote tag
+    /// is appended as soon as it is learned.
+    hdr_to: String,
     remote_aor: Aor,
     remote_target: Option<SipUri>,
     local_seq: u32,
     state: DialogState,
     role: Role,
     remote_rtp: Option<SocketAddr>,
-    invite_branch: Option<String>,
-    invite_key: Option<String>,
+    invite_branch: Option<Arc<str>>,
+    invite_key: Option<Arc<str>>,
     pending_invite: Option<SipMessage>,
-    answer_resp: Option<SipMessage>,
+    /// Rendered Contact value and SDP body of our last 2xx answer,
+    /// replayed on a fresh transaction when a rebranched INVITE
+    /// retransmit arrives. Only these parts of the answer survive
+    /// verbatim — the replay is rebuilt against the new Via stack — so
+    /// storing two strings beats cloning the whole response per call.
+    answer_resp: Option<(String, String)>,
     duration: Option<SimDuration>,
     cancelled: bool,
     /// Open observability span covering call setup (INVITE->ACK).
@@ -251,14 +274,71 @@ fn tok(tag: u64, idx: u64) -> u64 {
     tag | (idx << 8)
 }
 
+/// Renders an AOR as a bare name-addr value (`<sip:user@domain>`),
+/// byte-identical to `NameAddr::new(aor.to_uri()).to_string()` but
+/// without the `fmt::Display` round-trip.
+fn name_addr_value(aor: &Aor) -> String {
+    let mut s = String::with_capacity(aor.user.len() + aor.domain.len() + 7);
+    s.push_str("<sip:");
+    s.push_str(&aor.user);
+    s.push('@');
+    s.push_str(&aor.domain);
+    s.push('>');
+    s
+}
+
+/// Appends `;tag=` to a rendered name-addr value.
+fn tagged(base: &str, tag: &str) -> String {
+    let mut s = String::with_capacity(base.len() + 5 + tag.len());
+    s.push_str(base);
+    s.push_str(";tag=");
+    s.push_str(tag);
+    s
+}
+
+/// Stamps a response's To header with this side's dialog tag. To is
+/// inherited verbatim from the request, so when it carries no tag yet the
+/// value is extended in place — the same bytes `NameAddr` would render —
+/// and only a pre-tagged To pays for the parse-and-replace path.
+fn set_to_tag(resp: &mut SipMessage, tag: &str) {
+    let Some(cur) = resp.headers().get("To") else {
+        return;
+    };
+    if !cur.contains(";tag=") {
+        let v = tagged(cur, tag);
+        resp.headers_mut().set_owned("To", v);
+    } else if let Some(mut to) = resp.to_header() {
+        to.set_tag(tag);
+        resp.headers_mut().set("To", to);
+    }
+}
+
+/// Pre-rendered strings that are fixed for a given local address: the
+/// From/To name-addr base, the Contact value, and the SDP body split
+/// around its session id. Rebuilt if a gateway handoff renumbers the
+/// node; every call then splices bytes instead of re-running `Display`.
+#[derive(Default)]
+struct RenderCache {
+    addr: Option<Addr>,
+    from_base: String,
+    contact: String,
+    sdp_head: String,
+    sdp_tail: String,
+}
+
 /// The user agent process.
 pub struct UserAgent {
     cfg: UaConfig,
     txn: TransactionLayer,
     log: UaLogHandle,
     dialogs: BTreeMap<String, Dialog>,
+    render: RenderCache,
+    /// Dialog index → call-id. Timer tokens carry the dialog index, and the
+    /// dialog map retains terminated dialogs, so resolving a token by
+    /// scanning `dialogs` is O(live + dead); this side index keeps it O(1).
+    dialog_by_idx: FastMap<u64, String>,
     next_dialog: u64,
-    register_branch: Option<String>,
+    register_branch: Option<Arc<str>>,
     register_cseq: u32,
     registered: bool,
     register_span: SpanId,
@@ -287,6 +367,8 @@ impl UserAgent {
                 txn,
                 log: log.clone(),
                 dialogs: BTreeMap::new(),
+                render: RenderCache::default(),
+                dialog_by_idx: FastMap::default(),
                 next_dialog: 0,
                 register_branch: None,
                 register_cseq: 0,
@@ -319,6 +401,43 @@ impl UserAgent {
         m.headers_mut().push("User-Agent", "siphoc-ua/0.1");
         let _ = ctx;
         m
+    }
+
+    /// The pre-rendered string cache for the node's current address,
+    /// rebuilding it after a handoff renumbered the node.
+    fn render_cache(&mut self, ctx: &Ctx<'_>) -> &RenderCache {
+        let addr = ctx.addr();
+        if self.render.addr != Some(addr) {
+            let aor = &self.cfg.aor;
+            self.render.addr = Some(addr);
+            self.render.from_base = name_addr_value(aor);
+            self.render.contact = format!("<sip:{}@{}:{}>", aor.user, addr, self.cfg.local_port);
+            self.render.sdp_head = format!("v=0\r\no={} ", aor.user);
+            self.render.sdp_tail = format!(
+                " IN IP4 {addr}\r\ns=-\r\nc=IN IP4 {addr}\r\nt=0 0\r\nm=audio {} RTP/AVP 0\r\n",
+                self.cfg.rtp_port
+            );
+        }
+        &self.render
+    }
+
+    /// Renders an SDP body, splicing the cached template around the
+    /// session id when `sdp` is this UA's canonical single-PCMU-stream
+    /// description (the overwhelmingly common case), and falling back to
+    /// the full serializer otherwise.
+    fn sdp_body(&mut self, ctx: &Ctx<'_>, sdp: &Sdp) -> String {
+        let canonical = sdp.origin_user == self.cfg.aor.user && sdp.audio_port == self.cfg.rtp_port;
+        let cache = self.render_cache(ctx);
+        if canonical && Some(sdp.addr) == cache.addr && sdp.payload_types == [0] {
+            use std::fmt::Write as _;
+            let mut b = String::with_capacity(cache.sdp_head.len() + cache.sdp_tail.len() + 42);
+            b.push_str(&cache.sdp_head);
+            let _ = write!(b, "{0} {0}", sdp.session_id);
+            b.push_str(&cache.sdp_tail);
+            b
+        } else {
+            sdp.to_string()
+        }
     }
 
     // ------------------------------------------------------------------
@@ -367,22 +486,22 @@ impl UserAgent {
         );
         let local_tag = self.new_tag(ctx);
 
+        let hdr_from = tagged(&self.render_cache(ctx).from_base, &local_tag);
+        let hdr_to = name_addr_value(&to);
+        let contact = self.render_cache(ctx).contact.clone();
         let mut m = self.base_request(ctx, Method::Invite, to.to_uri());
-        m.headers_mut().push(
-            "From",
-            NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag),
-        );
-        m.headers_mut().push("To", NameAddr::new(to.to_uri()));
-        m.headers_mut().push("Call-ID", &call_id);
+        m.headers_mut().push_owned("From", hdr_from.clone());
+        m.headers_mut().push_owned("To", hdr_to.clone());
+        m.headers_mut().push_owned("Call-ID", call_id.clone());
         m.headers_mut().push("CSeq", CSeq::new(1, "INVITE"));
-        m.headers_mut()
-            .push("Contact", NameAddr::new(self.local_contact(ctx)));
+        m.headers_mut().push_owned("Contact", contact);
         let sdp = Sdp::audio(
             &self.cfg.aor.user,
             ctx.rng().next_u64() >> 1,
             SocketAddr::new(ctx.addr(), self.cfg.rtp_port),
         );
-        m.set_body(&sdp.to_string(), Some("application/sdp"));
+        let body = self.sdp_body(ctx, &sdp);
+        m.set_body_string(body, Some("application/sdp"));
 
         let span = ctx.span_enter(SpanCat::Sip, "sip.invite");
         ctx.obs().span_corr(span, &call_id);
@@ -394,6 +513,8 @@ impl UserAgent {
             call_id: call_id.clone(),
             local_tag,
             remote_tag: None,
+            hdr_from,
+            hdr_to,
             remote_aor: to.clone(),
             remote_target: None,
             local_seq: 1,
@@ -410,6 +531,7 @@ impl UserAgent {
             setup_started_us,
             reinvite_cseq: None,
         };
+        self.dialog_by_idx.insert(idx, call_id.clone());
         self.dialogs.insert(call_id.clone(), dialog);
         self.emit_log(ctx, CallEvent::OutgoingCall { call_id, to });
     }
@@ -422,28 +544,16 @@ impl UserAgent {
             .remote_target
             .clone()
             .unwrap_or_else(|| d.remote_aor.to_uri());
-        let branch = d.invite_branch.clone().unwrap_or_default();
-        let (local_tag, remote_tag, remote_aor, local_seq) = (
-            d.local_tag.clone(),
-            d.remote_tag.clone(),
-            d.remote_aor.clone(),
-            d.local_seq,
-        );
+        let branch = d.invite_branch.clone().unwrap_or_else(|| Arc::from(""));
+        let (hdr_from, hdr_to, local_seq) = (d.hdr_from.clone(), d.hdr_to.clone(), d.local_seq);
         let mut m = self.base_request(ctx, Method::Ack, target);
         m.headers_mut().push(
             "Via",
             crate::headers::Via::new(SocketAddr::new(ctx.addr(), self.cfg.local_port), &branch),
         );
-        m.headers_mut().push(
-            "From",
-            NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag),
-        );
-        let mut to = NameAddr::new(remote_aor.to_uri());
-        if let Some(t) = &remote_tag {
-            to.set_tag(t);
-        }
-        m.headers_mut().push("To", to);
-        m.headers_mut().push("Call-ID", call_id);
+        m.headers_mut().push_owned("From", hdr_from);
+        m.headers_mut().push_owned("To", hdr_to);
+        m.headers_mut().push_owned("Call-ID", call_id.to_owned());
         m.headers_mut().push("CSeq", CSeq::new(local_seq, "ACK"));
         self.txn
             .send_request_with_branch(ctx, m, self.cfg.outbound_proxy, branch);
@@ -462,20 +572,11 @@ impl UserAgent {
             .remote_target
             .clone()
             .unwrap_or_else(|| d.remote_aor.to_uri());
-        let local_tag = d.local_tag.clone();
-        let remote_tag = d.remote_tag.clone();
-        let remote_aor = d.remote_aor.clone();
+        let (hdr_from, hdr_to) = (d.hdr_from.clone(), d.hdr_to.clone());
         let mut m = self.base_request(ctx, Method::Bye, target);
-        m.headers_mut().push(
-            "From",
-            NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag),
-        );
-        let mut to = NameAddr::new(remote_aor.to_uri());
-        if let Some(t) = &remote_tag {
-            to.set_tag(t);
-        }
-        m.headers_mut().push("To", to);
-        m.headers_mut().push("Call-ID", call_id);
+        m.headers_mut().push_owned("From", hdr_from);
+        m.headers_mut().push_owned("To", hdr_to);
+        m.headers_mut().push_owned("Call-ID", call_id.to_owned());
         m.headers_mut().push("CSeq", CSeq::new(seq, "BYE"));
         self.txn.send_request(ctx, m, self.cfg.outbound_proxy);
         self.end_media(ctx, call_id);
@@ -510,20 +611,11 @@ impl UserAgent {
             .remote_target
             .clone()
             .unwrap_or_else(|| d.remote_aor.to_uri());
-        let local_tag = d.local_tag.clone();
-        let remote_tag = d.remote_tag.clone();
-        let remote_aor = d.remote_aor.clone();
+        let (hdr_from, hdr_to) = (d.hdr_from.clone(), d.hdr_to.clone());
         let mut m = self.base_request(ctx, Method::Invite, target);
-        m.headers_mut().push(
-            "From",
-            NameAddr::new(self.cfg.aor.to_uri()).with_tag(&local_tag),
-        );
-        let mut to = NameAddr::new(remote_aor.to_uri());
-        if let Some(t) = &remote_tag {
-            to.set_tag(t);
-        }
-        m.headers_mut().push("To", to);
-        m.headers_mut().push("Call-ID", call_id);
+        m.headers_mut().push_owned("From", hdr_from);
+        m.headers_mut().push_owned("To", hdr_to);
+        m.headers_mut().push_owned("Call-ID", call_id.to_owned());
         m.headers_mut().push("CSeq", CSeq::new(seq, "INVITE"));
         m.headers_mut().push("Contact", NameAddr::new(contact));
         // Session id from the clock, not the RNG: re-INVITEs are driven
@@ -534,7 +626,8 @@ impl UserAgent {
             ctx.now_us(),
             SocketAddr::new(ctx.addr(), self.cfg.rtp_port),
         );
-        m.set_body(&sdp.to_string(), Some("application/sdp"));
+        let body = self.sdp_body(ctx, &sdp);
+        m.set_body_string(body, Some("application/sdp"));
         ctx.stats().count("sip.reinvite_tx", 1);
         let branch = self.txn.send_request(ctx, m, self.cfg.outbound_proxy);
         if let Some(d) = self.dialogs.get_mut(call_id) {
@@ -546,9 +639,9 @@ impl UserAgent {
     /// peer's refreshed Contact/SDP, answer 200 with our current
     /// endpoints, and re-home the media session if the peer's RTP
     /// endpoint moved.
-    fn on_reinvite(&mut self, ctx: &mut Ctx<'_>, key: &str, msg: &SipMessage, call_id: &str) {
+    fn on_reinvite(&mut self, ctx: &mut Ctx<'_>, key: &Arc<str>, msg: &SipMessage, call_id: &str) {
         ctx.stats().count("sip.reinvite_rx", 1);
-        let contact = self.local_contact(ctx);
+        let contact_value = self.render_cache(ctx).contact.clone();
         let Some(d) = self.dialogs.get_mut(call_id) else {
             return;
         };
@@ -561,12 +654,12 @@ impl UserAgent {
             d.remote_rtp = Some(o.rtp_endpoint());
         }
         let local_tag = d.local_tag.clone();
+        let new_rtp = d.remote_rtp;
         let mut ok = SipMessage::response_to(msg, StatusCode::OK);
-        if let Some(mut to) = ok.to_header() {
-            to.set_tag(&local_tag);
-            ok.headers_mut().set("To", to);
-        }
-        ok.headers_mut().push("Contact", NameAddr::new(contact));
+        set_to_tag(&mut ok, &local_tag);
+        ok.headers_mut()
+            .push_owned("Contact", contact_value.clone());
+        let mut answer_body = String::new();
         if let Some(o) = offer {
             // Clock-derived session id for the same determinism reason as
             // `send_reinvite`.
@@ -575,15 +668,17 @@ impl UserAgent {
                 ctx.now_us(),
                 SocketAddr::new(ctx.addr(), self.cfg.rtp_port),
             ) {
-                ok.set_body(&a.to_string(), Some("application/sdp"));
+                answer_body = self.sdp_body(ctx, &a);
+                ok.set_body_string(answer_body.clone(), Some("application/sdp"));
             }
         }
         // Store the refreshed transaction state so a retransmitted
         // re-INVITE replays this 200 (the existing rebranch path).
-        d.pending_invite = Some(msg.clone());
-        d.answer_resp = Some(ok.clone());
-        d.invite_key = Some(key.to_owned());
-        let new_rtp = d.remote_rtp;
+        if let Some(d) = self.dialogs.get_mut(call_id) {
+            d.pending_invite = Some(msg.clone());
+            d.answer_resp = Some((contact_value, answer_body));
+            d.invite_key = Some(key.clone());
+        }
         self.txn.respond(ctx, key, ok);
         if let Some(rtp) = new_rtp {
             if prev_rtp != new_rtp {
@@ -617,6 +712,9 @@ impl UserAgent {
     }
 
     fn start_media(&self, ctx: &mut Ctx<'_>, call_id: &str, remote_rtp: SocketAddr) {
+        if !self.cfg.media_events {
+            return;
+        }
         ctx.span_instant(SpanCat::Media, "media.start", Some(call_id));
         let payload = format!("{call_id}|{}|{}", self.cfg.rtp_port, remote_rtp);
         ctx.emit(LocalEvent::Custom {
@@ -626,6 +724,9 @@ impl UserAgent {
     }
 
     fn end_media(&self, ctx: &mut Ctx<'_>, call_id: &str) {
+        if !self.cfg.media_events {
+            return;
+        }
         ctx.span_instant(SpanCat::Media, "media.stop", Some(call_id));
         ctx.emit(LocalEvent::Custom {
             kind: MEDIA_STOP_EVENT,
@@ -637,7 +738,7 @@ impl UserAgent {
     // Incoming requests
     // ------------------------------------------------------------------
 
-    fn on_invite(&mut self, ctx: &mut Ctx<'_>, key: String, msg: SipMessage) {
+    fn on_invite(&mut self, ctx: &mut Ctx<'_>, key: Arc<str>, msg: SipMessage) {
         let Some(call_id) = msg.call_id().map(str::to_owned) else {
             return;
         };
@@ -656,19 +757,18 @@ impl UserAgent {
                 && msg.cseq() == d.pending_invite.as_ref().and_then(|m| m.cseq());
             if retransmit {
                 ctx.stats().count("sip.invite_rebranch", 1);
-                if let Some(prev) = d.answer_resp.clone() {
+                if let Some((contact, body)) = d.answer_resp.clone() {
                     // Rebuild against *this* flight's Via stack — the
                     // stored 200 answers the original (possibly mangled)
                     // request and would route back along dead branches.
+                    // A response's To is the request To plus our tag,
+                    // which is exactly this side's From value.
+                    let hdr_to = d.hdr_from.clone();
                     let mut ok = SipMessage::response_to(&msg, StatusCode::OK);
-                    if let Some(to) = prev.to_header() {
-                        ok.headers_mut().set("To", to);
-                    }
-                    if let Some(contact) = prev.contact() {
-                        ok.headers_mut().set("Contact", contact);
-                    }
-                    if !prev.body().is_empty() {
-                        ok.set_body(prev.body(), Some("application/sdp"));
+                    ok.headers_mut().set_owned("To", hdr_to);
+                    ok.headers_mut().set_owned("Contact", contact);
+                    if !body.is_empty() {
+                        ok.set_body_string(body, Some("application/sdp"));
                     }
                     self.txn.respond(ctx, &key, ok);
                 } else {
@@ -679,10 +779,7 @@ impl UserAgent {
                         d.pending_invite = Some(msg.clone());
                     }
                     let mut ringing = SipMessage::response_to(&msg, StatusCode::RINGING);
-                    if let Some(mut to) = ringing.to_header() {
-                        to.set_tag(&local_tag);
-                        ringing.headers_mut().set("To", to);
-                    }
+                    set_to_tag(&mut ringing, &local_tag);
                     self.txn.respond(ctx, &key, ringing);
                 }
             } else {
@@ -717,12 +814,25 @@ impl UserAgent {
         let span = ctx.span_enter(SpanCat::Sip, "sip.answer");
         ctx.obs().span_corr(span, &call_id);
         let setup_started_us = ctx.now_us();
+        // Build the ringing response before the INVITE moves into the
+        // dialog — the pending request is stored, never cloned.
+        let mut ringing = SipMessage::response_to(&msg, StatusCode::RINGING);
+        set_to_tag(&mut ringing, &local_tag);
+        let remote_aor = from.uri.aor();
+        let remote_tag = from.tag().map(str::to_owned);
+        let hdr_from = tagged(&self.render_cache(ctx).from_base, &local_tag);
+        let hdr_to = match &remote_tag {
+            Some(t) => tagged(&name_addr_value(&remote_aor), t),
+            None => name_addr_value(&remote_aor),
+        };
         let dialog = Dialog {
             idx,
             call_id: call_id.clone(),
             local_tag,
-            remote_tag: from.tag().map(str::to_owned),
-            remote_aor: from.uri.aor(),
+            remote_tag,
+            hdr_from,
+            hdr_to,
+            remote_aor,
             remote_target,
             local_seq: 0,
             state: DialogState::Early,
@@ -730,7 +840,7 @@ impl UserAgent {
             remote_rtp,
             invite_branch: None,
             invite_key: Some(key.clone()),
-            pending_invite: Some(msg.clone()),
+            pending_invite: Some(msg),
             answer_resp: None,
             duration: None,
             cancelled: false,
@@ -738,21 +848,16 @@ impl UserAgent {
             setup_started_us,
             reinvite_cseq: None,
         };
+        self.dialog_by_idx.insert(idx, call_id.clone());
         self.dialogs.insert(call_id.clone(), dialog);
         self.emit_log(
             ctx,
             CallEvent::IncomingCall {
-                call_id: call_id.clone(),
+                call_id,
                 from: from.uri.aor(),
             },
         );
         // Ring.
-        let mut ringing = SipMessage::response_to(&msg, StatusCode::RINGING);
-        let d = &self.dialogs[&call_id];
-        if let Some(mut to) = ringing.to_header() {
-            to.set_tag(&d.local_tag);
-            ringing.headers_mut().set("To", to);
-        }
         self.txn.respond(ctx, &key, ringing);
         if self.cfg.auto_answer {
             ctx.set_timer(self.cfg.answer_delay, tok(TAG_ANSWER, idx));
@@ -761,30 +866,36 @@ impl UserAgent {
 
     fn answer_call(&mut self, ctx: &mut Ctx<'_>, idx: u64) {
         let Some(call_id) = self
-            .dialogs
-            .values()
-            .find(|d| d.idx == idx && d.state == DialogState::Early && d.role == Role::Callee)
-            .map(|d| d.call_id.clone())
+            .dialog_by_idx
+            .get(&idx)
+            .filter(|id| {
+                self.dialogs
+                    .get(id.as_str())
+                    .is_some_and(|d| d.state == DialogState::Early && d.role == Role::Callee)
+            })
+            .cloned()
         else {
             return;
         };
         let (key, invite, local_tag) = {
-            let d = &self.dialogs[&call_id];
+            let Some(d) = self.dialogs.get_mut(&call_id) else {
+                return;
+            };
             let Some(key) = d.invite_key.clone() else {
                 return;
             };
-            let Some(invite) = d.pending_invite.clone() else {
+            // Borrow the stored INVITE by moving it out for the duration
+            // of the answer build; it is put back below.
+            let Some(invite) = d.pending_invite.take() else {
                 return;
             };
             (key, invite, d.local_tag.clone())
         };
         let mut ok = SipMessage::response_to(&invite, StatusCode::OK);
-        if let Some(mut to) = ok.to_header() {
-            to.set_tag(&local_tag);
-            ok.headers_mut().set("To", to);
-        }
-        ok.headers_mut()
-            .push("Contact", NameAddr::new(self.local_contact(ctx)));
+        set_to_tag(&mut ok, &local_tag);
+        let contact = self.render_cache(ctx).contact.clone();
+        ok.headers_mut().push_owned("Contact", contact.clone());
+        let mut answer_body = String::new();
         if let Ok(offer) = invite.body().parse::<Sdp>() {
             let answer = offer.answer(
                 &self.cfg.aor.user,
@@ -792,17 +903,19 @@ impl UserAgent {
                 SocketAddr::new(ctx.addr(), self.cfg.rtp_port),
             );
             if let Some(a) = answer {
-                ok.set_body(&a.to_string(), Some("application/sdp"));
+                answer_body = self.sdp_body(ctx, &a);
+                ok.set_body_string(answer_body.clone(), Some("application/sdp"));
             }
         }
         if let Some(d) = self.dialogs.get_mut(&call_id) {
-            d.answer_resp = Some(ok.clone());
+            d.pending_invite = Some(invite);
+            d.answer_resp = Some((contact, answer_body));
         }
         self.txn.respond(ctx, &key, ok);
         // Established is logged when the ACK arrives.
     }
 
-    fn on_bye(&mut self, ctx: &mut Ctx<'_>, key: String, msg: SipMessage) {
+    fn on_bye(&mut self, ctx: &mut Ctx<'_>, key: Arc<str>, msg: SipMessage) {
         let resp = SipMessage::response_to(&msg, StatusCode::OK);
         self.txn.respond(ctx, &key, resp);
         if let Some(call_id) = msg.call_id().map(str::to_owned) {
@@ -822,7 +935,7 @@ impl UserAgent {
         }
     }
 
-    fn on_cancel(&mut self, ctx: &mut Ctx<'_>, key: String, msg: SipMessage) {
+    fn on_cancel(&mut self, ctx: &mut Ctx<'_>, key: Arc<str>, msg: SipMessage) {
         let resp = SipMessage::response_to(&msg, StatusCode::OK);
         self.txn.respond(ctx, &key, resp);
         if let Some(call_id) = msg.call_id().map(str::to_owned) {
@@ -842,10 +955,7 @@ impl UserAgent {
                 };
                 if let (Some(ikey), Some(invite)) = (ikey, invite) {
                     let mut resp = SipMessage::response_to(&invite, StatusCode::TERMINATED);
-                    if let Some(mut to) = resp.to_header() {
-                        to.set_tag(&tag);
-                        resp.headers_mut().set("To", to);
-                    }
+                    set_to_tag(&mut resp, &tag);
                     self.txn.respond(ctx, &ikey, resp);
                 }
                 if let Some(d) = self.dialogs.get_mut(&call_id) {
@@ -868,7 +978,7 @@ impl UserAgent {
     // Responses
     // ------------------------------------------------------------------
 
-    fn on_response(&mut self, ctx: &mut Ctx<'_>, branch: String, msg: SipMessage) {
+    fn on_response(&mut self, ctx: &mut Ctx<'_>, branch: Arc<str>, msg: SipMessage) {
         if Some(&branch) == self.register_branch.as_ref() {
             let Some(status) = msg.status() else { return };
             if status.is_success() {
@@ -903,7 +1013,15 @@ impl UserAgent {
                 let was_early = d.state == DialogState::Early;
                 let prev_rtp = d.remote_rtp;
                 d.state = DialogState::Confirmed;
-                d.remote_tag = msg.to_header().and_then(|t| t.tag().map(str::to_owned));
+                let new_tag = msg.to_header().and_then(|t| t.tag().map(str::to_owned));
+                if new_tag != d.remote_tag {
+                    d.remote_tag = new_tag;
+                    let base = name_addr_value(&d.remote_aor);
+                    d.hdr_to = match &d.remote_tag {
+                        Some(t) => tagged(&base, t),
+                        None => base,
+                    };
+                }
                 if let Some(c) = msg.contact() {
                     d.remote_target = Some(c.uri);
                 }
@@ -990,7 +1108,7 @@ impl UserAgent {
         // BYE and other in-dialog responses need no further action.
     }
 
-    fn on_txn_timeout(&mut self, ctx: &mut Ctx<'_>, branch: String, msg: SipMessage) {
+    fn on_txn_timeout(&mut self, ctx: &mut Ctx<'_>, branch: Arc<str>, msg: SipMessage) {
         if Some(&branch) == self.register_branch.as_ref() {
             ctx.span_exit(self.register_span, false);
             self.register_span = SpanId::NONE;
@@ -1089,6 +1207,8 @@ impl Process for UserAgent {
             Some(TxnEvent::Timeout { branch, msg }) => self.on_txn_timeout(ctx, branch, msg),
             None => {}
         }
+        ctx.obs()
+            .gauge_set("sip.txn_active", self.txn.active_count() as f64);
     }
 
     fn on_local_event(&mut self, ctx: &mut Ctx<'_>, ev: &LocalEvent) {
@@ -1127,9 +1247,15 @@ impl Process for UserAgent {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if self.txn.owns_token(token) {
-            if let Some(TxnEvent::Timeout { branch, msg }) = self.txn.on_timer(ctx, token) {
-                self.on_txn_timeout(ctx, branch, msg);
+            // A shared-wheel token can resolve several coalesced
+            // transaction deadlines at once.
+            for ev in self.txn.on_timer(ctx, token) {
+                if let TxnEvent::Timeout { branch, msg } = ev {
+                    self.on_txn_timeout(ctx, branch, msg);
+                }
             }
+            ctx.obs()
+                .gauge_set("sip.txn_active", self.txn.active_count() as f64);
             return;
         }
         let tag = token & 0xff;
@@ -1168,6 +1294,17 @@ impl Process for UserAgent {
                             self.send_cancel(ctx, &id);
                         }
                     }
+                    ActionKind::ReinviteAll => {
+                        let confirmed: Vec<String> = self
+                            .dialogs
+                            .values()
+                            .filter(|d| d.state == DialogState::Confirmed)
+                            .map(|d| d.call_id.clone())
+                            .collect();
+                        for id in confirmed {
+                            self.send_reinvite(ctx, &id);
+                        }
+                    }
                     ActionKind::Unregister => {
                         self.send_register(ctx, 0);
                         self.registered = false;
@@ -1177,10 +1314,14 @@ impl Process for UserAgent {
             TAG_ANSWER => self.answer_call(ctx, idx),
             TAG_BYE => {
                 if let Some(call_id) = self
-                    .dialogs
-                    .values()
-                    .find(|d| d.idx == idx && d.state == DialogState::Confirmed)
-                    .map(|d| d.call_id.clone())
+                    .dialog_by_idx
+                    .get(&idx)
+                    .filter(|id| {
+                        self.dialogs
+                            .get(id.as_str())
+                            .is_some_and(|d| d.state == DialogState::Confirmed)
+                    })
+                    .cloned()
                 {
                     self.send_bye(ctx, &call_id);
                 }

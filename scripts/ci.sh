@@ -15,6 +15,7 @@ cargo test -q
 cargo clippy --all-targets --all-features -- -D warnings \
     -D clippy::redundant_clone \
     -D clippy::inefficient_to_string \
+    -D clippy::string_add \
     -D clippy::unnecessary_to_owned
 # Crash canary for the benchmark harness: smallest workloads, one rep,
 # two concurrent sweep jobs (exercises the multi-seed parallel runner).
@@ -30,5 +31,12 @@ cargo test -q --test determinism_matrix
 # every call survives, break-before-make stays inside the 5 s detection +
 # re-lease budget, and make-before-break (warm standby promotion) keeps
 # the mean handoff ≤ 500 ms.
-cargo build --release -p siphoc-bench --bin exp_handoff
+cargo build --release -p siphoc-bench --bin exp_handoff --bin exp_call_load
 ./target/release/exp_handoff --smoke
+# SIP control-plane capacity canary: smoke ladder rung + registration
+# storm, gated against the tracked baseline (event counts must match
+# exactly — the workload is deterministic — and wall time may regress
+# ≤ 20%). The `-p siphoc-bench` build above matters: a workspace-wide
+# build unifies the obs feature in, and exp_call_load refuses to publish
+# numbers from an instrumented build.
+./target/release/exp_call_load --smoke --check results/BENCH_sip.json

@@ -7,7 +7,7 @@ scripts/ci.sh
 mkdir -p results
 EXPS=(exp_setup_delay exp_lookup exp_overhead exp_registration exp_mobility
       exp_gateway exp_voice_quality exp_ablation_piggyback exp_contention
-      exp_footprint exp_interop exp_call_steps exp_scalability)
+      exp_footprint exp_interop exp_call_steps exp_scalability exp_call_load)
 for exp in "${EXPS[@]}"; do
   if [[ $# -ge 1 && "$exp" != *"$1"* ]]; then continue; fi
   echo "== $exp =="

@@ -165,6 +165,10 @@ fn workflow_jobs_run_the_scripts_they_mirror() {
         "bench job must run the gateway-handoff smoke canary"
     );
     assert!(
+        bench.contains("exp_call_load") && bench.contains("results/BENCH_sip.json"),
+        "bench job must run the SIP call-load regression gate"
+    );
+    assert!(
         bench.contains("--jobs 2"),
         "bench job must exercise the multi-seed parallel runner"
     );
@@ -243,6 +247,58 @@ fn parallel_execution_gates_run_in_both_gates() {
     assert!(
         core.contains("city_"),
         "bench harness must carry the city scenarios"
+    );
+}
+
+/// The SIP call-load canary gates the signaling hot path in both gates:
+/// the local script and the workflow must run `exp_call_load --smoke
+/// --check` against the tracked baseline, and the clippy line must carry
+/// the allocation lints the hot path depends on. Losing any of these
+/// silently lets a signaling perf regression merge.
+#[test]
+fn call_load_canary_gates_signaling_in_both_gates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sh = std::fs::read_to_string(root.join("scripts/ci.sh")).expect("scripts/ci.sh");
+    assert!(
+        sh.contains("exp_call_load --smoke --check results/BENCH_sip.json"),
+        "local gate must run the call-load smoke canary against the baseline"
+    );
+    for lint in ["clippy::inefficient_to_string", "clippy::string_add"] {
+        assert!(
+            sh.contains(lint),
+            "local gate must deny {lint} (signaling hot-path allocation lint)"
+        );
+    }
+    let yml = workflow_text();
+    assert!(
+        yml.contains("exp_call_load --smoke --check results/BENCH_sip.json"),
+        "workflow must run the call-load smoke canary against the baseline"
+    );
+}
+
+#[test]
+fn sip_baseline_is_tracked_and_holds_both_sides_of_the_rewrite() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_sip.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("baseline missing at {path:?} (exp_call_load --out {path:?}): {e}")
+    });
+    // The same fields exp_call_load --check extracts.
+    for needle in ["\"name\":", "\"wall_ms\":", "\"events\":"] {
+        assert!(text.contains(needle), "baseline missing {needle}");
+    }
+    assert!(
+        text.contains("steady_u96_r50") && text.contains("regstorm_u96"),
+        "baseline must hold the smoke scenarios"
+    );
+    // The 2× acceptance evidence: pre-optimization knee preserved next to
+    // the post-optimization one.
+    assert!(
+        text.contains("\"pre_optimization\""),
+        "baseline must keep the pre-optimization snapshot"
+    );
+    assert!(
+        text.matches("\"knee_cps\":").count() >= 2,
+        "baseline must hold pre- and post-optimization knees"
     );
 }
 

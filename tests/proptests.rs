@@ -73,6 +73,25 @@ fn arb_entry() -> impl Strategy<Value = ServiceEntry> {
         })
 }
 
+const ALL_METHODS: [Method; 6] = [
+    Method::Register,
+    Method::Invite,
+    Method::Ack,
+    Method::Bye,
+    Method::Cancel,
+    Method::Options,
+];
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    (0usize..ALL_METHODS.len()).prop_map(|i| ALL_METHODS[i])
+}
+
+/// Printable header values with no leading/trailing whitespace (the
+/// parser trims around the colon) and no CR/LF.
+fn arb_header_value() -> impl Strategy<Value = String> {
+    "[!-~]([ -~]{0,28}[!-~])?"
+}
+
 // ----------------------------------------------------------------------
 // Round-trips
 // ----------------------------------------------------------------------
@@ -132,6 +151,67 @@ proptest! {
         m.headers_mut().push("Call-ID", &call_id);
         m.headers_mut().push("CSeq", format!("{cseq} INVITE"));
         m.set_body(&body, Some("text/plain"));
+        prop_assert_eq!(SipMessage::parse(&m.to_wire()).unwrap(), m);
+    }
+
+    /// Every method, with extension headers exercising the non-interned
+    /// (owned) header-name path alongside the interned well-known set.
+    #[test]
+    fn sip_request_render_parse_round_trip(
+        method in arb_method(),
+        user in "[a-z]{1,8}",
+        host in "[a-z.]{1,12}",
+        call_id in "[a-z0-9-]{1,20}",
+        cseq in 1u32..1_000_000,
+        extras in proptest::collection::vec(
+            ("X-[A-Za-z]{1,10}", arb_header_value()),
+            0..4,
+        ),
+        body in "[ -~&&[^\r\n]]{0,80}",
+    ) {
+        let mut m = SipMessage::request(method, SipUri::new(&user, &host));
+        m.headers_mut().push("Via", "SIP/2.0/UDP 10.0.0.1:5070;branch=z9hG4bKx");
+        m.headers_mut().push("From", format!("<sip:{user}@{host}>;tag=a"));
+        m.headers_mut().push("To", format!("<sip:{user}@{host}>"));
+        m.headers_mut().push("Call-ID", &call_id);
+        m.headers_mut().push("CSeq", format!("{cseq} {}", method.as_str()));
+        for (name, value) in &extras {
+            m.headers_mut().push(name, value);
+        }
+        if !body.is_empty() {
+            m.set_body(&body, Some("application/sdp"));
+        }
+        prop_assert_eq!(SipMessage::parse(&m.to_wire()).unwrap(), m);
+    }
+
+    /// Responses across the full status range (including codes without a
+    /// canonical reason phrase) survive render↔parse byte-exactly.
+    #[test]
+    fn sip_response_render_parse_round_trip(
+        code in 100u16..700,
+        user in "[a-z]{1,8}",
+        host in "[a-z.]{1,12}",
+        call_id in "[a-z0-9-]{1,20}",
+        cseq in 1u32..1_000_000,
+        extras in proptest::collection::vec(
+            ("X-[A-Za-z]{1,10}", arb_header_value()),
+            0..4,
+        ),
+        body in "[ -~&&[^\r\n]]{0,80}",
+    ) {
+        let mut req = SipMessage::request(Method::Invite, SipUri::new(&user, &host));
+        req.headers_mut().push("Via", "SIP/2.0/UDP 10.0.0.1:5070;branch=z9hG4bKx");
+        req.headers_mut().push("From", format!("<sip:{user}@{host}>;tag=a"));
+        req.headers_mut().push("To", format!("<sip:{user}@{host}>"));
+        req.headers_mut().push("Call-ID", &call_id);
+        req.headers_mut().push("CSeq", format!("{cseq} INVITE"));
+        let mut m = SipMessage::response_to(&req, StatusCode(code));
+        for (name, value) in &extras {
+            m.headers_mut().push(name, value);
+        }
+        if !body.is_empty() {
+            m.set_body(&body, Some("application/sdp"));
+        }
         prop_assert_eq!(SipMessage::parse(&m.to_wire()).unwrap(), m);
     }
 
