@@ -196,10 +196,7 @@ fn hub_ua(i: usize, register_expires: SimDuration) -> UaConfig {
 /// the `(offered, sim_total)` pair.
 fn build_population(spec: &LoadSpec) -> (Vec<UaConfig>, usize, SimDuration) {
     let n = spec.users;
-    assert!(
-        n >= 2 && n.is_multiple_of(2),
-        "users must be even and >= 2, got {n}"
-    );
+    assert!(n >= 2 && n % 2 == 0, "users must be even and >= 2, got {n}");
     match spec.scenario {
         LoadScenario::Steady {
             rate_cps,

@@ -122,6 +122,7 @@ impl BaselineCore {
                     origin,
                     seq,
                     lifetime_secs,
+                    auth: None,
                 };
                 self.registry.register_local(entry.clone(), now);
                 let src = SocketAddr::new(Addr::LOOPBACK, ports::SLP);

@@ -14,6 +14,8 @@
 //! changes through the [`INTERNET_UP_EVENT`] / [`INTERNET_DOWN_EVENT`]
 //! node-local events the SIPHoc proxy listens for.
 
+use std::collections::BTreeMap;
+
 use siphoc_simnet::net::{ports, Addr, Datagram, SocketAddr};
 use siphoc_simnet::obs::{SpanCat, SpanId};
 use siphoc_simnet::process::{Ctx, LocalEvent, Process};
@@ -177,6 +179,69 @@ fn rank_cold_contacts(contacts: &mut [ColdContact], mut hops_to: impl FnMut(Addr
     });
 }
 
+/// Per-gateway health book: one struct owning both the handoff
+/// blocklist (the gateway just watched die) and the attestation pins
+/// (trust-on-first-use identity per gateway address). Keeping them
+/// together makes the lifecycle explicit: the *dead* mark is transient —
+/// cleared when the handoff resolves — while a *pin* is permanent, so a
+/// restarted gateway that re-attests under its original key is
+/// re-leasable, and one that comes back under a new key never is.
+#[derive(Debug, Default)]
+pub struct GatewayHealth {
+    /// The gateway most recently declared dead. Its SLP adverts may
+    /// outlive it in neighbor caches for a full lifetime; every candidate
+    /// ranking skips it until the handoff resolves.
+    dead: Option<Addr>,
+    /// Gateway address → pinned advertiser identity (first signed advert
+    /// seen). Defense-in-depth behind the SLP registry's origin pins.
+    pins: BTreeMap<Addr, u64>,
+}
+
+impl GatewayHealth {
+    /// Whether `addr` is the blocklisted dead gateway.
+    pub fn is_dead(&self, addr: Addr) -> bool {
+        self.dead == Some(addr)
+    }
+
+    /// Whether a gateway entry names the blocklisted dead one (by tunnel
+    /// contact or by advertising origin).
+    pub fn entry_dead(&self, e: &ServiceEntry) -> bool {
+        self.is_dead(e.contact.addr) || self.is_dead(e.origin)
+    }
+
+    /// Blocklists `addr` for the duration of the current handoff.
+    pub fn mark_dead(&mut self, addr: Addr) {
+        self.dead = Some(addr);
+    }
+
+    /// Ends the blocklist: the handoff resolved (new lease, or declared
+    /// outage). Pins persist — death is forgiven, key changes are not.
+    pub fn clear_dead(&mut self) {
+        self.dead = None;
+    }
+
+    /// Attests a signed gateway advert: pins the identity on first use;
+    /// a pinned gateway presenting a *different* identity is marked dead
+    /// and refused. Returns whether the gateway may be leased from.
+    pub fn attest(&mut self, addr: Addr, identity: u64) -> bool {
+        match self.pins.get(&addr) {
+            Some(pinned) if *pinned != identity => {
+                self.dead = Some(addr);
+                false
+            }
+            _ => {
+                self.pins.insert(addr, identity);
+                true
+            }
+        }
+    }
+
+    /// The identity pinned for a gateway address, if any.
+    pub fn pinned(&self, addr: Addr) -> Option<u64> {
+        self.pins.get(&addr).copied()
+    }
+}
+
 /// The Connection Provider process.
 #[derive(Debug)]
 pub struct ConnectionProvider {
@@ -209,10 +274,8 @@ pub struct ConnectionProvider {
     /// The public address held when the current handoff began; `Some`
     /// exactly while a handoff is in flight.
     handoff_from: Option<Addr>,
-    /// The gateway most recently declared dead. Its SLP adverts may
-    /// outlive it in neighbor caches for a full lifetime; every candidate
-    /// ranking skips it until a lease from someone else proves recovery.
-    dead_gateway: Option<Addr>,
+    /// Dead-gateway blocklist and attestation pins, one book.
+    gw_health: GatewayHealth,
     /// Earliest time the next exhaustive gateway sweep may run. The
     /// registry only learns what floods past this node; when the warm set
     /// is short, the scan sweeps the network for additional gateways —
@@ -242,7 +305,7 @@ impl ConnectionProvider {
             handoff_span: SpanId::NONE,
             handoff_started_us: 0,
             handoff_from: None,
-            dead_gateway: None,
+            gw_health: GatewayHealth::default(),
             next_sweep_at: SimTime::ZERO,
         }
     }
@@ -252,6 +315,11 @@ impl ConnectionProvider {
     pub fn with_registry(mut self, registry: SharedRegistry) -> ConnectionProvider {
         self.registry = Some(registry);
         self
+    }
+
+    /// The gateway health book (handoff blocklist + attestation pins).
+    pub fn gateway_health(&self) -> &GatewayHealth {
+        &self.gw_health
     }
 
     /// Whether the node currently holds a tunnel lease (or is a gateway).
@@ -327,24 +395,38 @@ impl ConnectionProvider {
     /// Ranked `service:gateway` entries for every live advert the node
     /// knows, best first, excluding `exclude` (the gateway just declared
     /// dead).
-    fn candidate_gateways(&self, ctx: &Ctx<'_>, exclude: Option<Addr>) -> Vec<ServiceEntry> {
-        let Some(reg) = &self.registry else {
+    fn candidate_gateways(&mut self, ctx: &Ctx<'_>, exclude: Option<Addr>) -> Vec<ServiceEntry> {
+        let Some(reg) = self.registry.clone() else {
             return Vec::new();
         };
         let now = ctx.now();
-        let routes = ctx.routes_ref();
-        reg.borrow()
-            .gateway_candidates(now, |a| routes.lookup_specific(a, now).map(|r| r.hops))
-            .into_iter()
-            .filter(|e| {
-                exclude != Some(e.contact.addr) && exclude != Some(e.origin) && !self.is_dead(e)
-            })
-            .collect()
+        let mut entries: Vec<ServiceEntry> = {
+            let routes = ctx.routes_ref();
+            reg.borrow()
+                .gateway_candidates(now, |a| routes.lookup_specific(a, now).map(|r| r.hops))
+        };
+        entries.retain(|e| exclude != Some(e.contact.addr) && exclude != Some(e.origin));
+        let mut kept = Vec::with_capacity(entries.len());
+        for e in entries {
+            if self.admit_gateway(&e) {
+                kept.push(e);
+            }
+        }
+        kept
     }
 
-    /// Whether an offered gateway entry names the blocklisted dead one.
-    fn is_dead(&self, e: &ServiceEntry) -> bool {
-        self.dead_gateway == Some(e.contact.addr) || self.dead_gateway == Some(e.origin)
+    /// Judges one offered gateway entry: signed adverts must pass
+    /// attestation (trust-on-first-use identity pin — a pinned gateway
+    /// that changed keys is marked dead here), and the handoff blocklist
+    /// refuses the gateway just watched die. Unsigned entries skip
+    /// attestation, keeping the legacy path byte-identical.
+    fn admit_gateway(&mut self, e: &ServiceEntry) -> bool {
+        if let Some(identity) = e.advertiser_identity() {
+            if !self.gw_health.attest(e.contact.addr, identity) {
+                return false;
+            }
+        }
+        !self.gw_health.entry_dead(e)
     }
 
     /// Pops the best remaining cold standby contact, dropping entries for
@@ -449,7 +531,7 @@ impl ConnectionProvider {
             {
                 continue;
             }
-            if self.dead_gateway == Some(contact.addr) || self.dead_gateway == Some(origin) {
+            if self.gw_health.is_dead(contact.addr) || self.gw_health.is_dead(origin) {
                 continue;
             }
             self.next_standby_id += 1;
@@ -574,7 +656,7 @@ impl ConnectionProvider {
         ctx.remove_local_addr(public);
         self.handoff_from = Some(public);
         self.ka_gen += 1;
-        self.dead_gateway = Some(gateway.addr);
+        self.gw_health.mark_dead(gateway.addr);
         // First-hand death evidence beats the advert lifetime: drop the
         // dead gateway's cached SLP entries so a fallback lookup floods
         // for survivors instead of hitting the stale cache until expiry.
@@ -665,8 +747,9 @@ impl ConnectionProvider {
         // gateway it just watched die. Once the outage is declared, normal
         // probing resumes — and must be allowed to find that same gateway
         // again after it restarts (its purged adverts can only reappear
-        // through a fresh announcement).
-        self.dead_gateway = None;
+        // through a fresh announcement). Attestation pins persist: the
+        // restarted gateway is re-leasable only under its original key.
+        self.gw_health.clear_dead();
     }
 
     fn on_lease(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, public: Addr, lifetime_secs: u32) {
@@ -686,7 +769,7 @@ impl ConnectionProvider {
                 // A fresh lease from a (different) gateway ends the
                 // blocklist: if the dead one comes back it re-announces
                 // and competes on equal footing again.
-                self.dead_gateway = None;
+                self.gw_health.clear_dead();
                 ctx.span_exit(self.handshake_span, true);
                 self.handshake_span = SpanId::NONE;
                 let took = ctx.now_us().saturating_sub(self.handshake_started_us);
@@ -872,8 +955,10 @@ impl Process for ConnectionProvider {
                         // freshness): lease from the best, keep the rest
                         // as warm standby for handoff. Neighbor caches may
                         // still advertise the blocklisted dead gateway.
-                        let mut entries: Vec<ServiceEntry> = entries;
-                        entries.retain(|e| !self.is_dead(e));
+                        let mut entries: Vec<ServiceEntry> = entries
+                            .into_iter()
+                            .filter(|e| self.admit_gateway(e))
+                            .collect::<Vec<_>>();
                         {
                             let now = ctx.now();
                             let routes = ctx.routes_ref();
@@ -1180,6 +1265,36 @@ mod tests {
         assert_eq!(contacts[0].origin, Addr::manet(2), "nearest first");
         assert_eq!(contacts[1].origin, Addr::manet(1));
         assert_eq!(contacts[2].origin, Addr::manet(3), "unreachable last");
+    }
+
+    #[test]
+    fn gateway_health_pins_on_first_use_and_kills_key_rotation() {
+        let mut h = GatewayHealth::default();
+        let gw = Addr::manet(5);
+        assert!(h.attest(gw, 0xaaaa), "first use pins");
+        assert_eq!(h.pinned(gw), Some(0xaaaa));
+        assert!(h.attest(gw, 0xaaaa), "same key re-attests");
+        assert!(!h.attest(gw, 0xbbbb), "rotated key refused");
+        assert!(h.is_dead(gw), "rotation marks the gateway dead");
+        // The pin survives; the original key alone can clear the way.
+        h.clear_dead();
+        assert!(h.attest(gw, 0xaaaa));
+        assert!(!h.is_dead(gw));
+    }
+
+    #[test]
+    fn gateway_health_death_is_transient_pins_are_not() {
+        let mut h = GatewayHealth::default();
+        let gw = Addr::manet(7);
+        assert!(h.attest(gw, 0x1111));
+        h.mark_dead(gw);
+        assert!(h.is_dead(gw));
+        // Handoff resolved: the restarted-and-reattested gateway is
+        // re-leasable under its original identity.
+        h.clear_dead();
+        assert!(!h.is_dead(gw));
+        assert!(h.attest(gw, 0x1111));
+        assert_eq!(h.pinned(gw), Some(0x1111));
     }
 
     #[test]

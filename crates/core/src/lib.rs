@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod baselines;
 pub mod config;
 pub mod connection;

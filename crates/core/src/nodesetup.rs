@@ -23,10 +23,13 @@ use siphoc_slp::manet::{
     SharedRegistry,
 };
 
+use crate::adversary::{Adversary, AdversaryConfig};
 use crate::connection::{ConnectionProvider, ConnectionProviderConfig};
 use crate::gateway::{GatewayProvider, GatewayProviderConfig};
 use crate::proxy::{SiphocProxy, SiphocProxyConfig};
 use crate::tunnel::{TunnelServer, TunnelServerConfig};
+
+use siphoc_simnet::ident::KeyPair;
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -111,6 +114,17 @@ pub struct NodeSpec {
     /// are allocated through this TURN-style relay instead of being
     /// claimed locally.
     pub gateway_relay: Option<siphoc_simnet::net::SocketAddr>,
+    /// Turns on the PKI-less defense layer: the SLP daemon signs local
+    /// adverts with the node key and verifies + pins at cache insert,
+    /// the proxy challenges REGISTERs, and user agents answer with
+    /// self-certifying credentials. Off by default — insecure nodes take
+    /// byte-identical code paths to the pre-security stack.
+    pub secure: bool,
+    /// Deploys a dormant [`Adversary`] on this node; the fault plan's
+    /// `Compromise` action activates it. Only meaningful on plain MANET
+    /// nodes (a rogue gateway binds the tunnel port a real gateway's
+    /// tunnel server already owns).
+    pub adversary: Option<AdversaryConfig>,
 }
 
 impl NodeSpec {
@@ -128,7 +142,24 @@ impl NodeSpec {
             keepalive: None,
             standby: None,
             gateway_relay: None,
+            secure: false,
+            adversary: None,
         }
+    }
+
+    /// Enables the defense layer (signed + pinned SLP, REGISTER auth).
+    pub fn with_security(mut self) -> NodeSpec {
+        self.secure = true;
+        self
+    }
+
+    /// Arms this node with a dormant adversary (activated by the fault
+    /// plan's `Compromise` action). In secure worlds the attacker signs
+    /// its forgeries with its own node key — the strongest attack the
+    /// Dolev–Yao model allows.
+    pub fn with_adversary(mut self, cfg: AdversaryConfig) -> NodeSpec {
+        self.adversary = Some(cfg);
+        self
     }
 
     /// Overrides the Connection Provider's tunnel keepalive behavior:
@@ -235,9 +266,15 @@ pub fn deploy(world: &mut World, spec: NodeSpec) -> SiphocNode {
     }
     let id = world.add_node(cfg);
     let addr = world.node(id).addr();
+    // The node's self-certifying key: deterministic per address, so a
+    // secure deployment needs no key-distribution step (and no RNG draw).
+    let node_key = spec.secure.then(|| KeyPair::for_addr(addr.0));
 
     // Routing + MANET SLP handler (the libipq capture analogue).
     let registry = shared_registry();
+    if spec.secure {
+        registry.borrow_mut().set_require_signed(true);
+    }
     let handler = Rc::new(RefCell::new(ManetSlpHandler::new(
         registry.clone(),
         spec.routing.dissemination(),
@@ -264,17 +301,16 @@ pub fn deploy(world: &mut World, spec: NodeSpec) -> SiphocNode {
     }
 
     // MANET SLP daemon.
-    world.spawn(
-        id,
-        Box::new(ManetSlpProcess::new(
-            spec.routing.slp_config(),
-            registry.clone(),
-        )),
-    );
+    let mut slp = ManetSlpProcess::new(spec.routing.slp_config(), registry.clone());
+    if let Some(kp) = node_key {
+        slp = slp.with_identity(kp);
+    }
+    world.spawn(id, Box::new(slp));
 
     // SIPHoc proxy.
     let proxy_cfg = SiphocProxyConfig {
         dns: spec.dns.clone(),
+        auth: spec.secure,
         ..SiphocProxyConfig::default()
     };
     world.spawn(id, Box::new(SiphocProxy::new(proxy_cfg)));
@@ -325,10 +361,25 @@ pub fn deploy(world: &mut World, spec: NodeSpec) -> SiphocNode {
         None
     };
 
+    // Adversary (dormant until the fault plan compromises the node).
+    if let Some(mut adv_cfg) = spec.adversary {
+        if spec.secure && adv_cfg.identity.is_none() {
+            adv_cfg.identity = node_key;
+        }
+        world.spawn(
+            id,
+            Box::new(Adversary::new(adv_cfg).with_registry(registry.clone())),
+        );
+    }
+
     // VoIP applications. Their "localhost" outbound proxy is this node's
     // SIPHoc proxy.
     let mut ua_logs = Vec::new();
-    for ua_cfg in spec.users {
+    for mut ua_cfg in spec.users {
+        if spec.secure && ua_cfg.identity.is_none() {
+            // Per-user key so the AOR pin names the user, not the box.
+            ua_cfg.identity = Some(KeyPair::for_name(&ua_cfg.aor.to_string()));
+        }
         let (ua, log) = UserAgent::new(ua_cfg);
         world.spawn(id, Box::new(ua));
         ua_logs.push(log);
@@ -359,6 +410,21 @@ mod tests {
         assert!(names.contains(&"siphoc-proxy"));
         assert!(names.contains(&"connection-provider"));
         assert!(!names.contains(&"tunnel-server"));
+    }
+
+    #[test]
+    fn secure_deploy_arms_defenses_and_adversary_stays_dormant() {
+        let mut w = World::new(WorldConfig::new(73).with_radio(RadioConfig::ideal()));
+        let spec = NodeSpec::relay(0.0, 0.0)
+            .with_security()
+            .with_adversary(AdversaryConfig::default());
+        let n = deploy(&mut w, spec);
+        assert!(n.registry.borrow().require_signed());
+        let names = w.node(n.id).process_names().to_vec();
+        assert!(names.contains(&"adversary"));
+        // Insecure deploys keep the legacy policy.
+        let plain = deploy(&mut w, NodeSpec::relay(10.0, 0.0));
+        assert!(!plain.registry.borrow().require_signed());
     }
 
     #[test]

@@ -33,6 +33,7 @@ use siphoc_simnet::process::{Ctx, LocalEvent, Process};
 use siphoc_simnet::time::{SimDuration, SimTime};
 
 use siphoc_internet::dns::DnsDirectory;
+use siphoc_sip::auth::{self, RegisterAuth, RegisterAuthOutcome};
 use siphoc_sip::msg::{Method, SipMessage, StatusCode};
 use siphoc_sip::proxy::{
     prepare_forward_request, prepare_forward_response, response_target, stateless_response,
@@ -58,6 +59,10 @@ pub struct SiphocProxyConfig {
     pub default_expiry: SimDuration,
     /// Lifetime of the proxy's MANET SLP advertisements.
     pub slp_lifetime: SimDuration,
+    /// Challenge local REGISTERs with self-certifying identity auth
+    /// (401/403, trust-on-first-use AOR pinning). Off by default: the
+    /// legacy wire exchange stays byte-identical.
+    pub auth: bool,
 }
 
 impl Default for SiphocProxyConfig {
@@ -66,6 +71,7 @@ impl Default for SiphocProxyConfig {
             dns: DnsDirectory::new(),
             default_expiry: SimDuration::from_secs(3600),
             slp_lifetime: SimDuration::from_secs(120),
+            auth: false,
         }
     }
 }
@@ -87,6 +93,10 @@ pub struct SiphocProxy {
     pending: BTreeMap<u32, Parked>,
     next_xid: u32,
     internet: Option<Addr>,
+    /// REGISTER challenge/pin state, lazily created on the first local
+    /// REGISTER when `cfg.auth` is on (the nonce salt needs the node
+    /// address, unavailable at construction).
+    reg_auth: Option<RegisterAuth>,
 }
 
 impl std::fmt::Debug for SiphocProxy {
@@ -109,7 +119,13 @@ impl SiphocProxy {
             pending: BTreeMap::new(),
             next_xid: 0,
             internet: None,
+            reg_auth: None,
         }
+    }
+
+    /// The identity pinned for an AOR by REGISTER auth, if any.
+    pub fn pinned_aor_identity(&self, aor: &str) -> Option<u64> {
+        self.reg_auth.as_ref()?.pinned_identity(aor)
     }
 
     /// The local registrations (tests / Fig. 4 style dumps).
@@ -222,6 +238,28 @@ impl SiphocProxy {
     // ------------------------------------------------------------------
 
     fn on_local_register(&mut self, ctx: &mut Ctx<'_>, msg: SipMessage) {
+        if self.cfg.auth {
+            let salt = u64::from(ctx.addr().0);
+            let guard = self.reg_auth.get_or_insert_with(|| RegisterAuth::new(salt));
+            match guard.check(&msg) {
+                RegisterAuthOutcome::Accept { .. } => {}
+                RegisterAuthOutcome::Challenge { nonce } => {
+                    ctx.stats().count("proxy.auth_challenge", 1);
+                    let mut resp = stateless_response(&msg, StatusCode::UNAUTHORIZED, ctx);
+                    resp.headers_mut()
+                        .push(auth::WWW_AUTHENTICATE, auth::Challenge { nonce });
+                    if let Some(target) = response_target(&msg) {
+                        self.transmit(ctx, &resp, target);
+                    }
+                    return;
+                }
+                RegisterAuthOutcome::Reject => {
+                    ctx.stats().count("proxy.auth_reject", 1);
+                    self.respond(ctx, &msg, StatusCode::FORBIDDEN);
+                    return;
+                }
+            }
+        }
         let now = ctx.now();
         let resp = self
             .local

@@ -116,6 +116,53 @@ impl PacketFault {
     }
 }
 
+/// Discriminator of the [`crate::process::LocalEvent::Custom`] signal a
+/// node receives when a scheduled [`FaultAction::Compromise`] fires. The
+/// event's `data` is one byte: the [`MaliciousKind`] as `u8`.
+pub const COMPROMISE_EVENT: &str = "fault.compromise";
+
+/// What a compromised node starts doing — the *malicious* fault family.
+///
+/// Unlike the benign faults above, these do not change world state
+/// directly: the world counts the activation (`fault.compromise`) and
+/// delivers a [`COMPROMISE_EVENT`] local event to the node, and it is the
+/// node's (pre-deployed, dormant) adversary processes that act on it.
+/// The attacker implementations live in `siphoc-core`'s `adversary`
+/// module, next to the wire formats they abuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaliciousKind {
+    /// Advertise `service:gateway`, hand out bogus leases and blackhole
+    /// (while snooping) every tunneled datagram.
+    RogueGateway,
+    /// Spoof REGISTERs for a victim AOR and advertise the hijacked
+    /// binding so calls route to the attacker.
+    AorHijack,
+    /// Flood forged SLP adverts (forged origin, inflated sequence
+    /// numbers) to poison every on-demand cache in radio range.
+    ForgedAdverts,
+}
+
+impl MaliciousKind {
+    /// Wire byte carried in the [`COMPROMISE_EVENT`] payload.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            MaliciousKind::RogueGateway => 1,
+            MaliciousKind::AorHijack => 2,
+            MaliciousKind::ForgedAdverts => 3,
+        }
+    }
+
+    /// Decodes the [`COMPROMISE_EVENT`] payload byte.
+    pub fn from_byte(b: u8) -> Option<MaliciousKind> {
+        match b {
+            1 => Some(MaliciousKind::RogueGateway),
+            2 => Some(MaliciousKind::AorHijack),
+            3 => Some(MaliciousKind::ForgedAdverts),
+            _ => None,
+        }
+    }
+}
+
 /// One scheduled topology fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultAction {
@@ -137,6 +184,10 @@ pub enum FaultAction {
     ),
     /// Remove the partition and every explicit link cut.
     Heal,
+    /// Turn a node malicious: counted under `fault.compromise` and
+    /// delivered to the node's processes as a [`COMPROMISE_EVENT`] local
+    /// event carrying the [`MaliciousKind`] byte.
+    Compromise(NodeId, MaliciousKind),
 }
 
 /// A deterministic schedule of fault events plus per-link packet faults.
@@ -191,6 +242,11 @@ impl FaultPlan {
     /// Schedules the heal of all partitions and link cuts.
     pub fn heal_at(self, time: SimTime) -> FaultPlan {
         self.at(time, FaultAction::Heal)
+    }
+
+    /// Schedules a node compromise of the given malicious kind.
+    pub fn compromise_at(self, time: SimTime, node: NodeId, kind: MaliciousKind) -> FaultPlan {
+        self.at(time, FaultAction::Compromise(node, kind))
     }
 
     /// Adds a probabilistic per-link packet fault.
@@ -369,6 +425,36 @@ mod tests {
         let mut empty: Vec<u8> = Vec::new();
         corrupt_payload(&mut empty, &mut rng);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn malicious_kind_byte_round_trips() {
+        for kind in [
+            MaliciousKind::RogueGateway,
+            MaliciousKind::AorHijack,
+            MaliciousKind::ForgedAdverts,
+        ] {
+            assert_eq!(MaliciousKind::from_byte(kind.to_byte()), Some(kind));
+        }
+        assert_eq!(MaliciousKind::from_byte(0), None);
+        assert_eq!(MaliciousKind::from_byte(99), None);
+    }
+
+    #[test]
+    fn compromise_schedules_like_any_fault() {
+        let plan = FaultPlan::new().compromise_at(
+            SimTime::from_secs(9),
+            NodeId(2),
+            MaliciousKind::RogueGateway,
+        );
+        assert_eq!(plan.events().len(), 1);
+        assert!(matches!(
+            plan.events()[0],
+            (
+                t,
+                FaultAction::Compromise(NodeId(2), MaliciousKind::RogueGateway)
+            ) if t == SimTime::from_secs(9)
+        ));
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub(crate) mod exec;
 pub mod fasthash;
 pub mod fault;
 pub mod grid;
+pub mod ident;
 pub mod mobility;
 pub mod net;
 pub mod node;
@@ -70,7 +71,9 @@ pub mod world;
 
 /// Convenient glob import of the types nearly every user needs.
 pub mod prelude {
-    pub use crate::fault::{FaultAction, FaultPlan, LinkSelector, PacketFault, PacketFaultKind};
+    pub use crate::fault::{
+        FaultAction, FaultPlan, LinkSelector, MaliciousKind, PacketFault, PacketFaultKind,
+    };
     pub use crate::mobility::{Area, Mobility, WaypointParams};
     pub use crate::net::{ports, Addr, Datagram, L2Dst, SocketAddr};
     pub use crate::node::{NodeConfig, NodeId};

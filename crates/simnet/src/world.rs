@@ -483,6 +483,22 @@ impl World {
                 }
                 self.link_cuts.clear();
             }
+            FaultAction::Compromise(n, kind) => {
+                // The world only flags the node; its (pre-deployed,
+                // dormant) adversary processes act on the event.
+                self.node_mut(n).stats.count("fault.compromise", 0);
+                self.schedule(
+                    SimDuration::ZERO,
+                    Event::Local {
+                        node: n,
+                        exclude: None,
+                        ev: LocalEvent::Custom {
+                            kind: crate::fault::COMPROMISE_EVENT,
+                            data: vec![kind.to_byte()],
+                        },
+                    },
+                );
+            }
         }
     }
 

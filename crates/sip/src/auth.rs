@@ -1,0 +1,443 @@
+//! Challenge-based REGISTER authentication without a PKI.
+//!
+//! SIPHoc's registrar runs inside an ad hoc network with no certificate
+//! authority in reach, so classic Digest-with-shared-secret or TLS-with-CA
+//! schemes are off the table. Instead each node carries a *self-certifying
+//! identity* ([`siphoc_simnet::ident`]): its identity is the hash of its
+//! public key, so whoever presented a key once is the only principal who
+//! can ever speak for that identity again. The registrar challenges a
+//! REGISTER with a nonce, the UA signs `(nonce, aor, contact)` with its
+//! key, and the registrar pins the first identity seen per AOR —
+//! trust-on-first-use, exactly like the SLP advert pins.
+//!
+//! Wire format (one header line each, whitespace-delimited hex fields):
+//!
+//! ```text
+//! WWW-Authenticate: ID nonce=00000000deadbeef
+//! Authorization: ID pk=0123456789abcdef nonce=00000000deadbeef sig=fedcba9876543210
+//! ```
+//!
+//! The scheme token `ID` marks this as the identity scheme (vs RFC 2617
+//! `Digest`). Everything is deterministic: nonces are derived by the
+//! registrar from its own address and a counter, never from an RNG, so
+//! enabling auth perturbs no random stream in the simulation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+use siphoc_simnet::ident::{self, KeyPair};
+
+use crate::msg::SipMessage;
+
+/// Header carrying the registrar's challenge on a 401 response.
+pub const WWW_AUTHENTICATE: &str = "WWW-Authenticate";
+
+/// Header carrying the UA's signed credential on a retried REGISTER.
+pub const AUTHORIZATION: &str = "Authorization";
+
+/// Scheme token distinguishing self-certifying identity auth.
+pub const SCHEME: &str = "ID";
+
+/// A registrar challenge: sign this nonce to prove key possession.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Challenge {
+    /// Single-use value bound into the credential signature.
+    pub nonce: u64,
+}
+
+impl fmt::Display for Challenge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{SCHEME} nonce={:016x}", self.nonce)
+    }
+}
+
+impl FromStr for Challenge {
+    type Err = ParseAuthError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix(SCHEME)
+            .ok_or(ParseAuthError("unknown auth scheme"))?;
+        let nonce = parse_field(rest.trim(), "nonce")?;
+        Ok(Challenge { nonce })
+    }
+}
+
+/// A UA's answer to a [`Challenge`]: public key, echoed nonce, and a
+/// signature over `(nonce, aor, contact)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Credential {
+    /// The registrant's public key.
+    pub pk: u64,
+    /// The challenge nonce being answered.
+    pub nonce: u64,
+    /// Signature over [`signing_bytes`].
+    pub sig: u64,
+}
+
+impl Credential {
+    /// Signs a challenge for the given AOR binding.
+    pub fn answer(kp: &KeyPair, nonce: u64, aor: &str, contact: &str) -> Credential {
+        Credential {
+            pk: kp.public(),
+            nonce,
+            sig: kp.sign(&signing_bytes(nonce, aor, contact)),
+        }
+    }
+
+    /// Verifies the signature against the binding it claims to cover.
+    /// A `true` result proves possession of the key behind `pk`; the
+    /// caller still decides whether that identity may own the AOR.
+    pub fn verify(&self, aor: &str, contact: &str) -> bool {
+        ident::verify(self.pk, &signing_bytes(self.nonce, aor, contact), self.sig)
+    }
+
+    /// The self-certifying identity of the signer (hash of `pk`).
+    pub fn identity(&self) -> u64 {
+        ident::identity_of(self.pk)
+    }
+}
+
+impl fmt::Display for Credential {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{SCHEME} pk={:016x} nonce={:016x} sig={:016x}",
+            self.pk, self.nonce, self.sig
+        )
+    }
+}
+
+impl FromStr for Credential {
+    type Err = ParseAuthError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix(SCHEME)
+            .ok_or(ParseAuthError("unknown auth scheme"))?;
+        let mut it = rest.split_whitespace();
+        let pk = parse_field(it.next().unwrap_or(""), "pk")?;
+        let nonce = parse_field(it.next().unwrap_or(""), "nonce")?;
+        let sig = parse_field(it.next().unwrap_or(""), "sig")?;
+        if it.next().is_some() {
+            return Err(ParseAuthError("trailing credential fields"));
+        }
+        Ok(Credential { pk, nonce, sig })
+    }
+}
+
+/// The exact bytes a REGISTER credential signs. Binding the contact (not
+/// just the nonce) means a snooped credential cannot be replayed to point
+/// the AOR at an attacker's address even within the nonce window.
+pub fn signing_bytes(nonce: u64, aor: &str, contact: &str) -> Vec<u8> {
+    format!("REGISTER {nonce:016x} {aor} {contact}").into_bytes()
+}
+
+/// Derives a deterministic challenge nonce. Mixing the registrar address,
+/// AOR and a per-registrar counter gives per-challenge-unique values
+/// without touching any simulation RNG stream (auth on/off must not
+/// perturb random draws anywhere else).
+pub fn derive_nonce(registrar_salt: u64, aor: &str, counter: u64) -> u64 {
+    ident::h64(format!("nonce {registrar_salt:016x} {counter} {aor}").as_bytes())
+}
+
+fn parse_field(token: &str, name: &'static str) -> Result<u64, ParseAuthError> {
+    let val = token
+        .strip_prefix(name)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or(ParseAuthError("missing auth field"))?;
+    u64::from_str_radix(val, 16).map_err(|_| ParseAuthError("bad auth field value"))
+}
+
+/// What the registrar should do with a REGISTER under identity auth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterAuthOutcome {
+    /// Credential verified and the AOR pin matches (or was just
+    /// recorded): bind the contact.
+    Accept {
+        /// The registrant's self-certifying identity.
+        identity: u64,
+    },
+    /// No (or stale-nonce) credential: answer 401 with this nonce in a
+    /// `WWW-Authenticate: ID` challenge.
+    Challenge {
+        /// Nonce to embed in the challenge.
+        nonce: u64,
+    },
+    /// Bad signature or an identity that contradicts the AOR's pin:
+    /// answer 403 and bind nothing.
+    Reject,
+}
+
+/// Registrar-side REGISTER authentication state: issued nonces and
+/// trust-on-first-use AOR→identity pins.
+///
+/// The first identity that successfully authenticates for an AOR owns it
+/// for the registrar's lifetime; a later REGISTER for the same AOR under
+/// a different key is rejected even with a valid signature. This is the
+/// same TOFU policy the SLP cache applies to advert origins.
+#[derive(Debug, Clone)]
+pub struct RegisterAuth {
+    salt: u64,
+    counter: u64,
+    /// AOR → last nonce issued to it (credentials must echo it).
+    nonces: BTreeMap<String, u64>,
+    /// AOR → pinned identity.
+    pins: BTreeMap<String, u64>,
+}
+
+impl RegisterAuth {
+    /// Creates the guard. `salt` (typically the registrar's address
+    /// bits) makes nonces registrar-unique without consuming RNG.
+    pub fn new(salt: u64) -> RegisterAuth {
+        RegisterAuth {
+            salt,
+            counter: 0,
+            nonces: BTreeMap::new(),
+            pins: BTreeMap::new(),
+        }
+    }
+
+    /// The identity pinned for `aor`, if any has authenticated yet.
+    pub fn pinned_identity(&self, aor: &str) -> Option<u64> {
+        self.pins.get(aor).copied()
+    }
+
+    /// Judges a REGISTER request. Mutates challenge/pin state, so call
+    /// exactly once per incoming REGISTER.
+    pub fn check(&mut self, req: &SipMessage) -> RegisterAuthOutcome {
+        let aor = match req.to_header() {
+            Some(to) => to.uri.aor().to_string(),
+            None => return RegisterAuthOutcome::Reject,
+        };
+        let Some(contact) = req.headers().get("Contact") else {
+            return RegisterAuthOutcome::Reject;
+        };
+        let cred = req
+            .headers()
+            .get(AUTHORIZATION)
+            .and_then(|v| v.parse::<Credential>().ok());
+        let Some(cred) = cred else {
+            return RegisterAuthOutcome::Challenge {
+                nonce: self.issue_nonce(&aor),
+            };
+        };
+        // A credential must echo the nonce this registrar last issued
+        // for the AOR; anything else (stale refresh after a registrar
+        // restart, replayed sniffed header) gets a fresh challenge.
+        if self.nonces.get(&aor) != Some(&cred.nonce) {
+            return RegisterAuthOutcome::Challenge {
+                nonce: self.issue_nonce(&aor),
+            };
+        }
+        if !cred.verify(&aor, contact) {
+            return RegisterAuthOutcome::Reject;
+        }
+        let identity = cred.identity();
+        match self.pins.get(&aor) {
+            Some(pinned) if *pinned != identity => RegisterAuthOutcome::Reject,
+            _ => {
+                self.pins.insert(aor, identity);
+                RegisterAuthOutcome::Accept { identity }
+            }
+        }
+    }
+
+    fn issue_nonce(&mut self, aor: &str) -> u64 {
+        let nonce = derive_nonce(self.salt, aor, self.counter);
+        self.counter += 1;
+        self.nonces.insert(aor.to_owned(), nonce);
+        nonce
+    }
+}
+
+/// Error for malformed auth header values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseAuthError(&'static str);
+
+impl fmt::Display for ParseAuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid auth header: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAuthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn challenge_round_trips() {
+        let c = Challenge {
+            nonce: 0xdead_beef_0042_1234,
+        };
+        let shown = c.to_string();
+        assert_eq!(shown, "ID nonce=deadbeef00421234");
+        assert_eq!(shown.parse::<Challenge>().unwrap(), c);
+    }
+
+    #[test]
+    fn credential_round_trips_and_verifies() {
+        let kp = KeyPair::from_secret(77);
+        let cred = Credential::answer(&kp, 42, "sip:alice@voicehoc.ch", "<sip:alice@10.0.0.1>");
+        let shown = cred.to_string();
+        let parsed: Credential = shown.parse().unwrap();
+        assert_eq!(parsed, cred);
+        assert!(parsed.verify("sip:alice@voicehoc.ch", "<sip:alice@10.0.0.1>"));
+        assert_eq!(parsed.identity(), kp.identity());
+    }
+
+    #[test]
+    fn credential_binds_aor_and_contact() {
+        let kp = KeyPair::from_secret(77);
+        let cred = Credential::answer(&kp, 42, "sip:alice@voicehoc.ch", "<sip:alice@10.0.0.1>");
+        // Replaying against a different AOR or contact fails.
+        assert!(!cred.verify("sip:bob@voicehoc.ch", "<sip:alice@10.0.0.1>"));
+        assert!(!cred.verify("sip:alice@voicehoc.ch", "<sip:mallory@10.9.9.9>"));
+        // Wrong nonce fails too.
+        let stale = Credential { nonce: 43, ..cred };
+        assert!(!stale.verify("sip:alice@voicehoc.ch", "<sip:alice@10.0.0.1>"));
+    }
+
+    #[test]
+    fn malformed_headers_rejected() {
+        for bad in [
+            "Digest nonce=00",
+            "ID",
+            "ID nonce=xyz",
+            "ID pk=11 nonce=22",                 // credential missing sig
+            "ID pk=11 nonce=22 sig=33 extra=44", // trailing field
+            "ID sig=33 nonce=22 pk=11",          // wrong field order
+        ] {
+            assert!(
+                bad.parse::<Credential>().is_err(),
+                "accepted credential {bad:?}"
+            );
+        }
+        assert!("ID nonce=".parse::<Challenge>().is_err());
+        assert!("ID nonce=00421234 junk".parse::<Challenge>().is_err());
+    }
+
+    fn register_req(aor: &str, contact: &str, auth_hdr: Option<String>) -> SipMessage {
+        use crate::msg::{Headers, Method};
+        let uri = format!("sip:{}", aor.split('@').nth(1).unwrap())
+            .parse()
+            .unwrap();
+        let mut m = SipMessage::request(Method::Register, uri);
+        let h: &mut Headers = m.headers_mut();
+        h.push("Via", "SIP/2.0/UDP 10.0.0.1:5070;branch=z9hG4bKa");
+        h.push("From", format!("<sip:{aor}>;tag=t1"));
+        h.push("To", format!("<sip:{aor}>"));
+        h.push("Call-ID", "reg-1");
+        h.push("CSeq", "1 REGISTER");
+        h.push("Contact", contact.to_owned());
+        if let Some(a) = auth_hdr {
+            h.push(AUTHORIZATION, a);
+        }
+        m
+    }
+
+    #[test]
+    fn register_auth_challenge_then_accept_pins_identity() {
+        let mut guard = RegisterAuth::new(7);
+        let aor = "alice@voicehoc.ch";
+        let contact = "<sip:alice@10.0.0.1:5070>";
+        let RegisterAuthOutcome::Challenge { nonce } =
+            guard.check(&register_req(aor, contact, None))
+        else {
+            panic!("expected challenge");
+        };
+        let kp = KeyPair::from_secret(5);
+        let cred = Credential::answer(&kp, nonce, aor, contact);
+        let out = guard.check(&register_req(aor, contact, Some(cred.to_string())));
+        assert_eq!(
+            out,
+            RegisterAuthOutcome::Accept {
+                identity: kp.identity()
+            }
+        );
+        assert_eq!(guard.pinned_identity(aor), Some(kp.identity()));
+    }
+
+    #[test]
+    fn register_auth_rejects_hijack_under_pinned_aor() {
+        let mut guard = RegisterAuth::new(7);
+        let aor = "alice@voicehoc.ch";
+        let contact = "<sip:alice@10.0.0.1:5070>";
+        let victim = KeyPair::from_secret(5);
+        let RegisterAuthOutcome::Challenge { nonce } =
+            guard.check(&register_req(aor, contact, None))
+        else {
+            panic!("expected challenge");
+        };
+        let cred = Credential::answer(&victim, nonce, aor, contact);
+        guard.check(&register_req(aor, contact, Some(cred.to_string())));
+
+        // Attacker with a *valid* key of their own tries to re-bind the
+        // AOR to their address. The signature verifies, the pin doesn't.
+        let mallory = KeyPair::from_secret(6);
+        let evil_contact = "<sip:alice@10.9.9.9:5070>";
+        let RegisterAuthOutcome::Challenge { nonce: n2 } =
+            guard.check(&register_req(aor, evil_contact, None))
+        else {
+            panic!("expected challenge");
+        };
+        let evil = Credential::answer(&mallory, n2, aor, evil_contact);
+        assert_eq!(
+            guard.check(&register_req(aor, evil_contact, Some(evil.to_string()))),
+            RegisterAuthOutcome::Reject
+        );
+        // The rightful owner still refreshes fine under a new nonce.
+        let RegisterAuthOutcome::Challenge { nonce: n3 } =
+            guard.check(&register_req(aor, contact, None))
+        else {
+            panic!("expected challenge");
+        };
+        let refresh = Credential::answer(&victim, n3, aor, contact);
+        assert!(matches!(
+            guard.check(&register_req(aor, contact, Some(refresh.to_string()))),
+            RegisterAuthOutcome::Accept { .. }
+        ));
+    }
+
+    #[test]
+    fn register_auth_rechallenges_stale_nonce_and_rejects_forgery() {
+        let mut guard = RegisterAuth::new(7);
+        let aor = "alice@voicehoc.ch";
+        let contact = "<sip:alice@10.0.0.1:5070>";
+        let kp = KeyPair::from_secret(5);
+        // Credential with a nonce the registrar never issued: re-challenge.
+        let stale = Credential::answer(&kp, 0xbad, aor, contact);
+        assert!(matches!(
+            guard.check(&register_req(aor, contact, Some(stale.to_string()))),
+            RegisterAuthOutcome::Challenge { .. }
+        ));
+        // Correct nonce, garbage signature: hard reject.
+        let RegisterAuthOutcome::Challenge { nonce } =
+            guard.check(&register_req(aor, contact, None))
+        else {
+            panic!("expected challenge");
+        };
+        let forged = Credential {
+            pk: KeyPair::from_secret(6).public(),
+            nonce,
+            sig: 0x1234,
+        };
+        assert_eq!(
+            guard.check(&register_req(aor, contact, Some(forged.to_string()))),
+            RegisterAuthOutcome::Reject
+        );
+    }
+
+    #[test]
+    fn nonces_differ_by_counter_and_aor() {
+        let a = derive_nonce(9, "sip:alice@x", 0);
+        let b = derive_nonce(9, "sip:alice@x", 1);
+        let c = derive_nonce(9, "sip:bob@x", 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_nonce(9, "sip:alice@x", 0));
+    }
+}

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod headers;
 pub mod msg;
 pub mod proxy;

@@ -78,6 +78,10 @@ impl StatusCode {
     pub const RINGING: StatusCode = StatusCode(180);
     /// 200 OK.
     pub const OK: StatusCode = StatusCode(200);
+    /// 401 Unauthorized.
+    pub const UNAUTHORIZED: StatusCode = StatusCode(401);
+    /// 403 Forbidden.
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
     /// 404 Not Found.
     pub const NOT_FOUND: StatusCode = StatusCode(404);
     /// 408 Request Timeout.
@@ -99,6 +103,8 @@ impl StatusCode {
             100 => "Trying",
             180 => "Ringing",
             200 => "OK",
+            401 => "Unauthorized",
+            403 => "Forbidden",
             404 => "Not Found",
             408 => "Request Timeout",
             480 => "Temporarily Unavailable",

@@ -26,6 +26,9 @@ use siphoc_simnet::time::{SimDuration, SimTime};
 
 use std::sync::Arc;
 
+use siphoc_simnet::ident::KeyPair;
+
+use crate::auth;
 use crate::headers::{CSeq, NameAddr};
 use crate::msg::{Method, SipMessage, StatusCode};
 use crate::sdp::Sdp;
@@ -75,6 +78,10 @@ pub struct UaConfig {
     /// process on the node, so signaling-only deployments (no media
     /// plane listening) can turn this off; call-load benches do.
     pub media_events: bool,
+    /// Self-certifying identity used to answer registrar REGISTER
+    /// challenges (`None` = legacy unauthenticated registration; the UA
+    /// then treats a 401 as a registration failure).
+    pub identity: Option<KeyPair>,
 }
 
 impl UaConfig {
@@ -92,7 +99,15 @@ impl UaConfig {
             script: Vec::new(),
             txn: TxnConfig::default(),
             media_events: true,
+            identity: None,
         }
+    }
+
+    /// Equips the UA with a signing identity for challenge-based
+    /// REGISTER authentication.
+    pub fn with_identity(mut self, kp: KeyPair) -> UaConfig {
+        self.identity = Some(kp);
+        self
     }
 
     /// Adds a scripted call.
@@ -342,6 +357,14 @@ pub struct UserAgent {
     register_cseq: u32,
     registered: bool,
     register_span: SpanId,
+    /// Nonce from the registrar's last 401 challenge; included (signed)
+    /// in every subsequent REGISTER until the registrar rotates it.
+    auth_nonce: Option<u64>,
+    /// `true` while a challenged REGISTER retry is in flight — a second
+    /// 401 then fails registration instead of looping.
+    auth_inflight: bool,
+    /// Expires value of the last REGISTER, replayed on the auth retry.
+    last_expires: u32,
     /// Last public address announced via `INTERNET_UP_EVENT`; a *change*
     /// (gateway handoff renumbered the node) re-INVITEs Internet calls.
     last_public: Option<String>,
@@ -374,6 +397,9 @@ impl UserAgent {
                 register_cseq: 0,
                 registered: false,
                 register_span: SpanId::NONE,
+                auth_nonce: None,
+                auth_inflight: false,
+                last_expires: 0,
                 last_public: None,
             },
             log,
@@ -458,9 +484,18 @@ impl UserAgent {
         );
         m.headers_mut()
             .push("CSeq", CSeq::new(self.register_cseq, "REGISTER"));
-        m.headers_mut()
-            .push("Contact", NameAddr::new(self.local_contact(ctx)));
+        let contact_value = NameAddr::new(self.local_contact(ctx)).to_string();
+        m.headers_mut().push_owned("Contact", contact_value.clone());
         m.headers_mut().push("Expires", expires);
+        self.last_expires = expires;
+        // Answer the registrar's outstanding challenge, if any. The
+        // credential signs (nonce, aor, contact) so a snooped value
+        // cannot re-bind the AOR elsewhere.
+        if let (Some(kp), Some(nonce)) = (&self.cfg.identity, self.auth_nonce) {
+            let aor_s = self.cfg.aor.to_string();
+            let cred = auth::Credential::answer(kp, nonce, &aor_s, &contact_value);
+            m.headers_mut().push(auth::AUTHORIZATION, cred);
+        }
         ctx.span_exit(self.register_span, true);
         self.register_span = ctx.span_enter(SpanCat::Sip, "sip.register");
         ctx.obs().span_corr(
@@ -981,7 +1016,25 @@ impl UserAgent {
     fn on_response(&mut self, ctx: &mut Ctx<'_>, branch: Arc<str>, msg: SipMessage) {
         if Some(&branch) == self.register_branch.as_ref() {
             let Some(status) = msg.status() else { return };
+            if status == StatusCode::UNAUTHORIZED && self.cfg.identity.is_some() {
+                // Challenged: retry once per challenge with a signed
+                // credential. A second 401 on the retry is a real
+                // failure (wrong key, hijacked pin) — do not loop.
+                let challenge = msg
+                    .headers()
+                    .get(auth::WWW_AUTHENTICATE)
+                    .and_then(|v| v.parse::<auth::Challenge>().ok());
+                if let Some(ch) = challenge.filter(|_| !self.auth_inflight) {
+                    self.auth_nonce = Some(ch.nonce);
+                    self.auth_inflight = true;
+                    ctx.stats().count("ua.auth_challenged", 1);
+                    let expires = self.last_expires;
+                    self.send_register(ctx, expires);
+                    return;
+                }
+            }
             if status.is_success() {
+                self.auth_inflight = false;
                 ctx.span_exit(self.register_span, true);
                 self.register_span = SpanId::NONE;
                 if !self.registered {
@@ -989,6 +1042,7 @@ impl UserAgent {
                     self.emit_log(ctx, CallEvent::Registered);
                 }
             } else if status.is_final() {
+                self.auth_inflight = false;
                 ctx.span_exit(self.register_span, false);
                 self.register_span = SpanId::NONE;
                 self.emit_log(ctx, CallEvent::RegisterFailed);

@@ -29,8 +29,10 @@ use siphoc_simnet::time::{SimDuration, SimTime};
 
 use siphoc_routing::handler::{MsgKind, RoutingHandler, FLOOD_QUERY_EVENT, HANDLER_UPDATED_EVENT};
 
+use siphoc_simnet::ident::KeyPair;
+
 use crate::msg::SlpMsg;
-use crate::registry::SlpRegistry;
+use crate::registry::{Absorb, SlpRegistry};
 use crate::service::{ServiceEntry, ServiceQuery, SlpRecord};
 
 /// How registrations spread through the network.
@@ -198,11 +200,16 @@ impl RoutingHandler for ManetSlpHandler {
         let mut changed = false;
         for raw in entries {
             match SlpRecord::parse(raw) {
-                Ok(SlpRecord::Reg(e)) => {
-                    if self.registry.borrow_mut().absorb(e, now) {
-                        changed = true;
+                Ok(SlpRecord::Reg(e)) => match self.registry.borrow_mut().absorb_checked(e, now) {
+                    Absorb::Fresh => changed = true,
+                    Absorb::Stale => {}
+                    Absorb::Unsigned | Absorb::BadSig => {
+                        ctx.stats().count("slp.auth_reject", raw.len());
                     }
-                }
+                    Absorb::PinMismatch => {
+                        ctx.stats().count("slp.auth_pin_reject", raw.len());
+                    }
+                },
                 Ok(SlpRecord::Query(q)) => {
                     if kind == MsgKind::AodvRreq {
                         for m in self.registry.borrow().matching(&q, now) {
@@ -251,6 +258,10 @@ pub struct ManetSlpProcess {
     registry: SharedRegistry,
     pending: Vec<PendingQuery>,
     next_qid: u64,
+    /// When set, every local registration is signed with this key at
+    /// creation time (the daemon is the single choke point where entries
+    /// are born, so proxy and gateway adverts both come out signed).
+    identity: Option<KeyPair>,
 }
 
 impl std::fmt::Debug for ManetSlpProcess {
@@ -269,7 +280,15 @@ impl ManetSlpProcess {
             registry,
             pending: Vec::new(),
             next_qid: 0,
+            identity: None,
         }
+    }
+
+    /// Signs all local registrations with `kp` (the node's identity key).
+    #[must_use]
+    pub fn with_identity(mut self, kp: KeyPair) -> ManetSlpProcess {
+        self.identity = Some(kp);
+        self
     }
 
     fn reply(&self, ctx: &mut Ctx<'_>, to: SocketAddr, xid: u32, entries: Vec<ServiceEntry>) {
@@ -452,6 +471,11 @@ impl Process for ManetSlpProcess {
                     origin,
                     seq,
                     lifetime_secs,
+                    auth: None,
+                };
+                let entry = match &self.identity {
+                    Some(kp) => entry.signed(kp),
+                    None => entry,
                 };
                 reg.register_local(entry, now);
                 drop(reg);

@@ -19,12 +19,49 @@ struct Stored {
     local: bool,
 }
 
+/// Outcome of [`SlpRegistry::absorb_checked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Absorb {
+    /// New or fresher than stored — worth re-gossiping.
+    Fresh,
+    /// Already known (possibly with its expiry extended) or stale.
+    Stale,
+    /// Rejected: the auth policy requires signed adverts and this one
+    /// carries no auth tail.
+    Unsigned,
+    /// Rejected: the signature does not verify over the entry's fields.
+    BadSig,
+    /// Rejected: validly signed, but under a different identity than the
+    /// one pinned on first use for this AOR or origin.
+    PinMismatch,
+}
+
+impl Absorb {
+    /// Whether the entry was rejected by the auth policy.
+    pub fn rejected(self) -> bool {
+        matches!(
+            self,
+            Absorb::Unsigned | Absorb::BadSig | Absorb::PinMismatch
+        )
+    }
+}
+
 /// A node's view of all known service registrations.
 #[derive(Debug, Default)]
 pub struct SlpRegistry {
     /// Keyed by `(service_type, key, origin)`.
     entries: BTreeMap<(String, String, siphoc_simnet::net::Addr), Stored>,
     seq: u64,
+    /// Verify-at-cache-insert policy: when set, [`SlpRegistry::absorb`]
+    /// drops unsigned or badly-signed entries and enforces first-use
+    /// identity pins. Off by default — defense-off runs take the exact
+    /// legacy code path.
+    require_signed: bool,
+    /// First-use identity pins (trust-on-first-use). Keys are
+    /// `("aor", <aor>)` for SIP bindings and `("origin", <addr>)` for
+    /// every signed advertiser. Pins outlive entry expiry and restarts:
+    /// they are the node's memory of who legitimately owns a name.
+    pins: BTreeMap<(&'static str, String), u64>,
 }
 
 impl SlpRegistry {
@@ -39,8 +76,16 @@ impl SlpRegistry {
         self.seq
     }
 
-    /// Registers a local service (the node's own advertisement).
+    /// Registers a local service (the node's own advertisement). Signed
+    /// local entries pin their own identity, so later forged adverts for
+    /// the same AOR or origin lose the first-use race even on the
+    /// advertising node itself.
     pub fn register_local(&mut self, entry: ServiceEntry, now: SimTime) {
+        if self.require_signed {
+            if let Some(id) = entry.advertiser_identity() {
+                self.record_pins(&entry, id);
+            }
+        }
         let expires = entry.expires_at(now);
         let key = (entry.service_type.clone(), entry.key.clone(), entry.origin);
         self.entries.insert(
@@ -51,6 +96,59 @@ impl SlpRegistry {
                 local: true,
             },
         );
+    }
+
+    /// Turns the verify-at-cache-insert auth policy on or off.
+    pub fn set_require_signed(&mut self, on: bool) {
+        self.require_signed = on;
+    }
+
+    /// Whether the auth policy is active.
+    pub fn require_signed(&self) -> bool {
+        self.require_signed
+    }
+
+    /// The identity pinned for an AOR, if any.
+    pub fn pinned_aor_identity(&self, aor: &str) -> Option<u64> {
+        self.pins.get(&("aor", aor.to_owned())).copied()
+    }
+
+    /// The identity pinned for an advertising origin, if any.
+    pub fn pinned_origin_identity(&self, origin: siphoc_simnet::net::Addr) -> Option<u64> {
+        self.pins.get(&("origin", origin.to_string())).copied()
+    }
+
+    fn record_pins(&mut self, entry: &ServiceEntry, id: u64) {
+        self.pins.insert(("origin", entry.origin.to_string()), id);
+        if entry.service_type == crate::service::service_types::SIP {
+            self.pins.insert(("aor", entry.key.clone()), id);
+        }
+    }
+
+    /// Auth-policy gate: verifies the signature and the first-use pins,
+    /// recording new pins on success.
+    fn check_and_pin(&mut self, entry: &ServiceEntry) -> Result<(), Absorb> {
+        let Some(id) = entry.advertiser_identity() else {
+            return Err(Absorb::Unsigned);
+        };
+        if !entry.auth_valid() {
+            return Err(Absorb::BadSig);
+        }
+        if self
+            .pinned_origin_identity(entry.origin)
+            .is_some_and(|p| p != id)
+        {
+            return Err(Absorb::PinMismatch);
+        }
+        if entry.service_type == crate::service::service_types::SIP
+            && self
+                .pinned_aor_identity(&entry.key)
+                .is_some_and(|p| p != id)
+        {
+            return Err(Absorb::PinMismatch);
+        }
+        self.record_pins(entry, id);
+        Ok(())
     }
 
     /// Removes a local registration.
@@ -71,13 +169,28 @@ impl SlpRegistry {
     /// stored expiry so steadily re-advertised services never lapse
     /// mid-refresh.
     pub fn absorb(&mut self, entry: ServiceEntry, now: SimTime) -> bool {
+        self.absorb_checked(entry, now) == Absorb::Fresh
+    }
+
+    /// [`SlpRegistry::absorb`] with the auth-policy verdict exposed, so
+    /// callers can count *why* an entry was dropped. With the policy off
+    /// this never returns a rejection and behaves exactly like the
+    /// legacy `absorb`.
+    pub fn absorb_checked(&mut self, entry: ServiceEntry, now: SimTime) -> Absorb {
+        if self.require_signed {
+            if let Err(verdict) = self.check_and_pin(&entry) {
+                return verdict;
+            }
+        }
         let key = (entry.service_type.clone(), entry.key.clone(), entry.origin);
         match self.entries.get_mut(&key) {
-            Some(existing) if existing.local => false,
-            Some(existing) if existing.entry.seq > entry.seq && existing.expires > now => false,
+            Some(existing) if existing.local => Absorb::Stale,
+            Some(existing) if existing.entry.seq > entry.seq && existing.expires > now => {
+                Absorb::Stale
+            }
             Some(existing) if existing.entry.seq == entry.seq && existing.expires > now => {
                 existing.expires = existing.expires.max(entry.expires_at(now));
-                false
+                Absorb::Stale
             }
             _ => {
                 let expires = entry.expires_at(now);
@@ -89,7 +202,7 @@ impl SlpRegistry {
                         local: false,
                     },
                 );
-                true
+                Absorb::Fresh
             }
         }
     }
@@ -393,6 +506,116 @@ mod tests {
         r.absorb(sip("a@v.ch", 1, 1, 10), SimTime::ZERO);
         r.purge(SimTime::from_secs(20));
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn auth_policy_rejects_unsigned_and_forged() {
+        use siphoc_simnet::ident::KeyPair;
+        let mut r = SlpRegistry::new();
+        r.set_require_signed(true);
+        let now = SimTime::ZERO;
+        let alice = KeyPair::for_addr(Addr::manet(1).0);
+        let mallory = KeyPair::for_addr(Addr::manet(6).0);
+
+        // Unsigned: dropped outright.
+        assert_eq!(
+            r.absorb_checked(sip("alice@v.ch", 1, 1, 60), now),
+            Absorb::Unsigned
+        );
+        // Validly signed: accepted, pins alice's identity for the AOR.
+        assert_eq!(
+            r.absorb_checked(sip("alice@v.ch", 1, 1, 60).signed(&alice), now),
+            Absorb::Fresh
+        );
+        assert_eq!(r.pinned_aor_identity("alice@v.ch"), Some(alice.identity()));
+        // Tampered copy (signature no longer covers the fields): dropped.
+        let mut tampered = sip("alice@v.ch", 1, 9, 60).signed(&alice);
+        tampered.contact = "10.0.0.66:5060".parse().unwrap();
+        assert_eq!(r.absorb_checked(tampered, now), Absorb::BadSig);
+        // Mallory hijacks the AOR from her own origin with her own valid
+        // key and a huge seq: pin mismatch, dropped, cache unchanged.
+        let hijack = sip("alice@v.ch", 6, u64::MAX, 60).signed(&mallory);
+        assert!(hijack.auth_valid());
+        assert_eq!(r.absorb_checked(hijack, now), Absorb::PinMismatch);
+        assert_eq!(r.lookup("sip", "alice@v.ch", now).len(), 1);
+        assert_eq!(r.lookup("sip", "alice@v.ch", now)[0].origin, Addr::manet(1));
+    }
+
+    #[test]
+    fn auth_policy_pins_gateway_origins() {
+        use siphoc_simnet::ident::KeyPair;
+        let mut r = SlpRegistry::new();
+        r.set_require_signed(true);
+        let now = SimTime::ZERO;
+        let gw_key = KeyPair::for_addr(Addr::manet(2).0);
+        let mallory = KeyPair::for_addr(Addr::manet(6).0);
+        let gw = ServiceEntry::gateway("82.130.64.1:7077".parse().unwrap(), Addr::manet(2), 1, 60);
+        assert_eq!(
+            r.absorb_checked(gw.clone().signed(&gw_key), now),
+            Absorb::Fresh
+        );
+        assert_eq!(
+            r.pinned_origin_identity(Addr::manet(2)),
+            Some(gw_key.identity())
+        );
+        // Impersonation: mallory forges the gateway's origin under her own
+        // key (she cannot sign as the gateway) with a fresher seq.
+        let mut forged = gw.clone();
+        forged.seq = 99;
+        forged.contact = "82.130.64.1:7077".parse().unwrap();
+        assert_eq!(
+            r.absorb_checked(forged.signed(&mallory), now),
+            Absorb::PinMismatch
+        );
+        // The gateway's own key change is equally a pin mismatch — the
+        // Connection Provider treats that as gateway death.
+        let rotated = KeyPair::from_secret(0x5eed);
+        let mut rekeyed = gw;
+        rekeyed.seq = 100;
+        assert_eq!(
+            r.absorb_checked(rekeyed.signed(&rotated), now),
+            Absorb::PinMismatch
+        );
+        // The legitimate gateway itself keeps refreshing fine.
+        let fresh =
+            ServiceEntry::gateway("82.130.64.1:7077".parse().unwrap(), Addr::manet(2), 2, 60);
+        assert_eq!(r.absorb_checked(fresh.signed(&gw_key), now), Absorb::Fresh);
+    }
+
+    #[test]
+    fn auth_policy_off_accepts_everything_unchanged() {
+        let mut r = SlpRegistry::new();
+        assert!(!r.require_signed());
+        let now = SimTime::ZERO;
+        assert_eq!(
+            r.absorb_checked(sip("alice@v.ch", 1, 1, 60), now),
+            Absorb::Fresh
+        );
+        // Forged unsigned hijack sails through — the documented defense-off
+        // behavior the adversarial experiment measures.
+        assert_eq!(
+            r.absorb_checked(sip("alice@v.ch", 6, u64::MAX, 60), now),
+            Absorb::Fresh
+        );
+        assert_eq!(r.lookup("sip", "alice@v.ch", now).len(), 2);
+        assert_eq!(r.pinned_aor_identity("alice@v.ch"), None);
+    }
+
+    #[test]
+    fn local_registration_wins_the_pin_race() {
+        use siphoc_simnet::ident::KeyPair;
+        let mut r = SlpRegistry::new();
+        r.set_require_signed(true);
+        let now = SimTime::ZERO;
+        let me = KeyPair::for_addr(Addr::manet(0).0);
+        let mallory = KeyPair::for_addr(Addr::manet(6).0);
+        r.register_local(sip("alice@v.ch", 0, 1, 60), now); // unsigned: no pin
+        r.register_local(sip("alice@v.ch", 0, 2, 60).signed(&me), now);
+        assert_eq!(r.pinned_aor_identity("alice@v.ch"), Some(me.identity()));
+        assert_eq!(
+            r.absorb_checked(sip("alice@v.ch", 6, 9, 60).signed(&mallory), now),
+            Absorb::PinMismatch
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use std::fmt;
 use std::str::FromStr;
 
+use siphoc_simnet::ident::{self, KeyPair};
 use siphoc_simnet::net::{Addr, SocketAddr};
 use siphoc_simnet::time::SimTime;
 
@@ -28,6 +29,19 @@ pub mod service_types {
     pub const SIP: &str = "sip";
     /// Internet gateway: key is empty, contact is the tunnel server.
     pub const GATEWAY: &str = "gateway";
+}
+
+/// Authentication tail of a signed advert: the advertiser's public key
+/// and its signature over [`ServiceEntry::signing_bytes`]. Appended to
+/// the wire record as two extra hex tokens; unsigned entries serialize
+/// exactly as before, so enabling the defense changes no bytes of
+/// defense-off runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryAuth {
+    /// The advertiser's public key (see [`siphoc_simnet::ident`]).
+    pub pk: u64,
+    /// Signature over the entry's signing bytes.
+    pub sig: u64,
 }
 
 /// A service registration entry.
@@ -46,6 +60,8 @@ pub struct ServiceEntry {
     pub seq: u64,
     /// Remaining lifetime in seconds at the time of serialization.
     pub lifetime_secs: u32,
+    /// Signature tail; `None` for legacy/unsigned adverts.
+    pub auth: Option<EntryAuth>,
 }
 
 impl ServiceEntry {
@@ -64,6 +80,7 @@ impl ServiceEntry {
             origin,
             seq,
             lifetime_secs,
+            auth: None,
         }
     }
 
@@ -81,7 +98,45 @@ impl ServiceEntry {
             origin,
             seq,
             lifetime_secs,
+            auth: None,
         }
+    }
+
+    /// The bytes a signature covers: every field except the remaining
+    /// lifetime (refreshes re-serialize with a recomputed lifetime and
+    /// must not invalidate the signature) and the auth tail itself.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let key: &str = if self.key.is_empty() { "-" } else { &self.key };
+        format!(
+            "{} {} {} {} {}",
+            self.service_type, key, self.contact, self.origin, self.seq
+        )
+        .into_bytes()
+    }
+
+    /// Attaches a signature tail produced with `kp`.
+    #[must_use]
+    pub fn signed(mut self, kp: &KeyPair) -> ServiceEntry {
+        let sig = kp.sign(&self.signing_bytes());
+        self.auth = Some(EntryAuth {
+            pk: kp.public(),
+            sig,
+        });
+        self
+    }
+
+    /// Verifies the signature tail. Unsigned entries fail.
+    pub fn auth_valid(&self) -> bool {
+        match self.auth {
+            Some(EntryAuth { pk, sig }) => ident::verify(pk, &self.signing_bytes(), sig),
+            None => false,
+        }
+    }
+
+    /// The advertiser's self-certifying identity (hash of the attached
+    /// public key), if the entry carries an auth tail.
+    pub fn advertiser_identity(&self) -> Option<u64> {
+        self.auth.map(|a| ident::identity_of(a.pk))
     }
 
     /// The SLP-style service URL, e.g.
@@ -116,7 +171,11 @@ impl fmt::Display for ServiceEntry {
             f,
             "SLP1 reg {} {} {} {} {} {}",
             self.service_type, key, self.contact, self.origin, self.seq, self.lifetime_secs
-        )
+        )?;
+        if let Some(EntryAuth { pk, sig }) = self.auth {
+            write!(f, " {pk:016x} {sig:016x}")?;
+        }
+        Ok(())
     }
 }
 
@@ -171,6 +230,19 @@ impl FromStr for ServiceEntry {
             .next()
             .and_then(|v| v.parse().ok())
             .ok_or(ParseEntryError::new("lifetime"))?;
+        // Optional auth tail: exactly two hex tokens, or nothing.
+        let auth = match it.next() {
+            None => None,
+            Some(pk_raw) => {
+                let pk =
+                    u64::from_str_radix(pk_raw, 16).map_err(|_| ParseEntryError::new("auth pk"))?;
+                let sig = it
+                    .next()
+                    .and_then(|v| u64::from_str_radix(v, 16).ok())
+                    .ok_or(ParseEntryError::new("auth sig"))?;
+                Some(EntryAuth { pk, sig })
+            }
+        };
         if it.next().is_some() {
             return Err(ParseEntryError::new("trailing fields"));
         }
@@ -181,6 +253,7 @@ impl FromStr for ServiceEntry {
             origin,
             seq,
             lifetime_secs,
+            auth,
         })
     }
 }
@@ -370,8 +443,52 @@ mod tests {
             "SLP1 reg sip alice@v", // truncated
             "SLP1 reg sip a 10.0.0.1:5060 10.0.0.1 7 120 extra",
             "SLP2 reg sip a 10.0.0.1:5060 10.0.0.1 7 120",
+            // Auth tail must be exactly two hex tokens.
+            "SLP1 reg sip a 10.0.0.1:5060 10.0.0.1 7 120 deadbeef",
+            "SLP1 reg sip a 10.0.0.1:5060 10.0.0.1 7 120 deadbeef beef junk",
+            "SLP1 reg sip a 10.0.0.1:5060 10.0.0.1 7 120 deadbeef nothex",
         ] {
             assert!(s.parse::<ServiceEntry>().is_err(), "{s}");
         }
+    }
+
+    #[test]
+    fn signed_entry_round_trips_and_verifies() {
+        let kp = siphoc_simnet::ident::KeyPair::for_addr(0x0a00_0001);
+        let e = entry().signed(&kp);
+        assert!(e.auth_valid());
+        assert_eq!(e.advertiser_identity(), Some(kp.identity()));
+        let parsed: ServiceEntry = e.to_string().parse().unwrap();
+        assert_eq!(parsed, e);
+        assert!(parsed.auth_valid());
+        // Unsigned entries serialize byte-identically to the legacy form.
+        assert_eq!(
+            entry().to_string(),
+            "SLP1 reg sip alice@voicehoc.ch 10.0.0.1:5060 10.0.0.1 7 120"
+        );
+        assert!(!entry().auth_valid());
+    }
+
+    #[test]
+    fn tampered_signed_entry_fails_verification() {
+        let kp = siphoc_simnet::ident::KeyPair::for_addr(0x0a00_0001);
+        let mut e = entry().signed(&kp);
+        // The signature survives a lifetime refresh...
+        e.lifetime_secs = 30;
+        assert!(e.auth_valid());
+        // ...but not a re-targeted contact, origin or seq bump.
+        let mut hijacked = e.clone();
+        hijacked.contact = "10.0.0.9:5060".parse().unwrap();
+        assert!(!hijacked.auth_valid());
+        let mut forged_origin = e.clone();
+        forged_origin.origin = Addr::manet(8);
+        assert!(!forged_origin.auth_valid());
+        let mut boosted = e.clone();
+        boosted.seq = u64::MAX;
+        assert!(!boosted.auth_valid());
+        // A different principal's key cannot stand in.
+        let other = siphoc_simnet::ident::KeyPair::for_addr(0x0a00_0009);
+        let stolen = entry().signed(&other);
+        assert_ne!(stolen.advertiser_identity(), e.advertiser_identity());
     }
 }

@@ -290,6 +290,7 @@ impl Process for StandardSlpProcess {
                         origin,
                         seq,
                         lifetime_secs,
+                        auth: None,
                     },
                     now,
                 );

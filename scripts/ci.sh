@@ -40,3 +40,26 @@ cargo build --release -p siphoc-bench --bin exp_handoff --bin exp_call_load
 # build unifies the obs feature in, and exp_call_load refuses to publish
 # numbers from an instrumented build.
 ./target/release/exp_call_load --smoke --check results/BENCH_sip.json
+# Adversarial canary: one seed, both attacks, defenses off then on.
+# Asserts the attacks *work* against the undefended stack (100% hijack /
+# capture) and die completely against signed adverts + pins + gateway
+# attestation. Either half going quiet means the security experiment
+# stopped testing anything.
+cargo build --release -p siphoc-bench --bin exp_adversarial
+./target/release/exp_adversarial --smoke
+# Supply-chain audit (deny.toml: advisories, licenses, bans, sources).
+# Skipped with a notice when cargo-deny is not installed — the CI `deny`
+# job always runs it, so the merge gate never loses the check.
+if command -v cargo-deny >/dev/null 2>&1; then
+    cargo deny check
+else
+    echo "ci.sh: cargo-deny not installed, skipping supply-chain audit (CI deny job covers it)"
+fi
+# MSRV honesty check against the rust-version pin in Cargo.toml, when
+# that toolchain is available locally; the CI `msrv` job always runs it.
+MSRV=$(sed -n 's/^rust-version = "\(.*\)"/\1/p' Cargo.toml | head -n1)
+if [ -n "${MSRV}" ] && rustup toolchain list 2>/dev/null | grep -q "^${MSRV}"; then
+    cargo "+${MSRV}" check --workspace --all-targets
+else
+    echo "ci.sh: MSRV toolchain ${MSRV:-unset} not installed, skipping MSRV check (CI msrv job covers it)"
+fi

@@ -21,6 +21,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use siphoc_core::adversary::AdversaryConfig;
 use siphoc_core::config::VoipAppConfig;
 use siphoc_core::nodesetup::{deploy, NodeSpec, RoutingProtocol, SiphocNode};
 use siphoc_internet::dns::DnsDirectory;
@@ -116,6 +117,10 @@ pub struct NodeSpecJson {
     /// and at least one entry in the scenario's `relays`.
     #[serde(default)]
     pub nat: bool,
+    /// Arms the node with a dormant adversary process, activated by a
+    /// `compromise` fault event targeting this node.
+    #[serde(default)]
+    pub adversary: bool,
 }
 
 /// Tunnel keepalive configuration, applied to every node's Connection
@@ -220,6 +225,38 @@ pub enum FaultEventSpec {
         /// When, seconds from scenario start.
         at_secs: u64,
     },
+    /// Turn a node malicious. The node must be armed with an adversary
+    /// (`"adversary": true` in its spec); the event activates the attack.
+    Compromise {
+        /// When, seconds from scenario start.
+        at_secs: u64,
+        /// Node index.
+        node: usize,
+        /// Which attack the node mounts.
+        kind: MaliciousKindSpec,
+    },
+}
+
+/// The attack family of a `compromise` fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum MaliciousKindSpec {
+    /// Impersonate gateway adverts and blackhole tunneled traffic.
+    RogueGateway,
+    /// Impersonate SIP binding adverts to capture a victim's calls.
+    AorHijack,
+    /// Cache-poisoning flood over every advert seen.
+    ForgedAdverts,
+}
+
+impl MaliciousKindSpec {
+    fn to_kind(self) -> MaliciousKind {
+        match self {
+            MaliciousKindSpec::RogueGateway => MaliciousKind::RogueGateway,
+            MaliciousKindSpec::AorHijack => MaliciousKind::AorHijack,
+            MaliciousKindSpec::ForgedAdverts => MaliciousKind::ForgedAdverts,
+        }
+    }
 }
 
 /// Per-link packet fault kind selector.
@@ -342,6 +379,12 @@ pub struct Scenario {
     /// the same byte-identical run — this knob only trades wall time.
     #[serde(default = "default_threads")]
     pub threads: usize,
+    /// Turns on the PKI-less defense layer on every node: signed SLP
+    /// adverts verified and pinned at cache insert, challenge-based
+    /// REGISTER auth, gateway attestation. Off by default — insecure
+    /// scenarios replay byte-identically against their golden digests.
+    #[serde(default)]
+    pub secure: bool,
 }
 
 // See `default_reorder_ms` on why this needs the allow.
@@ -539,6 +582,15 @@ impl Scenario {
                     }
                 }
                 FaultEventSpec::Heal { .. } => {}
+                FaultEventSpec::Compromise { node, .. } => {
+                    check(*node)?;
+                    if !self.nodes[*node].adversary {
+                        return Err(ScenarioError::Invalid(format!(
+                            "compromise targets node {node}, which is not armed \
+                             with an adversary (set \"adversary\": true)"
+                        )));
+                    }
+                }
             }
         }
         for pf in &chaos.packet_faults {
@@ -603,6 +655,11 @@ impl Scenario {
                     island.iter().map(|&i| id(i)).collect(),
                 ),
                 FaultEventSpec::Heal { at_secs } => plan.heal_at(SimTime::from_secs(at_secs)),
+                FaultEventSpec::Compromise {
+                    at_secs,
+                    node,
+                    kind,
+                } => plan.compromise_at(SimTime::from_secs(at_secs), id(node), kind.to_kind()),
             };
         }
         for pf in &chaos.packet_faults {
@@ -726,6 +783,12 @@ impl Scenario {
             let mut spec = NodeSpec::relay(n.x, n.y)
                 .with_routing(self.routing.to_protocol())
                 .with_dns(dns.clone());
+            if self.secure {
+                spec = spec.with_security();
+            }
+            if n.adversary {
+                spec = spec.with_adversary(AdversaryConfig::default());
+            }
             if let Some(ka) = &self.keepalive {
                 spec = spec.with_keepalive(SimDuration::from_millis(ka.interval_ms), ka.max_missed);
             }
@@ -897,6 +960,7 @@ mod tests {
                     gateway: None,
                     mobility: None,
                     nat: false,
+                    adversary: false,
                 },
                 NodeSpecJson {
                     x: 60.0,
@@ -906,6 +970,7 @@ mod tests {
                     gateway: None,
                     mobility: None,
                     nat: false,
+                    adversary: false,
                 },
             ],
             providers: Vec::new(),
@@ -914,6 +979,7 @@ mod tests {
             standby: None,
             relays: Vec::new(),
             threads: 1,
+            secure: false,
         }
     }
 

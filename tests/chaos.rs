@@ -5,8 +5,9 @@
 //! nothing panics. This is the paper's §1 emergency-response claim
 //! ("any node may leave or crash at any time") made executable.
 
+use wireless_adhoc_voip::core::adversary::AdversaryConfig;
 use wireless_adhoc_voip::core::config::VoipAppConfig;
-use wireless_adhoc_voip::core::nodesetup::{deploy, NodeSpec};
+use wireless_adhoc_voip::core::nodesetup::{deploy, NodeSpec, RoutingProtocol};
 use wireless_adhoc_voip::internet::dns::DnsDirectory;
 use wireless_adhoc_voip::internet::provider::{ProviderConfig, SipProviderProcess};
 use wireless_adhoc_voip::simnet::net::ports;
@@ -506,4 +507,167 @@ fn gateway_probes_back_off_when_no_gateway_exists() {
     // that while still probing occasionally.
     assert!(probes >= 2, "the provider must keep probing: {probes}");
     assert!(probes <= 14, "backoff must damp the probe rate: {probes}");
+}
+
+/// Rogue gateway under link churn, defenses on: a compromised relay
+/// impersonates both gateways' adverts while two alternate relays churn
+/// and every link drops/duplicates frames, then the serving gateway is
+/// killed mid-call. Across seeds the hardened stack must never touch the
+/// attacker — zero bogus leases granted, zero tunneled packets
+/// blackholed, no TEST-NET-3 address ever held — and the client must
+/// still re-home to the surviving real gateway.
+#[test]
+fn rogue_gateway_under_link_churn_hijacks_nothing_with_defenses_on() {
+    for seed in [1801u64, 1802, 1803, 1804, 1805] {
+        let mut w = World::new(WorldConfig::new(seed).with_radio(RadioConfig::ideal()));
+        let dns = DnsDirectory::new().with_record("voicehoc.ch", Addr(0x52010101));
+        let p = w.add_node(NodeConfig::wired(Addr(0x52010101)));
+        w.spawn(
+            p,
+            Box::new(SipProviderProcess::new(ProviderConfig::new(
+                "voicehoc.ch",
+                dns.clone(),
+            ))),
+        );
+        let iris_node = w.add_node(NodeConfig::wired(Addr::new(82, 1, 1, 50)));
+        let mut iris_cfg = UaConfig::new(
+            Aor::new("iris", "voicehoc.ch"),
+            SocketAddr::new(Addr(0x52010101), ports::SIP),
+        );
+        iris_cfg.answer_delay = SimDuration::ZERO;
+        let (iris, _iris_log) = UserAgent::new(iris_cfg);
+        w.spawn(iris_node, Box::new(iris));
+
+        // Secure chain: GW-A — alice — {mallory + two churning relays} —
+        // GW-B. Mallory sits on the direct path; the flanking relays keep
+        // alternate routes flapping instead of cleanly up or down.
+        // Proactive (OLSR) dissemination: honest adverts gossip everywhere
+        // during warmup, so every node pins the real gateway identities
+        // before the compromise. (Trust-on-first-use is only as good as
+        // first use — the attacker-first window is a documented
+        // limitation, see DESIGN.md § threat model.)
+        let secure = |x: f64, y: f64| {
+            NodeSpec::relay(x, y)
+                .with_security()
+                .with_routing(RoutingProtocol::olsr())
+                .with_standby(0, SimDuration::from_secs(10))
+                .with_dns(dns.clone())
+        };
+        let gw_a = deploy(
+            &mut w,
+            secure(0.0, 0.0).with_gateway(Addr::new(82, 130, 64, 1)),
+        );
+        let mut ua = user("alice", None);
+        ua.answer_delay = SimDuration::ZERO;
+        let ua = ua.call_at(
+            SimTime::from_secs(30),
+            Aor::new("iris", "voicehoc.ch"),
+            SimDuration::from_secs(40),
+        );
+        let alice = deploy(&mut w, secure(60.0, 0.0).with_user(ua));
+        let mallory = deploy(
+            &mut w,
+            secure(120.0, 0.0)
+                .without_connection_provider()
+                .with_adversary(AdversaryConfig::default()),
+        );
+        let relay_n = deploy(&mut w, secure(110.0, 55.0));
+        let relay_s = deploy(&mut w, secure(110.0, -55.0));
+        let gw_b = deploy(
+            &mut w,
+            secure(180.0, 0.0).with_gateway(Addr::new(82, 130, 65, 1)),
+        );
+
+        let mut churn_rng = SimRng::from_seed_and_stream(seed, 4244);
+        let plan = FaultPlan::new()
+            .compromise_at(
+                SimTime::from_secs(20),
+                mallory.id,
+                MaliciousKind::RogueGateway,
+            )
+            .with_poisson_churn(
+                &[relay_n.id, relay_s.id],
+                10.0,
+                4.0,
+                SimTime::from_secs(10),
+                SimTime::from_secs(70),
+                &mut churn_rng,
+            )
+            .packet_fault(
+                LinkSelector::All,
+                PacketFaultKind::Duplicate,
+                0.01,
+                SimTime::ZERO,
+                SimTime::from_secs(80),
+            )
+            .packet_fault(
+                LinkSelector::All,
+                PacketFaultKind::Corrupt,
+                0.01,
+                SimTime::ZERO,
+                SimTime::from_secs(80),
+            );
+        w.install_fault_plan(plan);
+
+        // Call up on the first lease, then kill the serving gateway so the
+        // break-before-make re-lease runs against the poisoned registry.
+        w.run_until(SimTime::from_secs(40));
+        let pool = |a: Addr| Addr(a.0 & 0xffff_ff00);
+        let first: Vec<Addr> = w
+            .node(alice.id)
+            .local_addrs()
+            .iter()
+            .copied()
+            .filter(|a| a.is_public())
+            .collect();
+        assert_eq!(first.len(), 1, "seed {seed}: no lease before the kill");
+        let serving = if pool(first[0]) == pool(Addr::new(82, 130, 64, 101)) {
+            gw_a.id
+        } else {
+            gw_b.id
+        };
+        w.set_node_up(serving, false);
+        w.run_until(SimTime::from_secs(80));
+
+        // Zero hijacks: the attacker's fake tunnel server never granted a
+        // lease, never blackholed a packet, and alice never held a
+        // TEST-NET-3 address.
+        let mal = w.node(mallory.id).stats();
+        assert_eq!(
+            mal.get("rogue.lease").packets,
+            0,
+            "seed {seed}: attacker granted a bogus lease with defenses on"
+        );
+        assert_eq!(
+            mal.get("rogue.blackholed").packets,
+            0,
+            "seed {seed}: attacker captured tunneled traffic with defenses on"
+        );
+        assert!(
+            mal.get("rogue.forged").packets >= 1,
+            "seed {seed}: the compromise never fired — the run tested nothing"
+        );
+        let bogus_pool = Addr(0xcb00_7100); // 203.0.113.0/24
+        assert!(
+            !w.node(alice.id)
+                .local_addrs()
+                .iter()
+                .any(|a| pool(*a) == bogus_pool),
+            "seed {seed}: client holds a TEST-NET-3 lease"
+        );
+        // And the client re-homed to the surviving *real* gateway.
+        assert!(
+            w.node(alice.id)
+                .local_addrs()
+                .iter()
+                .any(|a| a.is_public() && pool(*a) != pool(first[0])),
+            "seed {seed}: client never re-homed to the survivor"
+        );
+        let a = alice.ua_logs[0].borrow();
+        assert!(
+            a.any(|e| matches!(e, CallEvent::Established { .. })),
+            "seed {seed}: the call never established: {:?}",
+            a.events()
+        );
+    }
 }

@@ -106,13 +106,25 @@ fn workflow_triggers_on_push_and_pull_request() {
         on.contains("pull_request:"),
         "missing pull_request trigger:\n{on}"
     );
+    assert!(
+        on.contains("workflow_dispatch:"),
+        "missing workflow_dispatch trigger (manual re-gates):\n{on}"
+    );
 }
 
 #[test]
-fn workflow_defines_the_four_gate_jobs() {
+fn workflow_defines_the_gate_jobs() {
     let text = workflow_text();
     let jobs = block(&text, "jobs:");
-    for job in ["ci:", "fmt:", "features:", "bench:"] {
+    for job in [
+        "ci:",
+        "fmt:",
+        "features:",
+        "bench:",
+        "soundness:",
+        "deny:",
+        "msrv:",
+    ] {
         let body = block(&jobs, job);
         assert!(
             body.contains("runs-on:"),
@@ -276,6 +288,142 @@ fn call_load_canary_gates_signaling_in_both_gates() {
     );
 }
 
+/// The sanitizer job is the soundness half of the security matrix: ASan
+/// and TSan over the two suites that drive the sharded executor across
+/// thread counts. It must stay a *hard* gate — a `continue-on-error:
+/// true` would let a data race merge while the job quietly goes red.
+#[test]
+fn soundness_job_runs_both_sanitizers_as_a_hard_gate() {
+    let text = workflow_text();
+    let jobs = block(&text, "jobs:");
+    let soundness = block(&jobs, "soundness:");
+    assert!(
+        soundness.contains("-Zsanitizer=address"),
+        "soundness job must run AddressSanitizer:\n{soundness}"
+    );
+    assert!(
+        soundness.contains("-Zsanitizer=thread"),
+        "soundness job must run ThreadSanitizer:\n{soundness}"
+    );
+    assert!(
+        soundness.contains("nightly") && soundness.contains("rust-src"),
+        "sanitizers need the nightly toolchain with rust-src (-Zbuild-std)"
+    );
+    for suite in ["determinism_matrix", "perf_equivalence"] {
+        assert!(
+            soundness.contains(suite),
+            "soundness job must cover the {suite} suite"
+        );
+    }
+    assert!(
+        soundness.contains("continue-on-error: false"),
+        "soundness job must be a hard gate (continue-on-error: false)"
+    );
+    assert!(
+        !soundness.contains("continue-on-error: true"),
+        "soundness job must never be advisory"
+    );
+}
+
+/// Supply-chain and MSRV jobs exist in the workflow, their configs are
+/// tracked, and the local gate mirrors both (tool-gated so dev boxes
+/// without cargo-deny or the MSRV toolchain still run scripts/ci.sh).
+#[test]
+fn deny_and_msrv_gates_exist_in_workflow_config_and_local_gate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = workflow_text();
+    let jobs = block(&text, "jobs:");
+
+    let deny = block(&jobs, "deny:");
+    assert!(
+        deny.contains("cargo-deny"),
+        "deny job must run cargo-deny:\n{deny}"
+    );
+    let deny_toml = std::fs::read_to_string(root.join("deny.toml")).expect("deny.toml");
+    for section in ["[advisories]", "[licenses]", "[bans]", "[sources]"] {
+        assert!(
+            deny_toml.contains(section),
+            "deny.toml missing the {section} section"
+        );
+    }
+
+    let cargo_toml = std::fs::read_to_string(root.join("Cargo.toml")).expect("Cargo.toml");
+    let msrv_pin = cargo_toml
+        .lines()
+        .find_map(|l| l.strip_prefix("rust-version = \""))
+        .and_then(|rest| rest.split('"').next())
+        .expect("Cargo.toml must pin rust-version");
+    let msrv = block(&jobs, "msrv:");
+    assert!(
+        msrv.contains(&format!("+{msrv_pin}")),
+        "msrv job must build on the pinned toolchain {msrv_pin}:\n{msrv}"
+    );
+    assert!(
+        msrv.contains("--workspace") && msrv.contains("--all-targets"),
+        "msrv job must check every workspace target"
+    );
+
+    let sh = std::fs::read_to_string(root.join("scripts/ci.sh")).expect("scripts/ci.sh");
+    assert!(
+        sh.contains("cargo deny check"),
+        "local gate must mirror the supply-chain audit"
+    );
+    assert!(
+        sh.contains("rust-version") && sh.contains("--workspace --all-targets"),
+        "local gate must mirror the MSRV check against the Cargo.toml pin"
+    );
+}
+
+/// Cache keys must rotate with the lockfile and the toolchain: keying on
+/// Cargo.toml alone serves stale build artifacts across `cargo update`
+/// and toolchain bumps — precisely the moments a fresh build matters.
+#[test]
+fn cache_keys_rotate_with_lockfile_and_toolchain() {
+    let text = workflow_text();
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        let Some(key) = trimmed.strip_prefix("key: ") else {
+            continue;
+        };
+        assert!(
+            key.contains("Cargo.lock"),
+            "cache key must hash the lockfile: {key}"
+        );
+        assert!(
+            key.contains("steps.rust.outputs.version"),
+            "cache key must include the toolchain fingerprint: {key}"
+        );
+    }
+    assert!(
+        text.contains("hashFiles('**/Cargo.lock'"),
+        "no cache key hashes Cargo.lock"
+    );
+}
+
+/// The adversarial canary gates the attack/defense pair in both gates:
+/// defenses-off runs must show the attacks landing, defenses-on runs
+/// must show zero hijacks and zero captures. Losing the canary turns
+/// the whole security layer into unexercised code.
+#[test]
+fn adversarial_canary_gates_attacks_and_defenses_in_the_local_gate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sh = std::fs::read_to_string(root.join("scripts/ci.sh")).expect("scripts/ci.sh");
+    assert!(
+        sh.contains("exp_adversarial --smoke"),
+        "local gate must run the adversarial smoke canary"
+    );
+    let exp = std::fs::read_to_string(root.join("crates/bench/src/bin/exp_adversarial.rs"))
+        .expect("exp_adversarial source");
+    assert!(
+        exp.contains("hijack_off > 0.8") && exp.contains("rogue_off > 0.8"),
+        "canary must assert the attacks land against the undefended stack"
+    );
+    assert!(
+        exp.contains("hijack_on == 0.0") && exp.contains("rogue_on == 0.0"),
+        "canary must assert the defenses shut both attacks out completely"
+    );
+}
+
 #[test]
 fn sip_baseline_is_tracked_and_holds_both_sides_of_the_rewrite() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_sip.json");
@@ -300,6 +448,28 @@ fn sip_baseline_is_tracked_and_holds_both_sides_of_the_rewrite() {
         text.matches("\"knee_cps\":").count() >= 2,
         "baseline must hold pre- and post-optimization knees"
     );
+}
+
+#[test]
+fn adversarial_results_are_tracked_with_both_attack_arms() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_adversarial.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("results missing at {path:?} (cargo run --release --bin exp_adversarial): {e}")
+    });
+    for needle in [
+        "\"aor_hijack\"",
+        "\"rogue_gateway\"",
+        "\"defense_off_success\"",
+        "\"defense_on_success\"",
+        "\"setup_ms_insecure\"",
+        "\"setup_ms_secure\"",
+        "\"advert_bytes\"",
+    ] {
+        assert!(
+            text.contains(needle),
+            "adversarial results missing {needle}"
+        );
+    }
 }
 
 #[test]

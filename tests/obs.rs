@@ -23,6 +23,7 @@ fn node(x: f64, user: Option<&str>, calls: Vec<CallSpec>) -> NodeSpecJson {
         gateway: None,
         mobility: None,
         nat: false,
+        adversary: false,
     }
 }
 
@@ -56,6 +57,7 @@ fn call_scenario() -> Scenario {
         standby: None,
         relays: Vec::new(),
         threads: 1,
+        secure: false,
     }
 }
 

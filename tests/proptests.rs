@@ -70,6 +70,7 @@ fn arb_entry() -> impl Strategy<Value = ServiceEntry> {
             origin,
             seq,
             lifetime_secs: lifetime,
+            auth: None,
         })
 }
 
@@ -828,5 +829,85 @@ proptest! {
             );
             last = e.time;
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Adversarial: the hardened registry vs forged advert streams
+// ----------------------------------------------------------------------
+
+proptest! {
+    /// A hardened registry (`require_signed`) holding a validly-signed
+    /// SIP binding never lets an arbitrary stream of forgeries evict or
+    /// replace it — unsigned impersonations, attacker-signed
+    /// impersonations under the victim's coordinates, and Sybil entries
+    /// under attacker origins all bounce off the signature check and the
+    /// AOR/origin pins, whatever their contact, sequence boost or
+    /// lifetime. Afterwards the honest contact is still the only one
+    /// served for the AOR.
+    #[test]
+    fn forged_advert_stream_never_evicts_a_signed_entry(
+        forgeries in proptest::collection::vec(
+            (arb_sock(), arb_addr(), any::<u64>(), 1u32..100_000, any::<u64>(), 0u8..3),
+            1..48,
+        ),
+    ) {
+        use wireless_adhoc_voip::simnet::ident::KeyPair;
+        use wireless_adhoc_voip::slp::registry::{Absorb, SlpRegistry};
+        use wireless_adhoc_voip::slp::service::service_types;
+
+        let now = SimTime::from_secs(5);
+        let victim_origin = Addr::new(10, 0, 0, 7);
+        let victim = KeyPair::for_addr(victim_origin.0);
+        let aor = "bob@voicehoc.ch";
+        let honest = ServiceEntry::sip_binding(
+            aor,
+            SocketAddr::new(victim_origin, 5060),
+            victim_origin,
+            3,
+            600,
+        )
+        .signed(&victim);
+
+        let mut reg = SlpRegistry::new();
+        reg.set_require_signed(true);
+        prop_assert_eq!(reg.absorb_checked(honest.clone(), now), Absorb::Fresh);
+
+        for (contact, sybil_origin, seq_boost, lifetime, sk, shape) in forgeries {
+            let origin = if shape == 2 { sybil_origin } else { victim_origin };
+            let forged = ServiceEntry::sip_binding(
+                aor,
+                contact,
+                origin,
+                3u64.saturating_add(seq_boost),
+                lifetime,
+            );
+            let kp = KeyPair::from_secret(sk);
+            // Dolev–Yao: the adversary holds every key except the victim's.
+            if kp == victim {
+                continue;
+            }
+            let forged = match shape {
+                0 => forged,            // unsigned impersonation
+                _ => forged.signed(&kp), // signed impersonation / Sybil
+            };
+            let verdict = reg.absorb_checked(forged, now);
+            prop_assert!(
+                verdict.rejected(),
+                "forgery absorbed as {:?} (shape {})",
+                verdict,
+                shape
+            );
+        }
+
+        let served = reg.lookup(service_types::SIP, aor, now);
+        prop_assert_eq!(served.len(), 1, "forgeries changed what is served");
+        prop_assert_eq!(served[0].contact, honest.contact);
+        prop_assert_eq!(served[0].origin, honest.origin);
+        prop_assert_eq!(
+            reg.pinned_aor_identity(aor),
+            Some(victim.identity()),
+            "the AOR pin drifted off the victim's identity"
+        );
     }
 }

@@ -111,3 +111,97 @@ fn client_reconnects_after_gateway_restart() {
         "client must re-discover and re-lease after gateway restart"
     );
 }
+
+/// GatewayHealth regression (the merged blocklist + attestation book):
+/// the death blocklist is transient per handoff while identity pins are
+/// permanent, and a pinned gateway presenting a different key is refused
+/// even after its death has been forgiven. Guards the dedupe of the old
+/// separate `dead_gateway` field and pin map — with two books, clearing
+/// one could silently clear the other.
+#[test]
+fn gateway_health_forgives_death_but_never_a_key_change() {
+    use wireless_adhoc_voip::core::connection::GatewayHealth;
+    use wireless_adhoc_voip::simnet::ident::KeyPair;
+
+    let gw = Addr::new(10, 0, 0, 1);
+    let real = KeyPair::for_addr(gw.0).identity();
+    let imposter = KeyPair::for_addr(0x0a00_00fe).identity();
+
+    let mut health = GatewayHealth::default();
+    assert!(health.attest(gw, real), "first use must pin and admit");
+    assert_eq!(health.pinned(gw), Some(real));
+
+    // The gateway dies mid-handoff: blocklisted, but the pin stays.
+    health.mark_dead(gw);
+    assert!(health.is_dead(gw));
+    assert_eq!(health.pinned(gw), Some(real), "death must not unpin");
+
+    // Handoff resolves: death is forgiven, the pin still stands.
+    health.clear_dead();
+    assert!(!health.is_dead(gw));
+    assert_eq!(health.pinned(gw), Some(real), "clear_dead must not unpin");
+
+    // The restarted gateway re-attests under its original key: admitted.
+    assert!(
+        health.attest(gw, real),
+        "a restarted gateway with its original key must be re-leasable"
+    );
+    assert!(!health.is_dead(gw));
+
+    // An attacker at the same address with a different key: refused, and
+    // refused again after every future handoff — pins never expire.
+    assert!(!health.attest(gw, imposter), "key change must be refused");
+    health.clear_dead();
+    assert!(
+        !health.attest(gw, imposter),
+        "key change must stay refused after the handoff resolves"
+    );
+    assert!(
+        health.attest(gw, real),
+        "the original key must still be admitted after the imposter"
+    );
+}
+
+/// Full-stack version of the same promise: in a secure world the client
+/// re-leases from a restarted gateway, because the deterministic node
+/// key re-attests under the identity pinned before the crash.
+#[test]
+fn secure_client_releases_restarted_gateway_under_original_key() {
+    let mut w = World::new(WorldConfig::new(704).with_radio(RadioConfig::ideal()));
+    let gw = deploy(
+        &mut w,
+        NodeSpec::relay(0.0, 0.0)
+            .with_security()
+            .with_gateway(GW_PUB)
+            .with_dns(DnsDirectory::new()),
+    );
+    let client = deploy(&mut w, NodeSpec::relay(60.0, 0.0).with_security());
+    w.run_for(SimDuration::from_secs(15));
+    assert!(
+        w.node(client.id)
+            .local_addrs()
+            .iter()
+            .any(|a| a.is_public()),
+        "secure client must lease from the attested gateway"
+    );
+
+    w.set_node_up(gw.id, false);
+    w.run_for(SimDuration::from_secs(150));
+    assert!(
+        !w.node(client.id)
+            .local_addrs()
+            .iter()
+            .any(|a| a.is_public()),
+        "lease must be torn down after the gateway vanished"
+    );
+
+    w.set_node_up(gw.id, true);
+    w.run_for(SimDuration::from_secs(60));
+    assert!(
+        w.node(client.id)
+            .local_addrs()
+            .iter()
+            .any(|a| a.is_public()),
+        "re-attestation under the pinned identity must allow the re-lease"
+    );
+}
