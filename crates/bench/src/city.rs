@@ -70,16 +70,25 @@ impl CityParams {
 /// so placement and phase are reproducible per seed), and re-arms on
 /// every fire. Received beacons take the full dispatch path and are
 /// discarded.
+///
+/// The payload is a shared [`Payload`] template — typically one
+/// allocation per beacon class for the whole city — so each fire clones
+/// a refcount instead of materializing a fresh buffer per node per
+/// send (at 100 k nodes that is hundreds of thousands of identical
+/// allocations per simulated second).
 #[derive(Debug)]
 pub struct CityBeacon {
     every: SimDuration,
-    payload: usize,
+    payload: Payload,
 }
 
 impl CityBeacon {
-    /// A beacon firing every `every`, broadcasting `payload` bytes.
-    pub fn new(every: SimDuration, payload: usize) -> CityBeacon {
-        CityBeacon { every, payload }
+    /// A beacon firing every `every`, broadcasting `payload`.
+    pub fn new(every: SimDuration, payload: impl Into<Payload>) -> CityBeacon {
+        CityBeacon {
+            every,
+            payload: payload.into(),
+        }
     }
 }
 
@@ -98,7 +107,7 @@ impl Process for CityBeacon {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
         let src = SocketAddr::new(ctx.addr(), CITY_PORT);
         let dst = SocketAddr::new(Addr::BROADCAST, CITY_PORT);
-        ctx.send(Datagram::new(src, dst, vec![0xC1u8; self.payload]));
+        ctx.send(Datagram::new(src, dst, self.payload.clone()));
         ctx.set_timer(self.every, 0);
     }
 
@@ -116,6 +125,10 @@ pub fn build_city(
     params: CityParams,
 ) -> (Vec<NodeId>, Vec<NodeId>, Vec<NodeId>) {
     let mut rng = SimRng::from_seed_and_stream(world.config().seed, 8787);
+    // One payload template per beacon class; every node's every fire
+    // clones the refcount, never the bytes.
+    let beacon_payload = Payload::from(vec![0xC1u8; params.payload]);
+    let swarm_payload = Payload::from(vec![0xC1u8; params.payload]);
     let swarm_n = (params.nodes / 20).clamp(4, 60);
     let convoy_n = (params.nodes * 15 / 100).max(4);
     let district_n = params.nodes.saturating_sub(swarm_n + convoy_n);
@@ -135,7 +148,7 @@ pub fn build_city(
         let id = world.add_node(NodeConfig::manet(x, y));
         world.spawn(
             id,
-            Box::new(CityBeacon::new(params.beacon_every, params.payload)),
+            Box::new(CityBeacon::new(params.beacon_every, beacon_payload.clone())),
         );
         district_ids.push(id);
     }
@@ -154,7 +167,7 @@ pub fn build_city(
         );
         world.spawn(
             id,
-            Box::new(CityBeacon::new(params.beacon_every, params.payload)),
+            Box::new(CityBeacon::new(params.beacon_every, beacon_payload.clone())),
         );
         convoy_ids.push(id);
     }
@@ -170,7 +183,10 @@ pub fn build_city(
         let id = world.add_node(NodeConfig::manet(x, y));
         world.spawn(
             id,
-            Box::new(CityBeacon::new(params.swarm_beacon_every, params.payload)),
+            Box::new(CityBeacon::new(
+                params.swarm_beacon_every,
+                swarm_payload.clone(),
+            )),
         );
         swarm_ids.push(id);
     }

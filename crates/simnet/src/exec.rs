@@ -22,7 +22,7 @@ use crate::fasthash::FastMap;
 use crate::fault::{corrupt_payload, FaultAction, PacketFault, PacketFaultKind};
 use crate::grid::NeighborGrid;
 use crate::net::{Addr, Datagram, L2Dst};
-use crate::node::{Node, NodeId, PendingPacket};
+use crate::node::{HotNode, Node, NodeId, PendingPacket};
 use crate::process::{Ctx, Effect, LocalEvent};
 use crate::radio::Frame;
 use crate::rng::SimRng;
@@ -236,6 +236,41 @@ impl WorkerOut {
     }
 }
 
+/// Results of events executed *ahead of time* by the work-stealing
+/// executor (`crate::shard`), parked until the world's clock reaches
+/// their original `(time, seq)` positions.
+///
+/// A stolen component's node state is mutated in place when it runs (the
+/// steal-selection rules prove nothing ordered before it can observe
+/// that state), but its externally visible outputs — trace entries,
+/// child events, the event meter — must merge into the world in exact
+/// global order. Those outputs live here, keyed by the stolen events'
+/// original `(time, seq)`, and every execution path (sequential windows,
+/// replay, the end-of-run drain) yields to stash entries with smaller
+/// keys before dispatching its own next event.
+///
+/// Invariant: the stash is fully drained before `run_until_threads`
+/// returns (stolen events never exceed the run target), so plain
+/// `run_until` never has to know it exists.
+#[derive(Default)]
+pub(crate) struct Stash {
+    /// Pending records as `Reverse((time, seq, group, rec_index))` — a
+    /// min-heap over the original global keys.
+    pub heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, u32, u32)>>,
+    /// Buffers of each stolen bucket, appended per window, cleared once
+    /// the heap empties.
+    pub groups: Vec<StashGroup>,
+}
+
+/// The replay buffers of one stolen bucket (moved out of the worker's
+/// [`WorkerOut`] at the window barrier).
+#[derive(Default)]
+pub(crate) struct StashGroup {
+    pub recs: Vec<Rec>,
+    pub trace: Vec<TraceEntry>,
+    pub children: Vec<ChildSlot>,
+}
+
 /// Node storage access for the engine.
 ///
 /// Holds a raw pointer to the world's node slab so the same engine code
@@ -335,6 +370,11 @@ pub(crate) struct Engine<'a> {
     pub fault_rng: Option<&'a mut SimRng>,
     pub map: MapAccess<'a>,
     pub grid: GridAccess<'a>,
+    /// Dense liveness/position mirror of the node slab (see
+    /// [`HotNode`]); radio fan-out filters read it instead of the full
+    /// `Node` structs. Entries mutate only between windows, so parallel
+    /// workers share it read-only.
+    pub hot: &'a [HotNode],
     pub trace_enabled: bool,
     pub scratch: &'a mut EngineScratch,
     pub out: &'a mut EngineOut,
@@ -797,12 +837,14 @@ impl Engine<'_> {
             let candidates = self.radio_candidates(node, pos);
             let busy_until = candidates
                 .iter()
-                .map(|&id| self.nodes.get(id))
-                .filter(|o| {
-                    o.up && o.tx_until > now
-                        && crate::mobility::distance(pos, o.mobility.position(now)) <= radio.range
+                .filter_map(|&id| {
+                    let h = &self.hot[id.0 as usize];
+                    let until = self.nodes.get(id).tx_until;
+                    (h.up
+                        && until > now
+                        && crate::mobility::distance(pos, h.position(now)) <= radio.range)
+                        .then_some(until)
                 })
-                .map(|o| o.tx_until)
                 .max();
             self.recycle_candidates(candidates);
             if let Some(until) = busy_until {
@@ -861,11 +903,15 @@ impl Engine<'_> {
                 let faults_active = !self.packet_faults.is_empty();
                 let mut batch = self.scratch.batch_pool.pop().unwrap_or_default();
                 for &rx in &candidates {
-                    let r = self.nodes.get(rx);
+                    // Liveness + position come from the hot arena: the
+                    // fan-out filter is the innermost loop of city-scale
+                    // runs, and 56-byte `HotNode`s keep it in cache where
+                    // the full `Node` structs cannot.
+                    let r = &self.hot[rx.0 as usize];
                     if !r.up {
                         continue;
                     }
-                    let dist = crate::mobility::distance(pos, r.mobility.position(now));
+                    let dist = crate::mobility::distance(pos, r.position(now));
                     if dist > radio.range || self.link_faulted(node, rx) {
                         continue;
                     }
@@ -900,16 +946,16 @@ impl Engine<'_> {
                 let ok = match target {
                     Some(target) => {
                         let up_and_in_range = {
-                            let t = self.nodes.get(target);
+                            let t = &self.hot[target.0 as usize];
                             t.up && t.has_radio
                                 && !self.link_faulted(node, target)
-                                && crate::mobility::distance(pos, t.mobility.position(self.now))
+                                && crate::mobility::distance(pos, t.position(self.now))
                                     <= radio.range
                         };
                         if up_and_in_range {
                             let dist = crate::mobility::distance(
                                 pos,
-                                self.nodes.get(target).position(self.now),
+                                self.hot[target.0 as usize].position(self.now),
                             );
                             let n = self.nodes.get_mut(node);
                             !radio.loss.sample_loss(dist, radio.range, &mut n.rng)

@@ -26,13 +26,22 @@
 //!   inflated query therefore always returns a superset of the true
 //!   in-range set, and the caller's exact distance filter trims it.
 //!
-//! The grid rebuilds lazily: mutations that can move nodes discontinuously
-//! (adding nodes, teleports, mobility swaps) and waypoint replans mark it
-//! dirty, and a query rebuilds when dirty or when accumulated drift would
-//! inflate the query radius past a fraction of the cell size (at which
-//! point the 3×3 block no longer suffices and a fresh build is cheaper
-//! than a wider scan). Static worlds never drift, so after warm-up they
-//! never rebuild.
+//! The grid maintains itself incrementally: structural mutations (adding
+//! nodes) mark the whole index dirty and force a full rebuild, but
+//! per-node position changes (teleports, mobility swaps, waypoint
+//! replans) move just that node between cells via
+//! [`invalidate_node`](NeighborGrid::invalidate_node). When accumulated
+//! drift would inflate the query radius past a fraction of the cell size
+//! (at which point the 3×3 block no longer suffices and a wider scan is
+//! needed), only the *mobile* nodes are re-binned — a 100k-node city with
+//! a handful of convoys refreshes in O(#mobile), not O(n). Static worlds
+//! never drift, so after warm-up they never rebuild.
+//!
+//! Nodes that wander outside the build-time bounding box are clamped to
+//! the nearest edge cell. This preserves the superset guarantee: the
+//! query block is clamped to the same box, and clamping is monotone per
+//! axis, so a node's clamped cell always lies inside the clamped query
+//! block whenever its true cell lies inside the unclamped one.
 
 use crate::mobility::Position;
 use crate::node::{Node, NodeId};
@@ -64,15 +73,27 @@ pub struct NeighborGrid {
     /// Bounding-box extent in cells.
     cols: i64,
     rows: i64,
-    /// Row-major buckets of node ids whose *build-time* position fell in
-    /// that cell. Each bucket is id-sorted because rebuilds iterate nodes
-    /// in creation order. A flat array (not a hash map) so the 3×3 query
-    /// does plain indexing.
+    /// Row-major buckets of node ids whose *assigned* position fell in
+    /// that cell. Each bucket is id-sorted: rebuilds iterate nodes in
+    /// creation order and incremental moves use sorted insertion. A flat
+    /// array (not a hash map) so the 3×3 query does plain indexing.
     buckets: Vec<Vec<NodeId>>,
-    /// Set when topology mutated discontinuously; forces a rebuild on the
-    /// next query.
+    /// Per-node assigned cell (clamped to the built bounding box), indexed
+    /// by node id. Sentinel for nodes outside the build (non-radio).
+    node_cell: Vec<(i64, i64)>,
+    /// Whether each node had a nonzero mobility bound at its last
+    /// assignment, indexed by node id. Mirrors membership in `mobile`.
+    is_mobile: Vec<bool>,
+    /// Ids of indexed nodes with nonzero mobility bound — the only nodes a
+    /// drift refresh must re-bin.
+    mobile: Vec<NodeId>,
+    /// Set when topology mutated structurally (node added); forces a full
+    /// rebuild on the next query.
     dirty: bool,
 }
+
+/// Assigned-cell sentinel for nodes the current build does not index.
+const NO_CELL: (i64, i64) = (i64::MIN, i64::MIN);
 
 impl NeighborGrid {
     /// Creates an empty, dirty index with the given cell size (radio
@@ -86,15 +107,62 @@ impl NeighborGrid {
             cols: 0,
             rows: 0,
             buckets: Vec::new(),
+            node_cell: Vec::new(),
+            is_mobile: Vec::new(),
+            mobile: Vec::new(),
             dirty: true,
         }
     }
 
-    /// Marks the index stale. Call whenever a node's position can change
-    /// discontinuously (node added, teleport, mobility model replaced) or
-    /// its trajectory is re-sampled (waypoint replan).
+    /// Marks the whole index stale. Call on structural mutations (node
+    /// added) where the bounding box itself may need to grow. Per-node
+    /// position changes should use [`invalidate_node`](Self::invalidate_node)
+    /// instead.
     pub fn invalidate(&mut self) {
         self.dirty = true;
+    }
+
+    /// Re-bins a single node after a discontinuous position change
+    /// (teleport, mobility swap, waypoint replan): moves it from its
+    /// assigned cell to the cell of its position at `now`, clamped to the
+    /// built bounding box. O(bucket) instead of the O(n) full rebuild the
+    /// blanket [`invalidate`](Self::invalidate) forces. Falls back to a
+    /// full rebuild when the node is unknown to the current build.
+    pub fn invalidate_node(&mut self, nodes: &[Node], id: NodeId, now: SimTime) {
+        if self.dirty {
+            return;
+        }
+        let idx = id.0 as usize;
+        let Some(n) = nodes.get(idx) else {
+            self.dirty = true;
+            return;
+        };
+        if !n.has_radio {
+            return;
+        }
+        if self.cols == 0 || idx >= self.node_cell.len() || self.node_cell[idx] == NO_CELL {
+            self.dirty = true;
+            return;
+        }
+        // Monotone overestimate: a faster mobility model raises the drift
+        // bound immediately (queries over-scan, stay supersets); the exact
+        // bound is restored at the next refresh or rebuild.
+        self.max_speed = self.max_speed.max(n.mobility.max_speed());
+        let c = self.clamped_cell(n.mobility.position(now));
+        let old = self.node_cell[idx];
+        if c != old {
+            self.remove_from_bucket(old, id);
+            self.insert_into_bucket(c, id);
+            self.node_cell[idx] = c;
+        }
+        let mobile = n.mobility.max_speed() > 0.0;
+        if mobile && !self.is_mobile[idx] {
+            self.is_mobile[idx] = true;
+            self.mobile.push(id);
+        } else if !mobile && self.is_mobile[idx] {
+            self.is_mobile[idx] = false;
+            self.mobile.retain(|&m| m != id);
+        }
     }
 
     /// Whether the next query at `now` would rebuild the cells first:
@@ -107,18 +175,49 @@ impl NeighborGrid {
         self.dirty || self.drift(now) > self.cell * MAX_DRIFT_FRACTION
     }
 
-    /// Rebuilds now if the next query would have: called by the parallel
+    /// Refreshes now if the next query would have: called by the parallel
     /// runner at a window boundary so workers can query the index frozen
-    /// for the whole window. Rebuild timing is free to differ between
+    /// for the whole window. Refresh timing is free to differ between
     /// thread counts — queries return drift-inflated *supersets* that the
     /// callers trim with exact distance checks before anything observable
-    /// (RNG draws, deliveries) happens, so when a rebuild lands is
+    /// (RNG draws, deliveries) happens, so when a refresh lands is
     /// invisible in the trace (the grid↔full-scan equivalence tests pin
     /// exactly this).
+    ///
+    /// A dirty index (structural change) takes the full O(n) rebuild; a
+    /// merely *drifted* one re-bins only the mobile nodes.
     pub fn ensure_fresh(&mut self, nodes: &[Node], now: SimTime) {
-        if self.needs_rebuild(now) {
+        if self.dirty {
             self.rebuild(nodes, now);
+        } else if self.drift(now) > self.cell * MAX_DRIFT_FRACTION {
+            self.refresh_mobile(nodes, now);
         }
+    }
+
+    /// Re-bins every mobile node to its cell at `now` and resets the
+    /// drift clock. Sound because static cells are exact (those nodes
+    /// have not moved since assignment) and every node that *can* move is
+    /// on the mobile list, so after the pass all assigned cells reflect
+    /// positions at `now`. Also recomputes the exact mobility bound,
+    /// undoing any monotone overestimate left by
+    /// [`invalidate_node`](Self::invalidate_node).
+    fn refresh_mobile(&mut self, nodes: &[Node], now: SimTime) {
+        let mut max_speed = 0.0f64;
+        for i in 0..self.mobile.len() {
+            let id = self.mobile[i];
+            let idx = id.0 as usize;
+            let n = &nodes[idx];
+            max_speed = max_speed.max(n.mobility.max_speed());
+            let c = self.clamped_cell(n.mobility.position(now));
+            let old = self.node_cell[idx];
+            if c != old {
+                self.remove_from_bucket(old, id);
+                self.insert_into_bucket(c, id);
+                self.node_cell[idx] = c;
+            }
+        }
+        self.max_speed = max_speed;
+        self.built_at = now;
     }
 
     /// Worst-case distance any node may have moved since the last build.
@@ -134,10 +233,44 @@ impl NeighborGrid {
         )
     }
 
+    /// Cell of `pos`, clamped into the built bounding box (see the module
+    /// docs for why clamping preserves the superset guarantee).
+    fn clamped_cell(&self, pos: Position) -> (i64, i64) {
+        let c = self.cell_of(pos);
+        (
+            c.0.clamp(self.origin.0, self.origin.0 + self.cols - 1),
+            c.1.clamp(self.origin.1, self.origin.1 + self.rows - 1),
+        )
+    }
+
+    fn bucket_idx(&self, c: (i64, i64)) -> usize {
+        ((c.1 - self.origin.1) * self.cols + (c.0 - self.origin.0)) as usize
+    }
+
+    fn remove_from_bucket(&mut self, c: (i64, i64), id: NodeId) {
+        let idx = self.bucket_idx(c);
+        let b = &mut self.buckets[idx];
+        if let Ok(i) = b.binary_search_by_key(&id.0, |n| n.0) {
+            b.remove(i);
+        }
+    }
+
+    fn insert_into_bucket(&mut self, c: (i64, i64), id: NodeId) {
+        let idx = self.bucket_idx(c);
+        let b = &mut self.buckets[idx];
+        let i = b.binary_search_by_key(&id.0, |n| n.0).unwrap_or_else(|i| i);
+        b.insert(i, id);
+    }
+
     fn rebuild(&mut self, nodes: &[Node], now: SimTime) {
         for b in &mut self.buckets {
             b.clear();
         }
+        self.node_cell.clear();
+        self.node_cell.resize(nodes.len(), NO_CELL);
+        self.is_mobile.clear();
+        self.is_mobile.resize(nodes.len(), false);
+        self.mobile.clear();
         self.max_speed = 0.0;
         // Bounding box of radio-node cells; positions are recomputed in
         // the placement pass below (cheap, and keeps this single-pass
@@ -185,6 +318,11 @@ impl NeighborGrid {
             let c = self.cell_of(n.mobility.position(now));
             let idx = (c.1 - origin.1) * self.cols + (c.0 - origin.0);
             self.buckets[idx as usize].push(n.id);
+            self.node_cell[n.id.0 as usize] = c;
+            if n.mobility.max_speed() > 0.0 {
+                self.is_mobile[n.id.0 as usize] = true;
+                self.mobile.push(n.id);
+            }
         }
         self.built_at = now;
         self.dirty = false;
@@ -222,9 +360,7 @@ impl NeighborGrid {
         now: SimTime,
         out: &mut Vec<NodeId>,
     ) {
-        if self.needs_rebuild(now) {
-            self.rebuild(nodes, now);
-        }
+        self.ensure_fresh(nodes, now);
         self.query(node, pos, range, now, out);
     }
 
@@ -375,6 +511,74 @@ mod tests {
                 "drifted node missing from candidates"
             );
         }
+    }
+
+    #[test]
+    fn per_node_invalidation_matches_full_scan() {
+        let mut rng = SimRng::from_seed_and_stream(9, 9);
+        let positions: Vec<(f64, f64)> = (0..60)
+            .map(|_| (rng.range_f64(0.0, 400.0), rng.range_f64(0.0, 400.0)))
+            .collect();
+        let mut nodes = mk_nodes(&positions);
+        let range = 100.0;
+        let now = SimTime::ZERO;
+        let mut grid = NeighborGrid::new(range);
+        // Initial full build.
+        grid.candidates(&nodes, NodeId(0), positions[0], range, now);
+        // Teleport a handful of nodes — including one outside the built
+        // bounding box (exercises edge-cell clamping) — and re-bin each
+        // incrementally instead of rebuilding.
+        for (i, to) in [
+            (3usize, (390.0, 10.0)),
+            (17, (5.0, 395.0)),
+            (41, (2000.0, 2000.0)),
+        ] {
+            nodes[i].mobility = Mobility::fixed(to.0, to.1);
+            grid.invalidate_node(&nodes, NodeId(i as u32), now);
+        }
+        assert!(!grid.needs_rebuild(now), "incremental path went dirty");
+        for n in &nodes {
+            let pos = n.mobility.position(now);
+            let cand = grid.candidates(&nodes, n.id, pos, range, now);
+            let exact: Vec<NodeId> = cand
+                .into_iter()
+                .filter(|&id| distance(pos, nodes[id.0 as usize].mobility.position(now)) <= range)
+                .collect();
+            assert_eq!(exact, full_scan(&nodes, n.id, pos, range, now));
+        }
+    }
+
+    #[test]
+    fn drift_refresh_rebins_only_mobile_nodes_and_resets_clock() {
+        // A static field plus one fast waypoint node: once drift exceeds
+        // the slack budget the refresh must re-bin the mover (queries stay
+        // exact-equivalent to a full scan) and reset the drift clock.
+        let mut nodes = mk_nodes(&[(0.0, 0.0), (10.0, 0.0), (250.0, 250.0), (400.0, 0.0)]);
+        let area = Area::new(500.0, 500.0);
+        let params = WaypointParams::new(30.0, 30.0, SimDuration::ZERO);
+        let mut rng = SimRng::from_seed_and_stream(5, 6);
+        nodes[1].mobility =
+            Mobility::random_waypoint((10.0, 0.0), params, area, SimTime::ZERO, &mut rng);
+        let range = 100.0;
+        let mut grid = NeighborGrid::new(range);
+        grid.candidates(&nodes, NodeId(0), (0.0, 0.0), range, SimTime::ZERO);
+        // 30 m/s for 2 s = 60 m of drift > 25 m slack: the next query
+        // takes the mobile-refresh path, not the full rebuild.
+        let later = SimTime::from_secs(2);
+        assert!(grid.needs_rebuild(later));
+        for n in &nodes {
+            let pos = n.mobility.position(later);
+            let cand = grid.candidates(&nodes, n.id, pos, range, later);
+            let exact: Vec<NodeId> = cand
+                .into_iter()
+                .filter(|&id| distance(pos, nodes[id.0 as usize].mobility.position(later)) <= range)
+                .collect();
+            assert_eq!(exact, full_scan(&nodes, n.id, pos, range, later));
+        }
+        assert!(
+            !grid.needs_rebuild(later),
+            "refresh must reset the drift clock"
+        );
     }
 
     #[test]

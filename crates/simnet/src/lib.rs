@@ -75,7 +75,7 @@ pub mod prelude {
         FaultAction, FaultPlan, LinkSelector, MaliciousKind, PacketFault, PacketFaultKind,
     };
     pub use crate::mobility::{Area, Mobility, WaypointParams};
-    pub use crate::net::{ports, Addr, Datagram, L2Dst, SocketAddr};
+    pub use crate::net::{ports, Addr, Datagram, L2Dst, Payload, SocketAddr};
     pub use crate::node::{NodeConfig, NodeId};
     pub use crate::process::{Ctx, LocalEvent, Process};
     pub use crate::radio::{LossModel, RadioConfig};

@@ -18,6 +18,31 @@ pub fn distance(a: Position, b: Position) -> f64 {
     (dx * dx + dy * dy).sqrt()
 }
 
+/// Linear interpolation along one waypoint leg.
+///
+/// Shared by [`Mobility::position`] and the hot-node arena
+/// (`node::HotNode`) so both paths produce bit-identical positions —
+/// the deterministic trace digests depend on that.
+#[inline]
+pub(crate) fn leg_position(
+    from: Position,
+    to: Position,
+    start: SimTime,
+    arrive: SimTime,
+    now: SimTime,
+) -> Position {
+    if now >= arrive {
+        to
+    } else if now <= start {
+        from
+    } else {
+        let total = (arrive - start).as_secs_f64();
+        let done = (now - start).as_secs_f64();
+        let f = if total > 0.0 { done / total } else { 1.0 };
+        (from.0 + (to.0 - from.0) * f, from.1 + (to.1 - from.1) * f)
+    }
+}
+
 /// The rectangular area nodes move within.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Area {
@@ -140,19 +165,7 @@ impl Mobility {
         match self {
             Mobility::Static { pos } => *pos,
             Mobility::RandomWaypoint { leg, .. } => {
-                if now >= leg.arrive {
-                    leg.to
-                } else if now <= leg.start {
-                    leg.from
-                } else {
-                    let total = (leg.arrive - leg.start).as_secs_f64();
-                    let done = (now - leg.start).as_secs_f64();
-                    let f = if total > 0.0 { done / total } else { 1.0 };
-                    (
-                        leg.from.0 + (leg.to.0 - leg.from.0) * f,
-                        leg.from.1 + (leg.to.1 - leg.from.1) * f,
-                    )
-                }
+                leg_position(leg.from, leg.to, leg.start, leg.arrive, now)
             }
         }
     }

@@ -113,6 +113,67 @@ pub(crate) struct PendingPacket {
     pub deadline: SimTime,
 }
 
+/// Cache-hot per-node state, mirrored out of the [`Node`] arena into a
+/// dense SoA-style vector (`World::hot`).
+///
+/// Radio fan-out touches `up` + position of every candidate receiver; at
+/// city scale those reads dominate, and pulling them through the full
+/// `Node` struct (several cache lines, pointer-rich) thrashes the cache.
+/// `HotNode` packs exactly the broadcast-filter fields into 56 bytes.
+///
+/// Positions are interpolated by the same `mobility::leg_position`
+/// function the authoritative `Mobility` model uses, so both paths are
+/// bit-identical. Entries are rewritten only from sequential contexts
+/// (`add_node`, `set_node_up`, replans, explicit moves) — never inside a
+/// parallel window — so workers may read the arena as a plain shared
+/// slice.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HotNode {
+    pub up: bool,
+    pub has_radio: bool,
+    /// Whether the node is on a waypoint leg (false = parked at `from`).
+    moving: bool,
+    from: (f64, f64),
+    to: (f64, f64),
+    start: SimTime,
+    arrive: SimTime,
+}
+
+impl HotNode {
+    /// Snapshots the hot fields of `n`.
+    pub(crate) fn of(n: &Node) -> HotNode {
+        match &n.mobility {
+            Mobility::Static { pos } => HotNode {
+                up: n.up,
+                has_radio: n.has_radio,
+                moving: false,
+                from: *pos,
+                to: *pos,
+                start: SimTime::ZERO,
+                arrive: SimTime::ZERO,
+            },
+            Mobility::RandomWaypoint { leg, .. } => HotNode {
+                up: n.up,
+                has_radio: n.has_radio,
+                moving: true,
+                from: leg.from,
+                to: leg.to,
+                start: leg.start,
+                arrive: leg.arrive,
+            },
+        }
+    }
+
+    /// Position at `now`; identical to `Node::position(now)`.
+    #[inline]
+    pub(crate) fn position(&self, now: SimTime) -> (f64, f64) {
+        if !self.moving {
+            return self.from;
+        }
+        crate::mobility::leg_position(self.from, self.to, self.start, self.arrive, now)
+    }
+}
+
 /// A host in the simulated network. Public accessors expose read-only state
 /// for tests and experiment harnesses; mutation happens through the world.
 pub struct Node {
@@ -266,6 +327,38 @@ mod tests {
     #[should_panic(expected = "public address")]
     fn wired_config_rejects_manet_addr() {
         let _ = NodeConfig::wired(Addr::manet(0));
+    }
+
+    #[test]
+    fn hot_node_positions_match_mobility_exactly() {
+        use crate::mobility::{Area, Mobility, WaypointParams};
+        use crate::time::SimDuration;
+        let mut rng = SimRng::from_seed_and_stream(7, 7);
+        let params = WaypointParams::new(1.0, 9.0, SimDuration::from_secs(1));
+        let area = Area::new(300.0, 300.0);
+        let mob = Mobility::random_waypoint((5.0, 5.0), params, area, SimTime::ZERO, &mut rng);
+        let mut n = Node::new(
+            NodeId(0),
+            Addr::manet(0),
+            NodeConfig::manet(0.0, 0.0).with_mobility(mob),
+            SimRng::from_seed_and_stream(0, 0),
+        );
+        n.up = false;
+        let h = HotNode::of(&n);
+        assert!(!h.up && h.has_radio);
+        for us in [0u64, 1, 500_000, 1_234_567, 60_000_000] {
+            let t = SimTime::from_micros(us);
+            // Bit-identical, not approximately equal: trace digests
+            // depend on the hot arena never diverging from the model.
+            assert_eq!(h.position(t), n.position(t));
+        }
+        let stat = HotNode::of(&Node::new(
+            NodeId(1),
+            Addr::manet(1),
+            NodeConfig::manet(3.0, 4.0),
+            SimRng::from_seed_and_stream(1, 1),
+        ));
+        assert_eq!(stat.position(SimTime::from_secs(42)), (3.0, 4.0));
     }
 
     #[test]

@@ -16,6 +16,35 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// A take-a-number dispenser for dynamic work distribution: each
+/// [`WorkCursor::claim`] returns a distinct index in `0..limit` (in
+/// arrival order) until the range is exhausted.
+///
+/// Shared by [`run_indexed`]'s sweep pool and the window executor's
+/// steal pool (`crate::shard`): both hand out work units to whichever
+/// thread frees up first, and both depend on every index being claimed
+/// exactly once regardless of thread timing.
+pub(crate) struct WorkCursor {
+    next: AtomicUsize,
+    limit: usize,
+}
+
+impl WorkCursor {
+    pub fn new(limit: usize) -> WorkCursor {
+        WorkCursor {
+            next: AtomicUsize::new(0),
+            limit,
+        }
+    }
+
+    /// Claims the next unclaimed index, or `None` once all are taken.
+    #[inline]
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.limit).then_some(i)
+    }
+}
+
 /// Runs `f(0..count)` across up to `jobs` worker threads and returns the
 /// results in index order.
 ///
@@ -37,17 +66,15 @@ where
     if jobs <= 1 {
         return (0..count).map(f).collect();
     }
-    let next = AtomicUsize::new(0);
+    let cursor = WorkCursor::new(count);
     let results: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..jobs {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
+            s.spawn(|| {
+                while let Some(i) = cursor.claim() {
+                    let r = f(i);
+                    *results[i].lock().expect("result slot poisoned") = Some(r);
                 }
-                let r = f(i);
-                *results[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
     });
@@ -65,6 +92,16 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn work_cursor_hands_out_each_index_once_then_none() {
+        let c = WorkCursor::new(3);
+        assert_eq!(c.claim(), Some(0));
+        assert_eq!(c.claim(), Some(1));
+        assert_eq!(c.claim(), Some(2));
+        assert_eq!(c.claim(), None);
+        assert_eq!(c.claim(), None);
+    }
 
     #[test]
     fn results_come_back_in_input_order() {

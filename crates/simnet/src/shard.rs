@@ -1,5 +1,6 @@
 //! Sharded single-world execution: conservative-lookahead windows,
-//! conflict components, deterministic replay.
+//! conflict components, deterministic replay, cross-window work
+//! stealing.
 //!
 //! [`World::run_until_threads`] runs the same event-for-event simulation
 //! as [`World::run_until`], byte-identically — same trace, same `(time,
@@ -41,6 +42,37 @@
 //! fanning out — fall back to the sequential engine for that window, so
 //! correctness never rests on the fast path.
 //!
+//! # Work stealing
+//!
+//! Workers that exhaust their bucket don't idle at the window barrier.
+//! After partitioning a parallel window, the coordinator pre-pops the
+//! events of the *next* lookahead range `[end, steal_end)` (one more
+//! `h_min`, clipped to the run target) and runs a second conflict
+//! analysis over them with widened margins: candidate components merge
+//! when their coarse cells are within a Chebyshev distance of 2, and a
+//! component is rejected outright if any of its nodes touches the wired
+//! backbone, carries SIP-layer address state (extra local addresses or
+//! address handlers, whose map entries the current window may rewrite),
+//! is itself a current-window node, or sits within two cells of any
+//! occupied current-window cell. What survives is provably untouchable
+//! by the window being executed *and* by anything scheduled later (fault
+//! and replan events are born only in sequential contexts, and their
+//! presence in the stolen range cancels the steal). Surviving components
+//! go into a shared pool; every worker — and the coordinator — claims
+//! them through an atomic cursor once its own bucket drains.
+//!
+//! Stolen results are not applied at the barrier: node-local state has
+//! already advanced (that is safe — nothing else may touch those nodes
+//! before `steal_end`), but the world-observable effects — clock, event
+//! count, trace entries, child scheduling, sequence-number assignment —
+//! are *parked* in a stash keyed by the events' original `(time, seq)`
+//! and drained exactly where the sequential loop would have executed
+//! them: before the next window if they precede it, interleaved into
+//! sequential fallback and replay merges otherwise. Windows that follow
+//! an outstanding steal are clipped to `steal_end` so no event the
+//! stolen range didn't see can slip inside it. Stealing is an
+//! opportunistic fast path; correctness never depends on it firing.
+//!
 //! # Sharing caveat
 //!
 //! Worker threads touch disjoint node sets, which makes the usual `Send`
@@ -55,10 +87,11 @@ use std::sync::mpsc;
 
 use crate::exec::{
     event_nodes, ChildSlot, Engine, EngineOut, EngineScratch, Event, GridAccess, MapAccess, MapOp,
-    NodesAccess, Rec, WorkerOut,
+    NodesAccess, Rec, StashGroup, WorkerOut,
 };
 use crate::fasthash::FastMap;
-use crate::node::NodeId;
+use crate::node::{HotNode, NodeId};
+use crate::parallel::WorkCursor;
 use crate::time::SimTime;
 use crate::world::World;
 
@@ -83,7 +116,9 @@ struct Init {
     event: Option<Event>,
 }
 
-/// Per-bucket execution state, reused across windows.
+/// Per-bucket execution state, reused across windows. Serves both the
+/// window's own components and stolen next-range components; the two
+/// differ only in `end`.
 #[derive(Default)]
 struct Bucket {
     inits: Vec<Init>,
@@ -93,6 +128,10 @@ struct Bucket {
     children: Vec<ChildSlot>,
     out: WorkerOut,
     eng: EngineOut,
+    /// Exclusive end of this bucket's range: children at `time >= end`
+    /// are future. Window `end` for primary buckets, `steal_end` for
+    /// stolen ones.
+    end: SimTime,
 }
 
 impl Bucket {
@@ -119,20 +158,30 @@ struct WindowShared {
     partition: *const Option<std::collections::BTreeSet<u32>>,
     addr_map: *const FastMap<crate::net::Addr, NodeId>,
     grid: *const crate::grid::NeighborGrid,
+    hot_ptr: *const HotNode,
+    hot_len: usize,
     trace_enabled: bool,
-    /// Exclusive end of the window: children at `time >= end` are future.
-    end: SimTime,
+    /// Steal pool: an atomic take-a-number cursor over `steal_tasks`.
+    /// Each stolen bucket is claimed (and thus mutated) by exactly one
+    /// thread; the buckets are node-disjoint from every primary bucket
+    /// and from each other.
+    steal_cursor: *const WorkCursor,
+    steal_tasks: *const *mut Bucket,
+    steal_tasks_len: usize,
 }
 
 struct Task {
     shared: *const WindowShared,
+    /// This worker's primary bucket, or null when it only participates
+    /// in the steal pool.
     bucket: *mut Bucket,
 }
 
 // SAFETY: the coordinator guarantees (a) the pointed-to data outlives the
 // task (it blocks on worker completion before the window state is
 // dropped or the world mutated) and (b) no two live tasks' buckets
-// overlap, and bucket node sets are disjoint (conflict components).
+// overlap, stolen buckets are claimed at most once (atomic cursor), and
+// bucket node sets are disjoint (conflict components).
 unsafe impl Send for Task {}
 
 /// Executes every event of one bucket in sequential-equivalent order,
@@ -176,6 +225,7 @@ unsafe fn run_bucket(shared: &WindowShared, b: &mut Bucket, scratch: &mut Engine
                 fault_rng: None,
                 map: MapAccess::Overlay(&*shared.addr_map),
                 grid: GridAccess::Frozen(&*shared.grid),
+                hot: std::slice::from_raw_parts(shared.hot_ptr, shared.hot_len),
                 trace_enabled: shared.trace_enabled,
                 scratch,
                 out: &mut b.eng,
@@ -184,7 +234,7 @@ unsafe fn run_bucket(shared: &WindowShared, b: &mut Bucket, scratch: &mut Engine
         }
         b.out.trace.append(&mut b.eng.trace);
         for (t, ev) in b.eng.children.drain(..) {
-            if t < shared.end {
+            if t < b.end {
                 let slot = b.children.len() as u32;
                 b.children.push(ChildSlot::Pending(ev));
                 b.heap.push(Reverse((t, CHILD_RANK_BASE + born, slot)));
@@ -213,7 +263,29 @@ unsafe fn run_bucket(shared: &WindowShared, b: &mut Bucket, scratch: &mut Engine
     std::mem::swap(&mut b.out.map_ops, &mut b.eng.map_ops);
 }
 
+/// Claims and executes stolen buckets from the window's steal pool until
+/// it is exhausted.
+///
+/// # Safety
+///
+/// Same contract as [`run_bucket`]; additionally the steal pointers in
+/// `shared` must be valid for the duration of the window.
+unsafe fn run_steals(shared: &WindowShared, scratch: &mut EngineScratch) {
+    if shared.steal_tasks_len == 0 {
+        return;
+    }
+    let cursor = &*shared.steal_cursor;
+    let tasks = std::slice::from_raw_parts(shared.steal_tasks, shared.steal_tasks_len);
+    while let Some(i) = cursor.claim() {
+        // SAFETY: the cursor hands out each index exactly once, so this
+        // thread is the sole owner of `tasks[i]`.
+        run_bucket(shared, &mut *tasks[i], scratch);
+    }
+}
+
 /// Scratch state for per-window conflict analysis, reused across windows.
+/// One instance partitions the window itself; a second, independent
+/// instance analyzes steal candidates (probing the first for exclusion).
 #[derive(Default)]
 struct Analysis {
     /// Union-find parents over `inits.len() + 1` entries; the last entry
@@ -283,9 +355,15 @@ impl World {
             .collect();
 
         let mut analysis = Analysis::default();
+        let mut steal_analysis = Analysis::default();
         let mut inits: Vec<Init> = Vec::new();
+        let mut steal_inits: Vec<Init> = Vec::new();
         let mut buckets: Vec<Bucket> = (0..threads).map(|_| Bucket::default()).collect();
+        let mut steal_buckets: Vec<Bucket> = Vec::new();
         let mut coord_scratch = EngineScratch::default();
+        // Exclusive end of the range covered by outstanding stolen
+        // results; meaningful only while the stash is non-empty.
+        let mut stash_cap = SimTime::ZERO;
 
         let n_workers = threads - 1;
         let (done_tx, done_rx) = mpsc::channel::<()>();
@@ -304,7 +382,13 @@ impl World {
                     while let Ok(task) = rx.recv() {
                         // SAFETY: see `Task`'s Send justification; the
                         // coordinator upholds the window protocol.
-                        unsafe { run_bucket(&*task.shared, &mut *task.bucket, &mut scratch) };
+                        unsafe {
+                            let shared = &*task.shared;
+                            if !task.bucket.is_null() {
+                                run_bucket(shared, &mut *task.bucket, &mut scratch);
+                            }
+                            run_steals(shared, &mut scratch);
+                        }
                         if done.send(()).is_err() {
                             break;
                         }
@@ -312,16 +396,33 @@ impl World {
                 });
             }
 
-            while let Some(Reverse(q)) = self.queue.peek() {
+            loop {
+                // Stolen-ahead results that precede every queued event
+                // apply first: their future children may belong inside
+                // the very window about to be popped.
+                if !self.stash.heap.is_empty() {
+                    let head = self.queue.peek().map(|r| (r.0.time, r.0.seq));
+                    self.drain_stash_until(head);
+                }
+                let Some(Reverse(q)) = self.queue.peek() else {
+                    break;
+                };
                 if q.time > t {
                     break;
                 }
                 let t0 = q.time;
-                let end = SimTime::from_micros(
+                let mut end = SimTime::from_micros(
                     (t0 + h_min)
                         .as_micros()
                         .min(t.as_micros().saturating_add(1)),
                 );
+                // Outstanding stolen results mean node state up to
+                // `stash_cap` is already final but their children are
+                // not yet scheduled; clipping the window keeps any event
+                // the stolen range didn't see from slipping inside it.
+                if !self.stash.heap.is_empty() {
+                    end = end.min(stash_cap);
+                }
 
                 // Pop the window's initial events.
                 inits.clear();
@@ -354,6 +455,7 @@ impl World {
                 // Distribute inits to their component's bucket.
                 for b in buckets.iter_mut() {
                     b.reset();
+                    b.end = end;
                 }
                 let wired_root = analysis.find(inits.len() as u32);
                 let wired_bucket = analysis.bucket_of_root.get(&wired_root).copied();
@@ -363,6 +465,35 @@ impl World {
                     buckets[b].inits.push(init);
                 }
 
+                // Steal provably independent components from the next
+                // lookahead range, for whoever drains their bucket
+                // first. Only with a clean stash: one outstanding stolen
+                // range at a time keeps the window-clipping rule above a
+                // single bound.
+                let steal_end = SimTime::from_micros(
+                    (end + h_min)
+                        .as_micros()
+                        .min(t.as_micros().saturating_add(1)),
+                );
+                let n_steal =
+                    if self.cfg.work_stealing && self.stash.heap.is_empty() && steal_end > end {
+                        self.select_steals(
+                            &mut analysis,
+                            &mut steal_analysis,
+                            &mut steal_inits,
+                            &mut steal_buckets,
+                            t0,
+                            steal_end,
+                        )
+                    } else {
+                        0
+                    };
+
+                let steal_cursor = WorkCursor::new(n_steal);
+                let steal_tasks: Vec<*mut Bucket> = steal_buckets[..n_steal]
+                    .iter_mut()
+                    .map(|b| b as *mut Bucket)
+                    .collect();
                 let shared = WindowShared {
                     cfg: &self.cfg,
                     nodes_ptr: self.nodes.as_mut_ptr(),
@@ -373,24 +504,31 @@ impl World {
                     partition: &self.partition,
                     addr_map: &self.addr_map,
                     grid: &self.grid,
+                    hot_ptr: self.hot.as_ptr(),
+                    hot_len: self.hot.len(),
                     trace_enabled: self.trace.is_enabled(),
-                    end,
+                    steal_cursor: &steal_cursor,
+                    steal_tasks: steal_tasks.as_ptr(),
+                    steal_tasks_len: steal_tasks.len(),
                 };
 
-                // Fan the non-empty buckets out; bucket 0 runs here.
+                // Fan the non-empty buckets out; bucket 0 runs here. An
+                // idle worker still gets a (null-bucket) task when there
+                // is a steal pool to drain.
                 let bucket_base = buckets.as_mut_ptr();
                 let mut outstanding = 0usize;
                 for w in 1..threads {
                     // SAFETY: disjoint elements of `buckets`; the borrow
                     // is released when the done channel confirms below.
                     let bp = unsafe { bucket_base.add(w) };
-                    if unsafe { (*bp).inits.is_empty() } {
+                    let has_work = unsafe { !(*bp).inits.is_empty() };
+                    if !has_work && n_steal == 0 {
                         continue;
                     }
                     task_txs[w - 1]
                         .send(Task {
                             shared: &shared,
-                            bucket: bp,
+                            bucket: if has_work { bp } else { std::ptr::null_mut() },
                         })
                         .expect("worker thread died");
                     outstanding += 1;
@@ -400,12 +538,51 @@ impl World {
                     // shared window state is valid for this call.
                     unsafe { run_bucket(&shared, &mut buckets[0], &mut coord_scratch) };
                 }
+                // SAFETY: as above; stolen buckets are claimed at most
+                // once across all threads via the atomic cursor.
+                unsafe { run_steals(&shared, &mut coord_scratch) };
                 for _ in 0..outstanding {
                     done_rx.recv().expect("worker thread died");
                 }
 
+                // Park the stolen results. Node state has advanced, but
+                // every observable effect waits in the stash until the
+                // clock reaches each record's original `(time, seq)`.
+                if n_steal > 0 {
+                    self.steal_windows += 1;
+                    stash_cap = steal_end;
+                    for sb in steal_buckets[..n_steal].iter_mut() {
+                        // Steal selection rejects every candidate that
+                        // could reach the address map; a recorded
+                        // mutation would corrupt it silently, so this
+                        // stays a hard assert.
+                        assert!(
+                            sb.out.map_ops.is_empty(),
+                            "stolen execution mutated the address map"
+                        );
+                        self.steals += sb.out.recs.len() as u64;
+                        let group = self.stash.groups.len() as u32;
+                        for &(seq, rec) in &sb.out.init_recs {
+                            self.stash.heap.push(Reverse((
+                                sb.out.recs[rec as usize].time,
+                                seq,
+                                group,
+                                rec,
+                            )));
+                        }
+                        self.stash.groups.push(StashGroup {
+                            recs: std::mem::take(&mut sb.out.recs),
+                            trace: std::mem::take(&mut sb.out.trace),
+                            children: std::mem::take(&mut sb.children),
+                        });
+                    }
+                }
+
                 self.replay_window(&mut buckets, wired_bucket);
             }
+            // Whatever the steal pool ran ahead of time is at or before
+            // the run target; park nothing across the return.
+            self.drain_stash_until(None);
             drop(task_txs);
         });
         self.now = t;
@@ -557,24 +734,286 @@ impl World {
             })
     }
 
-    /// Sequential fallback for one window: run every event strictly
-    /// before `end` through the ordinary engine.
-    fn run_window_sequential(&mut self, end: SimTime) {
+    /// Pops the events of `[queue head, steal_end)` and keeps those
+    /// provably independent of the current window, of each other's
+    /// components, and of anything that can still be scheduled before
+    /// `steal_end`; the rest go straight back on the queue. Fills
+    /// `steal_buckets` and returns how many were filled (0 = no steal).
+    ///
+    /// `w` is the analysis of the window being executed: its occupied
+    /// cells (including wired-radio seeds) and node stamps are what the
+    /// candidates must keep clear of.
+    fn select_steals(
+        &mut self,
+        w: &mut Analysis,
+        sa: &mut Analysis,
+        steal_inits: &mut Vec<Init>,
+        steal_buckets: &mut Vec<Bucket>,
+        t0: SimTime,
+        steal_end: SimTime,
+    ) -> usize {
+        if self.cfg.use_spatial_index {
+            // The margins below need indexed positions valid through the
+            // stolen range; a rebuild due inside it cancels the steal,
+            // not the window.
+            let last = SimTime::from_micros(steal_end.as_micros().saturating_sub(1));
+            if self.grid.needs_rebuild(last) {
+                return 0;
+            }
+        }
+        steal_inits.clear();
         while let Some(Reverse(q)) = self.queue.peek() {
-            if q.time >= end {
+            if q.time >= steal_end {
                 break;
             }
             let Reverse(q) = self.queue.pop().expect("peeked entry vanished");
-            debug_assert!(q.time >= self.now, "event queue went backwards");
-            self.now = q.time;
             let event = self.take_slot(q.slot);
-            self.dispatch_sequential(event);
+            steal_inits.push(Init {
+                time: q.time,
+                seq: q.seq,
+                event: Some(event),
+            });
+        }
+        if steal_inits.is_empty() {
+            return 0;
+        }
+        // Fault applications and mobility replans mutate state every
+        // margin below assumes frozen. They are born only in sequential
+        // contexts, so none can *appear* in `[end, steal_end)` later —
+        // but any queued there now turns stealing off for this window.
+        if steal_inits.iter().any(|i| {
+            matches!(
+                i.event.as_ref().expect("init taken"),
+                Event::Fault(_) | Event::Replan { .. }
+            )
+        }) {
+            for init in steal_inits.drain(..) {
+                self.requeue(init.time, init.seq, init.event.expect("init taken"));
+            }
+            return 0;
+        }
+
+        // Second conflict analysis, with widened unions: a stolen
+        // component's effects and a neighbor's can each expand one disk,
+        // and both endpoints drift, so components whose cells are within
+        // a Chebyshev distance of 2 merge (distinct survivors end up
+        // > two 3×range cells — more than 6 × range — apart).
+        let n = steal_inits.len() as u32;
+        sa.parent.clear();
+        sa.parent.extend(0..n);
+        sa.epoch = sa.epoch.wrapping_add(1);
+        if sa.epoch == 0 {
+            sa.node_stamp.clear();
+            sa.epoch = 1;
+        }
+        if sa.node_stamp.len() < self.nodes.len() {
+            sa.node_stamp.resize(self.nodes.len(), 0);
+            sa.node_first.resize(self.nodes.len(), 0);
+        }
+        sa.cells.clear();
+        let cell = 3.0 * self.cfg.radio.range.max(1e-9);
+        for (i, init) in steal_inits.iter().enumerate() {
+            let i = i as u32;
+            let event = init.event.as_ref().expect("init taken");
+            for &node in event_nodes(event) {
+                let ni = node.0 as usize;
+                if sa.node_stamp[ni] == sa.epoch {
+                    sa.union(i, sa.node_first[ni]);
+                } else {
+                    sa.node_stamp[ni] = sa.epoch;
+                    sa.node_first[ni] = i;
+                }
+                let nd = &self.nodes[ni];
+                if nd.has_radio {
+                    let pos = nd.mobility.position(t0);
+                    let c = ((pos.0 / cell).floor() as i64, (pos.1 / cell).floor() as i64);
+                    for dy in -2..=2i64 {
+                        for dx in -2..=2i64 {
+                            if let Some(&first) = sa.cells.get(&(c.0 + dx, c.1 + dy)) {
+                                sa.union(i, first);
+                            }
+                        }
+                    }
+                    sa.cells.entry(c).or_insert(i);
+                }
+            }
+        }
+
+        // Rejection pass: fold each candidate's disqualifiers into its
+        // component root (`usize::MAX` in the bucket map marks a
+        // rejected root).
+        sa.bucket_of_root.clear();
+        for (i, init) in steal_inits.iter().enumerate() {
+            let event = init.event.as_ref().expect("init taken");
+            let mut bad = false;
+            'nodes: for &node in event_nodes(event) {
+                let ni = node.0 as usize;
+                let nd = &self.nodes[ni];
+                // Off-limits: the wired backbone (shared address map);
+                // SIP-layer address state — extra local addresses or
+                // address handlers, whose map entries the window's wired
+                // component may rewrite mid-flight; and any node the
+                // current window itself touches.
+                if nd.has_wired
+                    || nd.default_handler.is_some()
+                    || !nd.addr_handlers.is_empty()
+                    || nd.local_addrs.len() > 1
+                    || w.node_stamp[ni] == w.epoch
+                {
+                    bad = true;
+                    break 'nodes;
+                }
+                if nd.has_radio {
+                    // Two cells clear of every occupied window cell
+                    // (which include the wired-radio seeds): the window
+                    // side expands one disk, its future children land
+                    // within one more cell, and the stolen side expands
+                    // one disk of its own.
+                    let pos = nd.mobility.position(t0);
+                    let c = ((pos.0 / cell).floor() as i64, (pos.1 / cell).floor() as i64);
+                    for dy in -2..=2i64 {
+                        for dx in -2..=2i64 {
+                            if w.cells.contains_key(&(c.0 + dx, c.1 + dy)) {
+                                bad = true;
+                                break 'nodes;
+                            }
+                        }
+                    }
+                }
+            }
+            if bad {
+                let root = sa.find(i as u32);
+                sa.bucket_of_root.insert(root, usize::MAX);
+            }
+        }
+
+        // Surviving components become steal buckets in first-appearance
+        // order; rejected candidates go straight back to the queue under
+        // their original keys.
+        let mut n_steal = 0usize;
+        for i in 0..n {
+            let root = sa.find(i);
+            sa.bucket_of_root.entry(root).or_insert_with(|| {
+                let b = n_steal;
+                n_steal += 1;
+                b
+            });
+        }
+        if steal_buckets.len() < n_steal {
+            steal_buckets.resize_with(n_steal, Bucket::default);
+        }
+        for sb in steal_buckets[..n_steal].iter_mut() {
+            sb.reset();
+            sb.end = steal_end;
+        }
+        for (i, init) in steal_inits.drain(..).enumerate() {
+            let root = sa.find(i as u32);
+            let b = sa.bucket_of_root[&root];
+            if b == usize::MAX {
+                self.requeue(init.time, init.seq, init.event.expect("init taken"));
+            } else {
+                steal_buckets[b].inits.push(init);
+            }
+        }
+        n_steal
+    }
+
+    /// Applies one parked stolen record at its exact global position:
+    /// bookkeeping (clock, event count, trace entries), future children
+    /// into the queue, inline children back onto the stash heap — each
+    /// child's sequence number drawn from the world counter exactly
+    /// where the sequential loop would have drawn it.
+    fn apply_stash_rec(&mut self, group: u32, rec_idx: u32) {
+        let g = group as usize;
+        let rec = self.stash.groups[g].recs[rec_idx as usize];
+        debug_assert!(rec.time >= self.now, "stash replay went backwards");
+        self.now = rec.time;
+        self.events += rec.events_delta;
+        for i in rec.trace_range.0..rec.trace_range.1 {
+            let entry = self.stash.groups[g].trace[i as usize].clone();
+            self.trace.record(entry);
+        }
+        // Steal selection rejects every candidate that could reach the
+        // address map; a recorded mutation means the margins failed.
+        assert!(
+            rec.map_range.0 == rec.map_range.1,
+            "stolen execution mutated the address map"
+        );
+        for i in rec.child_range.0..rec.child_range.1 {
+            match std::mem::replace(
+                &mut self.stash.groups[g].children[i as usize],
+                ChildSlot::Taken,
+            ) {
+                ChildSlot::Future(t, ev) => self.schedule_at(t, ev),
+                ChildSlot::Inline(child_rec) => {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    let time = self.stash.groups[g].recs[child_rec as usize].time;
+                    self.stash.heap.push(Reverse((time, seq, group, child_rec)));
+                }
+                ChildSlot::Pending(..) | ChildSlot::Taken => {
+                    unreachable!("unexecuted or doubly-replayed stolen child")
+                }
+            }
+        }
+    }
+
+    /// Applies every parked stolen record whose `(time, seq)` key
+    /// precedes `bound` (all of them when `bound` is `None`), releasing
+    /// the group buffers once the stash empties.
+    fn drain_stash_until(&mut self, bound: Option<(SimTime, u64)>) {
+        while let Some(&Reverse((time, seq, g, r))) = self.stash.heap.peek() {
+            if let Some(b) = bound {
+                if (time, seq) >= b {
+                    break;
+                }
+            }
+            self.stash.heap.pop();
+            self.apply_stash_rec(g, r);
+        }
+        if self.stash.heap.is_empty() && !self.stash.groups.is_empty() {
+            self.stash.groups.clear();
+        }
+    }
+
+    /// Sequential fallback for one window: run every event strictly
+    /// before `end` through the ordinary engine, interleaving parked
+    /// stolen records at their original positions.
+    fn run_window_sequential(&mut self, end: SimTime) {
+        loop {
+            let qkey = match self.queue.peek() {
+                Some(Reverse(q)) if q.time < end => Some((q.time, q.seq)),
+                _ => None,
+            };
+            let skey = match self.stash.heap.peek() {
+                Some(&Reverse((time, seq, _, _))) if time < end => Some((time, seq)),
+                _ => None,
+            };
+            let take_stash = match (qkey, skey) {
+                (None, None) => break,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (Some(q), Some(s)) => s < q,
+            };
+            if take_stash {
+                let Reverse((_, _, g, r)) =
+                    self.stash.heap.pop().expect("peeked stash entry vanished");
+                self.apply_stash_rec(g, r);
+            } else {
+                let Reverse(q) = self.queue.pop().expect("peeked entry vanished");
+                debug_assert!(q.time >= self.now, "event queue went backwards");
+                self.now = q.time;
+                let event = self.take_slot(q.slot);
+                self.dispatch_sequential(event);
+            }
         }
     }
 
     /// Merges worker outputs back into the world in exact sequential
     /// order, reconstructing the `(time, seq)` schedule the
-    /// single-threaded loop would have produced.
+    /// single-threaded loop would have produced. Parked stolen records
+    /// whose keys fall between window records are applied in their
+    /// rightful slots.
     fn replay_window(&mut self, buckets: &mut [Bucket], wired_bucket: Option<usize>) {
         // Heap over (time, true_seq, bucket, rec): initial events carry
         // their original seq; children get theirs assigned from the world
@@ -587,7 +1026,19 @@ impl World {
                 heap.push(Reverse((bucket.out.recs[rec as usize].time, seq, b, rec)));
             }
         }
-        while let Some(Reverse((time, _seq, b, rec_idx))) = heap.pop() {
+        while let Some(&Reverse((rt, rs, _, _))) = heap.peek() {
+            // Stolen-ahead records from a previous window that precede
+            // the next replay record apply first (this window's own
+            // steals all lie at or beyond its end, so they never fire
+            // here).
+            while let Some(&Reverse((st, ss, g, r))) = self.stash.heap.peek() {
+                if (st, ss) >= (rt, rs) {
+                    break;
+                }
+                self.stash.heap.pop();
+                self.apply_stash_rec(g, r);
+            }
+            let Reverse((time, _seq, b, rec_idx)) = heap.pop().expect("peeked entry vanished");
             self.now = time;
             let rec = buckets[b].out.recs[rec_idx as usize];
             self.events += rec.events_delta;

@@ -16,12 +16,14 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 
-use crate::exec::{Engine, EngineOut, EngineScratch, Event, GridAccess, MapAccess, NodesAccess};
+use crate::exec::{
+    Engine, EngineOut, EngineScratch, Event, GridAccess, MapAccess, NodesAccess, Stash,
+};
 use crate::fasthash::FastMap;
 use crate::fault::{FaultAction, FaultPlan, PacketFault};
 use crate::grid::NeighborGrid;
 use crate::net::{Addr, Datagram};
-use crate::node::{Node, NodeConfig, NodeId};
+use crate::node::{HotNode, Node, NodeConfig, NodeId};
 use crate::process::{LocalEvent, Process};
 use crate::radio::RadioConfig;
 use crate::rng::SimRng;
@@ -51,6 +53,13 @@ pub struct WorldConfig {
     /// the flag exists so equivalence tests can pin that, and as an
     /// escape hatch while diagnosing suspected index bugs.
     pub use_spatial_index: bool,
+    /// Let [`World::run_until_threads`] workers that finish their window
+    /// bucket early execute provably independent components of the *next*
+    /// lookahead window instead of idling at the barrier (see
+    /// [`crate::shard`]). Traces are byte-identical either way — the flag
+    /// exists so determinism tests can pin that equivalence and as a
+    /// diagnostic escape hatch.
+    pub work_stealing: bool,
 }
 
 impl WorldConfig {
@@ -65,12 +74,19 @@ impl WorldConfig {
             loopback_delay: SimDuration::from_micros(50),
             pending_timeout: SimDuration::from_secs(2),
             use_spatial_index: true,
+            work_stealing: true,
         }
     }
 
     /// Replaces the radio configuration.
     pub fn with_radio(mut self, radio: RadioConfig) -> WorldConfig {
         self.radio = radio;
+        self
+    }
+
+    /// Enables or disables cross-window work stealing.
+    pub fn with_work_stealing(mut self, on: bool) -> WorldConfig {
+        self.work_stealing = on;
         self
     }
 }
@@ -161,6 +177,18 @@ pub struct World {
     pub(crate) par_windows: u64,
     /// Lookahead windows that fell back to sequential execution.
     pub(crate) seq_windows: u64,
+    /// Parallel windows in which at least one next-window component was
+    /// stolen.
+    pub(crate) steal_windows: u64,
+    /// Events executed ahead of time by work stealing.
+    pub(crate) steals: u64,
+    /// Dense mirror of per-node liveness + position state (see
+    /// [`HotNode`]); kept in lockstep with `nodes` by every sequential
+    /// mutation path, read concurrently by parallel workers.
+    pub(crate) hot: Vec<HotNode>,
+    /// Parked outputs of events the work-stealing executor ran ahead of
+    /// time; drained in `(time, seq)` order as the clock catches up.
+    pub(crate) stash: Stash,
     tracing_default: bool,
 }
 
@@ -193,6 +221,10 @@ impl World {
             free_slots: Vec::new(),
             par_windows: 0,
             seq_windows: 0,
+            steal_windows: 0,
+            steals: 0,
+            hot: Vec::new(),
+            stash: Stash::default(),
             tracing_default: false,
         }
     }
@@ -212,6 +244,15 @@ impl World {
     /// Lets harnesses verify the parallel fast path actually engaged.
     pub fn window_counts(&self) -> (u64, u64) {
         (self.par_windows, self.seq_windows)
+    }
+
+    /// `(windows that stole, events stolen)` counters from the
+    /// work-stealing fast path of [`World::run_until_threads`]. Both zero
+    /// under plain `run_until`, with `work_stealing` disabled, or when no
+    /// next-window component ever passed the isolation rules. Lets
+    /// honesty asserts in tests verify stealing actually engaged.
+    pub fn steal_counts(&self) -> (u64, u64) {
+        (self.steal_windows, self.steals)
     }
 
     /// The world configuration.
@@ -256,9 +297,17 @@ impl World {
             self.radio_ids.push(id);
         }
         self.addr_map.insert(addr, id);
+        self.hot.push(HotNode::of(&node));
         self.nodes.push(node);
         self.grid.invalidate();
         id
+    }
+
+    /// Re-mirrors a node's hot fields after a sequential mutation of its
+    /// liveness or mobility. Never called while a parallel window is in
+    /// flight (workers read `hot` as a shared slice).
+    fn refresh_hot(&mut self, id: NodeId) {
+        self.hot[id.0 as usize] = HotNode::of(&self.nodes[id.0 as usize]);
     }
 
     /// Starts a process on `node`; `on_start` runs at the current time.
@@ -421,6 +470,7 @@ impl World {
                 },
             );
         }
+        self.hot[id.0 as usize].up = up;
     }
 
     /// Installs a chaos plan: schedules its fault events into the event
@@ -517,14 +567,16 @@ impl World {
     /// Teleports a (static) node to a new position.
     pub fn move_node(&mut self, id: NodeId, x: f64, y: f64) {
         self.node_mut(id).mobility = crate::mobility::Mobility::fixed(x, y);
-        self.grid.invalidate();
+        self.refresh_hot(id);
+        self.grid.invalidate_node(&self.nodes, id, self.now);
     }
 
     /// Replaces a node's mobility model, scheduling its replan events.
     pub fn set_mobility(&mut self, id: NodeId, mobility: crate::mobility::Mobility) {
         let next = mobility.next_replan();
         self.node_mut(id).mobility = mobility;
-        self.grid.invalidate();
+        self.refresh_hot(id);
+        self.grid.invalidate_node(&self.nodes, id, self.now);
         if let Some(t) = next {
             self.schedule_at(t, Event::Replan { node: id });
         }
@@ -532,6 +584,13 @@ impl World {
 
     /// Runs the event loop until (and including) time `t`.
     pub fn run_until(&mut self, t: SimTime) {
+        // Work stealing never leaves results parked across a
+        // `run_until_threads` return (stolen events are capped at the run
+        // target), so the plain loop can ignore the stash entirely.
+        debug_assert!(
+            self.stash.heap.is_empty(),
+            "stolen results leaked out of run_until_threads"
+        );
         while let Some(Reverse(q)) = self.queue.peek() {
             if q.time > t {
                 break;
@@ -624,12 +683,13 @@ impl World {
                 if let Some(t) = n.mobility.next_replan() {
                     self.schedule_at(t, Event::Replan { node });
                 }
-                // The node's trajectory changed; refresh the spatial
-                // index so drift slack stays small. (Correctness would
-                // survive without this — drift is bounded by max speed
-                // regardless of trajectory — but rebuilding here keeps
-                // query radii tight under heavy mobility.)
-                self.grid.invalidate();
+                // The node's trajectory changed: re-mirror its hot state
+                // and re-bin just this node in the spatial index —
+                // replans are per-node events, and a full rebuild here
+                // made one roaming node cost O(n) per waypoint in an
+                // otherwise static city.
+                self.refresh_hot(node);
+                self.grid.invalidate_node(&self.nodes, node, now);
             }
             Event::Fault(action) => {
                 self.events += 1;
@@ -657,6 +717,7 @@ impl World {
                 fault_rng: Some(&mut self.fault_rng),
                 map: MapAccess::Direct(&mut self.addr_map),
                 grid: GridAccess::Mut(&mut self.grid),
+                hot: &self.hot,
                 trace_enabled: self.trace.is_enabled(),
                 scratch: &mut self.scratch,
                 out: &mut self.engine_out,

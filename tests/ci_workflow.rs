@@ -262,6 +262,60 @@ fn parallel_execution_gates_run_in_both_gates() {
     );
 }
 
+/// The work-stealing canary gates the cross-window steal path in both
+/// gates: `--city100k-smoke --jobs 2` runs a city big enough to steal
+/// at 1 and 2 threads, and the harness must assert both event-count
+/// identity and that stealing engaged. Losing either gate (or either
+/// assert) turns the speculative executor into code CI never exercises.
+#[test]
+fn city100k_canary_gates_work_stealing_in_both_gates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sh = std::fs::read_to_string(root.join("scripts/ci.sh")).expect("scripts/ci.sh");
+    assert!(
+        sh.contains("--city100k-smoke --jobs 2"),
+        "local gate must run the work-stealing canary under --jobs 2"
+    );
+    let yml = workflow_text();
+    assert!(
+        yml.contains("--city100k-smoke --jobs 2"),
+        "workflow must run the work-stealing canary under --jobs 2"
+    );
+    let core = std::fs::read_to_string(root.join("crates/bench/src/bin/exp_bench_core.rs"))
+        .expect("exp_bench_core source");
+    assert!(
+        core.contains("work stealing never engaged"),
+        "canary must assert the steal path engaged (vacuous otherwise)"
+    );
+    assert!(
+        core.contains("event count diverged"),
+        "canary must assert multi-thread event counts match the t1 reference"
+    );
+    // The honest-gating half: wall time only gates against same-machine
+    // baselines, and the recorded full sweep must carry the provenance
+    // (cores + CPU) that makes that decision auditable.
+    assert!(
+        core.contains("cross-machine"),
+        "--check must downgrade cross-machine wall-time overruns to warnings"
+    );
+    let bench_json = std::fs::read_to_string(root.join("results/BENCH_core.json"))
+        .expect("results/BENCH_core.json (scripts/bench.sh regenerates it)");
+    assert!(
+        bench_json.contains("\"cores\":") && bench_json.contains("\"cpu\":"),
+        "recorded sweep must carry hardware provenance"
+    );
+    for scenario in [
+        "city_100000_t1",
+        "city_100000_t2",
+        "city_100000_t4",
+        "city_100000_t8",
+    ] {
+        assert!(
+            bench_json.contains(scenario),
+            "recorded sweep must include the 100k-city scaling curve ({scenario})"
+        );
+    }
+}
+
 /// The SIP call-load canary gates the signaling hot path in both gates:
 /// the local script and the workflow must run `exp_call_load --smoke
 /// --check` against the tracked baseline, and the clippy line must carry

@@ -49,7 +49,13 @@ fn digest(w: &World) -> u64 {
 /// A small city (a few districts + convoys + swarm), run for `secs`
 /// simulated seconds at `threads`. Returns the world for inspection.
 fn run_city(seed: u64, nodes: usize, secs: u64, threads: usize) -> World {
-    let mut w = World::new(WorldConfig::new(seed));
+    run_city_stealing(seed, nodes, secs, threads, true)
+}
+
+/// As [`run_city`] with explicit control over cross-window work
+/// stealing.
+fn run_city_stealing(seed: u64, nodes: usize, secs: u64, threads: usize, stealing: bool) -> World {
+    let mut w = World::new(WorldConfig::new(seed).with_work_stealing(stealing));
     build_city(&mut w, CityParams::with_nodes(nodes));
     w.trace_mut().set_enabled(true);
     if threads == 1 {
@@ -100,6 +106,39 @@ fn replayed_trace_is_time_monotone() {
         );
         last = e.time;
     }
+}
+
+#[test]
+fn work_stealing_is_digest_invariant_across_thread_counts() {
+    // 1000 nodes: enough districts that some sit more than two conflict
+    // cells from every concurrently active one — the steal margin.
+    let reference = run_city_stealing(11_005, 1000, 2, 1, false);
+    let want = digest(&reference);
+    let mut stole = false;
+    for threads in [2usize, 4, 8] {
+        for stealing in [false, true] {
+            let w = run_city_stealing(11_005, 1000, 2, threads, stealing);
+            let (steal_windows, steals) = w.steal_counts();
+            if stealing {
+                stole |= steals > 0;
+            } else {
+                assert_eq!(
+                    (steal_windows, steals),
+                    (0, 0),
+                    "stealing disabled but the counters moved"
+                );
+            }
+            let got = digest(&w);
+            assert_eq!(
+                got, want,
+                "digest diverged at {threads} threads (stealing: {stealing}; \
+                 got {got:#018x}, want {want:#018x})"
+            );
+        }
+    }
+    // The whole point of the matrix: if no configuration ever steals,
+    // this test pins nothing beyond the barrier path.
+    assert!(stole, "work stealing never engaged on the city scenario");
 }
 
 #[test]

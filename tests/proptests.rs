@@ -832,6 +832,120 @@ proptest! {
     }
 }
 
+/// As [`beacon_mesh_fingerprint`], but nodes move: a random subset is
+/// teleported between run segments and another subset walks random
+/// waypoints, so the spatial index must re-bin cells incrementally
+/// (`move_node`/`set_mobility`/replan all dirty single cells, never the
+/// whole index).
+fn mobile_mesh_fingerprint(seed: u64, n: usize, moves: &[(usize, f64, f64)], spatial: bool) -> u64 {
+    use wireless_adhoc_voip::simnet::mobility::{Area, Mobility, WaypointParams};
+    let mut cfg = WorldConfig::new(seed);
+    cfg.use_spatial_index = spatial;
+    let mut w = World::new(cfg);
+    let mut rng = SimRng::from_seed_and_stream(seed, 4242);
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = (i % 4) as f64 * 70.0 + rng.range_f64(-15.0, 15.0);
+        let y = (i / 4) as f64 * 70.0 + rng.range_f64(-15.0, 15.0);
+        ids.push(w.add_node(NodeConfig::manet(x, y)));
+    }
+    // A couple of waypoint walkers exercise replan-driven re-binning.
+    let area = Area::new(300.0, 300.0);
+    let wp = WaypointParams::new(5.0, 20.0, SimDuration::from_millis(100));
+    for &id in ids.iter().take(2) {
+        let start = (rng.range_f64(0.0, 300.0), rng.range_f64(0.0, 300.0));
+        w.set_mobility(
+            id,
+            Mobility::random_waypoint(start, wp, area, SimTime::ZERO, &mut rng),
+        );
+    }
+    w.trace_mut().set_enabled(true);
+    let mut t_ms = 0u64;
+    let mut next_move = 0usize;
+    while t_ms < 2_000 {
+        w.run_until(SimTime::from_millis(t_ms));
+        if let Some(&(idx, x, y)) = moves.get(next_move) {
+            w.move_node(ids[idx % ids.len()], x, y);
+            next_move += 1;
+        }
+        for &id in &ids {
+            let src = SocketAddr::new(w.node(id).addr(), 9900);
+            let dst = SocketAddr::new(Addr::BROADCAST, 9900);
+            w.inject(id, Datagram::new(src, dst, id_payload(id)));
+        }
+        t_ms += 250;
+    }
+    w.run_until(SimTime::from_millis(2_000));
+    trace_fingerprint(&w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Per-cell incremental grid maintenance is trace-invisible: under
+    /// arbitrary teleports and waypoint mobility, the incrementally
+    /// maintained index and the full-scan reference agree byte-for-byte,
+    /// and the run reproduces exactly.
+    #[test]
+    fn incremental_grid_never_changes_the_trace(
+        seed in 0u64..100_000,
+        n in 4usize..16,
+        moves in proptest::collection::vec(
+            (any::<usize>(), -50.0f64..350.0, -50.0f64..350.0),
+            0..6,
+        ),
+    ) {
+        let grid = mobile_mesh_fingerprint(seed, n, &moves, true);
+        let scan = mobile_mesh_fingerprint(seed, n, &moves, false);
+        prop_assert_eq!(grid, scan, "incremental grid diverged from full scan (seed {}, n {})", seed, n);
+        let again = mobile_mesh_fingerprint(seed, n, &moves, true);
+        prop_assert_eq!(grid, again, "same seed not reproducible (seed {}, n {})", seed, n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cross-window work stealing is trace-invisible on city-scale
+    /// worlds: for arbitrary seeds and sizes the stealing run matches
+    /// the sequential reference byte-for-byte — and it must actually
+    /// steal (cities this size always have components beyond the
+    /// exclusion margin), so the property pins the stash replay path,
+    /// not the fallback.
+    #[test]
+    fn work_stealing_never_changes_the_trace(
+        seed in 0u64..100_000,
+        n in 1_000usize..1_600,
+    ) {
+        use siphoc_bench::city::{build_city, CityParams};
+        let run = |threads: usize, stealing: bool| {
+            let mut w = World::new(WorldConfig::new(seed).with_work_stealing(stealing));
+            build_city(&mut w, CityParams::with_nodes(n));
+            w.trace_mut().set_enabled(true);
+            if threads == 1 {
+                w.run_until(SimTime::from_secs(1));
+            } else {
+                w.run_until_threads(SimTime::from_secs(1), threads);
+            }
+            w
+        };
+        let sequential = run(1, false);
+        let stolen = run(3, true);
+        let (steal_windows, steals) = stolen.steal_counts();
+        prop_assert!(
+            steals > 0,
+            "no events stolen (seed {}, n {}) — margins regressed?", seed, n
+        );
+        prop_assert!(steal_windows > 0, "steals counted but no steal windows");
+        prop_assert_eq!(
+            trace_fingerprint(&sequential),
+            trace_fingerprint(&stolen),
+            "stealing diverged from sequential (seed {}, n {}, {} steals)",
+            seed, n, steals
+        );
+    }
+}
+
 // ----------------------------------------------------------------------
 // Adversarial: the hardened registry vs forged advert streams
 // ----------------------------------------------------------------------
